@@ -1,0 +1,75 @@
+// E17 (extension) — automated worst-case instance search. For each
+// algorithm, hill-climb over tree shapes (fixed n, capped D) to
+// maximize rounds/(n/k + D). Evolved ratios corroborate the hierarchy:
+// DN-swarm keeps climbing (no guarantee), BFDN plateaus well under its
+// Theorem 1 ceiling, CTE barely moves. The evolved BFDN instance is
+// also re-checked against its bound — the search may not cross it.
+#include <cstdio>
+
+#include "exp/adversarial_search.h"
+#include "sim/engine.h"
+#include "support/cli.h"
+#include "support/table.h"
+
+namespace bfdn {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  CliParser cli("bench_adversarial_search",
+                "hill-climbed worst-case trees per algorithm");
+  cli.add_int("n", 600, "node budget");
+  cli.add_int("max_depth", 60, "depth cap for mutations");
+  cli.add_int("k", 16, "robots");
+  cli.add_int("iterations", 250, "mutations per algorithm");
+  cli.add_int("seed", 171717, "search seed");
+  cli.add_bool("csv", false, "emit CSV");
+  if (!cli.parse(argc, argv)) return 0;
+
+  AdversarialSearchOptions options;
+  options.n = cli.get_int("n");
+  options.max_depth = static_cast<std::int32_t>(cli.get_int("max_depth"));
+  options.k = static_cast<std::int32_t>(cli.get_int("k"));
+  options.iterations = cli.get_int("iterations");
+  options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  Table table({"algorithm", "seed_ratio", "evolved_ratio", "gain",
+               "accepted", "evolved_D", "within_thm1_bound"});
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kBfdn, AlgorithmKind::kBfdnShortcut,
+        AlgorithmKind::kCte, AlgorithmKind::kDnSwarm}) {
+    const AdversarialSearchResult result =
+        adversarial_search(kind, options);
+    std::string bound_cell = "n/a";
+    if (kind == AlgorithmKind::kBfdn ||
+        kind == AlgorithmKind::kBfdnShortcut) {
+      const std::int64_t rounds =
+          run_single_cell(kind, result.tree, options.k);
+      const double bound = theorem1_bound(
+          result.tree.num_nodes(), result.tree.depth(),
+          result.tree.max_degree(), options.k);
+      bound_cell = static_cast<double>(rounds) <= bound ? "yes" : "NO";
+    }
+    table.add_row({algorithm_kind_name(kind),
+                   cell(result.initial_ratio, 2),
+                   cell(result.best_ratio, 2),
+                   cell(result.best_ratio / result.initial_ratio, 2),
+                   cell(result.accepted), cell(std::int64_t{
+                       result.tree.depth()}),
+                   bound_cell});
+  }
+  std::printf("# E17 (adversarial search): n = %lld, D <= %lld, "
+              "k = %lld, %lld mutations\n",
+              static_cast<long long>(cli.get_int("n")),
+              static_cast<long long>(cli.get_int("max_depth")),
+              static_cast<long long>(cli.get_int("k")),
+              static_cast<long long>(cli.get_int("iterations")));
+  std::fputs(cli.get_bool("csv") ? table.to_csv().c_str()
+                                 : table.to_console().c_str(),
+             stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bfdn
+
+int main(int argc, char** argv) { return bfdn::run(argc, argv); }

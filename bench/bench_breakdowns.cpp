@@ -1,0 +1,74 @@
+// E7 — Proposition 7: adversarial robot break-downs. For a zoo of
+// break-down schedules, the average allowed distance A(M) consumed by
+// the time exploration completes, against the 2n/k + D^2(log k + 3)
+// budget the proposition says suffices.
+#include <cstdio>
+
+#include "adversarial/schedules.h"
+#include "core/bfdn.h"
+#include "graph/generators.h"
+#include "sim/engine.h"
+#include "support/cli.h"
+#include "support/table.h"
+
+namespace bfdn {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  CliParser cli("bench_breakdowns",
+                "Proposition 7: A(M) consumed at completion vs budget, "
+                "per break-down schedule");
+  cli.add_int("n", 3000, "tree size");
+  cli.add_int("depth", 20, "tree depth");
+  cli.add_int("k", 16, "robots");
+  cli.add_int("seed", 70707, "tree seed");
+  cli.add_bool("csv", false, "emit CSV");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto k = static_cast<std::int32_t>(cli.get_int("k"));
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  const Tree tree = make_tree_with_depth(
+      cli.get_int("n"), static_cast<std::int32_t>(cli.get_int("depth")),
+      rng);
+  const double budget =
+      proposition7_bound(tree.num_nodes(), tree.depth(), k);
+  // Horizon with ample slack for the sparsest schedule.
+  const auto horizon =
+      static_cast<std::int64_t>(budget * static_cast<double>(k) * 4) + 64;
+
+  std::vector<std::unique_ptr<FiniteSchedule>> schedules;
+  schedules.push_back(make_full_schedule(horizon, k));
+  schedules.push_back(make_round_robin_schedule(horizon, k));
+  schedules.push_back(make_random_schedule(horizon, k, 0.75, 1));
+  schedules.push_back(make_random_schedule(horizon, k, 0.25, 2));
+  schedules.push_back(make_burst_schedule(horizon, k, 16));
+  schedules.push_back(make_rolling_outage_schedule(horizon, k, 8));
+
+  Table table({"schedule", "rounds", "A(M)_used", "budget", "used/budget",
+               "robot_moves", "complete"});
+  for (auto& schedule : schedules) {
+    BfdnAlgorithm algo(k);
+    RunConfig config;
+    config.num_robots = k;
+    config.schedule = schedule.get();
+    config.max_rounds = horizon + 8;
+    const RunResult result = run_exploration(tree, algo, config);
+    std::int64_t moves = 0;
+    for (auto m : result.robot_moves) moves += m;
+    table.add_row({schedule->name(), cell(result.rounds),
+                   cell(schedule->average_allowed(), 1), cell(budget, 1),
+                   cell(schedule->average_allowed() / budget, 3),
+                   cell(moves), cell_bool(result.complete)});
+  }
+  std::printf("# E7 (Proposition 7): %s, k = %d\n",
+              tree.summary().c_str(), k);
+  std::fputs(cli.get_bool("csv") ? table.to_csv().c_str()
+                                 : table.to_console().c_str(),
+             stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bfdn
+
+int main(int argc, char** argv) { return bfdn::run(argc, argv); }

@@ -1,0 +1,99 @@
+// E15 (extension) — empirical competitive-ratio estimates. Section 1
+// defines the competitive ratio as max over (n, D) and trees of
+// Runtime / (n/k + D); CTE's is O(k/log k) and BFDN's is O(k) in the
+// worst case (but with the 2n/k + D^2 log k additive form). This bench
+// estimates the max over a diverse instance pool for each k, giving the
+// empirical growth curves the theory brackets.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "exp/campaign.h"
+#include "graph/generators.h"
+#include "support/cli.h"
+#include "support/table.h"
+
+namespace bfdn {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  CliParser cli("bench_competitive",
+                "empirical max of rounds/(n/k + D) per algorithm and k");
+  cli.add_int("scale", 1200, "approximate node count of the pool trees");
+  cli.add_int("seed", 151515, "pool seed");
+  cli.add_int("threads", 0, "worker threads (0 = hardware)");
+  cli.add_bool("csv", false, "emit CSV");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto scale = cli.get_int("scale");
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  Campaign campaign;
+  for (auto& [name, tree] :
+       make_tree_zoo(scale, static_cast<std::uint64_t>(
+                                cli.get_int("seed")))) {
+    campaign.add_tree(name, std::move(tree));
+  }
+  // Extra depth-stressed instances (the ratio peaks on them).
+  for (const std::int32_t depth : {30, 100, 300}) {
+    Rng child = rng.split();
+    campaign.add_tree("fixed_d" + std::to_string(depth),
+                      make_tree_with_depth(scale, depth, child));
+  }
+  for (const std::int32_t k : {2, 4, 8, 16, 32, 64, 128}) {
+    campaign.add_team_size(k);
+  }
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kBfdn, AlgorithmKind::kBfdnShortcut,
+        AlgorithmKind::kCte, AlgorithmKind::kDnSwarm,
+        AlgorithmKind::kBfdnEll2}) {
+    campaign.add_algorithm(kind);
+  }
+
+  const auto results =
+      campaign.run(static_cast<std::int32_t>(cli.get_int("threads")));
+
+  // max ratio per (algorithm, k), plus the witness tree.
+  struct Peak {
+    double ratio = 0;
+    std::string witness;
+  };
+  std::map<std::pair<AlgorithmKind, std::int32_t>, Peak> peaks;
+  for (const CellResult& cell : results) {
+    if (!cell.complete) {
+      std::fprintf(stderr, "FATAL: incomplete cell %s\n",
+                   cell.tree_name.c_str());
+      return 1;
+    }
+    Peak& peak = peaks[{cell.algorithm, cell.k}];
+    if (cell.ratio_vs_opt > peak.ratio) {
+      peak.ratio = cell.ratio_vs_opt;
+      peak.witness = cell.tree_name;
+    }
+  }
+
+  Table table({"k", "BFDN", "BFDN+shortcut", "CTE", "DN-swarm", "BFDN_2",
+               "worst_tree_for_BFDN"});
+  for (const std::int32_t k : {2, 4, 8, 16, 32, 64, 128}) {
+    table.add_row(
+        {cell(k),
+         cell(peaks[{AlgorithmKind::kBfdn, k}].ratio, 2),
+         cell(peaks[{AlgorithmKind::kBfdnShortcut, k}].ratio, 2),
+         cell(peaks[{AlgorithmKind::kCte, k}].ratio, 2),
+         cell(peaks[{AlgorithmKind::kDnSwarm, k}].ratio, 2),
+         cell(peaks[{AlgorithmKind::kBfdnEll2, k}].ratio, 2),
+         peaks[{AlgorithmKind::kBfdn, k}].witness});
+  }
+  std::fputs("# E15 (competitive ratio, empirical): max over instance "
+             "pool of rounds/(n/k + D)\n",
+             stdout);
+  std::fputs(cli.get_bool("csv") ? table.to_csv().c_str()
+                                 : table.to_console().c_str(),
+             stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bfdn
+
+int main(int argc, char** argv) { return bfdn::run(argc, argv); }

@@ -1,0 +1,97 @@
+// E4 — Figure 1 (analytic): the regions of the (n, D) plane where each
+// algorithm's runtime *guarantee* is smallest, evaluated from the
+// Appendix A formulas at a fixed k. Rendered as an ASCII map over a
+// log-log grid (x: log10 n, y: log10 D), mirroring the paper's figure:
+//   C = CTE, Y = Yo*, B = BFDN, L = BFDN_l, . = no tree (n <= D).
+//
+// Shape to check against the paper: CTE owns the deep band near n ~ D,
+// BFDN owns the shallow region D^2 log^2 k <= n, BFDN_l a wedge between
+// them, Yo* a sliver for moderate n and depth (it fades for n >= e^k).
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/guarantees.h"
+#include "support/cli.h"
+#include "support/table.h"
+
+namespace bfdn {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  CliParser cli("bench_fig1_regions",
+                "Figure 1: analytic winner map over (n, D) at fixed k");
+  cli.add_int("k", 1024, "team size the guarantees are evaluated at");
+  cli.add_int("max_ell", 4, "largest ell tried for BFDN_l");
+  cli.add_int("cols", 60, "grid width (log10 n resolution)");
+  cli.add_int("rows", 24, "grid height (log10 D resolution)");
+  cli.add_double("max_log10_n", 18.0, "right edge of the map");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const double k = static_cast<double>(cli.get_int("k"));
+  const auto max_ell = static_cast<std::int32_t>(cli.get_int("max_ell"));
+  const auto cols = static_cast<std::int32_t>(cli.get_int("cols"));
+  const auto rows = static_cast<std::int32_t>(cli.get_int("rows"));
+  const double max_log_n = cli.get_double("max_log10_n");
+  const double max_log_d = max_log_n;  // square log-log domain
+
+  std::printf("# E4 (Figure 1, analytic): winner of the runtime "
+              "guarantees, k = %.0f\n",
+              k);
+  std::printf("#   C = CTE   Y = Yo*   B = BFDN   L = BFDN_l (ell <= %d)"
+              "   . = no tree (n <= D)\n",
+              max_ell);
+  std::printf("# y: log10(D) from %.1f (top) to 0 (bottom); x: log10(n) "
+              "0..%.1f\n\n",
+              max_log_d, max_log_n);
+
+  for (std::int32_t r = rows - 1; r >= 0; --r) {
+    const double log_d = max_log_d * (r + 0.5) / rows;
+    std::printf("%5.1f |", log_d);
+    for (std::int32_t c = 0; c < cols; ++c) {
+      const double log_n = max_log_n * (c + 0.5) / cols;
+      if (log_n <= log_d) {
+        std::putchar('.');
+        continue;
+      }
+      const double n = std::pow(10.0, log_n);
+      const double d = std::pow(10.0, log_d);
+      const std::string winner = fig1_winner(n, d, k, max_ell);
+      char mark = '?';
+      if (winner == "CTE") mark = 'C';
+      if (winner == "Yo*") mark = 'Y';
+      if (winner == "BFDN") mark = 'B';
+      if (winner == "BFDN_l") mark = 'L';
+      std::putchar(mark);
+    }
+    std::putchar('\n');
+  }
+  std::printf("      +");
+  for (std::int32_t c = 0; c < cols; ++c) std::putchar('-');
+  std::printf("\n       log10(n) -> 0..%.1f\n\n", max_log_n);
+
+  // The paper's closed-form pairwise thresholds at sample points.
+  Table thresholds({"point (n, D)", "rule", "holds", "formulas_agree"});
+  struct Sample {
+    double n, d;
+  };
+  const std::vector<Sample> samples = {{1e12, 1e2}, {1e6, 1e4},
+                                       {1e9, 1e3},  {1e15, 1e5}};
+  for (const auto& s : samples) {
+    const bool rule = bfdn_beats_cte_rule(s.n, s.d, k);
+    const bool eval =
+        guarantee_bfdn(s.n, s.d, k) < guarantee_cte(s.n, s.d, k);
+    thresholds.add_row(
+        {"n=1e" + cell(std::int64_t(std::log10(s.n))) + " D=1e" +
+             cell(std::int64_t(std::log10(s.d))),
+         "BFDN<CTE iff D^2 log^2 k <= n", cell_bool(rule),
+         cell_bool(rule == eval)});
+  }
+  std::fputs("# Appendix A pairwise rule vs direct evaluation\n", stdout);
+  std::fputs(thresholds.to_console().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bfdn
+
+int main(int argc, char** argv) { return bfdn::run(argc, argv); }

@@ -1,0 +1,95 @@
+// E8 — Proposition 9: BFDN on non-tree graphs with a distance oracle.
+// Grid worlds with random rectangular obstacles (the setting of [12]),
+// plus cycles and cliques as structural extremes. Reports rounds vs the
+// 2m/k + D^2(min(log Delta, log k) + 3) bound and the BFS-tree/closed
+// edge split the variant rule produces.
+#include <cstdio>
+
+#include "graph/generators.h"
+#include "graph/grid_world.h"
+#include "graphexp/graph_bfdn.h"
+#include "support/cli.h"
+#include "support/table.h"
+
+namespace bfdn {
+namespace {
+
+void add_run(Table& table, const std::string& label, const Graph& graph,
+             std::int32_t k) {
+  const GraphExplorationResult result = run_graph_bfdn(graph, k);
+  const double bound = proposition9_bound(graph.num_edges(), graph.radius(),
+                                          graph.max_degree(), k);
+  table.add_row({label, cell(graph.num_nodes()), cell(graph.num_edges()),
+                 cell(std::int64_t{graph.radius()}), cell(k),
+                 cell(result.rounds), cell(bound, 0),
+                 cell(static_cast<double>(result.rounds) / bound, 3),
+                 cell(result.tree_edges), cell(result.closed_edges),
+                 cell_bool(result.complete && result.all_at_origin)});
+}
+
+int run(int argc, const char* const* argv) {
+  CliParser cli("bench_graphexp",
+                "Proposition 9: graph exploration with a distance oracle");
+  cli.add_int("grid", 40, "grid side length");
+  cli.add_int("rects", 14, "random rectangular obstacles per world");
+  cli.add_int("seed", 80808, "world seed");
+  cli.add_bool("csv", false, "emit CSV");
+  if (!cli.parse(argc, argv)) return 0;
+
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  const auto side = static_cast<std::int32_t>(cli.get_int("grid"));
+  const auto rects = static_cast<std::int32_t>(cli.get_int("rects"));
+
+  Table table({"world", "n", "m", "D", "k", "rounds", "bound",
+               "ratio", "tree_edges", "closed", "ok"});
+  // Open grid and obstacle worlds.
+  {
+    const GridWorld open_world(side, side, {});
+    for (std::int32_t k : {4, 16, 64}) {
+      add_run(table, "grid-open", open_world.graph(), k);
+    }
+  }
+  for (int rep = 0; rep < 3; ++rep) {
+    Rng child = rng.split();
+    const GridWorld world =
+        GridWorld::random(side, side, rects, side / 4, child);
+    for (std::int32_t k : {4, 16, 64}) {
+      add_run(table,
+              "grid-rects#" + std::to_string(rep) +
+                  (world.distances_are_manhattan() ? " (manhattan)" : ""),
+              world.graph(), k);
+    }
+  }
+  // Structural extremes.
+  {
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    const std::int32_t n = 256;
+    for (NodeId v = 0; v < n; ++v) {
+      edges.emplace_back(v, static_cast<NodeId>((v + 1) % n));
+    }
+    const Graph cycle = Graph::from_edges(n, edges);
+    add_run(table, "cycle256", cycle, 8);
+  }
+  {
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    const std::int32_t n = 40;
+    for (NodeId a = 0; a < n; ++a) {
+      for (NodeId b = static_cast<NodeId>(a + 1); b < n; ++b) {
+        edges.emplace_back(a, b);
+      }
+    }
+    const Graph clique = Graph::from_edges(n, edges);
+    add_run(table, "clique40", clique, 16);
+  }
+  std::fputs("# E8 (Proposition 9): graph BFDN with distance oracle\n",
+             stdout);
+  std::fputs(cli.get_bool("csv") ? table.to_csv().c_str()
+                                 : table.to_console().c_str(),
+             stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bfdn
+
+int main(int argc, char** argv) { return bfdn::run(argc, argv); }

@@ -1,0 +1,101 @@
+// E14 (open directions, Section 1) — the large-team regime. The paper
+// cites two anchors for its "close-to-optimal" discussion: exploration
+// with k = n requires Omega(D^2) rounds [6], and k >= n/D robots
+// suffice for O(D^2) [13]. This bench measures BFDN's rounds in that
+// regime and fits the growth exponent in D: the curve should sit
+// between the Omega(D^2) floor and Theorem 1's D^2 log k ceiling.
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/bfs_levels.h"
+#include "core/bfdn.h"
+#include "graph/generators.h"
+#include "sim/engine.h"
+#include "support/cli.h"
+#include "support/table.h"
+
+namespace bfdn {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  CliParser cli("bench_many_robots",
+                "k >= n/D regime: rounds vs the D^2 law");
+  cli.add_int("seed", 141414, "tree seed");
+  cli.add_bool("csv", false, "emit CSV");
+  if (!cli.parse(argc, argv)) return 0;
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  Table table({"family", "D", "n", "k", "rounds", "bfs_levels",
+               "rounds/D^2", "bound/D^2"});
+  double prev_rounds = 0;
+  double prev_depth = 0;
+  double fitted_exponent = 0;
+  for (const std::int32_t depth : {8, 16, 32, 64, 128}) {
+    // Comb of total depth 2*half: spine half, teeth half; n ~ half^2,
+    // so k = n gives the k = n lower-bound regime of [6].
+    const std::int32_t half = depth / 2;
+    const Tree tree = make_comb(half, half);
+    const auto k = static_cast<std::int32_t>(tree.num_nodes());
+    BfdnAlgorithm algo(k);
+    RunConfig config;
+    config.num_robots = k;
+    const RunResult result = run_exploration(tree, algo, config);
+    if (!result.complete) {
+      std::fprintf(stderr, "FATAL: incomplete at D=%d\n", depth);
+      return 1;
+    }
+    BfsLevelsAlgorithm waves(k);
+    const RunResult wave_result = run_exploration(tree, waves, config);
+    const double d2 = static_cast<double>(tree.depth()) * tree.depth();
+    table.add_row({"comb k=n", cell(std::int64_t{tree.depth()}),
+                   cell(tree.num_nodes()), cell(k), cell(result.rounds),
+                   cell(wave_result.rounds),
+                   cell(static_cast<double>(result.rounds) / d2, 3),
+                   cell(theorem1_bound(tree.num_nodes(), tree.depth(),
+                                       tree.max_degree(), k) /
+                            d2,
+                        2)});
+    if (prev_rounds > 0) {
+      fitted_exponent = std::log(static_cast<double>(result.rounds) /
+                                 prev_rounds) /
+                        std::log(static_cast<double>(tree.depth()) /
+                                 prev_depth);
+    }
+    prev_rounds = static_cast<double>(result.rounds);
+    prev_depth = static_cast<double>(tree.depth());
+  }
+  // The k = n/D variant on random fixed-depth trees.
+  for (const std::int32_t depth : {16, 32, 64}) {
+    Rng child = rng.split();
+    const std::int64_t n = static_cast<std::int64_t>(depth) * depth;
+    const Tree tree = make_tree_with_depth(n, depth, child);
+    const auto k = static_cast<std::int32_t>(
+        std::max<std::int64_t>(1, n / depth));
+    BfdnAlgorithm algo(k);
+    RunConfig config;
+    config.num_robots = k;
+    const RunResult result = run_exploration(tree, algo, config);
+    BfsLevelsAlgorithm waves(k);
+    const RunResult wave_result = run_exploration(tree, waves, config);
+    const double d2 = static_cast<double>(depth) * depth;
+    table.add_row({"random k=n/D", cell(std::int64_t{depth}), cell(n),
+                   cell(k), cell(result.rounds),
+                   cell(wave_result.rounds),
+                   cell(static_cast<double>(result.rounds) / d2, 3),
+                   cell(theorem1_bound(n, depth, tree.max_degree(), k) /
+                            d2,
+                        2)});
+  }
+  std::printf("# E14 (open directions): rounds vs D^2 in the k >= n/D "
+              "regime; fitted exponent of the last comb step: %.2f\n",
+              fitted_exponent);
+  std::fputs(cli.get_bool("csv") ? table.to_csv().c_str()
+                                 : table.to_console().c_str(),
+             stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bfdn
+
+int main(int argc, char** argv) { return bfdn::run(argc, argv); }

@@ -1,0 +1,120 @@
+// E12 — microbenchmarks (google-benchmark): cost of whole exploration
+// runs and of the hot per-round machinery, for profiling regressions.
+// These measure implementation speed, not the paper's round counts.
+#include <benchmark/benchmark.h>
+
+#include "baselines/cte.h"
+#include "baselines/depth_next_only.h"
+#include "core/bfdn.h"
+#include "game/urn_game.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "recursive/bfdn_ell.h"
+#include "sim/engine.h"
+
+namespace bfdn {
+namespace {
+
+const Tree& bench_tree() {
+  static const Tree tree = [] {
+    Rng rng(5150);
+    return make_tree_with_depth(4000, 25, rng);
+  }();
+  return tree;
+}
+
+void BM_BfdnFullRun(benchmark::State& state) {
+  const Tree& tree = bench_tree();
+  const auto k = static_cast<std::int32_t>(state.range(0));
+  for (auto _ : state) {
+    BfdnAlgorithm algo(k);
+    RunConfig config;
+    config.num_robots = k;
+    const RunResult result = run_exploration(tree, algo, config);
+    benchmark::DoNotOptimize(result.rounds);
+  }
+  state.SetItemsProcessed(state.iterations() * tree.num_nodes());
+}
+BENCHMARK(BM_BfdnFullRun)->Arg(4)->Arg(32)->Arg(128);
+
+void BM_CteFullRun(benchmark::State& state) {
+  const Tree& tree = bench_tree();
+  const auto k = static_cast<std::int32_t>(state.range(0));
+  for (auto _ : state) {
+    CteAlgorithm algo(tree, k);
+    RunConfig config;
+    config.num_robots = k;
+    const RunResult result = run_exploration(tree, algo, config);
+    benchmark::DoNotOptimize(result.rounds);
+  }
+  state.SetItemsProcessed(state.iterations() * tree.num_nodes());
+}
+BENCHMARK(BM_CteFullRun)->Arg(4)->Arg(32);
+
+void BM_DnSwarmFullRun(benchmark::State& state) {
+  const Tree& tree = bench_tree();
+  const auto k = static_cast<std::int32_t>(state.range(0));
+  for (auto _ : state) {
+    DepthNextOnlyAlgorithm algo(k);
+    RunConfig config;
+    config.num_robots = k;
+    const RunResult result = run_exploration(tree, algo, config);
+    benchmark::DoNotOptimize(result.rounds);
+  }
+  state.SetItemsProcessed(state.iterations() * tree.num_nodes());
+}
+BENCHMARK(BM_DnSwarmFullRun)->Arg(32);
+
+void BM_BfdnEllFullRun(benchmark::State& state) {
+  const Tree& tree = bench_tree();
+  const auto ell = static_cast<std::int32_t>(state.range(0));
+  for (auto _ : state) {
+    BfdnEllAlgorithm algo(64, ell);
+    RunConfig config;
+    config.num_robots = 64;
+    const RunResult result = run_exploration(tree, algo, config);
+    benchmark::DoNotOptimize(result.rounds);
+  }
+  state.SetItemsProcessed(state.iterations() * tree.num_nodes());
+}
+BENCHMARK(BM_BfdnEllFullRun)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_UrnGame(benchmark::State& state) {
+  const auto k = static_cast<std::int32_t>(state.range(0));
+  for (auto _ : state) {
+    auto player = make_least_loaded_player();
+    auto adversary = make_greedy_adversary();
+    const GameResult result =
+        play_game(UrnBoard(k, k), *player, *adversary);
+    benchmark::DoNotOptimize(result.steps);
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_UrnGame)->Arg(64)->Arg(512);
+
+void BM_TreeGeneration(benchmark::State& state) {
+  const auto n = state.range(0);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    const Tree tree = make_random_leafy(n, 5, rng);
+    benchmark::DoNotOptimize(tree.num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TreeGeneration)->Arg(1000)->Arg(10000);
+
+void BM_EulerTour(benchmark::State& state) {
+  const Tree& tree = bench_tree();
+  for (auto _ : state) {
+    const auto tour = euler_tour(tree);
+    benchmark::DoNotOptimize(tour.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * tree.num_edges());
+}
+BENCHMARK(BM_EulerTour);
+
+}  // namespace
+}  // namespace bfdn
+
+BENCHMARK_MAIN();

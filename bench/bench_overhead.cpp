@@ -1,0 +1,87 @@
+// E10 — Competitive overhead: T - 2n/k as a function of D, the lens of
+// the paper's comparison with Brass et al. [1]. BFDN's overhead must
+// track D^2 log k; CTE's measured overhead is also shown, and the
+// Brass-et-al guarantee term (D + k)^k is printed (as log10) to expose
+// just how much bigger its additive term is for the same parameters.
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/brass.h"
+#include "baselines/cte.h"
+#include "core/bfdn.h"
+#include "graph/generators.h"
+#include "sim/engine.h"
+#include "support/cli.h"
+#include "support/table.h"
+
+namespace bfdn {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  CliParser cli("bench_overhead",
+                "Competitive overhead T - 2n/k vs depth (BFDN vs CTE vs "
+                "the Brass et al. additive term)");
+  cli.add_int("n", 8000, "tree size");
+  cli.add_int("k", 16, "robots");
+  cli.add_int("reps", 3, "trees per depth (averaged)");
+  cli.add_int("seed", 101010, "tree seed");
+  cli.add_bool("csv", false, "emit CSV");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto n = cli.get_int("n");
+  const auto k = static_cast<std::int32_t>(cli.get_int("k"));
+  const auto reps = cli.get_int("reps");
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  Table table({"D", "bfdn_overhead", "cte_overhead", "brass_overhead",
+               "D^2*logk", "log10_brass_GUARANTEE", "bfdn_rounds",
+               "cte_rounds"});
+  for (const std::int32_t depth : {5, 10, 20, 40, 80, 160}) {
+    double bfdn_overhead = 0;
+    double cte_overhead = 0;
+    double brass_overhead = 0;
+    double bfdn_rounds = 0;
+    double cte_rounds = 0;
+    for (std::int64_t rep = 0; rep < reps; ++rep) {
+      Rng child = rng.split();
+      const Tree tree = make_tree_with_depth(n, depth, child);
+      RunConfig config;
+      config.num_robots = k;
+      BfdnAlgorithm bfdn_algo(k);
+      const RunResult rb = run_exploration(tree, bfdn_algo, config);
+      CteAlgorithm cte_algo(tree, k);
+      const RunResult rc = run_exploration(tree, cte_algo, config);
+      BrassAlgorithm brass_algo(k);
+      const RunResult rr = run_exploration(tree, brass_algo, config);
+      const double base = 2.0 * static_cast<double>(n) / k;
+      bfdn_overhead += static_cast<double>(rb.rounds) - base;
+      cte_overhead += static_cast<double>(rc.rounds) - base;
+      brass_overhead += static_cast<double>(rr.rounds) - base;
+      bfdn_rounds += static_cast<double>(rb.rounds);
+      cte_rounds += static_cast<double>(rc.rounds);
+    }
+    const double scale = 1.0 / static_cast<double>(reps);
+    // log10((D + k)^k) = k log10(D + k): the additive term of [1]'s
+    // GUARANTEE — compare with its measured behaviour two columns left.
+    const double brass_log10 =
+        static_cast<double>(k) * std::log10(static_cast<double>(depth + k));
+    table.add_row(
+        {cell(std::int64_t{depth}), cell(bfdn_overhead * scale, 1),
+         cell(cte_overhead * scale, 1), cell(brass_overhead * scale, 1),
+         cell(static_cast<double>(depth) * depth * std::log(double(k)), 0),
+         cell(brass_log10, 1), cell(bfdn_rounds * scale, 0),
+         cell(cte_rounds * scale, 0)});
+  }
+  std::printf("# E10 (overhead): n = %lld, k = %d; paper claims BFDN "
+              "overhead O(D^2 log k) vs [1]'s O((D+k)^k)\n",
+              static_cast<long long>(n), k);
+  std::fputs(cli.get_bool("csv") ? table.to_csv().c_str()
+                                 : table.to_console().c_str(),
+             stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bfdn
+
+int main(int argc, char** argv) { return bfdn::run(argc, argv); }

@@ -1,0 +1,81 @@
+// E13 (extension, Remark 8) — reactive adversaries that observe the
+// round's selected moves before blocking. Two findings worth a table:
+// (1) blocking the trailing robots is nearly free for the team, while
+// blocking the leading robots lets the adversary hoard the frontier's
+// reservations and starve everyone for ~budget/#victims rounds;
+// (2) completion is still guaranteed for any finite block budget.
+#include <cstdio>
+
+#include "adversarial/reactive.h"
+#include "core/bfdn.h"
+#include "graph/generators.h"
+#include "sim/engine.h"
+#include "support/cli.h"
+#include "support/table.h"
+
+namespace bfdn {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  CliParser cli("bench_reactive",
+                "Remark 8: selection-observing adversaries vs BFDN");
+  cli.add_int("k", 8, "robots");
+  cli.add_int("seed", 131313, "tree seed");
+  cli.add_bool("csv", false, "emit CSV");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto k = static_cast<std::int32_t>(cli.get_int("k"));
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  const Tree tree = make_tree_with_depth(2000, 16, rng);
+
+  Table table({"adversary", "budget", "rounds", "blocks_spent",
+               "complete", "stall_per_block"});
+  struct Entry {
+    std::string label;
+    std::unique_ptr<BudgetedReactiveAdversary> adversary;
+  };
+  std::int64_t baseline_rounds = 0;
+  for (std::int64_t budget : {0, 500, 2000, 8000}) {
+    std::vector<Entry> entries;
+    entries.push_back({"discovery-blocker",
+                       make_discovery_blocker(budget)});
+    entries.push_back({"targeted(lead 0,1)",
+                       make_targeted_blocker(budget, {0, 1})});
+    entries.push_back(
+        {"targeted(trail)",
+         make_targeted_blocker(budget, {k - 2, k - 1})});
+    entries.push_back({"random(p=0.3)",
+                       make_random_blocker(budget, 0.3, 77)});
+    for (auto& [label, adversary] : entries) {
+      BfdnAlgorithm algo(k);
+      RunConfig config;
+      config.num_robots = k;
+      config.reactive = adversary.get();
+      const RunResult result = run_exploration(tree, algo, config);
+      if (budget == 0 && baseline_rounds == 0) {
+        baseline_rounds = result.rounds;
+      }
+      const double stall =
+          adversary->blocks_spent() > 0
+              ? static_cast<double>(result.rounds - baseline_rounds) /
+                    static_cast<double>(adversary->blocks_spent())
+              : 0.0;
+      table.add_row({label, cell(budget), cell(result.rounds),
+                     cell(adversary->blocks_spent()),
+                     cell_bool(result.complete), cell(stall, 3)});
+    }
+  }
+  std::printf("# E13 (Remark 8 extension): %s, k = %d; baseline "
+              "(budget 0) rounds = %lld\n",
+              tree.summary().c_str(), k,
+              static_cast<long long>(baseline_rounds));
+  std::fputs(cli.get_bool("csv") ? table.to_csv().c_str()
+                                 : table.to_console().c_str(),
+             stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bfdn
+
+int main(int argc, char** argv) { return bfdn::run(argc, argv); }

@@ -1,0 +1,77 @@
+// E9 — Theorem 10: the recursive BFDN_l on deep trees. Sweeps ell over
+// trees whose depth ranges from sqrt(n)-ish to near-path, comparing
+// measured rounds and the Theorem 10 bound against plain BFDN
+// (Theorem 1). Shape: for D >> sqrt(n/k) the ell >= 2 bound undercuts
+// the ell = 1 / plain bound, and measured rounds stay below their
+// respective bounds everywhere.
+#include <cstdio>
+
+#include "core/bfdn.h"
+#include "graph/generators.h"
+#include "recursive/bfdn_ell.h"
+#include "sim/engine.h"
+#include "support/cli.h"
+#include "support/table.h"
+
+namespace bfdn {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  CliParser cli("bench_recursive",
+                "Theorem 10: BFDN_l vs BFDN on trees of growing depth");
+  cli.add_int("n", 6000, "tree size");
+  cli.add_int("k", 64, "robots");
+  cli.add_int("seed", 90909, "tree seed");
+  cli.add_bool("csv", false, "emit CSV");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto n = cli.get_int("n");
+  const auto k = static_cast<std::int32_t>(cli.get_int("k"));
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  Table table({"D", "algo", "rounds", "bound", "ratio", "phases"});
+  for (const std::int32_t depth :
+       {20, 80, 300, 1000, static_cast<std::int32_t>(n / 2)}) {
+    Rng child = rng.split();
+    const Tree tree = make_tree_with_depth(n, depth, child);
+    RunConfig config;
+    config.num_robots = k;
+
+    BfdnAlgorithm plain(k);
+    const RunResult r_plain = run_exploration(tree, plain, config);
+    const double bound_plain = theorem1_bound(tree.num_nodes(), depth,
+                                              tree.max_degree(), k);
+    table.add_row({cell(std::int64_t{depth}), "BFDN", cell(r_plain.rounds),
+                   cell(bound_plain, 0),
+                   cell(static_cast<double>(r_plain.rounds) / bound_plain,
+                        3),
+                   "-"});
+    for (std::int32_t ell : {1, 2, 3}) {
+      BfdnEllAlgorithm algo(k, ell);
+      const RunResult result = run_exploration(tree, algo, config);
+      if (!result.complete) {
+        std::fprintf(stderr, "FATAL: BFDN_%d incomplete at D=%d\n", ell,
+                     depth);
+        return 1;
+      }
+      const double bound = theorem10_bound(tree.num_nodes(), depth,
+                                           tree.max_degree(), k, ell);
+      table.add_row(
+          {cell(std::int64_t{depth}), "BFDN_" + std::to_string(ell),
+           cell(result.rounds), cell(bound, 0),
+           cell(static_cast<double>(result.rounds) / bound, 3),
+           cell(std::int64_t{algo.phases_started()})});
+    }
+  }
+  std::printf("# E9 (Theorem 10): n = %lld, k = %d\n",
+              static_cast<long long>(n), k);
+  std::fputs(cli.get_bool("csv") ? table.to_csv().c_str()
+                                 : table.to_console().c_str(),
+             stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bfdn
+
+int main(int argc, char** argv) { return bfdn::run(argc, argv); }

@@ -1,0 +1,79 @@
+// E1 — Theorem 1 validation: measured BFDN rounds against the
+// 2n/k + D^2(min(log k, log Delta) + 3) guarantee, the offline DFS-split
+// schedule and the offline lower bound max(2n/k, 2D), across the tree
+// zoo and a sweep of robot counts.
+//
+// The paper is theory-only; this bench produces the table its Theorem 1
+// implies (see EXPERIMENTS.md, E1). Shape to check: measured <= bound on
+// every row, and measured within a small factor of the offline lower
+// bound whenever D^2 log k << n/k.
+#include <cstdio>
+
+#include "baselines/offline.h"
+#include "core/bfdn.h"
+#include "graph/generators.h"
+#include "sim/engine.h"
+#include "support/cli.h"
+#include "support/table.h"
+
+namespace bfdn {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  CliParser cli("bench_theorem1",
+                "Theorem 1: BFDN runtime vs bound and offline references");
+  cli.add_int("scale", 2000, "approximate node count of the zoo trees");
+  cli.add_int("seed", 20240623, "zoo generation seed");
+  cli.add_bool("csv", false, "emit CSV instead of an aligned table");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto scale = cli.get_int("scale");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  Table table({"tree", "n", "D", "Delta", "k", "rounds", "shortcut",
+               "bound", "ratio", "offline_split", "lower_bound",
+               "vs_lower"});
+  for (const auto& [name, tree] : make_tree_zoo(scale, seed)) {
+    for (std::int32_t k : {2, 8, 32, 128}) {
+      RunConfig config;
+      config.num_robots = k;
+      BfdnAlgorithm algo(k);
+      const RunResult result = run_exploration(tree, algo, config);
+      BfdnOptions shortcut_options;
+      shortcut_options.shortcut_reanchor = true;
+      BfdnAlgorithm shortcut_algo(k, shortcut_options);
+      const RunResult shortcut_result =
+          run_exploration(tree, shortcut_algo, config);
+      if (!result.complete || !result.all_at_root ||
+          !shortcut_result.complete) {
+        std::fprintf(stderr, "FATAL: %s k=%d did not complete\n",
+                     name.c_str(), k);
+        return 1;
+      }
+      const double bound = theorem1_bound(tree.num_nodes(), tree.depth(),
+                                          tree.max_degree(), k);
+      const double lower =
+          offline_lower_bound(tree.num_nodes(), tree.depth(), k);
+      const OfflineSplitPlan plan = offline_dfs_split(tree, k);
+      table.add_row({name, cell(tree.num_nodes()),
+                     cell(std::int64_t{tree.depth()}),
+                     cell(std::int64_t{tree.max_degree()}), cell(k),
+                     cell(result.rounds), cell(shortcut_result.rounds),
+                     cell(bound, 0),
+                     cell(static_cast<double>(result.rounds) / bound, 3),
+                     cell(plan.rounds), cell(lower, 0),
+                     cell(static_cast<double>(result.rounds) / lower, 2)});
+    }
+  }
+  std::fputs("# E1 (Theorem 1): BFDN measured rounds vs guarantee\n",
+             stdout);
+  std::fputs(cli.get_bool("csv") ? table.to_csv().c_str()
+                                 : table.to_console().c_str(),
+             stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bfdn
+
+int main(int argc, char** argv) { return bfdn::run(argc, argv); }

@@ -1,0 +1,63 @@
+// E6 — Proposition 6: BFDN in the restricted memory/communication model
+// (write-read whiteboards + central planner at the root). The table
+// compares the write-read implementation's rounds with the
+// complete-communication BFDN and the shared Theorem-1 bound, and
+// reports the robots' memory high-water mark against the model's
+// Delta + D log2(Delta) allowance.
+#include <cstdio>
+
+#include "core/bfdn.h"
+#include "distributed/writeread.h"
+#include "graph/generators.h"
+#include "sim/engine.h"
+#include "support/cli.h"
+#include "support/table.h"
+
+namespace bfdn {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  CliParser cli("bench_writeread",
+                "Proposition 6: write-read BFDN vs complete-communication "
+                "BFDN vs the shared bound");
+  cli.add_int("scale", 1500, "approximate node count of the zoo trees");
+  cli.add_int("seed", 60606, "zoo generation seed");
+  cli.add_bool("csv", false, "emit CSV");
+  if (!cli.parse(argc, argv)) return 0;
+
+  Table table({"tree", "n", "D", "k", "wr_rounds", "cc_rounds", "bound",
+               "wr/bound", "mem_bits", "mem_allowance"});
+  for (const auto& [name, tree] :
+       make_tree_zoo(cli.get_int("scale"),
+                     static_cast<std::uint64_t>(cli.get_int("seed")))) {
+    for (std::int32_t k : {4, 16, 64}) {
+      const WriteReadResult wr = run_write_read_bfdn(tree, k);
+      BfdnAlgorithm algo(k);
+      RunConfig config;
+      config.num_robots = k;
+      const RunResult cc = run_exploration(tree, algo, config);
+      if (!wr.complete || !wr.all_at_root || !cc.complete) {
+        std::fprintf(stderr, "FATAL: %s k=%d incomplete\n", name.c_str(),
+                     k);
+        return 1;
+      }
+      const double bound = theorem1_bound(tree.num_nodes(), tree.depth(),
+                                          tree.max_degree(), k);
+      table.add_row(
+          {name, cell(tree.num_nodes()), cell(std::int64_t{tree.depth()}),
+           cell(k), cell(wr.rounds), cell(cc.rounds), cell(bound, 0),
+           cell(static_cast<double>(wr.rounds) / bound, 3),
+           cell(wr.max_robot_memory_bits), cell(wr.memory_allowance_bits)});
+    }
+  }
+  std::fputs("# E6 (Proposition 6): write-read BFDN\n", stdout);
+  std::fputs(cli.get_bool("csv") ? table.to_csv().c_str()
+                                 : table.to_console().c_str(),
+             stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bfdn
+
+int main(int argc, char** argv) { return bfdn::run(argc, argv); }

@@ -1,0 +1,79 @@
+// Algorithm shootout: run every exploration algorithm in the library on
+// one instance (generated or loaded) and print a ranked comparison —
+// the quickest way to see how the paper's landscape plays out on a tree
+// you care about.
+//
+//   $ ./algorithm_shootout --nodes 3000 --depth 60 --k 16
+//   $ ./bfdn generate --family comb --arms 30 --depth 30 --out c.txt
+//     && ./algorithm_shootout --tree c.txt --k 16
+#include <algorithm>
+#include <cstdio>
+
+#include "exp/campaign.h"
+#include "graph/generators.h"
+#include "graph/tree_io.h"
+#include "sim/engine.h"
+#include "support/cli.h"
+#include "support/table.h"
+
+namespace bfdn {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  CliParser cli("algorithm_shootout",
+                "compare every algorithm on one tree instance");
+  cli.add_string("tree", "", "tree file (empty: generate)");
+  cli.add_int("nodes", 3000, "generated tree size");
+  cli.add_int("depth", 60, "generated tree depth");
+  cli.add_int("seed", 12, "generation seed");
+  cli.add_int("k", 16, "team size");
+  if (!cli.parse(argc, argv)) return 0;
+
+  Tree tree = [&] {
+    const std::string path = cli.get_string("tree");
+    if (!path.empty()) return load_tree(path);
+    Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+    return make_tree_with_depth(
+        cli.get_int("nodes"),
+        static_cast<std::int32_t>(cli.get_int("depth")), rng);
+  }();
+  const auto k = static_cast<std::int32_t>(cli.get_int("k"));
+  std::printf("instance: %s, k = %d\n", tree.summary().c_str(), k);
+  std::printf("Theorem 1 bound: %.0f; offline lower bound: %.0f\n\n",
+              theorem1_bound(tree.num_nodes(), tree.depth(),
+                             tree.max_degree(), k),
+              offline_lower_bound(tree.num_nodes(), tree.depth(), k));
+
+  Campaign campaign;
+  campaign.add_tree("instance", std::move(tree));
+  campaign.add_team_size(k);
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kBfdn, AlgorithmKind::kBfdnShortcut,
+        AlgorithmKind::kCte, AlgorithmKind::kDnSwarm,
+        AlgorithmKind::kBfdnEll2, AlgorithmKind::kBfdnEll3,
+        AlgorithmKind::kBfsLevels, AlgorithmKind::kBrass}) {
+    campaign.add_algorithm(kind);
+  }
+  auto results = campaign.run();
+  std::sort(results.begin(), results.end(),
+            [](const CellResult& a, const CellResult& b) {
+              return a.rounds < b.rounds;
+            });
+
+  Table table({"rank", "algorithm", "rounds", "vs_lower", "overhead",
+               "complete"});
+  std::int64_t rank = 1;
+  for (const CellResult& result : results) {
+    table.add_row({cell(rank++), algorithm_kind_name(result.algorithm),
+                   cell(result.rounds), cell(result.ratio_vs_lower, 2),
+                   cell(result.overhead, 0),
+                   cell_bool(result.complete)});
+  }
+  std::fputs(table.to_console().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bfdn
+
+int main(int argc, char** argv) { return bfdn::run(argc, argv); }

@@ -1,0 +1,81 @@
+// Search and rescue under unreliable hardware: a team sweeps a branching
+// cave system while an adversarial environment (mud, radio loss, stuck
+// tracks) freezes arbitrary robots at arbitrary times — the break-down
+// model of Section 4.2 (Proposition 7).
+//
+//   $ ./search_and_rescue --robots 10 --availability 0.6
+//
+// The cave is a deep comb-like tree; the schedule blocks each robot
+// independently per round with the given unavailability. The example
+// reports how much *allowed* movement the team consumed before full
+// coverage, against Proposition 7's 2n/k + D^2(log k + 3) budget.
+#include <cstdio>
+
+#include "adversarial/schedules.h"
+#include "core/bfdn.h"
+#include "graph/generators.h"
+#include "sim/engine.h"
+#include "support/cli.h"
+
+namespace bfdn {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  CliParser cli("search_and_rescue",
+                "cave sweep with randomly failing robots");
+  cli.add_int("robots", 10, "team size");
+  cli.add_int("galleries", 40, "main-gallery length (spine nodes)");
+  cli.add_int("side", 25, "side-passage length per gallery node");
+  cli.add_double("availability", 0.6,
+                 "per-robot per-round probability of being operational");
+  cli.add_int("seed", 99, "schedule seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto k = static_cast<std::int32_t>(cli.get_int("robots"));
+  const double availability = cli.get_double("availability");
+  const Tree cave =
+      make_comb(static_cast<std::int32_t>(cli.get_int("galleries")),
+                static_cast<std::int32_t>(cli.get_int("side")));
+  std::printf("cave system : %s\n", cave.summary().c_str());
+
+  const double budget =
+      proposition7_bound(cave.num_nodes(), cave.depth(), k);
+  const auto horizon = static_cast<std::int64_t>(
+                           budget * static_cast<double>(k) /
+                           std::max(availability, 0.05) * 3) +
+                       64;
+  auto schedule = make_random_schedule(
+      horizon, k, availability,
+      static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  BfdnAlgorithm algorithm(k);
+  RunConfig config;
+  config.num_robots = k;
+  config.schedule = schedule.get();
+  config.max_rounds = horizon + 8;
+  const RunResult result = run_exploration(cave, algorithm, config);
+
+  std::int64_t moves = 0;
+  for (auto m : result.robot_moves) moves += m;
+  std::printf("team        : %d robots, %.0f%% per-round availability\n",
+              k, availability * 100.0);
+  std::printf("rounds      : %lld wall-clock\n",
+              static_cast<long long>(result.rounds));
+  std::printf("coverage    : %s\n",
+              result.complete ? "every passage visited"
+                              : "INCOMPLETE (schedule exhausted)");
+  std::printf("moves       : %lld performed out of %lld allowed "
+              "(A(M) used = %.1f)\n",
+              static_cast<long long>(moves),
+              static_cast<long long>(schedule->granted_moves()),
+              schedule->average_allowed());
+  std::printf("Prop. 7     : budget %.1f allowed-distance per robot; "
+              "used/budget = %.3f\n",
+              budget, schedule->average_allowed() / budget);
+  return result.complete ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bfdn
+
+int main(int argc, char** argv) { return bfdn::run(argc, argv); }

@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Rebuilds everything, runs the full test suite and every experiment
+# bench, and collects the outputs under results/.
+set -eu
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+mkdir -p results
+ctest --test-dir build 2>&1 | tee results/tests.txt
+
+for bench in build/bench/*; do
+  name=$(basename "$bench")
+  echo "== $name =="
+  "$bench" | tee "results/$name.txt"
+done
+
+echo "All outputs collected under results/."

@@ -1,0 +1,110 @@
+#include "adversarial/reactive.h"
+
+#include "support/check.h"
+
+namespace bfdn {
+
+BudgetedReactiveAdversary::BudgetedReactiveAdversary(std::int64_t budget)
+    : budget_(budget) {
+  BFDN_REQUIRE(budget >= 0, "budget >= 0");
+}
+
+std::vector<char> BudgetedReactiveAdversary::choose_blocked(
+    std::int64_t round, const std::vector<ObservedMove>& observed) {
+  std::vector<char> blocked(observed.size(), 0);
+  if (budget_ <= 0) return blocked;
+  const std::vector<char> wanted = choose_impl(round, observed);
+  BFDN_CHECK(wanted.size() == observed.size(), "block mask size");
+  for (std::size_t i = 0; i < wanted.size(); ++i) {
+    if (!wanted[i]) continue;
+    if (!observed[i].moves) continue;  // blocking a stayer is free: skip
+    if (budget_ <= 0) break;
+    blocked[i] = 1;
+    --budget_;
+    ++spent_;
+  }
+  return blocked;
+}
+
+namespace {
+
+class DiscoveryBlocker : public BudgetedReactiveAdversary {
+ public:
+  using BudgetedReactiveAdversary::BudgetedReactiveAdversary;
+  std::string name() const override { return "discovery-blocker"; }
+
+ protected:
+  std::vector<char> choose_impl(
+      std::int64_t, const std::vector<ObservedMove>& observed) override {
+    std::vector<char> out(observed.size(), 0);
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+      out[i] = observed[i].takes_dangling ? 1 : 0;
+    }
+    return out;
+  }
+};
+
+class TargetedBlocker : public BudgetedReactiveAdversary {
+ public:
+  TargetedBlocker(std::int64_t budget, std::vector<std::int32_t> victims)
+      : BudgetedReactiveAdversary(budget), victims_(std::move(victims)) {}
+  std::string name() const override { return "targeted-blocker"; }
+
+ protected:
+  std::vector<char> choose_impl(
+      std::int64_t, const std::vector<ObservedMove>& observed) override {
+    std::vector<char> out(observed.size(), 0);
+    for (std::int32_t victim : victims_) {
+      if (victim >= 0 &&
+          static_cast<std::size_t>(victim) < observed.size()) {
+        out[static_cast<std::size_t>(victim)] = 1;
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::int32_t> victims_;
+};
+
+class RandomBlocker : public BudgetedReactiveAdversary {
+ public:
+  RandomBlocker(std::int64_t budget, double p, std::uint64_t seed)
+      : BudgetedReactiveAdversary(budget), p_(p), rng_(seed) {
+    BFDN_REQUIRE(p >= 0.0 && p <= 1.0, "p in [0, 1]");
+  }
+  std::string name() const override { return "random-blocker"; }
+
+ protected:
+  std::vector<char> choose_impl(
+      std::int64_t, const std::vector<ObservedMove>& observed) override {
+    std::vector<char> out(observed.size(), 0);
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+      if (observed[i].moves && rng_.next_bool(p_)) out[i] = 1;
+    }
+    return out;
+  }
+
+ private:
+  double p_;
+  Rng rng_;
+};
+
+}  // namespace
+
+std::unique_ptr<BudgetedReactiveAdversary> make_discovery_blocker(
+    std::int64_t budget) {
+  return std::make_unique<DiscoveryBlocker>(budget);
+}
+
+std::unique_ptr<BudgetedReactiveAdversary> make_targeted_blocker(
+    std::int64_t budget, std::vector<std::int32_t> victims) {
+  return std::make_unique<TargetedBlocker>(budget, std::move(victims));
+}
+
+std::unique_ptr<BudgetedReactiveAdversary> make_random_blocker(
+    std::int64_t budget, double p, std::uint64_t seed) {
+  return std::make_unique<RandomBlocker>(budget, p, seed);
+}
+
+}  // namespace bfdn

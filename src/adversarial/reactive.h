@@ -1,0 +1,60 @@
+// Reactive adversaries (Remark 8): they see the selected moves of the
+// round before choosing which robots to block. All implementations
+// carry a finite block budget — once it is spent they never block
+// again, so every run eventually finishes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/engine.h"
+#include "support/rng.h"
+
+namespace bfdn {
+
+/// Base with budget accounting shared by the concrete adversaries.
+class BudgetedReactiveAdversary : public ReactiveAdversary {
+ public:
+  explicit BudgetedReactiveAdversary(std::int64_t budget);
+
+  std::vector<char> choose_blocked(
+      std::int64_t round,
+      const std::vector<ObservedMove>& observed) final;
+
+  virtual std::string name() const = 0;
+  std::int64_t budget_left() const { return budget_; }
+  std::int64_t blocks_spent() const { return spent_; }
+
+ protected:
+  /// Flags robots to block; the base trims the result to the budget
+  /// (robots with lower index keep their block when trimming).
+  virtual std::vector<char> choose_impl(
+      std::int64_t round, const std::vector<ObservedMove>& observed) = 0;
+
+ private:
+  std::int64_t budget_;
+  std::int64_t spent_ = 0;
+};
+
+/// Blocks every robot that is about to traverse a dangling edge — the
+/// meanest information-adaptive move: it stalls discovery itself.
+std::unique_ptr<BudgetedReactiveAdversary> make_discovery_blocker(
+    std::int64_t budget);
+
+/// Persistently blocks the given robots. Blocking early-indexed robots
+/// is much nastier than late-indexed ones: the sequential selection
+/// order means low-index robots reserve dangling edges first, so a
+/// reactive adversary can let them hoard the whole frontier and then
+/// freeze them, starving the unblocked robots — a starvation pattern
+/// that the paper's Section 4.2 modification ("blocked robots take no
+/// part in the assignment") rules out for oblivious schedules but that
+/// Remark 8's reactive adversary brings back. See the reactive tests.
+std::unique_ptr<BudgetedReactiveAdversary> make_targeted_blocker(
+    std::int64_t budget, std::vector<std::int32_t> victims);
+
+/// Blocks each moving robot independently with probability p.
+std::unique_ptr<BudgetedReactiveAdversary> make_random_blocker(
+    std::int64_t budget, double p, std::uint64_t seed);
+
+}  // namespace bfdn

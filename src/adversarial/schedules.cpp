@@ -1,0 +1,154 @@
+#include "adversarial/schedules.h"
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace bfdn {
+
+FiniteSchedule::FiniteSchedule(std::int64_t horizon,
+                               std::int32_t num_robots)
+    : horizon_(horizon), num_robots_(num_robots) {
+  BFDN_REQUIRE(horizon >= 0, "horizon >= 0");
+  BFDN_REQUIRE(num_robots >= 1, "k >= 1");
+}
+
+bool FiniteSchedule::allowed(std::int64_t t, std::int32_t robot) {
+  if (t >= horizon_) return false;
+  const bool ok = allowed_impl(t, robot);
+  if (ok) ++granted_;
+  return ok;
+}
+
+bool FiniteSchedule::exhausted(std::int64_t t) const {
+  return t >= horizon_;
+}
+
+double FiniteSchedule::average_allowed() const {
+  return static_cast<double>(granted_) / static_cast<double>(num_robots_);
+}
+
+namespace {
+
+class FullSchedule : public FiniteSchedule {
+ public:
+  using FiniteSchedule::FiniteSchedule;
+  std::string name() const override { return "full"; }
+
+ protected:
+  bool allowed_impl(std::int64_t, std::int32_t) override { return true; }
+};
+
+class RoundRobinSchedule : public FiniteSchedule {
+ public:
+  using FiniteSchedule::FiniteSchedule;
+  std::string name() const override { return "round-robin"; }
+
+ protected:
+  bool allowed_impl(std::int64_t t, std::int32_t robot) override {
+    return t % num_robots() == robot;
+  }
+};
+
+class RandomSchedule : public FiniteSchedule {
+ public:
+  RandomSchedule(std::int64_t horizon, std::int32_t k, double p,
+                 std::uint64_t seed)
+      : FiniteSchedule(horizon, k), p_(p), seed_(seed) {
+    BFDN_REQUIRE(p > 0.0 && p <= 1.0, "p in (0, 1]");
+  }
+  std::string name() const override { return "random"; }
+
+ protected:
+  bool allowed_impl(std::int64_t t, std::int32_t robot) override {
+    // Stateless hash so queries are order-independent.
+    std::uint64_t state = seed_ ^ (static_cast<std::uint64_t>(t) << 20) ^
+                          static_cast<std::uint64_t>(robot);
+    const std::uint64_t draw = splitmix64(state);
+    return static_cast<double>(draw >> 11) * 0x1.0p-53 < p_;
+  }
+
+ private:
+  double p_;
+  std::uint64_t seed_;
+};
+
+class BurstSchedule : public FiniteSchedule {
+ public:
+  BurstSchedule(std::int64_t horizon, std::int32_t k, std::int64_t burst)
+      : FiniteSchedule(horizon, k), burst_(burst) {
+    BFDN_REQUIRE(burst >= 1, "burst >= 1");
+  }
+  std::string name() const override { return "burst"; }
+
+ protected:
+  bool allowed_impl(std::int64_t t, std::int32_t) override {
+    return (t / burst_) % 2 == 0;
+  }
+
+ private:
+  std::int64_t burst_;
+};
+
+class RollingOutageSchedule : public FiniteSchedule {
+ public:
+  RollingOutageSchedule(std::int64_t horizon, std::int32_t k,
+                        std::int64_t period)
+      : FiniteSchedule(horizon, k), period_(period) {
+    BFDN_REQUIRE(period >= 1, "period >= 1");
+  }
+  std::string name() const override { return "rolling-outage"; }
+
+ protected:
+  bool allowed_impl(std::int64_t t, std::int32_t robot) override {
+    const std::int32_t k = num_robots();
+    const std::int32_t window = k / 2;
+    if (window == 0) return true;
+    const auto start = static_cast<std::int32_t>((t / period_) % k);
+    // Blocked iff robot is in [start, start + window) cyclically.
+    const std::int32_t offset = (robot - start % k + k) % k;
+    return offset >= window;
+  }
+
+ private:
+  std::int64_t period_;
+};
+
+}  // namespace
+
+std::unique_ptr<FiniteSchedule> make_full_schedule(std::int64_t horizon,
+                                                   std::int32_t k) {
+  return std::make_unique<FullSchedule>(horizon, k);
+}
+
+std::unique_ptr<FiniteSchedule> make_round_robin_schedule(
+    std::int64_t horizon, std::int32_t k) {
+  return std::make_unique<RoundRobinSchedule>(horizon, k);
+}
+
+std::unique_ptr<FiniteSchedule> make_random_schedule(std::int64_t horizon,
+                                                     std::int32_t k,
+                                                     double p,
+                                                     std::uint64_t seed) {
+  return std::make_unique<RandomSchedule>(horizon, k, p, seed);
+}
+
+std::unique_ptr<FiniteSchedule> make_burst_schedule(std::int64_t horizon,
+                                                    std::int32_t k,
+                                                    std::int64_t burst) {
+  return std::make_unique<BurstSchedule>(horizon, k, burst);
+}
+
+std::unique_ptr<FiniteSchedule> make_rolling_outage_schedule(
+    std::int64_t horizon, std::int32_t k, std::int64_t period) {
+  return std::make_unique<RollingOutageSchedule>(horizon, k, period);
+}
+
+double proposition7_bound(std::int64_t n, std::int32_t depth,
+                          std::int32_t k) {
+  return 2.0 * static_cast<double>(n) / static_cast<double>(k) +
+         static_cast<double>(depth) * static_cast<double>(depth) *
+             (std::log(std::max(1.0, static_cast<double>(k))) + 3.0);
+}
+
+}  // namespace bfdn

@@ -1,0 +1,79 @@
+// Break-down schedules M(t, i) for the adversarial setting of Section
+// 4.2: at each round the adversary decides which robots may move. All
+// schedules here have finitely many allowed moves, as the model demands.
+//
+// Proposition 7: if the average allowed distance A(M) = (1/k) sum M(t,i)
+// reaches 2n/k + D^2(log k + 3), the Section-4.2 variant of BFDN has
+// visited every edge.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/engine.h"
+#include "support/rng.h"
+
+namespace bfdn {
+
+/// A BreakdownSchedule with bookkeeping shared by all concrete
+/// adversaries: a horizon after which everything is blocked, and a count
+/// of allowed robot-moves (to compute A(M)).
+class FiniteSchedule : public BreakdownSchedule {
+ public:
+  FiniteSchedule(std::int64_t horizon, std::int32_t num_robots);
+
+  bool allowed(std::int64_t t, std::int32_t robot) final;
+  bool exhausted(std::int64_t t) const final;
+
+  virtual std::string name() const = 0;
+
+  std::int64_t horizon() const { return horizon_; }
+  std::int32_t num_robots() const { return num_robots_; }
+  /// Allowed robot-moves granted so far (queried rounds only).
+  std::int64_t granted_moves() const { return granted_; }
+  /// A(M) over the queried prefix: granted / k.
+  double average_allowed() const;
+
+ protected:
+  virtual bool allowed_impl(std::int64_t t, std::int32_t robot) = 0;
+
+ private:
+  std::int64_t horizon_;
+  std::int32_t num_robots_;
+  std::int64_t granted_ = 0;
+};
+
+/// Every robot always allowed until the horizon.
+std::unique_ptr<FiniteSchedule> make_full_schedule(std::int64_t horizon,
+                                                   std::int32_t k);
+
+/// Robot i moves only on rounds with t % k == i (staggered single-robot
+/// progress; the slowest useful schedule).
+std::unique_ptr<FiniteSchedule> make_round_robin_schedule(
+    std::int64_t horizon, std::int32_t k);
+
+/// Each (t, i) allowed independently with probability p.
+std::unique_ptr<FiniteSchedule> make_random_schedule(std::int64_t horizon,
+                                                     std::int32_t k,
+                                                     double p,
+                                                     std::uint64_t seed);
+
+/// Alternates bursts: `burst` rounds all-allowed, then `burst` rounds
+/// all-blocked.
+std::unique_ptr<FiniteSchedule> make_burst_schedule(std::int64_t horizon,
+                                                    std::int32_t k,
+                                                    std::int64_t burst);
+
+/// Blocks a moving window of half the robots, shifting every `period`
+/// rounds — models correlated failures of robot groups.
+std::unique_ptr<FiniteSchedule> make_rolling_outage_schedule(
+    std::int64_t horizon, std::int32_t k, std::int64_t period);
+
+/// Proposition 7 right-hand side: 2n/k + D^2 (log k + 3). Note the
+/// log(Delta) branch is NOT available under break-downs (the adversary
+/// can force all k robots onto one anchor).
+double proposition7_bound(std::int64_t n, std::int32_t depth,
+                          std::int32_t k);
+
+}  // namespace bfdn

@@ -1,0 +1,48 @@
+// BFS-level waves — the "simple algorithm" behind the paper's open-
+// directions remark that k >= n/D robots explore any tree in O(D^2)
+// rounds (attributed to Ortolf-Schindelhauer [13]).
+//
+// The tree is explored stratum by stratum. For the current working
+// depth d, idle robots at the root are assigned (one each) to distinct
+// open nodes at depth d, walk down, traverse one dangling edge, and
+// come straight home; when a level has more dangling edges than robots
+// it takes several waves. Each wave costs O(d), a level with w_d
+// dangling edges costs ceil(w_d / k) * O(d) and the total is
+// O(D^2 + n D / k) — O(D^2) once k >= n/D.
+//
+// Unlike BFDN, a robot never does more than one discovery per trip, so
+// the 2n/k term carries a D factor; the algorithm exists here as the
+// reference point for E14 and as a contrast in the shootouts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace bfdn {
+
+class BfsLevelsAlgorithm : public Algorithm {
+ public:
+  explicit BfsLevelsAlgorithm(std::int32_t num_robots);
+
+  std::string name() const override { return "BFS-levels"; }
+  void begin(const ExplorationView& view) override;
+  void select_moves(const ExplorationView& view,
+                    MoveSelector& selector) override;
+
+ private:
+  enum class Phase : std::uint8_t { kIdle, kOutbound, kProbe, kHome };
+
+  std::int32_t num_robots_;
+  std::vector<Phase> phases_;
+  std::vector<NodeId> targets_;  // assigned open node per robot
+};
+
+/// The open-directions cost form: c * (D^2 + n*D/k).
+double bfs_levels_cost_model(std::int64_t n, std::int32_t depth,
+                             std::int32_t k);
+
+}  // namespace bfdn

@@ -1,0 +1,109 @@
+#include "baselines/brass.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/check.h"
+
+namespace bfdn {
+
+BrassAlgorithm::BrassAlgorithm(std::int32_t num_robots)
+    : num_robots_(num_robots) {
+  BFDN_REQUIRE(num_robots >= 1, "need at least one robot");
+}
+
+void BrassAlgorithm::begin(const ExplorationView&) {
+  entries_.clear();
+  finished_.clear();
+}
+
+void BrassAlgorithm::ensure_size(NodeId v) {
+  const auto need = static_cast<std::size_t>(v) + 1;
+  if (entries_.size() < need) {
+    entries_.resize(need, 0);
+    finished_.resize(need, 0);
+  }
+}
+
+void BrassAlgorithm::select_moves(const ExplorationView& view,
+                                  MoveSelector& selector) {
+  // Per-round: entries added this round (so simultaneous robots spread)
+  // and dangling reservations already made at each node, with their
+  // tokens, so a second robot preferring a taken edge can join it.
+  std::map<NodeId, std::int64_t> round_entries;
+  std::map<NodeId, std::vector<NodeId>> round_tokens;
+
+  for (std::int32_t i = 0; i < num_robots_; ++i) {
+    if (!view.can_move(i)) continue;
+    const NodeId pos = view.robot_pos(i);
+    ensure_size(pos);
+
+    // Candidate with the fewest entries: any unreserved dangling edge
+    // counts 0 entries (+ this round's reservations at pos), explored
+    // unfinished children count their cumulative entries.
+    NodeId best_child = kInvalidNode;
+    std::int64_t best_score = -1;
+    for (const NodeId child : view.explored_children(pos)) {
+      ensure_size(child);
+      if (finished_[static_cast<std::size_t>(child)]) continue;
+      const std::int64_t score =
+          entries_[static_cast<std::size_t>(child)] +
+          round_entries[child];
+      if (best_score < 0 || score < best_score) {
+        best_child = child;
+        best_score = score;
+      }
+    }
+    const bool fresh_available = view.has_unreserved_dangling(pos);
+    const std::vector<NodeId>& taken = round_tokens[pos];
+
+    if (fresh_available && (best_score != 0 || best_child == kInvalidNode)) {
+      const NodeId token = selector.try_take_dangling(i);
+      BFDN_CHECK(token != kInvalidNode, "dangling availability raced");
+      round_tokens[pos].push_back(token);
+      round_entries[token] += 1;
+      continue;
+    }
+    if (best_child == kInvalidNode && !taken.empty()) {
+      // All children finished or unknown, no fresh edge left, but a
+      // colleague reserved one this round: share it (group move).
+      const NodeId token = taken.front();
+      selector.join_dangling(i, token);
+      round_entries[token] += 1;
+      continue;
+    }
+    if (best_child != kInvalidNode) {
+      selector.move_down(i, best_child);
+      round_entries[best_child] += 1;
+      ensure_size(best_child);
+      entries_[static_cast<std::size_t>(best_child)] += 1;
+      continue;
+    }
+    // No candidate at all: the subtree under pos is fully explored.
+    if (!view.has_unexplored_child_edge(pos)) {
+      bool all_children_finished = true;
+      for (const NodeId child : view.explored_children(pos)) {
+        ensure_size(child);
+        if (!finished_[static_cast<std::size_t>(child)]) {
+          all_children_finished = false;
+          break;
+        }
+      }
+      if (all_children_finished) {
+        finished_[static_cast<std::size_t>(pos)] = 1;
+      }
+    }
+    selector.move_up(i);  // ⊥ at the root
+  }
+
+  // Cumulative entry counters for the dangling edges taken this round
+  // (their ids become valid child ids once the move commits).
+  for (const auto& [node, tokens] : round_tokens) {
+    for (const NodeId token : tokens) {
+      ensure_size(token);
+      entries_[static_cast<std::size_t>(token)] += 1;
+    }
+  }
+}
+
+}  // namespace bfdn

@@ -1,0 +1,123 @@
+#include "baselines/cte.h"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/algorithms.h"
+#include "support/check.h"
+
+namespace bfdn {
+
+CteAlgorithm::CteAlgorithm(const Tree& tree, std::int32_t num_robots)
+    : num_robots_(num_robots) {
+  BFDN_REQUIRE(num_robots >= 1, "need at least one robot");
+  const auto n = static_cast<std::size_t>(tree.num_nodes());
+  in_time_.assign(n, 0);
+  out_time_.assign(n, 0);
+  std::int64_t clock = 0;
+  for (NodeId v : preorder(tree)) {
+    in_time_[static_cast<std::size_t>(v)] = clock++;
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    out_time_[v] = in_time_[v] + tree.subtree_size(static_cast<NodeId>(v));
+  }
+}
+
+std::int64_t CteAlgorithm::work_in_subtree(NodeId c) const {
+  const std::int64_t lo = in_time_[static_cast<std::size_t>(c)];
+  const std::int64_t hi = out_time_[static_cast<std::size_t>(c)];
+  const auto begin = std::lower_bound(open_in_times_.begin(),
+                                      open_in_times_.end(), lo);
+  const auto end =
+      std::lower_bound(open_in_times_.begin(), open_in_times_.end(), hi);
+  const auto bi = static_cast<std::size_t>(begin - open_in_times_.begin());
+  const auto ei = static_cast<std::size_t>(end - open_in_times_.begin());
+  return open_weight_prefix_[ei] - open_weight_prefix_[bi];
+}
+
+std::int32_t CteAlgorithm::robots_in_subtree(
+    NodeId c, const ExplorationView& view) const {
+  const std::int64_t lo = in_time_[static_cast<std::size_t>(c)];
+  const std::int64_t hi = out_time_[static_cast<std::size_t>(c)];
+  std::int32_t count = 0;
+  for (std::int32_t r = 0; r < num_robots_; ++r) {
+    const std::int64_t t =
+        in_time_[static_cast<std::size_t>(view.robot_pos(r))];
+    if (t >= lo && t < hi) ++count;
+  }
+  return count;
+}
+
+void CteAlgorithm::select_moves(const ExplorationView& view,
+                                MoveSelector& selector) {
+  // Snapshot the open frontier: sorted in-times with unexplored-edge
+  // weights, so work_in_subtree is two binary searches.
+  std::vector<std::pair<std::int64_t, std::int64_t>> open;
+  for (NodeId u : view.open_nodes()) {
+    open.emplace_back(in_time_[static_cast<std::size_t>(u)],
+                      view.num_unexplored_child_edges(u));
+  }
+  std::sort(open.begin(), open.end());
+  open_in_times_.clear();
+  open_weight_prefix_.assign(1, 0);
+  for (const auto& [t, w] : open) {
+    open_in_times_.push_back(t);
+    open_weight_prefix_.push_back(open_weight_prefix_.back() + w);
+  }
+
+  // Group movable robots by position, preserving index order.
+  std::map<NodeId, std::vector<std::int32_t>> groups;
+  for (std::int32_t i = 0; i < num_robots_; ++i) {
+    if (!view.can_move(i)) continue;
+    groups[view.robot_pos(i)].push_back(i);
+  }
+
+  for (const auto& [v, robots] : groups) {
+    struct Branch {
+      bool dangling;      // true: group goes through a reserved token
+      NodeId target;      // explored child, or token once reserved
+      std::int64_t load;  // robots inside / assigned
+    };
+    std::vector<Branch> branches;
+    for (NodeId c : view.explored_children(v)) {
+      if (work_in_subtree(c) > 0) {
+        branches.push_back(Branch{false, c, robots_in_subtree(c, view)});
+      }
+    }
+    std::int32_t fresh_dangling = view.num_unreserved_dangling(v);
+
+    for (std::int32_t robot : robots) {
+      // Cheapest existing branch, if any.
+      std::int64_t best_load = -1;
+      std::size_t best_idx = 0;
+      for (std::size_t b = 0; b < branches.size(); ++b) {
+        if (best_load < 0 || branches[b].load < best_load) {
+          best_load = branches[b].load;
+          best_idx = b;
+        }
+      }
+      // Opening an untouched dangling edge costs load 0.
+      if (fresh_dangling > 0 && (best_load < 0 || best_load >= 1)) {
+        const NodeId token = selector.try_take_dangling(robot);
+        BFDN_CHECK(token != kInvalidNode, "dangling count out of sync");
+        --fresh_dangling;
+        branches.push_back(Branch{true, token, 1});
+        continue;
+      }
+      if (best_load < 0) {
+        // No unexplored work below v: climb (⊥ at the root).
+        selector.move_up(robot);
+        continue;
+      }
+      Branch& chosen = branches[best_idx];
+      if (chosen.dangling) {
+        selector.join_dangling(robot, chosen.target);
+      } else {
+        selector.move_down(robot, chosen.target);
+      }
+      ++chosen.load;
+    }
+  }
+}
+
+}  // namespace bfdn

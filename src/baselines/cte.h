@@ -1,0 +1,52 @@
+// CTE — Collective Tree Exploration in the style of Fraigniaud,
+// Gasieniec, Kowalski and Pelc [10]: the O(n/log k + D) competitive
+// baseline the paper compares against.
+//
+// Behaviour: the robots at a node split as evenly as possible across the
+// branches (children subtrees and dangling edges) that still contain
+// unexplored edges, taking the robots already working inside each
+// subtree into account; robots with no unexplored work below them climb
+// towards the root. Several robots may traverse the same edge in one
+// round (group moves), which the engine supports via join_dangling.
+//
+// Information use: CTE runs in the complete-communication model, where
+// the team knows the whole discovered tree and all robot positions. For
+// speed we precompute preorder intervals of the *hidden* tree to answer
+// "how much unexplored work / how many robots inside T(c)?" — for
+// explored nodes these intervals order exactly like the discovered
+// tree's, so no illegal information flows into decisions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/tree.h"
+#include "sim/engine.h"
+
+namespace bfdn {
+
+class CteAlgorithm : public Algorithm {
+ public:
+  CteAlgorithm(const Tree& tree, std::int32_t num_robots);
+
+  std::string name() const override { return "CTE"; }
+  void select_moves(const ExplorationView& view,
+                    MoveSelector& selector) override;
+
+ private:
+  /// Sum of unexplored-edge weights of open nodes inside T(c).
+  std::int64_t work_in_subtree(NodeId c) const;
+  /// Robots currently positioned inside T(c).
+  std::int32_t robots_in_subtree(NodeId c,
+                                 const ExplorationView& view) const;
+
+  std::int32_t num_robots_;
+  std::vector<std::int64_t> in_time_;
+  std::vector<std::int64_t> out_time_;
+  // Rebuilt each round: open-node in-times (sorted) + weight prefix sums.
+  std::vector<std::int64_t> open_in_times_;
+  std::vector<std::int64_t> open_weight_prefix_;
+};
+
+}  // namespace bfdn

@@ -1,0 +1,22 @@
+#include "baselines/depth_next_only.h"
+
+#include "support/check.h"
+
+namespace bfdn {
+
+DepthNextOnlyAlgorithm::DepthNextOnlyAlgorithm(std::int32_t num_robots)
+    : num_robots_(num_robots) {
+  BFDN_REQUIRE(num_robots >= 1, "need at least one robot");
+}
+
+void DepthNextOnlyAlgorithm::select_moves(const ExplorationView& view,
+                                          MoveSelector& selector) {
+  for (std::int32_t i = 0; i < num_robots_; ++i) {
+    if (!view.can_move(i)) continue;
+    if (selector.try_take_dangling(i) == kInvalidNode) {
+      selector.move_up(i);  // at the root this is ⊥
+    }
+  }
+}
+
+}  // namespace bfdn

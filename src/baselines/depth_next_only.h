@@ -1,0 +1,30 @@
+// Depth-Next-only swarm: every robot runs the DN procedure from the
+// root with no re-anchoring (equivalently, BFDN where every anchor is
+// the root forever).
+//
+// A natural greedy baseline: robots fan out over dangling edges and
+// otherwise climb. It completes exploration but has no non-trivial
+// guarantee — on comb-like trees the swarm clumps and the measured
+// rounds blow up, which is precisely the behaviour BFDN's breadth-first
+// re-anchoring fixes; the benches use it to show that gap.
+#pragma once
+
+#include <string>
+
+#include "sim/engine.h"
+
+namespace bfdn {
+
+class DepthNextOnlyAlgorithm : public Algorithm {
+ public:
+  explicit DepthNextOnlyAlgorithm(std::int32_t num_robots);
+
+  std::string name() const override { return "DN-swarm"; }
+  void select_moves(const ExplorationView& view,
+                    MoveSelector& selector) override;
+
+ private:
+  std::int32_t num_robots_;
+};
+
+}  // namespace bfdn

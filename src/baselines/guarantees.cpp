@@ -1,0 +1,83 @@
+#include "baselines/guarantees.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace bfdn {
+namespace {
+
+double safe_log(double x) { return std::log(std::max(x, 1.0)); }
+double safe_log2(double x) { return std::log2(std::max(x, 2.0)); }
+
+}  // namespace
+
+double guarantee_cte(double n, double d, double k) {
+  return n / std::max(safe_log(k), 1e-9) + d;
+}
+
+double guarantee_bfdn(double n, double d, double k) {
+  return 2.0 * n / k + d * d * (safe_log(k) + 3.0);
+}
+
+double guarantee_bfdn_ell(double n, double d, double k, std::int32_t ell) {
+  BFDN_REQUIRE(ell >= 1, "ell >= 1");
+  const double l = static_cast<double>(ell);
+  return 4.0 * n / std::pow(k, 1.0 / l) +
+         std::pow(2.0, l + 1.0) * (l + 1.0 + safe_log(k) / l) *
+             std::pow(d, 1.0 + 1.0 / l);
+}
+
+double guarantee_yostar(double n, double d, double k) {
+  const double blowup =
+      std::pow(2.0, std::sqrt(safe_log2(d) * safe_log2(safe_log2(k))));
+  return blowup * safe_log(k) * (safe_log(n) + safe_log(k)) * (n / k + d);
+}
+
+std::int32_t best_ell(double n, double d, double k, std::int32_t max_ell) {
+  BFDN_REQUIRE(max_ell >= 1, "max_ell >= 1");
+  std::int32_t best = 1;
+  double best_value = guarantee_bfdn_ell(n, d, k, 1);
+  for (std::int32_t ell = 2; ell <= max_ell; ++ell) {
+    const double value = guarantee_bfdn_ell(n, d, k, ell);
+    if (value < best_value) {
+      best = ell;
+      best_value = value;
+    }
+  }
+  return best;
+}
+
+std::string fig1_winner(double n, double d, double k, std::int32_t max_ell) {
+  const double cte = guarantee_cte(n, d, k);
+  const double yostar = guarantee_yostar(n, d, k);
+  const double bfdn = guarantee_bfdn(n, d, k);
+  const std::int32_t ell = best_ell(n, d, k, max_ell);
+  const double bfdn_ell = guarantee_bfdn_ell(n, d, k, ell);
+
+  const double best = std::min({cte, yostar, bfdn, bfdn_ell});
+  if (best == bfdn) return "BFDN";
+  if (best == bfdn_ell) return ell == 1 ? "BFDN" : "BFDN_l";
+  if (best == cte) return "CTE";
+  return "Yo*";
+}
+
+bool bfdn_beats_cte_rule(double n, double d, double k) {
+  const double lg = safe_log(k);
+  return d * d * lg * lg <= n;
+}
+
+bool bfdn_beats_yostar_rule(double n, double d, double k) {
+  return k * d * d <= n / k;
+}
+
+bool bfdn_ell_beats_cte_rule(double n, double d, double k,
+                             std::int32_t ell) {
+  BFDN_REQUIRE(ell >= 1, "ell >= 1");
+  const double l = static_cast<double>(ell);
+  const double lg = safe_log(k);
+  return d < std::pow(n, l / (l + 1.0)) / (k * lg * lg);
+}
+
+}  // namespace bfdn

@@ -1,0 +1,46 @@
+// Runtime-guarantee formulas of Appendix A, used to reproduce Figure 1
+// (the analytic map of which algorithm has the best guarantee where).
+//
+// As in the paper's appendix, regions are defined "up to multiplicative
+// constants that only depend on k"; the formulas below use constant 1
+// in front of each O(.) term, and the winner map additionally exposes
+// the paper's pairwise comparison rules so both views can be printed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bfdn {
+
+/// CTE [10]: n / log(k) + D.
+double guarantee_cte(double n, double d, double k);
+
+/// BFDN (Theorem 1): 2n/k + D^2 (min(log k, log Delta) + 3); Delta
+/// unknown at map time, so the log(k) branch is used as in Figure 1.
+double guarantee_bfdn(double n, double d, double k);
+
+/// BFDN_l (Theorem 10): 4n/k^{1/l} + 2^{l+1} (l + 1 + log(k)/l) D^{1+1/l}.
+double guarantee_bfdn_ell(double n, double d, double k, std::int32_t ell);
+
+/// Yo* [13]: 2^{sqrt(log2 D log2 log2 k)} log k (log n + log k)(n/k + D).
+double guarantee_yostar(double n, double d, double k);
+
+/// Largest ell <= max_ell minimizing the BFDN_l guarantee (the paper
+/// requires ell <= cst log k / log log k; callers pass that cap).
+std::int32_t best_ell(double n, double d, double k, std::int32_t max_ell);
+
+/// Name of the algorithm with the smallest guarantee at (n, D, k):
+/// "CTE", "Yo*", "BFDN" or "BFDN_l". Used for the Figure 1 map.
+std::string fig1_winner(double n, double d, double k, std::int32_t max_ell);
+
+/// The paper's closed-form pairwise thresholds (Appendix A), exposed so
+/// the bench can print them next to the evaluated map:
+/// BFDN beats CTE iff D^2 log(k)^2 <= n.
+bool bfdn_beats_cte_rule(double n, double d, double k);
+/// BFDN beats Yo* iff k D^2 <= n / k (simplified rule of Appendix A).
+bool bfdn_beats_yostar_rule(double n, double d, double k);
+/// BFDN_l beats CTE if D < n^{l/(l+1)} / (k log^2 k).
+bool bfdn_ell_beats_cte_rule(double n, double d, double k,
+                             std::int32_t ell);
+
+}  // namespace bfdn

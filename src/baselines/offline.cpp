@@ -1,0 +1,38 @@
+#include "baselines/offline.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "support/check.h"
+
+namespace bfdn {
+
+OfflineSplitPlan offline_dfs_split(const Tree& tree, std::int32_t k) {
+  BFDN_REQUIRE(k >= 1, "need at least one robot");
+  OfflineSplitPlan plan;
+  plan.segment_lengths.assign(static_cast<std::size_t>(k), 0);
+  plan.robot_costs.assign(static_cast<std::size_t>(k), 0);
+  const std::vector<NodeId> tour = euler_tour(tree);
+  const auto len = static_cast<std::int64_t>(tour.size());
+  if (len == 0) return plan;  // single-node tree
+
+  const std::int64_t seg = (len + k - 1) / k;  // ceil(2(n-1)/k)
+  for (std::int32_t j = 0; j < k; ++j) {
+    const std::int64_t begin = static_cast<std::int64_t>(j) * seg;
+    if (begin >= len) break;
+    const std::int64_t end = std::min(begin + seg, len);
+    // The segment's first move leaves the node preceding position
+    // `begin` on the tour (the root for the first segment).
+    const NodeId start_node =
+        begin == 0 ? tree.root() : tour[static_cast<std::size_t>(begin - 1)];
+    const NodeId last_node = tour[static_cast<std::size_t>(end - 1)];
+    const std::int64_t cost = tree.depth(start_node) + (end - begin) +
+                              tree.depth(last_node);
+    plan.segment_lengths[static_cast<std::size_t>(j)] = end - begin;
+    plan.robot_costs[static_cast<std::size_t>(j)] = cost;
+    plan.rounds = std::max(plan.rounds, cost);
+  }
+  return plan;
+}
+
+}  // namespace bfdn

@@ -1,0 +1,31 @@
+// Offline baselines from Section 1.
+//
+// The offline k-traversal problem (tree known in advance) is NP-hard
+// [10], but the simple DFS-split algorithm of Dynia et al. / Ortolf-
+// Schindelhauer achieves at most 2(n/k + D) rounds: cut the length-
+// 2(n-1) depth-first tour into k segments and assign one robot per
+// segment. These functions compute its exact cost and the trivial lower
+// bound max(2n/k, 2D), giving every bench its offline reference row.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/tree.h"
+
+namespace bfdn {
+
+struct OfflineSplitPlan {
+  /// Rounds the DFS-split schedule needs: max over robots of
+  /// (walk to segment start) + (segment length) + (walk home).
+  std::int64_t rounds = 0;
+  /// Per-robot segment lengths (empty segments for surplus robots).
+  std::vector<std::int64_t> segment_lengths;
+  /// Per-robot total cost.
+  std::vector<std::int64_t> robot_costs;
+};
+
+/// Computes the DFS-split plan for k robots on a known tree.
+OfflineSplitPlan offline_dfs_split(const Tree& tree, std::int32_t k);
+
+}  // namespace bfdn

@@ -1,0 +1,175 @@
+#include "core/bfdn.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/check.h"
+#include "support/strings.h"
+
+namespace bfdn {
+
+BfdnAlgorithm::BfdnAlgorithm(std::int32_t num_robots, BfdnOptions options)
+    : num_robots_(num_robots),
+      options_(options),
+      rng_(options.seed),
+      anchors_(static_cast<std::size_t>(num_robots), kInvalidNode),
+      modes_(static_cast<std::size_t>(num_robots), Mode::kExploring),
+      inactive_(static_cast<std::size_t>(num_robots), 0) {
+  BFDN_REQUIRE(num_robots >= 1, "need at least one robot");
+}
+
+std::string BfdnAlgorithm::name() const {
+  const char* policy = "least-loaded";
+  switch (options_.policy) {
+    case ReanchorPolicy::kLeastLoaded: policy = "least-loaded"; break;
+    case ReanchorPolicy::kRandom: policy = "random"; break;
+    case ReanchorPolicy::kFirstFit: policy = "first-fit"; break;
+    case ReanchorPolicy::kMostLoaded: policy = "most-loaded"; break;
+  }
+  const char* shortcut = options_.shortcut_reanchor ? "+shortcut" : "";
+  if (options_.depth_cap >= 0) {
+    return str_format("BFDN_1(d=%d, %s%s)", options_.depth_cap, policy,
+                      shortcut);
+  }
+  return str_format("BFDN(%s%s)", policy, shortcut);
+}
+
+void BfdnAlgorithm::begin(const ExplorationView& view) {
+  // "v_i <- root for all i" (line 2).
+  std::fill(anchors_.begin(), anchors_.end(), view.root());
+  std::fill(modes_.begin(), modes_.end(), Mode::kExploring);
+  std::fill(inactive_.begin(), inactive_.end(), 0);
+}
+
+NodeId BfdnAlgorithm::reanchor(const ExplorationView& view,
+                               std::int32_t /*robot*/) {
+  if (view.exploration_complete()) return kInvalidNode;
+  const std::int32_t d = view.min_open_depth();
+  if (options_.depth_cap >= 0 && d > options_.depth_cap) {
+    return kInvalidNode;  // BFDN_1(k, k, d): nothing shallow left to do
+  }
+  const std::vector<NodeId> candidates = view.open_nodes_at_depth(d);
+  BFDN_CHECK(!candidates.empty(), "open depth with no open node");
+
+  // Load n_v = #{j : v_j = v} over the current anchor assignment.
+  auto load_of = [&](NodeId v) {
+    std::int32_t load = 0;
+    for (NodeId a : anchors_) {
+      if (a == v) ++load;
+    }
+    return load;
+  };
+
+  switch (options_.policy) {
+    case ReanchorPolicy::kLeastLoaded: {
+      NodeId best = candidates.front();
+      std::int32_t best_load = load_of(best);
+      for (NodeId v : candidates) {
+        const std::int32_t load = load_of(v);
+        if (load < best_load) {
+          best = v;
+          best_load = load;
+        }
+      }
+      return best;
+    }
+    case ReanchorPolicy::kMostLoaded: {
+      NodeId best = candidates.front();
+      std::int32_t best_load = load_of(best);
+      for (NodeId v : candidates) {
+        const std::int32_t load = load_of(v);
+        if (load > best_load) {
+          best = v;
+          best_load = load;
+        }
+      }
+      return best;
+    }
+    case ReanchorPolicy::kFirstFit:
+      return *std::min_element(candidates.begin(), candidates.end());
+    case ReanchorPolicy::kRandom:
+      return candidates[static_cast<std::size_t>(
+          rng_.next_below(candidates.size()))];
+  }
+  BFDN_CHECK(false, "unreachable reanchor policy");
+  return kInvalidNode;
+}
+
+void BfdnAlgorithm::select_moves(const ExplorationView& view,
+                                 MoveSelector& selector) {
+  for (std::int32_t i = 0; i < num_robots_; ++i) {
+    // Section 4.2 variant: blocked robots take no part in the
+    // sequential assignment (so they cannot hoard dangling edges).
+    if (!view.can_move(i)) continue;
+    const std::size_t idx = static_cast<std::size_t>(i);
+    const NodeId pos = view.robot_pos(i);
+
+    if (pos == view.root()) {
+      const NodeId anchor = reanchor(view, i);
+      if (anchor == kInvalidNode) {
+        anchors_[idx] = view.root();
+        modes_[idx] = Mode::kExploring;
+        inactive_[idx] = 1;
+      } else {
+        anchors_[idx] = anchor;
+        modes_[idx] = Mode::kOutbound;
+        inactive_[idx] = 0;
+        selector.note_reanchor(view.depth(anchor));
+      }
+    }
+
+    if (modes_[idx] == Mode::kOutbound) {
+      if (pos == anchors_[idx]) {
+        modes_[idx] = Mode::kExploring;  // arrived; fall into DN below
+      } else if (view.is_ancestor_or_self(pos, anchors_[idx])) {
+        // Procedure BF: one explored edge down the path to the anchor.
+        const std::vector<NodeId> path =
+            view.path_from_root(anchors_[idx]);
+        selector.move_down(
+            i, path[static_cast<std::size_t>(view.depth(pos)) + 1]);
+        continue;
+      } else {
+        // Only reachable in the shortcut ablation: climb to the LCA
+        // first, then the ancestor branch above descends.
+        selector.move_up(i);
+        continue;
+      }
+    }
+
+    // Procedure DN: dangling-and-unselected edge if any, else up.
+    if (selector.try_take_dangling(i) != kInvalidNode) continue;
+    if (options_.shortcut_reanchor && pos == anchors_[idx] &&
+        pos != view.root()) {
+      // Excursion over (about to leave T(anchor) upwards): re-anchor
+      // from here and take the shortest explored path instead of
+      // returning to the root first.
+      const NodeId anchor = reanchor(view, i);
+      if (anchor != kInvalidNode && anchor != pos) {
+        anchors_[idx] = anchor;
+        modes_[idx] = Mode::kOutbound;
+        inactive_[idx] = 0;
+        selector.note_reanchor(view.depth(anchor));
+        if (view.is_ancestor_or_self(pos, anchor)) {
+          const std::vector<NodeId> path = view.path_from_root(anchor);
+          selector.move_down(
+              i, path[static_cast<std::size_t>(view.depth(pos)) + 1]);
+        } else {
+          selector.move_up(i);
+        }
+        continue;
+      }
+      // Nothing open anywhere: fall through and climb home.
+    }
+    selector.move_up(i);
+  }
+}
+
+std::vector<NodeId> BfdnAlgorithm::anchors() const { return anchors_; }
+
+std::int32_t BfdnAlgorithm::num_inactive() const {
+  std::int32_t count = 0;
+  for (char flag : inactive_) count += flag;
+  return count;
+}
+
+}  // namespace bfdn

@@ -1,0 +1,87 @@
+// Breadth-First Depth-Next (Algorithm 1) — the paper's primary
+// contribution, in the complete-communication model.
+//
+// Robot life cycle: at the root a robot is (re-)anchored to the
+// shallowest open node of minimum load (procedure Reanchor), walks to
+// its anchor along explored edges in breadth-first moves (procedure BF,
+// driven by a stack of path edges), then performs depth-next moves
+// (procedure DN: take an adjacent unreserved dangling edge if any, else
+// go up) until it reaches the root again.
+//
+// Guarantee (Theorem 1): exploration finishes and all robots are back at
+// the root after at most 2n/k + D^2 (min(log k, log Delta) + 3) rounds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "support/rng.h"
+
+namespace bfdn {
+
+/// Anchor-choice policy of procedure Reanchor. The paper's rule is
+/// kLeastLoaded; the alternatives exist for the ablation benches, which
+/// show the log(k) term in Lemma 2 is earned by load balancing.
+enum class ReanchorPolicy {
+  kLeastLoaded,  // paper: argmin load among shallowest open nodes
+  kRandom,       // uniform among shallowest open nodes
+  kFirstFit,     // smallest node id among shallowest open nodes
+  kMostLoaded,   // adversarially bad: argmax load
+};
+
+struct BfdnOptions {
+  ReanchorPolicy policy = ReanchorPolicy::kLeastLoaded;
+  /// Seed for the kRandom policy.
+  std::uint64_t seed = 1;
+  /// If >= 0, Reanchor only considers open nodes of depth <= depth_cap
+  /// and robots whose anchor would exceed the cap become idle at the
+  /// root (the BFDN_1(k, k, d) variant of Section 5).
+  std::int32_t depth_cap = -1;
+  /// Ablation of the design choice discussed after Algorithm 1: the
+  /// paper sends a finished robot all the way back to the root before
+  /// re-anchoring (which is what makes the write-read planner work).
+  /// With this flag the robot re-anchors the moment its excursion ends
+  /// and walks the shortest explored path to the new anchor instead.
+  /// Complete-communication only; Claim 1's idle accounting and the
+  /// write-read reduction do not apply to this variant.
+  bool shortcut_reanchor = false;
+};
+
+class BfdnAlgorithm : public Algorithm {
+ public:
+  explicit BfdnAlgorithm(std::int32_t num_robots,
+                         BfdnOptions options = BfdnOptions{});
+
+  std::string name() const override;
+  void begin(const ExplorationView& view) override;
+  void select_moves(const ExplorationView& view,
+                    MoveSelector& selector) override;
+  std::vector<NodeId> anchors() const override;
+
+  /// Robots currently anchored at the root because the depth cap left
+  /// them nothing to do ("inactive" in Section 5's terms).
+  std::int32_t num_inactive() const;
+
+ private:
+  /// Robot mode. Navigation is *stateless* given (mode, anchor) and the
+  /// observed position: an outbound robot recomputes its next step on
+  /// the path to its anchor every round, so a cancelled move (Section
+  /// 4.2 break-downs, including the reactive adversary of Remark 8)
+  /// cannot desynchronize any stack — the robot simply retries.
+  enum class Mode : std::uint8_t { kOutbound, kExploring };
+
+  /// Procedure Reanchor for robot i; returns the chosen anchor, or
+  /// kInvalidNode when no open node is eligible (robot idles at root).
+  NodeId reanchor(const ExplorationView& view, std::int32_t robot);
+
+  std::int32_t num_robots_;
+  BfdnOptions options_;
+  Rng rng_;
+  std::vector<NodeId> anchors_;  // v_i
+  std::vector<Mode> modes_;
+  std::vector<char> inactive_;  // idle-at-root flag (depth-cap variant)
+};
+
+}  // namespace bfdn

@@ -1,0 +1,56 @@
+#include "distributed/ports.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace bfdn {
+
+PortedTree::PortedTree(const Tree& tree) : tree_(tree) {
+  port_from_parent_.assign(static_cast<std::size_t>(tree.num_nodes()), -1);
+  for (NodeId v = 0; v < tree.num_nodes(); ++v) {
+    const auto kids = tree.children(v);
+    const std::int32_t base = v == tree.root() ? 0 : 1;
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      port_from_parent_[static_cast<std::size_t>(kids[i])] =
+          base + static_cast<std::int32_t>(i);
+    }
+  }
+}
+
+NodeId PortedTree::via_port(NodeId v, std::int32_t port) const {
+  BFDN_REQUIRE(port >= 0 && port < degree(v), "port out of range");
+  if (v != tree_.root()) {
+    if (port == 0) return tree_.parent(v);
+    return tree_.children(v)[static_cast<std::size_t>(port - 1)];
+  }
+  return tree_.children(v)[static_cast<std::size_t>(port)];
+}
+
+std::int32_t PortedTree::port_to_parent(NodeId v) const {
+  BFDN_REQUIRE(v != tree_.root(), "root has no parent port");
+  return 0;
+}
+
+std::int32_t PortedTree::port_from_parent(NodeId v) const {
+  BFDN_REQUIRE(v != tree_.root(), "root has no parent");
+  return port_from_parent_[static_cast<std::size_t>(v)];
+}
+
+NodeId PortedTree::resolve(
+    const std::vector<std::int32_t>& ports_from_root) const {
+  NodeId v = tree_.root();
+  for (std::int32_t port : ports_from_root) v = via_port(v, port);
+  return v;
+}
+
+std::vector<std::int32_t> PortedTree::address_of(NodeId v) const {
+  std::vector<std::int32_t> address;
+  for (NodeId cur = v; cur != tree_.root(); cur = tree_.parent(cur)) {
+    address.push_back(port_from_parent(cur));
+  }
+  std::reverse(address.begin(), address.end());
+  return address;
+}
+
+}  // namespace bfdn

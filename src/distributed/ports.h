@@ -1,0 +1,49 @@
+// Port-numbered view of a rooted tree (Section 4.1).
+//
+// At every node the endpoints of incident edges are numbered
+// 0..degree-1. For every node other than the root, port 0 leads to the
+// root (i.e. to the parent); ports 1.. lead to children. At the root all
+// ports lead to children. A node at depth d is identified by the
+// sequence of d ports that leads to it from the root.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/tree.h"
+
+namespace bfdn {
+
+class PortedTree {
+ public:
+  explicit PortedTree(const Tree& tree);
+
+  const Tree& tree() const { return tree_; }
+  std::int32_t degree(NodeId v) const { return tree_.degree(v); }
+
+  /// First port that leads to a child (1 for non-root nodes, 0 at root).
+  std::int32_t child_port_floor(NodeId v) const {
+    return v == tree_.root() ? 0 : 1;
+  }
+
+  /// Neighbour reached through a port.
+  NodeId via_port(NodeId v, std::int32_t port) const;
+
+  /// Port at v leading to its parent (always 0; v must not be the root).
+  std::int32_t port_to_parent(NodeId v) const;
+
+  /// Port at parent(v) that leads to v.
+  std::int32_t port_from_parent(NodeId v) const;
+
+  /// Resolves a port sequence from the root; throws on invalid ports.
+  NodeId resolve(const std::vector<std::int32_t>& ports_from_root) const;
+
+  /// Port sequence identifying v (length == depth(v)).
+  std::vector<std::int32_t> address_of(NodeId v) const;
+
+ private:
+  const Tree& tree_;
+  std::vector<std::int32_t> port_from_parent_;  // per node; -1 at root
+};
+
+}  // namespace bfdn

@@ -1,0 +1,368 @@
+#include "distributed/writeread.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "support/check.h"
+
+namespace bfdn {
+namespace {
+
+/// Whiteboard at an explored node: PARTITION's hand-out cursor, which
+/// robot each child port was handed to, and which ports are finished
+/// (their handed robot came back up through them).
+struct NodeBoard {
+  bool initialized = false;
+  std::int32_t next_hand = 0;  // descending cursor over child ports
+  std::vector<std::int32_t> handed_to;  // per port, robot id or -1
+  std::vector<char> finished;           // per port
+};
+
+struct Robot {
+  enum class Phase { kIdle, kToAnchor, kExploring, kReturning };
+  Phase phase = Phase::kIdle;
+  NodeId pos = 0;
+  std::vector<std::int32_t> port_stack;  // BF descent; back() is next
+
+  // Memory about the current anchor (counted against the bit budget).
+  NodeId anchor = 0;
+  std::vector<std::int32_t> anchor_address;
+  std::vector<char> finished_obs;  // observed finished ports of anchor
+  std::int32_t anchor_degree = 0;
+  bool has_report = false;
+};
+
+/// Planner-side record for one anchor candidate (Algorithm 2's A/R and
+/// A'/R' are views over these).
+struct AnchorRecord {
+  std::vector<std::int32_t> address;
+  bool returned = false;        // in R
+  std::int32_t load = 0;        // robots assigned and not yet back
+  // Children knowledge, filled by reports:
+  std::int32_t degree = -1;     // -1 until a robot reports
+  std::vector<char> child_finished;  // per port of the anchor
+};
+
+class WriteReadSimulation {
+ public:
+  WriteReadSimulation(const Tree& tree, std::int32_t k,
+                      std::int64_t max_rounds,
+                      std::vector<std::vector<NodeId>>* trace)
+      : tree_(tree),
+        ports_(tree),
+        k_(k),
+        max_rounds_(max_rounds),
+        trace_(trace),
+        boards_(static_cast<std::size_t>(tree.num_nodes())),
+        robots_(static_cast<std::size_t>(k)) {
+    BFDN_REQUIRE(k >= 1, "need at least one robot");
+    init_board(tree_.root());
+    visited_.assign(static_cast<std::size_t>(tree.num_nodes()), 0);
+    visited_[static_cast<std::size_t>(tree_.root())] = 1;
+    num_visited_ = 1;
+    // Planner starts with working depth 0 and A = {root}.
+    anchors_.push_back(AnchorRecord{{}, false, 0, -1, {}});
+  }
+
+  WriteReadResult run() {
+    WriteReadResult result;
+    const std::int64_t limit =
+        max_rounds_ > 0
+            ? max_rounds_
+            : 3 * static_cast<std::int64_t>(std::max(tree_.depth(), 1)) *
+                      tree_.num_nodes() +
+                  4 * tree_.num_nodes() + 4 * tree_.depth() + 64;
+
+    for (;;) {
+      planner_step(result);
+      if (result.rounds >= limit) {
+        result.hit_round_limit = true;
+        break;
+      }
+      const bool moved = round_step(result);
+      if (!moved) break;
+      ++result.rounds;
+      if (trace_ != nullptr) {
+        std::vector<NodeId> positions;
+        positions.reserve(static_cast<std::size_t>(k_));
+        for (const Robot& robot : robots_) positions.push_back(robot.pos);
+        trace_->push_back(std::move(positions));
+      }
+    }
+
+    result.complete = num_visited_ == tree_.num_nodes();
+    result.all_at_root = true;
+    for (const Robot& robot : robots_) {
+      if (robot.pos != tree_.root()) result.all_at_root = false;
+    }
+    result.final_working_depth = working_depth_;
+    const auto delta = std::max<std::int32_t>(tree_.max_degree(), 2);
+    const auto log_delta = static_cast<std::int64_t>(
+        std::ceil(std::log2(static_cast<double>(delta))));
+    result.memory_allowance_bits =
+        delta + static_cast<std::int64_t>(tree_.depth()) * log_delta;
+    return result;
+  }
+
+ private:
+  void init_board(NodeId v) {
+    NodeBoard& board = boards_[static_cast<std::size_t>(v)];
+    if (board.initialized) return;
+    board.initialized = true;
+    const std::int32_t deg = ports_.degree(v);
+    board.next_hand = deg - 1;
+    board.handed_to.assign(static_cast<std::size_t>(std::max(deg, 0)), -1);
+    board.finished.assign(static_cast<std::size_t>(std::max(deg, 0)), 0);
+  }
+
+  /// PARTITION(v) for one robot: next unhanded child port (descending),
+  /// or the parent port 0 when exhausted (at the root: -1, "done").
+  std::int32_t partition(NodeId v, std::int32_t robot) {
+    NodeBoard& board = boards_[static_cast<std::size_t>(v)];
+    BFDN_CHECK(board.initialized, "PARTITION on unvisited node");
+    const std::int32_t floor = ports_.child_port_floor(v);
+    if (board.next_hand >= floor) {
+      const std::int32_t port = board.next_hand--;
+      BFDN_CHECK(board.handed_to[static_cast<std::size_t>(port)] == -1,
+                 "PARTITION handed a port twice");
+      board.handed_to[static_cast<std::size_t>(port)] = robot;
+      return port;
+    }
+    return v == tree_.root() ? -1 : 0;
+  }
+
+  void observe_anchor(Robot& robot) {
+    const NodeBoard& board =
+        boards_[static_cast<std::size_t>(robot.anchor)];
+    robot.anchor_degree = ports_.degree(robot.anchor);
+    robot.finished_obs.assign(board.finished.begin(), board.finished.end());
+  }
+
+  // --- central planner (runs only over robots located at the root) ----
+
+  AnchorRecord* find_anchor(const std::vector<std::int32_t>& address) {
+    for (AnchorRecord& record : anchors_) {
+      if (record.address == address) return &record;
+    }
+    return nullptr;
+  }
+
+  void planner_step(WriteReadResult& result) {
+    // (1) Read the memory of robots that returned to the root.
+    for (std::int32_t i = 0; i < k_; ++i) {
+      Robot& robot = robots_[static_cast<std::size_t>(i)];
+      if (robot.pos != tree_.root() || !robot.has_report) continue;
+      robot.has_report = false;
+      AnchorRecord* record = find_anchor(robot.anchor_address);
+      if (record == nullptr) continue;  // anchor from a previous depth
+      record->returned = true;
+      record->load = std::max(record->load - 1, 0);
+      if (record->degree < 0) {
+        record->degree = robot.anchor_degree;
+        record->child_finished.assign(
+            static_cast<std::size_t>(std::max(robot.anchor_degree, 0)), 0);
+      }
+      for (std::size_t p = 0; p < robot.finished_obs.size(); ++p) {
+        if (robot.finished_obs[p]) record->child_finished[p] = 1;
+      }
+    }
+
+    // (2) Advance the working depth when a robot has returned from
+    // every anchor (Algorithm 2 lines 7-13).
+    auto a_minus_r_empty = [&] {
+      for (const AnchorRecord& record : anchors_) {
+        if (!record.returned) return false;
+      }
+      return true;
+    };
+    while (a_minus_r_empty()) {
+      std::vector<AnchorRecord> next;
+      for (const AnchorRecord& record : anchors_) {
+        BFDN_CHECK(record.degree >= 0, "returned anchor without report");
+        const NodeId node = ports_.resolve(record.address);
+        const std::int32_t floor = ports_.child_port_floor(node);
+        for (std::int32_t p = floor; p < record.degree; ++p) {
+          if (record.child_finished[static_cast<std::size_t>(p)]) continue;
+          AnchorRecord child;
+          child.address = record.address;
+          child.address.push_back(p);
+          next.push_back(std::move(child));
+        }
+      }
+      if (next.empty()) {
+        planner_finished_ = true;
+        return;
+      }
+      ++working_depth_;
+      anchors_ = std::move(next);
+    }
+
+    // (3) Reanchor idle robots to anchors of minimum load.
+    if (planner_finished_) return;
+    for (std::int32_t i = 0; i < k_; ++i) {
+      Robot& robot = robots_[static_cast<std::size_t>(i)];
+      if (robot.pos != tree_.root() || robot.phase != Robot::Phase::kIdle) {
+        continue;
+      }
+      AnchorRecord* best = nullptr;
+      for (AnchorRecord& record : anchors_) {
+        if (record.returned) continue;  // withdrawn from U
+        if (best == nullptr || record.load < best->load) best = &record;
+      }
+      if (best == nullptr) continue;  // wait for the depth to advance
+      ++best->load;
+      robot.anchor_address = best->address;
+      robot.anchor = ports_.resolve(best->address);
+      robot.port_stack.assign(best->address.rbegin(),
+                              best->address.rend());
+      robot.finished_obs.clear();
+      robot.anchor_degree = 0;
+      robot.phase = robot.port_stack.empty() ? Robot::Phase::kExploring
+                                             : Robot::Phase::kToAnchor;
+      result.reanchors_by_depth.add(
+          static_cast<std::int64_t>(best->address.size()));
+      ++result.total_reanchors;
+      track_memory(robot, result);
+    }
+  }
+
+  void track_memory(const Robot& robot, WriteReadResult& result) const {
+    const auto delta = std::max<std::int32_t>(tree_.max_degree(), 2);
+    const auto log_delta = static_cast<std::int64_t>(
+        std::ceil(std::log2(static_cast<double>(delta))));
+    const std::int64_t bits =
+        static_cast<std::int64_t>(std::max(robot.anchor_address.size(),
+                                           robot.port_stack.size())) *
+            log_delta +
+        (robot.finished_obs.empty() ? 0 : delta);
+    result.max_robot_memory_bits =
+        std::max(result.max_robot_memory_bits, bits);
+  }
+
+  // --- one synchronous round of robot moves ----------------------------
+
+  bool round_step(WriteReadResult& result) {
+    struct Move {
+      std::int32_t robot;
+      NodeId from;
+      NodeId to;
+      std::int32_t port_at_from;
+      bool upward;
+    };
+    std::vector<Move> moves;
+    // Phase changes with no physical move (a root-anchored robot seeing
+    // PARTITION(root) exhausted): the planner must still get a chance to
+    // process the resulting report, so the round loop continues.
+    bool transitioned = false;
+
+    for (std::int32_t i = 0; i < k_; ++i) {
+      Robot& robot = robots_[static_cast<std::size_t>(i)];
+      switch (robot.phase) {
+        case Robot::Phase::kIdle:
+          break;
+        case Robot::Phase::kToAnchor: {
+          BFDN_CHECK(!robot.port_stack.empty(), "BF stack empty");
+          const std::int32_t port = robot.port_stack.back();
+          robot.port_stack.pop_back();
+          const NodeId to = ports_.via_port(robot.pos, port);
+          moves.push_back({i, robot.pos, to, port, false});
+          if (robot.port_stack.empty()) {
+            robot.phase = Robot::Phase::kExploring;
+          }
+          break;
+        }
+        case Robot::Phase::kExploring: {
+          if (robot.pos == robot.anchor) observe_anchor(robot);
+          const std::int32_t port = partition(robot.pos, i);
+          if (port >= ports_.child_port_floor(robot.pos)) {
+            const NodeId to = ports_.via_port(robot.pos, port);
+            moves.push_back({i, robot.pos, to, port, false});
+            break;
+          }
+          // PARTITION exhausted here.
+          if (robot.pos == robot.anchor) {
+            observe_anchor(robot);
+            if (robot.anchor == tree_.root()) {
+              robot.phase = Robot::Phase::kIdle;
+              robot.has_report = true;
+              transitioned = true;
+              break;  // no physical move
+            }
+            robot.phase = Robot::Phase::kReturning;
+            moves.push_back(
+                {i, robot.pos, tree_.parent(robot.pos), 0, true});
+            break;
+          }
+          BFDN_CHECK(robot.pos != tree_.root(),
+                     "exploring above the anchor");
+          moves.push_back(
+              {i, robot.pos, tree_.parent(robot.pos), 0, true});
+          break;
+        }
+        case Robot::Phase::kReturning: {
+          BFDN_CHECK(robot.pos != tree_.root(), "returning at root");
+          moves.push_back(
+              {i, robot.pos, tree_.parent(robot.pos), 0, true});
+          break;
+        }
+      }
+    }
+
+    // Synchronous application.
+    for (const Move& move : moves) {
+      Robot& robot = robots_[static_cast<std::size_t>(move.robot)];
+      robot.pos = move.to;
+      if (!move.upward) {
+        if (!visited_[static_cast<std::size_t>(move.to)]) {
+          visited_[static_cast<std::size_t>(move.to)] = 1;
+          ++num_visited_;
+          init_board(move.to);
+        }
+      } else {
+        // Finished-port rule: the port at the parent leading back down
+        // to `from` becomes finished iff it was handed to this robot.
+        const std::int32_t port_at_parent =
+            ports_.port_from_parent(move.from);
+        NodeBoard& board = boards_[static_cast<std::size_t>(move.to)];
+        if (board.handed_to[static_cast<std::size_t>(port_at_parent)] ==
+            move.robot) {
+          board.finished[static_cast<std::size_t>(port_at_parent)] = 1;
+        }
+        if (move.to == tree_.root() &&
+            robot.phase == Robot::Phase::kReturning) {
+          robot.phase = Robot::Phase::kIdle;
+          robot.has_report = true;
+        }
+      }
+      track_memory(robot, result);
+    }
+    return !moves.empty() || transitioned;
+  }
+
+  const Tree& tree_;
+  PortedTree ports_;
+  std::int32_t k_;
+  std::int64_t max_rounds_;
+  std::vector<std::vector<NodeId>>* trace_;
+  std::vector<NodeBoard> boards_;
+  std::vector<Robot> robots_;
+  std::vector<char> visited_;
+  std::int64_t num_visited_ = 0;
+
+  // Planner state (Algorithm 2).
+  std::int32_t working_depth_ = 0;
+  std::vector<AnchorRecord> anchors_;
+  bool planner_finished_ = false;
+};
+
+}  // namespace
+
+WriteReadResult run_write_read_bfdn(
+    const Tree& tree, std::int32_t k, std::int64_t max_rounds,
+    std::vector<std::vector<NodeId>>* trace) {
+  WriteReadSimulation simulation(tree, k, max_rounds, trace);
+  return simulation.run();
+}
+
+}  // namespace bfdn

@@ -1,0 +1,58 @@
+// BFDN in the restricted memory-and-communication model of Section 4.1
+// (which subsumes the write-read whiteboard model of [10], Remark 5).
+//
+// Information flow, enforced structurally by this simulator:
+//  * Robots communicate with the central planner ONLY when located at
+//    the root (the planner reads/writes their memory there).
+//  * At any other node a robot can observe only the node's "finished
+//    ports" list and may either SELECT a port from its stack or call the
+//    local PARTITION(v) routine.
+//  * PARTITION(v) hands each child port of v to at most one robot ever,
+//    in descending port order; once all child ports are handed out it
+//    answers port 0 (towards the root).
+//  * Robot memory is Delta bits (finished-port bitmap of its anchor)
+//    plus at most D stacked port numbers of log2(Delta) bits each, as
+//    in the paper; max_robot_memory_bits reports the high-water mark.
+//
+// The central planner implements Algorithm 2: a working depth d, the
+// anchor lists A/R and the children lists A'/R', with returning robots'
+// memories driving the updates.
+//
+// Proposition 6: this version still explores within
+// 2n/k + D^2 (min(log k, log Delta) + 3) rounds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "distributed/ports.h"
+#include "graph/tree.h"
+#include "support/stats.h"
+
+namespace bfdn {
+
+struct WriteReadResult {
+  std::int64_t rounds = 0;
+  bool complete = false;
+  bool all_at_root = false;
+  bool hit_round_limit = false;
+  /// Reanchor assignments grouped by anchor depth (Lemma 2 view).
+  Histogram reanchors_by_depth;
+  std::int64_t total_reanchors = 0;
+  /// High-water mark of any robot's memory, in bits, and the model's
+  /// allowance Delta + D*ceil(log2(max(Delta,2))) for comparison.
+  std::int64_t max_robot_memory_bits = 0;
+  std::int64_t memory_allowance_bits = 0;
+  /// Highest working depth the planner reached.
+  std::int32_t final_working_depth = 0;
+};
+
+/// Runs the write-read BFDN to completion on `tree` with k robots.
+/// If `trace` is non-null it receives the robot positions after every
+/// round (one inner vector per round, k entries each).
+WriteReadResult run_write_read_bfdn(
+    const Tree& tree, std::int32_t k, std::int64_t max_rounds = 0,
+    std::vector<std::vector<NodeId>>* trace = nullptr);
+
+}  // namespace bfdn

@@ -1,0 +1,93 @@
+#include "exp/adversarial_search.h"
+
+#include <vector>
+
+#include "graph/generators.h"
+#include "support/check.h"
+
+namespace bfdn {
+namespace {
+
+double evaluate(AlgorithmKind algorithm, const Tree& tree,
+                std::int32_t k) {
+  const std::int64_t rounds = run_single_cell(algorithm, tree, k);
+  return static_cast<double>(rounds) /
+         (static_cast<double>(tree.num_nodes()) / k + tree.depth());
+}
+
+}  // namespace
+
+AdversarialSearchResult adversarial_search(
+    AlgorithmKind algorithm, const AdversarialSearchOptions& options) {
+  BFDN_REQUIRE(options.n >= 4, "need a few nodes");
+  BFDN_REQUIRE(options.max_depth >= 2, "need some depth headroom");
+  BFDN_REQUIRE(options.k >= 1, "k >= 1");
+  Rng rng(options.seed);
+
+  // Seed: a random tree using half the allowed depth, leaving the
+  // search room to stretch or flatten.
+  Rng seed_rng = rng.split();
+  const auto seed_depth = std::max<std::int32_t>(
+      2, std::min<std::int32_t>(options.max_depth / 2,
+                                static_cast<std::int32_t>(options.n - 1)));
+  Tree current = make_tree_with_depth(options.n, seed_depth, seed_rng);
+  std::vector<NodeId> parents(static_cast<std::size_t>(options.n));
+  for (NodeId v = 0; v < current.num_nodes(); ++v) {
+    parents[static_cast<std::size_t>(v)] = current.parent(v);
+  }
+
+  AdversarialSearchResult result{Tree::from_parents(parents), 0, 0, 0, 0};
+  result.initial_ratio = evaluate(algorithm, current, options.k);
+  result.best_ratio = result.initial_ratio;
+
+  for (std::int64_t it = 0; it < options.iterations; ++it) {
+    ++result.iterations;
+    // Mutation: re-home a random leaf under a random new parent that
+    // respects the depth cap.
+    std::vector<std::int32_t> child_count(
+        static_cast<std::size_t>(options.n), 0);
+    for (NodeId v = 1; v < current.num_nodes(); ++v) {
+      ++child_count[static_cast<std::size_t>(
+          parents[static_cast<std::size_t>(v)])];
+    }
+    NodeId leaf = kInvalidNode;
+    for (int tries = 0; tries < 64; ++tries) {
+      const auto candidate = static_cast<NodeId>(
+          1 + rng.next_below(static_cast<std::uint64_t>(options.n - 1)));
+      if (child_count[static_cast<std::size_t>(candidate)] == 0) {
+        leaf = candidate;
+        break;
+      }
+    }
+    if (leaf == kInvalidNode) continue;
+    NodeId new_parent = kInvalidNode;
+    for (int tries = 0; tries < 64; ++tries) {
+      const auto candidate = static_cast<NodeId>(
+          rng.next_below(static_cast<std::uint64_t>(options.n)));
+      if (candidate == leaf) continue;
+      if (current.depth(candidate) + 1 > options.max_depth) continue;
+      new_parent = candidate;
+      break;
+    }
+    if (new_parent == kInvalidNode ||
+        new_parent == parents[static_cast<std::size_t>(leaf)]) {
+      continue;
+    }
+
+    const NodeId old_parent = parents[static_cast<std::size_t>(leaf)];
+    parents[static_cast<std::size_t>(leaf)] = new_parent;
+    Tree mutated = Tree::from_parents(parents);
+    const double ratio = evaluate(algorithm, mutated, options.k);
+    if (ratio > result.best_ratio) {
+      result.best_ratio = ratio;
+      ++result.accepted;
+      current = std::move(mutated);
+    } else {
+      parents[static_cast<std::size_t>(leaf)] = old_parent;  // revert
+    }
+  }
+  result.tree = std::move(current);
+  return result;
+}
+
+}  // namespace bfdn

@@ -1,0 +1,42 @@
+// Adversarial instance search: hill-climbing over tree shapes to make
+// an algorithm as slow as possible relative to n/k + D.
+//
+// The literature's lower bounds are hand-crafted instances targeting a
+// specific algorithm's tie-breaking ([11] builds the n = kD tree that
+// stalls CTE). This harness searches for such instances automatically:
+// starting from a seed tree, it repeatedly moves a random leaf to a
+// random new parent and keeps the mutation iff the measured
+// rounds/(n/k + D) ratio grows. The evolved ratios corroborate the
+// competitive hierarchy empirically: bounded algorithms plateau under
+// their guarantee, unbounded ones keep climbing.
+#pragma once
+
+#include <cstdint>
+
+#include "exp/campaign.h"
+#include "graph/tree.h"
+#include "support/rng.h"
+
+namespace bfdn {
+
+struct AdversarialSearchResult {
+  Tree tree;                    // the evolved instance
+  double initial_ratio = 0;     // rounds/(n/k + D) of the seed tree
+  double best_ratio = 0;        // after the search
+  std::int64_t accepted = 0;    // improving mutations kept
+  std::int64_t iterations = 0;  // mutations tried
+};
+
+struct AdversarialSearchOptions {
+  std::int64_t n = 600;            // node budget (kept fixed)
+  std::int32_t max_depth = 60;     // mutations never exceed this depth
+  std::int32_t k = 16;             // team size under attack
+  std::int64_t iterations = 300;   // mutation attempts
+  std::uint64_t seed = 1;
+};
+
+/// Evolves a worst-case-ish tree for the given algorithm.
+AdversarialSearchResult adversarial_search(
+    AlgorithmKind algorithm, const AdversarialSearchOptions& options);
+
+}  // namespace bfdn

@@ -1,0 +1,51 @@
+#include "exp/aggregate.h"
+
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace bfdn {
+
+std::map<AggregateKey, Aggregate> aggregate_results(
+    const std::vector<CellResult>& results) {
+  std::map<AggregateKey, RunningStat> rounds_stats;
+  std::map<AggregateKey, RunningStat> lower_stats;
+  std::map<AggregateKey, Aggregate> out;
+  for (const CellResult& cell : results) {
+    const AggregateKey key{cell.algorithm, cell.k};
+    Aggregate& agg = out[key];
+    ++agg.cells;
+    if (!cell.complete) ++agg.incomplete;
+    rounds_stats[key].add(static_cast<double>(cell.rounds));
+    lower_stats[key].add(cell.ratio_vs_lower);
+    if (cell.ratio_vs_opt > agg.max_ratio_vs_opt) {
+      agg.max_ratio_vs_opt = cell.ratio_vs_opt;
+      agg.worst_tree = cell.tree_name;
+    }
+    agg.max_overhead = std::max(agg.max_overhead, cell.overhead);
+  }
+  for (auto& [key, agg] : out) {
+    agg.mean_rounds = rounds_stats[key].mean();
+    agg.stddev_rounds = rounds_stats[key].stddev();
+    agg.mean_ratio_vs_lower = lower_stats[key].mean();
+  }
+  return out;
+}
+
+std::string results_to_csv(const std::vector<CellResult>& results) {
+  Table table({"tree", "n", "depth", "max_degree", "k", "algorithm",
+               "rounds", "complete", "ratio_vs_opt", "ratio_vs_lower",
+               "overhead"});
+  for (const CellResult& result : results) {
+    table.add_row({result.tree_name, cell(result.n),
+                   cell(std::int64_t{result.depth}),
+                   cell(std::int64_t{result.max_degree}), cell(result.k),
+                   algorithm_kind_name(result.algorithm),
+                   cell(result.rounds), cell_bool(result.complete),
+                   cell(result.ratio_vs_opt, 4),
+                   cell(result.ratio_vs_lower, 4),
+                   cell(result.overhead, 1)});
+  }
+  return table.to_csv();
+}
+
+}  // namespace bfdn

@@ -1,0 +1,43 @@
+// Aggregation of campaign cell results: per-(algorithm, k) summary
+// statistics across instances, and a CSV dump of the raw cells for
+// external analysis.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/campaign.h"
+
+namespace bfdn {
+
+struct AggregateKey {
+  AlgorithmKind algorithm = AlgorithmKind::kBfdn;
+  std::int32_t k = 0;
+
+  bool operator<(const AggregateKey& other) const {
+    if (algorithm != other.algorithm) return algorithm < other.algorithm;
+    return k < other.k;
+  }
+};
+
+struct Aggregate {
+  std::int64_t cells = 0;
+  std::int64_t incomplete = 0;
+  double mean_rounds = 0;
+  double stddev_rounds = 0;
+  double max_ratio_vs_opt = 0;       // empirical competitive ratio
+  std::string worst_tree;            // witness of the max ratio
+  double mean_ratio_vs_lower = 0;
+  double max_overhead = 0;
+};
+
+/// Groups cells by (algorithm, k) and summarizes.
+std::map<AggregateKey, Aggregate> aggregate_results(
+    const std::vector<CellResult>& results);
+
+/// Raw cells as CSV (header + one line per cell).
+std::string results_to_csv(const std::vector<CellResult>& results);
+
+}  // namespace bfdn

@@ -1,0 +1,120 @@
+#include "game/allocation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/check.h"
+
+namespace bfdn {
+
+std::string reassign_rule_name(ReassignRule rule) {
+  switch (rule) {
+    case ReassignRule::kLeastCrowded: return "least-crowded";
+    case ReassignRule::kRandom: return "random";
+    case ReassignRule::kFirstUnfinished: return "first-unfinished";
+    case ReassignRule::kMostCrowded: return "most-crowded";
+  }
+  return "?";
+}
+
+AllocationResult simulate_allocation(
+    const std::vector<std::int64_t>& task_work, ReassignRule rule,
+    std::uint64_t seed) {
+  const auto k = static_cast<std::int32_t>(task_work.size());
+  BFDN_REQUIRE(k >= 1, "need at least one task/worker");
+  for (std::int64_t w : task_work) BFDN_REQUIRE(w >= 0, "negative work");
+
+  Rng rng(seed);
+  std::vector<std::int64_t> remaining = task_work;
+  std::vector<std::int32_t> assignment(static_cast<std::size_t>(k));
+  std::iota(assignment.begin(), assignment.end(), 0);
+  std::vector<std::int32_t> crowd(static_cast<std::size_t>(k), 1);
+
+  AllocationResult result;
+  result.total_work =
+      std::accumulate(task_work.begin(), task_work.end(), std::int64_t{0});
+
+  auto unfinished = [&]() {
+    std::vector<std::int32_t> out;
+    for (std::int32_t t = 0; t < k; ++t) {
+      if (remaining[static_cast<std::size_t>(t)] > 0) out.push_back(t);
+    }
+    return out;
+  };
+
+  auto pick_task = [&](const std::vector<std::int32_t>& candidates)
+      -> std::int32_t {
+    BFDN_CHECK(!candidates.empty(), "no unfinished task to pick");
+    switch (rule) {
+      case ReassignRule::kLeastCrowded: {
+        std::int32_t best = candidates.front();
+        for (std::int32_t t : candidates) {
+          if (crowd[static_cast<std::size_t>(t)] <
+              crowd[static_cast<std::size_t>(best)]) {
+            best = t;
+          }
+        }
+        return best;
+      }
+      case ReassignRule::kMostCrowded: {
+        std::int32_t best = candidates.front();
+        for (std::int32_t t : candidates) {
+          if (crowd[static_cast<std::size_t>(t)] >
+              crowd[static_cast<std::size_t>(best)]) {
+            best = t;
+          }
+        }
+        return best;
+      }
+      case ReassignRule::kFirstUnfinished:
+        return candidates.front();
+      case ReassignRule::kRandom:
+        return rng.pick(candidates);
+    }
+    return candidates.front();
+  };
+
+  // Reassign workers whose task is already done (0-length tasks).
+  auto reassign_idle = [&]() {
+    const std::vector<std::int32_t> open = unfinished();
+    if (open.empty()) return;
+    for (std::int32_t w = 0; w < k; ++w) {
+      const std::int32_t t = assignment[static_cast<std::size_t>(w)];
+      if (t >= 0 && remaining[static_cast<std::size_t>(t)] > 0) continue;
+      const std::vector<std::int32_t> now_open = unfinished();
+      if (now_open.empty()) {
+        assignment[static_cast<std::size_t>(w)] = -1;
+        continue;
+      }
+      if (t >= 0) --crowd[static_cast<std::size_t>(t)];
+      const std::int32_t next = pick_task(now_open);
+      assignment[static_cast<std::size_t>(w)] = next;
+      ++crowd[static_cast<std::size_t>(next)];
+      ++result.switches;
+    }
+  };
+
+  reassign_idle();
+  while (!unfinished().empty()) {
+    // One synchronous round of work.
+    for (std::int32_t w = 0; w < k; ++w) {
+      const std::int32_t t = assignment[static_cast<std::size_t>(w)];
+      if (t < 0 || remaining[static_cast<std::size_t>(t)] <= 0) {
+        ++result.idle_worker_rounds;
+        continue;
+      }
+      --remaining[static_cast<std::size_t>(t)];
+    }
+    ++result.rounds;
+    reassign_idle();
+  }
+  return result;
+}
+
+double allocation_switch_bound(std::int32_t k) {
+  const double kk = static_cast<double>(k);
+  return kk * std::log(std::max(kk, 1.0)) + 2.0 * kk;
+}
+
+}  // namespace bfdn

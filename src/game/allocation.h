@@ -1,0 +1,46 @@
+// Online resource allocation under uncertainty — the Section 1 / 3.1
+// corollary of the urn-game analysis.
+//
+// k workers, k parallelizable tasks of unknown integer lengths. Each
+// round every worker applies one unit of work to its task. When a task
+// finishes, its workers become idle and are reassigned online; every
+// reassignment is a "switch". With the least-crowded rule the paper
+// shows the total number of switches is at most k log(k) + 2k.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace bfdn {
+
+enum class ReassignRule {
+  kLeastCrowded,     // paper: unfinished task with fewest workers
+  kRandom,           // uniform unfinished task
+  kFirstUnfinished,  // lowest-index unfinished task
+  kMostCrowded,      // pessimal: pile onto the fullest task
+};
+
+std::string reassign_rule_name(ReassignRule rule);
+
+struct AllocationResult {
+  std::int64_t switches = 0;    // reassignments after the initial one
+  std::int64_t rounds = 0;      // makespan
+  std::int64_t total_work = 0;  // sum of task lengths
+  std::int64_t idle_worker_rounds = 0;
+};
+
+/// Simulates the schedule. task_work.size() == number of workers == k
+/// (the paper's setting); lengths must be >= 0 (0-length tasks complete
+/// immediately). Workers start assigned one-to-one (worker i on task i;
+/// the initial assignment is not counted as a switch).
+AllocationResult simulate_allocation(const std::vector<std::int64_t>& task_work,
+                                     ReassignRule rule,
+                                     std::uint64_t seed = 1);
+
+/// Paper bound on switches for the least-crowded rule: k log(k) + 2k.
+double allocation_switch_bound(std::int32_t k);
+
+}  // namespace bfdn

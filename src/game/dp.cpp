@@ -1,0 +1,77 @@
+#include "game/dp.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace bfdn {
+
+RTable::RTable(std::int32_t k, std::int32_t delta) : k_(k), delta_(delta) {
+  BFDN_REQUIRE(k >= 1 && delta >= 1, "bad parameters");
+  table_.assign(static_cast<std::size_t>(k + 1) *
+                    static_cast<std::size_t>(k + 1),
+                0);
+  // u = 0 row is identically 0. Fill u increasing; within a u, N
+  // decreasing (recurrence (1) consumes R(N+1, u)).
+  for (std::int32_t u = 1; u <= k; ++u) {
+    for (std::int32_t n = k; n >= 0; --n) {
+      const std::int64_t slack = static_cast<std::int64_t>(delta_) * u - n;
+      if (slack <= 0) {
+        at(n, u) = 0;
+        continue;
+      }
+      const std::int32_t ceil_share = (n + u - 1) / u;   // ceil(N/u)
+      const std::int32_t floor_share = n / u;            // floor(N/u)
+      std::int64_t best = std::max(at(n - ceil_share + 1, u - 1),
+                                   at(n - floor_share + 1, u - 1));
+      if (n < k) best = std::max(best, at(n + 1, u));
+      at(n, u) = 1 + best;
+    }
+  }
+}
+
+std::int64_t& RTable::at(std::int32_t n, std::int32_t u) {
+  BFDN_REQUIRE(n >= 0 && n <= k_ && u >= 0 && u <= k_, "R(N,u) range");
+  return table_[static_cast<std::size_t>(n) *
+                    static_cast<std::size_t>(k_ + 1) +
+                static_cast<std::size_t>(u)];
+}
+
+std::int64_t RTable::at(std::int32_t n, std::int32_t u) const {
+  BFDN_REQUIRE(n >= 0 && n <= k_ && u >= 0 && u <= k_, "R(N,u) range");
+  return table_[static_cast<std::size_t>(n) *
+                    static_cast<std::size_t>(k_ + 1) +
+                static_cast<std::size_t>(u)];
+}
+
+std::int64_t RTable::r(std::int32_t n, std::int32_t u) const {
+  return at(n, u);
+}
+
+bool RTable::monotone_in_n() const {
+  // Non-increasing: R(N, u) >= R(N+1, u).
+  for (std::int32_t u = 0; u <= k_; ++u) {
+    for (std::int32_t n = 0; n < k_; ++n) {
+      if (at(n, u) < at(n + 1, u)) return false;
+    }
+  }
+  return true;
+}
+
+bool RTable::option_a_dominates() const {
+  for (std::int32_t u = 1; u <= k_; ++u) {
+    for (std::int32_t n = 0; n < k_; ++n) {
+      const std::int64_t slack = static_cast<std::int64_t>(delta_) * u - n;
+      if (slack <= 0) continue;
+      const std::int32_t ceil_share = (n + u - 1) / u;
+      const std::int32_t floor_share = n / u;
+      const std::int64_t option_b =
+          std::max(at(n - ceil_share + 1, u - 1),
+                   at(n - floor_share + 1, u - 1));
+      if (at(n + 1, u) < option_b) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace bfdn

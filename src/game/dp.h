@@ -1,0 +1,46 @@
+// Exact value function R(N, u) of the urn game (Section 3.1, Lemma 4).
+//
+// R(N, u) is the largest number of further steps a strategic adversary
+// can force, after player B's balancing move produced a board with N
+// balls spread (as evenly as possible) over u never-chosen urns. The
+// recurrences (1)/(2) of the paper define it; this module evaluates them
+// exactly so the tests can verify Lemma 4 (monotonicity in N, dominance
+// of option (a)) and compare Theorem 3's bound with the true optimum.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bfdn {
+
+class RTable {
+ public:
+  /// Builds the full table for parameters k (total balls) and delta.
+  RTable(std::int32_t k, std::int32_t delta);
+
+  std::int32_t k() const { return k_; }
+  std::int32_t delta() const { return delta_; }
+
+  /// R(N, u) for 0 <= N <= k, 0 <= u <= k.
+  std::int64_t r(std::int32_t n, std::int32_t u) const;
+
+  /// Exact optimal game length from the standard start (one ball per
+  /// urn): R(k, k).
+  std::int64_t optimal_game_length() const { return r(k_, k_); }
+
+  /// Lemma 4 (i): N -> R(N, u) is non-increasing for every u.
+  bool monotone_in_n() const;
+  /// Lemma 4 (ii): for N < k (and x_t > 0) the max in recurrence (1) is
+  /// achieved by the option-(a) branch R(N+1, u).
+  bool option_a_dominates() const;
+
+ private:
+  std::int64_t& at(std::int32_t n, std::int32_t u);
+  std::int64_t at(std::int32_t n, std::int32_t u) const;
+
+  std::int32_t k_;
+  std::int32_t delta_;
+  std::vector<std::int64_t> table_;  // (k+1) x (k+1), row-major by N
+};
+
+}  // namespace bfdn

@@ -1,0 +1,88 @@
+#include "game/minimax.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "support/check.h"
+
+namespace bfdn {
+namespace {
+
+// (load, chosen-by-adversary) per urn, kept sorted for canonicalization.
+using State = std::vector<std::pair<std::int32_t, bool>>;
+
+bool finished(const State& state, std::int32_t delta) {
+  for (const auto& [load, chosen] : state) {
+    if (!chosen && load < delta) return false;
+  }
+  return true;
+}
+
+// Player destinations are restricted to unchosen urns. This is a
+// dominated-strategy elimination, not a loss of generality: parking a
+// ball in a chosen urn makes no progress towards the stop condition and
+// hands the adversary extra option-(a) budget, so a minimizing player
+// never benefits (and the paper's strategy indeed always plays into
+// U_t). With the restriction every (adversary, player) step strictly
+// decreases the potential (u_t, -N_t) lexicographically — taking from
+// an unchosen urn drops u_t; otherwise N_t rises — so the state graph
+// is acyclic and plain memoization is sound.
+class Solver {
+ public:
+  explicit Solver(std::int32_t delta) : delta_(delta) {}
+
+  std::int64_t value(State state) {
+    std::sort(state.begin(), state.end());
+    if (finished(state, delta_)) return 0;
+    const auto memo_it = memo_.find(state);
+    if (memo_it != memo_.end()) return memo_it->second;
+
+    std::int64_t best_for_adversary = -1;  // adversary maximizes
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      if (state[i].first <= 0) continue;
+      if (i > 0 && state[i] == state[i - 1]) continue;  // same class
+      State after_take = state;
+      after_take[i].first -= 1;
+      after_take[i].second = true;  // source becomes chosen
+
+      std::int64_t best_for_player = -1;  // player minimizes
+      for (std::size_t j = 0; j < after_take.size(); ++j) {
+        if (after_take[j].second) continue;  // dominated (see above)
+        if (j > 0 && after_take[j] == after_take[j - 1]) continue;
+        State after_put = after_take;
+        after_put[j].first += 1;
+        const std::int64_t v = 1 + value(std::move(after_put));
+        if (best_for_player < 0 || v < best_for_player) {
+          best_for_player = v;
+        }
+      }
+      if (best_for_player < 0) {
+        // No unchosen destination left: the source pick emptied U_t, so
+        // the game is over right after this step.
+        best_for_player = 1;
+      }
+      best_for_adversary = std::max(best_for_adversary, best_for_player);
+    }
+    BFDN_CHECK(best_for_adversary >= 0, "unfinished game with no move");
+    memo_[state] = best_for_adversary;
+    return best_for_adversary;
+  }
+
+ private:
+  std::int32_t delta_;
+  std::map<State, std::int64_t> memo_;
+};
+
+}  // namespace
+
+std::int64_t minimax_game_length(std::int32_t k, std::int32_t delta) {
+  BFDN_REQUIRE(k >= 1 && delta >= 1, "bad parameters");
+  Solver solver(delta);
+  State start(static_cast<std::size_t>(k), {1, false});
+  return solver.value(std::move(start));
+}
+
+}  // namespace bfdn

@@ -1,0 +1,22 @@
+// Exact minimax value of the urn game (Section 3.1) under optimal play
+// by BOTH sides, via memoized search over canonical board states.
+//
+// This is stronger than the R(N, u) recurrence of Lemma 4, which bakes
+// in the least-loaded player: the minimax search lets the player move
+// the ball anywhere. Agreement between the two (tested for small k)
+// verifies that the paper's balancing strategy is minimax-optimal for
+// the player, not merely within the Theorem 3 bound.
+//
+// States are canonicalized by sorting the (load, chosen) pairs — urns
+// are exchangeable — so the memo stays small; practical up to k ~ 8.
+#pragma once
+
+#include <cstdint>
+
+namespace bfdn {
+
+/// Optimal game length from the standard start (one ball per urn,
+/// nothing chosen), with both sides playing perfectly.
+std::int64_t minimax_game_length(std::int32_t k, std::int32_t delta);
+
+}  // namespace bfdn

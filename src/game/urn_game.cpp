@@ -1,0 +1,292 @@
+#include "game/urn_game.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace bfdn {
+
+UrnBoard::UrnBoard(std::int32_t k, std::int32_t delta)
+    : k_(k), delta_(delta) {
+  BFDN_REQUIRE(k >= 1, "k >= 1");
+  BFDN_REQUIRE(delta >= 1, "Delta >= 1");
+  loads_.assign(static_cast<std::size_t>(k), 1);
+  chosen_.assign(static_cast<std::size_t>(k), 0);
+}
+
+UrnBoard UrnBoard::lemma2_start(std::int32_t k, std::int32_t delta,
+                                std::int32_t u) {
+  BFDN_REQUIRE(k >= 1 && delta >= 1, "bad parameters");
+  BFDN_REQUIRE(u >= 0 && u <= k - 1, "need 0 <= u <= k-1");
+  UrnBoard board;
+  board.k_ = k;
+  board.delta_ = delta;
+  board.loads_.assign(static_cast<std::size_t>(k), 0);
+  board.chosen_.assign(static_cast<std::size_t>(k), 1);
+  for (std::int32_t i = 0; i < u; ++i) {
+    board.loads_[static_cast<std::size_t>(i)] = 1;
+    board.chosen_[static_cast<std::size_t>(i)] = 0;
+  }
+  if (u < k) board.loads_[static_cast<std::size_t>(u)] = k - u;
+  return board;
+}
+
+std::int32_t UrnBoard::load(std::int32_t urn) const {
+  BFDN_REQUIRE(urn >= 0 && urn < k_, "urn index");
+  return loads_[static_cast<std::size_t>(urn)];
+}
+
+bool UrnBoard::chosen_before(std::int32_t urn) const {
+  BFDN_REQUIRE(urn >= 0 && urn < k_, "urn index");
+  return chosen_[static_cast<std::size_t>(urn)] != 0;
+}
+
+std::vector<std::int32_t> UrnBoard::unchosen_urns() const {
+  std::vector<std::int32_t> out;
+  for (std::int32_t i = 0; i < k_; ++i) {
+    if (!chosen_[static_cast<std::size_t>(i)]) out.push_back(i);
+  }
+  return out;
+}
+
+std::int32_t UrnBoard::balls_in_unchosen() const {
+  std::int32_t total = 0;
+  for (std::int32_t i = 0; i < k_; ++i) {
+    if (!chosen_[static_cast<std::size_t>(i)]) {
+      total += loads_[static_cast<std::size_t>(i)];
+    }
+  }
+  return total;
+}
+
+std::int32_t UrnBoard::num_unchosen() const {
+  std::int32_t count = 0;
+  for (char c : chosen_) count += (c == 0);
+  return count;
+}
+
+bool UrnBoard::finished() const {
+  for (std::int32_t i = 0; i < k_; ++i) {
+    if (!chosen_[static_cast<std::size_t>(i)] &&
+        loads_[static_cast<std::size_t>(i)] < delta_) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void UrnBoard::apply(std::int32_t from, std::int32_t to) {
+  BFDN_REQUIRE(from >= 0 && from < k_ && to >= 0 && to < k_, "urn index");
+  BFDN_REQUIRE(loads_[static_cast<std::size_t>(from)] >= 1,
+               "adversary chose an empty urn");
+  chosen_[static_cast<std::size_t>(from)] = 1;
+  --loads_[static_cast<std::size_t>(from)];
+  ++loads_[static_cast<std::size_t>(to)];
+  ++steps_;
+}
+
+std::string UrnBoard::to_string() const {
+  std::ostringstream oss;
+  oss << "[";
+  for (std::int32_t i = 0; i < k_; ++i) {
+    if (i) oss << ' ';
+    oss << loads_[static_cast<std::size_t>(i)]
+        << (chosen_[static_cast<std::size_t>(i)] ? "*" : "");
+  }
+  oss << "] step=" << steps_;
+  return oss.str();
+}
+
+namespace {
+
+class LeastLoadedPlayer : public PlayerStrategy {
+ public:
+  std::string name() const override { return "least-loaded"; }
+  std::int32_t choose_destination(const UrnBoard& board,
+                                  std::int32_t from) override {
+    // b_t in argmin over unchosen urns (excluding the urn the adversary
+    // just picked, which is chosen from this step on).
+    std::int32_t best = -1;
+    for (std::int32_t i = 0; i < board.k(); ++i) {
+      if (i == from || board.chosen_before(i)) continue;
+      if (best < 0 || board.load(i) < board.load(best)) best = i;
+    }
+    if (best >= 0) return best;
+    // All urns chosen: destination is irrelevant to the stop rule;
+    // balance globally.
+    best = 0;
+    for (std::int32_t i = 1; i < board.k(); ++i) {
+      if (board.load(i) < board.load(best)) best = i;
+    }
+    return best;
+  }
+};
+
+class RandomPlayer : public PlayerStrategy {
+ public:
+  explicit RandomPlayer(std::uint64_t seed) : rng_(seed) {}
+  std::string name() const override { return "random"; }
+  std::int32_t choose_destination(const UrnBoard& board,
+                                  std::int32_t from) override {
+    std::vector<std::int32_t> candidates;
+    for (std::int32_t i = 0; i < board.k(); ++i) {
+      if (i != from && !board.chosen_before(i)) candidates.push_back(i);
+    }
+    if (candidates.empty()) {
+      return static_cast<std::int32_t>(
+          rng_.next_below(static_cast<std::uint64_t>(board.k())));
+    }
+    return rng_.pick(candidates);
+  }
+
+ private:
+  Rng rng_;
+};
+
+class MostLoadedPlayer : public PlayerStrategy {
+ public:
+  std::string name() const override { return "most-loaded"; }
+  std::int32_t choose_destination(const UrnBoard& board,
+                                  std::int32_t from) override {
+    std::int32_t best = -1;
+    for (std::int32_t i = 0; i < board.k(); ++i) {
+      if (i == from || board.chosen_before(i)) continue;
+      if (best < 0 || board.load(i) > board.load(best)) best = i;
+    }
+    if (best >= 0) return best;
+    best = 0;
+    for (std::int32_t i = 1; i < board.k(); ++i) {
+      if (board.load(i) > board.load(best)) best = i;
+    }
+    return best;
+  }
+};
+
+class GreedyAdversary : public AdversaryStrategy {
+ public:
+  std::string name() const override { return "greedy"; }
+  std::int32_t choose_source(const UrnBoard& board) override {
+    if (board.finished()) return -1;
+    // Option (a): a non-empty urn already chosen.
+    for (std::int32_t i = 0; i < board.k(); ++i) {
+      if (board.chosen_before(i) && board.load(i) >= 1) return i;
+    }
+    // Option (b): the fullest unchosen urn (smallest budget loss).
+    std::int32_t best = -1;
+    for (std::int32_t i = 0; i < board.k(); ++i) {
+      if (board.chosen_before(i) || board.load(i) < 1) continue;
+      if (best < 0 || board.load(i) > board.load(best)) best = i;
+    }
+    return best;
+  }
+};
+
+class RandomAdversary : public AdversaryStrategy {
+ public:
+  explicit RandomAdversary(std::uint64_t seed) : rng_(seed) {}
+  std::string name() const override { return "random"; }
+  std::int32_t choose_source(const UrnBoard& board) override {
+    if (board.finished()) return -1;
+    std::vector<std::int32_t> candidates;
+    for (std::int32_t i = 0; i < board.k(); ++i) {
+      if (board.load(i) >= 1) candidates.push_back(i);
+    }
+    if (candidates.empty()) return -1;
+    return rng_.pick(candidates);
+  }
+
+ private:
+  Rng rng_;
+};
+
+class EagerAdversary : public AdversaryStrategy {
+ public:
+  std::string name() const override { return "eager"; }
+  std::int32_t choose_source(const UrnBoard& board) override {
+    if (board.finished()) return -1;
+    // Drain unchosen urns first (the dominated option (b)).
+    for (std::int32_t i = 0; i < board.k(); ++i) {
+      if (!board.chosen_before(i) && board.load(i) >= 1) return i;
+    }
+    for (std::int32_t i = 0; i < board.k(); ++i) {
+      if (board.load(i) >= 1) return i;
+    }
+    return -1;
+  }
+};
+
+class RoundRobinAdversary : public AdversaryStrategy {
+ public:
+  std::string name() const override { return "round-robin"; }
+  std::int32_t choose_source(const UrnBoard& board) override {
+    if (board.finished()) return -1;
+    for (std::int32_t tried = 0; tried < board.k(); ++tried) {
+      const std::int32_t urn = next_ % board.k();
+      next_ = (next_ + 1) % board.k();
+      if (board.load(urn) >= 1) return urn;
+    }
+    return -1;
+  }
+
+ private:
+  std::int32_t next_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<PlayerStrategy> make_least_loaded_player() {
+  return std::make_unique<LeastLoadedPlayer>();
+}
+std::unique_ptr<PlayerStrategy> make_random_player(std::uint64_t seed) {
+  return std::make_unique<RandomPlayer>(seed);
+}
+std::unique_ptr<PlayerStrategy> make_most_loaded_player() {
+  return std::make_unique<MostLoadedPlayer>();
+}
+std::unique_ptr<AdversaryStrategy> make_greedy_adversary() {
+  return std::make_unique<GreedyAdversary>();
+}
+std::unique_ptr<AdversaryStrategy> make_random_adversary(
+    std::uint64_t seed) {
+  return std::make_unique<RandomAdversary>(seed);
+}
+std::unique_ptr<AdversaryStrategy> make_eager_adversary() {
+  return std::make_unique<EagerAdversary>();
+}
+std::unique_ptr<AdversaryStrategy> make_round_robin_adversary() {
+  return std::make_unique<RoundRobinAdversary>();
+}
+
+GameResult play_game(UrnBoard board, PlayerStrategy& player,
+                     AdversaryStrategy& adversary, std::int64_t max_steps) {
+  GameResult result;
+  const std::int64_t limit =
+      max_steps > 0 ? max_steps
+                    : 4 * static_cast<std::int64_t>(board.k()) *
+                              (board.k() + board.delta()) +
+                          64;
+  while (!board.finished()) {
+    BFDN_CHECK(board.steps() < limit, "urn game exceeded its hard limit");
+    const std::int32_t from = adversary.choose_source(board);
+    if (from < 0) {
+      result.adversary_conceded = true;
+      break;
+    }
+    const std::int32_t to = player.choose_destination(board, from);
+    board.apply(from, to);
+  }
+  result.steps = board.steps();
+  return result;
+}
+
+double theorem3_bound(std::int32_t k, std::int32_t delta) {
+  const double kk = static_cast<double>(k);
+  const double log_term =
+      std::min(std::log(std::max(1.0, static_cast<double>(delta))),
+               std::log(std::max(1.0, kk)));
+  return kk * log_term + 2.0 * kk;
+}
+
+}  // namespace bfdn

@@ -1,0 +1,133 @@
+// The two-player zero-sum balls-in-urns game of Section 3.
+//
+// Board: k urns holding k balls in total (initially one each). Each
+// step, the adversary (player A) picks a ball from a non-empty urn, and
+// the player (player B) moves it into an urn of its choice. The game
+// ends when every urn never yet chosen by the adversary holds at least
+// Delta balls (all chosen, if Delta >= k). The adversary maximizes the
+// number of steps; the player minimizes it.
+//
+// Theorem 3: the least-loaded player strategy ends the game within
+// k * min(log Delta, log k) + 2k steps against ANY adversary.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace bfdn {
+
+/// Mutable game board plus the bookkeeping of Section 3.1 (the set U_t
+/// of never-chosen urns, N_t, u_t, x_t = Delta*u_t - N_t).
+class UrnBoard {
+ public:
+  /// Standard start: k urns, one ball each. Delta as in the stop rule.
+  UrnBoard(std::int32_t k, std::int32_t delta);
+
+  /// The modified initial condition used in the reduction of Lemma 2:
+  /// `u` urns hold one ball each, one extra urn (index u) holds the
+  /// remaining k - u balls and counts as already chosen by the
+  /// adversary. Requires 0 <= u <= k - 1.
+  static UrnBoard lemma2_start(std::int32_t k, std::int32_t delta,
+                               std::int32_t u);
+
+  std::int32_t k() const { return k_; }
+  std::int32_t delta() const { return delta_; }
+  std::int32_t load(std::int32_t urn) const;
+  bool chosen_before(std::int32_t urn) const;
+  /// Urns never selected by the adversary (the set U_t).
+  std::vector<std::int32_t> unchosen_urns() const;
+  /// N_t: balls currently in unchosen urns.
+  std::int32_t balls_in_unchosen() const;
+  /// u_t = |U_t|.
+  std::int32_t num_unchosen() const;
+
+  bool finished() const;
+  std::int64_t steps() const { return steps_; }
+
+  /// Applies one step: adversary takes a ball from `from` (must be
+  /// non-empty), player puts it into `to`.
+  void apply(std::int32_t from, std::int32_t to);
+
+  std::string to_string() const;
+
+ private:
+  UrnBoard() = default;
+  std::int32_t k_ = 0;
+  std::int32_t delta_ = 0;
+  std::vector<std::int32_t> loads_;
+  std::vector<char> chosen_;
+  std::int64_t steps_ = 0;
+};
+
+/// Player B: decides where the taken ball goes.
+class PlayerStrategy {
+ public:
+  virtual ~PlayerStrategy() = default;
+  virtual std::string name() const = 0;
+  /// Board is observed BEFORE the ball leaves urn `from`.
+  virtual std::int32_t choose_destination(const UrnBoard& board,
+                                          std::int32_t from) = 0;
+};
+
+/// Player A: decides which urn loses a ball, or concedes (returns -1)
+/// when it cannot (or does not want to) prolong the game.
+class AdversaryStrategy {
+ public:
+  virtual ~AdversaryStrategy() = default;
+  virtual std::string name() const = 0;
+  virtual std::int32_t choose_source(const UrnBoard& board) = 0;
+};
+
+// --- player strategies -------------------------------------------------
+
+/// The paper's strategy: send the ball to the least-loaded urn among
+/// those never chosen by the adversary (including `from` if unchosen —
+/// though `from` just lost a ball so it is rarely the minimum). If every
+/// urn has been chosen, falls back to the globally least-loaded urn.
+std::unique_ptr<PlayerStrategy> make_least_loaded_player();
+
+/// Ablation: uniformly random unchosen urn.
+std::unique_ptr<PlayerStrategy> make_random_player(std::uint64_t seed);
+
+/// Ablation: most-loaded unchosen urn (pessimal balancing).
+std::unique_ptr<PlayerStrategy> make_most_loaded_player();
+
+// --- adversary strategies ----------------------------------------------
+
+/// The optimal greedy adversary from the proof of Theorem 3: prefer
+/// option (a) (re-choose an already-chosen non-empty urn) whenever a
+/// ball lies outside U_t; otherwise take from the fullest unchosen urn.
+std::unique_ptr<AdversaryStrategy> make_greedy_adversary();
+
+/// Random non-empty urn.
+std::unique_ptr<AdversaryStrategy> make_random_adversary(std::uint64_t seed);
+
+/// Always drains unchosen urns first (plays option (b) eagerly — the
+/// move the proof shows is dominated).
+std::unique_ptr<AdversaryStrategy> make_eager_adversary();
+
+/// Cycles deterministically over non-empty urns.
+std::unique_ptr<AdversaryStrategy> make_round_robin_adversary();
+
+// --- game runner ---------------------------------------------------------
+
+struct GameResult {
+  std::int64_t steps = 0;
+  bool adversary_conceded = false;
+};
+
+/// Plays until the stop condition (or the adversary concedes). The
+/// Theorem-3 bound k*min(log Delta, log k) + 2k applies when the player
+/// is least-loaded.
+GameResult play_game(UrnBoard board, PlayerStrategy& player,
+                     AdversaryStrategy& adversary,
+                     std::int64_t max_steps = -1);
+
+/// Theorem 3 right-hand side.
+double theorem3_bound(std::int32_t k, std::int32_t delta);
+
+}  // namespace bfdn

@@ -1,0 +1,96 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace bfdn {
+
+LcaIndex::LcaIndex(const Tree& tree) : tree_(tree) {
+  const auto n = static_cast<std::size_t>(tree.num_nodes());
+  levels_ = 1;
+  while ((std::int64_t{1} << levels_) < tree.num_nodes()) ++levels_;
+  up_.assign(static_cast<std::size_t>(levels_),
+             std::vector<NodeId>(n, kInvalidNode));
+  for (std::size_t v = 0; v < n; ++v) {
+    up_[0][v] = tree.parent(static_cast<NodeId>(v));
+  }
+  for (std::int32_t j = 1; j < levels_; ++j) {
+    for (std::size_t v = 0; v < n; ++v) {
+      const NodeId mid = up_[static_cast<std::size_t>(j - 1)][v];
+      up_[static_cast<std::size_t>(j)][v] =
+          mid == kInvalidNode
+              ? kInvalidNode
+              : up_[static_cast<std::size_t>(j - 1)]
+                   [static_cast<std::size_t>(mid)];
+    }
+  }
+}
+
+NodeId LcaIndex::ancestor(NodeId v, std::int32_t k) const {
+  BFDN_REQUIRE(k >= 0 && k <= tree_.depth(v), "k-th ancestor above root");
+  for (std::int32_t j = 0; k != 0; ++j, k >>= 1) {
+    if (k & 1) v = up_[static_cast<std::size_t>(j)][static_cast<std::size_t>(v)];
+  }
+  return v;
+}
+
+NodeId LcaIndex::lca(NodeId a, NodeId b) const {
+  if (tree_.depth(a) < tree_.depth(b)) std::swap(a, b);
+  a = ancestor(a, tree_.depth(a) - tree_.depth(b));
+  if (a == b) return a;
+  for (std::int32_t j = levels_ - 1; j >= 0; --j) {
+    const NodeId ua = up_[static_cast<std::size_t>(j)][static_cast<std::size_t>(a)];
+    const NodeId ub = up_[static_cast<std::size_t>(j)][static_cast<std::size_t>(b)];
+    if (ua != ub) {
+      a = ua;
+      b = ub;
+    }
+  }
+  return tree_.parent(a);
+}
+
+std::int32_t LcaIndex::distance(NodeId a, NodeId b) const {
+  const NodeId c = lca(a, b);
+  return tree_.depth(a) + tree_.depth(b) - 2 * tree_.depth(c);
+}
+
+std::vector<NodeId> euler_tour(const Tree& tree) {
+  std::vector<NodeId> tour;
+  tour.reserve(static_cast<std::size_t>(2 * tree.num_edges()));
+  // Iterative DFS; stack entries are (node, next-child index).
+  std::vector<std::pair<NodeId, std::int32_t>> stack{{tree.root(), 0}};
+  while (!stack.empty()) {
+    auto& [v, next] = stack.back();
+    const auto kids = tree.children(v);
+    if (next < static_cast<std::int32_t>(kids.size())) {
+      const NodeId c = kids[static_cast<std::size_t>(next++)];
+      tour.push_back(c);  // move down into c
+      stack.emplace_back(c, 0);
+    } else {
+      stack.pop_back();
+      if (!stack.empty()) tour.push_back(stack.back().first);  // move up
+    }
+  }
+  BFDN_CHECK(static_cast<std::int64_t>(tour.size()) == 2 * tree.num_edges(),
+             "euler tour length");
+  return tour;
+}
+
+std::vector<NodeId> preorder(const Tree& tree) {
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(tree.num_nodes()));
+  std::vector<NodeId> stack{tree.root()};
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    order.push_back(v);
+    const auto kids = tree.children(v);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return order;
+}
+
+}  // namespace bfdn

@@ -1,0 +1,40 @@
+// Classic tree algorithms shared by the simulator, the baselines and the
+// recursive framework: LCA (binary lifting), Euler tours / DFS traversal
+// sequences, and pairwise tree distances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/tree.h"
+
+namespace bfdn {
+
+/// Lowest-common-ancestor queries via binary lifting.
+/// Preprocessing O(n log n); queries O(log n).
+class LcaIndex {
+ public:
+  explicit LcaIndex(const Tree& tree);
+
+  NodeId lca(NodeId a, NodeId b) const;
+  /// Number of edges on the path a -> b.
+  std::int32_t distance(NodeId a, NodeId b) const;
+  /// k-th ancestor of v (0 = v itself); requires k <= depth(v).
+  NodeId ancestor(NodeId v, std::int32_t k) const;
+
+ private:
+  const Tree& tree_;
+  std::int32_t levels_;
+  // up_[j][v] = 2^j-th ancestor of v (kInvalidNode above the root).
+  std::vector<std::vector<NodeId>> up_;
+};
+
+/// The edge sequence of a depth-first traversal starting and ending at
+/// the root: each entry is the node arrived at after one move. Length is
+/// exactly 2(n-1); children visited in stored order.
+std::vector<NodeId> euler_tour(const Tree& tree);
+
+/// Nodes in DFS preorder (children in stored order).
+std::vector<NodeId> preorder(const Tree& tree);
+
+}  // namespace bfdn

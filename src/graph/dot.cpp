@@ -1,0 +1,97 @@
+#include "graph/dot.h"
+
+#include <map>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace bfdn {
+namespace {
+
+std::string node_label(const Tree& tree, NodeId v,
+                       const DotOptions& options) {
+  std::ostringstream oss;
+  oss << v;
+  if (options.show_depth) oss << "\\nd=" << tree.depth(v);
+  return oss.str();
+}
+
+}  // namespace
+
+std::string tree_to_dot(const Tree& tree, const DotOptions& options) {
+  std::ostringstream oss;
+  oss << "digraph " << options.name << " {\n"
+      << "  rankdir=TB;\n  node [shape=circle, fontsize=10];\n";
+  oss << "  0 [shape=doublecircle, label=\""
+      << node_label(tree, tree.root(), options) << "\"];\n";
+  for (NodeId v = 1; v < tree.num_nodes(); ++v) {
+    oss << "  " << v << " [label=\"" << node_label(tree, v, options)
+        << "\"];\n";
+  }
+  for (NodeId v = 1; v < tree.num_nodes(); ++v) {
+    oss << "  " << tree.parent(v) << " -> " << v << ";\n";
+  }
+  oss << "}\n";
+  return oss.str();
+}
+
+std::string graph_to_dot(const Graph& graph, const DotOptions& options) {
+  std::ostringstream oss;
+  oss << "graph " << options.name << " {\n"
+      << "  node [shape=circle, fontsize=10];\n"
+      << "  0 [shape=doublecircle];\n";
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const auto [a, b] = graph.endpoints(e);
+    oss << "  " << a << " -- " << b << ";\n";
+  }
+  oss << "}\n";
+  return oss.str();
+}
+
+std::string exploration_to_dot(const Tree& tree,
+                               const std::vector<char>& explored,
+                               const std::vector<NodeId>& robot_positions,
+                               const DotOptions& options) {
+  BFDN_REQUIRE(static_cast<std::int64_t>(explored.size()) ==
+                   tree.num_nodes(),
+               "explored mask size mismatch");
+  std::map<NodeId, std::vector<std::size_t>> robots_at;
+  for (std::size_t i = 0; i < robot_positions.size(); ++i) {
+    robots_at[robot_positions[i]].push_back(i);
+  }
+  std::ostringstream oss;
+  oss << "digraph " << options.name << " {\n"
+      << "  rankdir=TB;\n  node [shape=circle, fontsize=10];\n";
+  for (NodeId v = 0; v < tree.num_nodes(); ++v) {
+    oss << "  " << v << " [label=\"" << node_label(tree, v, options);
+    if (const auto it = robots_at.find(v); it != robots_at.end()) {
+      oss << "\\nR:";
+      for (std::size_t r : it->second) oss << ' ' << r;
+    }
+    oss << "\"";
+    if (v == tree.root()) oss << ", shape=doublecircle";
+    if (explored[static_cast<std::size_t>(v)]) {
+      oss << ", style=filled, fillcolor=lightgray";
+    } else {
+      oss << ", style=dashed";
+    }
+    oss << "];\n";
+  }
+  for (NodeId v = 1; v < tree.num_nodes(); ++v) {
+    const bool discovered = explored[static_cast<std::size_t>(
+        tree.parent(v))];
+    const bool dangling =
+        discovered && !explored[static_cast<std::size_t>(v)];
+    oss << "  " << tree.parent(v) << " -> " << v;
+    if (dangling) {
+      oss << " [style=dashed, label=\"?\"]";
+    } else if (!discovered) {
+      oss << " [style=dotted, color=gray]";
+    }
+    oss << ";\n";
+  }
+  oss << "}\n";
+  return oss.str();
+}
+
+}  // namespace bfdn

@@ -1,0 +1,38 @@
+// Graphviz DOT export for trees, graphs and exploration snapshots, so
+// runs can be inspected visually (dot -Tsvg ...). The exploration
+// overload colours explored nodes, marks dangling edges and labels the
+// robots sitting on each node.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/tree.h"
+
+namespace bfdn {
+
+struct DotOptions {
+  /// Node label: id only, or id plus depth.
+  bool show_depth = true;
+  /// Graph name used in the DOT header.
+  std::string name = "bfdn";
+};
+
+/// Rooted tree as a directed DOT graph (edges parent -> child).
+std::string tree_to_dot(const Tree& tree, const DotOptions& options = {});
+
+/// Undirected graph as DOT, origin marked with a double circle.
+std::string graph_to_dot(const Graph& graph,
+                         const DotOptions& options = {});
+
+/// Exploration snapshot: `explored[v]` marks discovered nodes (drawn
+/// solid; undiscovered nodes dashed), and each robot id is listed on
+/// the node it occupies.
+std::string exploration_to_dot(const Tree& tree,
+                               const std::vector<char>& explored,
+                               const std::vector<NodeId>& robot_positions,
+                               const DotOptions& options = {});
+
+}  // namespace bfdn

@@ -1,0 +1,116 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "support/check.h"
+#include "support/strings.h"
+
+namespace bfdn {
+
+Graph Graph::from_edges(
+    std::int64_t n, const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  BFDN_REQUIRE(n >= 1, "graph needs >= 1 node");
+  Graph g;
+  g.edge_endpoints_.reserve(edges.size());
+  std::vector<std::int32_t> deg(static_cast<std::size_t>(n), 0);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const auto& [a, b] : edges) {
+    BFDN_REQUIRE(a >= 0 && a < n && b >= 0 && b < n, "edge endpoint range");
+    BFDN_REQUIRE(a != b, "self-loop");
+    const auto key = std::minmax(a, b);
+    BFDN_REQUIRE(seen.insert({key.first, key.second}).second,
+                 "duplicate edge");
+    g.edge_endpoints_.emplace_back(a, b);
+    ++deg[static_cast<std::size_t>(a)];
+    ++deg[static_cast<std::size_t>(b)];
+  }
+  g.adj_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (std::int64_t v = 0; v < n; ++v) {
+    g.adj_offsets_[static_cast<std::size_t>(v) + 1] =
+        g.adj_offsets_[static_cast<std::size_t>(v)] +
+        deg[static_cast<std::size_t>(v)];
+  }
+  g.adj_data_.resize(edges.size() * 2);
+  {
+    std::vector<std::int64_t> cursor(g.adj_offsets_.begin(),
+                                     g.adj_offsets_.end() - 1);
+    for (EdgeId e = 0; e < static_cast<EdgeId>(edges.size()); ++e) {
+      const auto [a, b] = g.edge_endpoints_[static_cast<std::size_t>(e)];
+      g.adj_data_[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(a)]++)] = HalfEdge{b, e};
+      g.adj_data_[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(b)]++)] = HalfEdge{a, e};
+    }
+  }
+  g.max_degree_ = deg.empty() ? 0 : *std::max_element(deg.begin(), deg.end());
+
+  // BFS from the origin: distances + connectivity check.
+  g.dist_.assign(static_cast<std::size_t>(n), -1);
+  g.dist_[0] = 0;
+  std::deque<NodeId> queue{0};
+  std::int64_t reached = 1;
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    g.radius_ = std::max(g.radius_, g.dist_[static_cast<std::size_t>(v)]);
+    for (std::int32_t p = 0; p < g.degree(v); ++p) {
+      const NodeId w = g.neighbor(v, p);
+      if (g.dist_[static_cast<std::size_t>(w)] < 0) {
+        g.dist_[static_cast<std::size_t>(w)] =
+            g.dist_[static_cast<std::size_t>(v)] + 1;
+        queue.push_back(w);
+        ++reached;
+      }
+    }
+  }
+  BFDN_REQUIRE(reached == n, "graph must be connected from the origin");
+  return g;
+}
+
+std::int32_t Graph::degree(NodeId v) const {
+  BFDN_REQUIRE(v >= 0 && v < num_nodes(), "node id out of range");
+  const auto idx = static_cast<std::size_t>(v);
+  return static_cast<std::int32_t>(adj_offsets_[idx + 1] -
+                                   adj_offsets_[idx]);
+}
+
+NodeId Graph::neighbor(NodeId v, std::int32_t port) const {
+  BFDN_REQUIRE(port >= 0 && port < degree(v), "port out of range");
+  return adj_data_[static_cast<std::size_t>(
+                       adj_offsets_[static_cast<std::size_t>(v)] + port)]
+      .to;
+}
+
+EdgeId Graph::edge_at(NodeId v, std::int32_t port) const {
+  BFDN_REQUIRE(port >= 0 && port < degree(v), "port out of range");
+  return adj_data_[static_cast<std::size_t>(
+                       adj_offsets_[static_cast<std::size_t>(v)] + port)]
+      .edge;
+}
+
+std::pair<NodeId, NodeId> Graph::endpoints(EdgeId e) const {
+  BFDN_REQUIRE(e >= 0 && e < num_edges(), "edge id out of range");
+  return edge_endpoints_[static_cast<std::size_t>(e)];
+}
+
+NodeId Graph::other_endpoint(EdgeId e, NodeId v) const {
+  const auto [a, b] = endpoints(e);
+  BFDN_REQUIRE(v == a || v == b, "v is not an endpoint of e");
+  return v == a ? b : a;
+}
+
+std::int32_t Graph::distance(NodeId v) const {
+  BFDN_REQUIRE(v >= 0 && v < num_nodes(), "node id out of range");
+  return dist_[static_cast<std::size_t>(v)];
+}
+
+std::string Graph::summary() const {
+  return str_format("Graph(n=%lld, m=%lld, D=%d, Delta=%d)",
+                    static_cast<long long>(num_nodes()),
+                    static_cast<long long>(num_edges()), radius(),
+                    max_degree());
+}
+
+}  // namespace bfdn

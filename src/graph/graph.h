@@ -1,0 +1,78 @@
+// General undirected graph with port numbering, used by the non-tree
+// exploration variant of Section 4.3.
+//
+// Each node sees its incident edges through local port numbers
+// 0..degree-1 (the standard port-numbering model). Edges have global ids
+// so the simulator can track traversal/closing status per edge.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/tree.h"  // NodeId
+
+namespace bfdn {
+
+using EdgeId = std::int64_t;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+class Graph {
+ public:
+  /// Empty placeholder (0 nodes); only valid as an assignment target.
+  Graph() = default;
+
+  /// Builds from an edge list over nodes 0..n-1; node 0 is the origin.
+  /// Rejects self-loops and duplicate edges. The graph must be connected
+  /// (every node reachable from the origin).
+  static Graph from_edges(std::int64_t n,
+                          const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+  std::int64_t num_nodes() const {
+    return static_cast<std::int64_t>(adj_offsets_.size()) - 1;
+  }
+  std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(edge_endpoints_.size());
+  }
+  NodeId origin() const { return 0; }
+
+  std::int32_t degree(NodeId v) const;
+  std::int32_t max_degree() const { return max_degree_; }
+
+  /// Neighbour reached from v through local port p (0 <= p < degree(v)).
+  NodeId neighbor(NodeId v, std::int32_t port) const;
+  /// Global id of the edge behind port p of v.
+  EdgeId edge_at(NodeId v, std::int32_t port) const;
+  /// Endpoints of an edge (unordered, as given at construction).
+  std::pair<NodeId, NodeId> endpoints(EdgeId e) const;
+  /// The endpoint of e that is not v; requires v to be an endpoint.
+  NodeId other_endpoint(EdgeId e, NodeId v) const;
+
+  /// BFS distance from the origin to every node.
+  const std::vector<std::int32_t>& distances_from_origin() const {
+    return dist_;
+  }
+  std::int32_t distance(NodeId v) const;
+  /// Radius: max over nodes of distance to the origin (the paper's D).
+  std::int32_t radius() const { return radius_; }
+
+  std::string summary() const;
+
+ private:
+  // CSR adjacency: for node v, ports index into
+  // adj_data_[adj_offsets_[v] .. adj_offsets_[v+1]).
+  struct HalfEdge {
+    NodeId to;
+    EdgeId edge;
+  };
+  std::vector<std::int64_t> adj_offsets_;
+  std::vector<HalfEdge> adj_data_;
+  std::vector<std::pair<NodeId, NodeId>> edge_endpoints_;
+  std::vector<std::int32_t> dist_;
+  std::int32_t max_degree_ = 0;
+  std::int32_t radius_ = 0;
+};
+
+}  // namespace bfdn

@@ -1,0 +1,204 @@
+#include "graph/grid_world.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <deque>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace bfdn {
+
+GridWorld::GridWorld(std::int32_t width, std::int32_t height,
+                     std::vector<Rect> obstacles)
+    : width_(width), height_(height), obstacles_(std::move(obstacles)) {
+  BFDN_REQUIRE(width_ >= 1 && height_ >= 1, "grid must be non-empty");
+  for (const Rect& r : obstacles_) {
+    BFDN_REQUIRE(r.x0 <= r.x1 && r.y0 <= r.y1, "malformed rectangle");
+  }
+  BFDN_REQUIRE(!blocked(0, 0), "origin cell is blocked");
+
+  const std::size_t cells =
+      static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
+  cell_to_node_.assign(cells, kInvalidNode);
+  auto cell_index = [&](std::int32_t x, std::int32_t y) {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(x);
+  };
+
+  // BFS over free cells from the origin; assign node ids in visit order
+  // so node 0 is the origin.
+  std::deque<std::pair<std::int32_t, std::int32_t>> queue{{0, 0}};
+  cell_to_node_[cell_index(0, 0)] = 0;
+  node_to_cell_.emplace_back(0, 0);
+  const std::int32_t dx[4] = {1, -1, 0, 0};
+  const std::int32_t dy[4] = {0, 0, 1, -1};
+  while (!queue.empty()) {
+    const auto [x, y] = queue.front();
+    queue.pop_front();
+    for (int dir = 0; dir < 4; ++dir) {
+      const std::int32_t nx = x + dx[dir];
+      const std::int32_t ny = y + dy[dir];
+      if (nx < 0 || nx >= width_ || ny < 0 || ny >= height_) continue;
+      if (blocked(nx, ny)) continue;
+      if (cell_to_node_[cell_index(nx, ny)] != kInvalidNode) continue;
+      cell_to_node_[cell_index(nx, ny)] =
+          static_cast<NodeId>(node_to_cell_.size());
+      node_to_cell_.emplace_back(nx, ny);
+      queue.emplace_back(nx, ny);
+    }
+  }
+
+  // Edges among reachable cells (right and up neighbours to avoid dupes).
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 0; v < static_cast<NodeId>(node_to_cell_.size()); ++v) {
+    const auto [x, y] = node_to_cell_[static_cast<std::size_t>(v)];
+    if (x + 1 < width_) {
+      const NodeId w = cell_to_node_[cell_index(x + 1, y)];
+      if (w != kInvalidNode) edges.emplace_back(v, w);
+    }
+    if (y + 1 < height_) {
+      const NodeId w = cell_to_node_[cell_index(x, y + 1)];
+      if (w != kInvalidNode) edges.emplace_back(v, w);
+    }
+  }
+  graph_ = Graph::from_edges(static_cast<std::int64_t>(node_to_cell_.size()),
+                             edges);
+}
+
+GridWorld GridWorld::random(std::int32_t width, std::int32_t height,
+                            std::int32_t num_rects, std::int32_t max_side,
+                            Rng& rng) {
+  BFDN_REQUIRE(width >= 1 && height >= 1, "grid must be non-empty");
+  BFDN_REQUIRE(num_rects >= 0 && max_side >= 1, "bad obstacle parameters");
+  std::vector<Rect> rects;
+  std::int32_t placed = 0;
+  std::int32_t attempts = 0;
+  while (placed < num_rects && attempts < num_rects * 64 + 64) {
+    ++attempts;
+    Rect r;
+    r.x0 = static_cast<std::int32_t>(rng.next_int(0, width - 1));
+    r.y0 = static_cast<std::int32_t>(rng.next_int(0, height - 1));
+    r.x1 = std::min<std::int32_t>(
+        width - 1,
+        r.x0 + static_cast<std::int32_t>(rng.next_int(0, max_side - 1)));
+    r.y1 = std::min<std::int32_t>(
+        height - 1,
+        r.y0 + static_cast<std::int32_t>(rng.next_int(0, max_side - 1)));
+    if (r.contains(0, 0)) continue;
+    rects.push_back(r);
+    ++placed;
+  }
+  return GridWorld(width, height, std::move(rects));
+}
+
+bool GridWorld::blocked(std::int32_t x, std::int32_t y) const {
+  for (const Rect& r : obstacles_) {
+    if (r.contains(x, y)) return true;
+  }
+  return false;
+}
+
+std::int64_t GridWorld::num_reachable_cells() const {
+  return static_cast<std::int64_t>(node_to_cell_.size());
+}
+
+std::pair<std::int32_t, std::int32_t> GridWorld::cell_of(NodeId v) const {
+  BFDN_REQUIRE(v >= 0 &&
+                   static_cast<std::size_t>(v) < node_to_cell_.size(),
+               "node id out of range");
+  return node_to_cell_[static_cast<std::size_t>(v)];
+}
+
+NodeId GridWorld::cell_node(std::int32_t x, std::int32_t y) const {
+  if (x < 0 || x >= width_ || y < 0 || y >= height_) return kInvalidNode;
+  return cell_to_node_[static_cast<std::size_t>(y) *
+                           static_cast<std::size_t>(width_) +
+                       static_cast<std::size_t>(x)];
+}
+
+bool GridWorld::distances_are_manhattan() const {
+  for (NodeId v = 0; v < static_cast<NodeId>(node_to_cell_.size()); ++v) {
+    const auto [x, y] = node_to_cell_[static_cast<std::size_t>(v)];
+    if (graph_.distance(v) != x + y) return false;
+  }
+  return true;
+}
+
+GridWorld make_rooms_world(std::int32_t rooms_x, std::int32_t rooms_y,
+                           std::int32_t room, Rng& rng) {
+  BFDN_REQUIRE(rooms_x >= 1 && rooms_y >= 1 && room >= 1,
+               "need at least one 1x1 room");
+  // Layout: room cells plus 1-cell walls between rooms.
+  const std::int32_t width = rooms_x * (room + 1) - 1;
+  const std::int32_t height = rooms_y * (room + 1) - 1;
+  std::vector<Rect> walls;
+  // Vertical walls at x = room, 2*room+1, ... with one door per
+  // room-row segment.
+  for (std::int32_t wx = 1; wx < rooms_x; ++wx) {
+    const std::int32_t x = wx * (room + 1) - 1;
+    for (std::int32_t ry = 0; ry < rooms_y; ++ry) {
+      const std::int32_t y0 = ry * (room + 1);
+      const std::int32_t y1 = y0 + room - 1;
+      const auto door =
+          y0 + static_cast<std::int32_t>(rng.next_below(
+                   static_cast<std::uint64_t>(room)));
+      if (door > y0) walls.push_back(Rect{x, y0, x, door - 1});
+      if (door < y1) walls.push_back(Rect{x, door + 1, x, y1});
+      // The wall cell aligned with the horizontal wall row stays solid.
+      if (ry + 1 < rooms_y) walls.push_back(Rect{x, y1 + 1, x, y1 + 1});
+    }
+  }
+  // Horizontal walls, same construction.
+  for (std::int32_t wy = 1; wy < rooms_y; ++wy) {
+    const std::int32_t y = wy * (room + 1) - 1;
+    for (std::int32_t rx = 0; rx < rooms_x; ++rx) {
+      const std::int32_t x0 = rx * (room + 1);
+      const std::int32_t x1 = x0 + room - 1;
+      const auto door =
+          x0 + static_cast<std::int32_t>(rng.next_below(
+                   static_cast<std::uint64_t>(room)));
+      if (door > x0) walls.push_back(Rect{x0, y, door - 1, y});
+      if (door < x1) walls.push_back(Rect{door + 1, y, x1, y});
+    }
+  }
+  return GridWorld(width, height, std::move(walls));
+}
+
+GridWorld make_serpentine_world(std::int32_t width, std::int32_t rows) {
+  BFDN_REQUIRE(width >= 2 && rows >= 1, "need width >= 2, rows >= 1");
+  // Corridor rows at even y; wall rows at odd y with one end gap that
+  // alternates sides.
+  const std::int32_t height = 2 * rows - 1;
+  std::vector<Rect> walls;
+  for (std::int32_t wall = 0; wall + 1 < rows; ++wall) {
+    const std::int32_t y = 2 * wall + 1;
+    if (wall % 2 == 0) {
+      walls.push_back(Rect{0, y, width - 2, y});  // gap on the right
+    } else {
+      walls.push_back(Rect{1, y, width - 1, y});  // gap on the left
+    }
+  }
+  return GridWorld(width, height, std::move(walls));
+}
+
+std::string GridWorld::render() const {
+  std::ostringstream oss;
+  for (std::int32_t y = height_ - 1; y >= 0; --y) {
+    for (std::int32_t x = 0; x < width_; ++x) {
+      if (x == 0 && y == 0) {
+        oss << 'O';
+      } else if (blocked(x, y)) {
+        oss << '#';
+      } else if (cell_node(x, y) == kInvalidNode) {
+        oss << ' ';
+      } else {
+        oss << '.';
+      }
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace bfdn

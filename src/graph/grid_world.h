@@ -1,0 +1,87 @@
+// Grid graphs with rectangular obstacles — the concrete non-tree setting
+// the paper points at (Section 4.3, citing Ortolf–Schindelhauer [12]).
+//
+// Cells of a width x height grid; a set of axis-aligned rectangles is
+// blocked. The free cells reachable from the origin cell (0, 0) form the
+// exploration graph (4-neighbourhood). GridWorld converts itself to a
+// Graph whose node 0 is the origin.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace bfdn {
+
+/// Inclusive cell-coordinate rectangle [x0, x1] x [y0, y1].
+struct Rect {
+  std::int32_t x0 = 0;
+  std::int32_t y0 = 0;
+  std::int32_t x1 = 0;
+  std::int32_t y1 = 0;
+
+  bool contains(std::int32_t x, std::int32_t y) const {
+    return x >= x0 && x <= x1 && y >= y0 && y <= y1;
+  }
+};
+
+class GridWorld {
+ public:
+  /// Throws if the origin cell (0,0) is blocked or out of range.
+  GridWorld(std::int32_t width, std::int32_t height,
+            std::vector<Rect> obstacles);
+
+  /// Random world: `num_rects` rectangles with sides in [1, max_side],
+  /// re-sampled if they would block the origin.
+  static GridWorld random(std::int32_t width, std::int32_t height,
+                          std::int32_t num_rects, std::int32_t max_side,
+                          Rng& rng);
+
+  std::int32_t width() const { return width_; }
+  std::int32_t height() const { return height_; }
+  bool blocked(std::int32_t x, std::int32_t y) const;
+
+  /// Number of free cells reachable from the origin.
+  std::int64_t num_reachable_cells() const;
+
+  /// Exploration graph over reachable free cells. node 0 = origin.
+  const Graph& graph() const { return graph_; }
+
+  /// Maps graph node id -> (x, y) cell. Inverse of cell_node().
+  std::pair<std::int32_t, std::int32_t> cell_of(NodeId v) const;
+  /// Node id of cell (x, y), or kInvalidNode if blocked/unreachable.
+  NodeId cell_node(std::int32_t x, std::int32_t y) const;
+
+  /// True iff BFS distance == Manhattan distance for every reachable
+  /// cell (the special case where the paper's distance assumption is the
+  /// closed-form i + j).
+  bool distances_are_manhattan() const;
+
+  /// ASCII rendering: '#' blocked, '.' free-reachable, ' ' unreachable,
+  /// 'O' origin. Row y printed top-down from y = height-1.
+  std::string render() const;
+
+ private:
+  std::int32_t width_;
+  std::int32_t height_;
+  std::vector<Rect> obstacles_;
+  std::vector<NodeId> cell_to_node_;  // width*height, kInvalidNode if none
+  std::vector<std::pair<std::int32_t, std::int32_t>> node_to_cell_;
+  Graph graph_;
+};
+
+/// Office floor: a grid partitioned into rooms of size room x room by
+/// 1-cell walls, each wall pierced by a single door. Exercises the
+/// graph explorer on high-diameter, low-connectivity worlds.
+GridWorld make_rooms_world(std::int32_t rooms_x, std::int32_t rooms_y,
+                           std::int32_t room, Rng& rng);
+
+/// Serpentine: full-width walls every second row with alternating end
+/// gaps, forcing a single snake-shaped corridor — the maximum-radius
+/// grid world (radius ~ width * height / 2).
+GridWorld make_serpentine_world(std::int32_t width, std::int32_t rows);
+
+}  // namespace bfdn

@@ -1,0 +1,148 @@
+#include "graph/tree.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.h"
+#include "support/strings.h"
+
+namespace bfdn {
+
+Tree Tree::from_parents(std::vector<NodeId> parents) {
+  BFDN_REQUIRE(!parents.empty(), "tree needs at least the root");
+  BFDN_REQUIRE(parents[0] == kInvalidNode, "node 0 must be the root");
+  const auto n = static_cast<std::int64_t>(parents.size());
+  BFDN_REQUIRE(n <= (std::int64_t{1} << 31) - 1, "too many nodes");
+
+  Tree t;
+  t.parents_ = std::move(parents);
+
+  // Count children and build CSR offsets.
+  std::vector<std::int32_t> child_counts(static_cast<std::size_t>(n), 0);
+  for (std::int64_t v = 1; v < n; ++v) {
+    const NodeId p = t.parents_[static_cast<std::size_t>(v)];
+    BFDN_REQUIRE(p >= 0 && p < n, "parent id out of range");
+    BFDN_REQUIRE(p != v, "self-parent");
+    ++child_counts[static_cast<std::size_t>(p)];
+  }
+  t.child_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (std::int64_t v = 0; v < n; ++v) {
+    t.child_offsets_[static_cast<std::size_t>(v) + 1] =
+        t.child_offsets_[static_cast<std::size_t>(v)] +
+        child_counts[static_cast<std::size_t>(v)];
+  }
+  t.child_data_.assign(static_cast<std::size_t>(n - 1), kInvalidNode);
+  {
+    std::vector<std::int64_t> cursor(t.child_offsets_.begin(),
+                                     t.child_offsets_.end() - 1);
+    for (std::int64_t v = 1; v < n; ++v) {
+      const NodeId p = t.parents_[static_cast<std::size_t>(v)];
+      t.child_data_[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(p)]++)] = static_cast<NodeId>(v);
+    }
+  }
+
+  // Depths and connectivity via BFS from the root; a cycle or a node
+  // unreachable from the root leaves depth unassigned.
+  t.depths_.assign(static_cast<std::size_t>(n), -1);
+  t.depths_[0] = 0;
+  std::vector<NodeId> frontier{0};
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  while (!frontier.empty()) {
+    std::vector<NodeId> next;
+    for (NodeId v : frontier) {
+      order.push_back(v);
+      for (NodeId c : t.children(v)) {
+        t.depths_[static_cast<std::size_t>(c)] =
+            t.depths_[static_cast<std::size_t>(v)] + 1;
+        next.push_back(c);
+      }
+    }
+    frontier = std::move(next);
+  }
+  BFDN_REQUIRE(static_cast<std::int64_t>(order.size()) == n,
+               "parent array is not a connected tree");
+  t.tree_depth_ = *std::max_element(t.depths_.begin(), t.depths_.end());
+
+  // Subtree sizes in reverse BFS order (children before parents).
+  t.subtree_sizes_.assign(static_cast<std::size_t>(n), 1);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    if (v != 0) {
+      t.subtree_sizes_[static_cast<std::size_t>(
+          t.parents_[static_cast<std::size_t>(v)])] +=
+          t.subtree_sizes_[static_cast<std::size_t>(v)];
+    }
+  }
+
+  t.max_degree_ = 0;
+  for (std::int64_t v = 0; v < n; ++v) {
+    t.max_degree_ =
+        std::max(t.max_degree_, t.degree(static_cast<NodeId>(v)));
+  }
+  return t;
+}
+
+std::size_t Tree::check_node(NodeId v) const {
+  BFDN_REQUIRE(v >= 0 && static_cast<std::size_t>(v) < parents_.size(),
+               "node id out of range");
+  return static_cast<std::size_t>(v);
+}
+
+std::span<const NodeId> Tree::children(NodeId v) const {
+  const std::size_t idx = check_node(v);
+  const auto begin = static_cast<std::size_t>(child_offsets_[idx]);
+  const auto end = static_cast<std::size_t>(child_offsets_[idx + 1]);
+  return {child_data_.data() + begin, end - begin};
+}
+
+std::int32_t Tree::num_children(NodeId v) const {
+  const std::size_t idx = check_node(v);
+  return static_cast<std::int32_t>(child_offsets_[idx + 1] -
+                                   child_offsets_[idx]);
+}
+
+std::int32_t Tree::degree(NodeId v) const {
+  return num_children(v) + (v == root() ? 0 : 1);
+}
+
+bool Tree::is_ancestor_or_self(NodeId a, NodeId b) const {
+  check_node(a);
+  NodeId cur = b;
+  // Walk up from b; depths strictly decrease so this terminates.
+  while (cur != kInvalidNode && depth(cur) >= depth(a)) {
+    if (cur == a) return true;
+    cur = parent(cur);
+  }
+  return false;
+}
+
+std::vector<NodeId> Tree::path_from_root(NodeId v) const {
+  std::vector<NodeId> path;
+  for (NodeId cur = v; cur != kInvalidNode; cur = parent(cur)) {
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::string Tree::summary() const {
+  return str_format("Tree(n=%lld, D=%d, Delta=%d)",
+                    static_cast<long long>(num_nodes()), depth(),
+                    max_degree());
+}
+
+TreeBuilder::TreeBuilder() { parents_.push_back(kInvalidNode); }
+
+NodeId TreeBuilder::add_child(NodeId parent) {
+  BFDN_REQUIRE(parent >= 0 &&
+                   static_cast<std::size_t>(parent) < parents_.size(),
+               "parent id out of range");
+  parents_.push_back(parent);
+  return static_cast<NodeId>(parents_.size() - 1);
+}
+
+Tree TreeBuilder::build() const { return Tree::from_parents(parents_); }
+
+}  // namespace bfdn

@@ -1,0 +1,69 @@
+#include "graph/tree_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace bfdn {
+
+namespace {
+constexpr const char* kHeader = "bfdn-tree v1";
+}  // namespace
+
+std::string tree_to_text(const Tree& tree) {
+  std::ostringstream oss;
+  oss << kHeader << '\n';
+  oss << "# n=" << tree.num_nodes() << " D=" << tree.depth()
+      << " Delta=" << tree.max_degree() << '\n';
+  for (NodeId v = 0; v < tree.num_nodes(); ++v) {
+    oss << tree.parent(v) << '\n';
+  }
+  return oss.str();
+}
+
+Tree parse_tree(const std::string& text) {
+  std::istringstream iss(text);
+  std::string line;
+  bool header_seen = false;
+  std::vector<NodeId> parents;
+  while (std::getline(iss, line)) {
+    // Trim trailing carriage return (tolerate CRLF files).
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    if (!header_seen) {
+      BFDN_REQUIRE(line == kHeader,
+                   "bad header, expected '" + std::string(kHeader) + "'");
+      header_seen = true;
+      continue;
+    }
+    std::size_t consumed = 0;
+    int value = 0;
+    try {
+      value = std::stoi(line, &consumed);
+    } catch (const std::exception&) {
+      BFDN_REQUIRE(false, "bad parent id line: " + line);
+    }
+    BFDN_REQUIRE(consumed == line.size(), "trailing junk in line: " + line);
+    parents.push_back(static_cast<NodeId>(value));
+  }
+  BFDN_REQUIRE(header_seen, "missing header");
+  return Tree::from_parents(std::move(parents));
+}
+
+void save_tree(const Tree& tree, const std::string& path) {
+  std::ofstream out(path);
+  BFDN_REQUIRE(out.good(), "cannot open for writing: " + path);
+  out << tree_to_text(tree);
+  BFDN_REQUIRE(out.good(), "write failed: " + path);
+}
+
+Tree load_tree(const std::string& path) {
+  std::ifstream in(path);
+  BFDN_REQUIRE(in.good(), "cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_tree(buffer.str());
+}
+
+}  // namespace bfdn

@@ -1,0 +1,25 @@
+// Plain-text serialization of trees, so experiment instances can be
+// stored, shared and replayed.
+//
+// Format ("bfdn-tree v1"): a header line, then one line per node in id
+// order holding the parent id (-1 for the root). Comments start with
+// '#'; blank lines are ignored.
+#pragma once
+
+#include <string>
+
+#include "graph/tree.h"
+
+namespace bfdn {
+
+/// Serializes a tree (self-describing, round-trips via parse_tree).
+std::string tree_to_text(const Tree& tree);
+
+/// Parses the textual format; throws CheckError on malformed input.
+Tree parse_tree(const std::string& text);
+
+/// Convenience file wrappers; throw CheckError on I/O failure.
+void save_tree(const Tree& tree, const std::string& path);
+Tree load_tree(const std::string& path);
+
+}  // namespace bfdn

@@ -1,0 +1,67 @@
+#include "graph/tree_stats.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+#include "support/strings.h"
+
+namespace bfdn {
+
+TreeStats compute_tree_stats(const Tree& tree) {
+  TreeStats stats;
+  stats.num_nodes = tree.num_nodes();
+  stats.depth = tree.depth();
+  stats.max_degree = tree.max_degree();
+  stats.level_widths.assign(static_cast<std::size_t>(tree.depth()) + 1, 0);
+
+  std::int64_t internal = 0;
+  std::int64_t children_total = 0;
+  for (NodeId v = 0; v < tree.num_nodes(); ++v) {
+    ++stats.level_widths[static_cast<std::size_t>(tree.depth(v))];
+    stats.total_path_length += tree.depth(v);
+    const std::int32_t c = tree.num_children(v);
+    if (c == 0) {
+      ++stats.num_leaves;
+    } else {
+      ++internal;
+      children_total += c;
+    }
+  }
+  stats.max_width = *std::max_element(stats.level_widths.begin(),
+                                      stats.level_widths.end());
+  stats.average_depth = static_cast<double>(stats.total_path_length) /
+                        static_cast<double>(stats.num_nodes);
+  stats.average_branching =
+      internal == 0 ? 0.0
+                    : static_cast<double>(children_total) /
+                          static_cast<double>(internal);
+  return stats;
+}
+
+std::int64_t bfs_wave_count(const TreeStats& stats, const Tree& tree,
+                            std::int32_t k) {
+  BFDN_REQUIRE(k >= 1, "k >= 1");
+  std::vector<std::int64_t> open_width(stats.level_widths.size(), 0);
+  for (NodeId v = 0; v < tree.num_nodes(); ++v) {
+    if (tree.num_children(v) > 0) {
+      ++open_width[static_cast<std::size_t>(tree.depth(v))];
+    }
+  }
+  std::int64_t waves = 0;
+  for (const std::int64_t width : open_width) {
+    waves += (width + k - 1) / k;
+  }
+  return waves;
+}
+
+std::string tree_stats_to_string(const TreeStats& stats) {
+  return str_format(
+      "n=%lld D=%d Delta=%d leaves=%lld max_width=%lld avg_depth=%.1f "
+      "avg_branching=%.2f",
+      static_cast<long long>(stats.num_nodes), stats.depth,
+      stats.max_degree, static_cast<long long>(stats.num_leaves),
+      static_cast<long long>(stats.max_width), stats.average_depth,
+      stats.average_branching);
+}
+
+}  // namespace bfdn

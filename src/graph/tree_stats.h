@@ -1,0 +1,41 @@
+// Shape statistics for trees: level widths, leaf counts, branching
+// profile — used by the CLI's `info`, by benches that bucket instances
+// by shape, and by the BFS-levels cost analysis (whose wave count is
+// sum of ceil(width_d / k)).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/tree.h"
+
+namespace bfdn {
+
+struct TreeStats {
+  std::int64_t num_nodes = 0;
+  std::int32_t depth = 0;
+  std::int32_t max_degree = 0;
+  std::int64_t num_leaves = 0;
+  /// width[d] = number of nodes at depth d (size depth + 1).
+  std::vector<std::int64_t> level_widths;
+  std::int64_t max_width = 0;
+  double average_depth = 0;       // mean node depth
+  double average_branching = 0;   // mean children among internal nodes
+  /// Sum over nodes of depth(v): the total BF travel if every node had
+  /// to be fetched from the root individually.
+  std::int64_t total_path_length = 0;
+};
+
+TreeStats compute_tree_stats(const Tree& tree);
+
+/// Waves needed by BFS-levels with k robots: sum_d ceil(width_open_d/k)
+/// where width_open_d counts depth-d nodes with children (the nodes
+/// whose dangling edges must be probed). A lower-bound flavoured count.
+std::int64_t bfs_wave_count(const TreeStats& stats, const Tree& tree,
+                            std::int32_t k);
+
+/// One-line human summary.
+std::string tree_stats_to_string(const TreeStats& stats);
+
+}  // namespace bfdn

@@ -1,0 +1,297 @@
+#include "graphexp/graph_bfdn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "support/check.h"
+
+namespace bfdn {
+namespace {
+
+class GraphBfdnSimulation {
+ public:
+  GraphBfdnSimulation(const Graph& graph, std::int32_t k,
+                      std::int64_t max_rounds)
+      : graph_(graph), k_(k), max_rounds_(max_rounds) {
+    BFDN_REQUIRE(k >= 1, "need at least one robot");
+    const auto n = static_cast<std::size_t>(graph.num_nodes());
+    explored_.assign(n, 0);
+    tree_parent_.assign(n, kInvalidNode);
+    pending_.assign(n, {});
+    edge_traversals_.assign(static_cast<std::size_t>(graph.num_edges()), 0);
+    edge_closed_.assign(static_cast<std::size_t>(graph.num_edges()), 0);
+    edge_is_tree_.assign(static_cast<std::size_t>(graph.num_edges()), 0);
+
+    explore_node(graph.origin(), kInvalidEdge);
+    robots_.assign(static_cast<std::size_t>(k), Robot{});
+  }
+
+  GraphExplorationResult run() {
+    GraphExplorationResult result;
+    const std::int64_t limit =
+        max_rounds_ > 0
+            ? max_rounds_
+            : 6 * static_cast<std::int64_t>(std::max(graph_.radius(), 1)) *
+                      std::max<std::int64_t>(graph_.num_edges(), 1) +
+                  8 * graph_.num_edges() + 8 * graph_.radius() + 64;
+
+    for (;;) {
+      if (result.rounds >= limit) {
+        result.hit_round_limit = true;
+        break;
+      }
+      if (!round_step(result)) break;
+      ++result.rounds;
+    }
+
+    result.complete = true;
+    for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+      if (edge_traversals_[static_cast<std::size_t>(e)] == 0) {
+        result.complete = false;
+        break;
+      }
+    }
+    result.all_at_origin = true;
+    for (const Robot& robot : robots_) {
+      if (robot.pos != graph_.origin()) result.all_at_origin = false;
+    }
+    for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+      if (edge_closed_[static_cast<std::size_t>(e)]) {
+        ++result.closed_edges;
+      } else if (edge_is_tree_[static_cast<std::size_t>(e)]) {
+        ++result.tree_edges;
+      }
+    }
+    return result;
+  }
+
+ private:
+  struct Robot {
+    enum class Phase { kDepthNext, kToAnchor, kBacktrack };
+    Phase phase = Phase::kDepthNext;
+    NodeId pos = 0;
+    NodeId anchor = 0;
+    std::vector<NodeId> stack;  // BF descent through tree nodes
+    EdgeId backtrack_edge = kInvalidEdge;
+    NodeId backtrack_to = kInvalidNode;
+  };
+
+  struct Move {
+    std::int32_t robot;
+    NodeId to;
+    EdgeId edge;       // the traversed edge for pending/backtrack moves
+    bool via_pending;  // first traversal of a dangling edge
+    bool backtrack;    // second leg of a close
+  };
+
+  void explore_node(NodeId v, EdgeId via_edge) {
+    BFDN_CHECK(!explored_[static_cast<std::size_t>(v)], "double explore");
+    explored_[static_cast<std::size_t>(v)] = 1;
+    if (via_edge != kInvalidEdge) {
+      tree_parent_[static_cast<std::size_t>(v)] =
+          graph_.other_endpoint(via_edge, v);
+      edge_is_tree_[static_cast<std::size_t>(via_edge)] = 1;
+    }
+    auto& pool = pending_[static_cast<std::size_t>(v)];
+    for (std::int32_t p = 0; p < graph_.degree(v); ++p) {
+      const EdgeId e = graph_.edge_at(v, p);
+      if (e == via_edge) continue;
+      if (edge_traversals_[static_cast<std::size_t>(e)] > 0) continue;
+      pool.push_back(e);
+    }
+    refresh_openness(v);
+  }
+
+  void refresh_openness(NodeId v) {
+    if (!explored_[static_cast<std::size_t>(v)]) return;
+    const std::int32_t d = graph_.distance(v);
+    auto& level = open_by_depth_[d];
+    if (pending_[static_cast<std::size_t>(v)].empty()) {
+      level.erase(v);
+      if (level.empty()) open_by_depth_.erase(d);
+    } else {
+      level.insert(v);
+    }
+  }
+
+  void drop_pending(NodeId v, EdgeId e) {
+    auto& pool = pending_[static_cast<std::size_t>(v)];
+    const auto it = std::find(pool.begin(), pool.end(), e);
+    if (it == pool.end()) return;
+    pool.erase(it);
+    refresh_openness(v);
+  }
+
+  /// Procedure Reanchor: least-loaded among the shallowest open nodes.
+  NodeId reanchor(GraphExplorationResult& result) {
+    if (open_by_depth_.empty()) return kInvalidNode;
+    const auto& [depth, level] = *open_by_depth_.begin();
+    NodeId best = kInvalidNode;
+    std::int32_t best_load = 0;
+    for (NodeId v : level) {
+      std::int32_t load = 0;
+      for (const Robot& robot : robots_) {
+        if (robot.anchor == v) ++load;
+      }
+      if (best == kInvalidNode || load < best_load) {
+        best = v;
+        best_load = load;
+      }
+    }
+    result.reanchors_by_depth.add(depth);
+    ++result.total_reanchors;
+    return best;
+  }
+
+  std::vector<NodeId> tree_path_from_origin(NodeId v) const {
+    std::vector<NodeId> path;
+    for (NodeId cur = v; cur != kInvalidNode;
+         cur = tree_parent_[static_cast<std::size_t>(cur)]) {
+      path.push_back(cur);
+      if (cur == graph_.origin()) break;
+    }
+    std::reverse(path.begin(), path.end());
+    BFDN_CHECK(path.front() == graph_.origin(), "anchor off the tree");
+    return path;
+  }
+
+  bool round_step(GraphExplorationResult& result) {
+    std::vector<Move> moves;
+    std::set<EdgeId> reserved;  // one robot per edge per round
+
+    // DN step at the robot's position: reserve an unreserved pending
+    // (untraversed) edge if any; returns whether a move was queued.
+    auto try_depth_next = [&](std::int32_t i, const Robot& robot) {
+      for (EdgeId e : pending_[static_cast<std::size_t>(robot.pos)]) {
+        if (reserved.count(e) != 0) continue;
+        reserved.insert(e);
+        moves.push_back(
+            {i, graph_.other_endpoint(e, robot.pos), e, true, false});
+        return true;
+      }
+      return false;
+    };
+
+    for (std::int32_t i = 0; i < k_; ++i) {
+      Robot& robot = robots_[static_cast<std::size_t>(i)];
+      switch (robot.phase) {
+        case Robot::Phase::kBacktrack:
+          moves.push_back(
+              {i, robot.backtrack_to, robot.backtrack_edge, false, true});
+          break;
+        case Robot::Phase::kToAnchor: {
+          BFDN_CHECK(!robot.stack.empty(), "BF stack empty");
+          const NodeId next = robot.stack.back();
+          robot.stack.pop_back();
+          moves.push_back({i, next, kInvalidEdge, false, false});
+          if (robot.stack.empty()) robot.phase = Robot::Phase::kDepthNext;
+          break;
+        }
+        case Robot::Phase::kDepthNext: {
+          if (robot.pos != graph_.origin()) {
+            if (!try_depth_next(i, robot)) {
+              const NodeId parent =
+                  tree_parent_[static_cast<std::size_t>(robot.pos)];
+              BFDN_CHECK(parent != kInvalidNode, "no tree parent");
+              moves.push_back({i, parent, kInvalidEdge, false, false});
+            }
+            break;
+          }
+          // At the origin: re-anchor as in Algorithm 1.
+          const NodeId anchor = reanchor(result);
+          if (anchor == kInvalidNode) break;  // explored; idle at origin
+          robot.anchor = anchor;
+          if (anchor == graph_.origin()) {
+            (void)try_depth_next(i, robot);  // idle if all reserved
+            break;
+          }
+          const auto path = tree_path_from_origin(anchor);
+          robot.stack.assign(path.rbegin(), path.rend() - 1);
+          robot.phase = Robot::Phase::kToAnchor;
+          const NodeId next = robot.stack.back();
+          robot.stack.pop_back();
+          moves.push_back({i, next, kInvalidEdge, false, false});
+          if (robot.stack.empty()) robot.phase = Robot::Phase::kDepthNext;
+          break;
+        }
+      }
+    }
+
+    // Synchronous commit.
+    bool any_move = false;
+    for (const Move& move : moves) {
+      Robot& robot = robots_[static_cast<std::size_t>(move.robot)];
+      any_move = true;
+      if (move.backtrack) {
+        ++edge_traversals_[static_cast<std::size_t>(move.edge)];
+        edge_closed_[static_cast<std::size_t>(move.edge)] = 1;
+        robot.pos = move.to;
+        robot.phase = Robot::Phase::kDepthNext;
+        robot.backtrack_edge = kInvalidEdge;
+        robot.backtrack_to = kInvalidNode;
+        ++result.backtrack_moves;
+        continue;
+      }
+      if (!move.via_pending) {
+        robot.pos = move.to;
+        continue;
+      }
+      // First traversal of a dangling edge.
+      const EdgeId e = move.edge;
+      const NodeId from = robot.pos;
+      const NodeId to = move.to;
+      ++edge_traversals_[static_cast<std::size_t>(e)];
+      drop_pending(from, e);
+      drop_pending(to, e);
+      robot.pos = to;
+      const bool already_explored =
+          explored_[static_cast<std::size_t>(to)] != 0;
+      const bool strictly_farther =
+          graph_.distance(to) > graph_.distance(from);
+      if (!already_explored && strictly_farther) {
+        explore_node(to, e);
+      } else {
+        // Close the edge: cross back next round. In case (2) the node
+        // `to` does not become explored.
+        robot.phase = Robot::Phase::kBacktrack;
+        robot.backtrack_edge = e;
+        robot.backtrack_to = from;
+      }
+    }
+    return any_move;
+  }
+
+  const Graph& graph_;
+  std::int32_t k_;
+  std::int64_t max_rounds_;
+  std::vector<char> explored_;
+  std::vector<NodeId> tree_parent_;
+  std::vector<std::vector<EdgeId>> pending_;
+  std::vector<std::int32_t> edge_traversals_;
+  std::vector<char> edge_closed_;
+  std::vector<char> edge_is_tree_;
+  std::map<std::int32_t, std::set<NodeId>> open_by_depth_;
+  std::vector<Robot> robots_;
+};
+
+}  // namespace
+
+double proposition9_bound(std::int64_t num_edges, std::int32_t radius,
+                          std::int32_t max_degree, std::int32_t k) {
+  const double log_term = std::min(std::log(static_cast<double>(
+                                       std::max(max_degree, 1))),
+                                   std::log(static_cast<double>(k)));
+  return 2.0 * static_cast<double>(num_edges) / static_cast<double>(k) +
+         static_cast<double>(radius) * static_cast<double>(radius) *
+             (std::max(log_term, 0.0) + 3.0);
+}
+
+GraphExplorationResult run_graph_bfdn(const Graph& graph, std::int32_t k,
+                                      std::int64_t max_rounds) {
+  GraphBfdnSimulation simulation(graph, k, max_rounds);
+  return simulation.run();
+}
+
+}  // namespace bfdn

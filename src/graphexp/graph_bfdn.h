@@ -1,0 +1,54 @@
+// BFDN on non-tree graphs (Section 4.3, Proposition 9).
+//
+// Setting: a connected graph with n edges, radius D (max distance from
+// the origin) and maximum degree Delta; robots know at all times their
+// distance to the origin (the paper's added assumption, satisfied e.g.
+// by grid graphs where coordinates are visible).
+//
+// Variant rule: a robot traversing a dangling edge e backtracks and
+// *closes* e (never to be used again) when either (1) e led to an
+// already-explored node, or (2) e led to a node not strictly farther
+// from the origin than e's first endpoint; in case (2) the reached node
+// does not count as explored. The edges never closed form a BFS tree of
+// the graph, which BFDN explores as usual; closed edges cost at most two
+// traversals each.
+//
+// Same-round conflicts are resolved as in the paper: at most one robot
+// reserves a given edge per round (two robots meeting head-on on one
+// edge would simply swap identities, so nothing is lost), and when two
+// robots reach an unexplored node through different edges in the same
+// round, the first one (robot order) claims it and the other backtracks.
+//
+// Proposition 9: exploration completes within
+// 2n/k + D^2 (min(log Delta, log k) + 3) rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "support/stats.h"
+
+namespace bfdn {
+
+struct GraphExplorationResult {
+  std::int64_t rounds = 0;
+  bool complete = false;       // every edge traversed at least once
+  bool all_at_origin = false;  // robots back home
+  bool hit_round_limit = false;
+  std::int64_t tree_edges = 0;    // never-closed edges (BFS tree)
+  std::int64_t closed_edges = 0;  // edges closed by the variant rule
+  std::int64_t backtrack_moves = 0;
+  Histogram reanchors_by_depth;
+  std::int64_t total_reanchors = 0;
+};
+
+/// Proposition 9 right-hand side, with m the number of edges.
+double proposition9_bound(std::int64_t num_edges, std::int32_t radius,
+                          std::int32_t max_degree, std::int32_t k);
+
+/// Runs the graph variant of BFDN with k robots on `graph`.
+GraphExplorationResult run_graph_bfdn(const Graph& graph, std::int32_t k,
+                                      std::int64_t max_rounds = 0);
+
+}  // namespace bfdn

@@ -1,0 +1,541 @@
+#include "recursive/bfdn_ell.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "support/check.h"
+#include "support/strings.h"
+
+namespace bfdn {
+namespace detail {
+namespace {
+
+std::int64_t ipow(std::int64_t base, std::int32_t exp) {
+  std::int64_t out = 1;
+  for (std::int32_t i = 0; i < exp; ++i) out *= base;
+  return out;
+}
+
+/// Node sequence (positions after each move) from `from` to `to` along
+/// the discovered tree: up to the LCA, then down.
+std::vector<NodeId> walk_between(const ExplorationView& view, NodeId from,
+                                 NodeId to) {
+  const std::vector<NodeId> pa = view.path_from_root(from);
+  const std::vector<NodeId> pb = view.path_from_root(to);
+  std::size_t common = 0;
+  while (common < pa.size() && common < pb.size() &&
+         pa[common] == pb[common]) {
+    ++common;
+  }
+  std::vector<NodeId> path;
+  // Up-moves: from pa.back() towards the LCA pa[common-1].
+  for (std::size_t i = pa.size() - 1; i >= common; --i) {
+    path.push_back(pa[i - 1]);
+    if (i == common) break;  // unsigned guard
+  }
+  // Down-moves into pb.
+  for (std::size_t i = common; i < pb.size(); ++i) path.push_back(pb[i]);
+  return path;
+}
+
+}  // namespace
+
+/// One node of the anchor-based instance tree (Section 5): either a
+/// depth-capped BFDN_1 leaf or a divide-depth functor application.
+class EllInstance {
+ public:
+  virtual ~EllInstance() = default;
+  virtual void select(const ExplorationView& view, MoveSelector& sel) = 0;
+  virtual std::int32_t num_active() const = 0;
+  /// All team robots are inactive (sub-tree done as far as they know).
+  virtual bool terminated() const = 0;
+  /// The last iteration was interrupted (instance would now run deep);
+  /// the phase driver of Definition 13 reacts to this on the top node.
+  virtual bool iterations_done() const = 0;
+};
+
+namespace {
+
+// ---------------------------------------------------------------------
+// BFDN_1(k', k', d') on a sub-tree.
+// ---------------------------------------------------------------------
+
+class LeafInstance : public EllInstance {
+ public:
+  LeafInstance(NodeId root, std::int32_t cap_rel,
+               const std::vector<std::int32_t>& team,
+               const ExplorationView& view)
+      : root_(root), root_depth_(view.depth(root)), cap_rel_(cap_rel) {
+    for (std::int32_t id : team) {
+      RobotState robot;
+      robot.id = id;
+      const NodeId pos = view.robot_pos(id);
+      BFDN_CHECK(view.is_ancestor_or_self(root_, pos),
+                 "leaf team robot outside its sub-tree");
+      // Parallel-DFS-position start: a robot already inside continues
+      // depth-next from where it stands, anchored to the first open
+      // node on its path (or its own position).
+      robot.anchor = pos;
+      for (NodeId v : view.path_from_root(pos)) {
+        if (view.depth(v) < root_depth_) continue;
+        if (view.has_unexplored_child_edge(v)) {
+          robot.anchor = v;
+          break;
+        }
+      }
+      robots_.push_back(std::move(robot));
+    }
+  }
+
+  void select(const ExplorationView& view, MoveSelector& sel) override {
+    for (RobotState& robot : robots_) {
+      if (robot.inactive) continue;
+      if (!view.can_move(robot.id)) continue;
+      const NodeId pos = view.robot_pos(robot.id);
+      if (!robot.stack.empty()) {  // BF descent towards the anchor
+        sel.move_down(robot.id, robot.stack.back());
+        robot.stack.pop_back();
+        continue;
+      }
+      if (pos == root_) {
+        const NodeId anchor = reanchor(view);
+        if (anchor == kInvalidNode) {
+          saw_empty_range_ = true;
+          robot.inactive = true;
+          continue;
+        }
+        robot.anchor = anchor;
+        sel.note_reanchor(view.depth(anchor));
+        if (anchor == root_) {
+          (void)sel.try_take_dangling(robot.id);  // idle if all reserved
+          continue;
+        }
+        const std::vector<NodeId> path = view.path_from_root(anchor);
+        for (std::size_t j = path.size();
+             j-- > static_cast<std::size_t>(root_depth_) + 1;) {
+          robot.stack.push_back(path[j]);
+        }
+        sel.move_down(robot.id, robot.stack.back());
+        robot.stack.pop_back();
+        continue;
+      }
+      // Depth-next below the sub-tree root.
+      if (sel.try_take_dangling(robot.id) == kInvalidNode) {
+        sel.move_up(robot.id);
+      }
+    }
+  }
+
+  std::int32_t num_active() const override {
+    std::int32_t count = 0;
+    for (const RobotState& robot : robots_) count += !robot.inactive;
+    return count;
+  }
+
+  bool terminated() const override { return num_active() == 0; }
+
+  bool iterations_done() const override {
+    // A BFDN_1 "runs deep" once its capped range has no open node left;
+    // we detect that the first time a robot fails to re-anchor.
+    return saw_empty_range_ || terminated();
+  }
+
+ private:
+  struct RobotState {
+    std::int32_t id = -1;
+    NodeId anchor = kInvalidNode;
+    std::vector<NodeId> stack;
+    bool inactive = false;
+  };
+
+  NodeId reanchor(const ExplorationView& view) const {
+    // Shallowest open node within T(root_) at relative depth <= cap,
+    // then minimum load, exactly as procedure Reanchor restricted by
+    // Section 5's modified line 26.
+    std::int32_t best_depth = std::numeric_limits<std::int32_t>::max();
+    std::vector<NodeId> level;
+    for (NodeId v : view.open_nodes()) {
+      const std::int32_t d = view.depth(v);
+      if (d < root_depth_ || d > root_depth_ + cap_rel_ || d > best_depth) {
+        continue;
+      }
+      if (!view.is_ancestor_or_self(root_, v)) continue;
+      if (d < best_depth) {
+        best_depth = d;
+        level.clear();
+      }
+      level.push_back(v);
+    }
+    NodeId best = kInvalidNode;
+    std::int32_t best_load = 0;
+    for (NodeId v : level) {
+      std::int32_t load = 0;
+      for (const RobotState& robot : robots_) {
+        if (!robot.inactive && robot.anchor == v) ++load;
+      }
+      if (best == kInvalidNode || load < best_load) {
+        best = v;
+        best_load = load;
+      }
+    }
+    return best;
+  }
+
+  NodeId root_;
+  std::int32_t root_depth_;
+  std::int32_t cap_rel_;
+  std::vector<RobotState> robots_;
+  bool saw_empty_range_ = false;
+};
+
+// ---------------------------------------------------------------------
+// Divide-depth functor D[BFDN_{m-1}; n_team = k*; n_iter] (Algorithm 3).
+// ---------------------------------------------------------------------
+
+class DivideInstance : public EllInstance {
+ public:
+  DivideInstance(NodeId root, std::int32_t level, std::int32_t k_star,
+                 std::int32_t n_iter, std::int32_t d_child,
+                 std::vector<std::int32_t> team, bool auto_deep,
+                 const ExplorationView& view)
+      : root_(root),
+        root_depth_(view.depth(root)),
+        level_(level),
+        k_star_(k_star),
+        n_iter_(n_iter),
+        d_child_(d_child),
+        team_(std::move(team)),
+        auto_deep_(auto_deep) {
+    BFDN_REQUIRE(level >= 2, "divide level must be >= 2");
+    BFDN_REQUIRE(d_child >= 1 && n_iter >= 1, "bad depth split");
+    k_child_ = static_cast<std::int32_t>(
+        static_cast<std::int64_t>(team_.size()) / k_star_);
+    k_child_ = std::max(k_child_, 1);
+    setup_iteration(1, view);
+  }
+
+  void select(const ExplorationView& view, MoveSelector& sel) override {
+    if (phase_ == Phase::kRun || phase_ == Phase::kDeep) {
+      // Iteration barrier: interrupt all instances simultaneously when
+      // fewer than k* robots remain active (Algorithm 3 line 15).
+      if (phase_ == Phase::kRun && child_active_sum() < k_star_) {
+        if (iter_ < n_iter_) {
+          setup_iteration(iter_ + 1, view);
+        } else {
+          iterations_done_ = true;
+          // Line 20: keep running the last iteration's instances
+          // ("running deep"). The top-level driver will instead start
+          // the next depth phase when auto_deep_ is false.
+          phase_ = Phase::kDeep;
+        }
+      }
+    }
+    switch (phase_) {
+      case Phase::kRelocate: {
+        bool all_arrived = true;
+        for (PendingTeam& pending : pending_teams_) {
+          for (auto& [robot, path] : pending.walkers) {
+            if (!path.empty()) all_arrived = false;
+          }
+        }
+        if (all_arrived) {
+          build_children(view);
+          select(view, sel);  // children start this very round
+          return;
+        }
+        for (PendingTeam& pending : pending_teams_) {
+          for (auto& [robot, path] : pending.walkers) {
+            if (path.empty()) continue;
+            if (!view.can_move(robot)) continue;
+            const NodeId next = path.back();
+            path.pop_back();
+            const NodeId pos = view.robot_pos(robot);
+            if (view.is_explored(next) && view.depth(next) <
+                                              view.depth(pos)) {
+              sel.move_up(robot);
+            } else {
+              sel.move_down(robot, next);
+            }
+          }
+        }
+        break;
+      }
+      case Phase::kRun:
+      case Phase::kDeep:
+        for (auto& child : children_) child->select(view, sel);
+        break;
+      case Phase::kDone:
+        break;
+    }
+  }
+
+  std::int32_t num_active() const override {
+    switch (phase_) {
+      case Phase::kRelocate:
+        return assigned_count_;
+      case Phase::kRun:
+      case Phase::kDeep:
+        return child_active_sum();
+      case Phase::kDone:
+        return 0;
+    }
+    return 0;
+  }
+
+  bool terminated() const override {
+    if (phase_ == Phase::kDone) return true;
+    if (phase_ != Phase::kDeep) return false;
+    for (const auto& child : children_) {
+      if (!child->terminated()) return false;
+    }
+    return true;
+  }
+
+  bool iterations_done() const override {
+    return iterations_done_ || phase_ == Phase::kDone;
+  }
+
+ private:
+  enum class Phase { kRelocate, kRun, kDeep, kDone };
+
+  struct PendingTeam {
+    NodeId root = kInvalidNode;
+    std::vector<std::int32_t> members;
+    // Robots still walking to `root`, with their remaining node path.
+    std::vector<std::pair<std::int32_t, std::vector<NodeId>>> walkers;
+  };
+
+  std::int32_t child_active_sum() const {
+    std::int32_t total = 0;
+    for (const auto& child : children_) total += child->num_active();
+    return total;
+  }
+
+  /// Open Node Coverage roots for an iteration boundary: ancestors of
+  /// open nodes at the boundary depth, deduplicated by the ancestor
+  /// relation, lifted shallower if they would exceed n_team = k*.
+  std::vector<NodeId> coverage_roots(const ExplorationView& view,
+                                     std::int32_t boundary) const {
+    std::vector<NodeId> open_inside;
+    for (NodeId o : view.open_nodes()) {
+      if (view.is_ancestor_or_self(root_, o)) open_inside.push_back(o);
+    }
+    if (open_inside.empty()) return {};
+    for (std::int32_t b = boundary; b >= root_depth_; --b) {
+      std::set<NodeId> reps;
+      for (NodeId o : open_inside) {
+        reps.insert(view.depth(o) >= b ? view.ancestor_at_depth(o, b) : o);
+      }
+      // Drop representatives covered by a strictly higher one.
+      std::vector<NodeId> roots;
+      for (NodeId r : reps) {
+        bool covered = false;
+        for (NodeId other : reps) {
+          if (other != r && view.is_ancestor_or_self(other, r)) {
+            covered = true;
+            break;
+          }
+        }
+        if (!covered) roots.push_back(r);
+      }
+      if (static_cast<std::int32_t>(roots.size()) <= k_star_) {
+        return roots;
+      }
+    }
+    return {root_};
+  }
+
+  void setup_iteration(std::int32_t iteration, const ExplorationView& view) {
+    iter_ = iteration;
+    children_.clear();
+    pending_teams_.clear();
+    const std::int32_t boundary = root_depth_ + (iteration - 1) * d_child_;
+    const std::vector<NodeId> roots = coverage_roots(view, boundary);
+    if (roots.empty()) {
+      phase_ = Phase::kDone;
+      assigned_count_ = 0;
+      return;
+    }
+    BFDN_CHECK(static_cast<std::int32_t>(roots.size()) <= k_star_,
+               "more iteration roots than teams");
+
+    // Partition robots: members already inside a root's sub-tree stay
+    // with it; the rest top the teams up and walk over.
+    std::vector<std::int32_t> pool;
+    std::map<NodeId, std::vector<std::int32_t>> continuing;
+    for (std::int32_t robot : team_) {
+      const NodeId pos = view.robot_pos(robot);
+      NodeId home = kInvalidNode;
+      for (NodeId r : roots) {
+        if (view.is_ancestor_or_self(r, pos)) {
+          home = r;
+          break;
+        }
+      }
+      if (home != kInvalidNode &&
+          static_cast<std::int32_t>(continuing[home].size()) < k_child_) {
+        continuing[home].push_back(robot);
+      } else {
+        pool.push_back(robot);
+      }
+    }
+    assigned_count_ = 0;
+    for (NodeId r : roots) {
+      PendingTeam pending;
+      pending.root = r;
+      pending.members = continuing[r];
+      const std::int32_t need =
+          k_child_ - static_cast<std::int32_t>(pending.members.size());
+      for (std::int32_t w = 0; w < need && !pool.empty(); ++w) {
+        const std::int32_t robot = pool.back();
+        pool.pop_back();
+        pending.members.push_back(robot);
+        std::vector<NodeId> path =
+            walk_between(view, view.robot_pos(robot), r);
+        if (!path.empty()) {
+          std::reverse(path.begin(), path.end());  // pop_back order
+          pending.walkers.emplace_back(robot, std::move(path));
+        }
+      }
+      assigned_count_ +=
+          static_cast<std::int32_t>(pending.members.size());
+      pending_teams_.push_back(std::move(pending));
+    }
+    // Leftover pool robots form unassigned teams: inactive, wait.
+    phase_ = Phase::kRelocate;
+  }
+
+  void build_children(const ExplorationView& view) {
+    children_.clear();
+    for (const PendingTeam& pending : pending_teams_) {
+      if (level_ - 1 == 1) {
+        children_.push_back(std::make_unique<LeafInstance>(
+            pending.root, d_child_, pending.members, view));
+      } else {
+        children_.push_back(std::make_unique<DivideInstance>(
+            pending.root, level_ - 1, k_star_, n_iter_,
+            std::max(d_child_ / n_iter_, 1), pending.members,
+            /*auto_deep=*/true, view));
+      }
+    }
+    pending_teams_.clear();
+    phase_ = Phase::kRun;
+  }
+
+  NodeId root_;
+  std::int32_t root_depth_;
+  std::int32_t level_;
+  std::int32_t k_star_;
+  std::int32_t n_iter_;
+  std::int32_t d_child_;
+  std::int32_t k_child_ = 1;
+  std::vector<std::int32_t> team_;
+  bool auto_deep_;
+
+  Phase phase_ = Phase::kRelocate;
+  std::int32_t iter_ = 0;
+  std::int32_t assigned_count_ = 0;
+  bool iterations_done_ = false;
+  std::vector<PendingTeam> pending_teams_;
+  std::vector<std::unique_ptr<EllInstance>> children_;
+};
+
+}  // namespace
+}  // namespace detail
+
+BfdnEllAlgorithm::BfdnEllAlgorithm(std::int32_t num_robots,
+                                   std::int32_t ell)
+    : num_robots_(num_robots), ell_(ell) {
+  BFDN_REQUIRE(num_robots >= 1, "need at least one robot");
+  BFDN_REQUIRE(ell >= 1, "ell >= 1");
+  // K = floor(k^{1/l})^l, with a correction loop against FP error.
+  std::int64_t base = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::floor(
+             std::pow(static_cast<double>(num_robots),
+                      1.0 / static_cast<double>(ell)))));
+  while (detail::ipow(base + 1, ell) <= num_robots) ++base;
+  while (base > 1 && detail::ipow(base, ell) > num_robots) --base;
+  k_star_ = static_cast<std::int32_t>(base);
+  robots_used_ = static_cast<std::int32_t>(detail::ipow(base, ell));
+}
+
+BfdnEllAlgorithm::~BfdnEllAlgorithm() = default;
+
+std::string BfdnEllAlgorithm::name() const {
+  return str_format("BFDN_%d", ell_);
+}
+
+void BfdnEllAlgorithm::begin(const ExplorationView&) {
+  phase_ = 0;
+  top_.reset();
+}
+
+void BfdnEllAlgorithm::start_phase(const ExplorationView& view) {
+  ++phase_;
+  // Definition 13: d_j = 2^{j*l}; n_iter = d_j^{1/l} = 2^j. Exponents
+  // are clamped — reachable depths are bounded by the tree anyway.
+  const std::int64_t d_total = std::int64_t{1}
+                               << std::min(phase_ * ell_, 40);
+  const std::int32_t n_iter = 1 << std::min(phase_, 20);
+  std::vector<std::int32_t> team;
+  for (std::int32_t i = 0; i < robots_used_; ++i) team.push_back(i);
+  if (ell_ == 1) {
+    top_ = std::make_unique<detail::LeafInstance>(
+        view.root(),
+        static_cast<std::int32_t>(std::min<std::int64_t>(
+            d_total, std::numeric_limits<std::int32_t>::max() / 2)),
+        team, view);
+    return;
+  }
+  const std::int32_t d_child = static_cast<std::int32_t>(std::max<
+      std::int64_t>(d_total / n_iter, 1));
+  top_ = std::make_unique<detail::DivideInstance>(
+      view.root(), ell_, k_star_, n_iter, d_child, std::move(team),
+      /*auto_deep=*/false, view);
+}
+
+void BfdnEllAlgorithm::select_moves(const ExplorationView& view,
+                                    MoveSelector& selector) {
+  // A single engine round may involve several instantaneous bookkeeping
+  // steps (robots turning inactive, iteration barriers firing, a new
+  // depth phase starting) before somebody actually moves. The engine
+  // treats a move-less round as termination, so we resolve bookkeeping
+  // within the round: keep re-entering the instance until it either
+  // selects a move or is genuinely finished.
+  for (std::int32_t guard = 0; guard < 1 << 14; ++guard) {
+    if (top_ == nullptr || top_->iterations_done()) {
+      if (!view.exploration_complete()) {
+        start_phase(view);
+      } else if (top_ == nullptr || top_->terminated()) {
+        return;  // everything explored, every robot inactive
+      }
+      // else: tree explored but robots still finishing their
+      // depth-next excursions — let the deep-running instance drain.
+    }
+    top_->select(view, selector);
+    for (std::int32_t i = 0; i < num_robots_; ++i) {
+      if (selector.has_selected(i)) return;
+    }
+    if (view.exploration_complete() && top_->terminated()) return;
+  }
+  BFDN_CHECK(false, "BFDN_l failed to make progress within a round");
+}
+
+double theorem10_bound(std::int64_t n, std::int32_t depth,
+                       std::int32_t max_degree, std::int32_t k,
+                       std::int32_t ell) {
+  BFDN_REQUIRE(ell >= 1, "ell >= 1");
+  const double l = static_cast<double>(ell);
+  const double log_term =
+      std::min(std::log(static_cast<double>(std::max(max_degree, 1))),
+               std::log(static_cast<double>(k)) / l);
+  return 4.0 * static_cast<double>(n) /
+             std::pow(static_cast<double>(k), 1.0 / l) +
+         std::pow(2.0, l + 1.0) * (l + 1.0 + std::max(log_term, 0.0)) *
+             std::pow(static_cast<double>(depth), 1.0 + 1.0 / l);
+}
+
+}  // namespace bfdn

@@ -1,0 +1,79 @@
+// BFDN_l — the recursive algorithm of Section 5 (Theorem 10).
+//
+// Construction, following Definition 13 / Algorithm 3:
+//  * The driver runs BFDN_l(k*, k, d_j) for the doubling depth schedule
+//    d_j = 2^{j*l}, interrupting each call right after its last
+//    iteration (without letting the top instance run deep) and starting
+//    the next call from the current robot positions.
+//  * BFDN_l(k*, K, d) for l >= 2 is the divide-depth functor
+//    D[BFDN_{l-1}(k*, K/k*, d/n_iter); n_team = k*; n_iter = d^{1/l}]:
+//    each of its n_iter iterations re-partitions the robots into teams,
+//    one per sub-tree root carried over from the previous iteration,
+//    relocates team members to their root along explored edges, and
+//    runs one child instance per team in parallel; the iteration is
+//    interrupted as soon as fewer than k* robots remain active.
+//  * BFDN_1(k*, k', d') is depth-capped BFDN on the sub-tree: robots
+//    re-anchor to the shallowest open node of minimum load within the
+//    sub-tree and at relative depth <= d', run depth-next excursions,
+//    and turn inactive at the sub-tree root when nothing in range
+//    remains open. Depth-next moves are memoryless, so instances can be
+//    handed robots anywhere inside their sub-tree (the paper's
+//    "Parallel DFS Positions" start).
+//  * Sub-tree roots for iteration i are computed from Open Node
+//    Coverage: the ancestors at the iteration boundary depth of the
+//    still-open nodes (deduplicated by the ancestor relation, and lifted
+//    if they would exceed n_team). k is rounded down to floor(k^{1/l})^l
+//    as in the theorem; surplus robots idle at the root.
+//
+// Theorem 10 guarantee:
+//   4n/k^{1/l} + 2^{l+1} (l + 1 + min(log Delta, log(k)/l)) D^{1+1/l}.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace bfdn {
+
+namespace detail {
+class EllInstance;
+}  // namespace detail
+
+class BfdnEllAlgorithm : public Algorithm {
+ public:
+  /// num_robots = k (rounded internally), ell >= 1.
+  BfdnEllAlgorithm(std::int32_t num_robots, std::int32_t ell);
+  ~BfdnEllAlgorithm() override;
+
+  std::string name() const override;
+  void begin(const ExplorationView& view) override;
+  void select_moves(const ExplorationView& view,
+                    MoveSelector& selector) override;
+
+  std::int32_t ell() const { return ell_; }
+  /// floor(k^{1/l})^l robots actually used.
+  std::int32_t robots_used() const { return robots_used_; }
+  std::int32_t k_star() const { return k_star_; }
+  /// Number of depth phases (d_j calls) started so far.
+  std::int32_t phases_started() const { return phase_; }
+
+ private:
+  void start_phase(const ExplorationView& view);
+
+  std::int32_t num_robots_;
+  std::int32_t ell_;
+  std::int32_t robots_used_ = 0;
+  std::int32_t k_star_ = 1;
+  std::int32_t phase_ = 0;
+  std::unique_ptr<detail::EllInstance> top_;
+};
+
+/// Theorem 10 right-hand side.
+double theorem10_bound(std::int64_t n, std::int32_t depth,
+                       std::int32_t max_degree, std::int32_t k,
+                       std::int32_t ell);
+
+}  // namespace bfdn

@@ -1,0 +1,362 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+#include "support/strings.h"
+
+namespace bfdn {
+
+MoveSelector::MoveSelector(ExplorationState& state,
+                           const std::vector<char>& movable)
+    : state_(state), movable_(movable) {
+  pending_.assign(static_cast<std::size_t>(state.num_robots()), Pending{});
+}
+
+void MoveSelector::require_selectable(std::int32_t robot) const {
+  BFDN_REQUIRE(robot >= 0 && robot < state_.num_robots(), "robot index");
+  BFDN_REQUIRE(movable_[static_cast<std::size_t>(robot)] != 0,
+               "selection for a robot the adversary blocked this round");
+  BFDN_REQUIRE(pending_[static_cast<std::size_t>(robot)].kind == Kind::kNone,
+               "robot already selected a move this round");
+}
+
+void MoveSelector::stay(std::int32_t robot) {
+  require_selectable(robot);
+  pending_[static_cast<std::size_t>(robot)] = {Kind::kStay, kInvalidNode};
+}
+
+void MoveSelector::move_up(std::int32_t robot) {
+  require_selectable(robot);
+  const NodeId pos = state_.robot_pos(robot);
+  if (pos == state_.tree().root()) {
+    // "If Robot_i is at the root, up is interpreted as ⊥."
+    pending_[static_cast<std::size_t>(robot)] = {Kind::kStay, kInvalidNode};
+    return;
+  }
+  pending_[static_cast<std::size_t>(robot)] = {Kind::kUp, pos};
+}
+
+void MoveSelector::move_down(std::int32_t robot, NodeId child) {
+  require_selectable(robot);
+  BFDN_REQUIRE(state_.is_explored(child),
+               "move_down target must be an explored child");
+  BFDN_REQUIRE(state_.tree().parent(child) == state_.robot_pos(robot),
+               "move_down target is not a child of the robot's position");
+  pending_[static_cast<std::size_t>(robot)] = {Kind::kDownExplored, child};
+}
+
+NodeId MoveSelector::try_take_dangling(std::int32_t robot) {
+  require_selectable(robot);
+  const NodeId pos = state_.robot_pos(robot);
+  if (state_.num_unreserved_dangling(pos) == 0) return kInvalidNode;
+  const NodeId child = state_.reserve_dangling(pos);
+  pending_[static_cast<std::size_t>(robot)] = {Kind::kDownDangling, child};
+  reserved_this_round_.emplace_back(child, pos);
+  return child;
+}
+
+std::vector<NodeId> MoveSelector::reserved_dangling_at(NodeId u) const {
+  std::vector<NodeId> out;
+  for (const auto& [token, at] : reserved_this_round_) {
+    if (at == u) out.push_back(token);
+  }
+  return out;
+}
+
+void MoveSelector::join_dangling(std::int32_t robot, NodeId token) {
+  require_selectable(robot);
+  const NodeId pos = state_.robot_pos(robot);
+  bool valid = false;
+  for (const auto& [t, at] : reserved_this_round_) {
+    if (t == token && at == pos) {
+      valid = true;
+      break;
+    }
+  }
+  BFDN_REQUIRE(valid, "join_dangling token not reserved at robot's node");
+  pending_[static_cast<std::size_t>(robot)] = {Kind::kDownDangling, token};
+}
+
+void MoveSelector::note_reanchor(std::int32_t depth) {
+  reanchors_by_depth_.add(depth);
+}
+
+bool MoveSelector::has_selected(std::int32_t robot) const {
+  BFDN_REQUIRE(robot >= 0 && robot < state_.num_robots(), "robot index");
+  return pending_[static_cast<std::size_t>(robot)].kind != Kind::kNone;
+}
+
+void Algorithm::begin(const ExplorationView&) {}
+bool Algorithm::finished(const ExplorationView&) const { return false; }
+std::vector<NodeId> Algorithm::anchors() const { return {}; }
+
+// Engine-private access to MoveSelector internals.
+struct EngineAccess {
+  static const std::vector<MoveSelector::Pending>& pending(
+      const MoveSelector& sel) {
+    return sel.pending_;
+  }
+  static const Histogram& reanchors(const MoveSelector& sel) {
+    return sel.reanchors_by_depth_;
+  }
+  static const std::vector<std::pair<NodeId, NodeId>>& reservations(
+      const MoveSelector& sel) {
+    return sel.reserved_this_round_;
+  }
+};
+
+namespace {
+
+/// Claim 4: all open nodes lie in the union of anchor subtrees.
+void check_open_node_coverage(const Tree& tree,
+                              const ExplorationState& state,
+                              const std::vector<NodeId>& anchors) {
+  if (anchors.empty()) return;
+  for (NodeId open : state.open_nodes()) {
+    bool covered = false;
+    for (NodeId anchor : anchors) {
+      if (anchor != kInvalidNode &&
+          tree.is_ancestor_or_self(anchor, open)) {
+        covered = true;
+        break;
+      }
+    }
+    BFDN_CHECK(covered, str_format("Claim 4 violated: open node %d is in "
+                                   "no anchor subtree",
+                                   open));
+  }
+}
+
+}  // namespace
+
+RunResult run_exploration(const Tree& tree, Algorithm& algorithm,
+                          const RunConfig& config) {
+  BFDN_REQUIRE(config.num_robots >= 1, "need at least one robot");
+  BFDN_REQUIRE(config.schedule == nullptr || config.reactive == nullptr,
+               "schedule and reactive adversary are mutually exclusive");
+  ExplorationState state(tree, config.num_robots);
+  const std::int64_t max_rounds =
+      config.max_rounds > 0
+          ? config.max_rounds
+          : 3 * static_cast<std::int64_t>(std::max(tree.depth(), 1)) *
+                    tree.num_nodes() +
+                4 * tree.num_nodes() + 4 * tree.depth() + 64;
+
+  RunResult result;
+  result.robot_moves.assign(static_cast<std::size_t>(config.num_robots), 0);
+  // Per-depth discovery accounting for the completion timeline.
+  std::vector<std::int64_t> unexplored_at_depth(
+      static_cast<std::size_t>(tree.depth()) + 1, 0);
+  for (NodeId v = 1; v < tree.num_nodes(); ++v) {
+    ++unexplored_at_depth[static_cast<std::size_t>(tree.depth(v))];
+  }
+  result.depth_completed_round.assign(
+      static_cast<std::size_t>(tree.depth()) + 1, -1);
+  result.depth_completed_round[0] = 0;
+  for (std::size_t d = 1; d < unexplored_at_depth.size(); ++d) {
+    if (unexplored_at_depth[d] == 0) {
+      result.depth_completed_round[d] = 0;  // hollow level (impossible
+                                            // in a tree, but cheap)
+    }
+  }
+
+  std::vector<char> movable(static_cast<std::size_t>(config.num_robots), 1);
+  ExplorationView view(state, movable);
+  algorithm.begin(view);
+
+  for (std::int64_t t = 0;; ++t) {
+    if (algorithm.finished(view)) break;
+    if (t >= max_rounds) {
+      result.hit_round_limit = true;
+      break;
+    }
+
+    if (config.schedule != nullptr || config.reactive != nullptr) {
+      if (state.exploration_complete()) break;  // Section 4.2: no return
+    }
+    if (config.schedule != nullptr) {
+      if (config.schedule->exhausted(t)) break;
+      for (std::int32_t i = 0; i < config.num_robots; ++i) {
+        movable[static_cast<std::size_t>(i)] =
+            config.schedule->allowed(t, i) ? 1 : 0;
+      }
+    }
+
+    MoveSelector selector(state, movable);
+    algorithm.select_moves(view, selector);
+
+    // Mutable copy of the round's selections: the reactive adversary may
+    // cancel some of them below.
+    std::vector<MoveSelector::Pending> pending =
+        EngineAccess::pending(selector);
+
+    if (config.reactive != nullptr) {
+      std::vector<ReactiveAdversary::ObservedMove> observed(
+          static_cast<std::size_t>(config.num_robots));
+      for (std::int32_t i = 0; i < config.num_robots; ++i) {
+        auto& entry = observed[static_cast<std::size_t>(i)];
+        entry.robot = i;
+        const auto kind = pending[static_cast<std::size_t>(i)].kind;
+        entry.moves = kind == MoveSelector::Kind::kUp ||
+                      kind == MoveSelector::Kind::kDownExplored ||
+                      kind == MoveSelector::Kind::kDownDangling;
+        entry.takes_dangling =
+            kind == MoveSelector::Kind::kDownDangling;
+      }
+      const std::vector<char> blocked =
+          config.reactive->choose_blocked(t, observed);
+      BFDN_CHECK(static_cast<std::int32_t>(blocked.size()) ==
+                     config.num_robots,
+                 "reactive adversary returned a wrong-sized block mask");
+      for (std::int32_t i = 0; i < config.num_robots; ++i) {
+        if (!blocked[static_cast<std::size_t>(i)]) continue;
+        auto& p = pending[static_cast<std::size_t>(i)];
+        if (p.kind != MoveSelector::Kind::kNone &&
+            p.kind != MoveSelector::Kind::kStay) {
+          ++result.reactive_blocks;
+        }
+        p = {MoveSelector::Kind::kStay, kInvalidNode};
+      }
+      // Release reservations whose edge no robot will traverse anymore
+      // (a group-joining teammate may still carry a blocked reserver's
+      // edge, in which case the reservation must survive to be consumed
+      // by that commit).
+      for (const auto& [token, at] : EngineAccess::reservations(selector)) {
+        bool still_used = false;
+        for (const auto& p : pending) {
+          if (p.kind == MoveSelector::Kind::kDownDangling &&
+              p.target == token) {
+            still_used = true;
+            break;
+          }
+        }
+        if (!still_used) state.release_dangling(at, token);
+      }
+    }
+
+    bool any_move = false;
+    for (const auto& p : pending) {
+      if (p.kind == MoveSelector::Kind::kUp ||
+          p.kind == MoveSelector::Kind::kDownExplored ||
+          p.kind == MoveSelector::Kind::kDownDangling) {
+        any_move = true;
+        break;
+      }
+    }
+    if (!any_move) {
+      // This is Algorithm 1's termination test: the terminal round is
+      // not counted. (Any dangling reservation always comes with a
+      // move, and cancelled ones were already released above.)
+      if (config.schedule == nullptr && config.reactive == nullptr) {
+        break;
+      }
+      // Under break-downs an all-stay round can simply mean every useful
+      // robot was blocked; time still passes.
+      ++result.rounds;
+      continue;
+    }
+
+    // Synchronous MOVE.
+    std::int64_t idle_movable = 0;
+    for (std::int32_t i = 0; i < config.num_robots; ++i) {
+      const auto& p = pending[static_cast<std::size_t>(i)];
+      const NodeId pos = state.robot_pos(i);
+      switch (p.kind) {
+        case MoveSelector::Kind::kNone:
+        case MoveSelector::Kind::kStay:
+          if (movable[static_cast<std::size_t>(i)]) ++idle_movable;
+          break;
+        case MoveSelector::Kind::kUp:
+          BFDN_CHECK(p.target == pos, "stale up-move");
+          state.set_robot_pos(i, tree.parent(pos));
+          state.record_traversal(pos, /*downward=*/false);
+          ++result.robot_moves[static_cast<std::size_t>(i)];
+          break;
+        case MoveSelector::Kind::kDownExplored:
+          state.set_robot_pos(i, p.target);
+          state.record_traversal(p.target, /*downward=*/true);
+          ++result.robot_moves[static_cast<std::size_t>(i)];
+          break;
+        case MoveSelector::Kind::kDownDangling: {
+          if (!state.is_explored(p.target)) {
+            state.commit_dangling(pos, p.target);
+            const auto d =
+                static_cast<std::size_t>(tree.depth(p.target));
+            if (--unexplored_at_depth[d] == 0) {
+              result.depth_completed_round[d] = result.rounds + 1;
+            }
+          }
+          // else: a joiner; an earlier robot in this round's commit
+          // order already explored the edge (group traversal).
+          state.set_robot_pos(i, p.target);
+          state.record_traversal(p.target, /*downward=*/true);
+          ++result.robot_moves[static_cast<std::size_t>(i)];
+          break;
+        }
+      }
+    }
+    ++result.rounds;
+    if (idle_movable > 0) {
+      ++result.rounds_with_idle;
+      result.idle_robot_rounds += idle_movable;
+    }
+    for (const auto& [depth, count] :
+         EngineAccess::reanchors(selector).buckets()) {
+      result.reanchors_by_depth.add(depth, count);
+      result.total_reanchors += static_cast<std::int64_t>(count);
+    }
+
+    if (config.trace != nullptr) {
+      TraceFrame frame;
+      frame.round = result.rounds;
+      frame.positions.reserve(static_cast<std::size_t>(config.num_robots));
+      for (std::int32_t i = 0; i < config.num_robots; ++i) {
+        frame.positions.push_back(state.robot_pos(i));
+      }
+      config.trace->push_back(std::move(frame));
+    }
+
+    if (config.check_invariants) {
+      check_open_node_coverage(tree, state, algorithm.anchors());
+    }
+  }
+
+  result.complete = state.num_explored_nodes() == tree.num_nodes();
+  result.edge_events = state.edge_events();
+  result.all_at_root = true;
+  for (std::int32_t i = 0; i < config.num_robots; ++i) {
+    if (state.robot_pos(i) != tree.root()) {
+      result.all_at_root = false;
+      break;
+    }
+  }
+  return result;
+}
+
+double theorem1_bound(std::int64_t n, std::int32_t depth,
+                      std::int32_t max_degree, std::int32_t k) {
+  const double log_term = std::min(std::log(static_cast<double>(k)),
+                                   std::log(static_cast<double>(
+                                       std::max(max_degree, 1))));
+  return 2.0 * static_cast<double>(n) / static_cast<double>(k) +
+         static_cast<double>(depth) * static_cast<double>(depth) *
+             (std::max(log_term, 0.0) + 3.0);
+}
+
+double lemma2_bound(std::int32_t k, std::int32_t max_degree) {
+  const double log_term = std::min(std::log(static_cast<double>(k)),
+                                   std::log(static_cast<double>(
+                                       std::max(max_degree, 1))));
+  return static_cast<double>(k) * (std::max(log_term, 0.0) + 3.0);
+}
+
+double offline_lower_bound(std::int64_t n, std::int32_t depth,
+                           std::int32_t k) {
+  return std::max(
+      2.0 * static_cast<double>(n - 1) / static_cast<double>(k),
+      2.0 * static_cast<double>(depth));
+}
+
+}  // namespace bfdn

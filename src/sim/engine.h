@@ -1,0 +1,201 @@
+// Synchronous round engine for collaborative tree exploration
+// (complete-communication model, Section 2; break-down extension,
+// Section 4.2).
+//
+// A round is: (1) the algorithm makes sequential per-robot selections
+// through MoveSelector (mirroring Algorithm 1's "for i = 1 to k"
+// decision loop, including exclusive reservation of dangling edges —
+// Claim 2 holds by construction); (2) all selected moves execute
+// synchronously and the partially explored tree is updated.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/tree.h"
+#include "sim/exploration_state.h"
+#include "support/stats.h"
+
+namespace bfdn {
+
+/// Adversarial movement schedule M(t, i) of Section 4.2. Outside the
+/// break-down setting pass nullptr (every robot may always move).
+class BreakdownSchedule {
+ public:
+  virtual ~BreakdownSchedule() = default;
+  /// May robot `robot` move at round `t` (0-based)?
+  virtual bool allowed(std::int64_t t, std::int32_t robot) = 0;
+  /// True iff no robot will ever be allowed to move at round >= t.
+  virtual bool exhausted(std::int64_t t) const = 0;
+};
+
+/// Remark 8 extension: an adversary that inspects the moves the robots
+/// selected this round BEFORE deciding which robots to block. Blocked
+/// robots stay put and their dangling-edge reservations return to the
+/// pool. Implementations must stop blocking after a finite budget, or
+/// the run only ends at the round limit. Requires algorithms that
+/// navigate statelessly from observed positions (BfdnAlgorithm does).
+class ReactiveAdversary {
+ public:
+  virtual ~ReactiveAdversary() = default;
+
+  /// What the adversary sees about one robot's selection.
+  struct ObservedMove {
+    std::int32_t robot = 0;
+    bool moves = false;           // false: stays anyway
+    bool takes_dangling = false;  // would discover a new edge
+  };
+
+  /// Flags (size k) of robots to block this round.
+  virtual std::vector<char> choose_blocked(
+      std::int64_t round, const std::vector<ObservedMove>& observed) = 0;
+};
+
+/// Per-round move selection handed to the algorithm.
+class MoveSelector {
+ public:
+  MoveSelector(ExplorationState& state, const std::vector<char>& movable);
+
+  /// Robot stays put (the paper's ⊥).
+  void stay(std::int32_t robot);
+  /// Moves one step towards the root; at the root this is ⊥/stay.
+  void move_up(std::int32_t robot);
+  /// Moves down an *explored* edge to the given explored child.
+  void move_down(std::int32_t robot, NodeId child);
+  /// Reserves and selects a dangling edge at the robot's position.
+  /// Returns the opaque edge token, or kInvalidNode (selecting nothing)
+  /// if no unreserved dangling edge exists there. Exclusive: no other
+  /// try_take_dangling call this round can return the same token, which
+  /// is exactly Claim 2's guarantee for BFDN's DN procedure.
+  NodeId try_take_dangling(std::int32_t robot);
+
+  /// Dangling edges at u already reserved this round (tokens usable
+  /// with join_dangling). The general model permits several robots to
+  /// traverse one edge synchronously; group-based algorithms such as
+  /// CTE opt in through this pair of calls. BFDN never joins.
+  std::vector<NodeId> reserved_dangling_at(NodeId u) const;
+
+  /// Selects an already-reserved dangling edge for an additional robot
+  /// at the same node (group traversal).
+  void join_dangling(std::int32_t robot, NodeId token);
+
+  /// Records that the algorithm re-anchored a robot to depth `depth`
+  /// (Lemma 2 bookkeeping; purely observational).
+  void note_reanchor(std::int32_t depth);
+
+  bool has_selected(std::int32_t robot) const;
+
+  /// Engine-facing move representation (read by the engine only).
+  enum class Kind : std::uint8_t { kNone, kStay, kUp, kDownExplored,
+                                   kDownDangling };
+  struct Pending {
+    Kind kind = Kind::kNone;
+    NodeId target = kInvalidNode;  // child id for the down kinds
+  };
+
+ private:
+  friend struct EngineAccess;
+  void require_selectable(std::int32_t robot) const;
+
+  ExplorationState& state_;
+  const std::vector<char>& movable_;
+  std::vector<Pending> pending_;
+  // token -> node it hangs off, for join validation.
+  std::vector<std::pair<NodeId, NodeId>> reserved_this_round_;
+  Histogram reanchors_by_depth_;
+};
+
+/// A collaborative exploration algorithm in the complete-communication
+/// model. Implementations keep their own per-robot state across rounds.
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once before the first round.
+  virtual void begin(const ExplorationView& view);
+
+  /// Called every round; make one selection per robot (unselected robots
+  /// stay). Selections for robots with view.can_move(i) == false are
+  /// rejected by the selector.
+  virtual void select_moves(const ExplorationView& view,
+                            MoveSelector& selector) = 0;
+
+  /// Early-termination signal for algorithms that finish away from the
+  /// root (e.g. the recursive BFDN_l). Default: never; the engine then
+  /// stops on the first round with no movement (Algorithm 1's do-while).
+  virtual bool finished(const ExplorationView& view) const;
+
+  /// Current anchor of each robot, if the algorithm is anchor-based;
+  /// used by the optional Claim-4 invariant checker. Empty = not
+  /// anchor-based.
+  virtual std::vector<NodeId> anchors() const;
+};
+
+struct TraceFrame {
+  std::int64_t round = 0;
+  std::vector<NodeId> positions;
+};
+
+struct RunConfig {
+  std::int32_t num_robots = 1;
+  /// 0 = automatic limit (comfortably above the 3*D*n termination bound).
+  std::int64_t max_rounds = 0;
+  /// Check Claims 2 and 4 every round (slow; for tests).
+  bool check_invariants = false;
+  /// Break-down adversary; nullptr = all robots always move.
+  BreakdownSchedule* schedule = nullptr;
+  /// Reactive adversary (Remark 8); mutually exclusive with `schedule`.
+  ReactiveAdversary* reactive = nullptr;
+  /// If non-null, receives one frame per executed round.
+  std::vector<TraceFrame>* trace = nullptr;
+};
+
+struct RunResult {
+  /// Rounds executed (the terminal all-stay round is not counted, as in
+  /// the paper's do-while).
+  std::int64_t rounds = 0;
+  bool complete = false;      // every node explored
+  bool all_at_root = false;   // every robot back at the root
+  bool hit_round_limit = false;
+  std::int64_t edge_events = 0;
+  /// Rounds in which at least one *movable* robot stayed put.
+  std::int64_t rounds_with_idle = 0;
+  /// Total robot-rounds in which a movable robot stayed put.
+  std::int64_t idle_robot_rounds = 0;
+  /// Moves actually performed, per robot; sum = k*A(M) in Section 4.2.
+  std::vector<std::int64_t> robot_moves;
+  /// Reanchor calls per returned depth (Lemma 2).
+  Histogram reanchors_by_depth;
+  std::int64_t total_reanchors = 0;
+  /// Robot-moves cancelled by a reactive adversary (Remark 8).
+  std::int64_t reactive_blocks = 0;
+  /// depth_completed_round[d]: first round after which every node at
+  /// depth d is explored (-1 if the run ended before that; [0] == 0).
+  /// BFDN's breadth-first re-anchoring makes this strictly increasing
+  /// and front-loaded; depth-first swarms fill it almost all at once.
+  std::vector<std::int64_t> depth_completed_round;
+};
+
+/// Runs `algorithm` on `tree` until termination (see RunConfig).
+RunResult run_exploration(const Tree& tree, Algorithm& algorithm,
+                          const RunConfig& config);
+
+/// Theorem 1 right-hand side: 2n/k + D^2 (min(log k, log Delta) + 3).
+double theorem1_bound(std::int64_t n, std::int32_t depth,
+                      std::int32_t max_degree, std::int32_t k);
+
+/// Lemma 2 right-hand side: k (min(log k, log Delta) + 3).
+double lemma2_bound(std::int32_t k, std::int32_t max_degree);
+
+/// Offline lower bound, stated in the paper as max(2n/k, 2D): every
+/// edge is crossed in both directions and some robot must reach the
+/// deepest node and come home. The exact edge count is n - 1, so we
+/// use max(2(n-1)/k, 2D) — a single-robot DFS achieves exactly 2(n-1).
+double offline_lower_bound(std::int64_t n, std::int32_t depth,
+                           std::int32_t k);
+
+}  // namespace bfdn

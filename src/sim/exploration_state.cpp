@@ -1,0 +1,182 @@
+#include "sim/exploration_state.h"
+
+#include <algorithm>
+
+namespace bfdn {
+
+ExplorationState::ExplorationState(const Tree& tree, std::int32_t num_robots)
+    : tree_(tree), num_robots_(num_robots) {
+  BFDN_REQUIRE(num_robots >= 1, "need at least one robot");
+  const auto n = static_cast<std::size_t>(tree.num_nodes());
+  robot_pos_.assign(static_cast<std::size_t>(num_robots), tree.root());
+  explored_.assign(n, 0);
+  dangling_.assign(n, {});
+  reserved_.assign(n, 0);
+  traversed_down_.assign(n, 0);
+  traversed_up_.assign(n, 0);
+
+  // Exploration starts with the root explored and all root edges dangling.
+  explored_[static_cast<std::size_t>(tree.root())] = 1;
+  num_explored_ = 1;
+  auto& root_dangling = dangling_[static_cast<std::size_t>(tree.root())];
+  const auto kids = tree.children(tree.root());
+  root_dangling.assign(kids.begin(), kids.end());
+  if (!root_dangling.empty()) mark_open(tree.root());
+}
+
+NodeId ExplorationState::robot_pos(std::int32_t robot) const {
+  BFDN_REQUIRE(robot >= 0 && robot < num_robots_, "robot index");
+  return robot_pos_[static_cast<std::size_t>(robot)];
+}
+
+void ExplorationState::set_robot_pos(std::int32_t robot, NodeId v) {
+  BFDN_REQUIRE(robot >= 0 && robot < num_robots_, "robot index");
+  robot_pos_[static_cast<std::size_t>(robot)] = v;
+}
+
+bool ExplorationState::is_explored(NodeId v) const {
+  BFDN_REQUIRE(v >= 0 && v < tree_.num_nodes(), "node id");
+  return explored_[static_cast<std::size_t>(v)] != 0;
+}
+
+std::int32_t ExplorationState::num_unexplored_child_edges(NodeId u) const {
+  BFDN_REQUIRE(is_explored(u), "query on unexplored node");
+  return static_cast<std::int32_t>(
+             dangling_[static_cast<std::size_t>(u)].size()) +
+         reserved_[static_cast<std::size_t>(u)];
+}
+
+std::int32_t ExplorationState::num_unreserved_dangling(NodeId u) const {
+  BFDN_REQUIRE(is_explored(u), "query on unexplored node");
+  return static_cast<std::int32_t>(
+      dangling_[static_cast<std::size_t>(u)].size());
+}
+
+NodeId ExplorationState::reserve_dangling(NodeId u) {
+  auto& pool = dangling_[static_cast<std::size_t>(u)];
+  BFDN_REQUIRE(!pool.empty(), "no unreserved dangling edge at node");
+  const NodeId child = pool.back();
+  pool.pop_back();
+  ++reserved_[static_cast<std::size_t>(u)];
+  return child;
+}
+
+void ExplorationState::release_dangling(NodeId u, NodeId child) {
+  BFDN_CHECK(reserved_[static_cast<std::size_t>(u)] > 0,
+             "release without reservation");
+  --reserved_[static_cast<std::size_t>(u)];
+  dangling_[static_cast<std::size_t>(u)].push_back(child);
+}
+
+void ExplorationState::commit_dangling(NodeId u, NodeId child) {
+  BFDN_CHECK(reserved_[static_cast<std::size_t>(u)] > 0,
+             "commit without reservation");
+  BFDN_CHECK(tree_.parent(child) == u, "edge does not hang off u");
+  BFDN_CHECK(!is_explored(child), "child explored twice");
+  --reserved_[static_cast<std::size_t>(u)];
+  if (num_unexplored_child_edges(u) == 0) mark_closed(u);
+
+  explored_[static_cast<std::size_t>(child)] = 1;
+  ++num_explored_;
+  auto& child_dangling = dangling_[static_cast<std::size_t>(child)];
+  const auto kids = tree_.children(child);
+  child_dangling.assign(kids.begin(), kids.end());
+  if (!child_dangling.empty()) mark_open(child);
+}
+
+std::int32_t ExplorationState::min_open_depth() const {
+  BFDN_REQUIRE(!open_by_depth_.empty(), "exploration is complete");
+  return open_by_depth_.begin()->first;
+}
+
+std::vector<NodeId> ExplorationState::open_nodes_at_depth(
+    std::int32_t depth) const {
+  const auto it = open_by_depth_.find(depth);
+  if (it == open_by_depth_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::vector<NodeId> ExplorationState::open_nodes() const {
+  std::vector<NodeId> out;
+  for (const auto& [depth, nodes] : open_by_depth_) {
+    out.insert(out.end(), nodes.begin(), nodes.end());
+  }
+  return out;
+}
+
+std::int64_t ExplorationState::num_open_nodes() const {
+  std::int64_t total = 0;
+  for (const auto& [depth, nodes] : open_by_depth_) {
+    total += static_cast<std::int64_t>(nodes.size());
+  }
+  return total;
+}
+
+bool ExplorationState::record_traversal(NodeId child, bool downward) {
+  auto& flag = downward ? traversed_down_[static_cast<std::size_t>(child)]
+                        : traversed_up_[static_cast<std::size_t>(child)];
+  if (flag) return false;
+  flag = 1;
+  ++edge_events_;
+  return true;
+}
+
+void ExplorationState::mark_open(NodeId u) {
+  open_by_depth_[tree_.depth(u)].insert(u);
+}
+
+void ExplorationState::mark_closed(NodeId u) {
+  const auto it = open_by_depth_.find(tree_.depth(u));
+  BFDN_CHECK(it != open_by_depth_.end(), "closing a node not open");
+  it->second.erase(u);
+  if (it->second.empty()) open_by_depth_.erase(it);
+}
+
+bool ExplorationView::can_move(std::int32_t robot) const {
+  BFDN_REQUIRE(robot >= 0 && robot < num_robots(), "robot index");
+  return movable_[static_cast<std::size_t>(robot)] != 0;
+}
+
+std::int32_t ExplorationView::depth(NodeId v) const {
+  BFDN_REQUIRE(state_.is_explored(v), "depth of unexplored node");
+  return state_.tree().depth(v);
+}
+
+NodeId ExplorationView::parent(NodeId v) const {
+  BFDN_REQUIRE(state_.is_explored(v), "parent of unexplored node");
+  return state_.tree().parent(v);
+}
+
+std::vector<NodeId> ExplorationView::explored_children(NodeId v) const {
+  BFDN_REQUIRE(state_.is_explored(v), "children of unexplored node");
+  std::vector<NodeId> out;
+  for (NodeId c : state_.tree().children(v)) {
+    if (state_.is_explored(c)) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<NodeId> ExplorationView::path_from_root(NodeId v) const {
+  BFDN_REQUIRE(state_.is_explored(v), "path to unexplored node");
+  return state_.tree().path_from_root(v);
+}
+
+bool ExplorationView::is_ancestor_or_self(NodeId a, NodeId b) const {
+  BFDN_REQUIRE(state_.is_explored(a) && state_.is_explored(b),
+               "ancestor query on unexplored nodes");
+  return state_.tree().is_ancestor_or_self(a, b);
+}
+
+NodeId ExplorationView::ancestor_at_depth(NodeId v,
+                                          std::int32_t target_depth) const {
+  BFDN_REQUIRE(state_.is_explored(v), "ancestor of unexplored node");
+  BFDN_REQUIRE(target_depth >= 0 && target_depth <= depth(v),
+               "target depth out of range");
+  NodeId cur = v;
+  while (state_.tree().depth(cur) > target_depth) {
+    cur = state_.tree().parent(cur);
+  }
+  return cur;
+}
+
+}  // namespace bfdn

@@ -1,0 +1,154 @@
+// Partially explored tree — the online information state of Section 2.
+//
+// The hidden ground-truth Tree lives in the engine; algorithms interact
+// only with ExplorationView, which exposes exactly what the paper's
+// model reveals: explored nodes, discovered edges (including dangling
+// ones), node depths within the discovered tree, and robot positions.
+//
+// Edge identity. In a tree every non-root node c corresponds to the
+// unique edge (parent(c), c); we therefore key edges by the child's
+// NodeId. For a *dangling* edge the child id acts as an opaque
+// reservation token: algorithms never learn anything about the subtree
+// behind it until a robot traverses the edge (the view offers no
+// accessor on unexplored nodes, and dangling edges at a node are handed
+// out one at a time by the reservation API).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "graph/tree.h"
+#include "support/check.h"
+
+namespace bfdn {
+
+class ExplorationState {
+ public:
+  ExplorationState(const Tree& tree, std::int32_t num_robots);
+
+  const Tree& tree() const { return tree_; }
+  std::int32_t num_robots() const { return num_robots_; }
+
+  // --- robot positions -----------------------------------------------
+  NodeId robot_pos(std::int32_t robot) const;
+  void set_robot_pos(std::int32_t robot, NodeId v);
+
+  // --- explored / dangling bookkeeping --------------------------------
+  bool is_explored(NodeId v) const;
+  /// Number of incident child edges of u not yet traversed (dangling,
+  /// whether or not currently reserved for this round).
+  std::int32_t num_unexplored_child_edges(NodeId u) const;
+  /// Number of dangling edges at u available for reservation right now.
+  std::int32_t num_unreserved_dangling(NodeId u) const;
+
+  /// Reserves one dangling edge at u for this round; returns the hidden
+  /// child id (opaque token). Requires num_unreserved_dangling(u) > 0.
+  NodeId reserve_dangling(NodeId u);
+  /// Returns a reserved edge to the pool (robot was blocked).
+  void release_dangling(NodeId u, NodeId child);
+  /// Commits a reserved edge: the robot moved through it; the child
+  /// becomes explored and its own child edges become dangling.
+  void commit_dangling(NodeId u, NodeId child);
+
+  // --- open nodes (adjacent to >= 1 unexplored edge) -------------------
+  bool exploration_complete() const { return open_by_depth_.empty(); }
+  /// Depth of the shallowest open node; requires !exploration_complete().
+  std::int32_t min_open_depth() const;
+  /// Open nodes at exactly the given depth (may be empty).
+  std::vector<NodeId> open_nodes_at_depth(std::int32_t depth) const;
+  /// All open nodes, any order.
+  std::vector<NodeId> open_nodes() const;
+  std::int64_t num_open_nodes() const;
+
+  // --- edge-event accounting (Section 5) -------------------------------
+  /// Marks a traversal of edge (parent(v), v) in the given direction;
+  /// returns true iff this is the first traversal in that direction
+  /// (an "edge event").
+  bool record_traversal(NodeId child, bool downward);
+  std::int64_t edge_events() const { return edge_events_; }
+
+  std::int64_t num_explored_nodes() const { return num_explored_; }
+
+ private:
+  void mark_open(NodeId u);
+  void mark_closed(NodeId u);
+
+  const Tree& tree_;
+  std::int32_t num_robots_;
+  std::vector<NodeId> robot_pos_;
+  std::vector<char> explored_;
+  // Per node: dangling child edges not currently reserved.
+  std::vector<std::vector<NodeId>> dangling_;
+  // Per node: count of dangling edges reserved this round.
+  std::vector<std::int32_t> reserved_;
+  // Open nodes grouped by depth for Reanchor's "minimal depth" rule.
+  std::map<std::int32_t, std::set<NodeId>> open_by_depth_;
+  // Per edge (keyed by child id): first-traversal flags down/up.
+  std::vector<char> traversed_down_;
+  std::vector<char> traversed_up_;
+  std::int64_t edge_events_ = 0;
+  std::int64_t num_explored_ = 0;
+};
+
+/// Read-only facade handed to algorithms. Exposes only model-legal
+/// information (no subtree sizes, no unexplored structure).
+class ExplorationView {
+ public:
+  ExplorationView(const ExplorationState& state,
+                  const std::vector<char>& movable)
+      : state_(state), movable_(movable) {}
+
+  std::int32_t num_robots() const { return state_.num_robots(); }
+  NodeId root() const { return state_.tree().root(); }
+  NodeId robot_pos(std::int32_t robot) const {
+    return state_.robot_pos(robot);
+  }
+  /// Whether the adversary allows this robot to move this round
+  /// (always true outside the break-down setting of Section 4.2).
+  bool can_move(std::int32_t robot) const;
+
+  bool is_explored(NodeId v) const { return state_.is_explored(v); }
+  /// Depth of an *explored* node in the discovered tree (== true depth).
+  std::int32_t depth(NodeId v) const;
+  /// Parent of an explored non-root node in the discovered tree.
+  NodeId parent(NodeId v) const;
+  /// Explored children of an explored node (traversed edges only).
+  std::vector<NodeId> explored_children(NodeId v) const;
+
+  bool has_unexplored_child_edge(NodeId u) const {
+    return state_.num_unexplored_child_edges(u) > 0;
+  }
+  std::int32_t num_unexplored_child_edges(NodeId u) const {
+    return state_.num_unexplored_child_edges(u);
+  }
+  bool has_unreserved_dangling(NodeId u) const {
+    return state_.num_unreserved_dangling(u) > 0;
+  }
+  std::int32_t num_unreserved_dangling(NodeId u) const {
+    return state_.num_unreserved_dangling(u);
+  }
+
+  bool exploration_complete() const { return state_.exploration_complete(); }
+  std::int32_t min_open_depth() const { return state_.min_open_depth(); }
+  std::vector<NodeId> open_nodes_at_depth(std::int32_t d) const {
+    return state_.open_nodes_at_depth(d);
+  }
+  std::vector<NodeId> open_nodes() const { return state_.open_nodes(); }
+  std::int64_t num_open_nodes() const { return state_.num_open_nodes(); }
+
+  /// Path root -> v (inclusive) within the discovered tree.
+  std::vector<NodeId> path_from_root(NodeId v) const;
+
+  /// Ancestor relation within the discovered tree (both explored).
+  bool is_ancestor_or_self(NodeId a, NodeId b) const;
+  /// Ancestor of v at the given depth (<= depth(v)), both explored.
+  NodeId ancestor_at_depth(NodeId v, std::int32_t target_depth) const;
+
+ private:
+  const ExplorationState& state_;
+  const std::vector<char>& movable_;
+};
+
+}  // namespace bfdn

@@ -1,0 +1,80 @@
+#include "sim/render.h"
+
+#include <map>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace bfdn {
+namespace {
+
+void render_node(const Tree& tree, NodeId v, const std::string& prefix,
+                 bool last_child, bool is_root,
+                 const std::vector<std::string>& annotations,
+                 std::ostringstream& oss) {
+  oss << prefix;
+  std::string child_prefix = prefix;
+  if (!is_root) {
+    oss << (last_child ? "└─ " : "├─ ");
+    child_prefix += last_child ? "   " : "│  ";
+  }
+  oss << v;
+  if (static_cast<std::size_t>(v) < annotations.size() &&
+      !annotations[static_cast<std::size_t>(v)].empty()) {
+    oss << "  " << annotations[static_cast<std::size_t>(v)];
+  }
+  oss << '\n';
+  const auto kids = tree.children(v);
+  for (std::size_t i = 0; i < kids.size(); ++i) {
+    render_node(tree, kids[i], child_prefix, i + 1 == kids.size(), false,
+                annotations, oss);
+  }
+}
+
+}  // namespace
+
+std::string render_tree_ascii(
+    const Tree& tree, const std::vector<std::string>& annotations) {
+  std::ostringstream oss;
+  render_node(tree, tree.root(), "", true, true, annotations, oss);
+  return oss.str();
+}
+
+std::string render_trace_frame(const Tree& tree, const TraceFrame& frame) {
+  std::map<NodeId, std::string> markers;
+  for (std::size_t r = 0; r < frame.positions.size(); ++r) {
+    std::string& text = markers[frame.positions[r]];
+    text += text.empty() ? "[R" : " R";
+    text += std::to_string(r);
+  }
+  std::vector<std::string> annotations(
+      static_cast<std::size_t>(tree.num_nodes()));
+  for (auto& [node, text] : markers) {
+    annotations[static_cast<std::size_t>(node)] = text + "]";
+  }
+  std::ostringstream oss;
+  oss << "round " << frame.round << ":\n"
+      << render_tree_ascii(tree, annotations);
+  return oss.str();
+}
+
+std::vector<RobotTraceSummary> summarize_trace(
+    const Tree& tree, const std::vector<TraceFrame>& trace) {
+  if (trace.empty()) return {};
+  const std::size_t k = trace.front().positions.size();
+  std::vector<RobotTraceSummary> out(k);
+  std::vector<NodeId> prev(k, tree.root());
+  for (const TraceFrame& frame : trace) {
+    BFDN_REQUIRE(frame.positions.size() == k, "ragged trace");
+    for (std::size_t r = 0; r < k; ++r) {
+      const NodeId pos = frame.positions[r];
+      if (pos != prev[r]) ++out[r].moves;
+      out[r].deepest = std::max(out[r].deepest, tree.depth(pos));
+      if (pos == tree.root()) ++out[r].rounds_at_root;
+      prev[r] = pos;
+    }
+  }
+  return out;
+}
+
+}  // namespace bfdn

@@ -1,0 +1,38 @@
+// ASCII rendering of trees and exploration traces — the terminal
+// counterpart of the Python demo credited in the paper's
+// acknowledgements. Intended for small trees (every node gets a line).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/tree.h"
+#include "sim/engine.h"
+
+namespace bfdn {
+
+/// Indented tree listing: one line per node in DFS order, e.g.
+///   0
+///   ├─ 1  [R0 R2]
+///   │  └─ 3
+///   └─ 2
+/// `annotations[v]` (optional, may be empty) is appended to node v's
+/// line; pass {} for a bare tree.
+std::string render_tree_ascii(const Tree& tree,
+                              const std::vector<std::string>& annotations);
+
+/// Renders one trace frame: the tree with per-node robot markers
+/// ("[R0 R3]") as annotations.
+std::string render_trace_frame(const Tree& tree, const TraceFrame& frame);
+
+/// Per-robot summary of a full trace: moves made, deepest node reached,
+/// rounds spent parked at the root.
+struct RobotTraceSummary {
+  std::int64_t moves = 0;
+  std::int32_t deepest = 0;
+  std::int64_t rounds_at_root = 0;
+};
+std::vector<RobotTraceSummary> summarize_trace(
+    const Tree& tree, const std::vector<TraceFrame>& trace);
+
+}  // namespace bfdn

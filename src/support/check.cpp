@@ -1,0 +1,15 @@
+#include "support/check.h"
+
+#include <sstream>
+
+namespace bfdn::detail {
+
+void check_failed(const char* kind, const char* expr, const char* file,
+                  int line, const std::string& message) {
+  std::ostringstream oss;
+  oss << kind << " failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) oss << " — " << message;
+  throw CheckError(oss.str());
+}
+
+}  // namespace bfdn::detail

@@ -1,0 +1,45 @@
+// Lightweight runtime checking for invariants and preconditions.
+//
+// The simulator and algorithms use these macros to fail fast (with a
+// descriptive message) when a model invariant is violated. They are
+// always on: this is a research reproduction where silent corruption of
+// the exploration state would invalidate measured results, so the cost
+// of a branch per check is accepted even in release builds.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bfdn {
+
+/// Error thrown when a BFDN_CHECK / BFDN_REQUIRE fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* kind, const char* expr,
+                               const char* file, int line,
+                               const std::string& message);
+}  // namespace detail
+
+}  // namespace bfdn
+
+/// Verifies an internal invariant. Failure indicates a bug in this library.
+#define BFDN_CHECK(expr, ...)                                             \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::bfdn::detail::check_failed("invariant", #expr, __FILE__,          \
+                                   __LINE__, ::std::string{__VA_ARGS__}); \
+    }                                                                     \
+  } while (false)
+
+/// Verifies a caller-supplied precondition (argument validation).
+#define BFDN_REQUIRE(expr, ...)                                           \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::bfdn::detail::check_failed("precondition", #expr, __FILE__,       \
+                                   __LINE__, ::std::string{__VA_ARGS__}); \
+    }                                                                     \
+  } while (false)

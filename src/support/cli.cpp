@@ -1,0 +1,143 @@
+#include "support/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace bfdn {
+namespace {
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case 0: return "int";
+    case 1: return "double";
+    case 2: return "string";
+    case 3: return "bool";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+CliParser::CliParser(std::string program_name, std::string description)
+    : program_name_(std::move(program_name)),
+      description_(std::move(description)) {}
+
+void CliParser::add_int(const std::string& name, std::int64_t default_value,
+                        const std::string& help) {
+  flags_[name] = Flag{Kind::kInt, help, std::to_string(default_value)};
+}
+
+void CliParser::add_double(const std::string& name, double default_value,
+                           const std::string& help) {
+  flags_[name] = Flag{Kind::kDouble, help, std::to_string(default_value)};
+}
+
+void CliParser::add_string(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  flags_[name] = Flag{Kind::kString, help, default_value};
+}
+
+void CliParser::add_bool(const std::string& name, bool default_value,
+                         const std::string& help) {
+  flags_[name] = Flag{Kind::kBool, help, default_value ? "true" : "false"};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    BFDN_REQUIRE(arg.rfind("--", 0) == 0, "expected --flag, got: " + arg);
+    arg = arg.substr(2);
+    if (arg == "help") {
+      std::fputs(help_text().c_str(), stdout);
+      return false;
+    }
+    std::string name = arg;
+    std::string value;
+    bool have_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      have_value = true;
+    }
+    const auto it = flags_.find(name);
+    BFDN_REQUIRE(it != flags_.end(), "unknown flag: --" + name);
+    if (!have_value) {
+      if (it->second.kind == Kind::kBool) {
+        value = "true";
+      } else {
+        BFDN_REQUIRE(i + 1 < argc, "missing value for --" + name);
+        value = argv[++i];
+      }
+    }
+    set_value(name, value);
+  }
+  return true;
+}
+
+void CliParser::set_value(const std::string& name, const std::string& value) {
+  Flag& f = flags_.at(name);
+  switch (f.kind) {
+    case Kind::kInt: {
+      char* end = nullptr;
+      (void)std::strtoll(value.c_str(), &end, 10);
+      BFDN_REQUIRE(end && *end == '\0' && !value.empty(),
+                   "bad int for --" + name + ": " + value);
+      break;
+    }
+    case Kind::kDouble: {
+      char* end = nullptr;
+      (void)std::strtod(value.c_str(), &end);
+      BFDN_REQUIRE(end && *end == '\0' && !value.empty(),
+                   "bad double for --" + name + ": " + value);
+      break;
+    }
+    case Kind::kBool:
+      BFDN_REQUIRE(value == "true" || value == "false",
+                   "bad bool for --" + name + ": " + value);
+      break;
+    case Kind::kString:
+      break;
+  }
+  f.value = value;
+}
+
+const CliParser::Flag& CliParser::flag(const std::string& name,
+                                       Kind kind) const {
+  const auto it = flags_.find(name);
+  BFDN_REQUIRE(it != flags_.end(), "flag not registered: --" + name);
+  BFDN_REQUIRE(it->second.kind == kind,
+               "flag --" + name + " is not of the requested type");
+  return it->second;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  return std::strtoll(flag(name, Kind::kInt).value.c_str(), nullptr, 10);
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return std::strtod(flag(name, Kind::kDouble).value.c_str(), nullptr);
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+  return flag(name, Kind::kString).value;
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  return flag(name, Kind::kBool).value == "true";
+}
+
+std::string CliParser::help_text() const {
+  std::ostringstream oss;
+  oss << program_name_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& [name, f] : flags_) {
+    oss << "  --" << name << " (" << kind_name(static_cast<int>(f.kind))
+        << ", default " << f.value << ")\n      " << f.help << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace bfdn

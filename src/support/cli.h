@@ -1,0 +1,58 @@
+// Tiny command-line flag parser for bench and example binaries.
+//
+// Supported syntax: --name=value, --name value, and bare boolean
+// --name. Unknown flags are an error (fail fast rather than silently
+// running the wrong sweep). "--help" prints registered flags and the
+// binary description.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bfdn {
+
+class CliParser {
+ public:
+  CliParser(std::string program_name, std::string description);
+
+  /// Registers a flag and returns the current (default) value. Call all
+  /// registrations before parse().
+  void add_int(const std::string& name, std::int64_t default_value,
+               const std::string& help);
+  void add_double(const std::string& name, double default_value,
+                  const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  void add_bool(const std::string& name, bool default_value,
+                const std::string& help);
+
+  /// Parses argv. Returns false if --help was requested (help already
+  /// printed); throws CheckError on malformed input or unknown flags.
+  bool parse(int argc, const char* const* argv);
+
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  std::string get_string(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  std::string help_text() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kBool };
+  struct Flag {
+    Kind kind;
+    std::string help;
+    std::string value;  // canonical textual value
+  };
+
+  const Flag& flag(const std::string& name, Kind kind) const;
+  void set_value(const std::string& name, const std::string& value);
+
+  std::string program_name_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace bfdn

@@ -1,0 +1,52 @@
+#include "support/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace bfdn {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void log_message(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) <
+      g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::fprintf(stderr, "[%s] %s\n", level_tag(level), message.c_str());
+}
+
+void log_debug(const std::string& message) {
+  log_message(LogLevel::kDebug, message);
+}
+void log_info(const std::string& message) {
+  log_message(LogLevel::kInfo, message);
+}
+void log_warn(const std::string& message) {
+  log_message(LogLevel::kWarn, message);
+}
+void log_error(const std::string& message) {
+  log_message(LogLevel::kError, message);
+}
+
+}  // namespace bfdn

@@ -1,0 +1,23 @@
+// Leveled stderr logger. Benches keep stdout clean for tables; progress
+// and diagnostics go through here.
+#pragma once
+
+#include <string>
+
+namespace bfdn {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted (default kInfo).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits "[level] message\n" to stderr if level >= threshold.
+void log_message(LogLevel level, const std::string& message);
+
+void log_debug(const std::string& message);
+void log_info(const std::string& message);
+void log_warn(const std::string& message);
+void log_error(const std::string& message);
+
+}  // namespace bfdn

@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component in this repository (tree generators,
+// adversary strategies, workload samplers) takes an explicit 64-bit seed
+// and draws from an Rng instance, so that every experiment is
+// reproducible byte-for-byte. The generator is xoshiro256**, seeded via
+// splitmix64, which is the conventional pairing recommended by the
+// xoshiro authors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "support/check.h"
+
+namespace bfdn {
+
+/// splitmix64 step; used for seeding and for cheap hash-like mixing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator with convenience sampling helpers.
+///
+/// Satisfies the C++ UniformRandomBitGenerator requirements, so it can
+/// also be plugged into <random> distributions when needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Raw 64 random bits.
+  result_type operator()();
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli draw with probability p of true.
+  bool next_bool(double p = 0.5);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Requires at least one strictly positive weight.
+  std::size_t next_weighted(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    if (items.size() < 2) return;
+    for (std::size_t i = items.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i + 1));
+      using std::swap;
+      swap(items[i], items[j]);
+    }
+  }
+
+  /// Picks a uniformly random element; requires non-empty input.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    BFDN_REQUIRE(!items.empty(), "pick from empty vector");
+    return items[static_cast<std::size_t>(next_below(items.size()))];
+  }
+
+  /// Derives an independent child generator (stable under reordering of
+  /// draws from the parent); used to give each repetition of an
+  /// experiment its own stream.
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace bfdn

@@ -1,0 +1,87 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace bfdn {
+
+void RunningStat::add(double x) {
+  ++count_;
+  sum_ += x;
+  if (count_ == 1) {
+    min_ = max_ = x;
+    mean_ = x;
+    m2_ = 0;
+    return;
+  }
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::mean() const {
+  BFDN_REQUIRE(count_ > 0, "mean of empty sample");
+  return mean_;
+}
+
+double RunningStat::variance() const {
+  BFDN_REQUIRE(count_ > 0, "variance of empty sample");
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::min() const {
+  BFDN_REQUIRE(count_ > 0, "min of empty sample");
+  return min_;
+}
+
+double RunningStat::max() const {
+  BFDN_REQUIRE(count_ > 0, "max of empty sample");
+  return max_;
+}
+
+double percentile(std::vector<double> sample, double q) {
+  BFDN_REQUIRE(!sample.empty(), "percentile of empty sample");
+  BFDN_REQUIRE(q >= 0 && q <= 1, "q must be in [0,1]");
+  std::sort(sample.begin(), sample.end());
+  if (sample.size() == 1) return sample.front();
+  const double pos = q * static_cast<double>(sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sample[lo] + frac * (sample[hi] - sample[lo]);
+}
+
+void Histogram::add(std::int64_t key, std::uint64_t weight) {
+  buckets_[key] += weight;
+  total_ += weight;
+}
+
+std::uint64_t Histogram::at(std::int64_t key) const {
+  const auto it = buckets_.find(key);
+  return it == buckets_.end() ? 0 : it->second;
+}
+
+std::int64_t Histogram::max_key() const {
+  BFDN_REQUIRE(!buckets_.empty(), "max_key of empty histogram");
+  return buckets_.rbegin()->first;
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream oss;
+  bool first = true;
+  for (const auto& [key, value] : buckets_) {
+    if (!first) oss << ' ';
+    first = false;
+    oss << key << ':' << value;
+  }
+  return oss.str();
+}
+
+}  // namespace bfdn

@@ -1,0 +1,57 @@
+// Small statistics helpers used by benches and experiment harnesses.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bfdn {
+
+/// Streaming accumulator: count, min, max, mean, (population) variance.
+/// Uses Welford's algorithm for numerical stability.
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const;
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  double sum_ = 0;
+};
+
+/// Percentile of a sample by linear interpolation; q in [0, 1].
+/// Copies and sorts the input; fine for bench-sized samples.
+double percentile(std::vector<double> sample, double q);
+
+/// Integer histogram keyed by bucket value; used e.g. for
+/// reanchors-per-depth counts.
+class Histogram {
+ public:
+  void add(std::int64_t key, std::uint64_t weight = 1);
+  std::uint64_t at(std::int64_t key) const;
+  std::uint64_t total() const { return total_; }
+  std::int64_t max_key() const;
+  const std::map<std::int64_t, std::uint64_t>& buckets() const {
+    return buckets_;
+  }
+  /// Renders "k1:v1 k2:v2 ..." for compact logging.
+  std::string to_string() const;
+
+ private:
+  std::map<std::int64_t, std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace bfdn

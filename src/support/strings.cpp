@@ -1,0 +1,45 @@
+#include "support/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+namespace bfdn {
+
+std::string str_format(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed <= 0) {
+    va_end(args_copy);
+    return {};
+  }
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string join(const std::vector<std::string>& items,
+                 const std::string& sep) {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) oss << sep;
+    oss << items[i];
+  }
+  return oss.str();
+}
+
+std::vector<std::string> split(const std::string& text, char delim) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream iss(text);
+  while (std::getline(iss, field, delim)) out.push_back(field);
+  if (!text.empty() && text.back() == delim) out.emplace_back();
+  return out;
+}
+
+}  // namespace bfdn

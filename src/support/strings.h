@@ -1,0 +1,24 @@
+// Minimal string formatting helpers (printf-style, type-checked by the
+// compiler's format attribute where available).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bfdn {
+
+/// snprintf-backed formatting into a std::string.
+#if defined(__GNUC__)
+__attribute__((format(printf, 1, 2)))
+#endif
+std::string
+str_format(const char* fmt, ...);
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items,
+                 const std::string& sep);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(const std::string& text, char delim);
+
+}  // namespace bfdn

@@ -1,0 +1,106 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.h"
+#include "support/strings.h"
+
+namespace bfdn {
+namespace {
+
+std::string csv_escape(const std::string& cell_text) {
+  if (cell_text.find_first_of(",\"\n") == std::string::npos) return cell_text;
+  std::string out = "\"";
+  for (char c : cell_text) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  BFDN_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  BFDN_REQUIRE(row.size() == header_.size(), "row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+const std::vector<std::string>& Table::row(std::size_t i) const {
+  BFDN_REQUIRE(i < rows_.size(), "row index out of range");
+  return rows_[i];
+}
+
+std::string Table::to_console() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c != 0) oss << "  ";
+      oss << r[c];
+      for (std::size_t pad = r[c].size(); pad < widths[c]; ++pad) oss << ' ';
+    }
+    oss << '\n';
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c != 0) oss << "  ";
+    oss << std::string(widths[c], '-');
+  }
+  oss << '\n';
+  for (const auto& r : rows_) emit(r);
+  return oss.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c != 0) oss << ',';
+      oss << csv_escape(r[c]);
+    }
+    oss << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return oss.str();
+}
+
+std::string Table::to_markdown() const {
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& r) {
+    oss << "| ";
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c != 0) oss << " | ";
+      oss << r[c];
+    }
+    oss << " |\n";
+  };
+  emit(header_);
+  oss << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) oss << "---|";
+  oss << '\n';
+  for (const auto& r : rows_) emit(r);
+  return oss.str();
+}
+
+std::string cell(std::int64_t v) { return std::to_string(v); }
+std::string cell(std::uint64_t v) { return std::to_string(v); }
+std::string cell(int v) { return std::to_string(v); }
+std::string cell(double v, int precision) {
+  return str_format("%.*f", precision, v);
+}
+std::string cell_bool(bool v) { return v ? "yes" : "no"; }
+
+}  // namespace bfdn

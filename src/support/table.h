@@ -1,0 +1,46 @@
+// Tabular output for bench harnesses.
+//
+// Each bench binary prints the rows of the table/figure it reproduces in
+// three renderings: an aligned console table (human), optionally CSV and
+// GitHub-flavoured markdown (for EXPERIMENTS.md). Cells are strings; the
+// caller formats numbers (so a bench controls its own precision).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bfdn {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::string>& row(std::size_t i) const;
+
+  /// Space-aligned rendering with a separator rule under the header.
+  std::string to_console() const;
+  /// RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  std::string to_csv() const;
+  /// GitHub-flavoured markdown table.
+  std::string to_markdown() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Convenience cell formatters.
+std::string cell(std::int64_t v);
+std::string cell(std::uint64_t v);
+std::string cell(int v);
+std::string cell(double v, int precision = 2);
+std::string cell_bool(bool v);
+
+}  // namespace bfdn

@@ -1,0 +1,68 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace bfdn {
+
+ThreadPool::ThreadPool(std::int32_t threads) {
+  if (threads <= 0) {
+    threads = static_cast<std::int32_t>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (std::int32_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  BFDN_REQUIRE(job != nullptr, "null job");
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    BFDN_REQUIRE(!shutting_down_, "submit after shutdown");
+    queue_.push(std::move(job));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      job = std::move(queue_.front());
+      queue_.pop();
+    }
+    job();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace bfdn

@@ -1,0 +1,51 @@
+// Minimal fixed-size thread pool used by the experiment campaign runner
+// to evaluate independent (tree, algorithm, k) cells in parallel.
+//
+// Deliberately small: submit void() jobs, wait for all of them. Results
+// flow through the closures (each campaign cell writes to its own
+// pre-allocated slot, so no synchronization is needed beyond the pool's
+// own queue lock).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace bfdn {
+
+class ThreadPool {
+ public:
+  /// threads == 0 picks the hardware concurrency (at least 1).
+  explicit ThreadPool(std::int32_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::int32_t num_threads() const {
+    return static_cast<std::int32_t>(workers_.size());
+  }
+
+  /// Enqueues a job. Jobs must not throw; a throwing job terminates.
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> queue_;
+  std::int64_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bfdn

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "support/rng.h"
+
+namespace bfdn {
+namespace {
+
+// Brute-force LCA by walking both paths from the root.
+NodeId lca_brute(const Tree& t, NodeId a, NodeId b) {
+  const auto pa = t.path_from_root(a);
+  const auto pb = t.path_from_root(b);
+  NodeId last = t.root();
+  for (std::size_t i = 0; i < std::min(pa.size(), pb.size()); ++i) {
+    if (pa[i] != pb[i]) break;
+    last = pa[i];
+  }
+  return last;
+}
+
+TEST(LcaTest, MatchesBruteForceOnRandomTrees) {
+  Rng rng(21);
+  for (int rep = 0; rep < 5; ++rep) {
+    Rng child = rng.split();
+    const Tree t = make_random_recursive(150, child);
+    const LcaIndex lca(t);
+    for (int q = 0; q < 300; ++q) {
+      const auto a = static_cast<NodeId>(rng.next_below(150));
+      const auto b = static_cast<NodeId>(rng.next_below(150));
+      EXPECT_EQ(lca.lca(a, b), lca_brute(t, a, b));
+    }
+  }
+}
+
+TEST(LcaTest, LcaOnPath) {
+  const Tree t = make_path(20);
+  const LcaIndex lca(t);
+  EXPECT_EQ(lca.lca(5, 15), 5);
+  EXPECT_EQ(lca.lca(19, 0), 0);
+  EXPECT_EQ(lca.lca(7, 7), 7);
+}
+
+TEST(LcaTest, DistanceMatchesDepthArithmetic) {
+  Rng rng(22);
+  const Tree t = make_random_recursive(100, rng);
+  const LcaIndex lca(t);
+  for (int q = 0; q < 200; ++q) {
+    const auto a = static_cast<NodeId>(rng.next_below(100));
+    const auto b = static_cast<NodeId>(rng.next_below(100));
+    const NodeId c = lca.lca(a, b);
+    EXPECT_EQ(lca.distance(a, b),
+              t.depth(a) + t.depth(b) - 2 * t.depth(c));
+    EXPECT_EQ(lca.distance(a, a), 0);
+  }
+}
+
+TEST(LcaTest, AncestorWalksUp) {
+  const Tree t = make_path(16);
+  const LcaIndex lca(t);
+  EXPECT_EQ(lca.ancestor(15, 0), 15);
+  EXPECT_EQ(lca.ancestor(15, 15), 0);
+  EXPECT_EQ(lca.ancestor(10, 3), 7);
+}
+
+TEST(EulerTourTest, LengthAndEndpoints) {
+  Rng rng(23);
+  const Tree t = make_random_leafy(120, 4, rng);
+  const auto tour = euler_tour(t);
+  ASSERT_EQ(static_cast<std::int64_t>(tour.size()), 2 * t.num_edges());
+  // Tour ends back at the root.
+  EXPECT_EQ(tour.back(), t.root());
+}
+
+TEST(EulerTourTest, ConsecutiveStepsAreTreeEdges) {
+  Rng rng(24);
+  const Tree t = make_random_recursive(80, rng);
+  const auto tour = euler_tour(t);
+  NodeId prev = t.root();
+  for (NodeId v : tour) {
+    EXPECT_TRUE(t.parent(v) == prev || t.parent(prev) == v)
+        << "non-edge step " << prev << " -> " << v;
+    prev = v;
+  }
+}
+
+TEST(EulerTourTest, VisitsEveryEdgeTwice) {
+  const Tree t = make_comb(5, 3);
+  const auto tour = euler_tour(t);
+  std::map<NodeId, int> touched;  // child id -> traversals
+  NodeId prev = t.root();
+  for (NodeId v : tour) {
+    touched[t.parent(v) == prev ? v : prev] += 1;
+    prev = v;
+  }
+  for (NodeId v = 1; v < t.num_nodes(); ++v) {
+    EXPECT_EQ(touched[v], 2) << "edge above node " << v;
+  }
+}
+
+TEST(EulerTourTest, SingleNodeIsEmpty) {
+  const Tree t = make_path(1);
+  EXPECT_TRUE(euler_tour(t).empty());
+}
+
+TEST(PreorderTest, ParentsBeforeChildrenAndComplete) {
+  Rng rng(25);
+  const Tree t = make_random_bounded_degree(200, 3, rng);
+  const auto order = preorder(t);
+  ASSERT_EQ(static_cast<std::int64_t>(order.size()), t.num_nodes());
+  std::vector<std::int64_t> position(200, -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<std::size_t>(order[i])] =
+        static_cast<std::int64_t>(i);
+  }
+  for (NodeId v = 1; v < 200; ++v) {
+    EXPECT_LT(position[static_cast<std::size_t>(t.parent(v))],
+              position[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(PreorderTest, SubtreeNodesAreContiguous) {
+  const Tree t = make_complete_bary(2, 3);
+  const auto order = preorder(t);
+  std::vector<std::int64_t> pos(static_cast<std::size_t>(t.num_nodes()));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    pos[static_cast<std::size_t>(order[i])] = static_cast<std::int64_t>(i);
+  }
+  for (NodeId v = 0; v < t.num_nodes(); ++v) {
+    // All nodes within [pos[v], pos[v]+size) are descendants of v.
+    const auto lo = pos[static_cast<std::size_t>(v)];
+    const auto hi = lo + t.subtree_size(v);
+    for (NodeId w = 0; w < t.num_nodes(); ++w) {
+      const bool inside = pos[static_cast<std::size_t>(w)] >= lo &&
+                          pos[static_cast<std::size_t>(w)] < hi;
+      EXPECT_EQ(inside, t.is_ancestor_or_self(v, w));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bfdn

@@ -1,0 +1,301 @@
+// Tests for the baseline algorithms and the Appendix-A guarantee map.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/bfs_levels.h"
+#include "baselines/brass.h"
+#include "baselines/cte.h"
+#include "baselines/depth_next_only.h"
+#include "baselines/guarantees.h"
+#include "baselines/offline.h"
+#include "core/bfdn.h"
+#include "graph/generators.h"
+#include "sim/engine.h"
+
+namespace bfdn {
+namespace {
+
+TEST(CteTest, ExploresAndReturnsOnZoo) {
+  for (const auto& [name, tree] : make_tree_zoo(200, 404)) {
+    for (std::int32_t k : {1, 2, 8, 32}) {
+      CteAlgorithm algo(tree, k);
+      RunConfig config;
+      config.num_robots = k;
+      const RunResult result = run_exploration(tree, algo, config);
+      EXPECT_TRUE(result.complete) << name << " k=" << k;
+      EXPECT_TRUE(result.all_at_root) << name << " k=" << k;
+    }
+  }
+}
+
+TEST(CteTest, BalancedSplitOnCompleteBinaryIsFast) {
+  const Tree tree = make_complete_bary(2, 8);  // 511 nodes
+  CteAlgorithm algo(tree, 64);
+  RunConfig config;
+  config.num_robots = 64;
+  const RunResult result = run_exploration(tree, algo, config);
+  EXPECT_TRUE(result.complete);
+  // CTE thrives here; should be far below single-robot DFS cost.
+  EXPECT_LT(result.rounds, tree.num_nodes());
+}
+
+TEST(CteTest, GroupTraversalActuallyHappens) {
+  // On a path, all k robots march together down the single dangling
+  // edge each round (group moves), then come back.
+  const Tree tree = make_path(12);
+  CteAlgorithm algo(tree, 4);
+  RunConfig config;
+  config.num_robots = 4;
+  std::vector<TraceFrame> trace;
+  config.trace = &trace;
+  const RunResult result = run_exploration(tree, algo, config);
+  EXPECT_TRUE(result.complete);
+  ASSERT_FALSE(trace.empty());
+  // In the first round every robot stepped onto node 1 together.
+  for (NodeId pos : trace.front().positions) EXPECT_EQ(pos, 1);
+}
+
+TEST(CteTest, DeepGadgetTreeFavoursCteMeasured) {
+  // Figure 1's deep region: on a deep skinny gadget stack (n ~ k*D,
+  // D large) BFDN pays its D^2 log k overhead while CTE pays only +D.
+  // Measured rounds must reflect that ordering.
+  Rng rng(11);
+  const std::int32_t k = 16;
+  const Tree tree = make_cte_hard_tree(k, 40, rng);  // D = 200, n = 1241
+  CteAlgorithm cte(tree, k);
+  BfdnAlgorithm bfdn_algo(k);
+  RunConfig config;
+  config.num_robots = k;
+  const RunResult cte_result = run_exploration(tree, cte, config);
+  const RunResult bfdn_result = run_exploration(tree, bfdn_algo, config);
+  ASSERT_TRUE(cte_result.complete);
+  ASSERT_TRUE(bfdn_result.complete);
+  EXPECT_LT(cte_result.rounds, bfdn_result.rounds);
+}
+
+TEST(CteTest, ShallowBushyTreesKeepBfdnCompetitive) {
+  // Figure 1's shallow region: with D^2 log k << n/k both algorithms sit
+  // near the 2n/k offline cost; BFDN must stay within a small factor of
+  // CTE there.
+  Rng rng(12);
+  const std::int32_t k = 16;
+  const Tree tree = make_tree_with_depth(6000, 8, rng);
+  CteAlgorithm cte(tree, k);
+  BfdnAlgorithm bfdn_algo(k);
+  RunConfig config;
+  config.num_robots = k;
+  const RunResult cte_result = run_exploration(tree, cte, config);
+  const RunResult bfdn_result = run_exploration(tree, bfdn_algo, config);
+  ASSERT_TRUE(cte_result.complete);
+  ASSERT_TRUE(bfdn_result.complete);
+  EXPECT_LE(bfdn_result.rounds, 2 * cte_result.rounds);
+}
+
+TEST(OfflineTest, SplitCostWithinTwiceOptimalPlusSlack) {
+  for (const auto& [name, tree] : make_tree_zoo(250, 17)) {
+    for (std::int32_t k : {1, 2, 8, 32}) {
+      const OfflineSplitPlan plan = offline_dfs_split(tree, k);
+      const double guarantee =
+          2.0 * (static_cast<double>(tree.num_nodes()) / k + tree.depth()) +
+          2.0;  // ceil slack
+      EXPECT_LE(static_cast<double>(plan.rounds), guarantee)
+          << name << " k=" << k;
+      EXPECT_GE(static_cast<double>(plan.rounds),
+                offline_lower_bound(tree.num_nodes(), tree.depth(), k) /
+                    2.0)
+          << name << " k=" << k;
+    }
+  }
+}
+
+TEST(OfflineTest, SingleRobotSplitIsExactDfs) {
+  const Tree tree = make_comb(7, 4);
+  const OfflineSplitPlan plan = offline_dfs_split(tree, 1);
+  EXPECT_EQ(plan.rounds, 2 * (tree.num_nodes() - 1));
+}
+
+TEST(OfflineTest, SegmentsCoverTourExactly) {
+  const Tree tree = make_complete_bary(3, 3);
+  const OfflineSplitPlan plan = offline_dfs_split(tree, 5);
+  std::int64_t total = 0;
+  for (auto len : plan.segment_lengths) total += len;
+  EXPECT_EQ(total, 2 * (tree.num_nodes() - 1));
+}
+
+TEST(OfflineTest, SingleNodeTree) {
+  const OfflineSplitPlan plan = offline_dfs_split(make_path(1), 4);
+  EXPECT_EQ(plan.rounds, 0);
+}
+
+TEST(OfflineTest, MoreRobotsNeverHurt) {
+  Rng rng(8);
+  const Tree tree = make_random_leafy(400, 4, rng);
+  std::int64_t prev = offline_dfs_split(tree, 1).rounds;
+  for (std::int32_t k : {2, 4, 8, 16}) {
+    const std::int64_t cur = offline_dfs_split(tree, k).rounds;
+    EXPECT_LE(cur, prev) << "k=" << k;
+    prev = cur;
+  }
+}
+
+TEST(GuaranteesTest, FormulasMatchClosedForms) {
+  EXPECT_NEAR(guarantee_cte(1000, 10, std::exp(1.0)), 1010.0, 1e-6);
+  EXPECT_NEAR(guarantee_bfdn(1000, 10, std::exp(1.0)),
+              2000.0 / std::exp(1.0) + 100.0 * 4.0, 1e-6);
+  // ell = 1 reduces to 4n/k + 4 (2 + log k) D^2.
+  EXPECT_NEAR(guarantee_bfdn_ell(1000, 10, 16, 1),
+              4000.0 / 16 + 4.0 * (2.0 + std::log(16.0)) * 100.0, 1e-6);
+}
+
+TEST(GuaranteesTest, Fig1ShallowBushyFavoursBfdn) {
+  // Huge n, tiny D: BFDN's 2n/k term wins over CTE's n/log k.
+  EXPECT_EQ(fig1_winner(1e9, 5, 64, 4), "BFDN");
+}
+
+TEST(GuaranteesTest, Fig1DeepTreesFavourCte) {
+  // D close to n: the D^2 overhead kills BFDN; CTE's n/log k + D wins.
+  EXPECT_EQ(fig1_winner(1e6, 5e5, 64, 4), "CTE");
+}
+
+TEST(GuaranteesTest, Fig1IntermediateDepthFavoursRecursive) {
+  // Between the shallow (BFDN) and deep (CTE) regimes the recursive
+  // variant takes over — visible once k^{1/ell} clearly beats log k.
+  EXPECT_EQ(fig1_winner(1e9, 6e3, 4096, 4), "BFDN_l");
+}
+
+TEST(GuaranteesTest, BestEllGrowsWithDepth) {
+  const std::int32_t shallow = best_ell(1e8, 10, 64, 6);
+  const std::int32_t deep = best_ell(1e8, 1e4, 64, 6);
+  EXPECT_LE(shallow, deep);
+}
+
+TEST(GuaranteesTest, PairwiseRulesConsistentWithFormulas) {
+  // Where the closed-form rule says BFDN beats CTE decisively, the
+  // evaluated formulas must agree (sample points well inside regions).
+  EXPECT_TRUE(bfdn_beats_cte_rule(1e8, 10, 64));
+  EXPECT_LT(guarantee_bfdn(1e8, 10, 64), guarantee_cte(1e8, 10, 64));
+  EXPECT_FALSE(bfdn_beats_cte_rule(1e4, 1e3, 64));
+  EXPECT_GT(guarantee_bfdn(1e4, 1e3, 64), guarantee_cte(1e4, 1e3, 64));
+}
+
+TEST(BfsLevelsTest, ExploresAndReturnsOnZoo) {
+  for (const auto& [name, tree] : make_tree_zoo(150, 808)) {
+    for (std::int32_t k : {1, 3, 16}) {
+      BfsLevelsAlgorithm algo(k);
+      RunConfig config;
+      config.num_robots = k;
+      const RunResult result = run_exploration(tree, algo, config);
+      EXPECT_TRUE(result.complete) << name << " k=" << k;
+      EXPECT_TRUE(result.all_at_root) << name << " k=" << k;
+    }
+  }
+}
+
+TEST(BfsLevelsTest, TracksItsCostModel) {
+  // rounds <= 3 * (D^2 + nD/k) across the zoo (empirical constant).
+  for (const auto& [name, tree] : make_tree_zoo(250, 809)) {
+    for (std::int32_t k : {2, 8, 64}) {
+      BfsLevelsAlgorithm algo(k);
+      RunConfig config;
+      config.num_robots = k;
+      const RunResult result = run_exploration(tree, algo, config);
+      ASSERT_TRUE(result.complete) << name;
+      EXPECT_LE(static_cast<double>(result.rounds),
+                3.0 * bfs_levels_cost_model(tree.num_nodes(),
+                                            tree.depth(), k))
+          << name << " k=" << k;
+    }
+  }
+}
+
+TEST(BfsLevelsTest, ManyRobotsRegimeIsDepthSquared) {
+  // The open-directions regime: k = n makes the n*D/k term equal D, so
+  // rounds must be O(D^2) with a small constant.
+  for (const std::int32_t half : {8, 16, 32}) {
+    const Tree tree = make_comb(half, half);
+    const auto k = static_cast<std::int32_t>(tree.num_nodes());
+    BfsLevelsAlgorithm algo(k);
+    RunConfig config;
+    config.num_robots = k;
+    const RunResult result = run_exploration(tree, algo, config);
+    ASSERT_TRUE(result.complete);
+    const double d2 =
+        static_cast<double>(tree.depth()) * tree.depth();
+    EXPECT_LE(static_cast<double>(result.rounds), 3.0 * d2)
+        << "D=" << tree.depth();
+  }
+}
+
+TEST(BfsLevelsTest, OneDiscoveryPerTripMakesItSlowerThanBfdnAtSmallK) {
+  Rng rng(55);
+  const Tree tree = make_tree_with_depth(2000, 12, rng);
+  const std::int32_t k = 4;
+  RunConfig config;
+  config.num_robots = k;
+  BfsLevelsAlgorithm waves(k);
+  BfdnAlgorithm bfdn_algo(k);
+  const RunResult wave_result = run_exploration(tree, waves, config);
+  const RunResult bfdn_result = run_exploration(tree, bfdn_algo, config);
+  ASSERT_TRUE(wave_result.complete);
+  ASSERT_TRUE(bfdn_result.complete);
+  EXPECT_GT(wave_result.rounds, bfdn_result.rounds);
+}
+
+TEST(BrassTest, ExploresAndReturnsOnZoo) {
+  for (const auto& [name, tree] : make_tree_zoo(180, 606)) {
+    for (std::int32_t k : {1, 4, 16}) {
+      BrassAlgorithm algo(k);
+      RunConfig config;
+      config.num_robots = k;
+      const RunResult result = run_exploration(tree, algo, config);
+      EXPECT_TRUE(result.complete) << name << " k=" << k;
+      EXPECT_TRUE(result.all_at_root) << name << " k=" << k;
+      EXPECT_FALSE(result.hit_round_limit) << name << " k=" << k;
+    }
+  }
+}
+
+TEST(BrassTest, SingleRobotIsPlainDfs) {
+  const Tree tree = make_comb(8, 5);
+  BrassAlgorithm algo(1);
+  RunConfig config;
+  config.num_robots = 1;
+  const RunResult result = run_exploration(tree, algo, config);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.rounds, 2 * (tree.num_nodes() - 1));
+}
+
+TEST(BrassTest, BehavesLikeCteNotLikeItsOwnBound) {
+  // [1] is "a novel analysis of CTE": measured rounds should sit within
+  // a small factor of CTE, nowhere near the (D+k)^k additive term.
+  Rng rng(33);
+  const Tree tree = make_tree_with_depth(3000, 25, rng);
+  const std::int32_t k = 16;
+  RunConfig config;
+  config.num_robots = k;
+  BrassAlgorithm brass(k);
+  CteAlgorithm cte(tree, k);
+  const RunResult r_brass = run_exploration(tree, brass, config);
+  const RunResult r_cte = run_exploration(tree, cte, config);
+  ASSERT_TRUE(r_brass.complete);
+  ASSERT_TRUE(r_cte.complete);
+  EXPECT_LE(r_brass.rounds, 3 * r_cte.rounds);
+}
+
+TEST(DnSwarmTest, ClumpsOnCombsWorseThanBfdn) {
+  const Tree tree = make_comb(60, 60);
+  const std::int32_t k = 16;
+  DepthNextOnlyAlgorithm dn(k);
+  BfdnAlgorithm bfdn_algo(k);
+  RunConfig config;
+  config.num_robots = k;
+  const RunResult dn_result = run_exploration(tree, dn, config);
+  const RunResult bfdn_result = run_exploration(tree, bfdn_algo, config);
+  ASSERT_TRUE(dn_result.complete);
+  ASSERT_TRUE(bfdn_result.complete);
+  EXPECT_LT(bfdn_result.rounds, dn_result.rounds);
+}
+
+}  // namespace
+}  // namespace bfdn

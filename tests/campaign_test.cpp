@@ -1,0 +1,205 @@
+// Tests for the thread pool and the parallel experiment campaign.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+
+#include "exp/adversarial_search.h"
+#include "exp/aggregate.h"
+#include "exp/campaign.h"
+#include "graph/generators.h"
+#include "sim/engine.h"
+#include "support/check.h"
+#include "support/thread_pool.h"
+
+namespace bfdn {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryJobExactlyOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnFreshPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // nothing submitted; must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait_idle();
+  }
+  EXPECT_EQ(counter.load(), 250);
+}
+
+TEST(ThreadPoolTest, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, NullJobRejected) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), CheckError);
+}
+
+TEST(CampaignTest, ResultsAreDeterministicAcrossThreadCounts) {
+  Rng rng(99);
+  Campaign campaign;
+  campaign.add_tree("a", make_tree_with_depth(300, 8, rng));
+  campaign.add_tree("b", make_comb(10, 10));
+  campaign.add_team_size(4);
+  campaign.add_team_size(16);
+  campaign.add_algorithm(AlgorithmKind::kBfdn);
+  campaign.add_algorithm(AlgorithmKind::kCte);
+  EXPECT_EQ(campaign.num_cells(), 8u);
+
+  const auto serial = campaign.run(1);
+  const auto parallel = campaign.run(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].tree_name, parallel[i].tree_name);
+    EXPECT_EQ(serial[i].k, parallel[i].k);
+    EXPECT_EQ(serial[i].algorithm, parallel[i].algorithm);
+    EXPECT_EQ(serial[i].rounds, parallel[i].rounds);
+    EXPECT_TRUE(serial[i].complete);
+  }
+}
+
+TEST(CampaignTest, AllAlgorithmKindsRun) {
+  Rng rng(11);
+  Campaign campaign;
+  campaign.add_tree("t", make_tree_with_depth(200, 6, rng));
+  campaign.add_team_size(9);
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kBfdn, AlgorithmKind::kBfdnShortcut,
+        AlgorithmKind::kCte, AlgorithmKind::kDnSwarm,
+        AlgorithmKind::kBfdnEll2, AlgorithmKind::kBfdnEll3,
+        AlgorithmKind::kBfsLevels, AlgorithmKind::kBrass}) {
+    campaign.add_algorithm(kind);
+  }
+  const auto results = campaign.run(0);
+  ASSERT_EQ(results.size(), 8u);
+  for (const CellResult& cell : results) {
+    EXPECT_TRUE(cell.complete) << algorithm_kind_name(cell.algorithm);
+    EXPECT_GT(cell.rounds, 0);
+    EXPECT_GT(cell.ratio_vs_opt, 0.0);
+    EXPECT_GE(cell.ratio_vs_lower, 1.0 - 1e-9);
+  }
+}
+
+TEST(CampaignTest, MetricsMatchDefinitions) {
+  Campaign campaign;
+  campaign.add_tree("path", make_path(100));
+  campaign.add_team_size(2);
+  campaign.add_algorithm(AlgorithmKind::kBfdn);
+  const auto results = campaign.run(1);
+  ASSERT_EQ(results.size(), 1u);
+  const CellResult& cell = results[0];
+  EXPECT_DOUBLE_EQ(cell.ratio_vs_opt,
+                   static_cast<double>(cell.rounds) / (100.0 / 2 + 99));
+  EXPECT_DOUBLE_EQ(cell.overhead,
+                   static_cast<double>(cell.rounds) - 100.0);
+}
+
+TEST(CampaignTest, EmptyCampaignRejected) {
+  Campaign campaign;
+  EXPECT_THROW(campaign.run(1), CheckError);
+}
+
+TEST(AggregateTest, GroupsAndSummarizes) {
+  Rng rng(5);
+  Campaign campaign;
+  campaign.add_tree("t1", make_tree_with_depth(200, 5, rng));
+  campaign.add_tree("t2", make_comb(8, 8));
+  campaign.add_team_size(4);
+  campaign.add_team_size(8);
+  campaign.add_algorithm(AlgorithmKind::kBfdn);
+  campaign.add_algorithm(AlgorithmKind::kDnSwarm);
+  const auto results = campaign.run(2);
+  const auto aggregates = aggregate_results(results);
+  ASSERT_EQ(aggregates.size(), 4u);  // 2 algorithms x 2 team sizes
+  for (const auto& [key, agg] : aggregates) {
+    EXPECT_EQ(agg.cells, 2);  // 2 trees each
+    EXPECT_EQ(agg.incomplete, 0);
+    EXPECT_GT(agg.mean_rounds, 0.0);
+    EXPECT_GE(agg.max_ratio_vs_opt, 1.0 - 1e-9)
+        << algorithm_kind_name(key.algorithm);
+    EXPECT_FALSE(agg.worst_tree.empty());
+  }
+}
+
+TEST(AggregateTest, CsvHasHeaderAndOneLinePerCell) {
+  Rng rng(6);
+  Campaign campaign;
+  campaign.add_tree("only", make_tree_with_depth(100, 4, rng));
+  campaign.add_team_size(3);
+  campaign.add_algorithm(AlgorithmKind::kBfdn);
+  const auto results = campaign.run(1);
+  const std::string csv = results_to_csv(results);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);  // header + 1
+  EXPECT_NE(csv.find("tree,n,depth"), std::string::npos);
+  EXPECT_NE(csv.find("only,100,4"), std::string::npos);
+}
+
+TEST(SingleCellTest, MatchesDirectRun) {
+  Rng rng(77);
+  const Tree tree = make_tree_with_depth(150, 6, rng);
+  const std::int64_t rounds =
+      run_single_cell(AlgorithmKind::kBfdn, tree, 5);
+  EXPECT_GT(rounds, 0);
+  // Deterministic: same call, same answer.
+  EXPECT_EQ(run_single_cell(AlgorithmKind::kBfdn, tree, 5), rounds);
+}
+
+TEST(AdversarialSearchTest, NeverRegressesAndStaysInBudget) {
+  AdversarialSearchOptions options;
+  options.n = 120;
+  options.max_depth = 20;
+  options.k = 6;
+  options.iterations = 40;
+  options.seed = 9;
+  const AdversarialSearchResult result =
+      adversarial_search(AlgorithmKind::kBfdn, options);
+  EXPECT_GE(result.best_ratio, result.initial_ratio);
+  EXPECT_EQ(result.tree.num_nodes(), options.n);
+  EXPECT_LE(result.tree.depth(), options.max_depth);
+  EXPECT_LE(result.accepted, result.iterations);
+  // The evolved instance still respects Theorem 1.
+  const std::int64_t rounds =
+      run_single_cell(AlgorithmKind::kBfdn, result.tree, options.k);
+  EXPECT_LE(static_cast<double>(rounds),
+            theorem1_bound(result.tree.num_nodes(), result.tree.depth(),
+                           result.tree.max_degree(), options.k));
+}
+
+TEST(AdversarialSearchTest, Deterministic) {
+  AdversarialSearchOptions options;
+  options.n = 80;
+  options.max_depth = 15;
+  options.k = 4;
+  options.iterations = 20;
+  options.seed = 31;
+  const auto a = adversarial_search(AlgorithmKind::kDnSwarm, options);
+  const auto b = adversarial_search(AlgorithmKind::kDnSwarm, options);
+  EXPECT_DOUBLE_EQ(a.best_ratio, b.best_ratio);
+  EXPECT_EQ(a.accepted, b.accepted);
+}
+
+TEST(CampaignTest, NamesAreHuman) {
+  EXPECT_EQ(algorithm_kind_name(AlgorithmKind::kBfdn), "BFDN");
+  EXPECT_EQ(algorithm_kind_name(AlgorithmKind::kBfdnEll3), "BFDN_3");
+}
+
+}  // namespace
+}  // namespace bfdn

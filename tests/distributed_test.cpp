@@ -1,0 +1,210 @@
+// Tests for the write-read / restricted-memory model (Section 4.1):
+// port numbering, the PARTITION discipline, Algorithm 2's planner, and
+// Proposition 6's runtime and memory guarantees.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "distributed/ports.h"
+#include "distributed/writeread.h"
+#include "graph/generators.h"
+#include "sim/engine.h"
+#include "support/check.h"
+
+namespace bfdn {
+namespace {
+
+TEST(PortedTreeTest, PortZeroLeadsToParent) {
+  const Tree t = Tree::from_parents({kInvalidNode, 0, 0, 1});
+  const PortedTree ports(t);
+  EXPECT_EQ(ports.via_port(1, 0), 0);
+  EXPECT_EQ(ports.via_port(3, 0), 1);
+  EXPECT_EQ(ports.port_to_parent(3), 0);
+}
+
+TEST(PortedTreeTest, RootPortsAreChildren) {
+  const Tree t = make_star(5);
+  const PortedTree ports(t);
+  EXPECT_EQ(ports.child_port_floor(0), 0);
+  std::set<NodeId> reached;
+  for (std::int32_t p = 0; p < ports.degree(0); ++p) {
+    reached.insert(ports.via_port(0, p));
+  }
+  EXPECT_EQ(reached.size(), 4u);
+}
+
+TEST(PortedTreeTest, AddressRoundTrip) {
+  Rng rng(42);
+  const Tree t = make_random_leafy(120, 4, rng);
+  const PortedTree ports(t);
+  for (NodeId v = 0; v < t.num_nodes(); ++v) {
+    const auto address = ports.address_of(v);
+    EXPECT_EQ(static_cast<std::int32_t>(address.size()), t.depth(v));
+    EXPECT_EQ(ports.resolve(address), v);
+  }
+}
+
+TEST(PortedTreeTest, PortFromParentInverse) {
+  Rng rng(43);
+  const Tree t = make_random_bounded_degree(80, 5, rng);
+  const PortedTree ports(t);
+  for (NodeId v = 1; v < t.num_nodes(); ++v) {
+    EXPECT_EQ(ports.via_port(t.parent(v), ports.port_from_parent(v)), v);
+  }
+}
+
+TEST(PortedTreeTest, RejectsBadPorts) {
+  const Tree t = make_path(3);
+  const PortedTree ports(t);
+  EXPECT_THROW(ports.via_port(0, 5), CheckError);
+  EXPECT_THROW(ports.port_to_parent(0), CheckError);
+}
+
+// ---------------------------------------------------------------------
+// Write-read BFDN end-to-end.
+// ---------------------------------------------------------------------
+
+struct WrParam {
+  std::size_t tree_index;
+  std::int32_t k;
+};
+
+class WriteReadSweepTest : public ::testing::TestWithParam<WrParam> {
+ protected:
+  static const std::vector<NamedTree>& zoo() {
+    static const std::vector<NamedTree> kZoo = make_tree_zoo(250, 555);
+    return kZoo;
+  }
+};
+
+TEST_P(WriteReadSweepTest, ExploresReturnsAndMeetsProposition6Bound) {
+  const auto& [name, tree] = zoo()[GetParam().tree_index];
+  const std::int32_t k = GetParam().k;
+  const WriteReadResult result = run_write_read_bfdn(tree, k);
+  EXPECT_TRUE(result.complete) << name;
+  EXPECT_TRUE(result.all_at_root) << name;
+  EXPECT_FALSE(result.hit_round_limit) << name;
+  const double bound = theorem1_bound(tree.num_nodes(), tree.depth(),
+                                      tree.max_degree(), k);
+  EXPECT_LE(static_cast<double>(result.rounds), bound) << name;
+}
+
+TEST_P(WriteReadSweepTest, RobotMemoryStaysWithinModelAllowance) {
+  const auto& [name, tree] = zoo()[GetParam().tree_index];
+  const WriteReadResult result = run_write_read_bfdn(tree, GetParam().k);
+  EXPECT_LE(result.max_robot_memory_bits, result.memory_allowance_bits)
+      << name;
+}
+
+std::vector<WrParam> wr_params() {
+  std::vector<WrParam> params;
+  const std::size_t num_trees = make_tree_zoo(250, 555).size();
+  for (std::size_t t = 0; t < num_trees; ++t) {
+    for (std::int32_t k : {1, 2, 7, 24}) params.push_back({t, k});
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ZooTimesRobots, WriteReadSweepTest, ::testing::ValuesIn(wr_params()),
+    [](const ::testing::TestParamInfo<WrParam>& param_info) {
+      static const auto zoo = make_tree_zoo(250, 555);
+      return zoo[param_info.param.tree_index].name + "_k" +
+             std::to_string(param_info.param.k);
+    });
+
+TEST(WriteReadTest, SingleNodeTree) {
+  const WriteReadResult result = run_write_read_bfdn(make_path(1), 3);
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.all_at_root);
+}
+
+TEST(WriteReadTest, SingleRobotActsAsDfs) {
+  const Tree tree = make_comb(6, 3);
+  const WriteReadResult result = run_write_read_bfdn(tree, 1);
+  EXPECT_TRUE(result.complete);
+  // One robot, anchor = root: pure PARTITION-driven DFS, 2(n-1) moves,
+  // plus the transition round in which it files its report.
+  EXPECT_LE(result.rounds, 2 * (tree.num_nodes() - 1) + 2);
+}
+
+TEST(WriteReadTest, WorkingDepthNeverExceedsTreeDepth) {
+  Rng rng(66);
+  const Tree tree = make_tree_with_depth(400, 12, rng);
+  const WriteReadResult result = run_write_read_bfdn(tree, 6);
+  EXPECT_TRUE(result.complete);
+  EXPECT_LE(result.final_working_depth, tree.depth());
+}
+
+TEST(WriteReadTest, PartitionHandsEachEdgeToOneRobot) {
+  // The PARTITION discipline implies every edge's first downward
+  // traversal is by exactly one robot: two robots may never move down
+  // the same edge in the same round, nor re-descend a handed port.
+  Rng rng(42);
+  const Tree tree = make_tree_with_depth(200, 8, rng);
+  const std::int32_t k = 7;
+  std::vector<std::vector<NodeId>> trace;
+  const WriteReadResult result =
+      run_write_read_bfdn(tree, k, 0, &trace);
+  ASSERT_TRUE(result.complete);
+
+  std::vector<NodeId> prev(static_cast<std::size_t>(k), tree.root());
+  std::vector<char> first_descent_seen(
+      static_cast<std::size_t>(tree.num_nodes()), 0);
+  for (const auto& positions : trace) {
+    std::set<NodeId> descended_this_round;
+    for (std::int32_t r = 0; r < k; ++r) {
+      const NodeId now = positions[static_cast<std::size_t>(r)];
+      const NodeId before = prev[static_cast<std::size_t>(r)];
+      if (now != before && tree.parent(now) == before) {
+        // Downward move through edge (before -> now).
+        if (!first_descent_seen[static_cast<std::size_t>(now)]) {
+          EXPECT_EQ(descended_this_round.count(now), 0u)
+              << "two robots first-descended edge to " << now;
+          descended_this_round.insert(now);
+          first_descent_seen[static_cast<std::size_t>(now)] = 1;
+        }
+      }
+      prev[static_cast<std::size_t>(r)] = now;
+    }
+  }
+  for (NodeId v = 1; v < tree.num_nodes(); ++v) {
+    EXPECT_TRUE(first_descent_seen[static_cast<std::size_t>(v)])
+        << "edge above " << v << " never descended";
+  }
+}
+
+TEST(WriteReadTest, RobotsOnlyMoveAlongTreeEdges) {
+  const Tree tree = make_comb(6, 4);
+  std::vector<std::vector<NodeId>> trace;
+  const WriteReadResult result = run_write_read_bfdn(tree, 4, 0, &trace);
+  ASSERT_TRUE(result.complete);
+  std::vector<NodeId> prev(4, tree.root());
+  for (const auto& positions : trace) {
+    for (std::size_t r = 0; r < positions.size(); ++r) {
+      const NodeId now = positions[r];
+      const NodeId before = prev[r];
+      EXPECT_TRUE(now == before || tree.parent(now) == before ||
+                  tree.parent(before) == now)
+          << "teleport " << before << " -> " << now;
+      prev[r] = now;
+    }
+  }
+}
+
+TEST(WriteReadTest, ComparableToCompleteCommunicationBfdn) {
+  // Proposition 6 promises the SAME bound as Theorem 1; measured rounds
+  // of the two implementations should be in the same ballpark.
+  Rng rng(77);
+  const Tree tree = make_tree_with_depth(2000, 15, rng);
+  const std::int32_t k = 12;
+  const WriteReadResult wr = run_write_read_bfdn(tree, k);
+  ASSERT_TRUE(wr.complete);
+  const double bound = theorem1_bound(tree.num_nodes(), tree.depth(),
+                                      tree.max_degree(), k);
+  EXPECT_LE(static_cast<double>(wr.rounds), bound);
+}
+
+}  // namespace
+}  // namespace bfdn

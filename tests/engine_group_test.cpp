@@ -1,0 +1,142 @@
+// Group-traversal semantics: the model lets several robots cross one
+// edge in the same round (CTE does); the engine exposes this through
+// try_take_dangling + join_dangling. These tests drive the API directly
+// with purpose-built algorithms.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "graph/generators.h"
+#include "sim/engine.h"
+#include "support/check.h"
+
+namespace bfdn {
+namespace {
+
+class ScriptedAlgorithm : public Algorithm {
+ public:
+  using Fn = std::function<void(const ExplorationView&, MoveSelector&)>;
+  explicit ScriptedAlgorithm(Fn fn) : fn_(std::move(fn)) {}
+  std::string name() const override { return "scripted"; }
+  void select_moves(const ExplorationView& view,
+                    MoveSelector& selector) override {
+    fn_(view, selector);
+  }
+
+ private:
+  Fn fn_;
+};
+
+TEST(GroupMoveTest, WholeTeamCrossesOneEdgeTogether) {
+  // Path: all 5 robots move as one caravan using join_dangling, then
+  // climb home together.
+  const Tree tree = make_path(8);
+  ScriptedAlgorithm algo([](const ExplorationView& view,
+                            MoveSelector& sel) {
+    const NodeId token = sel.try_take_dangling(0);
+    if (token != kInvalidNode) {
+      for (std::int32_t r = 1; r < view.num_robots(); ++r) {
+        sel.join_dangling(r, token);
+      }
+      return;
+    }
+    for (std::int32_t r = 0; r < view.num_robots(); ++r) {
+      sel.move_up(r);
+    }
+  });
+  RunConfig config;
+  config.num_robots = 5;
+  std::vector<TraceFrame> trace;
+  config.trace = &trace;
+  const RunResult result = run_exploration(tree, algo, config);
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.all_at_root);
+  EXPECT_EQ(result.rounds, 2 * (tree.num_nodes() - 1));
+  // The caravan is always together.
+  for (const TraceFrame& frame : trace) {
+    for (NodeId pos : frame.positions) {
+      EXPECT_EQ(pos, frame.positions.front());
+    }
+  }
+}
+
+TEST(GroupMoveTest, EdgeEventsCountGroupCrossingOnce) {
+  const Tree tree = make_path(5);
+  ScriptedAlgorithm algo([](const ExplorationView& view,
+                            MoveSelector& sel) {
+    const NodeId token = sel.try_take_dangling(0);
+    if (token != kInvalidNode) {
+      for (std::int32_t r = 1; r < view.num_robots(); ++r) {
+        sel.join_dangling(r, token);
+      }
+      return;
+    }
+    for (std::int32_t r = 0; r < view.num_robots(); ++r) sel.move_up(r);
+  });
+  RunConfig config;
+  config.num_robots = 3;
+  const RunResult result = run_exploration(tree, algo, config);
+  ASSERT_TRUE(result.complete);
+  // 4 edges, each crossed down (once as a group) and up: 8 events, even
+  // though 3 robots crossed each time.
+  EXPECT_EQ(result.edge_events, 8);
+  std::int64_t moves = 0;
+  for (auto m : result.robot_moves) moves += m;
+  EXPECT_EQ(moves, 3 * result.rounds);
+}
+
+TEST(GroupMoveTest, ReservedTokensVisibleViaSelector) {
+  const Tree tree = make_star(4);
+  bool checked = false;
+  ScriptedAlgorithm algo([&checked](const ExplorationView& view,
+                                    MoveSelector& sel) {
+    if (view.robot_pos(0) != view.root() || view.exploration_complete()) {
+      // Caravan on a leaf (or done): climb home, then dive again.
+      for (std::int32_t r = 0; r < view.num_robots(); ++r) {
+        if (view.robot_pos(r) != view.root()) sel.move_up(r);
+      }
+      return;
+    }
+    const NodeId token = sel.try_take_dangling(0);
+    ASSERT_NE(token, kInvalidNode);
+    const auto reserved = sel.reserved_dangling_at(view.root());
+    EXPECT_EQ(reserved.size(), 1u);
+    EXPECT_EQ(reserved.front(), token);
+    checked = true;
+    sel.join_dangling(1, token);
+  });
+  RunConfig config;
+  config.num_robots = 2;
+  const RunResult result = run_exploration(tree, algo, config);
+  EXPECT_TRUE(checked);
+  EXPECT_TRUE(result.complete);
+}
+
+TEST(GroupMoveTest, MixedExclusiveAndGroupInOneRound) {
+  // Star with 3 leaves, 4 robots: robots 0 and 1 group on one edge,
+  // robots 2 and 3 take the other two exclusively. Everything is
+  // explored in a single round.
+  const Tree tree = make_star(4);
+  ScriptedAlgorithm algo([](const ExplorationView& view,
+                            MoveSelector& sel) {
+    if (view.exploration_complete()) {
+      for (std::int32_t r = 0; r < view.num_robots(); ++r) {
+        if (view.robot_pos(r) != view.root()) sel.move_up(r);
+      }
+      return;
+    }
+    const NodeId token = sel.try_take_dangling(0);
+    if (token == kInvalidNode) return;
+    sel.join_dangling(1, token);
+    (void)sel.try_take_dangling(2);
+    (void)sel.try_take_dangling(3);
+  });
+  RunConfig config;
+  config.num_robots = 4;
+  const RunResult result = run_exploration(tree, algo, config);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.rounds, 2);  // one wave out, one wave home
+}
+
+}  // namespace
+}  // namespace bfdn

@@ -1,0 +1,134 @@
+// Failure injection: algorithms that violate the model must be rejected
+// by the engine with a CheckError, never silently accepted — a corrupted
+// exploration state would invalidate every measured result.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "graph/generators.h"
+#include "sim/engine.h"
+#include "support/check.h"
+
+namespace bfdn {
+namespace {
+
+/// Adapter to write one-off misbehaving algorithms inline.
+class LambdaAlgorithm : public Algorithm {
+ public:
+  using Fn = std::function<void(const ExplorationView&, MoveSelector&)>;
+  explicit LambdaAlgorithm(Fn fn) : fn_(std::move(fn)) {}
+  std::string name() const override { return "lambda"; }
+  void select_moves(const ExplorationView& view,
+                    MoveSelector& selector) override {
+    fn_(view, selector);
+  }
+
+ private:
+  Fn fn_;
+};
+
+RunConfig one_robot() {
+  RunConfig config;
+  config.num_robots = 1;
+  return config;
+}
+
+TEST(EngineMisuseTest, DoubleSelectionRejected) {
+  const Tree tree = make_star(4);
+  LambdaAlgorithm algo([](const ExplorationView&, MoveSelector& sel) {
+    sel.stay(0);
+    sel.move_up(0);  // second selection for the same robot
+  });
+  EXPECT_THROW(run_exploration(tree, algo, one_robot()), CheckError);
+}
+
+TEST(EngineMisuseTest, MoveDownToUnexploredChildRejected) {
+  const Tree tree = make_path(4);
+  LambdaAlgorithm algo([](const ExplorationView&, MoveSelector& sel) {
+    // Node 1 exists in the hidden tree but was never explored.
+    sel.move_down(0, 1);
+  });
+  EXPECT_THROW(run_exploration(tree, algo, one_robot()), CheckError);
+}
+
+TEST(EngineMisuseTest, MoveDownToNonChildRejected) {
+  const Tree tree = make_path(3);
+  LambdaAlgorithm algo([](const ExplorationView& view, MoveSelector& sel) {
+    if (view.robot_pos(0) == view.root()) {
+      (void)sel.try_take_dangling(0);
+      return;
+    }
+    sel.move_down(0, view.root());  // the root is nobody's child
+  });
+  EXPECT_THROW(run_exploration(tree, algo, one_robot()), CheckError);
+}
+
+TEST(EngineMisuseTest, OutOfRangeRobotIndexRejected) {
+  const Tree tree = make_path(3);
+  LambdaAlgorithm algo([](const ExplorationView&, MoveSelector& sel) {
+    sel.stay(7);  // only robot 0 exists
+  });
+  EXPECT_THROW(run_exploration(tree, algo, one_robot()), CheckError);
+}
+
+TEST(EngineMisuseTest, JoinWithoutReservationRejected) {
+  const Tree tree = make_star(4);
+  LambdaAlgorithm algo([](const ExplorationView&, MoveSelector& sel) {
+    sel.join_dangling(0, 1);  // nothing reserved this round
+  });
+  EXPECT_THROW(run_exploration(tree, algo, one_robot()), CheckError);
+}
+
+TEST(EngineMisuseTest, JoinFromDifferentNodeRejected) {
+  const Tree tree = make_complete_bary(2, 2);
+  RunConfig config;
+  config.num_robots = 2;
+  LambdaAlgorithm algo([](const ExplorationView& view, MoveSelector& sel) {
+    // Robot 0 reserves at the root; robot 1, once elsewhere, tries to
+    // join that token from a different node.
+    const NodeId token = sel.try_take_dangling(0);
+    if (token != kInvalidNode && view.robot_pos(1) != view.robot_pos(0)) {
+      sel.join_dangling(1, token);
+      return;
+    }
+    if (token == kInvalidNode) {
+      sel.stay(0);
+    }
+    if (sel.try_take_dangling(1) == kInvalidNode) sel.move_up(1);
+  });
+  EXPECT_THROW(run_exploration(tree, algo, config), CheckError);
+}
+
+TEST(EngineMisuseTest, StallWithoutCompletionStopsCleanly) {
+  // An algorithm that gives up mid-way: the engine terminates (do-while
+  // semantics) and honestly reports the incomplete exploration.
+  const Tree tree = make_path(10);
+  std::int64_t budget = 3;
+  LambdaAlgorithm algo(
+      [&budget](const ExplorationView&, MoveSelector& sel) {
+        if (budget-- > 0) (void)sel.try_take_dangling(0);
+      });
+  const RunResult result = run_exploration(tree, algo, one_robot());
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.rounds, 3);
+}
+
+TEST(EngineMisuseTest, ViewRejectsQueriesOnUnexploredNodes) {
+  const Tree tree = make_path(4);
+  LambdaAlgorithm algo([](const ExplorationView& view, MoveSelector& sel) {
+    (void)sel;
+    (void)view.depth(3);  // node 3 not explored yet
+  });
+  EXPECT_THROW(run_exploration(tree, algo, one_robot()), CheckError);
+}
+
+TEST(EngineMisuseTest, ZeroRobotsRejected) {
+  const Tree tree = make_path(2);
+  LambdaAlgorithm algo([](const ExplorationView&, MoveSelector&) {});
+  RunConfig config;
+  config.num_robots = 0;
+  EXPECT_THROW(run_exploration(tree, algo, config), CheckError);
+}
+
+}  // namespace
+}  // namespace bfdn

@@ -1,0 +1,164 @@
+// Fuzz-style stress tests: a randomized but legal algorithm drives the
+// engine through unusual interleavings; relabeled isomorphic trees
+// check that nothing depends on node-id coincidences.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/bfdn.h"
+#include "graph/generators.h"
+#include "sim/engine.h"
+#include "support/rng.h"
+
+namespace bfdn {
+namespace {
+
+/// Random legal moves with a mild bias towards dangling edges (pure
+/// uniform random walks take forever on deep trees); robots never do
+/// anything the model forbids, so the engine must accept every run and
+/// the exploration must eventually complete.
+class DrunkenSwarm : public Algorithm {
+ public:
+  DrunkenSwarm(std::int32_t num_robots, std::uint64_t seed)
+      : num_robots_(num_robots), rng_(seed) {}
+  std::string name() const override { return "drunken-swarm"; }
+
+  void select_moves(const ExplorationView& view,
+                    MoveSelector& selector) override {
+    for (std::int32_t i = 0; i < num_robots_; ++i) {
+      if (!view.can_move(i)) continue;
+      const NodeId pos = view.robot_pos(i);
+      // 70%: grab a dangling edge if there is one.
+      if (rng_.next_bool(0.7) &&
+          selector.try_take_dangling(i) != kInvalidNode) {
+        continue;
+      }
+      // Robot 0 is the designated sweeper: it heads for the shallowest
+      // open node (a purely random walk reaches deep frontiers only
+      // exponentially slowly, and a full all-stay round is the engine's
+      // legitimate termination signal). Everyone else wanders freely.
+      if (i == 0) {
+        if (selector.try_take_dangling(i) != kInvalidNode) continue;
+        if (view.exploration_complete()) {
+          if (pos == view.root()) {
+            selector.stay(i);
+          } else {
+            selector.move_up(i);
+          }
+          continue;
+        }
+        const NodeId target =
+            view.open_nodes_at_depth(view.min_open_depth()).front();
+        if (view.is_ancestor_or_self(pos, target) && pos != target) {
+          const std::vector<NodeId> path = view.path_from_root(target);
+          selector.move_down(
+              i, path[static_cast<std::size_t>(view.depth(pos)) + 1]);
+        } else {
+          selector.move_up(i);
+        }
+        continue;
+      }
+      const std::vector<NodeId> kids = view.explored_children(pos);
+      const double coin = rng_.next_double();
+      if (coin < 0.45 && !kids.empty()) {
+        selector.move_down(i, rng_.pick(kids));
+      } else if (coin < 0.95) {
+        selector.move_up(i);  // stay at the root
+      } else {
+        selector.stay(i);
+      }
+    }
+  }
+
+ private:
+  std::int32_t num_robots_;
+  Rng rng_;
+};
+
+class FuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzTest, DrunkenSwarmNeverBreaksTheEngine) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+  Rng tree_rng = rng.split();
+  const std::int64_t n =
+      30 + static_cast<std::int64_t>(tree_rng.next_below(200));
+  const auto depth = static_cast<std::int32_t>(
+      2 + tree_rng.next_below(static_cast<std::uint64_t>(
+              std::max<std::int64_t>(2, n / 4))));
+  Rng shape = rng.split();
+  const Tree tree = make_tree_with_depth(n, depth, shape);
+  const auto k =
+      static_cast<std::int32_t>(1 + rng.next_below(9));
+  DrunkenSwarm swarm(k, rng.split()());
+  RunConfig config;
+  config.num_robots = k;
+  // The swarm has no termination discipline (the pacemaker wanders
+  // forever), so the run always ends at the round budget; completion
+  // must have happened well before it.
+  config.max_rounds = 500 * (n + depth);
+  const RunResult result = run_exploration(tree, swarm, config);
+  EXPECT_TRUE(result.complete)
+      << "n=" << n << " D=" << depth << " k=" << k;
+  // Engine accounting stays coherent under arbitrary legal behaviour.
+  EXPECT_LE(result.edge_events, 2 * (tree.num_nodes() - 1));
+  std::int64_t moves = 0;
+  for (const auto m : result.robot_moves) moves += m;
+  EXPECT_GE(moves, tree.num_nodes() - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 15));
+
+/// Relabels a tree by a random permutation (root stays 0).
+Tree relabel(const Tree& tree, Rng& rng) {
+  const auto n = static_cast<std::size_t>(tree.num_nodes());
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  // Shuffle all but the root.
+  for (std::size_t i = n - 1; i > 1; --i) {
+    const std::size_t j =
+        1 + static_cast<std::size_t>(rng.next_below(i));
+    std::swap(perm[i], perm[j]);
+  }
+  std::vector<NodeId> parents(n, kInvalidNode);
+  for (NodeId v = 1; v < tree.num_nodes(); ++v) {
+    parents[static_cast<std::size_t>(perm[static_cast<std::size_t>(v)])] =
+        perm[static_cast<std::size_t>(tree.parent(v))];
+  }
+  return Tree::from_parents(std::move(parents));
+}
+
+TEST(RelabelTest, IsomorphicTreesGiveSameShapeAndBounds) {
+  Rng rng(2024);
+  const Tree tree = make_tree_with_depth(400, 12, rng);
+  Rng perm_rng = rng.split();
+  const Tree twin = relabel(tree, perm_rng);
+  EXPECT_EQ(twin.num_nodes(), tree.num_nodes());
+  EXPECT_EQ(twin.depth(), tree.depth());
+  EXPECT_EQ(twin.max_degree(), tree.max_degree());
+  EXPECT_EQ(twin.subtree_size(0), tree.subtree_size(0));
+}
+
+TEST(RelabelTest, BfdnCompletesIdenticallyOnRelabeledTrees) {
+  // Round counts may differ (tie-breaks see different ids), but
+  // completion, bound compliance and total work must be label-free.
+  Rng rng(4048);
+  const Tree tree = make_tree_with_depth(600, 15, rng);
+  Rng perm_rng = rng.split();
+  const Tree twin = relabel(tree, perm_rng);
+  const std::int32_t k = 8;
+  for (const Tree* t : {&tree, &twin}) {
+    BfdnAlgorithm algo(k);
+    RunConfig config;
+    config.num_robots = k;
+    const RunResult result = run_exploration(*t, algo, config);
+    EXPECT_TRUE(result.complete);
+    EXPECT_EQ(result.edge_events, 2 * (t->num_nodes() - 1));
+    EXPECT_LE(static_cast<double>(result.rounds),
+              theorem1_bound(t->num_nodes(), t->depth(),
+                             t->max_degree(), k));
+  }
+}
+
+}  // namespace
+}  // namespace bfdn

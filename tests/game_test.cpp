@@ -1,0 +1,344 @@
+// Tests for the balls-in-urns game (Section 3): board mechanics, the
+// Theorem 3 bound for the least-loaded player against an adversary zoo,
+// the exact value function R(N, u) and Lemma 4's structure, and the
+// resource-allocation corollary.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "game/allocation.h"
+#include "game/dp.h"
+#include "game/minimax.h"
+#include "game/urn_game.h"
+#include "support/check.h"
+
+namespace bfdn {
+namespace {
+
+TEST(UrnBoardTest, StandardStart) {
+  const UrnBoard board(5, 3);
+  EXPECT_EQ(board.k(), 5);
+  EXPECT_EQ(board.delta(), 3);
+  for (std::int32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(board.load(i), 1);
+    EXPECT_FALSE(board.chosen_before(i));
+  }
+  EXPECT_EQ(board.balls_in_unchosen(), 5);
+  EXPECT_EQ(board.num_unchosen(), 5);
+  EXPECT_FALSE(board.finished());
+}
+
+TEST(UrnBoardTest, ApplyMovesBallAndMarksChosen) {
+  UrnBoard board(4, 2);
+  board.apply(0, 2);
+  EXPECT_EQ(board.load(0), 0);
+  EXPECT_EQ(board.load(2), 2);
+  EXPECT_TRUE(board.chosen_before(0));
+  EXPECT_FALSE(board.chosen_before(2));
+  EXPECT_EQ(board.steps(), 1);
+  EXPECT_EQ(board.num_unchosen(), 3);
+}
+
+TEST(UrnBoardTest, CannotTakeFromEmptyUrn) {
+  UrnBoard board(3, 2);
+  board.apply(0, 1);
+  EXPECT_THROW(board.apply(0, 2), CheckError);
+}
+
+TEST(UrnBoardTest, FinishWhenUnchosenReachDelta) {
+  UrnBoard board(3, 2);
+  // Move balls from 0 and 1 into 2: urn 2 unchosen with 3 >= delta.
+  board.apply(0, 2);
+  EXPECT_FALSE(board.finished());
+  board.apply(1, 2);
+  EXPECT_TRUE(board.finished());
+}
+
+TEST(UrnBoardTest, DeltaGreaterThanKMeansAllChosen) {
+  UrnBoard board(2, 100);
+  board.apply(0, 1);
+  EXPECT_FALSE(board.finished());
+  board.apply(1, 0);
+  EXPECT_TRUE(board.finished());
+}
+
+TEST(UrnBoardTest, Lemma2StartShape) {
+  const UrnBoard board = UrnBoard::lemma2_start(8, 4, 3);
+  EXPECT_EQ(board.num_unchosen(), 3);
+  EXPECT_EQ(board.balls_in_unchosen(), 3);
+  EXPECT_EQ(board.load(3), 5);  // the pre-chosen reservoir urn
+  EXPECT_TRUE(board.chosen_before(3));
+}
+
+TEST(UrnBoardTest, Lemma2StartRejectsBadU) {
+  EXPECT_THROW(UrnBoard::lemma2_start(4, 2, 4), CheckError);
+  EXPECT_THROW(UrnBoard::lemma2_start(4, 2, -1), CheckError);
+}
+
+// ---------------------------------------------------------------------
+// Theorem 3: least-loaded player vs adversary zoo, many (k, Delta).
+// ---------------------------------------------------------------------
+
+struct GameParam {
+  std::int32_t k;
+  std::int32_t delta;
+};
+
+class Theorem3Test : public ::testing::TestWithParam<GameParam> {};
+
+TEST_P(Theorem3Test, LeastLoadedBeatsBoundAgainstAllAdversaries) {
+  const auto [k, delta] = GetParam();
+  const double bound = theorem3_bound(k, delta);
+  std::vector<std::unique_ptr<AdversaryStrategy>> adversaries;
+  adversaries.push_back(make_greedy_adversary());
+  adversaries.push_back(make_eager_adversary());
+  adversaries.push_back(make_round_robin_adversary());
+  adversaries.push_back(make_random_adversary(1234));
+  adversaries.push_back(make_random_adversary(5678));
+  for (auto& adversary : adversaries) {
+    auto player = make_least_loaded_player();
+    const GameResult result =
+        play_game(UrnBoard(k, delta), *player, *adversary);
+    EXPECT_LE(static_cast<double>(result.steps), bound)
+        << "adversary=" << adversary->name() << " k=" << k
+        << " delta=" << delta;
+  }
+}
+
+TEST_P(Theorem3Test, Lemma2InitialConditionAlsoBounded) {
+  const auto [k, delta] = GetParam();
+  // Modified start of Section 3.2 with the +3 slack of Lemma 2.
+  const double bound =
+      static_cast<double>(k) *
+      (std::min(std::log(static_cast<double>(k)),
+                std::log(static_cast<double>(delta))) +
+       3.0);
+  for (std::int32_t u : {0, k / 2, k - 1}) {
+    auto player = make_least_loaded_player();
+    auto adversary = make_greedy_adversary();
+    const GameResult result = play_game(
+        UrnBoard::lemma2_start(k, delta, u), *player, *adversary);
+    EXPECT_LE(static_cast<double>(result.steps), bound)
+        << "k=" << k << " delta=" << delta << " u=" << u;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Theorem3Test,
+    ::testing::Values(GameParam{2, 2}, GameParam{4, 2}, GameParam{4, 16},
+                      GameParam{8, 3}, GameParam{16, 16}, GameParam{16, 200},
+                      GameParam{64, 8}, GameParam{64, 64},
+                      GameParam{128, 1000}, GameParam{256, 4}),
+    [](const ::testing::TestParamInfo<GameParam>& param_info) {
+      return "k" + std::to_string(param_info.param.k) + "_d" +
+             std::to_string(param_info.param.delta);
+    });
+
+TEST(GameAblationTest, MostLoadedPlayerIsWorseAgainstGreedy) {
+  const std::int32_t k = 64;
+  const std::int32_t delta = 64;
+  auto good_player = make_least_loaded_player();
+  auto bad_player = make_most_loaded_player();
+  auto adv1 = make_greedy_adversary();
+  auto adv2 = make_greedy_adversary();
+  const auto good = play_game(UrnBoard(k, delta), *good_player, *adv1);
+  const auto bad = play_game(UrnBoard(k, delta), *bad_player, *adv2);
+  EXPECT_GT(bad.steps, good.steps);
+}
+
+// ---------------------------------------------------------------------
+// Exact DP (Lemma 4 / Theorem 3 tightness).
+// ---------------------------------------------------------------------
+
+class RTableTest : public ::testing::TestWithParam<GameParam> {};
+
+TEST_P(RTableTest, Lemma4StructureHolds) {
+  const auto [k, delta] = GetParam();
+  const RTable table(k, delta);
+  EXPECT_TRUE(table.monotone_in_n());
+  EXPECT_TRUE(table.option_a_dominates());
+}
+
+TEST_P(RTableTest, OptimumWithinTheorem3Bound) {
+  const auto [k, delta] = GetParam();
+  const RTable table(k, delta);
+  EXPECT_LE(static_cast<double>(table.optimal_game_length()),
+            theorem3_bound(k, delta));
+}
+
+TEST_P(RTableTest, GreedyAchievesDpOptimumExactly) {
+  // The proof of Theorem 3 (Lemma 4) shows the adversary's optimal
+  // policy is exactly greedy: re-choose chosen urns while a ball lies
+  // outside U_t, else drain the fullest unchosen urn. The simulated
+  // greedy adversary must therefore realize R(k, k) to the step.
+  const auto [k, delta] = GetParam();
+  const RTable table(k, delta);
+  auto player = make_least_loaded_player();
+  auto adversary = make_greedy_adversary();
+  const GameResult sim = play_game(UrnBoard(k, delta), *player, *adversary);
+  EXPECT_EQ(sim.steps, table.optimal_game_length());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallGrid, RTableTest,
+    ::testing::Values(GameParam{2, 2}, GameParam{3, 2}, GameParam{4, 3},
+                      GameParam{6, 2}, GameParam{8, 8}, GameParam{12, 5},
+                      GameParam{16, 3}, GameParam{24, 24}),
+    [](const ::testing::TestParamInfo<GameParam>& param_info) {
+      return "k" + std::to_string(param_info.param.k) + "_d" +
+             std::to_string(param_info.param.delta);
+    });
+
+TEST(RTableTest, GreedyTrajectoryTracksValueFunctionExactly) {
+  // Along an optimal-play trajectory, the number of remaining steps
+  // after each of player B's moves must equal R(N_t, u_t) — the value
+  // function is tight at every prefix, not just at the start.
+  const std::int32_t k = 12;
+  const std::int32_t delta = 6;
+  const RTable table(k, delta);
+  auto player = make_least_loaded_player();
+  auto adversary = make_greedy_adversary();
+
+  // Re-play the game manually so we can inspect the board mid-run.
+  UrnBoard board(k, delta);
+  std::vector<std::pair<std::int32_t, std::int32_t>> states;  // (N, u)
+  states.emplace_back(board.balls_in_unchosen(), board.num_unchosen());
+  while (!board.finished()) {
+    const std::int32_t from = adversary->choose_source(board);
+    ASSERT_GE(from, 0);
+    const std::int32_t to = player->choose_destination(board, from);
+    board.apply(from, to);
+    states.emplace_back(board.balls_in_unchosen(), board.num_unchosen());
+  }
+  const auto total = static_cast<std::int64_t>(states.size()) - 1;
+  EXPECT_EQ(total, table.optimal_game_length());
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    const auto [n, u] = states[i];
+    EXPECT_EQ(table.r(n, u), total - static_cast<std::int64_t>(i))
+        << "prefix " << i;
+  }
+}
+
+TEST(RTableTest, TerminalConfigurationsAreZero) {
+  const RTable table(6, 3);
+  // Delta*u - N <= 0 -> 0 steps left.
+  EXPECT_EQ(table.r(6, 2), 0);   // 3*2 - 6 = 0
+  EXPECT_EQ(table.r(6, 1), 0);   // 3 - 6 < 0
+  EXPECT_EQ(table.r(0, 0), 0);
+}
+
+// ---------------------------------------------------------------------
+// Full minimax (both sides optimal): the least-loaded player strategy
+// is not merely within the bound — it achieves the game's exact value.
+// ---------------------------------------------------------------------
+
+TEST(MinimaxTest, LeastLoadedPlayerIsMinimaxOptimal) {
+  for (std::int32_t k = 1; k <= 7; ++k) {
+    for (std::int32_t delta : {2, 3, k}) {
+      if (delta < 1) continue;
+      const RTable table(k, delta);
+      EXPECT_EQ(minimax_game_length(k, delta),
+                table.optimal_game_length())
+          << "k=" << k << " delta=" << delta;
+    }
+  }
+}
+
+TEST(MinimaxTest, TinyGamesByHand) {
+  // k = 1, delta = 1: the single urn already holds 1 >= delta... but it
+  // is unchosen with load 1, so the game is over before any move.
+  EXPECT_EQ(minimax_game_length(1, 1), 0);
+  // k = 2, delta = 2: adversary takes from one urn, player must stack
+  // the other to 2 -> finished in exactly 1 step under optimal play.
+  EXPECT_EQ(minimax_game_length(2, 2), 1);
+}
+
+TEST(MinimaxTest, ValueWithinTheorem3Bound) {
+  for (std::int32_t k = 2; k <= 7; ++k) {
+    EXPECT_LE(static_cast<double>(minimax_game_length(k, k)),
+              theorem3_bound(k, k))
+        << "k=" << k;
+  }
+}
+
+TEST(MinimaxTest, ValueGrowsWithDelta) {
+  const std::int64_t small = minimax_game_length(6, 2);
+  const std::int64_t large = minimax_game_length(6, 6);
+  EXPECT_LE(small, large);
+}
+
+// ---------------------------------------------------------------------
+// Resource allocation (Section 1 corollary).
+// ---------------------------------------------------------------------
+
+TEST(AllocationTest, UniformTasksNeedFewSwitches) {
+  const std::vector<std::int64_t> work(16, 100);
+  const auto result =
+      simulate_allocation(work, ReassignRule::kLeastCrowded);
+  // All tasks end simultaneously: no mid-run switches are useful.
+  EXPECT_LE(result.switches, allocation_switch_bound(16));
+  EXPECT_EQ(result.rounds, 100);
+}
+
+TEST(AllocationTest, SwitchBoundHoldsOnSkewedWorkloads) {
+  Rng rng(5);
+  for (int rep = 0; rep < 10; ++rep) {
+    std::vector<std::int64_t> work;
+    for (int t = 0; t < 32; ++t) {
+      // Heavy-tailed lengths exercise many reassignment waves.
+      const std::int64_t base = static_cast<std::int64_t>(rng.next_below(8));
+      work.push_back(1 + base * base * base);
+    }
+    const auto result =
+        simulate_allocation(work, ReassignRule::kLeastCrowded, 7);
+    EXPECT_LE(static_cast<double>(result.switches),
+              allocation_switch_bound(32))
+        << "rep=" << rep;
+  }
+}
+
+TEST(AllocationTest, ZeroLengthTasksHandled) {
+  const std::vector<std::int64_t> work{0, 0, 5, 0};
+  const auto result =
+      simulate_allocation(work, ReassignRule::kLeastCrowded);
+  EXPECT_EQ(result.rounds, 2);  // 4 workers, 5 units, ceil(5/4) = 2
+}
+
+TEST(AllocationTest, MakespanIsWorkOverWorkersRounded) {
+  // One huge task: all workers converge onto it.
+  std::vector<std::int64_t> work(8, 0);
+  work[3] = 800;
+  const auto result =
+      simulate_allocation(work, ReassignRule::kLeastCrowded);
+  EXPECT_EQ(result.rounds, 100);
+  EXPECT_LE(result.switches, 8);
+}
+
+TEST(AllocationTest, AllRulesFinishAllWork) {
+  Rng rng(11);
+  std::vector<std::int64_t> work;
+  for (int t = 0; t < 16; ++t) {
+    work.push_back(static_cast<std::int64_t>(rng.next_below(50)));
+  }
+  for (ReassignRule rule :
+       {ReassignRule::kLeastCrowded, ReassignRule::kRandom,
+        ReassignRule::kFirstUnfinished, ReassignRule::kMostCrowded}) {
+    const auto result = simulate_allocation(work, rule, 3);
+    EXPECT_GE(result.rounds, 1) << reassign_rule_name(rule);
+    // Lower bound: rounds >= total/k.
+    EXPECT_GE(result.rounds * 16, result.total_work)
+        << reassign_rule_name(rule);
+  }
+}
+
+TEST(AllocationTest, LeastCrowdedBeatsMostCrowdedOnSkew) {
+  std::vector<std::int64_t> work(16, 10);
+  work[0] = 1000;
+  const auto good =
+      simulate_allocation(work, ReassignRule::kLeastCrowded);
+  const auto bad = simulate_allocation(work, ReassignRule::kMostCrowded);
+  EXPECT_LE(good.rounds, bad.rounds);
+}
+
+}  // namespace
+}  // namespace bfdn

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/graph.h"
+#include "graph/grid_world.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace bfdn {
+namespace {
+
+Graph triangle_plus_tail() {
+  // 0-1, 1-2, 2-0 triangle; 2-3 tail.
+  return Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 0}, {2, 3}});
+}
+
+TEST(GraphTest, BasicShape) {
+  const Graph g = triangle_plus_tail();
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.origin(), 0);
+  EXPECT_EQ(g.degree(2), 3);
+  EXPECT_EQ(g.max_degree(), 3);
+}
+
+TEST(GraphTest, PortsEnumerateNeighbors) {
+  const Graph g = triangle_plus_tail();
+  std::set<NodeId> nbrs;
+  for (std::int32_t p = 0; p < g.degree(2); ++p) {
+    nbrs.insert(g.neighbor(2, p));
+    const EdgeId e = g.edge_at(2, p);
+    EXPECT_EQ(g.other_endpoint(e, 2), g.neighbor(2, p));
+  }
+  EXPECT_EQ(nbrs, (std::set<NodeId>{0, 1, 3}));
+}
+
+TEST(GraphTest, DistancesAndRadius) {
+  const Graph g = triangle_plus_tail();
+  EXPECT_EQ(g.distance(0), 0);
+  EXPECT_EQ(g.distance(1), 1);
+  EXPECT_EQ(g.distance(2), 1);
+  EXPECT_EQ(g.distance(3), 2);
+  EXPECT_EQ(g.radius(), 2);
+}
+
+TEST(GraphTest, RejectsSelfLoopDuplicateDisconnected) {
+  EXPECT_THROW(Graph::from_edges(2, {{0, 0}}), CheckError);
+  EXPECT_THROW(Graph::from_edges(2, {{0, 1}, {1, 0}}), CheckError);
+  EXPECT_THROW(Graph::from_edges(3, {{0, 1}}), CheckError);  // node 2 cut
+}
+
+TEST(GraphTest, OtherEndpointValidatesMembership) {
+  const Graph g = triangle_plus_tail();
+  EXPECT_THROW(g.other_endpoint(0, 3), CheckError);  // edge 0 is 0-1
+}
+
+TEST(GridWorldTest, OpenGridShape) {
+  const GridWorld world(4, 3, {});
+  EXPECT_EQ(world.num_reachable_cells(), 12);
+  // 4x3 grid: 2*4*3 - 4 - 3 = 17 edges.
+  EXPECT_EQ(world.graph().num_edges(), 17);
+  EXPECT_TRUE(world.distances_are_manhattan());
+}
+
+TEST(GridWorldTest, ObstacleRemovesCells) {
+  const GridWorld world(5, 5, {Rect{1, 1, 2, 2}});
+  EXPECT_EQ(world.num_reachable_cells(), 25 - 4);
+  EXPECT_TRUE(world.blocked(1, 1));
+  EXPECT_TRUE(world.blocked(2, 2));
+  EXPECT_FALSE(world.blocked(0, 0));
+  EXPECT_EQ(world.cell_node(1, 2), kInvalidNode);
+}
+
+TEST(GridWorldTest, WallForcesDetourBreakingManhattan) {
+  // Vertical wall at x=2 spanning y=0..3 in a 6x5 grid: cells right of
+  // the wall at low y require going over the top.
+  const GridWorld world(6, 5, {Rect{2, 0, 2, 3}});
+  EXPECT_FALSE(world.distances_are_manhattan());
+  const NodeId v = world.cell_node(3, 0);
+  ASSERT_NE(v, kInvalidNode);
+  EXPECT_GT(world.graph().distance(v), 3);
+}
+
+TEST(GridWorldTest, OriginBlockedThrows) {
+  EXPECT_THROW(GridWorld(3, 3, {Rect{0, 0, 1, 1}}), CheckError);
+}
+
+TEST(GridWorldTest, UnreachablePocketExcluded) {
+  // Full-width wall at y=2 disconnects the top band.
+  const GridWorld world(3, 5, {Rect{0, 2, 2, 2}});
+  EXPECT_EQ(world.num_reachable_cells(), 6);
+  EXPECT_EQ(world.cell_node(0, 4), kInvalidNode);
+}
+
+TEST(GridWorldTest, CellNodeRoundTrip) {
+  const GridWorld world(4, 4, {Rect{3, 3, 3, 3}});
+  for (NodeId v = 0; v < world.graph().num_nodes(); ++v) {
+    const auto [x, y] = world.cell_of(v);
+    EXPECT_EQ(world.cell_node(x, y), v);
+  }
+}
+
+TEST(GridWorldTest, RandomWorldsAreValidAndDeterministic) {
+  Rng r1(33), r2(33);
+  const GridWorld a = GridWorld::random(20, 20, 8, 5, r1);
+  const GridWorld b = GridWorld::random(20, 20, 8, 5, r2);
+  EXPECT_EQ(a.num_reachable_cells(), b.num_reachable_cells());
+  EXPECT_GE(a.num_reachable_cells(), 1);
+  EXPECT_EQ(a.graph().num_edges(), b.graph().num_edges());
+}
+
+TEST(GridWorldTest, RenderMarksOriginAndWalls) {
+  const GridWorld world(3, 2, {Rect{2, 1, 2, 1}});
+  const std::string picture = world.render();
+  EXPECT_NE(picture.find('O'), std::string::npos);
+  EXPECT_NE(picture.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bfdn

@@ -1,0 +1,71 @@
+// Edge cases and misuse handling of the graph explorer and its inputs.
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "graph/grid_world.h"
+#include "graphexp/graph_bfdn.h"
+#include "support/check.h"
+
+namespace bfdn {
+namespace {
+
+TEST(GraphExpEdgeTest, ZeroRobotsRejected) {
+  const Graph graph = Graph::from_edges(2, {{0, 1}});
+  EXPECT_THROW(run_graph_bfdn(graph, 0), CheckError);
+}
+
+TEST(GraphExpEdgeTest, TwoNodeGraph) {
+  const Graph graph = Graph::from_edges(2, {{0, 1}});
+  const GraphExplorationResult result = run_graph_bfdn(graph, 3);
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.all_at_origin);
+  EXPECT_EQ(result.rounds, 2);
+  EXPECT_EQ(result.tree_edges, 1);
+  EXPECT_EQ(result.closed_edges, 0);
+}
+
+TEST(GraphExpEdgeTest, MultiEdgePathRoundsExact) {
+  // A path graph explored by one robot: exactly 2m rounds.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 0; v < 9; ++v) {
+    edges.emplace_back(v, static_cast<NodeId>(v + 1));
+  }
+  const Graph graph = Graph::from_edges(10, edges);
+  const GraphExplorationResult result = run_graph_bfdn(graph, 1);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.rounds, 2 * graph.num_edges());
+}
+
+TEST(GraphExpEdgeTest, RoundLimitReportedHonestly) {
+  const GridWorld world(10, 10, {});
+  const GraphExplorationResult result =
+      run_graph_bfdn(world.graph(), 2, /*max_rounds=*/5);
+  EXPECT_TRUE(result.hit_round_limit);
+  EXPECT_FALSE(result.complete);
+}
+
+TEST(GraphExpEdgeTest, ParallelCorridorsCloseExactlyHalf) {
+  // 4-cycle from the origin: two length-2 corridors to the far corner;
+  // exactly one edge gets closed wherever the robots meet.
+  const Graph graph =
+      Graph::from_edges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  for (std::int32_t k : {1, 2, 4}) {
+    const GraphExplorationResult result = run_graph_bfdn(graph, k);
+    EXPECT_TRUE(result.complete) << "k=" << k;
+    EXPECT_EQ(result.tree_edges, 3) << "k=" << k;
+    EXPECT_EQ(result.closed_edges, 1) << "k=" << k;
+  }
+}
+
+TEST(GraphExpEdgeTest, StarGraphAllTreeEdges) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 1; v < 9; ++v) edges.emplace_back(0, v);
+  const Graph graph = Graph::from_edges(9, edges);
+  const GraphExplorationResult result = run_graph_bfdn(graph, 4);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.closed_edges, 0);
+  EXPECT_EQ(result.backtrack_moves, 0);
+}
+
+}  // namespace
+}  // namespace bfdn

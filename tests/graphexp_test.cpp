@@ -1,0 +1,175 @@
+// Tests for BFDN on non-tree graphs (Section 4.3, Proposition 9):
+// cycles, cliques, grids with rectangular obstacles.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/grid_world.h"
+#include "graphexp/graph_bfdn.h"
+#include "sim/engine.h"
+
+namespace bfdn {
+namespace {
+
+Graph make_cycle(std::int32_t n) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 0; v < n; ++v) {
+    edges.emplace_back(v, static_cast<NodeId>((v + 1) % n));
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_clique(std::int32_t n) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = static_cast<NodeId>(a + 1); b < n; ++b) {
+      edges.emplace_back(a, b);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+void expect_explored_within_bound(const Graph& graph, std::int32_t k,
+                                  const std::string& label) {
+  const GraphExplorationResult result = run_graph_bfdn(graph, k);
+  EXPECT_TRUE(result.complete) << label;
+  EXPECT_TRUE(result.all_at_origin) << label;
+  EXPECT_FALSE(result.hit_round_limit) << label;
+  const double bound = proposition9_bound(graph.num_edges(), graph.radius(),
+                                          graph.max_degree(), k);
+  EXPECT_LE(static_cast<double>(result.rounds), bound) << label;
+  // BFS-tree structure: exactly n-1 never-closed edges, rest closed.
+  EXPECT_EQ(result.tree_edges, graph.num_nodes() - 1) << label;
+  EXPECT_EQ(result.closed_edges,
+            graph.num_edges() - (graph.num_nodes() - 1))
+      << label;
+}
+
+TEST(GraphBfdnTest, TreeShapedGraphMatchesTreeBehaviour) {
+  // A tree given as a graph: no edge is ever closed.
+  const Tree tree = make_comb(6, 4);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 1; v < tree.num_nodes(); ++v) {
+    edges.emplace_back(tree.parent(v), v);
+  }
+  const Graph graph =
+      Graph::from_edges(tree.num_nodes(), edges);
+  for (std::int32_t k : {1, 3, 9}) {
+    expect_explored_within_bound(graph, k, "tree-as-graph");
+  }
+}
+
+TEST(GraphBfdnTest, EvenCycle) {
+  for (std::int32_t k : {1, 2, 4}) {
+    expect_explored_within_bound(make_cycle(16), k, "cycle16");
+  }
+}
+
+TEST(GraphBfdnTest, OddCycle) {
+  expect_explored_within_bound(make_cycle(17), 3, "cycle17");
+}
+
+TEST(GraphBfdnTest, TriangleSmallestCycle) {
+  expect_explored_within_bound(make_cycle(3), 2, "triangle");
+}
+
+TEST(GraphBfdnTest, Clique) {
+  for (std::int32_t k : {1, 4, 12}) {
+    expect_explored_within_bound(make_clique(9), k, "clique9");
+  }
+}
+
+TEST(GraphBfdnTest, OpenGrid) {
+  const GridWorld world(8, 8, {});
+  for (std::int32_t k : {1, 4, 16}) {
+    expect_explored_within_bound(world.graph(), k, "grid8x8");
+  }
+}
+
+TEST(GraphBfdnTest, GridWithRectangularObstacles) {
+  Rng rng(7);
+  for (int rep = 0; rep < 4; ++rep) {
+    Rng child = rng.split();
+    const GridWorld world = GridWorld::random(16, 12, 6, 4, child);
+    expect_explored_within_bound(world.graph(), 8,
+                                 "random-grid rep" + std::to_string(rep));
+  }
+}
+
+TEST(GraphBfdnTest, ManhattanAssumptionCaseFromThePaper) {
+  // Obstacles placed away from both axes keep BFS distance == i + j,
+  // the closed-form case cited from Ortolf-Schindelhauer [12].
+  const GridWorld world(10, 10, {Rect{2, 3, 4, 4}, Rect{6, 6, 7, 8}});
+  ASSERT_TRUE(world.distances_are_manhattan());
+  expect_explored_within_bound(world.graph(), 6, "manhattan-grid");
+}
+
+TEST(GraphBfdnTest, DetourGridStillExplored) {
+  // A wall touching the x-axis breaks the Manhattan property; the
+  // algorithm only needs the true-distance oracle.
+  const GridWorld world(10, 6, {Rect{4, 0, 4, 4}});
+  ASSERT_FALSE(world.distances_are_manhattan());
+  expect_explored_within_bound(world.graph(), 4, "detour-grid");
+}
+
+TEST(GraphBfdnTest, ClosedEdgesTraversedAtMostTwice) {
+  const GraphExplorationResult result = run_graph_bfdn(make_clique(7), 5);
+  ASSERT_TRUE(result.complete);
+  // Every close costs exactly one backtrack move.
+  EXPECT_EQ(result.backtrack_moves, result.closed_edges);
+}
+
+TEST(GraphBfdnTest, SingleNodeGraph) {
+  const Graph graph = Graph::from_edges(1, {});
+  const GraphExplorationResult result = run_graph_bfdn(graph, 3);
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.all_at_origin);
+  EXPECT_EQ(result.rounds, 0);
+}
+
+TEST(GraphBfdnTest, RoomsWorldExplored) {
+  Rng rng(21);
+  const GridWorld world = make_rooms_world(4, 3, 4, rng);
+  // All rooms reachable through their doors.
+  EXPECT_EQ(world.num_reachable_cells(),
+            world.graph().num_nodes());
+  EXPECT_GE(world.num_reachable_cells(), 4 * 3 * 4 * 4);
+  expect_explored_within_bound(world.graph(), 6, "rooms-world");
+}
+
+TEST(GraphBfdnTest, SerpentineIsASingleCorridor) {
+  const GridWorld world = make_serpentine_world(8, 4);
+  // Snake: radius close to the number of corridor cells.
+  EXPECT_GE(world.graph().radius(),
+            static_cast<std::int32_t>(world.num_reachable_cells() / 2));
+  expect_explored_within_bound(world.graph(), 3, "serpentine");
+}
+
+TEST(GridWorldBuilderTest, SerpentineDeterministicShape) {
+  const GridWorld world = make_serpentine_world(5, 3);
+  EXPECT_EQ(world.width(), 5);
+  EXPECT_EQ(world.height(), 5);
+  // Corridor rows fully free.
+  for (std::int32_t x = 0; x < 5; ++x) {
+    EXPECT_FALSE(world.blocked(x, 0));
+    EXPECT_FALSE(world.blocked(x, 2));
+    EXPECT_FALSE(world.blocked(x, 4));
+  }
+  // First wall has its gap at the right end.
+  EXPECT_TRUE(world.blocked(0, 1));
+  EXPECT_FALSE(world.blocked(4, 1));
+}
+
+TEST(GraphBfdnTest, LemmaStyleReanchorsBoundedPerLevel) {
+  const GridWorld world(12, 12, {Rect{3, 3, 5, 5}});
+  const std::int32_t k = 9;
+  const GraphExplorationResult result = run_graph_bfdn(world.graph(), k);
+  ASSERT_TRUE(result.complete);
+  const double per_level = lemma2_bound(k, world.graph().max_degree());
+  for (const auto& [depth, count] : result.reanchors_by_depth.buckets()) {
+    if (depth == 0) continue;
+    EXPECT_LE(static_cast<double>(count), per_level) << "depth " << depth;
+  }
+}
+
+}  // namespace
+}  // namespace bfdn

@@ -1,0 +1,42 @@
+// Tests for the leveled logger (stderr side effects are not captured;
+// these exercise the level gate and the API surface).
+#include <gtest/gtest.h>
+
+#include "support/log.h"
+
+namespace bfdn {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kInfo); }
+};
+
+TEST_F(LogTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST_F(LogTest, DefaultIsInfo) {
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
+}
+
+TEST_F(LogTest, EmittingBelowThresholdIsSafe) {
+  set_log_level(LogLevel::kError);
+  // Filtered out — must not crash or allocate surprises.
+  log_debug("invisible");
+  log_info("invisible");
+  log_warn("invisible");
+  SUCCEED();
+}
+
+TEST_F(LogTest, EmittingAtThresholdIsSafe) {
+  set_log_level(LogLevel::kError);
+  log_error("visible (stderr)");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace bfdn

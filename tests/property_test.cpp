@@ -1,0 +1,148 @@
+// Property-based sweeps: randomized trees driven by a seed parameter,
+// checking cross-cutting invariants that every algorithm in the library
+// must satisfy on the same instance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/cte.h"
+#include "baselines/depth_next_only.h"
+#include "baselines/offline.h"
+#include "core/bfdn.h"
+#include "distributed/writeread.h"
+#include "graph/generators.h"
+#include "recursive/bfdn_ell.h"
+#include "sim/engine.h"
+
+namespace bfdn {
+namespace {
+
+class RandomTreePropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  Tree random_tree() const {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+    // Mix shapes: depth between 2 and n/3, size 50..400.
+    Rng sizes = rng.split();
+    const std::int64_t n = 50 + static_cast<std::int64_t>(
+                                    sizes.next_below(351));
+    const auto depth = static_cast<std::int32_t>(
+        2 + sizes.next_below(static_cast<std::uint64_t>(n / 3)));
+    Rng shape = rng.split();
+    return make_tree_with_depth(n, depth, shape);
+  }
+  std::int32_t random_k() const {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+    return static_cast<std::int32_t>(1 + rng.next_below(40));
+  }
+};
+
+TEST_P(RandomTreePropertyTest, AllAlgorithmsFullyExploreTheSameTree) {
+  const Tree tree = random_tree();
+  const std::int32_t k = random_k();
+  RunConfig config;
+  config.num_robots = k;
+
+  BfdnAlgorithm bfdn_algo(k);
+  const RunResult r1 = run_exploration(tree, bfdn_algo, config);
+  CteAlgorithm cte_algo(tree, k);
+  const RunResult r2 = run_exploration(tree, cte_algo, config);
+  DepthNextOnlyAlgorithm dn_algo(k);
+  const RunResult r3 = run_exploration(tree, dn_algo, config);
+  BfdnEllAlgorithm ell_algo(k, 2);
+  const RunResult r4 = run_exploration(tree, ell_algo, config);
+
+  for (const RunResult* result : {&r1, &r2, &r3, &r4}) {
+    EXPECT_TRUE(result->complete) << tree.summary() << " k=" << k;
+    EXPECT_FALSE(result->hit_round_limit);
+  }
+  // Return-to-root algorithms end at home.
+  EXPECT_TRUE(r1.all_at_root);
+  EXPECT_TRUE(r2.all_at_root);
+  EXPECT_TRUE(r3.all_at_root);
+}
+
+TEST_P(RandomTreePropertyTest, EdgeEventsAreExactlyTwicTheEdges) {
+  const Tree tree = random_tree();
+  const std::int32_t k = random_k();
+  RunConfig config;
+  config.num_robots = k;
+  BfdnAlgorithm algo(k);
+  const RunResult result = run_exploration(tree, algo, config);
+  ASSERT_TRUE(result.complete);
+  EXPECT_EQ(result.edge_events, 2 * (tree.num_nodes() - 1));
+}
+
+TEST_P(RandomTreePropertyTest, RoundsDominateOfflineLowerBound) {
+  const Tree tree = random_tree();
+  const std::int32_t k = random_k();
+  RunConfig config;
+  config.num_robots = k;
+  BfdnAlgorithm algo(k);
+  const RunResult result = run_exploration(tree, algo, config);
+  ASSERT_TRUE(result.complete);
+  // No online algorithm can beat the offline lower bound; equality is
+  // possible, going below would indicate an engine accounting bug.
+  EXPECT_GE(static_cast<double>(result.rounds) + 1e-9,
+            offline_lower_bound(tree.num_nodes(), tree.depth(), k));
+}
+
+TEST_P(RandomTreePropertyTest, SumOfMovesAtLeastTwiceEdges) {
+  const Tree tree = random_tree();
+  const std::int32_t k = random_k();
+  RunConfig config;
+  config.num_robots = k;
+  BfdnAlgorithm algo(k);
+  const RunResult result = run_exploration(tree, algo, config);
+  ASSERT_TRUE(result.complete);
+  std::int64_t moves = 0;
+  for (auto m : result.robot_moves) moves += m;
+  // Every edge is crossed down and up at least once, and no robot makes
+  // more moves than there were rounds.
+  EXPECT_GE(moves, 2 * (tree.num_nodes() - 1));
+  for (auto m : result.robot_moves) EXPECT_LE(m, result.rounds);
+}
+
+TEST_P(RandomTreePropertyTest, WriteReadAgreesWithTheoremBound) {
+  const Tree tree = random_tree();
+  const std::int32_t k = random_k();
+  const WriteReadResult wr = run_write_read_bfdn(tree, k);
+  EXPECT_TRUE(wr.complete);
+  EXPECT_TRUE(wr.all_at_root);
+  EXPECT_LE(static_cast<double>(wr.rounds),
+            theorem1_bound(tree.num_nodes(), tree.depth(),
+                           tree.max_degree(), k));
+  EXPECT_LE(wr.max_robot_memory_bits, wr.memory_allowance_bits);
+}
+
+TEST_P(RandomTreePropertyTest, InvariantCheckedRunsPass) {
+  const Tree tree = random_tree();
+  const std::int32_t k = std::min(random_k(), 12);
+  RunConfig config;
+  config.num_robots = k;
+  config.check_invariants = true;  // Claims 2 and 4 every round
+  BfdnAlgorithm algo(k);
+  const RunResult result = run_exploration(tree, algo, config);
+  EXPECT_TRUE(result.complete);
+}
+
+TEST_P(RandomTreePropertyTest, DfsSplitSegmentsPartitionTheTour) {
+  const Tree tree = random_tree();
+  const std::int32_t k = random_k();
+  const OfflineSplitPlan plan = offline_dfs_split(tree, k);
+  std::int64_t total = 0;
+  for (auto len : plan.segment_lengths) {
+    EXPECT_GE(len, 0);
+    total += len;
+  }
+  EXPECT_EQ(total, 2 * (tree.num_nodes() - 1));
+  EXPECT_LE(static_cast<double>(plan.rounds),
+            2.0 * (static_cast<double>(tree.num_nodes()) / k +
+                   tree.depth()) +
+                2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreePropertyTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace bfdn

@@ -1,0 +1,157 @@
+// Tests for the recursive BFDN_l of Section 5 (Theorem 10): correctness
+// over the zoo, the Theorem-10 runtime bound, the k-rounding rule, and
+// the deep-tree advantage over plain BFDN that motivates the recursion.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bfdn.h"
+#include "graph/generators.h"
+#include "recursive/bfdn_ell.h"
+#include "sim/engine.h"
+
+namespace bfdn {
+namespace {
+
+RunResult run_ell(const Tree& tree, std::int32_t k, std::int32_t ell) {
+  BfdnEllAlgorithm algo(k, ell);
+  RunConfig config;
+  config.num_robots = k;
+  return run_exploration(tree, algo, config);
+}
+
+struct EllParam {
+  std::size_t tree_index;
+  std::int32_t k;
+  std::int32_t ell;
+};
+
+class EllSweepTest : public ::testing::TestWithParam<EllParam> {
+ protected:
+  static const std::vector<NamedTree>& zoo() {
+    static const std::vector<NamedTree> kZoo = make_tree_zoo(220, 4242);
+    return kZoo;
+  }
+};
+
+TEST_P(EllSweepTest, ExploresCompletely) {
+  const auto& [name, tree] = zoo()[GetParam().tree_index];
+  const RunResult result = run_ell(tree, GetParam().k, GetParam().ell);
+  EXPECT_TRUE(result.complete)
+      << name << " k=" << GetParam().k << " ell=" << GetParam().ell;
+  EXPECT_FALSE(result.hit_round_limit) << name;
+}
+
+TEST_P(EllSweepTest, WithinTheorem10Bound) {
+  const auto& [name, tree] = zoo()[GetParam().tree_index];
+  const std::int32_t k = GetParam().k;
+  const std::int32_t ell = GetParam().ell;
+  const RunResult result = run_ell(tree, k, ell);
+  ASSERT_TRUE(result.complete) << name;
+  const double bound = theorem10_bound(tree.num_nodes(), tree.depth(),
+                                       tree.max_degree(), k, ell);
+  EXPECT_LE(static_cast<double>(result.rounds), bound)
+      << name << " k=" << k << " ell=" << ell;
+}
+
+std::vector<EllParam> ell_params() {
+  std::vector<EllParam> params;
+  const std::size_t num_trees = make_tree_zoo(220, 4242).size();
+  for (std::size_t t = 0; t < num_trees; ++t) {
+    for (std::int32_t k : {4, 16, 64}) {
+      for (std::int32_t ell : {1, 2, 3}) {
+        params.push_back({t, k, ell});
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ZooTimesRobotsTimesEll, EllSweepTest,
+    ::testing::ValuesIn(ell_params()),
+    [](const ::testing::TestParamInfo<EllParam>& param_info) {
+      static const auto zoo = make_tree_zoo(220, 4242);
+      return zoo[param_info.param.tree_index].name + "_k" +
+             std::to_string(param_info.param.k) + "_l" +
+             std::to_string(param_info.param.ell);
+    });
+
+TEST(EllRoundingTest, RobotsUsedIsFloorRootPower) {
+  // floor(20^{1/2})^2 = 16; floor(100^{1/3})^3 = 64; exact powers kept.
+  EXPECT_EQ(BfdnEllAlgorithm(20, 2).robots_used(), 16);
+  EXPECT_EQ(BfdnEllAlgorithm(100, 3).robots_used(), 64);
+  EXPECT_EQ(BfdnEllAlgorithm(64, 3).robots_used(), 64);
+  EXPECT_EQ(BfdnEllAlgorithm(64, 2).robots_used(), 64);
+  EXPECT_EQ(BfdnEllAlgorithm(5, 3).robots_used(), 1);
+  EXPECT_EQ(BfdnEllAlgorithm(64, 3).k_star(), 4);
+}
+
+TEST(EllEdgeTest, SingleNodeTree) {
+  const RunResult result = run_ell(make_path(1), 9, 2);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.rounds, 0);
+}
+
+TEST(EllEdgeTest, SingleRobot) {
+  const Tree tree = make_comb(8, 4);
+  const RunResult result = run_ell(tree, 1, 2);
+  EXPECT_TRUE(result.complete);
+}
+
+TEST(EllEdgeTest, EllOneOnPathActsLikeCappedBfdn) {
+  const Tree tree = make_path(64);
+  const RunResult result = run_ell(tree, 4, 1);
+  EXPECT_TRUE(result.complete);
+  // A path is one long excursion; doubling caps re-walk prefixes, so
+  // allow the doubling overhead factor over plain DFS.
+  EXPECT_LE(result.rounds, 8 * tree.num_nodes());
+}
+
+TEST(EllEdgeTest, ManyRobotsOnStar) {
+  const RunResult result = run_ell(make_star(40), 27, 3);
+  EXPECT_TRUE(result.complete);
+}
+
+TEST(EllComparisonTest, RecursionHelpsOnDeepTrees) {
+  // Theorem 10's motivation: for D large (n ~ k D), BFDN pays
+  // D^2 log(k) while BFDN_2 pays ~ D^{3/2}. Measured rounds should
+  // reflect the ordering once D is big enough.
+  Rng rng(31337);
+  const std::int32_t k = 64;
+  const std::int32_t depth = 300;
+  const Tree tree = make_tree_with_depth(6000, depth, rng);
+
+  BfdnAlgorithm plain(k);
+  RunConfig config;
+  config.num_robots = k;
+  const RunResult plain_result = run_exploration(tree, plain, config);
+  const RunResult ell_result = run_ell(tree, k, 2);
+  ASSERT_TRUE(plain_result.complete);
+  ASSERT_TRUE(ell_result.complete);
+  // Both explore; the recursive variant must not be drastically worse,
+  // and the bounds must order as the theorem says.
+  const double bound_plain = theorem1_bound(tree.num_nodes(), depth,
+                                            tree.max_degree(), k);
+  const double bound_ell = theorem10_bound(tree.num_nodes(), depth,
+                                           tree.max_degree(), k, 2);
+  EXPECT_LT(bound_ell, bound_plain);
+  EXPECT_LE(static_cast<double>(ell_result.rounds), bound_ell);
+}
+
+TEST(EllComparisonTest, PhasesGrowWithDepth) {
+  Rng rng(404);
+  const Tree shallow = make_tree_with_depth(500, 4, rng);
+  const Tree deep = make_tree_with_depth(500, 120, rng);
+  BfdnEllAlgorithm a(16, 2);
+  RunConfig config;
+  config.num_robots = 16;
+  (void)run_exploration(shallow, a, config);
+  const std::int32_t shallow_phases = a.phases_started();
+  BfdnEllAlgorithm b(16, 2);
+  (void)run_exploration(deep, b, config);
+  EXPECT_GE(b.phases_started(), shallow_phases);
+}
+
+}  // namespace
+}  // namespace bfdn

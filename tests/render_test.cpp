@@ -1,0 +1,102 @@
+// Tests for ASCII rendering and Graphviz export.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/depth_next_only.h"
+#include "graph/dot.h"
+#include "graph/generators.h"
+#include "sim/render.h"
+#include "support/check.h"
+
+namespace bfdn {
+namespace {
+
+TEST(RenderTest, TreeAsciiListsEveryNode) {
+  const Tree tree = make_complete_bary(2, 3);
+  const std::string out = render_tree_ascii(tree, {});
+  // One line per node.
+  EXPECT_EQ(static_cast<std::int64_t>(
+                std::count(out.begin(), out.end(), '\n')),
+            tree.num_nodes());
+  EXPECT_NE(out.find("└─"), std::string::npos);
+  EXPECT_NE(out.find("├─"), std::string::npos);
+}
+
+TEST(RenderTest, AnnotationsAppear) {
+  const Tree tree = make_path(3);
+  std::vector<std::string> notes(3);
+  notes[2] = "<-- here";
+  const std::string out = render_tree_ascii(tree, notes);
+  EXPECT_NE(out.find("2  <-- here"), std::string::npos);
+}
+
+TEST(RenderTest, FrameMarksRobots) {
+  const Tree tree = make_star(4);
+  TraceFrame frame;
+  frame.round = 5;
+  frame.positions = {1, 1, 0};
+  const std::string out = render_trace_frame(tree, frame);
+  EXPECT_NE(out.find("round 5"), std::string::npos);
+  EXPECT_NE(out.find("[R0 R1]"), std::string::npos);
+  EXPECT_NE(out.find("[R2]"), std::string::npos);
+}
+
+TEST(RenderTest, TraceSummaryCountsMoves) {
+  const Tree tree = make_path(5);
+  DepthNextOnlyAlgorithm algo(2);
+  std::vector<TraceFrame> trace;
+  RunConfig config;
+  config.num_robots = 2;
+  config.trace = &trace;
+  const RunResult result = run_exploration(tree, algo, config);
+  ASSERT_TRUE(result.complete);
+  const auto summaries = summarize_trace(tree, trace);
+  ASSERT_EQ(summaries.size(), 2u);
+  EXPECT_EQ(summaries[0].moves + summaries[1].moves,
+            result.robot_moves[0] + result.robot_moves[1]);
+  EXPECT_EQ(std::max(summaries[0].deepest, summaries[1].deepest),
+            tree.depth());
+}
+
+TEST(RenderTest, EmptyTraceSummaryIsEmpty) {
+  EXPECT_TRUE(summarize_trace(make_path(2), {}).empty());
+}
+
+TEST(DotTest, TreeDotHasAllEdges) {
+  const Tree tree = make_comb(3, 2);
+  const std::string out = tree_to_dot(tree);
+  EXPECT_NE(out.find("digraph"), std::string::npos);
+  std::int64_t arrows = 0;
+  for (std::size_t pos = out.find("->"); pos != std::string::npos;
+       pos = out.find("->", pos + 1)) {
+    ++arrows;
+  }
+  EXPECT_EQ(arrows, tree.num_edges());
+}
+
+TEST(DotTest, GraphDotUndirected) {
+  const Graph graph = Graph::from_edges(3, {{0, 1}, {1, 2}, {2, 0}});
+  const std::string out = graph_to_dot(graph);
+  EXPECT_NE(out.find("graph"), std::string::npos);
+  EXPECT_NE(out.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(out.find("doublecircle"), std::string::npos);
+}
+
+TEST(DotTest, ExplorationDotMarksDanglingAndRobots) {
+  const Tree tree = make_path(4);
+  std::vector<char> explored{1, 1, 0, 0};
+  const std::vector<NodeId> robots{1};
+  const std::string out = exploration_to_dot(tree, explored, robots);
+  EXPECT_NE(out.find("R: 0"), std::string::npos);      // robot marker
+  EXPECT_NE(out.find("label=\"?\""), std::string::npos);  // dangling edge
+  EXPECT_NE(out.find("style=dashed"), std::string::npos);
+}
+
+TEST(DotTest, ExplorationDotValidatesMaskSize) {
+  const Tree tree = make_path(4);
+  EXPECT_THROW(exploration_to_dot(tree, {1, 1}, {0}), CheckError);
+}
+
+}  // namespace
+}  // namespace bfdn

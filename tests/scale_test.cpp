@@ -1,0 +1,76 @@
+// Scale sweeps: the same invariants at several orders of magnitude, to
+// catch size-dependent bugs (overflow, O(n^2) blowups that would time
+// out, frontier bookkeeping drift).
+#include <gtest/gtest.h>
+
+#include "core/bfdn.h"
+#include "distributed/writeread.h"
+#include "graph/generators.h"
+#include "sim/engine.h"
+
+namespace bfdn {
+namespace {
+
+class ScaleTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ScaleTest, BfdnMeetsBoundAtEveryScale) {
+  const std::int64_t scale = GetParam();
+  for (const auto& [name, tree] : make_tree_zoo(scale, 606)) {
+    const std::int32_t k = 16;
+    BfdnAlgorithm algo(k);
+    RunConfig config;
+    config.num_robots = k;
+    const RunResult result = run_exploration(tree, algo, config);
+    ASSERT_TRUE(result.complete) << name << " scale=" << scale;
+    ASSERT_TRUE(result.all_at_root) << name << " scale=" << scale;
+    EXPECT_LE(static_cast<double>(result.rounds),
+              theorem1_bound(tree.num_nodes(), tree.depth(),
+                             tree.max_degree(), k))
+        << name << " scale=" << scale;
+    EXPECT_EQ(result.edge_events, 2 * (tree.num_nodes() - 1))
+        << name << " scale=" << scale;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ScaleTest,
+                         ::testing::Values(std::int64_t{16},
+                                           std::int64_t{64},
+                                           std::int64_t{512},
+                                           std::int64_t{4096}));
+
+TEST(LargeScaleTest, TenThousandNodeTreeFast) {
+  Rng rng(1);
+  const Tree tree = make_tree_with_depth(20000, 30, rng);
+  const std::int32_t k = 64;
+  BfdnAlgorithm algo(k);
+  RunConfig config;
+  config.num_robots = k;
+  const RunResult result = run_exploration(tree, algo, config);
+  EXPECT_TRUE(result.complete);
+  EXPECT_LE(static_cast<double>(result.rounds),
+            theorem1_bound(tree.num_nodes(), tree.depth(),
+                           tree.max_degree(), k));
+}
+
+TEST(LargeScaleTest, WriteReadAtTenThousandNodes) {
+  Rng rng(2);
+  const Tree tree = make_tree_with_depth(10000, 20, rng);
+  const WriteReadResult result = run_write_read_bfdn(tree, 32);
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.all_at_root);
+}
+
+TEST(LargeScaleTest, DeepPathAtScale) {
+  // 50k-node path with k robots: exactly one robot works; time is
+  // 2(n-1) and the engine must not slow down superlinearly.
+  const Tree tree = make_path(50000);
+  BfdnAlgorithm algo(4);
+  RunConfig config;
+  config.num_robots = 4;
+  const RunResult result = run_exploration(tree, algo, config);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.rounds, 2 * (tree.num_nodes() - 1));
+}
+
+}  // namespace
+}  // namespace bfdn

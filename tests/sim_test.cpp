@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/depth_next_only.h"
+#include "graph/generators.h"
+#include "sim/engine.h"
+#include "sim/exploration_state.h"
+#include "support/check.h"
+
+namespace bfdn {
+namespace {
+
+TEST(ExplorationStateTest, InitialStateExposesRootDangling) {
+  const Tree t = make_star(5);
+  ExplorationState s(t, 2);
+  EXPECT_TRUE(s.is_explored(0));
+  EXPECT_FALSE(s.is_explored(1));
+  EXPECT_EQ(s.num_unexplored_child_edges(0), 4);
+  EXPECT_EQ(s.num_unreserved_dangling(0), 4);
+  EXPECT_FALSE(s.exploration_complete());
+  EXPECT_EQ(s.min_open_depth(), 0);
+  EXPECT_EQ(s.robot_pos(0), 0);
+}
+
+TEST(ExplorationStateTest, ReserveCommitLifecycle) {
+  const Tree t = make_path(4);
+  ExplorationState s(t, 1);
+  const NodeId c = s.reserve_dangling(0);
+  EXPECT_EQ(s.num_unreserved_dangling(0), 0);
+  EXPECT_EQ(s.num_unexplored_child_edges(0), 1);  // reserved still counts
+  s.commit_dangling(0, c);
+  EXPECT_TRUE(s.is_explored(c));
+  EXPECT_EQ(s.num_unexplored_child_edges(0), 0);
+  EXPECT_EQ(s.min_open_depth(), 1);  // the new node has a dangling child
+  EXPECT_EQ(s.num_explored_nodes(), 2);
+}
+
+TEST(ExplorationStateTest, ReleaseReturnsEdgeToPool) {
+  const Tree t = make_star(3);
+  ExplorationState s(t, 1);
+  const NodeId c = s.reserve_dangling(0);
+  s.release_dangling(0, c);
+  EXPECT_EQ(s.num_unreserved_dangling(0), 2);
+}
+
+TEST(ExplorationStateTest, OpenNodesTrackDepths) {
+  const Tree t = make_comb(3, 2);  // spine 0-1-2 with teeth
+  ExplorationState s(t, 1);
+  EXPECT_EQ(s.open_nodes_at_depth(0), (std::vector<NodeId>{0}));
+  EXPECT_TRUE(s.open_nodes_at_depth(3).empty());
+  EXPECT_EQ(s.num_open_nodes(), 1);
+}
+
+TEST(ExplorationStateTest, EdgeEventsCountBothDirectionsOnce) {
+  const Tree t = make_path(3);
+  ExplorationState s(t, 1);
+  EXPECT_TRUE(s.record_traversal(1, true));
+  EXPECT_FALSE(s.record_traversal(1, true));
+  EXPECT_TRUE(s.record_traversal(1, false));
+  EXPECT_EQ(s.edge_events(), 2);
+}
+
+TEST(ExplorationStateTest, ReserveOnEmptyPoolThrows) {
+  const Tree t = make_path(2);
+  ExplorationState s(t, 1);
+  (void)s.reserve_dangling(0);
+  EXPECT_THROW(s.reserve_dangling(0), CheckError);
+}
+
+TEST(EngineTest, SingleRobotDnIsOnlineDfs) {
+  // One DN-only robot is exactly the online DFS of the introduction:
+  // 2(n-1) rounds, back at the root.
+  for (std::int64_t n : {2, 5, 17, 64}) {
+    const Tree t = make_path(n);
+    DepthNextOnlyAlgorithm algo(1);
+    RunConfig config;
+    config.num_robots = 1;
+    const RunResult result = run_exploration(t, algo, config);
+    EXPECT_TRUE(result.complete);
+    EXPECT_TRUE(result.all_at_root);
+    EXPECT_EQ(result.rounds, 2 * (n - 1));
+    EXPECT_EQ(result.edge_events, 2 * (n - 1));
+  }
+}
+
+TEST(EngineTest, SingleRobotDfsOnGeneralTrees) {
+  const auto zoo = make_tree_zoo(128, 1234);
+  for (const auto& [name, tree] : zoo) {
+    DepthNextOnlyAlgorithm algo(1);
+    RunConfig config;
+    config.num_robots = 1;
+    const RunResult result = run_exploration(tree, algo, config);
+    EXPECT_TRUE(result.complete) << name;
+    EXPECT_TRUE(result.all_at_root) << name;
+    EXPECT_EQ(result.rounds, 2 * (tree.num_nodes() - 1)) << name;
+  }
+}
+
+TEST(EngineTest, SingleNodeTreeTerminatesImmediately) {
+  const Tree t = make_path(1);
+  DepthNextOnlyAlgorithm algo(3);
+  RunConfig config;
+  config.num_robots = 3;
+  const RunResult result = run_exploration(t, algo, config);
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.all_at_root);
+  EXPECT_EQ(result.rounds, 0);
+}
+
+TEST(EngineTest, MultiRobotDnSwarmCompletes) {
+  const auto zoo = make_tree_zoo(200, 99);
+  for (const auto& [name, tree] : zoo) {
+    for (std::int32_t k : {2, 4, 16}) {
+      DepthNextOnlyAlgorithm algo(k);
+      RunConfig config;
+      config.num_robots = k;
+      const RunResult result = run_exploration(tree, algo, config);
+      EXPECT_TRUE(result.complete) << name << " k=" << k;
+      EXPECT_TRUE(result.all_at_root) << name << " k=" << k;
+      EXPECT_LE(result.rounds, 2 * (tree.num_nodes() - 1))
+          << name << " k=" << k << ": swarm slower than one DFS robot";
+    }
+  }
+}
+
+TEST(EngineTest, RobotMovesSumMatchesWork) {
+  const Tree t = make_star(9);
+  DepthNextOnlyAlgorithm algo(4);
+  RunConfig config;
+  config.num_robots = 4;
+  const RunResult result = run_exploration(t, algo, config);
+  std::int64_t total = 0;
+  for (auto m : result.robot_moves) total += m;
+  EXPECT_EQ(total, 2 * (t.num_nodes() - 1));  // every edge down + up
+}
+
+TEST(EngineTest, TraceRecordsEveryRound) {
+  const Tree t = make_path(6);
+  DepthNextOnlyAlgorithm algo(2);
+  std::vector<TraceFrame> trace;
+  RunConfig config;
+  config.num_robots = 2;
+  config.trace = &trace;
+  const RunResult result = run_exploration(t, algo, config);
+  ASSERT_EQ(static_cast<std::int64_t>(trace.size()), result.rounds);
+  EXPECT_EQ(trace.front().round, 1);
+  for (const auto& frame : trace) {
+    EXPECT_EQ(frame.positions.size(), 2u);
+  }
+  // Final frame: everyone home.
+  for (NodeId pos : trace.back().positions) EXPECT_EQ(pos, 0);
+}
+
+TEST(EngineTest, MaxRoundsGuardTrips) {
+  const Tree t = make_path(50);
+  DepthNextOnlyAlgorithm algo(1);
+  RunConfig config;
+  config.num_robots = 1;
+  config.max_rounds = 5;
+  const RunResult result = run_exploration(t, algo, config);
+  EXPECT_TRUE(result.hit_round_limit);
+  EXPECT_FALSE(result.complete);
+}
+
+// A schedule blocking everyone from round `cutoff` on.
+class CutoffSchedule : public BreakdownSchedule {
+ public:
+  explicit CutoffSchedule(std::int64_t cutoff) : cutoff_(cutoff) {}
+  bool allowed(std::int64_t t, std::int32_t) override {
+    return t < cutoff_;
+  }
+  bool exhausted(std::int64_t t) const override { return t >= cutoff_; }
+
+ private:
+  std::int64_t cutoff_;
+};
+
+TEST(EngineTest, ScheduleStopsRunWhenExhausted) {
+  const Tree t = make_path(100);
+  DepthNextOnlyAlgorithm algo(2);
+  CutoffSchedule schedule(10);
+  RunConfig config;
+  config.num_robots = 2;
+  config.schedule = &schedule;
+  const RunResult result = run_exploration(t, algo, config);
+  EXPECT_FALSE(result.complete);
+  EXPECT_LE(result.rounds, 10);
+}
+
+TEST(EngineTest, SelectingForBlockedRobotThrows) {
+  // An algorithm that ignores can_move must be rejected.
+  class Disobedient : public Algorithm {
+   public:
+    std::string name() const override { return "disobedient"; }
+    void select_moves(const ExplorationView& view,
+                      MoveSelector& selector) override {
+      for (std::int32_t i = 0; i < view.num_robots(); ++i) {
+        (void)selector.try_take_dangling(i);  // no can_move check
+      }
+    }
+  };
+  class BlockAll : public BreakdownSchedule {
+   public:
+    bool allowed(std::int64_t, std::int32_t) override { return false; }
+    bool exhausted(std::int64_t t) const override { return t > 0; }
+  };
+  const Tree t = make_star(4);
+  Disobedient algo;
+  BlockAll schedule;
+  RunConfig config;
+  config.num_robots = 2;
+  config.schedule = &schedule;
+  EXPECT_THROW(run_exploration(t, algo, config), CheckError);
+}
+
+TEST(BoundsTest, Theorem1AndLowerBoundFormulas) {
+  // Spot values: n=1000, D=10, k=4, Delta large -> log(k) branch.
+  const double bound = theorem1_bound(1000, 10, 1000, 4);
+  EXPECT_NEAR(bound, 2.0 * 1000 / 4 + 100 * (std::log(4.0) + 3), 1e-9);
+  // Delta smaller than k -> log(Delta) branch.
+  const double bound2 = theorem1_bound(1000, 10, 2, 64);
+  EXPECT_NEAR(bound2, 2.0 * 1000 / 64 + 100 * (std::log(2.0) + 3), 1e-9);
+  EXPECT_DOUBLE_EQ(offline_lower_bound(100, 30, 2), 99.0);
+  EXPECT_DOUBLE_EQ(offline_lower_bound(100, 80, 2), 160.0);
+  // One robot: the bound equals the exact DFS cost 2(n-1).
+  EXPECT_DOUBLE_EQ(offline_lower_bound(100, 10, 1), 198.0);
+}
+
+}  // namespace
+}  // namespace bfdn

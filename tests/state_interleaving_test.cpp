@@ -1,0 +1,106 @@
+// Fine-grained interleavings of the ExplorationState reservation
+// machinery and the open-frontier bookkeeping — the invariants every
+// algorithm silently relies on.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "sim/exploration_state.h"
+#include "support/check.h"
+
+namespace bfdn {
+namespace {
+
+TEST(StateInterleavingTest, ReserveReleaseReserveCycles) {
+  const Tree tree = make_star(4);  // 3 dangling edges at the root
+  ExplorationState state(tree, 1);
+  const NodeId a = state.reserve_dangling(0);
+  const NodeId b = state.reserve_dangling(0);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(state.num_unreserved_dangling(0), 1);
+  EXPECT_EQ(state.num_unexplored_child_edges(0), 3);
+  state.release_dangling(0, a);
+  EXPECT_EQ(state.num_unreserved_dangling(0), 2);
+  // The released edge is reservable again.
+  const NodeId c = state.reserve_dangling(0);
+  const NodeId d = state.reserve_dangling(0);
+  EXPECT_TRUE(c == a || d == a);
+  EXPECT_EQ(state.num_unreserved_dangling(0), 0);
+}
+
+TEST(StateInterleavingTest, NodeStaysOpenWhileEdgesAreReserved) {
+  const Tree tree = make_star(3);
+  ExplorationState state(tree, 2);
+  (void)state.reserve_dangling(0);
+  (void)state.reserve_dangling(0);
+  // Fully reserved but not yet explored: the root must still be open
+  // (Reanchor's U uses unexplored edges, selected or not).
+  EXPECT_FALSE(state.exploration_complete());
+  EXPECT_EQ(state.min_open_depth(), 0);
+  EXPECT_EQ(state.num_open_nodes(), 1);
+}
+
+TEST(StateInterleavingTest, CommitLastEdgeClosesNode) {
+  const Tree tree = make_path(3);
+  ExplorationState state(tree, 1);
+  const NodeId child = state.reserve_dangling(0);
+  state.commit_dangling(0, child);
+  // Root closed; the frontier moved to the child.
+  EXPECT_EQ(state.open_nodes_at_depth(0).size(), 0u);
+  EXPECT_EQ(state.min_open_depth(), 1);
+}
+
+TEST(StateInterleavingTest, MultiDepthFrontier) {
+  // Comb: exploring the spine opens nodes at several depths at once.
+  const Tree tree = make_comb(3, 1);
+  ExplorationState state(tree, 2);
+  // Explore the spine child of the root (spine = 0 -> 2? builder order:
+  // tooth first). Walk whatever comes out and check bookkeeping.
+  const NodeId first = state.reserve_dangling(0);
+  state.commit_dangling(0, first);
+  std::int64_t open_total = 0;
+  for (std::int32_t d = 0; d <= tree.depth(); ++d) {
+    open_total +=
+        static_cast<std::int64_t>(state.open_nodes_at_depth(d).size());
+  }
+  EXPECT_EQ(open_total, state.num_open_nodes());
+  EXPECT_FALSE(state.exploration_complete());
+}
+
+TEST(StateInterleavingTest, CommitWrongParentRejected) {
+  const Tree tree = make_path(4);
+  ExplorationState state(tree, 1);
+  const NodeId child = state.reserve_dangling(0);
+  state.commit_dangling(0, child);
+  const NodeId grandchild = state.reserve_dangling(child);
+  // Committing the grandchild as if it hung off the root must throw.
+  EXPECT_THROW(state.commit_dangling(0, grandchild), CheckError);
+}
+
+TEST(StateInterleavingTest, ReleaseWithoutReservationRejected) {
+  const Tree tree = make_star(3);
+  ExplorationState state(tree, 1);
+  EXPECT_THROW(state.release_dangling(0, 1), CheckError);
+}
+
+TEST(StateInterleavingTest, DoubleCommitRejected) {
+  const Tree tree = make_star(3);
+  ExplorationState state(tree, 1);
+  const NodeId a = state.reserve_dangling(0);
+  state.commit_dangling(0, a);
+  (void)state.reserve_dangling(0);
+  EXPECT_THROW(state.commit_dangling(0, a), CheckError);
+}
+
+TEST(StateInterleavingTest, EdgeEventAccountingAcrossDirections) {
+  const Tree tree = make_path(4);
+  ExplorationState state(tree, 1);
+  EXPECT_EQ(state.edge_events(), 0);
+  EXPECT_TRUE(state.record_traversal(1, true));
+  EXPECT_TRUE(state.record_traversal(2, true));
+  EXPECT_TRUE(state.record_traversal(2, false));
+  EXPECT_FALSE(state.record_traversal(2, false));
+  EXPECT_EQ(state.edge_events(), 3);
+}
+
+}  // namespace
+}  // namespace bfdn

@@ -1,0 +1,90 @@
+// Tests of the per-depth completion timeline, including the behavioural
+// signature it exposes: BFDN closes strata roughly in order (its
+// breadth-first re-anchoring), while a DN swarm's deep levels finish
+// long before shallow stragglers on adversarial shapes.
+#include <gtest/gtest.h>
+
+#include "baselines/depth_next_only.h"
+#include "core/bfdn.h"
+#include "graph/generators.h"
+#include "sim/engine.h"
+
+namespace bfdn {
+namespace {
+
+RunResult run_algo(const Tree& tree, Algorithm& algo, std::int32_t k) {
+  RunConfig config;
+  config.num_robots = k;
+  return run_exploration(tree, algo, config);
+}
+
+TEST(TimelineTest, CompleteRunFillsEveryDepth) {
+  for (const auto& [name, tree] : make_tree_zoo(200, 7070)) {
+    BfdnAlgorithm algo(8);
+    const RunResult result = run_algo(tree, algo, 8);
+    ASSERT_TRUE(result.complete) << name;
+    ASSERT_EQ(static_cast<std::int32_t>(
+                  result.depth_completed_round.size()),
+              tree.depth() + 1)
+        << name;
+    EXPECT_EQ(result.depth_completed_round[0], 0) << name;
+    for (std::size_t d = 0; d < result.depth_completed_round.size();
+         ++d) {
+      EXPECT_GE(result.depth_completed_round[d], 0)
+          << name << " depth " << d;
+      EXPECT_LE(result.depth_completed_round[d], result.rounds)
+          << name << " depth " << d;
+    }
+  }
+}
+
+TEST(TimelineTest, DepthDRequiresAtLeastDRounds) {
+  // Physics: a node at depth d cannot be reached before round d.
+  Rng rng(808);
+  const Tree tree = make_tree_with_depth(400, 20, rng);
+  BfdnAlgorithm algo(16);
+  const RunResult result = run_algo(tree, algo, 16);
+  ASSERT_TRUE(result.complete);
+  for (std::size_t d = 1; d < result.depth_completed_round.size(); ++d) {
+    EXPECT_GE(result.depth_completed_round[d],
+              static_cast<std::int64_t>(d));
+  }
+}
+
+TEST(TimelineTest, IncompleteRunLeavesMinusOnes) {
+  const Tree tree = make_path(100);
+  DepthNextOnlyAlgorithm algo(1);
+  RunConfig config;
+  config.num_robots = 1;
+  config.max_rounds = 10;
+  const RunResult result = run_exploration(tree, algo, config);
+  ASSERT_FALSE(result.complete);
+  EXPECT_EQ(result.depth_completed_round[5], 5);    // reached
+  EXPECT_EQ(result.depth_completed_round[50], -1);  // never reached
+}
+
+TEST(TimelineTest, BfdnClosesStrataMostlyInOrder) {
+  // On a bushy fixed-depth tree, BFDN's working depth only moves down,
+  // so the completion rounds are non-decreasing in depth (ties aside).
+  Rng rng(909);
+  const Tree tree = make_tree_with_depth(1500, 10, rng);
+  BfdnAlgorithm algo(12);
+  const RunResult result = run_algo(tree, algo, 12);
+  ASSERT_TRUE(result.complete);
+  for (std::size_t d = 2; d < result.depth_completed_round.size(); ++d) {
+    EXPECT_GE(result.depth_completed_round[d],
+              result.depth_completed_round[d - 1])
+        << "depth " << d;
+  }
+}
+
+TEST(TimelineTest, SingleNodeTreeTimeline) {
+  const Tree tree = make_path(1);
+  BfdnAlgorithm algo(3);
+  const RunResult result = run_algo(tree, algo, 3);
+  ASSERT_EQ(result.depth_completed_round.size(), 1u);
+  EXPECT_EQ(result.depth_completed_round[0], 0);
+}
+
+}  // namespace
+}  // namespace bfdn

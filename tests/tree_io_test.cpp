@@ -1,0 +1,78 @@
+// Tests for the plain-text tree format.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "graph/generators.h"
+#include "graph/tree_io.h"
+#include "support/check.h"
+
+namespace bfdn {
+namespace {
+
+TEST(TreeIoTest, RoundTripPreservesStructure) {
+  Rng rng(77);
+  for (const auto& [name, tree] : make_tree_zoo(120, 3)) {
+    const Tree copy = parse_tree(tree_to_text(tree));
+    ASSERT_EQ(copy.num_nodes(), tree.num_nodes()) << name;
+    for (NodeId v = 0; v < tree.num_nodes(); ++v) {
+      EXPECT_EQ(copy.parent(v), tree.parent(v)) << name;
+    }
+    EXPECT_EQ(copy.depth(), tree.depth()) << name;
+    EXPECT_EQ(copy.max_degree(), tree.max_degree()) << name;
+  }
+}
+
+TEST(TreeIoTest, SingleNode) {
+  const Tree copy = parse_tree(tree_to_text(make_path(1)));
+  EXPECT_EQ(copy.num_nodes(), 1);
+}
+
+TEST(TreeIoTest, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "bfdn-tree v1\n# comment\n\n-1\n# another\n0\n0\n";
+  const Tree tree = parse_tree(text);
+  EXPECT_EQ(tree.num_nodes(), 3);
+  EXPECT_EQ(tree.parent(2), 0);
+}
+
+TEST(TreeIoTest, CrLfTolerated) {
+  const Tree tree = parse_tree("bfdn-tree v1\r\n-1\r\n0\r\n");
+  EXPECT_EQ(tree.num_nodes(), 2);
+}
+
+TEST(TreeIoTest, RejectsMissingOrWrongHeader) {
+  EXPECT_THROW(parse_tree("-1\n0\n"), CheckError);
+  EXPECT_THROW(parse_tree("bfdn-tree v2\n-1\n"), CheckError);
+  EXPECT_THROW(parse_tree(""), CheckError);
+}
+
+TEST(TreeIoTest, RejectsJunkLines) {
+  EXPECT_THROW(parse_tree("bfdn-tree v1\n-1\nzero\n"), CheckError);
+  EXPECT_THROW(parse_tree("bfdn-tree v1\n-1\n0 extra\n"), CheckError);
+}
+
+TEST(TreeIoTest, RejectsStructurallyInvalidTrees) {
+  // Cycle between nodes 1 and 2.
+  EXPECT_THROW(parse_tree("bfdn-tree v1\n-1\n2\n1\n"), CheckError);
+}
+
+TEST(TreeIoTest, FileRoundTrip) {
+  Rng rng(9);
+  const Tree tree = make_random_leafy(64, 4, rng);
+  const std::string path = ::testing::TempDir() + "bfdn_tree_io_test.txt";
+  save_tree(tree, path);
+  const Tree copy = load_tree(path);
+  EXPECT_EQ(copy.num_nodes(), tree.num_nodes());
+  for (NodeId v = 0; v < tree.num_nodes(); ++v) {
+    EXPECT_EQ(copy.parent(v), tree.parent(v));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TreeIoTest, LoadMissingFileThrows) {
+  EXPECT_THROW(load_tree("/nonexistent/dir/tree.txt"), CheckError);
+}
+
+}  // namespace
+}  // namespace bfdn

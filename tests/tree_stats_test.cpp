@@ -1,0 +1,82 @@
+// Tests for tree shape statistics.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/tree_stats.h"
+
+namespace bfdn {
+namespace {
+
+TEST(TreeStatsTest, PathStats) {
+  const TreeStats stats = compute_tree_stats(make_path(10));
+  EXPECT_EQ(stats.num_nodes, 10);
+  EXPECT_EQ(stats.depth, 9);
+  EXPECT_EQ(stats.num_leaves, 1);
+  EXPECT_EQ(stats.max_width, 1);
+  EXPECT_DOUBLE_EQ(stats.average_branching, 1.0);
+  EXPECT_EQ(stats.total_path_length, 45);  // 0+1+...+9
+  EXPECT_DOUBLE_EQ(stats.average_depth, 4.5);
+}
+
+TEST(TreeStatsTest, StarStats) {
+  const TreeStats stats = compute_tree_stats(make_star(10));
+  EXPECT_EQ(stats.num_leaves, 9);
+  EXPECT_EQ(stats.max_width, 9);
+  EXPECT_DOUBLE_EQ(stats.average_branching, 9.0);
+  EXPECT_EQ(stats.level_widths[0], 1);
+  EXPECT_EQ(stats.level_widths[1], 9);
+}
+
+TEST(TreeStatsTest, BinaryStats) {
+  const TreeStats stats = compute_tree_stats(make_complete_bary(2, 4));
+  EXPECT_EQ(stats.num_nodes, 31);
+  EXPECT_EQ(stats.num_leaves, 16);
+  EXPECT_EQ(stats.max_width, 16);
+  EXPECT_DOUBLE_EQ(stats.average_branching, 2.0);
+  for (std::size_t d = 0; d < stats.level_widths.size(); ++d) {
+    EXPECT_EQ(stats.level_widths[d], std::int64_t{1} << d);
+  }
+}
+
+TEST(TreeStatsTest, WidthsSumToNodeCount) {
+  Rng rng(3);
+  const Tree tree = make_random_leafy(500, 4, rng);
+  const TreeStats stats = compute_tree_stats(tree);
+  std::int64_t total = 0;
+  for (const std::int64_t w : stats.level_widths) total += w;
+  EXPECT_EQ(total, tree.num_nodes());
+}
+
+TEST(TreeStatsTest, SingleNode) {
+  const TreeStats stats = compute_tree_stats(make_path(1));
+  EXPECT_EQ(stats.num_leaves, 1);
+  EXPECT_DOUBLE_EQ(stats.average_branching, 0.0);
+  EXPECT_DOUBLE_EQ(stats.average_depth, 0.0);
+}
+
+TEST(TreeStatsTest, WaveCountMatchesHandComputation) {
+  // Comb spine 4, teeth 2: internal nodes at each depth are the spine
+  // nodes (4 of them, depths 0..3) plus tooth nodes with children
+  // (first tooth node of each tooth: depths 1..4).
+  const Tree tree = make_comb(4, 2);
+  const TreeStats stats = compute_tree_stats(tree);
+  // k large: one wave per non-empty open level.
+  const std::int64_t waves_wide = bfs_wave_count(stats, tree, 100);
+  EXPECT_GE(waves_wide, tree.depth() - 1);
+  // k = 1: exactly the number of internal nodes.
+  std::int64_t internal = 0;
+  for (NodeId v = 0; v < tree.num_nodes(); ++v) {
+    internal += tree.num_children(v) > 0;
+  }
+  EXPECT_EQ(bfs_wave_count(stats, tree, 1), internal);
+}
+
+TEST(TreeStatsTest, SummaryStringMentionsKeyFields) {
+  const std::string s =
+      tree_stats_to_string(compute_tree_stats(make_star(5)));
+  EXPECT_NE(s.find("n=5"), std::string::npos);
+  EXPECT_NE(s.find("leaves=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bfdn

@@ -1,0 +1,279 @@
+// bfdn — command-line front end for the library.
+//
+// Subcommands:
+//   bfdn generate --family <name> [shape flags] --out tree.txt
+//   bfdn info     --tree tree.txt
+//   bfdn explore  --tree tree.txt --algo bfdn --k 8 [--movie] [--dot]
+//   bfdn game     --k 64 --delta 64 [--adversary greedy]
+//
+// `explore` accepts a generated family instead of a file via the same
+// shape flags as `generate`. Every command prints to stdout and exits
+// non-zero on failure, so the tool composes in shell pipelines.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "baselines/cte.h"
+#include "baselines/depth_next_only.h"
+#include "baselines/offline.h"
+#include "core/bfdn.h"
+#include "distributed/writeread.h"
+#include "game/urn_game.h"
+#include "graph/dot.h"
+#include "graph/generators.h"
+#include "graph/tree_io.h"
+#include "graph/tree_stats.h"
+#include "recursive/bfdn_ell.h"
+#include "sim/engine.h"
+#include "sim/render.h"
+#include "support/check.h"
+#include "support/cli.h"
+
+namespace bfdn {
+namespace {
+
+void add_shape_flags(CliParser& cli) {
+  cli.add_string("family",
+                 "random", "tree family: random | path | star | binary | "
+                           "spider | caterpillar | comb | broom | "
+                           "cte-hard | fixed-depth");
+  cli.add_int("nodes", 500, "node count (where the family allows)");
+  cli.add_int("depth", 12, "depth parameter (where the family uses one)");
+  cli.add_int("arms", 8, "legs / teeth / branching where applicable");
+  cli.add_int("seed", 1, "generation seed");
+}
+
+Tree generate_tree(const CliParser& cli) {
+  const std::string family = cli.get_string("family");
+  const std::int64_t n = cli.get_int("nodes");
+  const auto depth = static_cast<std::int32_t>(cli.get_int("depth"));
+  const auto arms = static_cast<std::int32_t>(cli.get_int("arms"));
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  if (family == "path") return make_path(n);
+  if (family == "star") return make_star(n);
+  if (family == "binary") return make_complete_bary(2, depth);
+  if (family == "spider") {
+    return make_spider(arms, static_cast<std::int32_t>(
+                                 std::max<std::int64_t>(1, n / arms)));
+  }
+  if (family == "caterpillar") {
+    return make_caterpillar(static_cast<std::int32_t>(
+                                std::max<std::int64_t>(1, n / (arms + 1))),
+                            arms);
+  }
+  if (family == "comb") return make_comb(arms, depth);
+  if (family == "broom") {
+    return make_broom(depth,
+                      static_cast<std::int32_t>(
+                          std::max<std::int64_t>(1, n - depth - 1)));
+  }
+  if (family == "cte-hard") return make_cte_hard_tree(arms, depth, rng);
+  if (family == "fixed-depth") return make_tree_with_depth(n, depth, rng);
+  if (family == "random") return make_random_leafy(n, 5, rng);
+  BFDN_REQUIRE(false, "unknown --family " + family);
+  return make_path(1);
+}
+
+Tree obtain_tree(const CliParser& cli) {
+  const std::string path = cli.get_string("tree");
+  if (!path.empty()) return load_tree(path);
+  return generate_tree(cli);
+}
+
+int cmd_generate(int argc, const char* const* argv) {
+  CliParser cli("bfdn generate", "generate a tree instance file");
+  add_shape_flags(cli);
+  cli.add_string("out", "", "output path (default: stdout)");
+  if (!cli.parse(argc, argv)) return 0;
+  const Tree tree = generate_tree(cli);
+  const std::string out = cli.get_string("out");
+  if (out.empty()) {
+    std::fputs(tree_to_text(tree).c_str(), stdout);
+  } else {
+    save_tree(tree, out);
+    std::fprintf(stderr, "wrote %s: %s\n", out.c_str(),
+                 tree.summary().c_str());
+  }
+  return 0;
+}
+
+int cmd_info(int argc, const char* const* argv) {
+  CliParser cli("bfdn info", "describe a tree instance");
+  cli.add_string("tree", "", "tree file (empty: generate)");
+  add_shape_flags(cli);
+  cli.add_bool("ascii", false, "print the tree as ASCII art");
+  if (!cli.parse(argc, argv)) return 0;
+  const Tree tree = obtain_tree(cli);
+  const TreeStats stats = compute_tree_stats(tree);
+  std::printf("%s\n", tree_stats_to_string(stats).c_str());
+  std::printf("level widths:");
+  for (const std::int64_t width : stats.level_widths) {
+    std::printf(" %lld", static_cast<long long>(width));
+  }
+  std::printf("\n");
+  const OfflineSplitPlan plan = offline_dfs_split(tree, 8);
+  std::printf("offline DFS-split (k=8): %lld rounds; BFS-levels waves "
+              "(k=8): %lld\n",
+              static_cast<long long>(plan.rounds),
+              static_cast<long long>(bfs_wave_count(stats, tree, 8)));
+  if (cli.get_bool("ascii")) {
+    std::fputs(render_tree_ascii(tree, {}).c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmd_explore(int argc, const char* const* argv) {
+  CliParser cli("bfdn explore", "run a collaborative exploration");
+  cli.add_string("tree", "", "tree file (empty: generate via shape flags)");
+  add_shape_flags(cli);
+  cli.add_string("algo", "bfdn",
+                 "bfdn | bfdn-shortcut | cte | dn | ell2 | ell3 | "
+                 "writeread");
+  cli.add_int("k", 8, "team size");
+  cli.add_bool("movie", false, "print a round-by-round ASCII movie");
+  cli.add_bool("dot", false, "print the explored tree as Graphviz DOT");
+  cli.add_bool("check", false, "enable per-round invariant checking");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const Tree tree = obtain_tree(cli);
+  const auto k = static_cast<std::int32_t>(cli.get_int("k"));
+  const std::string algo_name = cli.get_string("algo");
+
+  if (algo_name == "writeread") {
+    const WriteReadResult wr = run_write_read_bfdn(tree, k);
+    std::printf("%s k=%d write-read: %lld rounds, complete=%s, "
+                "memory %lld/%lld bits\n",
+                tree.summary().c_str(), k,
+                static_cast<long long>(wr.rounds),
+                wr.complete ? "yes" : "no",
+                static_cast<long long>(wr.max_robot_memory_bits),
+                static_cast<long long>(wr.memory_allowance_bits));
+    return wr.complete ? 0 : 1;
+  }
+
+  std::unique_ptr<Algorithm> algorithm;
+  if (algo_name == "bfdn") {
+    algorithm = std::make_unique<BfdnAlgorithm>(k);
+  } else if (algo_name == "bfdn-shortcut") {
+    BfdnOptions options;
+    options.shortcut_reanchor = true;
+    algorithm = std::make_unique<BfdnAlgorithm>(k, options);
+  } else if (algo_name == "cte") {
+    algorithm = std::make_unique<CteAlgorithm>(tree, k);
+  } else if (algo_name == "dn") {
+    algorithm = std::make_unique<DepthNextOnlyAlgorithm>(k);
+  } else if (algo_name == "ell2") {
+    algorithm = std::make_unique<BfdnEllAlgorithm>(k, 2);
+  } else if (algo_name == "ell3") {
+    algorithm = std::make_unique<BfdnEllAlgorithm>(k, 3);
+  } else {
+    std::fprintf(stderr, "unknown --algo %s\n", algo_name.c_str());
+    return 2;
+  }
+
+  std::vector<TraceFrame> trace;
+  RunConfig config;
+  config.num_robots = k;
+  config.check_invariants = cli.get_bool("check");
+  if (cli.get_bool("movie")) config.trace = &trace;
+  const RunResult result = run_exploration(tree, *algorithm, config);
+
+  if (cli.get_bool("movie")) {
+    for (const TraceFrame& frame : trace) {
+      std::fputs(render_trace_frame(tree, frame).c_str(), stdout);
+      std::fputc('\n', stdout);
+    }
+  }
+  std::printf("%s  algo=%s k=%d\n", tree.summary().c_str(),
+              algorithm->name().c_str(), k);
+  std::printf("rounds=%lld complete=%s at_root=%s bound=%.0f\n",
+              static_cast<long long>(result.rounds),
+              result.complete ? "yes" : "no",
+              result.all_at_root ? "yes" : "no",
+              theorem1_bound(tree.num_nodes(), tree.depth(),
+                             tree.max_degree(), k));
+  if (cli.get_bool("dot")) {
+    std::vector<char> explored(
+        static_cast<std::size_t>(tree.num_nodes()), 1);
+    const std::vector<NodeId> home(static_cast<std::size_t>(k),
+                                   tree.root());
+    std::fputs(exploration_to_dot(tree, explored, home).c_str(), stdout);
+  }
+  return result.complete ? 0 : 1;
+}
+
+int cmd_game(int argc, const char* const* argv) {
+  CliParser cli("bfdn game", "play the Section 3 urn game");
+  cli.add_int("k", 64, "urns/balls");
+  cli.add_int("delta", 64, "stop threshold Delta");
+  cli.add_string("adversary", "greedy",
+                 "greedy | eager | round-robin | random");
+  cli.add_string("player", "least-loaded",
+                 "least-loaded | random | most-loaded");
+  cli.add_int("seed", 1, "seed for the random strategies");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto k = static_cast<std::int32_t>(cli.get_int("k"));
+  const auto delta = static_cast<std::int32_t>(cli.get_int("delta"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  std::unique_ptr<PlayerStrategy> player;
+  const std::string player_name = cli.get_string("player");
+  if (player_name == "least-loaded") player = make_least_loaded_player();
+  if (player_name == "random") player = make_random_player(seed);
+  if (player_name == "most-loaded") player = make_most_loaded_player();
+  BFDN_REQUIRE(player != nullptr, "unknown --player " + player_name);
+
+  std::unique_ptr<AdversaryStrategy> adversary;
+  const std::string adversary_name = cli.get_string("adversary");
+  if (adversary_name == "greedy") adversary = make_greedy_adversary();
+  if (adversary_name == "eager") adversary = make_eager_adversary();
+  if (adversary_name == "round-robin") {
+    adversary = make_round_robin_adversary();
+  }
+  if (adversary_name == "random") adversary = make_random_adversary(seed);
+  BFDN_REQUIRE(adversary != nullptr,
+               "unknown --adversary " + adversary_name);
+
+  const GameResult result =
+      play_game(UrnBoard(k, delta), *player, *adversary);
+  std::printf("k=%d delta=%d player=%s adversary=%s\n", k, delta,
+              player->name().c_str(), adversary->name().c_str());
+  std::printf("steps=%lld (Theorem 3 bound for least-loaded: %.0f)\n",
+              static_cast<long long>(result.steps),
+              theorem3_bound(k, delta));
+  return 0;
+}
+
+int dispatch(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
+      std::strcmp(argv[1], "help") == 0) {
+    std::fputs(
+        "bfdn <command> [flags]\n"
+        "  generate  create a tree instance file\n"
+        "  info      describe a tree instance\n"
+        "  explore   run a collaborative exploration\n"
+        "  game      play the Section 3 urn game\n"
+        "Run 'bfdn <command> --help' for per-command flags.\n",
+        argc < 2 ? stderr : stdout);
+    return argc < 2 ? 2 : 0;
+  }
+  const std::string command = argv[1];
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  try {
+    if (command == "generate") return cmd_generate(sub_argc, sub_argv);
+    if (command == "info") return cmd_info(sub_argc, sub_argv);
+    if (command == "explore") return cmd_explore(sub_argc, sub_argv);
+    if (command == "game") return cmd_game(sub_argc, sub_argv);
+  } catch (const CheckError& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return 2;
+}
+
+}  // namespace
+}  // namespace bfdn
+
+int main(int argc, char** argv) { return bfdn::dispatch(argc, argv); }
