@@ -1,0 +1,101 @@
+// E18 — engine-throughput bench for the simulator hot path.
+//
+// Measures wall-clock rounds/second of the full engine + BFDN stack on
+// large instances (comb / star / complete binary at n ~ 1e5..1e6 with
+// k in {64, 256, 1024}), the regime the ROADMAP's scaling PRs target.
+// Deep families are capped with --cap rounds: throughput, not
+// completion, is the quantity under test. Output is one JSON document
+// on stdout so the numbers land in the bench trajectory
+// (BENCH_hotpath.json) and regressions are visible in review.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/bfdn.h"
+#include "graph/generators.h"
+#include "sim/engine.h"
+#include "support/cli.h"
+
+namespace bfdn {
+namespace {
+
+struct Config {
+  std::string family;
+  Tree tree;
+  std::int32_t k;
+  std::int64_t cap;  // 0 = run to completion
+};
+
+int run(int argc, const char* const* argv) {
+  CliParser cli("bench_hotpath",
+                "rounds/sec of the engine round loop on large (n, k)");
+  cli.add_int("cap", 20000, "max rounds per deep-family cell");
+  cli.add_int("repeat", 1, "timed repetitions per cell (best is kept)");
+  cli.add_bool("large", false, "add the n ~ 1e6 cells (slower)");
+  if (!cli.parse(argc, argv)) return 0;
+  const std::int64_t cap = cli.get_int("cap");
+  const std::int64_t repeat = std::max<std::int64_t>(1,
+                                                     cli.get_int("repeat"));
+
+  std::vector<Config> configs;
+  // comb: deep + thin, dominated by outbound navigation and per-depth
+  // frontier maintenance. spine*(tooth+1) ~ 1e5.
+  configs.push_back({"comb", make_comb(316, 315), 1024, cap});
+  configs.push_back({"comb", make_comb(316, 315), 256, cap});
+  // star: maximal single-node frontier; stresses the dangling-edge
+  // reservation pool and the per-round selector setup.
+  configs.push_back({"star", make_star(100001), 1024, 0});
+  configs.push_back({"star", make_star(100001), 64, 0});
+  // complete binary: wide frontiers at every depth; stresses Reanchor's
+  // candidate scan and the open-node index.
+  configs.push_back({"binary", make_complete_bary(2, 16), 1024, 0});
+  configs.push_back({"binary", make_complete_bary(2, 16), 256, 0});
+  configs.push_back({"binary", make_complete_bary(2, 16), 64, 0});
+  if (cli.get_bool("large")) {
+    configs.push_back({"comb", make_comb(1000, 999), 1024, cap});
+    configs.push_back({"star", make_star(1000001), 1024, 0});
+    configs.push_back({"binary", make_complete_bary(2, 19), 1024, 0});
+  }
+
+  std::printf("{\n  \"bench\": \"hotpath\",\n  \"cells\": [\n");
+  bool first = true;
+  for (const Config& config : configs) {
+    double best_seconds = 0;
+    std::int64_t rounds = 0;
+    bool complete = false;
+    for (std::int64_t rep = 0; rep < repeat; ++rep) {
+      BfdnAlgorithm algorithm(config.k);
+      RunConfig run_config;
+      run_config.num_robots = config.k;
+      run_config.max_rounds = config.cap;
+      const auto start = std::chrono::steady_clock::now();
+      const RunResult result =
+          run_exploration(config.tree, algorithm, run_config);
+      const auto stop = std::chrono::steady_clock::now();
+      const double seconds =
+          std::chrono::duration<double>(stop - start).count();
+      if (rep == 0 || seconds < best_seconds) best_seconds = seconds;
+      rounds = result.rounds;
+      complete = result.complete;
+    }
+    const double rounds_per_sec =
+        best_seconds > 0 ? static_cast<double>(rounds) / best_seconds : 0;
+    std::printf("%s    {\"family\": \"%s\", \"n\": %lld, \"k\": %d, "
+                "\"rounds\": %lld, \"complete\": %s, "
+                "\"wall_s\": %.4f, \"rounds_per_sec\": %.1f}",
+                first ? "" : ",\n", config.family.c_str(),
+                static_cast<long long>(config.tree.num_nodes()), config.k,
+                static_cast<long long>(rounds), complete ? "true" : "false",
+                best_seconds, rounds_per_sec);
+    first = false;
+    std::fflush(stdout);
+  }
+  std::printf("\n  ]\n}\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bfdn
+
+int main(int argc, char** argv) { return bfdn::run(argc, argv); }

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Tier-1 verify plus a sanitized pass: builds the tree in Release and
+# runs the full suite, then rebuilds with ASan/UBSan (RelWithDebInfo)
+# in a separate build directory and re-runs the tests under the
+# sanitizers. Any leak, overflow or UB in the hot path fails the gate.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: Release build + full ctest =="
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "== sanitized: ASan/UBSan build + full ctest =="
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build build-asan -j
+ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+
+echo "check.sh: all gates passed."

@@ -20,6 +20,12 @@ void BfsLevelsAlgorithm::begin(const ExplorationView&) {
 
 void BfsLevelsAlgorithm::select_moves(const ExplorationView& view,
                                       MoveSelector& selector) {
+  // The working level is stable for the whole selection phase (no
+  // commit happens inside select_moves), so fetch it once per round.
+  const bool complete = view.exploration_complete();
+  const std::vector<NodeId>& level =
+      complete ? view.open_nodes_at_depth(0)
+               : view.open_nodes_at_depth(view.min_open_depth());
   for (std::int32_t i = 0; i < num_robots_; ++i) {
     if (!view.can_move(i)) continue;
     const std::size_t idx = static_cast<std::size_t>(i);
@@ -31,11 +37,10 @@ void BfsLevelsAlgorithm::select_moves(const ExplorationView& view,
     }
 
     if (phases_[idx] == Phase::kIdle) {
-      if (view.exploration_complete()) continue;  // stay at the root
+      if (complete) continue;  // stay at the root
       // Assign an open node at the working (minimum open) depth with
-      // the fewest robots already heading for it.
-      const std::vector<NodeId> level =
-          view.open_nodes_at_depth(view.min_open_depth());
+      // the fewest robots already heading for it; ties break towards
+      // the smallest node id (the bucket is unsorted).
       BFDN_CHECK(!level.empty(), "open depth with no open node");
       NodeId best = kInvalidNode;
       std::int32_t best_load = 0;
@@ -44,7 +49,8 @@ void BfsLevelsAlgorithm::select_moves(const ExplorationView& view,
         for (std::int32_t j = 0; j < num_robots_; ++j) {
           if (targets_[static_cast<std::size_t>(j)] == candidate) ++load;
         }
-        if (best == kInvalidNode || load < best_load) {
+        if (best == kInvalidNode || load < best_load ||
+            (load == best_load && candidate < best)) {
           best = candidate;
           best_load = load;
         }
@@ -57,10 +63,8 @@ void BfsLevelsAlgorithm::select_moves(const ExplorationView& view,
       if (pos == targets_[idx]) {
         phases_[idx] = Phase::kProbe;
       } else {
-        const std::vector<NodeId> path =
-            view.path_from_root(targets_[idx]);
         selector.move_down(
-            i, path[static_cast<std::size_t>(view.depth(pos)) + 1]);
+            i, view.ancestor_at_depth(targets_[idx], view.depth(pos) + 1));
         continue;
       }
     }

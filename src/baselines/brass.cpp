@@ -43,9 +43,9 @@ void BrassAlgorithm::select_moves(const ExplorationView& view,
     // unfinished children count their cumulative entries.
     NodeId best_child = kInvalidNode;
     std::int64_t best_score = -1;
-    for (const NodeId child : view.explored_children(pos)) {
+    view.for_each_explored_child(pos, [&](NodeId child) {
       ensure_size(child);
-      if (finished_[static_cast<std::size_t>(child)]) continue;
+      if (finished_[static_cast<std::size_t>(child)]) return;
       const std::int64_t score =
           entries_[static_cast<std::size_t>(child)] +
           round_entries[child];
@@ -53,7 +53,7 @@ void BrassAlgorithm::select_moves(const ExplorationView& view,
         best_child = child;
         best_score = score;
       }
-    }
+    });
     const bool fresh_available = view.has_unreserved_dangling(pos);
     const std::vector<NodeId>& taken = round_tokens[pos];
 
@@ -82,13 +82,12 @@ void BrassAlgorithm::select_moves(const ExplorationView& view,
     // No candidate at all: the subtree under pos is fully explored.
     if (!view.has_unexplored_child_edge(pos)) {
       bool all_children_finished = true;
-      for (const NodeId child : view.explored_children(pos)) {
+      view.for_each_explored_child(pos, [&](NodeId child) {
         ensure_size(child);
         if (!finished_[static_cast<std::size_t>(child)]) {
           all_children_finished = false;
-          break;
         }
-      }
+      });
       if (all_children_finished) {
         finished_[static_cast<std::size_t>(pos)] = 1;
       }

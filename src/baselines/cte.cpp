@@ -51,16 +51,22 @@ std::int32_t CteAlgorithm::robots_in_subtree(
 void CteAlgorithm::select_moves(const ExplorationView& view,
                                 MoveSelector& selector) {
   // Snapshot the open frontier: sorted in-times with unexplored-edge
-  // weights, so work_in_subtree is two binary searches.
-  std::vector<std::pair<std::int64_t, std::int64_t>> open;
-  for (NodeId u : view.open_nodes()) {
-    open.emplace_back(in_time_[static_cast<std::size_t>(u)],
-                      view.num_unexplored_child_edges(u));
+  // weights, so work_in_subtree is two binary searches. Iterate the
+  // depth buckets directly instead of materialising open_nodes().
+  open_scratch_.clear();
+  if (!view.exploration_complete()) {
+    for (std::int32_t d = view.min_open_depth(); d <= view.max_open_depth();
+         ++d) {
+      for (NodeId u : view.open_nodes_at_depth(d)) {
+        open_scratch_.emplace_back(in_time_[static_cast<std::size_t>(u)],
+                                   view.num_unexplored_child_edges(u));
+      }
+    }
   }
-  std::sort(open.begin(), open.end());
+  std::sort(open_scratch_.begin(), open_scratch_.end());
   open_in_times_.clear();
   open_weight_prefix_.assign(1, 0);
-  for (const auto& [t, w] : open) {
+  for (const auto& [t, w] : open_scratch_) {
     open_in_times_.push_back(t);
     open_weight_prefix_.push_back(open_weight_prefix_.back() + w);
   }
@@ -79,11 +85,11 @@ void CteAlgorithm::select_moves(const ExplorationView& view,
       std::int64_t load;  // robots inside / assigned
     };
     std::vector<Branch> branches;
-    for (NodeId c : view.explored_children(v)) {
+    view.for_each_explored_child(v, [&](NodeId c) {
       if (work_in_subtree(c) > 0) {
         branches.push_back(Branch{false, c, robots_in_subtree(c, view)});
       }
-    }
+    });
     std::int32_t fresh_dangling = view.num_unreserved_dangling(v);
 
     for (std::int32_t robot : robots) {

@@ -47,6 +47,8 @@ class CteAlgorithm : public Algorithm {
   // Rebuilt each round: open-node in-times (sorted) + weight prefix sums.
   std::vector<std::int64_t> open_in_times_;
   std::vector<std::int64_t> open_weight_prefix_;
+  // Scratch (in_time, weight) pairs; reused across rounds.
+  std::vector<std::pair<std::int64_t, std::int64_t>> open_scratch_;
 };
 
 }  // namespace bfdn

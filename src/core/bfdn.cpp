@@ -14,7 +14,8 @@ BfdnAlgorithm::BfdnAlgorithm(std::int32_t num_robots, BfdnOptions options)
       rng_(options.seed),
       anchors_(static_cast<std::size_t>(num_robots), kInvalidNode),
       modes_(static_cast<std::size_t>(num_robots), Mode::kExploring),
-      inactive_(static_cast<std::size_t>(num_robots), 0) {
+      inactive_(static_cast<std::size_t>(num_robots), 0),
+      paths_(static_cast<std::size_t>(num_robots)) {
   BFDN_REQUIRE(num_robots >= 1, "need at least one robot");
 }
 
@@ -39,6 +40,36 @@ void BfdnAlgorithm::begin(const ExplorationView& view) {
   std::fill(anchors_.begin(), anchors_.end(), view.root());
   std::fill(modes_.begin(), modes_.end(), Mode::kExploring);
   std::fill(inactive_.begin(), inactive_.end(), 0);
+  anchor_load_.assign(static_cast<std::size_t>(view.root()) + 1, 0);
+  anchor_load_[static_cast<std::size_t>(view.root())] = num_robots_;
+}
+
+void BfdnAlgorithm::set_anchor(std::size_t robot, NodeId v) {
+  const NodeId old = anchors_[robot];
+  if (old == v) return;
+  if (old != kInvalidNode) {
+    --anchor_load_[static_cast<std::size_t>(old)];
+  }
+  if (static_cast<std::size_t>(v) >= anchor_load_.size()) {
+    anchor_load_.resize(static_cast<std::size_t>(v) + 1, 0);
+  }
+  ++anchor_load_[static_cast<std::size_t>(v)];
+  anchors_[robot] = v;
+}
+
+std::int32_t BfdnAlgorithm::load_of(NodeId v) const {
+  const auto idx = static_cast<std::size_t>(v);
+  return idx < anchor_load_.size() ? anchor_load_[idx] : 0;
+}
+
+void BfdnAlgorithm::rebuild_path(std::size_t robot, NodeId anchor,
+                                 const ExplorationView& view) {
+  auto& path = paths_[robot];
+  path.resize(static_cast<std::size_t>(view.depth(anchor)) + 1);
+  for (NodeId cur = anchor;; cur = view.parent(cur)) {
+    path[static_cast<std::size_t>(view.depth(cur))] = cur;
+    if (cur == view.root()) break;
+  }
 }
 
 NodeId BfdnAlgorithm::reanchor(const ExplorationView& view,
@@ -48,25 +79,18 @@ NodeId BfdnAlgorithm::reanchor(const ExplorationView& view,
   if (options_.depth_cap >= 0 && d > options_.depth_cap) {
     return kInvalidNode;  // BFDN_1(k, k, d): nothing shallow left to do
   }
-  const std::vector<NodeId> candidates = view.open_nodes_at_depth(d);
+  const std::vector<NodeId>& candidates = view.open_nodes_at_depth(d);
   BFDN_CHECK(!candidates.empty(), "open depth with no open node");
 
-  // Load n_v = #{j : v_j = v} over the current anchor assignment.
-  auto load_of = [&](NodeId v) {
-    std::int32_t load = 0;
-    for (NodeId a : anchors_) {
-      if (a == v) ++load;
-    }
-    return load;
-  };
-
+  // The bucket is unsorted; all policies tie-break on the smallest node
+  // id so the choice matches a scan of the candidates in id order.
   switch (options_.policy) {
     case ReanchorPolicy::kLeastLoaded: {
       NodeId best = candidates.front();
       std::int32_t best_load = load_of(best);
       for (NodeId v : candidates) {
         const std::int32_t load = load_of(v);
-        if (load < best_load) {
+        if (load < best_load || (load == best_load && v < best)) {
           best = v;
           best_load = load;
         }
@@ -78,7 +102,7 @@ NodeId BfdnAlgorithm::reanchor(const ExplorationView& view,
       std::int32_t best_load = load_of(best);
       for (NodeId v : candidates) {
         const std::int32_t load = load_of(v);
-        if (load > best_load) {
+        if (load > best_load || (load == best_load && v < best)) {
           best = v;
           best_load = load;
         }
@@ -87,9 +111,15 @@ NodeId BfdnAlgorithm::reanchor(const ExplorationView& view,
     }
     case ReanchorPolicy::kFirstFit:
       return *std::min_element(candidates.begin(), candidates.end());
-    case ReanchorPolicy::kRandom:
-      return candidates[static_cast<std::size_t>(
-          rng_.next_below(candidates.size()))];
+    case ReanchorPolicy::kRandom: {
+      // r-th smallest id, to match drawing from an id-sorted list.
+      const auto r = static_cast<std::ptrdiff_t>(
+          rng_.next_below(candidates.size()));
+      random_scratch_.assign(candidates.begin(), candidates.end());
+      std::nth_element(random_scratch_.begin(), random_scratch_.begin() + r,
+                       random_scratch_.end());
+      return random_scratch_[static_cast<std::size_t>(r)];
+    }
   }
   BFDN_CHECK(false, "unreachable reanchor policy");
   return kInvalidNode;
@@ -107,13 +137,14 @@ void BfdnAlgorithm::select_moves(const ExplorationView& view,
     if (pos == view.root()) {
       const NodeId anchor = reanchor(view, i);
       if (anchor == kInvalidNode) {
-        anchors_[idx] = view.root();
+        set_anchor(idx, view.root());
         modes_[idx] = Mode::kExploring;
         inactive_[idx] = 1;
       } else {
-        anchors_[idx] = anchor;
+        set_anchor(idx, anchor);
         modes_[idx] = Mode::kOutbound;
         inactive_[idx] = 0;
+        rebuild_path(idx, anchor, view);
         selector.note_reanchor(view.depth(anchor));
       }
     }
@@ -122,11 +153,10 @@ void BfdnAlgorithm::select_moves(const ExplorationView& view,
       if (pos == anchors_[idx]) {
         modes_[idx] = Mode::kExploring;  // arrived; fall into DN below
       } else if (view.is_ancestor_or_self(pos, anchors_[idx])) {
-        // Procedure BF: one explored edge down the path to the anchor.
-        const std::vector<NodeId> path =
-            view.path_from_root(anchors_[idx]);
+        // Procedure BF: one explored edge down towards the anchor
+        // (paths_[idx] caches the root -> anchor path).
         selector.move_down(
-            i, path[static_cast<std::size_t>(view.depth(pos)) + 1]);
+            i, paths_[idx][static_cast<std::size_t>(view.depth(pos)) + 1]);
         continue;
       } else {
         // Only reachable in the shortcut ablation: climb to the LCA
@@ -145,14 +175,14 @@ void BfdnAlgorithm::select_moves(const ExplorationView& view,
       // returning to the root first.
       const NodeId anchor = reanchor(view, i);
       if (anchor != kInvalidNode && anchor != pos) {
-        anchors_[idx] = anchor;
+        set_anchor(idx, anchor);
         modes_[idx] = Mode::kOutbound;
         inactive_[idx] = 0;
+        rebuild_path(idx, anchor, view);
         selector.note_reanchor(view.depth(anchor));
         if (view.is_ancestor_or_self(pos, anchor)) {
-          const std::vector<NodeId> path = view.path_from_root(anchor);
           selector.move_down(
-              i, path[static_cast<std::size_t>(view.depth(pos)) + 1]);
+              i, paths_[idx][static_cast<std::size_t>(view.depth(pos)) + 1]);
         } else {
           selector.move_up(i);
         }

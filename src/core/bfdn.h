@@ -76,12 +76,32 @@ class BfdnAlgorithm : public Algorithm {
   /// kInvalidNode when no open node is eligible (robot idles at root).
   NodeId reanchor(const ExplorationView& view, std::int32_t robot);
 
+  /// All anchor writes go through here so the per-node load counters
+  /// (n_v in procedure Reanchor) stay incremental: load_of is O(1) and
+  /// reanchor is O(candidates) instead of O(k * candidates).
+  void set_anchor(std::size_t robot, NodeId v);
+  std::int32_t load_of(NodeId v) const;
+
   std::int32_t num_robots_;
   BfdnOptions options_;
   Rng rng_;
   std::vector<NodeId> anchors_;  // v_i
   std::vector<Mode> modes_;
   std::vector<char> inactive_;  // idle-at-root flag (depth-cap variant)
+  // anchor_load_[v] == #{j : anchors_[j] == v}; grown lazily (node ids
+  // are dense and only explored nodes become anchors).
+  std::vector<std::int32_t> anchor_load_;
+  // Memoized path root -> anchors_[i] (paths_[i][d] is the depth-d node
+  // on it), rebuilt once per reanchor. Purely a cache of a function of
+  // the anchor, so navigation stays stateless: the BF next step from an
+  // observed position pos on the path is paths_[i][depth(pos) + 1],
+  // valid no matter how many moves an adversary cancelled.
+  std::vector<std::vector<NodeId>> paths_;
+  // Scratch for the kRandom policy's order-statistic selection.
+  std::vector<NodeId> random_scratch_;
+
+  void rebuild_path(std::size_t robot, NodeId anchor,
+                    const ExplorationView& view);
 };
 
 }  // namespace bfdn

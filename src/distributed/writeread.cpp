@@ -57,6 +57,9 @@ class WriteReadSimulation {
         boards_(static_cast<std::size_t>(tree.num_nodes())),
         robots_(static_cast<std::size_t>(k)) {
     BFDN_REQUIRE(k >= 1, "need at least one robot");
+    delta_ = std::max<std::int32_t>(tree.max_degree(), 2);
+    log_delta_ = static_cast<std::int64_t>(
+        std::ceil(std::log2(static_cast<double>(delta_))));
     init_board(tree_.root());
     visited_.assign(static_cast<std::size_t>(tree.num_nodes()), 0);
     visited_[static_cast<std::size_t>(tree_.root())] = 1;
@@ -97,11 +100,8 @@ class WriteReadSimulation {
       if (robot.pos != tree_.root()) result.all_at_root = false;
     }
     result.final_working_depth = working_depth_;
-    const auto delta = std::max<std::int32_t>(tree_.max_degree(), 2);
-    const auto log_delta = static_cast<std::int64_t>(
-        std::ceil(std::log2(static_cast<double>(delta))));
     result.memory_allowance_bits =
-        delta + static_cast<std::int64_t>(tree_.depth()) * log_delta;
+        delta_ + static_cast<std::int64_t>(tree_.depth()) * log_delta_;
     return result;
   }
 
@@ -228,29 +228,30 @@ class WriteReadSimulation {
   }
 
   void track_memory(const Robot& robot, WriteReadResult& result) const {
-    const auto delta = std::max<std::int32_t>(tree_.max_degree(), 2);
-    const auto log_delta = static_cast<std::int64_t>(
-        std::ceil(std::log2(static_cast<double>(delta))));
+    // delta_/log_delta_ are precomputed once in the constructor; this
+    // runs for every executed move.
     const std::int64_t bits =
         static_cast<std::int64_t>(std::max(robot.anchor_address.size(),
                                            robot.port_stack.size())) *
-            log_delta +
-        (robot.finished_obs.empty() ? 0 : delta);
+            log_delta_ +
+        (robot.finished_obs.empty() ? 0 : delta_);
     result.max_robot_memory_bits =
         std::max(result.max_robot_memory_bits, bits);
   }
 
   // --- one synchronous round of robot moves ----------------------------
 
+  struct Move {
+    std::int32_t robot;
+    NodeId from;
+    NodeId to;
+    std::int32_t port_at_from;
+    bool upward;
+  };
+
   bool round_step(WriteReadResult& result) {
-    struct Move {
-      std::int32_t robot;
-      NodeId from;
-      NodeId to;
-      std::int32_t port_at_from;
-      bool upward;
-    };
-    std::vector<Move> moves;
+    auto& moves = moves_;  // reused across rounds, keeps its capacity
+    moves.clear();
     // Phase changes with no physical move (a root-anchored robot seeing
     // PARTITION(root) exhausted): the planner must still get a chance to
     // process the resulting report, so the round loop continues.
@@ -349,6 +350,9 @@ class WriteReadSimulation {
   std::vector<Robot> robots_;
   std::vector<char> visited_;
   std::int64_t num_visited_ = 0;
+  std::int32_t delta_ = 2;
+  std::int64_t log_delta_ = 1;
+  std::vector<Move> moves_;
 
   // Planner state (Algorithm 2).
   std::int32_t working_depth_ = 0;

@@ -76,6 +76,23 @@ Tree Tree::from_parents(std::vector<NodeId> parents) {
     }
   }
 
+  // Preorder numbering (iterative DFS, children in child order); with
+  // subtree sizes this answers ancestor queries in O(1).
+  t.preorder_index_.assign(static_cast<std::size_t>(n), 0);
+  {
+    std::vector<NodeId> dfs{0};
+    std::int64_t clock = 0;
+    while (!dfs.empty()) {
+      const NodeId v = dfs.back();
+      dfs.pop_back();
+      t.preorder_index_[static_cast<std::size_t>(v)] = clock++;
+      const auto kids = t.children(v);
+      for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+        dfs.push_back(*it);
+      }
+    }
+  }
+
   t.max_degree_ = 0;
   for (std::int64_t v = 0; v < n; ++v) {
     t.max_degree_ =
@@ -105,17 +122,6 @@ std::int32_t Tree::num_children(NodeId v) const {
 
 std::int32_t Tree::degree(NodeId v) const {
   return num_children(v) + (v == root() ? 0 : 1);
-}
-
-bool Tree::is_ancestor_or_self(NodeId a, NodeId b) const {
-  check_node(a);
-  NodeId cur = b;
-  // Walk up from b; depths strictly decrease so this terminates.
-  while (cur != kInvalidNode && depth(cur) >= depth(a)) {
-    if (cur == a) return true;
-    cur = parent(cur);
-  }
-  return false;
 }
 
 std::vector<NodeId> Tree::path_from_root(NodeId v) const {

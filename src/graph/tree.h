@@ -50,8 +50,20 @@ class Tree {
     return subtree_sizes_[check_node(v)];
   }
 
-  /// True iff a == b or a is a proper ancestor of b.
-  bool is_ancestor_or_self(NodeId a, NodeId b) const;
+  /// True iff a == b or a is a proper ancestor of b. O(1): preorder
+  /// interval containment against the precomputed DFS numbering.
+  bool is_ancestor_or_self(NodeId a, NodeId b) const {
+    const std::int64_t ia = preorder_index_[check_node(a)];
+    const std::int64_t ib = preorder_index_[check_node(b)];
+    return ia <= ib && ib < ia + subtree_sizes_[static_cast<std::size_t>(a)];
+  }
+
+  /// Position of v in a depth-first preorder traversal (children in
+  /// child order). T(v) occupies the contiguous index interval
+  /// [preorder_index(v), preorder_index(v) + subtree_size(v)).
+  std::int64_t preorder_index(NodeId v) const {
+    return preorder_index_[check_node(v)];
+  }
 
   /// Nodes of the path root -> v, inclusive (P_T[v] reversed).
   std::vector<NodeId> path_from_root(NodeId v) const;
@@ -66,6 +78,7 @@ class Tree {
   std::vector<NodeId> parents_;
   std::vector<std::int32_t> depths_;
   std::vector<std::int64_t> subtree_sizes_;
+  std::vector<std::int64_t> preorder_index_;
   // CSR children: children of v are child_data_[child_offsets_[v] ..
   // child_offsets_[v+1]).
   std::vector<std::int64_t> child_offsets_;

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
-#include <set>
 
 #include "support/check.h"
 
@@ -23,9 +21,21 @@ class GraphBfdnSimulation {
     edge_traversals_.assign(static_cast<std::size_t>(graph.num_edges()), 0);
     edge_closed_.assign(static_cast<std::size_t>(graph.num_edges()), 0);
     edge_is_tree_.assign(static_cast<std::size_t>(graph.num_edges()), 0);
+    edge_reserved_.assign(static_cast<std::size_t>(graph.num_edges()), 0);
+
+    // Open nodes in flat depth buckets (same layout as
+    // ExplorationState): distance-indexed vectors with a per-node
+    // position index and a cached min-open-depth cursor.
+    open_buckets_.resize(static_cast<std::size_t>(graph.radius()) + 1);
+    open_pos_.assign(n, -1);
+    min_open_depth_ = static_cast<std::int32_t>(open_buckets_.size());
 
     explore_node(graph.origin(), kInvalidEdge);
     robots_.assign(static_cast<std::size_t>(k), Robot{});
+    // Robot{} default-anchors at node 0; keep the load counters in sync
+    // with that so reanchor stays O(candidates).
+    anchor_load_.assign(n, 0);
+    anchor_load_[0] = k;
   }
 
   GraphExplorationResult run() {
@@ -107,12 +117,37 @@ class GraphBfdnSimulation {
   void refresh_openness(NodeId v) {
     if (!explored_[static_cast<std::size_t>(v)]) return;
     const std::int32_t d = graph_.distance(v);
-    auto& level = open_by_depth_[d];
+    if (static_cast<std::size_t>(d) >= open_buckets_.size()) {
+      open_buckets_.resize(static_cast<std::size_t>(d) + 1);
+      if (num_open_ == 0) {
+        min_open_depth_ = static_cast<std::int32_t>(open_buckets_.size());
+      }
+    }
+    auto& bucket = open_buckets_[static_cast<std::size_t>(d)];
+    const std::int32_t pos = open_pos_[static_cast<std::size_t>(v)];
     if (pending_[static_cast<std::size_t>(v)].empty()) {
-      level.erase(v);
-      if (level.empty()) open_by_depth_.erase(d);
+      if (pos < 0) return;  // already closed
+      const NodeId moved = bucket.back();
+      bucket[static_cast<std::size_t>(pos)] = moved;
+      open_pos_[static_cast<std::size_t>(moved)] = pos;
+      bucket.pop_back();
+      open_pos_[static_cast<std::size_t>(v)] = -1;
+      --num_open_;
+      if (num_open_ == 0) {
+        min_open_depth_ = static_cast<std::int32_t>(open_buckets_.size());
+      } else if (bucket.empty() && d == min_open_depth_) {
+        while (open_buckets_[static_cast<std::size_t>(min_open_depth_)]
+                   .empty()) {
+          ++min_open_depth_;
+        }
+      }
     } else {
-      level.insert(v);
+      if (pos >= 0) return;  // already open
+      open_pos_[static_cast<std::size_t>(v)] =
+          static_cast<std::int32_t>(bucket.size());
+      bucket.push_back(v);
+      ++num_open_;
+      min_open_depth_ = std::min(min_open_depth_, d);
     }
   }
 
@@ -124,18 +159,19 @@ class GraphBfdnSimulation {
     refresh_openness(v);
   }
 
-  /// Procedure Reanchor: least-loaded among the shallowest open nodes.
+  /// Procedure Reanchor: least-loaded among the shallowest open nodes,
+  /// ties to the smallest node id (the bucket is unsorted). Loads are
+  /// maintained incrementally in anchor_load_.
   NodeId reanchor(GraphExplorationResult& result) {
-    if (open_by_depth_.empty()) return kInvalidNode;
-    const auto& [depth, level] = *open_by_depth_.begin();
+    if (num_open_ == 0) return kInvalidNode;
+    const std::int32_t depth = min_open_depth_;
+    const auto& level = open_buckets_[static_cast<std::size_t>(depth)];
     NodeId best = kInvalidNode;
     std::int32_t best_load = 0;
     for (NodeId v : level) {
-      std::int32_t load = 0;
-      for (const Robot& robot : robots_) {
-        if (robot.anchor == v) ++load;
-      }
-      if (best == kInvalidNode || load < best_load) {
+      const std::int32_t load = anchor_load_[static_cast<std::size_t>(v)];
+      if (best == kInvalidNode || load < best_load ||
+          (load == best_load && v < best)) {
         best = v;
         best_load = load;
       }
@@ -158,15 +194,23 @@ class GraphBfdnSimulation {
   }
 
   bool round_step(GraphExplorationResult& result) {
-    std::vector<Move> moves;
-    std::set<EdgeId> reserved;  // one robot per edge per round
+    // Per-round buffers are members: `moves_` keeps its capacity,
+    // `edge_reserved_` is a flat mark vector un-marked via
+    // `reserved_this_round_` (one robot per edge per round).
+    auto& moves = moves_;
+    moves.clear();
+    for (EdgeId e : reserved_this_round_) {
+      edge_reserved_[static_cast<std::size_t>(e)] = 0;
+    }
+    reserved_this_round_.clear();
 
     // DN step at the robot's position: reserve an unreserved pending
     // (untraversed) edge if any; returns whether a move was queued.
     auto try_depth_next = [&](std::int32_t i, const Robot& robot) {
       for (EdgeId e : pending_[static_cast<std::size_t>(robot.pos)]) {
-        if (reserved.count(e) != 0) continue;
-        reserved.insert(e);
+        if (edge_reserved_[static_cast<std::size_t>(e)] != 0) continue;
+        edge_reserved_[static_cast<std::size_t>(e)] = 1;
+        reserved_this_round_.push_back(e);
         moves.push_back(
             {i, graph_.other_endpoint(e, robot.pos), e, true, false});
         return true;
@@ -202,6 +246,8 @@ class GraphBfdnSimulation {
           // At the origin: re-anchor as in Algorithm 1.
           const NodeId anchor = reanchor(result);
           if (anchor == kInvalidNode) break;  // explored; idle at origin
+          --anchor_load_[static_cast<std::size_t>(robot.anchor)];
+          ++anchor_load_[static_cast<std::size_t>(anchor)];
           robot.anchor = anchor;
           if (anchor == graph_.origin()) {
             (void)try_depth_next(i, robot);  // idle if all reserved
@@ -272,8 +318,17 @@ class GraphBfdnSimulation {
   std::vector<std::int32_t> edge_traversals_;
   std::vector<char> edge_closed_;
   std::vector<char> edge_is_tree_;
-  std::map<std::int32_t, std::set<NodeId>> open_by_depth_;
+  // Flat open-node index (mirrors ExplorationState's layout).
+  std::vector<std::vector<NodeId>> open_buckets_;
+  std::vector<std::int32_t> open_pos_;
+  std::int64_t num_open_ = 0;
+  std::int32_t min_open_depth_ = 0;
+  std::vector<std::int32_t> anchor_load_;
   std::vector<Robot> robots_;
+  // Round-loop scratch, reused across rounds.
+  std::vector<Move> moves_;
+  std::vector<char> edge_reserved_;
+  std::vector<EdgeId> reserved_this_round_;
 };
 
 }  // namespace

@@ -153,35 +153,33 @@ class LeafInstance : public EllInstance {
 
   NodeId reanchor(const ExplorationView& view) const {
     // Shallowest open node within T(root_) at relative depth <= cap,
-    // then minimum load, exactly as procedure Reanchor restricted by
-    // Section 5's modified line 26.
-    std::int32_t best_depth = std::numeric_limits<std::int32_t>::max();
-    std::vector<NodeId> level;
-    for (NodeId v : view.open_nodes()) {
-      const std::int32_t d = view.depth(v);
-      if (d < root_depth_ || d > root_depth_ + cap_rel_ || d > best_depth) {
-        continue;
+    // then minimum load (ties to the smallest id), exactly as procedure
+    // Reanchor restricted by Section 5's modified line 26. Scans the
+    // depth buckets directly; the first depth with an eligible node is
+    // the level.
+    if (view.exploration_complete()) return kInvalidNode;
+    const std::int32_t lo = std::max(root_depth_, view.min_open_depth());
+    const std::int32_t hi = static_cast<std::int32_t>(std::min<std::int64_t>(
+        static_cast<std::int64_t>(root_depth_) + cap_rel_,
+        view.max_open_depth()));
+    for (std::int32_t d = lo; d <= hi; ++d) {
+      NodeId best = kInvalidNode;
+      std::int32_t best_load = 0;
+      for (NodeId v : view.open_nodes_at_depth(d)) {
+        if (!view.is_ancestor_or_self(root_, v)) continue;
+        std::int32_t load = 0;
+        for (const RobotState& robot : robots_) {
+          if (!robot.inactive && robot.anchor == v) ++load;
+        }
+        if (best == kInvalidNode || load < best_load ||
+            (load == best_load && v < best)) {
+          best = v;
+          best_load = load;
+        }
       }
-      if (!view.is_ancestor_or_self(root_, v)) continue;
-      if (d < best_depth) {
-        best_depth = d;
-        level.clear();
-      }
-      level.push_back(v);
+      if (best != kInvalidNode) return best;
     }
-    NodeId best = kInvalidNode;
-    std::int32_t best_load = 0;
-    for (NodeId v : level) {
-      std::int32_t load = 0;
-      for (const RobotState& robot : robots_) {
-        if (!robot.inactive && robot.anchor == v) ++load;
-      }
-      if (best == kInvalidNode || load < best_load) {
-        best = v;
-        best_load = load;
-      }
-    }
-    return best;
+    return kInvalidNode;
   }
 
   NodeId root_;
@@ -320,8 +318,13 @@ class DivideInstance : public EllInstance {
   std::vector<NodeId> coverage_roots(const ExplorationView& view,
                                      std::int32_t boundary) const {
     std::vector<NodeId> open_inside;
-    for (NodeId o : view.open_nodes()) {
-      if (view.is_ancestor_or_self(root_, o)) open_inside.push_back(o);
+    if (!view.exploration_complete()) {
+      for (std::int32_t d = view.min_open_depth();
+           d <= view.max_open_depth(); ++d) {
+        for (NodeId o : view.open_nodes_at_depth(d)) {
+          if (view.is_ancestor_or_self(root_, o)) open_inside.push_back(o);
+        }
+      }
     }
     if (open_inside.empty()) return {};
     for (std::int32_t b = boundary; b >= root_depth_; --b) {

@@ -14,6 +14,12 @@ MoveSelector::MoveSelector(ExplorationState& state,
   pending_.assign(static_cast<std::size_t>(state.num_robots()), Pending{});
 }
 
+void MoveSelector::reset() {
+  std::fill(pending_.begin(), pending_.end(), Pending{});
+  reserved_this_round_.clear();
+  std::fill(reanchor_counts_.begin(), reanchor_counts_.end(), 0);
+}
+
 void MoveSelector::require_selectable(std::int32_t robot) const {
   BFDN_REQUIRE(robot >= 0 && robot < state_.num_robots(), "robot index");
   BFDN_REQUIRE(movable_[static_cast<std::size_t>(robot)] != 0,
@@ -80,7 +86,10 @@ void MoveSelector::join_dangling(std::int32_t robot, NodeId token) {
 }
 
 void MoveSelector::note_reanchor(std::int32_t depth) {
-  reanchors_by_depth_.add(depth);
+  BFDN_REQUIRE(depth >= 0, "negative reanchor depth");
+  const auto d = static_cast<std::size_t>(depth);
+  if (d >= reanchor_counts_.size()) reanchor_counts_.resize(d + 1, 0);
+  ++reanchor_counts_[d];
 }
 
 bool MoveSelector::has_selected(std::int32_t robot) const {
@@ -98,8 +107,9 @@ struct EngineAccess {
       const MoveSelector& sel) {
     return sel.pending_;
   }
-  static const Histogram& reanchors(const MoveSelector& sel) {
-    return sel.reanchors_by_depth_;
+  static const std::vector<std::uint64_t>& reanchors(
+      const MoveSelector& sel) {
+    return sel.reanchor_counts_;
   }
   static const std::vector<std::pair<NodeId, NodeId>>& reservations(
       const MoveSelector& sel) {
@@ -166,6 +176,14 @@ RunResult run_exploration(const Tree& tree, Algorithm& algorithm,
   ExplorationView view(state, movable);
   algorithm.begin(view);
 
+  // Round-loop scratch, hoisted so a steady-state round allocates
+  // nothing: the selector and the mutable copy of its selections are
+  // reset in place every round.
+  MoveSelector selector(state, movable);
+  std::vector<MoveSelector::Pending> pending;
+  pending.reserve(static_cast<std::size_t>(config.num_robots));
+  std::vector<ReactiveAdversary::ObservedMove> observed;
+
   for (std::int64_t t = 0;; ++t) {
     if (algorithm.finished(view)) break;
     if (t >= max_rounds) {
@@ -184,17 +202,17 @@ RunResult run_exploration(const Tree& tree, Algorithm& algorithm,
       }
     }
 
-    MoveSelector selector(state, movable);
+    selector.reset();
     algorithm.select_moves(view, selector);
 
     // Mutable copy of the round's selections: the reactive adversary may
     // cancel some of them below.
-    std::vector<MoveSelector::Pending> pending =
-        EngineAccess::pending(selector);
+    pending.assign(EngineAccess::pending(selector).begin(),
+                   EngineAccess::pending(selector).end());
 
     if (config.reactive != nullptr) {
-      std::vector<ReactiveAdversary::ObservedMove> observed(
-          static_cast<std::size_t>(config.num_robots));
+      observed.assign(static_cast<std::size_t>(config.num_robots),
+                      ReactiveAdversary::ObservedMove{});
       for (std::int32_t i = 0; i < config.num_robots; ++i) {
         auto& entry = observed[static_cast<std::size_t>(i)];
         entry.robot = i;
@@ -302,10 +320,13 @@ RunResult run_exploration(const Tree& tree, Algorithm& algorithm,
       ++result.rounds_with_idle;
       result.idle_robot_rounds += idle_movable;
     }
-    for (const auto& [depth, count] :
-         EngineAccess::reanchors(selector).buckets()) {
-      result.reanchors_by_depth.add(depth, count);
-      result.total_reanchors += static_cast<std::int64_t>(count);
+    const std::vector<std::uint64_t>& reanchors =
+        EngineAccess::reanchors(selector);
+    for (std::size_t depth = 0; depth < reanchors.size(); ++depth) {
+      if (reanchors[depth] == 0) continue;
+      result.reanchors_by_depth.add(static_cast<std::int64_t>(depth),
+                                    reanchors[depth]);
+      result.total_reanchors += static_cast<std::int64_t>(reanchors[depth]);
     }
 
     if (config.trace != nullptr) {

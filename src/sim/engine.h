@@ -53,10 +53,16 @@ class ReactiveAdversary {
       std::int64_t round, const std::vector<ObservedMove>& observed) = 0;
 };
 
-/// Per-round move selection handed to the algorithm.
+/// Per-round move selection handed to the algorithm. One instance is
+/// reused across rounds (reset() clears it) so the steady-state round
+/// loop does not allocate.
 class MoveSelector {
  public:
   MoveSelector(ExplorationState& state, const std::vector<char>& movable);
+
+  /// Clears all selections, reservations and reanchor counts for the
+  /// next round, keeping buffer capacity.
+  void reset();
 
   /// Robot stays put (the paper's ⊥).
   void stay(std::int32_t robot);
@@ -104,7 +110,9 @@ class MoveSelector {
   std::vector<Pending> pending_;
   // token -> node it hangs off, for join validation.
   std::vector<std::pair<NodeId, NodeId>> reserved_this_round_;
-  Histogram reanchors_by_depth_;
+  // Reanchor counts indexed by depth (flat: note_reanchor must stay
+  // allocation-free once warmed up to the deepest anchor seen).
+  std::vector<std::uint64_t> reanchor_counts_;
 };
 
 /// A collaborative exploration algorithm in the complete-communication

@@ -4,24 +4,61 @@
 
 namespace bfdn {
 
+namespace {
+const std::vector<NodeId> kNoOpenNodes;
+}  // namespace
+
 ExplorationState::ExplorationState(const Tree& tree, std::int32_t num_robots)
     : tree_(tree), num_robots_(num_robots) {
   BFDN_REQUIRE(num_robots >= 1, "need at least one robot");
   const auto n = static_cast<std::size_t>(tree.num_nodes());
   robot_pos_.assign(static_cast<std::size_t>(num_robots), tree.root());
   explored_.assign(n, 0);
-  dangling_.assign(n, {});
   reserved_.assign(n, 0);
   traversed_down_.assign(n, 0);
   traversed_up_.assign(n, 0);
 
+  // CSR dangling pool: one contiguous copy of every child list. A
+  // node's slice starts pristine and is only consumed/recycled after
+  // the node is explored, so commit_dangling never allocates.
+  dangling_offset_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    dangling_offset_[v + 1] =
+        dangling_offset_[v] + tree.num_children(static_cast<NodeId>(v));
+  }
+  dangling_pool_.assign(static_cast<std::size_t>(dangling_offset_[n]),
+                        kInvalidNode);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto kids = tree.children(static_cast<NodeId>(v));
+    std::copy(kids.begin(), kids.end(),
+              dangling_pool_.begin() +
+                  static_cast<std::ptrdiff_t>(dangling_offset_[v]));
+  }
+  dangling_count_.assign(n, 0);
+
+  // Depth buckets pre-reserved to the per-depth node counts, so
+  // mark_open is allocation-free for the lifetime of the state.
+  open_buckets_.resize(static_cast<std::size_t>(tree.depth()) + 1);
+  {
+    std::vector<std::int64_t> at_depth(open_buckets_.size(), 0);
+    for (NodeId v = 0; v < tree.num_nodes(); ++v) {
+      ++at_depth[static_cast<std::size_t>(tree.depth(v))];
+    }
+    for (std::size_t d = 0; d < open_buckets_.size(); ++d) {
+      open_buckets_[d].reserve(static_cast<std::size_t>(at_depth[d]));
+    }
+  }
+  open_pos_.assign(n, -1);
+  min_open_depth_ = static_cast<std::int32_t>(open_buckets_.size());
+
   // Exploration starts with the root explored and all root edges dangling.
   explored_[static_cast<std::size_t>(tree.root())] = 1;
   num_explored_ = 1;
-  auto& root_dangling = dangling_[static_cast<std::size_t>(tree.root())];
-  const auto kids = tree.children(tree.root());
-  root_dangling.assign(kids.begin(), kids.end());
-  if (!root_dangling.empty()) mark_open(tree.root());
+  dangling_count_[static_cast<std::size_t>(tree.root())] =
+      tree.num_children(tree.root());
+  if (dangling_count_[static_cast<std::size_t>(tree.root())] > 0) {
+    mark_open(tree.root());
+  }
 }
 
 NodeId ExplorationState::robot_pos(std::int32_t robot) const {
@@ -41,22 +78,22 @@ bool ExplorationState::is_explored(NodeId v) const {
 
 std::int32_t ExplorationState::num_unexplored_child_edges(NodeId u) const {
   BFDN_REQUIRE(is_explored(u), "query on unexplored node");
-  return static_cast<std::int32_t>(
-             dangling_[static_cast<std::size_t>(u)].size()) +
+  return dangling_count_[static_cast<std::size_t>(u)] +
          reserved_[static_cast<std::size_t>(u)];
 }
 
 std::int32_t ExplorationState::num_unreserved_dangling(NodeId u) const {
   BFDN_REQUIRE(is_explored(u), "query on unexplored node");
-  return static_cast<std::int32_t>(
-      dangling_[static_cast<std::size_t>(u)].size());
+  return dangling_count_[static_cast<std::size_t>(u)];
 }
 
 NodeId ExplorationState::reserve_dangling(NodeId u) {
-  auto& pool = dangling_[static_cast<std::size_t>(u)];
-  BFDN_REQUIRE(!pool.empty(), "no unreserved dangling edge at node");
-  const NodeId child = pool.back();
-  pool.pop_back();
+  auto& count = dangling_count_[static_cast<std::size_t>(u)];
+  BFDN_REQUIRE(count > 0, "no unreserved dangling edge at node");
+  const NodeId child =
+      dangling_pool_[static_cast<std::size_t>(
+          dangling_offset_[static_cast<std::size_t>(u)] + count - 1)];
+  --count;
   ++reserved_[static_cast<std::size_t>(u)];
   return child;
 }
@@ -65,7 +102,10 @@ void ExplorationState::release_dangling(NodeId u, NodeId child) {
   BFDN_CHECK(reserved_[static_cast<std::size_t>(u)] > 0,
              "release without reservation");
   --reserved_[static_cast<std::size_t>(u)];
-  dangling_[static_cast<std::size_t>(u)].push_back(child);
+  auto& count = dangling_count_[static_cast<std::size_t>(u)];
+  dangling_pool_[static_cast<std::size_t>(
+      dangling_offset_[static_cast<std::size_t>(u)] + count)] = child;
+  ++count;
 }
 
 void ExplorationState::commit_dangling(NodeId u, NodeId child) {
@@ -78,38 +118,34 @@ void ExplorationState::commit_dangling(NodeId u, NodeId child) {
 
   explored_[static_cast<std::size_t>(child)] = 1;
   ++num_explored_;
-  auto& child_dangling = dangling_[static_cast<std::size_t>(child)];
-  const auto kids = tree_.children(child);
-  child_dangling.assign(kids.begin(), kids.end());
-  if (!child_dangling.empty()) mark_open(child);
+  // The child's pool slice is pristine (a node is committed exactly
+  // once), so arming its dangling edges is a counter write.
+  const std::int32_t kids = tree_.num_children(child);
+  dangling_count_[static_cast<std::size_t>(child)] = kids;
+  if (kids > 0) mark_open(child);
 }
 
 std::int32_t ExplorationState::min_open_depth() const {
-  BFDN_REQUIRE(!open_by_depth_.empty(), "exploration is complete");
-  return open_by_depth_.begin()->first;
+  BFDN_REQUIRE(num_open_ > 0, "exploration is complete");
+  return min_open_depth_;
 }
 
-std::vector<NodeId> ExplorationState::open_nodes_at_depth(
+const std::vector<NodeId>& ExplorationState::open_nodes_at_depth(
     std::int32_t depth) const {
-  const auto it = open_by_depth_.find(depth);
-  if (it == open_by_depth_.end()) return {};
-  return {it->second.begin(), it->second.end()};
+  BFDN_REQUIRE(depth >= 0, "negative depth");
+  if (static_cast<std::size_t>(depth) >= open_buckets_.size()) {
+    return kNoOpenNodes;
+  }
+  return open_buckets_[static_cast<std::size_t>(depth)];
 }
 
 std::vector<NodeId> ExplorationState::open_nodes() const {
   std::vector<NodeId> out;
-  for (const auto& [depth, nodes] : open_by_depth_) {
-    out.insert(out.end(), nodes.begin(), nodes.end());
+  out.reserve(static_cast<std::size_t>(num_open_));
+  for (const auto& bucket : open_buckets_) {
+    out.insert(out.end(), bucket.begin(), bucket.end());
   }
   return out;
-}
-
-std::int64_t ExplorationState::num_open_nodes() const {
-  std::int64_t total = 0;
-  for (const auto& [depth, nodes] : open_by_depth_) {
-    total += static_cast<std::int64_t>(nodes.size());
-  }
-  return total;
 }
 
 bool ExplorationState::record_traversal(NodeId child, bool downward) {
@@ -122,14 +158,36 @@ bool ExplorationState::record_traversal(NodeId child, bool downward) {
 }
 
 void ExplorationState::mark_open(NodeId u) {
-  open_by_depth_[tree_.depth(u)].insert(u);
+  const auto d = static_cast<std::size_t>(tree_.depth(u));
+  auto& bucket = open_buckets_[d];
+  open_pos_[static_cast<std::size_t>(u)] =
+      static_cast<std::int32_t>(bucket.size());
+  bucket.push_back(u);
+  ++num_open_;
+  min_open_depth_ =
+      std::min(min_open_depth_, static_cast<std::int32_t>(d));
 }
 
 void ExplorationState::mark_closed(NodeId u) {
-  const auto it = open_by_depth_.find(tree_.depth(u));
-  BFDN_CHECK(it != open_by_depth_.end(), "closing a node not open");
-  it->second.erase(u);
-  if (it->second.empty()) open_by_depth_.erase(it);
+  const auto d = static_cast<std::size_t>(tree_.depth(u));
+  const std::int32_t pos = open_pos_[static_cast<std::size_t>(u)];
+  BFDN_CHECK(pos >= 0, "closing a node not open");
+  auto& bucket = open_buckets_[d];
+  const NodeId moved = bucket.back();
+  bucket[static_cast<std::size_t>(pos)] = moved;
+  open_pos_[static_cast<std::size_t>(moved)] = pos;
+  bucket.pop_back();
+  open_pos_[static_cast<std::size_t>(u)] = -1;
+  --num_open_;
+  if (num_open_ == 0) {
+    min_open_depth_ = static_cast<std::int32_t>(open_buckets_.size());
+  } else if (bucket.empty() &&
+             static_cast<std::int32_t>(d) == min_open_depth_) {
+    while (open_buckets_[static_cast<std::size_t>(min_open_depth_)]
+               .empty()) {
+      ++min_open_depth_;
+    }
+  }
 }
 
 bool ExplorationView::can_move(std::int32_t robot) const {

@@ -12,11 +12,20 @@
 // behind it until a robot traverses the edge (the view offers no
 // accessor on unexplored nodes, and dangling edges at a node are handed
 // out one at a time by the reservation API).
+//
+// Hot-path layout. Everything the per-round loop touches is flat and
+// incrementally maintained, so a steady-state round allocates nothing:
+//  * open nodes live in depth-indexed buckets (vector-of-vectors with a
+//    per-node in-bucket position index for O(1) insert and swap-remove)
+//    behind a cached min-open-depth cursor;
+//  * dangling edges live in one CSR-shaped pool sliced per node — a
+//    prefix of each node's child list is "unreserved", reserve/release
+//    move the slice boundary.
+// Accessors hand out const references into the buckets instead of
+// copies; see the invalidation contract on open_nodes_at_depth.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
 #include <vector>
 
 #include "graph/tree.h"
@@ -53,14 +62,26 @@ class ExplorationState {
   void commit_dangling(NodeId u, NodeId child);
 
   // --- open nodes (adjacent to >= 1 unexplored edge) -------------------
-  bool exploration_complete() const { return open_by_depth_.empty(); }
+  bool exploration_complete() const { return num_open_ == 0; }
   /// Depth of the shallowest open node; requires !exploration_complete().
+  /// O(1): the cursor is maintained incrementally.
   std::int32_t min_open_depth() const;
-  /// Open nodes at exactly the given depth (may be empty).
-  std::vector<NodeId> open_nodes_at_depth(std::int32_t depth) const;
-  /// All open nodes, any order.
+  /// Open nodes at exactly the given depth (may be empty). Zero-copy:
+  /// the reference stays valid — and its contents stable — across
+  /// reserve/release calls, but is INVALIDATED by commit_dangling
+  /// (which mutates the buckets). Bucket order is maintenance order,
+  /// not sorted; consumers needing a canonical order must impose their
+  /// own tie-breaks (see BfdnAlgorithm::reanchor).
+  const std::vector<NodeId>& open_nodes_at_depth(std::int32_t depth) const;
+  /// Largest depth that could hold an open node (== tree depth); for
+  /// bucket scans of the form [min_open_depth() .. max_open_depth()].
+  std::int32_t max_open_depth() const {
+    return static_cast<std::int32_t>(open_buckets_.size()) - 1;
+  }
+  /// All open nodes, ascending depth (bucket order within a depth).
+  /// Allocates; for tests and invariant checkers, not the round loop.
   std::vector<NodeId> open_nodes() const;
-  std::int64_t num_open_nodes() const;
+  std::int64_t num_open_nodes() const { return num_open_; }
 
   // --- edge-event accounting (Section 5) -------------------------------
   /// Marks a traversal of edge (parent(v), v) in the given direction;
@@ -79,12 +100,25 @@ class ExplorationState {
   std::int32_t num_robots_;
   std::vector<NodeId> robot_pos_;
   std::vector<char> explored_;
-  // Per node: dangling child edges not currently reserved.
-  std::vector<std::vector<NodeId>> dangling_;
+  // Dangling pool, CSR-shaped: slots [dangling_offset_[u],
+  // dangling_offset_[u] + dangling_count_[u]) hold u's unreserved
+  // dangling children. Initialized once to the tree's child lists; a
+  // node's slice is pristine until the node is explored.
+  std::vector<std::int64_t> dangling_offset_;
+  std::vector<NodeId> dangling_pool_;
+  std::vector<std::int32_t> dangling_count_;
   // Per node: count of dangling edges reserved this round.
   std::vector<std::int32_t> reserved_;
-  // Open nodes grouped by depth for Reanchor's "minimal depth" rule.
-  std::map<std::int32_t, std::set<NodeId>> open_by_depth_;
+  // Open nodes in depth-indexed flat buckets (index 0..tree depth),
+  // each pre-reserved to the number of tree nodes at that depth so
+  // discovery never reallocates. open_pos_[v] is v's index inside its
+  // bucket, -1 when v is not open.
+  std::vector<std::vector<NodeId>> open_buckets_;
+  std::vector<std::int32_t> open_pos_;
+  std::int64_t num_open_ = 0;
+  // Cached cursor: depth of the shallowest open node; == bucket count
+  // (sentinel) when no node is open.
+  std::int32_t min_open_depth_ = 0;
   // Per edge (keyed by child id): first-traversal flags down/up.
   std::vector<char> traversed_down_;
   std::vector<char> traversed_up_;
@@ -115,7 +149,17 @@ class ExplorationView {
   /// Parent of an explored non-root node in the discovered tree.
   NodeId parent(NodeId v) const;
   /// Explored children of an explored node (traversed edges only).
+  /// Allocates; hot paths should use for_each_explored_child.
   std::vector<NodeId> explored_children(NodeId v) const;
+  /// Allocation-free iteration over the explored children of an
+  /// explored node, in child order.
+  template <typename Fn>
+  void for_each_explored_child(NodeId v, Fn&& fn) const {
+    BFDN_REQUIRE(state_.is_explored(v), "children of unexplored node");
+    for (NodeId c : state_.tree().children(v)) {
+      if (state_.is_explored(c)) fn(c);
+    }
+  }
 
   bool has_unexplored_child_edge(NodeId u) const {
     return state_.num_unexplored_child_edges(u) > 0;
@@ -132,18 +176,26 @@ class ExplorationView {
 
   bool exploration_complete() const { return state_.exploration_complete(); }
   std::int32_t min_open_depth() const { return state_.min_open_depth(); }
-  std::vector<NodeId> open_nodes_at_depth(std::int32_t d) const {
+  /// Zero-copy; same reference-invalidation contract as
+  /// ExplorationState::open_nodes_at_depth. Within one select_moves
+  /// call no commit happens, so the reference is stable for the whole
+  /// round's selection phase.
+  const std::vector<NodeId>& open_nodes_at_depth(std::int32_t d) const {
     return state_.open_nodes_at_depth(d);
   }
+  std::int32_t max_open_depth() const { return state_.max_open_depth(); }
   std::vector<NodeId> open_nodes() const { return state_.open_nodes(); }
   std::int64_t num_open_nodes() const { return state_.num_open_nodes(); }
 
-  /// Path root -> v (inclusive) within the discovered tree.
+  /// Path root -> v (inclusive) within the discovered tree. Allocates;
+  /// hot paths should use ancestor_at_depth for single steps.
   std::vector<NodeId> path_from_root(NodeId v) const;
 
   /// Ancestor relation within the discovered tree (both explored).
   bool is_ancestor_or_self(NodeId a, NodeId b) const;
   /// Ancestor of v at the given depth (<= depth(v)), both explored.
+  /// Allocation-free; the next BF step towards an anchor from pos is
+  /// ancestor_at_depth(anchor, depth(pos) + 1).
   NodeId ancestor_at_depth(NodeId v, std::int32_t target_depth) const;
 
  private:

@@ -1,0 +1,238 @@
+// Golden-trace determinism harness for the simulator hot path.
+//
+// Replays a fixed grid of (tree family, algorithm, k) cells with fixed
+// seeds and asserts the exact observable outcome of every run: rounds,
+// edge events, total reanchors and the full reanchors-by-depth
+// histogram. The expected values below were recorded from the
+// implementation BEFORE the flat-state refactor (map/set open-node
+// index, per-call candidate copies); any representation change that
+// alters a single simulated decision shows up as a mismatch here.
+//
+// To re-record after an *intentional* behavior change, run with
+// BFDN_GOLDEN_RECORD=1 and paste the printed table over kGolden.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/bfs_levels.h"
+#include "baselines/cte.h"
+#include "core/bfdn.h"
+#include "distributed/writeread.h"
+#include "graph/generators.h"
+#include "graph/grid_world.h"
+#include "graphexp/graph_bfdn.h"
+#include "recursive/bfdn_ell.h"
+#include "sim/engine.h"
+
+namespace bfdn {
+namespace {
+
+struct CellResult {
+  std::string cell;
+  std::int64_t rounds = 0;
+  std::int64_t edge_events = 0;
+  std::int64_t total_reanchors = 0;
+  std::string reanchors_by_depth;
+};
+
+struct GoldenRow {
+  const char* cell;
+  std::int64_t rounds;
+  std::int64_t edge_events;
+  std::int64_t total_reanchors;
+  const char* reanchors_by_depth;
+};
+
+CellResult run_tree_cell(const std::string& cell, const Tree& tree,
+                         Algorithm& algorithm, std::int32_t k) {
+  RunConfig config;
+  config.num_robots = k;
+  const RunResult result = run_exploration(tree, algorithm, config);
+  CellResult out;
+  out.cell = cell;
+  out.rounds = result.rounds;
+  out.edge_events = result.edge_events;
+  out.total_reanchors = result.total_reanchors;
+  out.reanchors_by_depth = result.reanchors_by_depth.to_string();
+  return out;
+}
+
+std::vector<CellResult> run_grid() {
+  std::vector<CellResult> results;
+
+  const auto bfdn_cell = [&](const std::string& name, const Tree& tree,
+                             std::int32_t k, BfdnOptions options) {
+    BfdnAlgorithm algorithm(k, options);
+    results.push_back(run_tree_cell(name, tree, algorithm, k));
+  };
+
+  // --- BFDN on the canonical shapes, one cell per reanchor policy ----
+  const Tree comb = make_comb(12, 6);
+  bfdn_cell("comb12x6/bfdn-ll/k4", comb, 4, BfdnOptions{});
+  {
+    BfdnOptions options;
+    options.policy = ReanchorPolicy::kRandom;
+    options.seed = 7;
+    bfdn_cell("comb12x6/bfdn-random/k4", comb, 4, options);
+  }
+  {
+    BfdnOptions options;
+    options.shortcut_reanchor = true;
+    bfdn_cell("comb12x6/bfdn-shortcut/k4", comb, 4, options);
+  }
+
+  const Tree bary = make_complete_bary(3, 6);
+  bfdn_cell("bary3d6/bfdn-ll/k16", bary, 16, BfdnOptions{});
+  {
+    BfdnOptions options;
+    options.policy = ReanchorPolicy::kFirstFit;
+    bfdn_cell("bary3d6/bfdn-firstfit/k16", bary, 16, options);
+  }
+  {
+    BfdnOptions options;
+    options.policy = ReanchorPolicy::kMostLoaded;
+    bfdn_cell("caterpillar40x3/bfdn-ml/k8", make_caterpillar(40, 3), 8,
+              options);
+  }
+
+  bfdn_cell("star200/bfdn-ll/k8", make_star(200), 8, BfdnOptions{});
+  bfdn_cell("spider9x15/bfdn-ll/k8", make_spider(9, 15), 8, BfdnOptions{});
+  {
+    Rng rng(42);
+    bfdn_cell("rrt400/bfdn-ll/k8", make_random_recursive(400, rng), 8,
+              BfdnOptions{});
+  }
+  {
+    Rng rng(3);
+    BfdnOptions options;
+    options.policy = ReanchorPolicy::kRandom;
+    options.seed = 11;
+    bfdn_cell("leafy500/bfdn-random/k32", make_random_leafy(500, 4, rng),
+              32, options);
+  }
+  {
+    BfdnOptions options;
+    options.depth_cap = 8;
+    bfdn_cell("broom20-30-20/bfdn-cap8/k8", make_double_broom(20, 30, 20),
+              8, options);
+  }
+
+  // --- Baselines and the recursive variant ---------------------------
+  {
+    Rng rng(5);
+    const Tree hard = make_cte_hard_tree(8, 3, rng);
+    CteAlgorithm algorithm(hard, 8);
+    results.push_back(run_tree_cell("ctehard8x3/cte/k8", hard, algorithm, 8));
+  }
+  {
+    const Tree broom = make_double_broom(20, 30, 20);
+    BfsLevelsAlgorithm algorithm(8);
+    results.push_back(
+        run_tree_cell("broom20-30-20/bfs-levels/k8", broom, algorithm, 8));
+  }
+  {
+    Rng rng(9);
+    const Tree remy = make_remy_binary(300, rng);
+    BfdnEllAlgorithm algorithm(16, 2);
+    results.push_back(
+        run_tree_cell("remy300/bfdn-ell2/k16", remy, algorithm, 16));
+  }
+
+  // --- Graph variant (Proposition 9) ---------------------------------
+  {
+    const GridWorld world = make_serpentine_world(9, 4);
+    const GraphExplorationResult result =
+        run_graph_bfdn(world.graph(), 6);
+    CellResult out;
+    out.cell = "serpentine9x4/graph-bfdn/k6";
+    out.rounds = result.rounds;
+    out.edge_events = result.backtrack_moves;  // proxy: closed-edge legs
+    out.total_reanchors = result.total_reanchors;
+    out.reanchors_by_depth = result.reanchors_by_depth.to_string();
+    results.push_back(out);
+  }
+
+  // --- Write-read restricted-memory variant (Proposition 6) ----------
+  {
+    const Tree comb86 = make_comb(8, 6);
+    const WriteReadResult result = run_write_read_bfdn(comb86, 6);
+    CellResult out;
+    out.cell = "comb8x6/writeread/k6";
+    out.rounds = result.rounds;
+    out.edge_events = result.max_robot_memory_bits;  // memory high-water
+    out.total_reanchors = result.total_reanchors;
+    out.reanchors_by_depth = result.reanchors_by_depth.to_string();
+    results.push_back(out);
+  }
+
+  return results;
+}
+
+// Recorded from the pre-refactor (seed) implementation; see file header.
+const GoldenRow kGolden[] = {
+    // clang-format off
+    {"comb12x6/bfdn-ll/k4", 78, 166, 18, "0:4 1:2 2:2 3:2 4:2 5:2 6:2 7:2"},
+    {"comb12x6/bfdn-random/k4", 78, 166, 18, "0:4 1:2 2:2 3:2 4:2 5:2 6:2 7:2"},
+    {"comb12x6/bfdn-shortcut/k4", 65, 166, 22, "0:4 1:3 2:2 3:2 4:3 5:1 6:1 7:3 8:2 12:1"},
+    {"bary3d6/bfdn-ll/k16", 157, 2184, 70, "0:16 1:13 2:14 3:10 4:8 5:9"},
+    {"bary3d6/bfdn-firstfit/k16", 182, 2184, 147, "0:16 1:33 2:43 3:28 4:18 5:9"},
+    {"caterpillar40x3/bfdn-ml/k8", 228, 318, 106, "0:8 1:7 2:7 3:7 4:7 5:7 6:7 7:7 8:7 9:7 10:7 11:7 12:7 13:7 14:7"},
+    {"star200/bfdn-ll/k8", 50, 398, 200, "0:200"},
+    {"spider9x15/bfdn-ll/k8", 60, 270, 37, "0:16 1:7 3:7 9:7"},
+    {"rrt400/bfdn-ll/k8", 126, 798, 36, "0:8 1:6 2:5 3:5 4:3 5:4 6:5"},
+    {"leafy500/bfdn-random/k32", 129, 998, 293, "0:32 1:30 2:25 3:29 4:23 5:24 6:27 7:25 8:27 9:26 10:11 11:14"},
+    {"broom20-30-20/bfdn-cap8/k8", 100, 140, 29, "0:22 5:1 6:6"},
+    {"ctehard8x3/cte/k8", 32, 90, 0, ""},
+    {"broom20-30-20/bfs-levels/k8", 1069, 140, 0, ""},
+    {"remy300/bfdn-ell2/k16", 555, 1194, 160, "0:4 1:2 2:1 3:3 4:5 5:6 6:7 7:7 8:6 9:3 10:6 11:1 12:6 13:6 14:2 15:2 16:6 18:6 19:5 20:5 21:4 22:2 23:2 24:4 25:3 27:3 28:3 29:3 31:3 32:2 33:2 34:3 35:5 42:3 43:2 44:2 45:2 47:3 48:3 50:3 51:2 54:3 56:3 58:3 64:3"},
+    {"serpentine9x4/graph-bfdn/k6", 81, 0, 26, "0:6 1:5 3:5 9:5 27:5"},
+    {"comb8x6/writeread/k6", 63, 15, 38, "0:6 1:4 2:5 3:8 4:5 5:4 6:6"},
+    // clang-format on
+};
+
+TEST(GoldenTrace, FixedGridIsBitIdentical) {
+  const std::vector<CellResult> results = run_grid();
+
+  if (std::getenv("BFDN_GOLDEN_RECORD") != nullptr) {
+    for (const CellResult& r : results) {
+      std::printf("    {\"%s\", %lld, %lld, %lld, \"%s\"},\n",
+                  r.cell.c_str(), static_cast<long long>(r.rounds),
+                  static_cast<long long>(r.edge_events),
+                  static_cast<long long>(r.total_reanchors),
+                  r.reanchors_by_depth.c_str());
+    }
+    GTEST_SKIP() << "recording mode: golden table printed to stdout";
+  }
+
+  ASSERT_EQ(results.size(), std::size(kGolden));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    SCOPED_TRACE(results[i].cell);
+    EXPECT_EQ(results[i].cell, kGolden[i].cell);
+    EXPECT_EQ(results[i].rounds, kGolden[i].rounds);
+    EXPECT_EQ(results[i].edge_events, kGolden[i].edge_events);
+    EXPECT_EQ(results[i].total_reanchors, kGolden[i].total_reanchors);
+    EXPECT_EQ(results[i].reanchors_by_depth, kGolden[i].reanchors_by_depth);
+  }
+}
+
+// Runs are not just stable against the recorded table but also
+// self-deterministic: two executions in one process (fresh algorithm
+// and engine state each) must agree exactly.
+TEST(GoldenTrace, GridIsSelfDeterministic) {
+  const std::vector<CellResult> first = run_grid();
+  const std::vector<CellResult> second = run_grid();
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    SCOPED_TRACE(first[i].cell);
+    EXPECT_EQ(first[i].rounds, second[i].rounds);
+    EXPECT_EQ(first[i].edge_events, second[i].edge_events);
+    EXPECT_EQ(first[i].total_reanchors, second[i].total_reanchors);
+    EXPECT_EQ(first[i].reanchors_by_depth, second[i].reanchors_by_depth);
+  }
+}
+
+}  // namespace
+}  // namespace bfdn
