@@ -1,8 +1,11 @@
 #!/usr/bin/env sh
-# Tier-1 verify plus a sanitized pass: builds the tree in Release and
-# runs the full suite, then rebuilds with ASan/UBSan (RelWithDebInfo)
-# in a separate build directory and re-runs the tests under the
-# sanitizers. Any leak, overflow or UB in the hot path fails the gate.
+# Tier-1 verify plus a sanitized pass plus a fuzz smoke. Stages run in
+# order and the script fails fast (set -eu): builds the tree in Release
+# and runs the full suite, rebuilds with ASan/UBSan (RelWithDebInfo) in
+# a separate build directory and re-runs the tests under the
+# sanitizers, then runs the differential-oracle fuzzer for a short
+# fixed-seed burst (see docs/VERIFY.md). Any leak, overflow, UB in the
+# hot path, or oracle counterexample fails the gate.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -18,5 +21,8 @@ cmake -B build-asan -S . \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build build-asan -j
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+
+echo "== fuzz smoke: differential oracle, fixed seed =="
+./build/tools/bfdn_fuzz --budget-s=10 --seed=1
 
 echo "check.sh: all gates passed."

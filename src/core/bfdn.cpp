@@ -53,11 +53,22 @@ void BfdnAlgorithm::set_anchor(std::size_t robot, NodeId v) {
   if (static_cast<std::size_t>(v) >= anchor_load_.size()) {
     anchor_load_.resize(static_cast<std::size_t>(v) + 1, 0);
   }
-  ++anchor_load_[static_cast<std::size_t>(v)];
+  // The injected fault (verification-harness demo) leaks the increment
+  // on odd-id anchors, under-reporting n_v on nodes that are still open
+  // and competed for; see BfdnOptions::fault_load_leak.
+  if (!options_.fault_load_leak || v % 2 == 0) {
+    ++anchor_load_[static_cast<std::size_t>(v)];
+  }
   anchors_[robot] = v;
 }
 
 std::int32_t BfdnAlgorithm::load_of(NodeId v) const {
+  if (options_.reference_loads) {
+    // Slow reference: n_v recomputed from first principles every query.
+    std::int32_t count = 0;
+    for (const NodeId a : anchors_) count += a == v ? 1 : 0;
+    return count;
+  }
   const auto idx = static_cast<std::size_t>(v);
   return idx < anchor_load_.size() ? anchor_load_[idx] : 0;
 }
@@ -141,11 +152,15 @@ void BfdnAlgorithm::select_moves(const ExplorationView& view,
         modes_[idx] = Mode::kExploring;
         inactive_[idx] = 1;
       } else {
+        const NodeId previous = anchors_[idx];
         set_anchor(idx, anchor);
         modes_[idx] = Mode::kOutbound;
         inactive_[idx] = 0;
         rebuild_path(idx, anchor, view);
         selector.note_reanchor(view.depth(anchor));
+        if (previous != anchor) {
+          selector.note_reanchor_switch(view.depth(anchor));
+        }
       }
     }
 
@@ -175,11 +190,15 @@ void BfdnAlgorithm::select_moves(const ExplorationView& view,
       // returning to the root first.
       const NodeId anchor = reanchor(view, i);
       if (anchor != kInvalidNode && anchor != pos) {
+        const NodeId previous = anchors_[idx];
         set_anchor(idx, anchor);
         modes_[idx] = Mode::kOutbound;
         inactive_[idx] = 0;
         rebuild_path(idx, anchor, view);
         selector.note_reanchor(view.depth(anchor));
+        if (previous != anchor) {
+          selector.note_reanchor_switch(view.depth(anchor));
+        }
         if (view.is_ancestor_or_self(pos, anchor)) {
           selector.move_down(
               i, paths_[idx][static_cast<std::size_t>(view.depth(pos)) + 1]);

@@ -47,6 +47,20 @@ struct BfdnOptions {
   /// Complete-communication only; Claim 1's idle accounting and the
   /// write-read reduction do not apply to this variant.
   bool shortcut_reanchor = false;
+  /// Verification-harness knob (src/verify): compute the Reanchor load
+  /// n_v by scanning all robots' anchors instead of reading the
+  /// incremental per-node counters. Semantically identical (and the
+  /// differential oracle asserts so, run against run), just O(k) per
+  /// query — the slow reference the counters are checked against.
+  bool reference_loads = false;
+  /// Verification-harness fault injection: set_anchor "forgets" to
+  /// increment the new anchor's load counter on odd node ids — the
+  /// classic off-by-one leak in the incremental Reanchor bookkeeping,
+  /// which under-reports n_v on nodes that are still open and competed
+  /// for. Only affects the counter path, never the reference_loads
+  /// path, so the differential oracle must catch it. Never set outside
+  /// tests.
+  bool fault_load_leak = false;
 };
 
 class BfdnAlgorithm : public Algorithm {

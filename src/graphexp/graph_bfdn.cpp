@@ -11,8 +11,9 @@ namespace {
 class GraphBfdnSimulation {
  public:
   GraphBfdnSimulation(const Graph& graph, std::int32_t k,
-                      std::int64_t max_rounds)
-      : graph_(graph), k_(k), max_rounds_(max_rounds) {
+                      std::int64_t max_rounds,
+                      std::vector<std::vector<NodeId>>* trace)
+      : graph_(graph), k_(k), max_rounds_(max_rounds), trace_(trace) {
     BFDN_REQUIRE(k >= 1, "need at least one robot");
     const auto n = static_cast<std::size_t>(graph.num_nodes());
     explored_.assign(n, 0);
@@ -54,6 +55,12 @@ class GraphBfdnSimulation {
       }
       if (!round_step(result)) break;
       ++result.rounds;
+      if (trace_ != nullptr) {
+        std::vector<NodeId> positions;
+        positions.reserve(robots_.size());
+        for (const Robot& robot : robots_) positions.push_back(robot.pos);
+        trace_->push_back(std::move(positions));
+      }
     }
 
     result.complete = true;
@@ -312,6 +319,7 @@ class GraphBfdnSimulation {
   const Graph& graph_;
   std::int32_t k_;
   std::int64_t max_rounds_;
+  std::vector<std::vector<NodeId>>* trace_;
   std::vector<char> explored_;
   std::vector<NodeId> tree_parent_;
   std::vector<std::vector<EdgeId>> pending_;
@@ -343,9 +351,10 @@ double proposition9_bound(std::int64_t num_edges, std::int32_t radius,
              (std::max(log_term, 0.0) + 3.0);
 }
 
-GraphExplorationResult run_graph_bfdn(const Graph& graph, std::int32_t k,
-                                      std::int64_t max_rounds) {
-  GraphBfdnSimulation simulation(graph, k, max_rounds);
+GraphExplorationResult run_graph_bfdn(
+    const Graph& graph, std::int32_t k, std::int64_t max_rounds,
+    std::vector<std::vector<NodeId>>* trace) {
+  GraphBfdnSimulation simulation(graph, k, max_rounds, trace);
   return simulation.run();
 }
 

@@ -47,8 +47,12 @@ struct GraphExplorationResult {
 double proposition9_bound(std::int64_t num_edges, std::int32_t radius,
                           std::int32_t max_degree, std::int32_t k);
 
-/// Runs the graph variant of BFDN with k robots on `graph`.
-GraphExplorationResult run_graph_bfdn(const Graph& graph, std::int32_t k,
-                                      std::int64_t max_rounds = 0);
+/// Runs the graph variant of BFDN with k robots on `graph`. If `trace`
+/// is non-null it receives the robot positions after every round (one
+/// inner vector per round, k entries each) — the record/replay hook
+/// used by the verification harness (src/verify).
+GraphExplorationResult run_graph_bfdn(
+    const Graph& graph, std::int32_t k, std::int64_t max_rounds = 0,
+    std::vector<std::vector<NodeId>>* trace = nullptr);
 
 }  // namespace bfdn

@@ -18,6 +18,8 @@ void MoveSelector::reset() {
   std::fill(pending_.begin(), pending_.end(), Pending{});
   reserved_this_round_.clear();
   std::fill(reanchor_counts_.begin(), reanchor_counts_.end(), 0);
+  std::fill(reanchor_switch_counts_.begin(), reanchor_switch_counts_.end(),
+            0);
 }
 
 void MoveSelector::require_selectable(std::int32_t robot) const {
@@ -92,6 +94,15 @@ void MoveSelector::note_reanchor(std::int32_t depth) {
   ++reanchor_counts_[d];
 }
 
+void MoveSelector::note_reanchor_switch(std::int32_t depth) {
+  BFDN_REQUIRE(depth >= 0, "negative reanchor depth");
+  const auto d = static_cast<std::size_t>(depth);
+  if (d >= reanchor_switch_counts_.size()) {
+    reanchor_switch_counts_.resize(d + 1, 0);
+  }
+  ++reanchor_switch_counts_[d];
+}
+
 bool MoveSelector::has_selected(std::int32_t robot) const {
   BFDN_REQUIRE(robot >= 0 && robot < state_.num_robots(), "robot index");
   return pending_[static_cast<std::size_t>(robot)].kind != Kind::kNone;
@@ -110,6 +121,10 @@ struct EngineAccess {
   static const std::vector<std::uint64_t>& reanchors(
       const MoveSelector& sel) {
     return sel.reanchor_counts_;
+  }
+  static const std::vector<std::uint64_t>& reanchor_switches(
+      const MoveSelector& sel) {
+    return sel.reanchor_switch_counts_;
   }
   static const std::vector<std::pair<NodeId, NodeId>>& reservations(
       const MoveSelector& sel) {
@@ -273,6 +288,9 @@ RunResult run_exploration(const Tree& tree, Algorithm& algorithm,
       // Under break-downs an all-stay round can simply mean every useful
       // robot was blocked; time still passes.
       ++result.rounds;
+      if (config.observer != nullptr) {
+        config.observer->on_round(result.rounds, state);
+      }
       continue;
     }
 
@@ -328,6 +346,15 @@ RunResult run_exploration(const Tree& tree, Algorithm& algorithm,
                                     reanchors[depth]);
       result.total_reanchors += static_cast<std::int64_t>(reanchors[depth]);
     }
+    const std::vector<std::uint64_t>& switches =
+        EngineAccess::reanchor_switches(selector);
+    for (std::size_t depth = 0; depth < switches.size(); ++depth) {
+      if (switches[depth] == 0) continue;
+      result.reanchor_switches_by_depth.add(
+          static_cast<std::int64_t>(depth), switches[depth]);
+      result.total_reanchor_switches +=
+          static_cast<std::int64_t>(switches[depth]);
+    }
 
     if (config.trace != nullptr) {
       TraceFrame frame;
@@ -337,6 +364,10 @@ RunResult run_exploration(const Tree& tree, Algorithm& algorithm,
         frame.positions.push_back(state.robot_pos(i));
       }
       config.trace->push_back(std::move(frame));
+    }
+
+    if (config.observer != nullptr) {
+      config.observer->on_round(result.rounds, state);
     }
 
     if (config.check_invariants) {

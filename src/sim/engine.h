@@ -91,6 +91,14 @@ class MoveSelector {
   /// (Lemma 2 bookkeeping; purely observational).
   void note_reanchor(std::int32_t depth);
 
+  /// Records a re-anchor that *changed* the robot's anchor. This is the
+  /// quantity Lemma 2's urn-game argument bounds by
+  /// k(min{log k, log Delta} + 3) per depth: repeated assignments to the
+  /// same anchor (e.g. the root of a star, once per excursion) are not
+  /// ball moves in the game and are excluded. Call in addition to
+  /// note_reanchor when the anchor moved.
+  void note_reanchor_switch(std::int32_t depth);
+
   bool has_selected(std::int32_t robot) const;
 
   /// Engine-facing move representation (read by the engine only).
@@ -113,6 +121,7 @@ class MoveSelector {
   // Reanchor counts indexed by depth (flat: note_reanchor must stay
   // allocation-free once warmed up to the deepest anchor seen).
   std::vector<std::uint64_t> reanchor_counts_;
+  std::vector<std::uint64_t> reanchor_switch_counts_;
 };
 
 /// A collaborative exploration algorithm in the complete-communication
@@ -148,6 +157,17 @@ struct TraceFrame {
   std::vector<NodeId> positions;
 };
 
+/// Per-round observation hook for the verification harness
+/// (src/verify): called after the synchronous MOVE of every counted
+/// round — including all-stay rounds under break-downs, where time
+/// passes without movement — with the post-move state. The reference is
+/// only valid during the call.
+class RoundObserver {
+ public:
+  virtual ~RoundObserver() = default;
+  virtual void on_round(std::int64_t round, const ExplorationState& state) = 0;
+};
+
 struct RunConfig {
   std::int32_t num_robots = 1;
   /// 0 = automatic limit (comfortably above the 3*D*n termination bound).
@@ -160,6 +180,8 @@ struct RunConfig {
   ReactiveAdversary* reactive = nullptr;
   /// If non-null, receives one frame per executed round.
   std::vector<TraceFrame>* trace = nullptr;
+  /// If non-null, called after every counted round (verification hook).
+  RoundObserver* observer = nullptr;
 };
 
 struct RunResult {
@@ -179,6 +201,11 @@ struct RunResult {
   /// Reanchor calls per returned depth (Lemma 2).
   Histogram reanchors_by_depth;
   std::int64_t total_reanchors = 0;
+  /// Reanchor calls that *changed* the robot's anchor, per depth — the
+  /// per-depth quantity Lemma 2 bounds by k(min{log k, log Delta} + 3)
+  /// (see MoveSelector::note_reanchor_switch).
+  Histogram reanchor_switches_by_depth;
+  std::int64_t total_reanchor_switches = 0;
   /// Robot-moves cancelled by a reactive adversary (Remark 8).
   std::int64_t reactive_blocks = 0;
   /// depth_completed_round[d]: first round after which every node at

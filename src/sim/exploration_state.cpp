@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/rng.h"
+
 namespace bfdn {
 
 namespace {
@@ -155,6 +157,36 @@ bool ExplorationState::record_traversal(NodeId child, bool downward) {
   flag = 1;
   ++edge_events_;
   return true;
+}
+
+std::uint64_t ExplorationState::state_hash() const {
+  // splitmix64 as the mixing function: absorb each word by xoring it
+  // into the running state and taking one generator step.
+  std::uint64_t h = 0x42464446u;  // arbitrary non-zero start ("BFDF")
+  const auto absorb = [&h](std::uint64_t word) {
+    std::uint64_t mixed = h ^ word;
+    h = splitmix64(mixed);
+  };
+  for (const NodeId pos : robot_pos_) {
+    absorb(static_cast<std::uint64_t>(static_cast<std::uint32_t>(pos)));
+  }
+  // Per-node observable flags, packed into one word per node so the
+  // digest does not depend on how the flags are stored internally.
+  const auto n = static_cast<std::size_t>(tree_.num_nodes());
+  for (std::size_t v = 0; v < n; ++v) {
+    std::uint64_t word = explored_[v] != 0 ? 1u : 0u;
+    word |= static_cast<std::uint64_t>(traversed_down_[v] != 0 ? 1u : 0u)
+            << 1;
+    word |= static_cast<std::uint64_t>(traversed_up_[v] != 0 ? 1u : 0u) << 2;
+    word |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                dangling_count_[v] + reserved_[v]))
+            << 3;
+    absorb(word);
+  }
+  absorb(static_cast<std::uint64_t>(num_open_));
+  absorb(static_cast<std::uint64_t>(edge_events_));
+  absorb(static_cast<std::uint64_t>(num_explored_));
+  return h;
 }
 
 void ExplorationState::mark_open(NodeId u) {

@@ -92,6 +92,15 @@ class ExplorationState {
 
   std::int64_t num_explored_nodes() const { return num_explored_; }
 
+  /// 64-bit digest of the observable exploration state: robot positions,
+  /// the explored set, per-node unexplored-edge counts and the
+  /// first-traversal flags. Independent of internal layout (bucket
+  /// order, pool slicing), so two states that evolved through the same
+  /// decisions hash equal even across representation refactors. O(n);
+  /// for the trace record/replay harness (src/verify), not the round
+  /// loop.
+  std::uint64_t state_hash() const;
+
  private:
   void mark_open(NodeId u);
   void mark_closed(NodeId u);

@@ -1,0 +1,261 @@
+#include "verify/fuzz.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/generators.h"
+#include "graph/tree_io.h"
+#include "support/check.h"
+#include "support/strings.h"
+#include "verify/trace.h"
+
+namespace bfdn {
+namespace {
+
+/// Per-case generator, independent of every other case so a failing
+/// case index reproduces without replaying its predecessors.
+Rng case_rng(std::uint64_t seed, std::int32_t case_index) {
+  std::uint64_t state =
+      seed + 0x9E3779B97F4A7C15ULL *
+                 (static_cast<std::uint64_t>(case_index) + 1);
+  return Rng(splitmix64(state));
+}
+
+struct SampledTree {
+  Tree tree;
+  std::string recipe;
+};
+
+SampledTree sample_tree(Rng& rng, std::int64_t max_nodes) {
+  const std::int64_t n = rng.next_int(2, std::max<std::int64_t>(2, max_nodes));
+  switch (rng.next_below(15)) {
+    case 0:
+      return {make_path(n), str_format("path(n=%lld)",
+                                       static_cast<long long>(n))};
+    case 1:
+      return {make_star(n), str_format("star(n=%lld)",
+                                       static_cast<long long>(n))};
+    case 2: {
+      const auto b = static_cast<std::int32_t>(rng.next_int(2, 5));
+      // Largest depth whose complete b-ary tree still fits in n nodes.
+      std::int32_t depth = 1;
+      std::int64_t size = 1 + b;
+      while (size + (size - 1) * (b - 1) + b <= n && depth < 20) {
+        size += (size * (b - 1) + 1);
+        ++depth;
+      }
+      return {make_complete_bary(b, depth),
+              str_format("bary(b=%d,depth=%d)", b, depth)};
+    }
+    case 3: {
+      const auto legs = static_cast<std::int32_t>(rng.next_int(
+          2, std::max<std::int64_t>(2, std::min<std::int64_t>(12, n - 1))));
+      const auto len = static_cast<std::int32_t>(
+          std::max<std::int64_t>(1, (n - 1) / legs));
+      return {make_spider(legs, len),
+              str_format("spider(legs=%d,len=%d)", legs, len)};
+    }
+    case 4: {
+      const auto legs = static_cast<std::int32_t>(rng.next_int(1, 4));
+      const auto spine = static_cast<std::int32_t>(
+          std::max<std::int64_t>(1, n / (1 + legs)));
+      return {make_caterpillar(spine, legs),
+              str_format("caterpillar(spine=%d,legs=%d)", spine, legs)};
+    }
+    case 5: {
+      const auto tooth = static_cast<std::int32_t>(rng.next_int(1, 5));
+      const auto spine = static_cast<std::int32_t>(
+          std::max<std::int64_t>(1, n / (1 + tooth)));
+      return {make_comb(spine, tooth),
+              str_format("comb(spine=%d,tooth=%d)", spine, tooth)};
+    }
+    case 6: {
+      const auto handle =
+          static_cast<std::int32_t>(rng.next_int(1, n - 1));
+      const auto bristles = static_cast<std::int32_t>(n - handle);
+      return {make_broom(handle, bristles),
+              str_format("broom(handle=%d,bristles=%d)", handle, bristles)};
+    }
+    case 7:
+      return {make_random_recursive(n, rng),
+              str_format("random-recursive(n=%lld)",
+                         static_cast<long long>(n))};
+    case 8: {
+      const auto maxc = static_cast<std::int32_t>(rng.next_int(2, 4));
+      return {make_random_bounded_degree(n, maxc, rng),
+              str_format("bounded-degree(n=%lld,maxc=%d)",
+                         static_cast<long long>(n), maxc)};
+    }
+    case 9: {
+      const auto depth =
+          static_cast<std::int32_t>(rng.next_int(1, n - 1));
+      return {make_tree_with_depth(n, depth, rng),
+              str_format("with-depth(n=%lld,depth=%d)",
+                         static_cast<long long>(n), depth)};
+    }
+    case 10: {
+      const auto kg = static_cast<std::int32_t>(rng.next_int(2, 8));
+      const auto phases = static_cast<std::int32_t>(rng.next_int(1, 3));
+      return {make_cte_hard_tree(kg, phases, rng),
+              str_format("cte-hard(k=%d,phases=%d)", kg, phases)};
+    }
+    case 11: {
+      const auto maxc = static_cast<std::int32_t>(rng.next_int(2, 5));
+      return {make_random_leafy(n, maxc, rng),
+              str_format("leafy(n=%lld,maxc=%d)",
+                         static_cast<long long>(n), maxc)};
+    }
+    case 12: {
+      const auto internal = static_cast<std::int32_t>(
+          std::max<std::int64_t>(1, (n - 1) / 2));
+      return {make_remy_binary(internal, rng),
+              str_format("remy(internal=%d)", internal)};
+    }
+    case 13: {
+      const auto handle = static_cast<std::int32_t>(
+          std::max<std::int64_t>(1, n / 2));
+      const auto top = static_cast<std::int32_t>(
+          std::max<std::int64_t>(1, (n - handle) / 2));
+      const auto bottom = static_cast<std::int32_t>(
+          std::max<std::int64_t>(1, n - handle - top));
+      return {make_double_broom(top, handle, bottom),
+              str_format("double-broom(top=%d,handle=%d,bottom=%d)", top,
+                         handle, bottom)};
+    }
+    default: {
+      const auto depth = static_cast<std::int32_t>(rng.next_int(2, 14));
+      return {make_lopsided(depth), str_format("lopsided(depth=%d)", depth)};
+    }
+  }
+}
+
+ScheduleSpec sample_schedule(Rng& rng, const Tree& tree, std::int32_t k) {
+  ScheduleSpec spec;
+  const std::int64_t n = tree.num_nodes();
+  // Horizon around the Theorem 1 scale: sometimes starving (incomplete
+  // runs exercise the Proposition 7 contrapositive), sometimes ample.
+  spec.horizon = rng.next_int(n, 8 * n + 64 * tree.depth() + 256);
+  switch (rng.next_below(5)) {
+    case 0: spec.kind = ScheduleKind::kFull; break;
+    case 1: spec.kind = ScheduleKind::kRoundRobin; break;
+    case 2:
+      spec.kind = ScheduleKind::kRandom;
+      spec.p = 0.2 + 0.7 * rng.next_double();
+      spec.seed = rng();
+      break;
+    case 3:
+      spec.kind = ScheduleKind::kBurst;
+      spec.period = rng.next_int(1, 2 * k + 4);
+      break;
+    default:
+      spec.kind = ScheduleKind::kRollingOutage;
+      spec.period = rng.next_int(1, 2 * k + 4);
+      break;
+  }
+  return spec;
+}
+
+}  // namespace
+
+Tree build_fuzz_case(const FuzzOptions& options, std::int32_t case_index,
+                     std::string* recipe_out, OracleConfig* config_out) {
+  Rng rng = case_rng(options.seed, case_index);
+  SampledTree sampled = sample_tree(rng, options.max_nodes);
+
+  static constexpr std::int32_t kRobotChoices[] = {1, 2, 3, 4, 6, 8, 12, 16};
+  OracleConfig config;
+  config.k = kRobotChoices[rng.next_below(8)];
+  config.bfdn.fault_load_leak = options.inject_load_leak;
+  std::string schedule_label = "none";
+  if (rng.next_bool(options.schedule_p)) {
+    config.schedule = sample_schedule(rng, sampled.tree, config.k);
+    schedule_label = config.schedule.label();
+  }
+
+  if (recipe_out != nullptr) {
+    *recipe_out = str_format(
+        "case=%d seed=%llu family=%s n=%lld D=%d Delta=%d k=%d "
+        "schedule=%s fault=%s",
+        case_index, static_cast<unsigned long long>(options.seed),
+        sampled.recipe.c_str(),
+        static_cast<long long>(sampled.tree.num_nodes()),
+        sampled.tree.depth(), sampled.tree.max_degree(), config.k,
+        schedule_label.c_str(),
+        options.inject_load_leak ? "load-leak" : "none");
+  }
+  if (config_out != nullptr) *config_out = config;
+  return std::move(sampled.tree);
+}
+
+FuzzReport run_fuzz(const FuzzOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed_s = [&start] {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+
+  FuzzReport report;
+  if (!options.artifact_dir.empty()) {
+    std::filesystem::create_directories(options.artifact_dir);
+  }
+
+  for (std::int32_t index = 0;; ++index) {
+    if (options.max_cases > 0 && index >= options.max_cases) break;
+    if (index > 0 && elapsed_s() >= options.budget_s) break;
+
+    std::string recipe;
+    OracleConfig config;
+    const Tree tree = build_fuzz_case(options, index, &recipe, &config);
+    const OracleReport oracle = run_oracle(tree, config);
+    ++report.cases_run;
+    if (options.verbose) {
+      std::fprintf(stderr, "[fuzz] %s rounds=%lld %s\n", recipe.c_str(),
+                   static_cast<long long>(oracle.bfdn_rounds),
+                   oracle.ok() ? "ok" : oracle.summary().c_str());
+    }
+    if (oracle.ok()) continue;
+
+    const OracleCheck check = oracle.failures.front().check;
+    // Aggregate-initialized because ShrinkResult (holding a Tree) has no
+    // default construction.
+    FuzzCounterexample cex{index,           recipe,
+                           check,           oracle.summary(),
+                           tree.num_nodes(), shrink(tree, config, check),
+                           "",              ""};
+
+    if (!options.artifact_dir.empty()) {
+      const std::string stem =
+          options.artifact_dir + "/case-" + std::to_string(index);
+      // Trace of the shrunk instance's primary BFDN run: replayable
+      // bit-exact reproduction of the minimized failure.
+      AlgoSpec algo;
+      algo.kind = AlgoKind::kBfdn;
+      algo.k = cex.shrunk.config.k;
+      algo.options = cex.shrunk.config.bfdn;
+      cex.trace_path = stem + ".trace";
+      record_trace(cex.shrunk.tree, algo, cex.trace_path,
+                   cex.shrunk.config.schedule);
+      cex.recipe_path = stem + ".txt";
+      const std::string body = str_format(
+          "# bfdn_fuzz counterexample\n# %s\n# check=%s\n# %s\n"
+          "# shrunk: n=%lld k=%d (%d reductions, %d probes)\n%s",
+          recipe.c_str(), oracle_check_name(cex.check), cex.detail.c_str(),
+          static_cast<long long>(cex.shrunk.tree.num_nodes()),
+          cex.shrunk.config.k, cex.shrunk.accepted_reductions,
+          cex.shrunk.probes, tree_to_text(cex.shrunk.tree).c_str());
+      std::ofstream out(cex.recipe_path);
+      BFDN_REQUIRE(out.good(), "cannot open fuzz recipe file");
+      out << body;
+    }
+
+    report.counterexamples.push_back(std::move(cex));
+    if (options.stop_on_failure) break;
+  }
+  return report;
+}
+
+}  // namespace bfdn

@@ -1,0 +1,73 @@
+// Seed-driven differential fuzzer.
+//
+// Samples instances — a tree family with its parameters (n, D, Delta),
+// a robot count k, and optionally a break-down schedule — from a single
+// 64-bit seed, runs the differential oracle (oracle.h) on each, and
+// shrinks any failure (shrink.h) to a minimal counterexample. When an
+// artifact directory is configured, each counterexample is persisted as
+// a replayable trace file plus a textual recipe (the sampled family and
+// parameters, and the shrunk tree in tree_io format).
+//
+// The wall-clock budget only bounds *how many* cases run; the case
+// sequence itself is a pure function of the seed, so any failure found
+// on one machine is reproducible on another by case index.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/tree.h"
+#include "verify/oracle.h"
+#include "verify/shrink.h"
+
+namespace bfdn {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  /// Wall-clock budget in seconds; at least one case always runs.
+  double budget_s = 10.0;
+  /// Hard cap on cases (0 = unlimited within the budget).
+  std::int32_t max_cases = 0;
+  /// Upper bound on sampled tree sizes.
+  std::int64_t max_nodes = 400;
+  /// Sampling probability of attaching a break-down schedule to a case.
+  double schedule_p = 0.3;
+  /// Inject the fault_load_leak counter bug into every case (harness
+  /// self-test: the oracle must then find counterexamples).
+  bool inject_load_leak = false;
+  /// Where to write counterexample artifacts ("" = keep in memory only).
+  std::string artifact_dir;
+  /// Stop at the first counterexample instead of fuzzing on.
+  bool stop_on_failure = true;
+  bool verbose = false;
+};
+
+struct FuzzCounterexample {
+  std::int32_t case_index = 0;
+  std::string recipe;   ///< sampled family/parameters, human-readable
+  OracleCheck check = OracleCheck::kBfdnRun;
+  std::string detail;   ///< oracle failure summary on the original
+  std::int64_t original_nodes = 0;
+  ShrinkResult shrunk;  ///< minimized instance (tree + config)
+  std::string trace_path;   ///< written artifact paths ("" if not
+  std::string recipe_path;  ///< persisted)
+};
+
+struct FuzzReport {
+  std::int32_t cases_run = 0;
+  std::vector<FuzzCounterexample> counterexamples;
+  bool ok() const { return counterexamples.empty(); }
+};
+
+/// Runs the fuzzer; deterministic in options.seed up to how many cases
+/// the budget admits.
+FuzzReport run_fuzz(const FuzzOptions& options);
+
+/// Builds the instance for one (options.seed, case_index) pair without
+/// running the oracle — the reproduction entry point for a recipe
+/// artifact. `recipe_out`/`config_out` may be null.
+Tree build_fuzz_case(const FuzzOptions& options, std::int32_t case_index,
+                     std::string* recipe_out, OracleConfig* config_out);
+
+}  // namespace bfdn

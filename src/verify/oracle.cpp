@@ -1,0 +1,322 @@
+#include "verify/oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "adversarial/schedules.h"
+#include "core/bfdn.h"
+#include "distributed/writeread.h"
+#include "graph/graph.h"
+#include "graphexp/graph_bfdn.h"
+#include "recursive/bfdn_ell.h"
+#include "support/check.h"
+#include "support/strings.h"
+#include "verify/trace.h"
+
+namespace bfdn {
+
+const char* oracle_check_name(OracleCheck check) {
+  switch (check) {
+    case OracleCheck::kBfdnRun: return "bfdn-run";
+    case OracleCheck::kTheorem1Bound: return "theorem1-bound";
+    case OracleCheck::kLemma2PerDepth: return "lemma2-per-depth";
+    case OracleCheck::kLoadCounters: return "load-counters";
+    case OracleCheck::kWriteRead: return "write-read";
+    case OracleCheck::kEllTheorem10: return "ell-theorem10";
+    case OracleCheck::kGraphOnTree: return "graph-on-tree";
+    case OracleCheck::kBreakdown: return "breakdown";
+    case OracleCheck::kEngineInvariant: return "engine-invariant";
+  }
+  return "?";
+}
+
+bool OracleReport::failed(OracleCheck check) const {
+  for (const OracleFailure& failure : failures) {
+    if (failure.check == check) return true;
+  }
+  return false;
+}
+
+std::string OracleReport::summary() const {
+  if (failures.empty()) return "ok";
+  std::string out;
+  for (const OracleFailure& failure : failures) {
+    if (!out.empty()) out += "; ";
+    out += oracle_check_name(failure.check);
+    out += ": ";
+    out += failure.detail;
+  }
+  return out;
+}
+
+namespace {
+
+/// Collects per-round state hashes (the comparison key of the
+/// incremental-vs-reference differential).
+class CollectingObserver : public RoundObserver {
+ public:
+  explicit CollectingObserver(std::vector<std::uint64_t>& out)
+      : out_(out) {}
+  void on_round(std::int64_t /*round*/,
+                const ExplorationState& state) override {
+    out_.push_back(state.state_hash());
+  }
+
+ private:
+  std::vector<std::uint64_t>& out_;
+};
+
+struct BfdnRunOutcome {
+  RunResult result;
+  std::vector<std::uint64_t> hashes;
+  double average_allowed = -1;  // schedule runs only
+  bool threw = false;
+  std::string error;
+};
+
+BfdnRunOutcome run_bfdn(const Tree& tree, const OracleConfig& config,
+                        bool reference_loads) {
+  BfdnRunOutcome outcome;
+  BfdnOptions options = config.bfdn;
+  options.reference_loads = reference_loads;
+  if (reference_loads) {
+    // The reference path never reads the incremental counters, so the
+    // injected counter faults must not perturb it either.
+    options.fault_load_leak = false;
+  }
+  BfdnAlgorithm algorithm(config.k, options);
+  const std::unique_ptr<FiniteSchedule> schedule =
+      config.schedule.make(config.k);
+  CollectingObserver observer(outcome.hashes);
+  RunConfig run_config;
+  run_config.num_robots = config.k;
+  run_config.max_rounds = config.max_rounds;
+  run_config.schedule = schedule.get();
+  run_config.check_invariants = true;
+  run_config.observer = &observer;
+  try {
+    outcome.result = run_exploration(tree, algorithm, run_config);
+  } catch (const CheckError& error) {
+    outcome.threw = true;
+    outcome.error = error.what();
+  }
+  if (schedule != nullptr) {
+    outcome.average_allowed = schedule->average_allowed();
+  }
+  return outcome;
+}
+
+/// The tree as a port-numbered graph for the Section 4.3 driver.
+Graph tree_as_graph(const Tree& tree) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(tree.num_edges()));
+  for (NodeId v = 1; v < tree.num_nodes(); ++v) {
+    edges.emplace_back(tree.parent(v), v);
+  }
+  return Graph::from_edges(tree.num_nodes(), edges);
+}
+
+}  // namespace
+
+OracleReport run_oracle(const Tree& tree, const OracleConfig& config) {
+  BFDN_REQUIRE(config.k >= 1, "oracle needs at least one robot");
+  OracleReport report;
+  const auto fail = [&report](OracleCheck check, std::string detail) {
+    report.failures.push_back({check, std::move(detail)});
+  };
+
+  const std::int64_t n = tree.num_nodes();
+  const std::int32_t depth = tree.depth();
+  const std::int32_t delta = tree.max_degree();
+  const std::int32_t k = config.k;
+  const bool breakdown = config.schedule.kind != ScheduleKind::kNone;
+  // The bound checks cover the paper's algorithm only; ablation options
+  // (other policies, depth caps, shortcut) void the guarantees.
+  const bool paper_bfdn =
+      config.bfdn.policy == ReanchorPolicy::kLeastLoaded &&
+      config.bfdn.depth_cap < 0 && !config.bfdn.shortcut_reanchor;
+
+  // --- primary BFDN run (invariants forced on) -----------------------
+  const BfdnRunOutcome primary = run_bfdn(tree, config, false);
+  if (primary.threw) {
+    fail(OracleCheck::kEngineInvariant, primary.error);
+    return report;  // state after a failed invariant is unusable
+  }
+  report.bfdn_rounds = primary.result.rounds;
+
+  if (!breakdown) {
+    if (!primary.result.complete || !primary.result.all_at_root) {
+      fail(OracleCheck::kBfdnRun,
+           str_format("complete=%d all_at_root=%d hit_limit=%d",
+                      primary.result.complete ? 1 : 0,
+                      primary.result.all_at_root ? 1 : 0,
+                      primary.result.hit_round_limit ? 1 : 0));
+    } else if (primary.result.edge_events != 2 * (n - 1)) {
+      fail(OracleCheck::kBfdnRun,
+           str_format("edge events %lld != 2(n-1) = %lld",
+                      static_cast<long long>(primary.result.edge_events),
+                      static_cast<long long>(2 * (n - 1))));
+    }
+    if (paper_bfdn && primary.result.complete) {
+      const double bound = theorem1_bound(n, depth, delta, k);
+      if (static_cast<double>(primary.result.rounds) > bound) {
+        fail(OracleCheck::kTheorem1Bound,
+             str_format("rounds %lld > bound %.2f (n=%lld D=%d Delta=%d "
+                        "k=%d)",
+                        static_cast<long long>(primary.result.rounds),
+                        bound, static_cast<long long>(n), depth, delta, k));
+      }
+    }
+  } else {
+    // Section 4.2: exploration may legitimately end incomplete, but
+    // only if the adversary withheld the Proposition 7 work budget.
+    if (!primary.result.complete && !primary.result.hit_round_limit) {
+      const double needed = proposition7_bound(n, depth, k);
+      if (primary.average_allowed >= needed) {
+        fail(OracleCheck::kBreakdown,
+             str_format("incomplete although A(M) = %.2f >= %.2f",
+                        primary.average_allowed, needed));
+      }
+    }
+  }
+
+  // --- Lemma 2, per depth, on anchor switches ------------------------
+  if (paper_bfdn) {
+    // Under break-downs the adversary can pile every robot onto one
+    // anchor, so only the log k branch survives (Proposition 7).
+    const double per_depth_bound =
+        breakdown ? static_cast<double>(k) *
+                        (std::log(static_cast<double>(k)) + 3.0)
+                  : lemma2_bound(k, delta);
+    for (const auto& [bucket_depth, count] :
+         primary.result.reanchor_switches_by_depth.buckets()) {
+      if (static_cast<double>(count) > per_depth_bound) {
+        fail(OracleCheck::kLemma2PerDepth,
+             str_format("depth %lld: %llu anchor switches > bound %.2f",
+                        static_cast<long long>(bucket_depth),
+                        static_cast<unsigned long long>(count),
+                        per_depth_bound));
+        break;
+      }
+    }
+  }
+
+  // --- incremental vs reference load counters (differential) ---------
+  {
+    const BfdnRunOutcome reference = run_bfdn(tree, config, true);
+    if (reference.threw) {
+      fail(OracleCheck::kEngineInvariant, reference.error);
+    } else if (primary.hashes != reference.hashes) {
+      const std::size_t common =
+          std::min(primary.hashes.size(), reference.hashes.size());
+      std::size_t r = 0;
+      while (r < common && primary.hashes[r] == reference.hashes[r]) ++r;
+      fail(OracleCheck::kLoadCounters,
+           str_format("incremental and reference-load runs diverge at "
+                      "round %zu (%zu vs %zu rounds total)",
+                      r + 1, primary.hashes.size(),
+                      reference.hashes.size()));
+    } else if (primary.result.total_reanchors !=
+               reference.result.total_reanchors) {
+      fail(OracleCheck::kLoadCounters,
+           str_format("reanchor totals diverge: %lld vs %lld",
+                      static_cast<long long>(
+                          primary.result.total_reanchors),
+                      static_cast<long long>(
+                          reference.result.total_reanchors)));
+    }
+  }
+
+  // The secondary models run the plain Section 2 setting; under a
+  // break-down schedule their agreements are not claimed by the paper.
+  if (breakdown) return report;
+
+  // --- write-read BFDN (Proposition 6) -------------------------------
+  if (config.run_write_read && paper_bfdn) {
+    try {
+      const WriteReadResult wr =
+          run_write_read_bfdn(tree, k, config.max_rounds);
+      const double bound = theorem1_bound(n, depth, delta, k);
+      if (!wr.complete || !wr.all_at_root) {
+        fail(OracleCheck::kWriteRead,
+             str_format("complete=%d all_at_root=%d", wr.complete ? 1 : 0,
+                        wr.all_at_root ? 1 : 0));
+      } else if (static_cast<double>(wr.rounds) > bound) {
+        fail(OracleCheck::kWriteRead,
+             str_format("rounds %lld > Prop.6 bound %.2f",
+                        static_cast<long long>(wr.rounds), bound));
+      } else if (wr.max_robot_memory_bits > wr.memory_allowance_bits) {
+        fail(OracleCheck::kWriteRead,
+             str_format("memory %lld bits > allowance %lld",
+                        static_cast<long long>(wr.max_robot_memory_bits),
+                        static_cast<long long>(wr.memory_allowance_bits)));
+      }
+    } catch (const CheckError& error) {
+      fail(OracleCheck::kEngineInvariant, error.what());
+    }
+  }
+
+  // --- recursive BFDN_l (Theorem 10) ---------------------------------
+  if (config.run_ell) {
+    try {
+      BfdnEllAlgorithm algorithm(k, config.ell);
+      RunConfig run_config;
+      run_config.num_robots = k;
+      run_config.max_rounds = config.max_rounds;
+      const RunResult result = run_exploration(tree, algorithm, run_config);
+      const double bound =
+          theorem10_bound(n, depth, delta, k, config.ell);
+      if (!result.complete) {
+        fail(OracleCheck::kEllTheorem10,
+             str_format("ell=%d incomplete (hit_limit=%d)", config.ell,
+                        result.hit_round_limit ? 1 : 0));
+      } else if (static_cast<double>(result.rounds) > bound) {
+        fail(OracleCheck::kEllTheorem10,
+             str_format("ell=%d rounds %lld > Theorem 10 bound %.2f",
+                        config.ell, static_cast<long long>(result.rounds),
+                        bound));
+      }
+    } catch (const CheckError& error) {
+      fail(OracleCheck::kEngineInvariant, error.what());
+    }
+  }
+
+  // --- graph BFDN on the tree-as-graph (Section 4.3) -----------------
+  if (config.run_graph && n >= 2) {
+    try {
+      const Graph graph = tree_as_graph(tree);
+      const GraphExplorationResult gr =
+          run_graph_bfdn(graph, k, config.max_rounds);
+      if (!gr.complete || !gr.all_at_origin) {
+        fail(OracleCheck::kGraphOnTree,
+             str_format("complete=%d all_at_origin=%d",
+                        gr.complete ? 1 : 0, gr.all_at_origin ? 1 : 0));
+      } else if (gr.closed_edges != 0 || gr.tree_edges != n - 1) {
+        // On a tree every dangling edge leads to an unexplored,
+        // strictly-farther node, so the closing rule must never fire.
+        fail(OracleCheck::kGraphOnTree,
+             str_format("closed %lld edges, %lld tree edges (expected 0 "
+                        "and %lld)",
+                        static_cast<long long>(gr.closed_edges),
+                        static_cast<long long>(gr.tree_edges),
+                        static_cast<long long>(n - 1)));
+      } else {
+        const double bound =
+            proposition9_bound(graph.num_edges(), graph.radius(),
+                               graph.max_degree(), k);
+        if (static_cast<double>(gr.rounds) > bound) {
+          fail(OracleCheck::kGraphOnTree,
+               str_format("rounds %lld > Prop.9 bound %.2f",
+                          static_cast<long long>(gr.rounds), bound));
+        }
+      }
+    } catch (const CheckError& error) {
+      fail(OracleCheck::kEngineInvariant, error.what());
+    }
+  }
+
+  return report;
+}
+
+}  // namespace bfdn

@@ -1,0 +1,247 @@
+#include "verify/shrink.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "support/check.h"
+
+namespace bfdn {
+namespace {
+
+/// Restricts the oracle to the models the failing check actually
+/// exercises, so shrink probes stay cheap.
+OracleConfig probe_config(const OracleConfig& config, OracleCheck check) {
+  OracleConfig probe = config;
+  probe.run_write_read =
+      config.run_write_read && check == OracleCheck::kWriteRead;
+  probe.run_ell = config.run_ell && check == OracleCheck::kEllTheorem10;
+  probe.run_graph = config.run_graph && check == OracleCheck::kGraphOnTree;
+  // kEngineInvariant can originate in any model, so keep them all.
+  if (check == OracleCheck::kEngineInvariant) {
+    probe.run_write_read = config.run_write_read;
+    probe.run_ell = config.run_ell;
+    probe.run_graph = config.run_graph;
+  }
+  return probe;
+}
+
+/// Rebuilds the tree keeping exactly the nodes with keep[v] != 0. The
+/// kept set must contain the root and be closed under parents. Ids are
+/// compacted preserving relative order.
+Tree restrict_tree(const Tree& tree, const std::vector<char>& keep) {
+  const auto n = static_cast<std::size_t>(tree.num_nodes());
+  std::vector<NodeId> new_id(n, kInvalidNode);
+  NodeId next = 0;
+  // Parents must be numbered before children for the order-preserving
+  // compaction to produce valid parent references; iterating ids in
+  // increasing order is not enough (parents[v] < v is not guaranteed),
+  // so number along a BFS from the root.
+  std::vector<NodeId> queue;
+  queue.push_back(tree.root());
+  new_id[static_cast<std::size_t>(tree.root())] = next++;
+  std::vector<NodeId> parents;
+  parents.push_back(kInvalidNode);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    for (const NodeId c : tree.children(u)) {
+      if (!keep[static_cast<std::size_t>(c)]) continue;
+      new_id[static_cast<std::size_t>(c)] = next++;
+      parents.push_back(new_id[static_cast<std::size_t>(u)]);
+      queue.push_back(c);
+    }
+  }
+  return Tree::from_parents(std::move(parents));
+}
+
+/// Drops the whole subtree rooted at v.
+Tree drop_subtree(const Tree& tree, NodeId v) {
+  std::vector<char> keep(static_cast<std::size_t>(tree.num_nodes()), 1);
+  std::vector<NodeId> stack{v};
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    keep[static_cast<std::size_t>(u)] = 0;
+    for (const NodeId c : tree.children(u)) stack.push_back(c);
+  }
+  return restrict_tree(tree, keep);
+}
+
+/// Reattaches v (with its subtree) to its grandparent.
+Tree hoist_node(const Tree& tree, NodeId v) {
+  const NodeId grandparent = tree.parent(tree.parent(v));
+  std::vector<NodeId> parents(static_cast<std::size_t>(tree.num_nodes()));
+  parents[0] = kInvalidNode;
+  for (NodeId u = 1; u < tree.num_nodes(); ++u) {
+    parents[static_cast<std::size_t>(u)] = tree.parent(u);
+  }
+  parents[static_cast<std::size_t>(v)] = grandparent;
+  return Tree::from_parents(std::move(parents));
+}
+
+class Shrinker {
+ public:
+  Shrinker(const Tree& tree, const OracleConfig& config, OracleCheck check,
+           const ShrinkOptions& options)
+      : result_{tree, probe_config(config, check), check, 0, 0},
+        options_(options) {}
+
+  ShrinkResult run() {
+    BFDN_REQUIRE(still_fails(result_.tree, result_.config),
+                 "shrink: instance does not fail the given check");
+    bool progress = true;
+    while (progress && result_.probes < options_.max_probes) {
+      progress = false;
+      progress |= subtree_pass();
+      progress |= leaf_pass();
+      progress |= hoist_pass();
+      progress |= robot_pass();
+    }
+    return std::move(result_);
+  }
+
+ private:
+  bool still_fails(const Tree& tree, const OracleConfig& config) {
+    ++result_.probes;
+    return run_oracle(tree, config).failed(result_.check);
+  }
+
+  bool accept(Tree candidate) {
+    if (result_.probes >= options_.max_probes) return false;
+    if (!still_fails(candidate, result_.config)) return false;
+    result_.tree = std::move(candidate);
+    ++result_.accepted_reductions;
+    return true;
+  }
+
+  /// Tries dropping whole subtrees, largest first.
+  bool subtree_pass() {
+    bool progress = false;
+    bool reduced = true;
+    while (reduced && result_.probes < options_.max_probes) {
+      reduced = false;
+      const Tree& tree = result_.tree;
+      std::vector<NodeId> order;
+      for (NodeId v = 1; v < tree.num_nodes(); ++v) order.push_back(v);
+      std::sort(order.begin(), order.end(), [&tree](NodeId a, NodeId b) {
+        if (tree.subtree_size(a) != tree.subtree_size(b)) {
+          return tree.subtree_size(a) > tree.subtree_size(b);
+        }
+        return a < b;
+      });
+      for (const NodeId v : order) {
+        if (result_.probes >= options_.max_probes) break;
+        if (accept(drop_subtree(result_.tree, v))) {
+          reduced = true;
+          break;  // node ids changed; rebuild the candidate order
+        }
+      }
+      progress |= reduced;
+    }
+    return progress;
+  }
+
+  /// ddmin over the current leaves: batches of half the leaves, then
+  /// quarters, ... down to single leaves.
+  bool leaf_pass() {
+    bool progress = false;
+    bool reduced = true;
+    while (reduced && result_.probes < options_.max_probes) {
+      reduced = false;
+      const Tree& tree = result_.tree;
+      std::vector<NodeId> leaves;
+      for (NodeId v = 1; v < tree.num_nodes(); ++v) {
+        if (tree.num_children(v) == 0) leaves.push_back(v);
+      }
+      if (leaves.empty()) break;
+      for (std::size_t batch = leaves.size(); batch >= 1; batch /= 2) {
+        bool hit = false;
+        for (std::size_t start = 0;
+             start < leaves.size() && result_.probes < options_.max_probes;
+             start += batch) {
+          std::vector<char> keep(
+              static_cast<std::size_t>(tree.num_nodes()), 1);
+          const std::size_t end = std::min(start + batch, leaves.size());
+          if (end - start == leaves.size() &&
+              tree.num_nodes() - static_cast<std::int64_t>(leaves.size()) <
+                  1) {
+            continue;  // never delete every node
+          }
+          for (std::size_t i = start; i < end; ++i) {
+            keep[static_cast<std::size_t>(leaves[i])] = 0;
+          }
+          if (accept(restrict_tree(tree, keep))) {
+            hit = true;
+            break;  // leaves list is stale now
+          }
+        }
+        if (hit) {
+          reduced = true;
+          break;
+        }
+        if (batch == 1) break;
+      }
+      progress |= reduced;
+    }
+    return progress;
+  }
+
+  /// Tries flattening: move depth>=2 nodes up to their grandparent.
+  bool hoist_pass() {
+    bool progress = false;
+    bool reduced = true;
+    while (reduced && result_.probes < options_.max_probes) {
+      reduced = false;
+      const Tree& tree = result_.tree;
+      for (NodeId v = 1;
+           v < tree.num_nodes() && result_.probes < options_.max_probes;
+           ++v) {
+        if (tree.depth(v) < 2) continue;
+        if (accept(hoist_node(result_.tree, v))) {
+          reduced = true;
+          break;
+        }
+      }
+      progress |= reduced;
+    }
+    return progress;
+  }
+
+  /// Halves k while the failure persists, then tries single decrements.
+  bool robot_pass() {
+    bool progress = false;
+    while (result_.config.k > 1 && result_.probes < options_.max_probes) {
+      OracleConfig candidate = result_.config;
+      candidate.k = result_.config.k / 2;
+      if (still_fails(result_.tree, candidate)) {
+        result_.config = candidate;
+        ++result_.accepted_reductions;
+        progress = true;
+        continue;
+      }
+      candidate.k = result_.config.k - 1;
+      if (candidate.k >= 1 && candidate.k != result_.config.k / 2 &&
+          still_fails(result_.tree, candidate)) {
+        result_.config = candidate;
+        ++result_.accepted_reductions;
+        progress = true;
+        continue;
+      }
+      break;
+    }
+    return progress;
+  }
+
+  ShrinkResult result_;
+  ShrinkOptions options_;
+};
+
+}  // namespace
+
+ShrinkResult shrink(const Tree& tree, const OracleConfig& config,
+                    OracleCheck check, const ShrinkOptions& options) {
+  return Shrinker(tree, config, check, options).run();
+}
+
+}  // namespace bfdn

@@ -1,0 +1,46 @@
+// Counterexample minimizer for oracle failures.
+//
+// Given an instance (tree, config) on which a specific oracle check
+// fails, `shrink` greedily searches for a smaller instance that still
+// fails the *same* check, alternating four reduction passes until none
+// of them makes progress or the probe budget runs out:
+//
+//  * subtree drops — remove a whole subtree, largest first;
+//  * leaf pruning — ddmin-style batch removal of leaves (halving batch
+//    sizes down to single leaves);
+//  * hoisting — reattach a node (with its subtree) to its grandparent,
+//    shortening the tree;
+//  * robot halving — reduce k (halving, then decrements).
+//
+// Every reduction is accepted only if the candidate instance still
+// fails with the original OracleCheck id, so the minimized instance is
+// a genuine reproduction of the original failure, not a different bug.
+// The search is deterministic: identical inputs give identical minima.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/tree.h"
+#include "verify/oracle.h"
+
+namespace bfdn {
+
+struct ShrinkOptions {
+  /// Maximum number of oracle evaluations spent on the search.
+  std::int32_t max_probes = 2000;
+};
+
+struct ShrinkResult {
+  Tree tree;               ///< minimized failing tree
+  OracleConfig config;     ///< original config with the minimized k
+  OracleCheck check = OracleCheck::kBfdnRun;  ///< the preserved failure
+  std::int32_t accepted_reductions = 0;
+  std::int32_t probes = 0;  ///< oracle evaluations spent
+};
+
+/// Minimizes (tree, config) while `check` keeps failing. Requires that
+/// the check fails on the input instance (throws CheckError otherwise).
+ShrinkResult shrink(const Tree& tree, const OracleConfig& config,
+                    OracleCheck check, const ShrinkOptions& options = {});
+
+}  // namespace bfdn

@@ -1,0 +1,95 @@
+#include "verify/spec.h"
+
+#include "baselines/bfs_levels.h"
+#include "baselines/cte.h"
+#include "recursive/bfdn_ell.h"
+#include "support/check.h"
+#include "support/strings.h"
+
+namespace bfdn {
+
+std::unique_ptr<FiniteSchedule> ScheduleSpec::make(std::int32_t k) const {
+  switch (kind) {
+    case ScheduleKind::kNone:
+      return nullptr;
+    case ScheduleKind::kFull:
+      return make_full_schedule(horizon, k);
+    case ScheduleKind::kRoundRobin:
+      return make_round_robin_schedule(horizon, k);
+    case ScheduleKind::kRandom:
+      return make_random_schedule(horizon, k, p, seed);
+    case ScheduleKind::kBurst:
+      return make_burst_schedule(horizon, k, period);
+    case ScheduleKind::kRollingOutage:
+      return make_rolling_outage_schedule(horizon, k, period);
+  }
+  BFDN_CHECK(false, "unreachable schedule kind");
+  return nullptr;
+}
+
+std::string ScheduleSpec::label() const {
+  switch (kind) {
+    case ScheduleKind::kNone:
+      return "none";
+    case ScheduleKind::kFull:
+      return str_format("full(h=%lld)", static_cast<long long>(horizon));
+    case ScheduleKind::kRoundRobin:
+      return str_format("round-robin(h=%lld)",
+                        static_cast<long long>(horizon));
+    case ScheduleKind::kRandom:
+      return str_format("random(h=%lld, p=%.3f, seed=%llu)",
+                        static_cast<long long>(horizon), p,
+                        static_cast<unsigned long long>(seed));
+    case ScheduleKind::kBurst:
+      return str_format("burst(h=%lld, burst=%lld)",
+                        static_cast<long long>(horizon),
+                        static_cast<long long>(period));
+    case ScheduleKind::kRollingOutage:
+      return str_format("rolling(h=%lld, period=%lld)",
+                        static_cast<long long>(horizon),
+                        static_cast<long long>(period));
+  }
+  return "?";
+}
+
+std::string AlgoSpec::label() const {
+  switch (kind) {
+    case AlgoKind::kBfdn: {
+      BfdnAlgorithm probe(k, options);
+      return str_format("%s/k%d", probe.name().c_str(), k);
+    }
+    case AlgoKind::kBfdnEll:
+      return str_format("bfdn-ell%d/k%d", ell, k);
+    case AlgoKind::kBfsLevels:
+      return str_format("bfs-levels/k%d", k);
+    case AlgoKind::kCte:
+      return str_format("cte/k%d", k);
+    case AlgoKind::kWriteRead:
+      return str_format("writeread/k%d", k);
+    case AlgoKind::kGraphBfdn:
+      return str_format("graph-bfdn/k%d", k);
+  }
+  return "?";
+}
+
+std::unique_ptr<Algorithm> make_algorithm(const AlgoSpec& spec,
+                                          const Tree& tree) {
+  BFDN_REQUIRE(spec.engine_based(),
+               "make_algorithm: kind has its own driver");
+  switch (spec.kind) {
+    case AlgoKind::kBfdn:
+      return std::make_unique<BfdnAlgorithm>(spec.k, spec.options);
+    case AlgoKind::kBfdnEll:
+      return std::make_unique<BfdnEllAlgorithm>(spec.k, spec.ell);
+    case AlgoKind::kBfsLevels:
+      return std::make_unique<BfsLevelsAlgorithm>(spec.k);
+    case AlgoKind::kCte:
+      return std::make_unique<CteAlgorithm>(tree, spec.k);
+    default:
+      break;
+  }
+  BFDN_CHECK(false, "unreachable algo kind");
+  return nullptr;
+}
+
+}  // namespace bfdn

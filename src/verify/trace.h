@@ -1,0 +1,88 @@
+// Versioned binary trace format with engine-level record and replay.
+//
+// A trace file is a complete, self-contained reproduction artifact: it
+// embeds the ground-truth tree (parent array), the full instance spec
+// (algorithm, options, robots, break-down schedule) and one 64-bit
+// state digest per executed round. Replaying re-runs the simulation
+// from the spec and asserts the engine reproduces the identical hash
+// sequence — any divergence (a changed SELECT decision, a reordered
+// MOVE, a state-representation bug) is reported with the first round at
+// which the executions split.
+//
+// Layout (little-endian, fixed-width; see docs/VERIFY.md):
+//   magic "BFDNTRC1" | u32 version | algo spec | schedule spec |
+//   run config | tree (n + parents) | round hashes | summary footer.
+//
+// Engine-based instances (BFDN, BFDN_l, baselines) hash the observable
+// ExplorationState after every round; the write-read and graph drivers
+// are hashed through their per-round robot-position traces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/tree.h"
+#include "verify/spec.h"
+
+namespace bfdn {
+
+inline constexpr std::uint32_t kTraceFormatVersion = 1;
+
+/// In-memory image of a trace file.
+struct TraceData {
+  AlgoSpec algo;
+  ScheduleSpec schedule;
+  std::int64_t max_rounds = 0;  // 0 = engine default
+  bool check_invariants = false;
+  std::vector<NodeId> parents;  // ground-truth tree, parent array
+
+  std::vector<std::uint64_t> round_hashes;  // one per executed round
+
+  // Summary footer (engine outcome, for quick inspection and as a
+  // second-layer replay check).
+  std::int64_t rounds = 0;
+  std::int64_t edge_events = 0;
+  std::int64_t total_reanchors = 0;
+  bool complete = false;
+  bool all_at_root = false;
+
+  Tree rebuild_tree() const { return Tree::from_parents(parents); }
+};
+
+/// Runs the instance described by (tree, algo, schedule), hashing the
+/// state after every round. Does not touch the filesystem.
+TraceData run_traced(const Tree& tree, const AlgoSpec& algo,
+                     const ScheduleSpec& schedule = {},
+                     std::int64_t max_rounds = 0);
+
+/// Binary serialization; throws CheckError on I/O failure or (for read)
+/// malformed input.
+void write_trace(const TraceData& data, const std::string& path);
+TraceData read_trace(const std::string& path);
+
+/// Record = run + write: executes the instance and persists the trace.
+TraceData record_trace(const Tree& tree, const AlgoSpec& algo,
+                       const std::string& path,
+                       const ScheduleSpec& schedule = {},
+                       std::int64_t max_rounds = 0);
+
+struct ReplayReport {
+  bool ok = false;
+  /// First round (1-based) whose hash differs, -1 if none. A length
+  /// mismatch with an identical common prefix reports the first round
+  /// past the shorter run.
+  std::int64_t first_divergence = -1;
+  std::string detail;
+  TraceData recorded;  // as read from the file
+  TraceData replayed;  // as re-executed
+};
+
+/// Re-runs the instance a trace describes and checks bit-exact
+/// agreement of the per-round hash sequence and the summary footer.
+ReplayReport replay_trace(const std::string& path);
+
+/// Same, against an already-loaded trace.
+ReplayReport replay_trace(const TraceData& recorded);
+
+}  // namespace bfdn

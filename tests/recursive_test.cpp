@@ -139,6 +139,33 @@ TEST(EllComparisonTest, RecursionHelpsOnDeepTrees) {
   EXPECT_LE(static_cast<double>(ell_result.rounds), bound_ell);
 }
 
+TEST(EllBoundTest, Theorem10HoldsForEveryEllOnDeepTrees) {
+  // Theorem 10 across the recursion depths the paper considers, on
+  // trees in the D ~ sqrt(n) regime where the recursive bound is the
+  // interesting one (for D ~ sqrt(n), Theorem 10 gives
+  // O(n/k + D^(2 - 1/(2^l - 1)) polylog) against Theorem 1's D^2 term).
+  struct DeepCase {
+    std::int64_t n;
+    std::int32_t depth;
+    std::uint64_t seed;
+  };
+  const DeepCase cases[] = {{2500, 50, 17}, {1600, 40, 23}, {900, 30, 29}};
+  for (const DeepCase& c : cases) {
+    Rng rng(c.seed);
+    const Tree tree = make_tree_with_depth(c.n, c.depth, rng);
+    for (const std::int32_t ell : {1, 2, 3, 4}) {
+      SCOPED_TRACE(testing::Message()
+                   << "n=" << c.n << " D=" << c.depth << " ell=" << ell);
+      const std::int32_t k = 16;
+      const RunResult result = run_ell(tree, k, ell);
+      ASSERT_TRUE(result.complete);
+      const double bound = theorem10_bound(tree.num_nodes(), tree.depth(),
+                                           tree.max_degree(), k, ell);
+      EXPECT_LE(static_cast<double>(result.rounds), bound);
+    }
+  }
+}
+
 TEST(EllComparisonTest, PhasesGrowWithDepth) {
   Rng rng(404);
   const Tree shallow = make_tree_with_depth(500, 4, rng);

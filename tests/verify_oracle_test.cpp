@@ -1,0 +1,166 @@
+// Differential-oracle and fuzzer tests.
+//
+// The oracle must (a) pass on healthy instances across the tree zoo,
+// with and without break-down schedules, and (b) catch the injected
+// Reanchor load-counter off-by-one (BfdnOptions::fault_load_leak) and
+// shrink it to a minimal counterexample — the ISSUE acceptance demo.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "support/check.h"
+#include "verify/fuzz.h"
+#include "verify/oracle.h"
+#include "verify/shrink.h"
+
+namespace bfdn {
+namespace {
+
+TEST(OracleTest, PassesOnTreeZoo) {
+  for (const NamedTree& named : make_tree_zoo(120, 7)) {
+    for (const std::int32_t k : {1, 4, 8}) {
+      SCOPED_TRACE(named.name + "/k" + std::to_string(k));
+      OracleConfig config;
+      config.k = k;
+      const OracleReport report = run_oracle(named.tree, config);
+      EXPECT_TRUE(report.ok()) << report.summary();
+    }
+  }
+}
+
+TEST(OracleTest, PassesUnderBreakdownSchedules) {
+  const Tree comb = make_comb(10, 4);
+  const Tree spider = make_spider(6, 8);
+  for (const ScheduleKind kind :
+       {ScheduleKind::kRoundRobin, ScheduleKind::kBurst,
+        ScheduleKind::kRollingOutage, ScheduleKind::kRandom}) {
+    for (const std::int64_t horizon : {60, 4000}) {
+      SCOPED_TRACE(static_cast<int>(kind));
+      SCOPED_TRACE(horizon);
+      OracleConfig config;
+      config.k = 4;
+      config.schedule.kind = kind;
+      config.schedule.horizon = horizon;  // starving and ample variants
+      config.schedule.period = 3;
+      config.schedule.p = 0.5;
+      config.schedule.seed = 11;
+      EXPECT_TRUE(run_oracle(comb, config).ok());
+      EXPECT_TRUE(run_oracle(spider, config).ok());
+    }
+  }
+}
+
+TEST(OracleTest, PassesOnNonPaperPolicies) {
+  // Ablation policies void the bound checks but everything else (run
+  // sanity, load-counter differential, invariants) still applies.
+  const Tree tree = make_caterpillar(20, 3);
+  for (const ReanchorPolicy policy :
+       {ReanchorPolicy::kRandom, ReanchorPolicy::kFirstFit,
+        ReanchorPolicy::kMostLoaded}) {
+    OracleConfig config;
+    config.k = 6;
+    config.bfdn.policy = policy;
+    const OracleReport report = run_oracle(tree, config);
+    EXPECT_TRUE(report.ok()) << report.summary();
+  }
+}
+
+// The ISSUE acceptance demo, direct form: the load-leak off-by-one on a
+// pinned 5-node instance is caught by the load-counter differential.
+TEST(OracleTest, LoadLeakFaultIsCaught) {
+  const Tree tree = Tree::from_parents({kInvalidNode, 0, 0, 1, 2});
+  OracleConfig config;
+  config.k = 4;
+  config.bfdn.fault_load_leak = true;
+  const OracleReport report = run_oracle(tree, config);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.failed(OracleCheck::kLoadCounters))
+      << report.summary();
+
+  config.bfdn.fault_load_leak = false;
+  EXPECT_TRUE(run_oracle(tree, config).ok());
+}
+
+// The ISSUE acceptance demo, fuzzer form: with the fault injected, the
+// fuzzer finds a counterexample and shrinks it to <= 32 nodes.
+TEST(FuzzTest, InjectedFaultIsFoundAndShrunkSmall) {
+  FuzzOptions options;
+  options.seed = 1;
+  options.budget_s = 60.0;
+  options.max_cases = 200;  // found at case 1; cap for CI robustness
+  options.max_nodes = 400;
+  options.inject_load_leak = true;
+
+  const FuzzReport report = run_fuzz(options);
+  ASSERT_FALSE(report.ok());
+  const FuzzCounterexample& cex = report.counterexamples.front();
+  EXPECT_EQ(cex.check, OracleCheck::kLoadCounters) << cex.detail;
+  EXPECT_LE(cex.shrunk.tree.num_nodes(), 32) << cex.recipe;
+  EXPECT_GE(cex.original_nodes, cex.shrunk.tree.num_nodes());
+  EXPECT_LE(cex.shrunk.config.k, 16);
+  // The shrunk instance still reproduces the failure on its own.
+  const OracleReport check = run_oracle(cex.shrunk.tree, cex.shrunk.config);
+  EXPECT_TRUE(check.failed(cex.check)) << check.summary();
+}
+
+TEST(FuzzTest, HealthySeedCorpusIsClean) {
+  FuzzOptions options;
+  options.seed = 1;
+  options.budget_s = 5.0;
+  options.max_nodes = 200;
+  const FuzzReport report = run_fuzz(options);
+  EXPECT_TRUE(report.ok());
+  EXPECT_GT(report.cases_run, 10);
+}
+
+TEST(FuzzTest, CaseConstructionIsDeterministic) {
+  FuzzOptions options;
+  options.seed = 99;
+  for (std::int32_t index : {0, 5, 17}) {
+    std::string recipe_a, recipe_b;
+    OracleConfig config_a, config_b;
+    const Tree a = build_fuzz_case(options, index, &recipe_a, &config_a);
+    const Tree b = build_fuzz_case(options, index, &recipe_b, &config_b);
+    EXPECT_EQ(recipe_a, recipe_b);
+    EXPECT_EQ(a.num_nodes(), b.num_nodes());
+    EXPECT_EQ(config_a.k, config_b.k);
+    EXPECT_EQ(config_a.schedule.kind, config_b.schedule.kind);
+  }
+}
+
+TEST(ShrinkTest, IsDeterministicAndPreservesFailure) {
+  // Shrink the same failing instance twice; byte-identical outcomes.
+  FuzzOptions options;
+  options.seed = 1;
+  options.inject_load_leak = true;
+  std::string recipe;
+  OracleConfig config;
+  const Tree tree = build_fuzz_case(options, 1, &recipe, &config);
+  const OracleReport report = run_oracle(tree, config);
+  ASSERT_TRUE(report.failed(OracleCheck::kLoadCounters)) << recipe;
+
+  const ShrinkResult a = shrink(tree, config, OracleCheck::kLoadCounters);
+  const ShrinkResult b = shrink(tree, config, OracleCheck::kLoadCounters);
+  EXPECT_EQ(a.tree.num_nodes(), b.tree.num_nodes());
+  EXPECT_EQ(a.config.k, b.config.k);
+  EXPECT_EQ(a.probes, b.probes);
+  EXPECT_EQ(a.accepted_reductions, b.accepted_reductions);
+  EXPECT_LT(a.tree.num_nodes(), tree.num_nodes());
+  for (NodeId v = 0; v < a.tree.num_nodes(); ++v) {
+    EXPECT_EQ(a.tree.parent(v), b.tree.parent(v));
+  }
+}
+
+TEST(ShrinkTest, RejectsHealthyInstance) {
+  OracleConfig config;
+  config.k = 4;
+  EXPECT_THROW(
+      (void)shrink(make_comb(6, 3), config, OracleCheck::kLoadCounters),
+      CheckError);
+}
+
+}  // namespace
+}  // namespace bfdn
