@@ -22,7 +22,10 @@ cmake -B build-asan -S . \
 cmake --build build-asan -j
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
 
-echo "== fuzz smoke: differential oracle, fixed seed =="
-./build/tools/bfdn_fuzz --budget-s=10 --seed=1
+echo "== fuzz smoke: differential oracle, fixed seed, all cores =="
+./build/tools/bfdn_fuzz --budget-s=10 --seed=1 --jobs="$(nproc)"
+
+echo "== bench smoke: fast-forward vs stepped, one Release cell =="
+./build/bench/bench_hotpath --smoke > /dev/null
 
 echo "check.sh: all gates passed."

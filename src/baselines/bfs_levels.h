@@ -32,6 +32,11 @@ class BfsLevelsAlgorithm : public Algorithm {
   void begin(const ExplorationView& view) override;
   void select_moves(const ExplorationView& view,
                     MoveSelector& selector) override;
+  /// Step-only: probe targets are re-assigned from a global view of all
+  /// robots' phases each round, so no per-robot segment is committed.
+  TransitCapability transit_capability() const override {
+    return TransitCapability::kStepOnly;
+  }
 
  private:
   enum class Phase : std::uint8_t { kIdle, kOutbound, kProbe, kHome };

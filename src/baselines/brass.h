@@ -33,6 +33,12 @@ class BrassAlgorithm : public Algorithm {
   void begin(const ExplorationView& view) override;
   void select_moves(const ExplorationView& view,
                     MoveSelector& selector) override;
+  /// Step-only: the whiteboard entry counters mutate on every visit, so
+  /// each single step is itself a decision point — there is never a
+  /// multi-round committed segment to expose.
+  TransitCapability transit_capability() const override {
+    return TransitCapability::kStepOnly;
+  }
 
  private:
   std::int32_t num_robots_;

@@ -33,6 +33,12 @@ class CteAlgorithm : public Algorithm {
   std::string name() const override { return "CTE"; }
   void select_moves(const ExplorationView& view,
                     MoveSelector& selector) override;
+  /// Step-only: CTE splits the swarm by the live robot *population* of
+  /// each subtree (robots_in_subtree reads every robot's position), so
+  /// a robot's next move can change whenever any other robot moves.
+  TransitCapability transit_capability() const override {
+    return TransitCapability::kStepOnly;
+  }
 
  private:
   /// Sum of unexplored-edge weights of open nodes inside T(c).

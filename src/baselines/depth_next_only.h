@@ -23,7 +23,21 @@ class DepthNextOnlyAlgorithm : public Algorithm {
   void select_moves(const ExplorationView& view,
                     MoveSelector& selector) override;
 
+  /// Fast-forward support: a DN robot's move depends only on its own
+  /// position and the shared dangling counts, so its return climbs are
+  /// committed segments and a robot stuck at a dangling-free root stays
+  /// forever (dangling counts never grow).
+  TransitCapability transit_capability() const override;
+  void plan_transit(const ExplorationView& view, std::int32_t robot,
+                    TransitPlan& plan) override;
+  void select_moves_subset(const ExplorationView& view,
+                           MoveSelector& selector,
+                           const std::vector<std::int32_t>& robots) override;
+
  private:
+  void select_one(const ExplorationView& view, MoveSelector& selector,
+                  std::int32_t robot);
+
   std::int32_t num_robots_;
 };
 

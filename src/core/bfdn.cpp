@@ -142,74 +142,157 @@ void BfdnAlgorithm::select_moves(const ExplorationView& view,
     // Section 4.2 variant: blocked robots take no part in the
     // sequential assignment (so they cannot hoard dangling edges).
     if (!view.can_move(i)) continue;
-    const std::size_t idx = static_cast<std::size_t>(i);
-    const NodeId pos = view.robot_pos(i);
+    select_one(view, selector, i);
+  }
+}
 
-    if (pos == view.root()) {
-      const NodeId anchor = reanchor(view, i);
-      if (anchor == kInvalidNode) {
-        set_anchor(idx, view.root());
-        modes_[idx] = Mode::kExploring;
-        inactive_[idx] = 1;
-      } else {
-        const NodeId previous = anchors_[idx];
-        set_anchor(idx, anchor);
-        modes_[idx] = Mode::kOutbound;
-        inactive_[idx] = 0;
-        rebuild_path(idx, anchor, view);
-        selector.note_reanchor(view.depth(anchor));
-        if (previous != anchor) {
-          selector.note_reanchor_switch(view.depth(anchor));
-        }
+void BfdnAlgorithm::select_moves_subset(
+    const ExplorationView& view, MoveSelector& selector,
+    const std::vector<std::int32_t>& robots) {
+  // Fast-forward never runs under an adversary, so every listed robot
+  // is movable; the index-order walk keeps Claim 2's reservation order.
+  for (std::int32_t i : robots) select_one(view, selector, i);
+}
+
+void BfdnAlgorithm::select_one(const ExplorationView& view,
+                               MoveSelector& selector, std::int32_t i) {
+  const std::size_t idx = static_cast<std::size_t>(i);
+  const NodeId pos = view.robot_pos(i);
+
+  if (pos == view.root()) {
+    const NodeId anchor = reanchor(view, i);
+    if (anchor == kInvalidNode) {
+      set_anchor(idx, view.root());
+      modes_[idx] = Mode::kExploring;
+      inactive_[idx] = 1;
+    } else {
+      const NodeId previous = anchors_[idx];
+      set_anchor(idx, anchor);
+      modes_[idx] = Mode::kOutbound;
+      inactive_[idx] = 0;
+      rebuild_path(idx, anchor, view);
+      selector.note_reanchor(view.depth(anchor));
+      if (previous != anchor) {
+        selector.note_reanchor_switch(view.depth(anchor));
       }
     }
+  }
 
-    if (modes_[idx] == Mode::kOutbound) {
-      if (pos == anchors_[idx]) {
-        modes_[idx] = Mode::kExploring;  // arrived; fall into DN below
-      } else if (view.is_ancestor_or_self(pos, anchors_[idx])) {
-        // Procedure BF: one explored edge down towards the anchor
-        // (paths_[idx] caches the root -> anchor path).
+  if (modes_[idx] == Mode::kOutbound) {
+    if (pos == anchors_[idx]) {
+      modes_[idx] = Mode::kExploring;  // arrived; fall into DN below
+    } else if (view.is_ancestor_or_self(pos, anchors_[idx])) {
+      // Procedure BF: one explored edge down towards the anchor
+      // (paths_[idx] caches the root -> anchor path).
+      selector.move_down(
+          i, paths_[idx][static_cast<std::size_t>(view.depth(pos)) + 1]);
+      return;
+    } else {
+      // Only reachable in the shortcut ablation: climb to the LCA
+      // first, then the ancestor branch above descends.
+      selector.move_up(i);
+      return;
+    }
+  }
+
+  // Procedure DN: dangling-and-unselected edge if any, else up.
+  if (selector.try_take_dangling(i) != kInvalidNode) return;
+  if (options_.shortcut_reanchor && pos == anchors_[idx] &&
+      pos != view.root()) {
+    // Excursion over (about to leave T(anchor) upwards): re-anchor
+    // from here and take the shortest explored path instead of
+    // returning to the root first.
+    const NodeId anchor = reanchor(view, i);
+    if (anchor != kInvalidNode && anchor != pos) {
+      const NodeId previous = anchors_[idx];
+      set_anchor(idx, anchor);
+      modes_[idx] = Mode::kOutbound;
+      inactive_[idx] = 0;
+      rebuild_path(idx, anchor, view);
+      selector.note_reanchor(view.depth(anchor));
+      if (previous != anchor) {
+        selector.note_reanchor_switch(view.depth(anchor));
+      }
+      if (view.is_ancestor_or_self(pos, anchor)) {
         selector.move_down(
             i, paths_[idx][static_cast<std::size_t>(view.depth(pos)) + 1]);
-        continue;
       } else {
-        // Only reachable in the shortcut ablation: climb to the LCA
-        // first, then the ancestor branch above descends.
         selector.move_up(i);
-        continue;
       }
+      return;
     }
+    // Nothing open anywhere: fall through and climb home.
+  }
+  selector.move_up(i);
+}
 
-    // Procedure DN: dangling-and-unselected edge if any, else up.
-    if (selector.try_take_dangling(i) != kInvalidNode) continue;
-    if (options_.shortcut_reanchor && pos == anchors_[idx] &&
-        pos != view.root()) {
-      // Excursion over (about to leave T(anchor) upwards): re-anchor
-      // from here and take the shortest explored path instead of
-      // returning to the root first.
-      const NodeId anchor = reanchor(view, i);
-      if (anchor != kInvalidNode && anchor != pos) {
-        const NodeId previous = anchors_[idx];
-        set_anchor(idx, anchor);
-        modes_[idx] = Mode::kOutbound;
-        inactive_[idx] = 0;
-        rebuild_path(idx, anchor, view);
-        selector.note_reanchor(view.depth(anchor));
-        if (previous != anchor) {
-          selector.note_reanchor_switch(view.depth(anchor));
-        }
-        if (view.is_ancestor_or_self(pos, anchor)) {
-          selector.move_down(
-              i, paths_[idx][static_cast<std::size_t>(view.depth(pos)) + 1]);
-        } else {
-          selector.move_up(i);
-        }
-        continue;
-      }
-      // Nothing open anywhere: fall through and climb home.
+TransitCapability BfdnAlgorithm::transit_capability() const {
+  // The shortcut ablation re-anchors the moment an excursion ends —
+  // i.e. in the middle of what the planner below would commit as an
+  // uninterrupted return climb — so it cannot expose segments.
+  return options_.shortcut_reanchor ? TransitCapability::kStepOnly
+                                    : TransitCapability::kCommittedSegments;
+}
+
+void BfdnAlgorithm::plan_transit(const ExplorationView& view,
+                                 std::int32_t robot, TransitPlan& plan) {
+  const std::size_t idx = static_cast<std::size_t>(robot);
+  const NodeId pos = view.robot_pos(robot);
+
+  if (inactive_[idx] != 0) {
+    // Depth-cap parking (BFDN_1's "inactive" robots): reanchor returned
+    // kInvalidNode because min_open_depth exceeded the cap (or nothing
+    // is open), and min_open_depth never decreases — dangling counts
+    // only shrink and a newly opened node is a child of a node that was
+    // already open — so every future reanchor fails too and the robot
+    // selects ⊥ forever.
+    plan.kind = TransitPlan::Kind::kStayForever;
+    return;
+  }
+  if (pos == view.root()) {
+    // Next selection is a Reanchor decision — by definition an event.
+    plan.kind = TransitPlan::Kind::kEvent;
+    return;
+  }
+  if (modes_[idx] == Mode::kOutbound) {
+    const NodeId anchor = anchors_[idx];
+    if (!view.is_ancestor_or_self(pos, anchor)) {
+      plan.kind = TransitPlan::Kind::kEvent;  // shortcut-only climb;
+      return;                                 // unreachable (step-only)
     }
-    selector.move_up(i);
+    // Procedure BF, whole descent: the root -> anchor path is committed
+    // at reanchor time and consists of explored edges only, so no
+    // concurrent discovery can change any step of it. Arrival at the
+    // anchor (possibly zero steps away) is the event: the first DN
+    // decision reads the anchor's live dangling state.
+    plan.kind = TransitPlan::Kind::kWalk;
+    const auto from = static_cast<std::size_t>(view.depth(pos)) + 1;
+    const auto to = static_cast<std::size_t>(view.depth(anchor));
+    for (std::size_t d = from; d <= to; ++d) {
+      plan.path.push_back(paths_[idx][d]);
+    }
+    return;
+  }
+  // Procedure DN. A node with an unexplored child edge means the next
+  // selection is a try_take_dangling that may win or lose against other
+  // robots' reservations — an event.
+  if (view.has_unexplored_child_edge(pos)) {
+    plan.kind = TransitPlan::Kind::kEvent;
+    return;
+  }
+  // Return climb: DN moves up until the first ancestor that still has
+  // an unexplored child edge (or the root, where Reanchor runs).
+  // Committed because dangling counts only decrease: an ancestor with
+  // none now has none when the robot passes it. An ancestor that HAS
+  // one now may lose it before arrival — arrival is therefore an event
+  // round running the real try_take_dangling, which falls back to
+  // another up-move if the edges are gone.
+  plan.kind = TransitPlan::Kind::kWalk;
+  NodeId cur = pos;
+  while (cur != view.root()) {
+    cur = view.parent(cur);
+    plan.path.push_back(cur);
+    if (view.has_unexplored_child_edge(cur)) break;
   }
 }
 

@@ -74,6 +74,19 @@ class BfdnAlgorithm : public Algorithm {
                     MoveSelector& selector) override;
   std::vector<NodeId> anchors() const override;
 
+  /// Fast-forward support. Every BFDN decision depends only on shared
+  /// exploration state and the robot's own (mode, anchor, path), so BF
+  /// descents and DN return climbs are committed segments. The shortcut
+  /// ablation re-anchors mid-climb when passing the anchor — a decision
+  /// point inside what would otherwise be a committed walk — so it
+  /// stays step-only.
+  TransitCapability transit_capability() const override;
+  void plan_transit(const ExplorationView& view, std::int32_t robot,
+                    TransitPlan& plan) override;
+  void select_moves_subset(const ExplorationView& view,
+                           MoveSelector& selector,
+                           const std::vector<std::int32_t>& robots) override;
+
   /// Robots currently anchored at the root because the depth cap left
   /// them nothing to do ("inactive" in Section 5's terms).
   std::int32_t num_inactive() const;
@@ -116,6 +129,12 @@ class BfdnAlgorithm : public Algorithm {
 
   void rebuild_path(std::size_t robot, NodeId anchor,
                     const ExplorationView& view);
+
+  /// One robot's turn of the sequential selection loop; shared by
+  /// select_moves and select_moves_subset so both modes run the exact
+  /// same decision code.
+  void select_one(const ExplorationView& view, MoveSelector& selector,
+                  std::int32_t robot);
 };
 
 }  // namespace bfdn

@@ -52,6 +52,13 @@ class BfdnEllAlgorithm : public Algorithm {
   void begin(const ExplorationView& view) override;
   void select_moves(const ExplorationView& view,
                     MoveSelector& selector) override;
+  /// Step-only: the recursive instance tree synchronizes robot groups
+  /// through per-phase barriers (active counts across whole subtrees of
+  /// instances), so robots' future moves depend on when *other* robots
+  /// reach their barriers — no per-robot committed segment exists.
+  TransitCapability transit_capability() const override {
+    return TransitCapability::kStepOnly;
+  }
 
   std::int32_t ell() const { return ell_; }
   /// floor(k^{1/l})^l robots actually used.

@@ -112,6 +112,21 @@ void Algorithm::begin(const ExplorationView&) {}
 bool Algorithm::finished(const ExplorationView&) const { return false; }
 std::vector<NodeId> Algorithm::anchors() const { return {}; }
 
+TransitCapability Algorithm::transit_capability() const {
+  return TransitCapability::kStepOnly;
+}
+
+void Algorithm::plan_transit(const ExplorationView&, std::int32_t,
+                             TransitPlan&) {
+  BFDN_CHECK(false, "plan_transit called on a step-only algorithm");
+}
+
+void Algorithm::select_moves_subset(const ExplorationView&, MoveSelector&,
+                                    const std::vector<std::int32_t>&) {
+  BFDN_CHECK(false,
+             "select_moves_subset called on a step-only algorithm");
+}
+
 // Engine-private access to MoveSelector internals.
 struct EngineAccess {
   static const std::vector<MoveSelector::Pending>& pending(
@@ -154,26 +169,10 @@ void check_open_node_coverage(const Tree& tree,
   }
 }
 
-}  // namespace
-
-RunResult run_exploration(const Tree& tree, Algorithm& algorithm,
-                          const RunConfig& config) {
-  BFDN_REQUIRE(config.num_robots >= 1, "need at least one robot");
-  BFDN_REQUIRE(config.schedule == nullptr || config.reactive == nullptr,
-               "schedule and reactive adversary are mutually exclusive");
-  ExplorationState state(tree, config.num_robots);
-  const std::int64_t max_rounds =
-      config.max_rounds > 0
-          ? config.max_rounds
-          : 3 * static_cast<std::int64_t>(std::max(tree.depth(), 1)) *
-                    tree.num_nodes() +
-                4 * tree.num_nodes() + 4 * tree.depth() + 64;
-
-  RunResult result;
-  result.robot_moves.assign(static_cast<std::size_t>(config.num_robots), 0);
-  // Per-depth discovery accounting for the completion timeline.
-  std::vector<std::int64_t> unexplored_at_depth(
-      static_cast<std::size_t>(tree.depth()) + 1, 0);
+/// Shared result/accounting setup for both engine modes.
+void init_depth_accounting(const Tree& tree, RunResult& result,
+                           std::vector<std::int64_t>& unexplored_at_depth) {
+  unexplored_at_depth.assign(static_cast<std::size_t>(tree.depth()) + 1, 0);
   for (NodeId v = 1; v < tree.num_nodes(); ++v) {
     ++unexplored_at_depth[static_cast<std::size_t>(tree.depth(v))];
   }
@@ -186,6 +185,278 @@ RunResult run_exploration(const Tree& tree, Algorithm& algorithm,
                                             // in a tree, but cheap)
     }
   }
+}
+
+/// Flushes the selector's per-depth reanchor counters into the result
+/// histograms (identical in both engine modes).
+void flush_reanchor_counts(const MoveSelector& selector, RunResult& result) {
+  const std::vector<std::uint64_t>& reanchors =
+      EngineAccess::reanchors(selector);
+  for (std::size_t depth = 0; depth < reanchors.size(); ++depth) {
+    if (reanchors[depth] == 0) continue;
+    result.reanchors_by_depth.add(static_cast<std::int64_t>(depth),
+                                  reanchors[depth]);
+    result.total_reanchors += static_cast<std::int64_t>(reanchors[depth]);
+  }
+  const std::vector<std::uint64_t>& switches =
+      EngineAccess::reanchor_switches(selector);
+  for (std::size_t depth = 0; depth < switches.size(); ++depth) {
+    if (switches[depth] == 0) continue;
+    result.reanchor_switches_by_depth.add(static_cast<std::int64_t>(depth),
+                                          switches[depth]);
+    result.total_reanchor_switches +=
+        static_cast<std::int64_t>(switches[depth]);
+  }
+}
+
+/// Event-driven fast-forward loop. Robots alternate between "event
+/// rounds", where they run the algorithm's real selection logic, and
+/// committed walks (TransitPlan::kWalk), which the engine executes in
+/// one batch the moment they are planned: the robot's position, the
+/// first-traversal flags and its move counter advance over the whole
+/// segment, and the robot is parked until its wake round. Because a
+/// committed-segment algorithm decides each robot's move from shared
+/// exploration state plus that robot's own private state only, and
+/// transit moves touch no shared state another robot's decision reads
+/// (traversal flags are write-only bookkeeping; dangling counts only
+/// ever decrease), executing the walk eagerly is indistinguishable from
+/// interleaving it with the other robots' rounds — the stepped engine
+/// would produce exactly the same moves. The round counter advances
+/// analytically over the gaps between events; every accounting rule
+/// below mirrors one line of the stepped loop (see docs/MODEL.md).
+RunResult run_fast_forward(const Tree& tree, Algorithm& algorithm,
+                           const RunConfig& config,
+                           std::int64_t max_rounds) {
+  const std::int32_t k = config.num_robots;
+  ExplorationState state(tree, k);
+  RunResult result;
+  result.robot_moves.assign(static_cast<std::size_t>(k), 0);
+  std::vector<std::int64_t> unexplored_at_depth;
+  init_depth_accounting(tree, result, unexplored_at_depth);
+
+  const std::vector<char> movable(static_cast<std::size_t>(k), 1);
+  ExplorationView view(state, movable);
+  algorithm.begin(view);
+  MoveSelector selector(state, movable);
+
+  // wake[i]: next round in which robot i runs selection; parked robots
+  // (kStayForever, or walks capped by the round limit) get the sentinel
+  // max_rounds + 1 and never wake. All robots start awake at round 1.
+  std::vector<std::int64_t> wake(static_cast<std::size_t>(k), 1);
+  std::vector<char> parked(static_cast<std::size_t>(k), 0);
+  std::int64_t num_parked = 0;
+  std::vector<std::int32_t> woken;
+  woken.reserve(static_cast<std::size_t>(k));
+  TransitPlan plan;  // reused; path keeps its capacity across events
+
+  for (;;) {
+    // Next event round: the earliest wake among non-parked robots.
+    std::int64_t event_round = max_rounds + 1;
+    for (std::int32_t i = 0; i < k; ++i) {
+      if (!parked[static_cast<std::size_t>(i)]) {
+        event_round = std::min(event_round, wake[static_cast<std::size_t>(i)]);
+      }
+    }
+
+    // Gap rounds (result.rounds, event_round): every non-parked robot is
+    // mid-walk and moves in each of them, so they all count; parked
+    // robots stay, which is exactly the stepped loop's idle accounting.
+    const std::int64_t gap_end = std::min(event_round - 1, max_rounds);
+    if (gap_end > result.rounds) {
+      const std::int64_t gap = gap_end - result.rounds;
+      if (num_parked > 0) {
+        result.rounds_with_idle += gap;
+        result.idle_robot_rounds += gap * num_parked;
+      }
+      result.rounds = gap_end;
+    }
+    if (event_round > max_rounds) {
+      // Either all robots are parked forever (stepped: the next round is
+      // all-stay or past the limit) or every remaining walk was capped
+      // at the limit; hit_round_limit is derived below.
+      break;
+    }
+
+    if (algorithm.finished(view)) break;
+
+    woken.clear();
+    for (std::int32_t i = 0; i < k; ++i) {
+      if (!parked[static_cast<std::size_t>(i)] &&
+          wake[static_cast<std::size_t>(i)] == event_round) {
+        woken.push_back(i);
+      }
+    }
+
+    // Selection, restricted to the woken robots; everyone else is
+    // mid-walk (their move this round was already executed) or parked.
+    selector.reset();
+    algorithm.select_moves_subset(view, selector, woken);
+    const std::vector<MoveSelector::Pending>& pending =
+        EngineAccess::pending(selector);
+
+    bool any_move = false;
+    for (std::int32_t i : woken) {
+      const auto kind = pending[static_cast<std::size_t>(i)].kind;
+      if (kind == MoveSelector::Kind::kUp ||
+          kind == MoveSelector::Kind::kDownExplored ||
+          kind == MoveSelector::Kind::kDownDangling) {
+        any_move = true;
+        break;
+      }
+    }
+    if (!any_move) {
+      // A mid-walk robot (wake beyond this round) still moves this
+      // round; only if nobody moves is this Algorithm 1's terminal
+      // all-stay round, which is not counted.
+      bool walker_moving = false;
+      for (std::int32_t i = 0; i < k; ++i) {
+        if (!parked[static_cast<std::size_t>(i)] &&
+            wake[static_cast<std::size_t>(i)] > event_round) {
+          walker_moving = true;
+          break;
+        }
+      }
+      if (!walker_moving) break;
+    }
+
+    // Synchronous MOVE for the woken robots (mid-walk robots' moves for
+    // this round were executed when their walk was planned).
+    std::int64_t idle_movable = 0;
+    for (std::int32_t i : woken) {
+      const auto& p = pending[static_cast<std::size_t>(i)];
+      const NodeId pos = state.robot_pos(i);
+      switch (p.kind) {
+        case MoveSelector::Kind::kNone:
+        case MoveSelector::Kind::kStay:
+          ++idle_movable;
+          break;
+        case MoveSelector::Kind::kUp:
+          BFDN_CHECK(p.target == pos, "stale up-move");
+          state.set_robot_pos(i, tree.parent(pos));
+          state.record_traversal(pos, /*downward=*/false);
+          ++result.robot_moves[static_cast<std::size_t>(i)];
+          break;
+        case MoveSelector::Kind::kDownExplored:
+          state.set_robot_pos(i, p.target);
+          state.record_traversal(p.target, /*downward=*/true);
+          ++result.robot_moves[static_cast<std::size_t>(i)];
+          break;
+        case MoveSelector::Kind::kDownDangling: {
+          if (!state.is_explored(p.target)) {
+            state.commit_dangling(pos, p.target);
+            const auto d = static_cast<std::size_t>(tree.depth(p.target));
+            if (--unexplored_at_depth[d] == 0) {
+              result.depth_completed_round[d] = result.rounds + 1;
+            }
+          }
+          state.set_robot_pos(i, p.target);
+          state.record_traversal(p.target, /*downward=*/true);
+          ++result.robot_moves[static_cast<std::size_t>(i)];
+          break;
+        }
+      }
+    }
+    result.rounds = event_round;
+    idle_movable += num_parked;
+    if (idle_movable > 0) {
+      ++result.rounds_with_idle;
+      result.idle_robot_rounds += idle_movable;
+    }
+    flush_reanchor_counts(selector, result);
+
+    // Re-plan every woken robot from the post-MOVE state and execute
+    // committed walks immediately; the walk's steps occupy rounds
+    // event_round + 1 .. event_round + len.
+    for (std::int32_t i : woken) {
+      plan.kind = TransitPlan::Kind::kEvent;
+      plan.path.clear();
+      algorithm.plan_transit(view, i, plan);
+      switch (plan.kind) {
+        case TransitPlan::Kind::kStayForever:
+          parked[static_cast<std::size_t>(i)] = 1;
+          ++num_parked;
+          break;
+        case TransitPlan::Kind::kEvent:
+          wake[static_cast<std::size_t>(i)] = event_round + 1;
+          break;
+        case TransitPlan::Kind::kWalk: {
+          const auto full_len =
+              static_cast<std::int64_t>(plan.path.size());
+          const std::int64_t len =
+              std::min(full_len, max_rounds - event_round);
+          NodeId cur = state.robot_pos(i);
+          for (std::int64_t s = 0; s < len; ++s) {
+            const NodeId next = plan.path[static_cast<std::size_t>(s)];
+            if (cur != tree.root() && next == tree.parent(cur)) {
+              state.record_traversal(cur, /*downward=*/false);
+            } else {
+              BFDN_CHECK(tree.parent(next) == cur && state.is_explored(next),
+                         "committed walk step is not an up-move or an "
+                         "explored down-move");
+              state.record_traversal(next, /*downward=*/true);
+            }
+            cur = next;
+          }
+          state.set_robot_pos(i, cur);
+          result.robot_moves[static_cast<std::size_t>(i)] += len;
+          // A limit-capped walk parks the robot just past the horizon.
+          wake[static_cast<std::size_t>(i)] =
+              len < full_len ? max_rounds + 1 : event_round + len + 1;
+          break;
+        }
+      }
+    }
+  }
+
+  // The stepped loop flags the limit whenever it executes max_rounds
+  // rounds without an earlier break (its limit check precedes the
+  // round's all-stay test).
+  if (result.rounds >= max_rounds) result.hit_round_limit = true;
+  result.complete = state.num_explored_nodes() == tree.num_nodes();
+  result.edge_events = state.edge_events();
+  result.all_at_root = true;
+  for (std::int32_t i = 0; i < k; ++i) {
+    if (state.robot_pos(i) != tree.root()) {
+      result.all_at_root = false;
+      break;
+    }
+  }
+  result.final_state_hash = state.state_hash();
+  return result;
+}
+
+}  // namespace
+
+RunResult run_exploration(const Tree& tree, Algorithm& algorithm,
+                          const RunConfig& config) {
+  BFDN_REQUIRE(config.num_robots >= 1, "need at least one robot");
+  BFDN_REQUIRE(config.schedule == nullptr || config.reactive == nullptr,
+               "schedule and reactive adversary are mutually exclusive");
+  const std::int64_t max_rounds =
+      config.max_rounds > 0
+          ? config.max_rounds
+          : 3 * static_cast<std::int64_t>(std::max(tree.depth(), 1)) *
+                    tree.num_nodes() +
+                4 * tree.num_nodes() + 4 * tree.depth() + 64;
+
+  // Fast-forward needs committed-segment hints from the algorithm and
+  // is incompatible with anything that must see (or perturb) every
+  // round: per-round hooks and adversaries force the stepped loop.
+  const bool use_fast_forward =
+      config.fast_forward && config.schedule == nullptr &&
+      config.reactive == nullptr && config.trace == nullptr &&
+      config.observer == nullptr && !config.check_invariants &&
+      algorithm.transit_capability() == TransitCapability::kCommittedSegments;
+  if (use_fast_forward) {
+    return run_fast_forward(tree, algorithm, config, max_rounds);
+  }
+
+  ExplorationState state(tree, config.num_robots);
+  RunResult result;
+  result.robot_moves.assign(static_cast<std::size_t>(config.num_robots), 0);
+  // Per-depth discovery accounting for the completion timeline.
+  std::vector<std::int64_t> unexplored_at_depth;
+  init_depth_accounting(tree, result, unexplored_at_depth);
 
   std::vector<char> movable(static_cast<std::size_t>(config.num_robots), 1);
   ExplorationView view(state, movable);
@@ -338,23 +609,7 @@ RunResult run_exploration(const Tree& tree, Algorithm& algorithm,
       ++result.rounds_with_idle;
       result.idle_robot_rounds += idle_movable;
     }
-    const std::vector<std::uint64_t>& reanchors =
-        EngineAccess::reanchors(selector);
-    for (std::size_t depth = 0; depth < reanchors.size(); ++depth) {
-      if (reanchors[depth] == 0) continue;
-      result.reanchors_by_depth.add(static_cast<std::int64_t>(depth),
-                                    reanchors[depth]);
-      result.total_reanchors += static_cast<std::int64_t>(reanchors[depth]);
-    }
-    const std::vector<std::uint64_t>& switches =
-        EngineAccess::reanchor_switches(selector);
-    for (std::size_t depth = 0; depth < switches.size(); ++depth) {
-      if (switches[depth] == 0) continue;
-      result.reanchor_switches_by_depth.add(
-          static_cast<std::int64_t>(depth), switches[depth]);
-      result.total_reanchor_switches +=
-          static_cast<std::int64_t>(switches[depth]);
-    }
+    flush_reanchor_counts(selector, result);
 
     if (config.trace != nullptr) {
       TraceFrame frame;
@@ -384,6 +639,7 @@ RunResult run_exploration(const Tree& tree, Algorithm& algorithm,
       break;
     }
   }
+  result.final_state_hash = state.state_hash();
   return result;
 }
 

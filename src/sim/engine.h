@@ -124,6 +124,34 @@ class MoveSelector {
   std::vector<std::uint64_t> reanchor_switch_counts_;
 };
 
+/// Whether an algorithm can expose per-robot committed transit segments
+/// to the engine's fast-forward mode (see TransitPlan). kStepOnly
+/// algorithms are always simulated round by round.
+enum class TransitCapability : std::uint8_t {
+  kStepOnly,
+  kCommittedSegments,
+};
+
+/// One robot's committed plan between two of its decision points
+/// ("events"), produced by Algorithm::plan_transit right after the
+/// robot's move in an event round:
+///  - kEvent: the robot's very next selection depends on shared state
+///    (it may reanchor, take a dangling edge, ...); wake it next round.
+///  - kWalk: the robot will deterministically traverse `path` (one node
+///    per round, each step an up-move to the parent or a down-move along
+///    an already-explored edge), then needs a fresh selection on the
+///    round after arrival. An empty path is equivalent to kEvent.
+///  - kStayForever: the robot selects stay (the paper's ⊥) in every
+///    remaining round of the run, no matter how the state evolves.
+/// The contract is that replaying the stepped engine would produce
+/// exactly these moves; see docs/MODEL.md ("Fast-forward") for the
+/// obligations this places on the algorithm.
+struct TransitPlan {
+  enum class Kind : std::uint8_t { kEvent, kWalk, kStayForever };
+  Kind kind = Kind::kEvent;
+  std::vector<NodeId> path;  // kWalk only; nodes visited, in order
+};
+
 /// A collaborative exploration algorithm in the complete-communication
 /// model. Implementations keep their own per-robot state across rounds.
 class Algorithm {
@@ -150,6 +178,33 @@ class Algorithm {
   /// used by the optional Claim-4 invariant checker. Empty = not
   /// anchor-based.
   virtual std::vector<NodeId> anchors() const;
+
+  /// Opt-in to the engine's fast-forward mode. Default: kStepOnly.
+  /// Implementations returning kCommittedSegments must also override
+  /// plan_transit and select_moves_subset, must not override finished(),
+  /// and their select_moves must decide each robot's move from shared
+  /// exploration state plus that robot's own private state only (never
+  /// from another robot's position) — the fast-forward engine advances
+  /// robots out of lockstep between events.
+  virtual TransitCapability transit_capability() const;
+
+  /// Fast-forward planning hook, called for robot `robot` immediately
+  /// after its move in an event round (post-MOVE state). Fills `plan`
+  /// (cleared by the engine beforehand) with the robot's committed
+  /// segment. Only called when transit_capability() is
+  /// kCommittedSegments.
+  virtual void plan_transit(const ExplorationView& view, std::int32_t robot,
+                            TransitPlan& plan);
+
+  /// Like select_moves but only for the given robots (ascending robot
+  /// indices); all other robots are mid-walk or parked and make no
+  /// selection. Must behave exactly as select_moves restricted to
+  /// `robots` — in particular dangling-edge reservation order follows
+  /// the given index order, preserving Claim 2. Only called when
+  /// transit_capability() is kCommittedSegments.
+  virtual void select_moves_subset(const ExplorationView& view,
+                                   MoveSelector& selector,
+                                   const std::vector<std::int32_t>& robots);
 };
 
 struct TraceFrame {
@@ -182,6 +237,13 @@ struct RunConfig {
   std::vector<TraceFrame>* trace = nullptr;
   /// If non-null, called after every counted round (verification hook).
   RoundObserver* observer = nullptr;
+  /// Event-driven fast-forward: between events the engine executes each
+  /// robot's committed walk in one batched update instead of stepping
+  /// every round. Results are identical to the stepped engine. Auto-
+  /// disabled (falls back to stepping) when the algorithm is step-only,
+  /// an observer/trace/invariant-checker needs per-round state, or a
+  /// break-down schedule / reactive adversary can interrupt transits.
+  bool fast_forward = true;
 };
 
 struct RunResult {
@@ -213,6 +275,10 @@ struct RunResult {
   /// BFDN's breadth-first re-anchoring makes this strictly increasing
   /// and front-loaded; depth-first swarms fill it almost all at once.
   std::vector<std::int64_t> depth_completed_round;
+  /// Digest of the final ExplorationState (positions, per-edge traversal
+  /// flags, counters); lets differential checks compare end states of
+  /// two runs without attaching an observer.
+  std::uint64_t final_state_hash = 0;
 };
 
 /// Runs `algorithm` on `tree` until termination (see RunConfig).

@@ -40,6 +40,12 @@ void ThreadPool::submit(std::function<void()> job) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_exception_ != nullptr) {
+    std::exception_ptr error = first_exception_;
+    first_exception_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -56,9 +62,17 @@ void ThreadPool::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop();
     }
-    job();
+    std::exception_ptr error;
+    try {
+      job();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      if (error != nullptr && first_exception_ == nullptr) {
+        first_exception_ = error;
+      }
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }

@@ -9,6 +9,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -30,10 +31,14 @@ class ThreadPool {
     return static_cast<std::int32_t>(workers_.size());
   }
 
-  /// Enqueues a job. Jobs must not throw; a throwing job terminates.
+  /// Enqueues a job. A throwing job does not terminate the process: the
+  /// first exception any job throws is captured and rethrown from the
+  /// next wait_idle() call (later exceptions are dropped).
   void submit(std::function<void()> job);
 
-  /// Blocks until every submitted job has finished.
+  /// Blocks until every submitted job has finished, then rethrows the
+  /// first exception a job threw since the last wait_idle() (if any);
+  /// the stored exception is cleared, so the pool stays usable.
   void wait_idle();
 
  private:
@@ -45,6 +50,7 @@ class ThreadPool {
   std::queue<std::function<void()>> queue_;
   std::int64_t in_flight_ = 0;
   bool shutting_down_ = false;
+  std::exception_ptr first_exception_;
   std::vector<std::thread> workers_;
 };
 

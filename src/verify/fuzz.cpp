@@ -5,11 +5,14 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
+#include <mutex>
 
 #include "graph/generators.h"
 #include "graph/tree_io.h"
 #include "support/check.h"
 #include "support/strings.h"
+#include "support/thread_pool.h"
 #include "verify/trace.h"
 
 namespace bfdn {
@@ -190,6 +193,61 @@ Tree build_fuzz_case(const FuzzOptions& options, std::int32_t case_index,
   return std::move(sampled.tree);
 }
 
+namespace {
+
+/// A failure observed during evaluation, before shrinking. Shrinking
+/// and artifact writing happen after the scan so the parallel path can
+/// pick the lowest index deterministically first.
+struct RawFailure {
+  std::int32_t index = 0;
+  std::string recipe;
+  OracleCheck check = OracleCheck::kBfdnRun;
+  std::string detail;
+};
+
+/// Rebuilds a failing case (pure in (seed, index)), shrinks it and
+/// writes the artifacts. Shared by the sequential and parallel paths.
+FuzzCounterexample finalize_counterexample(const FuzzOptions& options,
+                                           const RawFailure& raw) {
+  OracleConfig config;
+  const Tree tree = build_fuzz_case(options, raw.index, nullptr, &config);
+  // Aggregate-initialized because ShrinkResult (holding a Tree) has no
+  // default construction.
+  FuzzCounterexample cex{raw.index,        raw.recipe,
+                         raw.check,        raw.detail,
+                         tree.num_nodes(), shrink(tree, config, raw.check),
+                         "",               ""};
+
+  if (!options.artifact_dir.empty()) {
+    const std::string stem =
+        options.artifact_dir + "/case-" + std::to_string(raw.index);
+    // Trace of the shrunk instance's primary BFDN run: replayable
+    // bit-exact reproduction of the minimized failure.
+    AlgoSpec algo;
+    algo.kind = AlgoKind::kBfdn;
+    algo.k = cex.shrunk.config.k;
+    algo.options = cex.shrunk.config.bfdn;
+    cex.trace_path = stem + ".trace";
+    record_trace(cex.shrunk.tree, algo, cex.trace_path,
+                 cex.shrunk.config.schedule);
+    cex.recipe_path = stem + ".txt";
+    const std::string body = str_format(
+        "# bfdn_fuzz counterexample\n# %s\n# check=%s\n# %s\n"
+        "# shrunk: n=%lld k=%d (%d reductions, %d probes)\n%s",
+        raw.recipe.c_str(), oracle_check_name(cex.check),
+        cex.detail.c_str(),
+        static_cast<long long>(cex.shrunk.tree.num_nodes()),
+        cex.shrunk.config.k, cex.shrunk.accepted_reductions,
+        cex.shrunk.probes, tree_to_text(cex.shrunk.tree).c_str());
+    std::ofstream out(cex.recipe_path);
+    BFDN_REQUIRE(out.good(), "cannot open fuzz recipe file");
+    out << body;
+  }
+  return cex;
+}
+
+}  // namespace
+
 FuzzReport run_fuzz(const FuzzOptions& options) {
   const auto start = std::chrono::steady_clock::now();
   const auto elapsed_s = [&start] {
@@ -203,57 +261,88 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
     std::filesystem::create_directories(options.artifact_dir);
   }
 
-  for (std::int32_t index = 0;; ++index) {
-    if (options.max_cases > 0 && index >= options.max_cases) break;
-    if (index > 0 && elapsed_s() >= options.budget_s) break;
+  std::vector<RawFailure> raw_failures;
 
-    std::string recipe;
-    OracleConfig config;
-    const Tree tree = build_fuzz_case(options, index, &recipe, &config);
-    const OracleReport oracle = run_oracle(tree, config);
-    ++report.cases_run;
-    if (options.verbose) {
-      std::fprintf(stderr, "[fuzz] %s rounds=%lld %s\n", recipe.c_str(),
-                   static_cast<long long>(oracle.bfdn_rounds),
-                   oracle.ok() ? "ok" : oracle.summary().c_str());
+  if (options.jobs <= 1) {
+    for (std::int32_t index = 0;; ++index) {
+      if (options.max_cases > 0 && index >= options.max_cases) break;
+      if (index > 0 && elapsed_s() >= options.budget_s) break;
+
+      std::string recipe;
+      OracleConfig config;
+      const Tree tree = build_fuzz_case(options, index, &recipe, &config);
+      const OracleReport oracle = run_oracle(tree, config);
+      ++report.cases_run;
+      if (options.verbose) {
+        std::fprintf(stderr, "[fuzz] %s rounds=%lld %s\n", recipe.c_str(),
+                     static_cast<long long>(oracle.bfdn_rounds),
+                     oracle.ok() ? "ok" : oracle.summary().c_str());
+      }
+      if (oracle.ok()) continue;
+      raw_failures.push_back({index, std::move(recipe),
+                              oracle.failures.front().check,
+                              oracle.summary()});
+      if (options.stop_on_failure) break;
     }
-    if (oracle.ok()) continue;
-
-    const OracleCheck check = oracle.failures.front().check;
-    // Aggregate-initialized because ShrinkResult (holding a Tree) has no
-    // default construction.
-    FuzzCounterexample cex{index,           recipe,
-                           check,           oracle.summary(),
-                           tree.num_nodes(), shrink(tree, config, check),
-                           "",              ""};
-
-    if (!options.artifact_dir.empty()) {
-      const std::string stem =
-          options.artifact_dir + "/case-" + std::to_string(index);
-      // Trace of the shrunk instance's primary BFDN run: replayable
-      // bit-exact reproduction of the minimized failure.
-      AlgoSpec algo;
-      algo.kind = AlgoKind::kBfdn;
-      algo.k = cex.shrunk.config.k;
-      algo.options = cex.shrunk.config.bfdn;
-      cex.trace_path = stem + ".trace";
-      record_trace(cex.shrunk.tree, algo, cex.trace_path,
-                   cex.shrunk.config.schedule);
-      cex.recipe_path = stem + ".txt";
-      const std::string body = str_format(
-          "# bfdn_fuzz counterexample\n# %s\n# check=%s\n# %s\n"
-          "# shrunk: n=%lld k=%d (%d reductions, %d probes)\n%s",
-          recipe.c_str(), oracle_check_name(cex.check), cex.detail.c_str(),
-          static_cast<long long>(cex.shrunk.tree.num_nodes()),
-          cex.shrunk.config.k, cex.shrunk.accepted_reductions,
-          cex.shrunk.probes, tree_to_text(cex.shrunk.tree).c_str());
-      std::ofstream out(cex.recipe_path);
-      BFDN_REQUIRE(out.good(), "cannot open fuzz recipe file");
-      out << body;
+  } else {
+    // Parallel scan. Workers claim ascending indices under the lock and
+    // evaluate them outside it. Under stop_on_failure no index above
+    // the current minimum failing index is claimed once one is known,
+    // but already-claimed lower indices always finish — so the minimum
+    // over raw_failures equals the index the sequential scan stops at.
+    ThreadPool pool(options.jobs);
+    std::mutex mutex;
+    std::int32_t next_index = 0;
+    std::int32_t lowest_failure = std::numeric_limits<std::int32_t>::max();
+    const auto worker = [&] {
+      for (;;) {
+        std::int32_t index;
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          if (options.max_cases > 0 && next_index >= options.max_cases) {
+            return;
+          }
+          if (next_index > 0 && elapsed_s() >= options.budget_s) return;
+          if (options.stop_on_failure && next_index > lowest_failure) {
+            return;
+          }
+          index = next_index++;
+        }
+        std::string recipe;
+        OracleConfig config;
+        const Tree tree = build_fuzz_case(options, index, &recipe, &config);
+        const OracleReport oracle = run_oracle(tree, config);
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          ++report.cases_run;
+          if (options.verbose) {
+            std::fprintf(stderr, "[fuzz] %s rounds=%lld %s\n",
+                         recipe.c_str(),
+                         static_cast<long long>(oracle.bfdn_rounds),
+                         oracle.ok() ? "ok" : oracle.summary().c_str());
+          }
+          if (!oracle.ok()) {
+            lowest_failure = std::min(lowest_failure, index);
+            raw_failures.push_back({index, std::move(recipe),
+                                    oracle.failures.front().check,
+                                    oracle.summary()});
+          }
+        }
+      }
+    };
+    for (std::int32_t j = 0; j < options.jobs; ++j) pool.submit(worker);
+    pool.wait_idle();
+    std::sort(raw_failures.begin(), raw_failures.end(),
+              [](const RawFailure& a, const RawFailure& b) {
+                return a.index < b.index;
+              });
+    if (options.stop_on_failure && raw_failures.size() > 1) {
+      raw_failures.resize(1);
     }
+  }
 
-    report.counterexamples.push_back(std::move(cex));
-    if (options.stop_on_failure) break;
+  for (const RawFailure& raw : raw_failures) {
+    report.counterexamples.push_back(finalize_counterexample(options, raw));
   }
   return report;
 }

@@ -41,6 +41,14 @@ struct FuzzOptions {
   /// Stop at the first counterexample instead of fuzzing on.
   bool stop_on_failure = true;
   bool verbose = false;
+  /// Worker threads evaluating cases (<= 1 = single-threaded; 0 is
+  /// treated as 1). Cases are pure functions of (seed, index), so the
+  /// parallel run finds and shrinks the same lowest-index failure as
+  /// the single-threaded one: indices are claimed in ascending order,
+  /// every index below a failure is still evaluated, and only then is
+  /// the minimum shrunk. cases_run may exceed the single-threaded count
+  /// under stop_on_failure (in-flight higher indices still finish).
+  std::int32_t jobs = 1;
 };
 
 struct FuzzCounterexample {

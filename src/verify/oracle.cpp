@@ -27,6 +27,7 @@ const char* oracle_check_name(OracleCheck check) {
     case OracleCheck::kGraphOnTree: return "graph-on-tree";
     case OracleCheck::kBreakdown: return "breakdown";
     case OracleCheck::kEngineInvariant: return "engine-invariant";
+    case OracleCheck::kFastForward: return "fast-forward";
   }
   return "?";
 }
@@ -225,6 +226,88 @@ OracleReport run_oracle(const Tree& tree, const OracleConfig& config) {
                           primary.result.total_reanchors),
                       static_cast<long long>(
                           reference.result.total_reanchors)));
+    }
+  }
+
+  // --- fast-forward vs stepped engine (differential) ------------------
+  // The primary run above is stepped (its observer forces the stepped
+  // loop); re-running with fast-forward enabled and no hooks must
+  // reproduce every field of its RunResult. Skipped under break-down
+  // schedules, where fast-forward disables itself and the comparison
+  // would be vacuous.
+  if (!breakdown) {
+    BfdnAlgorithm algorithm(k, config.bfdn);
+    RunConfig run_config;
+    run_config.num_robots = k;
+    run_config.max_rounds = config.max_rounds;
+    run_config.fast_forward = true;
+    try {
+      const RunResult ff = run_exploration(tree, algorithm, run_config);
+      const RunResult& st = primary.result;
+      const auto mismatch = [&fail](const char* what, long long a,
+                                    long long b) {
+        fail(OracleCheck::kFastForward,
+             str_format("%s: fast-forward %lld != stepped %lld", what, a,
+                        b));
+      };
+      if (ff.rounds != st.rounds) {
+        mismatch("rounds", ff.rounds, st.rounds);
+      } else if (ff.final_state_hash != st.final_state_hash) {
+        fail(OracleCheck::kFastForward,
+             "final state hashes diverge at equal round counts");
+      }
+      if (ff.complete != st.complete) {
+        mismatch("complete", ff.complete, st.complete);
+      }
+      if (ff.all_at_root != st.all_at_root) {
+        mismatch("all_at_root", ff.all_at_root, st.all_at_root);
+      }
+      if (ff.hit_round_limit != st.hit_round_limit) {
+        mismatch("hit_round_limit", ff.hit_round_limit,
+                 st.hit_round_limit);
+      }
+      if (ff.edge_events != st.edge_events) {
+        mismatch("edge_events", ff.edge_events, st.edge_events);
+      }
+      if (ff.rounds_with_idle != st.rounds_with_idle) {
+        mismatch("rounds_with_idle", ff.rounds_with_idle,
+                 st.rounds_with_idle);
+      }
+      if (ff.idle_robot_rounds != st.idle_robot_rounds) {
+        mismatch("idle_robot_rounds", ff.idle_robot_rounds,
+                 st.idle_robot_rounds);
+      }
+      if (ff.robot_moves != st.robot_moves) {
+        fail(OracleCheck::kFastForward, "per-robot move counts diverge");
+      }
+      if (ff.total_reanchors != st.total_reanchors) {
+        mismatch("total_reanchors", ff.total_reanchors,
+                 st.total_reanchors);
+      }
+      if (ff.total_reanchor_switches != st.total_reanchor_switches) {
+        mismatch("total_reanchor_switches", ff.total_reanchor_switches,
+                 st.total_reanchor_switches);
+      }
+      if (ff.reanchors_by_depth.buckets() !=
+          st.reanchors_by_depth.buckets()) {
+        fail(OracleCheck::kFastForward,
+             str_format("reanchor histograms diverge: {%s} vs {%s}",
+                        ff.reanchors_by_depth.to_string().c_str(),
+                        st.reanchors_by_depth.to_string().c_str()));
+      }
+      if (ff.reanchor_switches_by_depth.buckets() !=
+          st.reanchor_switches_by_depth.buckets()) {
+        fail(OracleCheck::kFastForward,
+             str_format("Lemma 2 switch histograms diverge: {%s} vs {%s}",
+                        ff.reanchor_switches_by_depth.to_string().c_str(),
+                        st.reanchor_switches_by_depth.to_string().c_str()));
+      }
+      if (ff.depth_completed_round != st.depth_completed_round) {
+        fail(OracleCheck::kFastForward,
+             "depth completion timelines diverge");
+      }
+    } catch (const CheckError& error) {
+      fail(OracleCheck::kEngineInvariant, error.what());
     }
   }
 

@@ -15,6 +15,11 @@
 //    produce bit-identical executions — every round hash, every
 //    reanchor. This is the check that catches counter-maintenance bugs
 //    such as the fault_load_leak injection.
+//  * The fast-forward engine reproduces the stepped engine exactly:
+//    rounds, final-state digest, edge events, idle accounting, per-robot
+//    move counts, the reanchor and Lemma-2 switch histograms and the
+//    depth-completion timeline (skipped under break-down schedules,
+//    where fast-forward disables itself).
 //  * Write-read BFDN (Section 4.1) completes within the same Theorem 1
 //    bound (Proposition 6) and within its memory allowance.
 //  * BFDN_l completes within the Theorem 10 bound.
@@ -49,6 +54,7 @@ enum class OracleCheck : std::uint8_t {
   kGraphOnTree = 6,      // Section 4.3 degenerates to tree BFDN
   kBreakdown = 7,        // Prop. 7 work accounting under schedules
   kEngineInvariant = 8,  // a BFDN_CHECK fired inside a run
+  kFastForward = 9,      // fast-forward == stepped engine, field by field
 };
 
 const char* oracle_check_name(OracleCheck check);

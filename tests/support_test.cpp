@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <stdexcept>
 
 #include "support/check.h"
 #include "support/cli.h"
@@ -8,6 +10,7 @@
 #include "support/stats.h"
 #include "support/strings.h"
 #include "support/table.h"
+#include "support/thread_pool.h"
 
 namespace bfdn {
 namespace {
@@ -227,6 +230,46 @@ TEST(CliTest, HelpReturnsFalse) {
   CliParser cli("prog", "test");
   const char* argv[] = {"prog", "--help"};
   EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(ThreadPoolTest, RunsAllJobs) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { ++counter; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleRethrowsFirstJobException) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([&ran] {
+    ++ran;
+    throw std::runtime_error("boom");
+  });
+  pool.submit([&ran] { ++ran; });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // Every job still ran to completion (the failure did not wedge the
+  // pool), and the stored exception was consumed: the pool is reusable
+  // and a clean batch waits without throwing.
+  EXPECT_EQ(ran.load(), 2);
+  pool.submit([&ran] { ++ran; });
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPoolTest, OnlyFirstExceptionIsKept) {
+  ThreadPool pool(1);  // serial worker: deterministic "first"
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::logic_error("second"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle did not rethrow";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "first");
+  }
 }
 
 }  // namespace

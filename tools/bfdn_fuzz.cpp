@@ -26,6 +26,9 @@ int main(int argc, char** argv) {
                "fuzzer is then expected to fail)");
   cli.add_bool("keep-going", false, "do not stop at the first failure");
   cli.add_bool("verbose", false, "log every case");
+  cli.add_int("jobs", 1,
+              "worker threads; cases shard across them and the lowest-"
+              "index failure is reported either way");
 
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -45,6 +48,7 @@ int main(int argc, char** argv) {
   options.inject_load_leak = cli.get_bool("fault");
   options.stop_on_failure = !cli.get_bool("keep-going");
   options.verbose = cli.get_bool("verbose");
+  options.jobs = static_cast<std::int32_t>(cli.get_int("jobs"));
 
   try {
     const FuzzReport report = run_fuzz(options);
