@@ -20,6 +20,7 @@
 #include "graph/generators.h"
 #include "sim/engine.h"
 #include "support/cli.h"
+#include "support/json.h"
 
 namespace bfdn {
 namespace {
@@ -129,17 +130,23 @@ int run(int argc, const char* const* argv) {
     };
     const double stepped_rps = per_sec(stepped);
     const double ff_rps = per_sec(ff);
-    std::printf(
-        "%s    {\"family\": \"%s\", \"n\": %lld, \"k\": %d, "
-        "\"rounds\": %lld, \"complete\": %s,\n"
-        "     \"stepped_wall_s\": %.4f, \"stepped_rounds_per_sec\": %.1f, "
-        "\"ff_wall_s\": %.4f, \"ff_rounds_per_sec\": %.1f, "
-        "\"speedup\": %.2f}",
-        first ? "" : ",\n", config.family.c_str(),
-        static_cast<long long>(config.tree.num_nodes()), config.k,
-        static_cast<long long>(ff.result.rounds),
-        ff.result.complete ? "true" : "false", stepped.seconds, stepped_rps,
-        ff.seconds, ff_rps, stepped_rps > 0 ? ff_rps / stepped_rps : 0.0);
+    // One compact JSON object per cell, emitted as the sweep runs so a
+    // long bench shows progress; the envelope above/below makes the
+    // whole stdout one document.
+    JsonWriter cell;
+    cell.begin_object();
+    cell.kv("family", config.family);
+    cell.kv("n", config.tree.num_nodes());
+    cell.kv("k", config.k);
+    cell.kv("rounds", ff.result.rounds);
+    cell.kv("complete", ff.result.complete);
+    cell.kv("stepped_wall_s", stepped.seconds, 4);
+    cell.kv("stepped_rounds_per_sec", stepped_rps, 1);
+    cell.kv("ff_wall_s", ff.seconds, 4);
+    cell.kv("ff_rounds_per_sec", ff_rps, 1);
+    cell.kv("speedup", stepped_rps > 0 ? ff_rps / stepped_rps : 0.0, 2);
+    cell.end_object();
+    std::printf("%s    %s", first ? "" : ",\n", cell.str().c_str());
     first = false;
     std::fflush(stdout);
   }

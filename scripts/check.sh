@@ -28,4 +28,22 @@ echo "== fuzz smoke: differential oracle, fixed seed, all cores =="
 echo "== bench smoke: fast-forward vs stepped, one Release cell =="
 ./build/bench/bench_hotpath --smoke > /dev/null
 
+echo "== service smoke: serve + load mix + SIGTERM drain =="
+rm -f build/serve.port
+./build/tools/bfdn_serve --port=0 --port-file=build/serve.port \
+  --queue=32 --cache=256 > build/serve.out 2>&1 &
+SERVE_PID=$!
+tries=0
+while [ ! -s build/serve.port ]; do
+  tries=$((tries + 1))
+  [ "$tries" -le 100 ] || { echo "bfdn_serve never bound"; exit 1; }
+  sleep 0.1
+done
+# Zero protocol errors and a real hit rate, or bfdn_load exits non-zero.
+./build/tools/bfdn_load --port="$(cat build/serve.port)" \
+  --connections=4 --cold=32 --requests=200 --hot-set=8 --nodes=1500 \
+  --require-hit-rate=0.5 > /dev/null
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"   # graceful drain must exit 0
+
 echo "check.sh: all gates passed."

@@ -378,4 +378,34 @@ std::vector<NamedTree> make_tree_zoo(std::int64_t scale,
   return zoo;
 }
 
+Tree make_family_tree(const std::string& family, std::int64_t nodes,
+                      std::int32_t depth, std::int32_t arms,
+                      std::uint64_t seed) {
+  Rng rng(seed);
+  if (family == "path") return make_path(nodes);
+  if (family == "star") return make_star(nodes);
+  if (family == "binary") return make_complete_bary(2, depth);
+  if (family == "spider") {
+    return make_spider(arms, static_cast<std::int32_t>(
+                                 std::max<std::int64_t>(1, nodes / arms)));
+  }
+  if (family == "caterpillar") {
+    return make_caterpillar(
+        static_cast<std::int32_t>(
+            std::max<std::int64_t>(1, nodes / (arms + 1))),
+        arms);
+  }
+  if (family == "comb") return make_comb(arms, depth);
+  if (family == "broom") {
+    return make_broom(depth,
+                      static_cast<std::int32_t>(std::max<std::int64_t>(
+                          1, nodes - depth - 1)));
+  }
+  if (family == "cte-hard") return make_cte_hard_tree(arms, depth, rng);
+  if (family == "fixed-depth") return make_tree_with_depth(nodes, depth, rng);
+  if (family == "random") return make_random_leafy(nodes, 5, rng);
+  BFDN_REQUIRE(false, "unknown --family " + family);
+  return make_path(1);
+}
+
 }  // namespace bfdn

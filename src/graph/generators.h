@@ -85,6 +85,18 @@ Tree make_double_broom(std::int32_t top_bristles, std::int32_t handle,
 /// logarithmic size. Deep with bushy decorations all along the spine.
 Tree make_lopsided(std::int32_t depth);
 
+/// Builds a tree from the CLI / serving-protocol family vocabulary:
+/// random | path | star | binary | spider | caterpillar | comb | broom
+/// | cte-hard | fixed-depth. Parameter use matches `bfdn generate`:
+/// `nodes` where the family is sized by node count, `depth` for
+/// binary/comb/broom/fixed-depth, `arms` for legs / teeth / branching,
+/// `seed` for the randomized families. A served run and a CLI run with
+/// the same five values see bit-identical trees (tests/service_test).
+/// Throws CheckError on an unknown family name.
+Tree make_family_tree(const std::string& family, std::int64_t nodes,
+                      std::int32_t depth, std::int32_t arms,
+                      std::uint64_t seed);
+
 /// Named standard families used by test/bench sweeps.
 struct NamedTree {
   std::string name;

@@ -1,0 +1,49 @@
+#include "service/cache.h"
+
+namespace bfdn {
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::optional<std::string> ResultCache::get(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void ResultCache::put(std::uint64_t key, std::string result_json) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Deterministic runs: the stored value equals the new one. Two
+    // concurrent misses on the same key both land here; keep the first.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(result_json));
+  index_.emplace(key, lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.entries = lru_.size();
+  stats.capacity = capacity_;
+  return stats;
+}
+
+}  // namespace bfdn

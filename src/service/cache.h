@@ -1,0 +1,62 @@
+// Content-addressed result cache for the exploration service.
+//
+// Keys are request fingerprints (protocol.h: FNV/splitmix over the
+// canonicalized request); values are the serialized result objects a
+// miss produced. Because every run is deterministic, a hit can return
+// the stored bytes verbatim — byte-identical to the response the
+// original miss computed (pinned by tests/service_test.cpp). Eviction
+// is strict LRU over both get-hits and puts.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace bfdn {
+
+class ResultCache {
+ public:
+  /// capacity 0 disables caching (every get misses, puts are dropped).
+  explicit ResultCache(std::size_t capacity);
+
+  /// Returns the cached result and refreshes its recency, or
+  /// std::nullopt. Counts a hit or a miss.
+  std::optional<std::string> get(std::uint64_t key);
+
+  /// Inserts (or refreshes) an entry, evicting the least recently used
+  /// entries while over capacity. Re-putting an existing key keeps the
+  /// first value: results are deterministic, so both are identical.
+  void put(std::uint64_t key, std::string result_json);
+
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+    double hit_rate() const {
+      const std::int64_t lookups = hits + misses;
+      return lookups > 0 ? static_cast<double>(hits) /
+                               static_cast<double>(lookups)
+                         : 0.0;
+    }
+  };
+  Stats stats() const;
+
+ private:
+  using LruList = std::list<std::pair<std::uint64_t, std::string>>;
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t, LruList::iterator> index_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+  std::int64_t evictions_ = 0;
+};
+
+}  // namespace bfdn

@@ -1,0 +1,49 @@
+#include "service/client.h"
+
+#include <chrono>
+#include <thread>
+
+#include "support/check.h"
+
+namespace bfdn {
+
+ServiceClient::ServiceClient(std::uint16_t port,
+                             std::int32_t recv_timeout_ms)
+    : socket_(connect_local(port, recv_timeout_ms)) {}
+
+JsonValue ServiceClient::call(const std::string& request_line) {
+  BFDN_REQUIRE(socket_.send_all(request_line + "\n"),
+               "service client: send failed");
+  const auto line = socket_.recv_line();
+  BFDN_REQUIRE(line.has_value(),
+               "service client: connection closed before response");
+  JsonValue response;
+  std::string error;
+  BFDN_REQUIRE(json_parse(*line, response, &error),
+               "service client: bad response: " + error);
+  return response;
+}
+
+JsonValue ServiceClient::run(const ServiceRequest& request,
+                             std::int32_t max_attempts,
+                             std::int64_t* retries_out) {
+  const std::string line = serialize_request(request);
+  for (std::int32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    JsonValue response = call(line);
+    if (response.get_string("status", "") != "retry") return response;
+    if (retries_out != nullptr) ++*retries_out;
+    const std::int64_t back_off_ms =
+        response.get_int("retry_after_ms", 20);
+    std::this_thread::sleep_for(std::chrono::milliseconds(back_off_ms));
+  }
+  BFDN_REQUIRE(false, "service client: backpressure retries exhausted");
+  return JsonValue{};
+}
+
+JsonValue ServiceClient::stats() {
+  ServiceRequest request;
+  request.type = RequestType::kStats;
+  return call(serialize_request(request));
+}
+
+}  // namespace bfdn

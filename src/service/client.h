@@ -1,0 +1,41 @@
+// Client side of the exploration service protocol, shared by the
+// bfdn_load generator and the in-process tests: one connection, one
+// request line out, one response line back, parsed JSON in.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/protocol.h"
+#include "support/json.h"
+#include "support/socket.h"
+
+namespace bfdn {
+
+class ServiceClient {
+ public:
+  /// Connects to 127.0.0.1:port; throws CheckError when nothing
+  /// listens. The receive timeout guards against a hung server.
+  explicit ServiceClient(std::uint16_t port,
+                         std::int32_t recv_timeout_ms = 30000);
+
+  /// Sends one raw line and parses the response line. Throws
+  /// CheckError on transport failure or malformed response.
+  JsonValue call(const std::string& request_line);
+
+  /// Sends a run request, honoring backpressure: a "retry" response
+  /// sleeps the suggested retry_after_ms and resends, up to
+  /// max_attempts. retries_out (optional) accumulates how many retries
+  /// happened. Returns the final non-retry response.
+  JsonValue run(const ServiceRequest& request,
+                std::int32_t max_attempts = 200,
+                std::int64_t* retries_out = nullptr);
+
+  /// Fetches the server's stats object.
+  JsonValue stats();
+
+ private:
+  Socket socket_;
+};
+
+}  // namespace bfdn

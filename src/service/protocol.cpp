@@ -1,0 +1,342 @@
+#include "service/protocol.h"
+
+#include <numeric>
+
+#include "graph/generators.h"
+#include "support/check.h"
+#include "support/json.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace bfdn {
+namespace {
+
+constexpr const char* kFamilies[] = {
+    "random", "path",  "star",     "binary",      "spider",
+    "caterpillar", "comb", "broom", "cte-hard", "fixed-depth"};
+
+bool known_family(const std::string& family) {
+  for (const char* name : kFamilies) {
+    if (family == name) return true;
+  }
+  return false;
+}
+
+const char* policy_name(ReanchorPolicy policy) {
+  switch (policy) {
+    case ReanchorPolicy::kLeastLoaded: return "least-loaded";
+    case ReanchorPolicy::kRandom: return "random";
+    case ReanchorPolicy::kFirstFit: return "first-fit";
+    case ReanchorPolicy::kMostLoaded: return "most-loaded";
+  }
+  return "?";
+}
+
+bool parse_policy(const std::string& name, ReanchorPolicy& out) {
+  if (name == "least-loaded") out = ReanchorPolicy::kLeastLoaded;
+  else if (name == "random") out = ReanchorPolicy::kRandom;
+  else if (name == "first-fit") out = ReanchorPolicy::kFirstFit;
+  else if (name == "most-loaded") out = ReanchorPolicy::kMostLoaded;
+  else return false;
+  return true;
+}
+
+const char* schedule_name(ScheduleKind kind) {
+  switch (kind) {
+    case ScheduleKind::kNone: return "none";
+    case ScheduleKind::kFull: return "full";
+    case ScheduleKind::kRoundRobin: return "round-robin";
+    case ScheduleKind::kRandom: return "random";
+    case ScheduleKind::kBurst: return "burst";
+    case ScheduleKind::kRollingOutage: return "rolling-outage";
+  }
+  return "?";
+}
+
+bool parse_schedule_kind(const std::string& name, ScheduleKind& out) {
+  if (name == "none") out = ScheduleKind::kNone;
+  else if (name == "full") out = ScheduleKind::kFull;
+  else if (name == "round-robin") out = ScheduleKind::kRoundRobin;
+  else if (name == "random") out = ScheduleKind::kRandom;
+  else if (name == "burst") out = ScheduleKind::kBurst;
+  else if (name == "rolling-outage") out = ScheduleKind::kRollingOutage;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+Tree TreeRecipe::build() const {
+  return make_family_tree(family, nodes, depth, arms, seed);
+}
+
+std::string TreeRecipe::label() const {
+  return str_format("%s(nodes=%lld,depth=%d,arms=%d,seed=%llu)",
+                    family.c_str(), static_cast<long long>(nodes), depth,
+                    arms, static_cast<unsigned long long>(seed));
+}
+
+std::string algo_wire_name(const AlgoSpec& algo) {
+  switch (algo.kind) {
+    case AlgoKind::kBfdn:
+      return algo.options.shortcut_reanchor ? "bfdn-shortcut" : "bfdn";
+    case AlgoKind::kBfdnEll: return "bfdn-ell";
+    case AlgoKind::kBfsLevels: return "bfs-levels";
+    case AlgoKind::kCte: return "cte";
+    default: break;
+  }
+  BFDN_REQUIRE(false, "algo_wire_name: kind not servable");
+  return "";
+}
+
+bool parse_request(const std::string& line, ServiceRequest& out,
+                   std::string* error) {
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+
+  JsonValue doc;
+  std::string json_error;
+  if (!json_parse(line, doc, &json_error)) return fail(json_error);
+  if (!doc.is_object()) return fail("request must be a JSON object");
+
+  out = ServiceRequest{};
+  out.id = doc.get_string("id", "");
+
+  const std::string type = doc.get_string("type", "run");
+  if (type == "stats") {
+    out.type = RequestType::kStats;
+    return true;
+  }
+  if (type != "run") return fail("unknown request type: " + type);
+  out.type = RequestType::kRun;
+
+  try {
+    out.recipe.family = doc.get_string("family", out.recipe.family);
+    if (!known_family(out.recipe.family)) {
+      return fail("unknown family: " + out.recipe.family);
+    }
+    out.recipe.nodes = doc.get_int("nodes", out.recipe.nodes);
+    out.recipe.depth =
+        static_cast<std::int32_t>(doc.get_int("depth", out.recipe.depth));
+    out.recipe.arms =
+        static_cast<std::int32_t>(doc.get_int("arms", out.recipe.arms));
+    out.recipe.seed = doc.get_uint("seed", out.recipe.seed);
+    if (out.recipe.nodes < 1) return fail("nodes must be >= 1");
+    if (out.recipe.depth < 0) return fail("depth must be >= 0");
+    if (out.recipe.arms < 1) return fail("arms must be >= 1");
+
+    const std::string algo = doc.get_string("algo", "bfdn");
+    if (algo == "bfdn" || algo == "bfdn-shortcut") {
+      out.algo.kind = AlgoKind::kBfdn;
+      out.algo.options.shortcut_reanchor = algo == "bfdn-shortcut";
+      if (!parse_policy(doc.get_string("policy", "least-loaded"),
+                        out.algo.options.policy)) {
+        return fail("unknown policy: " + doc.get_string("policy", ""));
+      }
+      out.algo.options.seed =
+          doc.get_uint("algo_seed", out.algo.options.seed);
+      out.algo.options.depth_cap = static_cast<std::int32_t>(
+          doc.get_int("depth_cap", out.algo.options.depth_cap));
+    } else if (algo == "bfdn-ell" || algo == "ell2" || algo == "ell3") {
+      out.algo.kind = AlgoKind::kBfdnEll;
+      out.algo.ell = algo == "ell2"   ? 2
+                     : algo == "ell3" ? 3
+                                      : static_cast<std::int32_t>(
+                                            doc.get_int("ell", 2));
+      if (out.algo.ell < 1 || out.algo.ell > 8) {
+        return fail("ell must be in [1, 8]");
+      }
+    } else if (algo == "cte") {
+      out.algo.kind = AlgoKind::kCte;
+    } else if (algo == "bfs-levels") {
+      out.algo.kind = AlgoKind::kBfsLevels;
+    } else {
+      return fail("unknown or non-servable algo: " + algo);
+    }
+    out.algo.k = static_cast<std::int32_t>(doc.get_int("k", 1));
+    if (out.algo.k < 1 || out.algo.k > 65536) {
+      return fail("k must be in [1, 65536]");
+    }
+
+    if (!parse_schedule_kind(doc.get_string("schedule", "none"),
+                             out.schedule.kind)) {
+      return fail("unknown schedule: " + doc.get_string("schedule", ""));
+    }
+    if (out.schedule.kind != ScheduleKind::kNone) {
+      out.schedule.horizon = doc.get_int("horizon", 0);
+      if (out.schedule.horizon < 1) {
+        return fail("schedule needs horizon >= 1");
+      }
+      out.schedule.p = doc.get_double("p", out.schedule.p);
+      out.schedule.seed =
+          doc.get_uint("schedule_seed", out.schedule.seed);
+      out.schedule.period = doc.get_int("period", out.schedule.period);
+      if (out.schedule.period < 1) return fail("period must be >= 1");
+    }
+
+    out.max_rounds = doc.get_int("max_rounds", 0);
+    out.fast_forward = doc.get_bool("fast_forward", true);
+    out.check_invariants = doc.get_bool("check_invariants", false);
+  } catch (const CheckError& e) {
+    return fail(e.what());  // wrong-typed field accessors throw
+  }
+  return true;
+}
+
+std::string serialize_request(const ServiceRequest& request) {
+  JsonWriter w;
+  w.begin_object();
+  if (!request.id.empty()) w.kv("id", request.id);
+  if (request.type == RequestType::kStats) {
+    w.kv("type", "stats");
+    w.end_object();
+    return w.str();
+  }
+  w.kv("type", "run");
+  w.kv("family", request.recipe.family);
+  w.kv("nodes", request.recipe.nodes);
+  w.kv("depth", request.recipe.depth);
+  w.kv("arms", request.recipe.arms);
+  w.kv("seed", request.recipe.seed);
+  w.kv("algo", algo_wire_name(request.algo));
+  w.kv("k", request.algo.k);
+  if (request.algo.kind == AlgoKind::kBfdn) {
+    w.kv("policy", policy_name(request.algo.options.policy));
+    w.kv("algo_seed", request.algo.options.seed);
+    w.kv("depth_cap", request.algo.options.depth_cap);
+  } else if (request.algo.kind == AlgoKind::kBfdnEll) {
+    w.kv("ell", request.algo.ell);
+  }
+  w.kv("schedule", schedule_name(request.schedule.kind));
+  if (request.schedule.kind != ScheduleKind::kNone) {
+    w.kv("horizon", request.schedule.horizon);
+    w.kv("p", request.schedule.p);
+    w.kv("schedule_seed", request.schedule.seed);
+    w.kv("period", request.schedule.period);
+  }
+  if (request.max_rounds != 0) w.kv("max_rounds", request.max_rounds);
+  if (!request.fast_forward) w.kv("fast_forward", false);
+  if (request.check_invariants) w.kv("check_invariants", true);
+  w.end_object();
+  return w.str();
+}
+
+std::string canonical_request(const ServiceRequest& request) {
+  BFDN_REQUIRE(request.type == RequestType::kRun,
+               "canonical_request: run requests only");
+  // The request id is transport-level and deliberately excluded; two
+  // clients asking for the same run share one cache entry. AlgoSpec /
+  // ScheduleSpec render through the same label()s the verification
+  // harness writes into trace files.
+  return str_format(
+      "recipe=%s algo=%s policy=%s algo_seed=%llu depth_cap=%d "
+      "sched=%s max_rounds=%lld ff=%d check=%d",
+      request.recipe.label().c_str(), request.algo.label().c_str(),
+      policy_name(request.algo.options.policy),
+      static_cast<unsigned long long>(request.algo.options.seed),
+      request.algo.options.depth_cap, request.schedule.label().c_str(),
+      static_cast<long long>(request.max_rounds),
+      request.fast_forward ? 1 : 0, request.check_invariants ? 1 : 0);
+}
+
+std::uint64_t request_fingerprint(const ServiceRequest& request) {
+  const std::string canonical = canonical_request(request);
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis
+  for (const char c : canonical) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  // splitmix64 finalizer: FNV alone mixes low bits poorly.
+  return splitmix64(h);
+}
+
+std::string execute_run(const ServiceRequest& request, const Tree& tree) {
+  const std::unique_ptr<Algorithm> algorithm =
+      make_algorithm(request.algo, tree);
+  RunConfig config;
+  config.num_robots = request.algo.k;
+  config.max_rounds = request.max_rounds;
+  config.check_invariants = request.check_invariants;
+  config.fast_forward = request.fast_forward;
+  const std::unique_ptr<FiniteSchedule> schedule =
+      request.schedule.make(request.algo.k);
+  config.schedule = schedule.get();
+  const RunResult result = run_exploration(tree, *algorithm, config);
+
+  const std::int64_t total_moves =
+      std::accumulate(result.robot_moves.begin(), result.robot_moves.end(),
+                      std::int64_t{0});
+  JsonWriter w;
+  w.begin_object();
+  w.kv("algo", request.algo.label());
+  w.kv("n", tree.num_nodes());
+  w.kv("tree_depth", tree.depth());
+  w.kv("max_degree", tree.max_degree());
+  w.kv("rounds", result.rounds);
+  w.kv("complete", result.complete);
+  w.kv("all_at_root", result.all_at_root);
+  w.kv("hit_round_limit", result.hit_round_limit);
+  w.kv("edge_events", result.edge_events);
+  w.kv("rounds_with_idle", result.rounds_with_idle);
+  w.kv("idle_robot_rounds", result.idle_robot_rounds);
+  w.kv("total_moves", total_moves);
+  w.kv("total_reanchors", result.total_reanchors);
+  w.kv("total_reanchor_switches", result.total_reanchor_switches);
+  w.kv("final_state_hash",
+       str_format("%016llx",
+                  static_cast<unsigned long long>(result.final_state_hash)));
+  w.end_object();
+  return w.str();
+}
+
+std::string ok_response(const std::string& id, bool cached,
+                        std::uint64_t key, const std::string& result_json) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("id", id);
+  w.kv("status", "ok");
+  w.kv("cached", cached);
+  w.kv("key", str_format("%016llx", static_cast<unsigned long long>(key)));
+  w.key("result").raw(result_json);
+  w.end_object();
+  return w.str();
+}
+
+std::string retry_response(const std::string& id,
+                           std::int32_t retry_after_ms,
+                           std::int64_t queue_depth) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("id", id);
+  w.kv("status", "retry");
+  w.kv("retry_after_ms", retry_after_ms);
+  w.kv("queue_depth", queue_depth);
+  w.end_object();
+  return w.str();
+}
+
+std::string error_response(const std::string& id,
+                           const std::string& message) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("id", id);
+  w.kv("status", "error");
+  w.kv("error", message);
+  w.end_object();
+  return w.str();
+}
+
+std::string stats_response(const std::string& id,
+                           const std::string& stats_json) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("id", id);
+  w.kv("status", "ok");
+  w.key("stats").raw(stats_json);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace bfdn

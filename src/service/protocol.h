@@ -1,0 +1,94 @@
+// Wire protocol of the exploration service: one JSON document per
+// '\n'-terminated line, both directions (see docs/SERVICE.md for the
+// grammar).
+//
+// A run request names everything needed to reproduce the run outside
+// the service: a tree recipe in the CLI family vocabulary
+// (graph/make_family_tree) and an algorithm/schedule spec reusing the
+// verification harness's serializable AlgoSpec / ScheduleSpec
+// (verify/spec.h). The canonicalized request — a normalized key=value
+// rendering of every semantically relevant field — is hashed
+// (FNV-1a + splitmix64 finalizer) into the content address under which
+// the result cache stores the serialized result object, so two
+// requests that mean the same run share one cache entry regardless of
+// field order or formatting on the wire.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/tree.h"
+#include "sim/engine.h"
+#include "verify/spec.h"
+
+namespace bfdn {
+
+/// Tree construction parameters, mirroring `bfdn generate` flag for
+/// flag; build() goes through the same make_family_tree, so a served
+/// run sees the bit-identical tree the CLI builds.
+struct TreeRecipe {
+  std::string family = "random";
+  std::int64_t nodes = 500;
+  std::int32_t depth = 12;
+  std::int32_t arms = 8;
+  std::uint64_t seed = 1;
+
+  Tree build() const;
+  /// Canonical "family(nodes=..,depth=..,arms=..,seed=..)" rendering.
+  std::string label() const;
+};
+
+enum class RequestType : std::uint8_t { kRun, kStats };
+
+struct ServiceRequest {
+  RequestType type = RequestType::kRun;
+  /// Client-chosen correlation id, echoed verbatim in the response.
+  std::string id;
+  TreeRecipe recipe;
+  /// Algorithm + k (+ options / ell). Engine-based kinds only.
+  AlgoSpec algo;
+  /// Break-down schedule; kind kNone = complete communication.
+  ScheduleSpec schedule;
+  std::int64_t max_rounds = 0;
+  bool fast_forward = true;
+  bool check_invariants = false;
+};
+
+/// Parses one request line. Returns false and fills *error on
+/// malformed JSON, unknown names, or out-of-range parameters.
+bool parse_request(const std::string& line, ServiceRequest& out,
+                   std::string* error);
+
+/// Serializes a request to its wire line (no trailing newline).
+/// parse_request(serialize_request(r)) reproduces r exactly.
+std::string serialize_request(const ServiceRequest& request);
+
+/// Normalized key=value rendering of every field that affects the
+/// result; the cache key's preimage.
+std::string canonical_request(const ServiceRequest& request);
+
+/// Content address: FNV-1a over canonical_request, splitmix64-mixed.
+std::uint64_t request_fingerprint(const ServiceRequest& request);
+
+/// Runs the request's simulation on `tree` and serializes the RunResult
+/// into the cacheable result object (compact JSON, deterministic field
+/// order — cache hits return these bytes verbatim). Throws CheckError
+/// on invalid parameter combinations.
+std::string execute_run(const ServiceRequest& request, const Tree& tree);
+
+// Response envelopes (no trailing newline).
+std::string ok_response(const std::string& id, bool cached,
+                        std::uint64_t key, const std::string& result_json);
+std::string retry_response(const std::string& id,
+                           std::int32_t retry_after_ms,
+                           std::int64_t queue_depth);
+std::string error_response(const std::string& id,
+                           const std::string& message);
+std::string stats_response(const std::string& id,
+                           const std::string& stats_json);
+
+/// Wire name of an engine-based AlgoSpec ("bfdn", "bfdn-shortcut",
+/// "cte", "bfs-levels", "bfdn-ell").
+std::string algo_wire_name(const AlgoSpec& algo);
+
+}  // namespace bfdn

@@ -1,0 +1,180 @@
+#include "service/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace bfdn {
+
+const JobOutcome& Scheduler::Job::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return done_; });
+  return outcome_;
+}
+
+void Scheduler::Job::complete(JobOutcome outcome) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    BFDN_CHECK(!done_, "job completed twice");
+    outcome_ = std::move(outcome);
+    done_ = true;
+  }
+  done_cv_.notify_all();
+}
+
+Scheduler::Scheduler(SchedulerOptions options)
+    : options_(options), pool_(options.threads) {
+  BFDN_REQUIRE(options_.queue_capacity >= 1,
+               "queue_capacity must be >= 1");
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+Scheduler::~Scheduler() {
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  pending_cv_.notify_all();
+  dispatcher_.join();
+}
+
+Scheduler::Admit Scheduler::submit(const ServiceRequest& request,
+                                   std::shared_ptr<Job>* out) {
+  BFDN_REQUIRE(request.type == RequestType::kRun,
+               "submit: run requests only");
+  auto job = std::make_shared<Job>();
+  job->request_ = request;
+  job->admitted_at_ = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      ++stats_.rejected_draining;
+      return Admit::kDraining;
+    }
+    if (depth_ >= options_.queue_capacity) {
+      ++stats_.rejected_full;
+      return Admit::kQueueFull;
+    }
+    ++depth_;
+    ++stats_.admitted;
+    pending_.push_back(job);
+  }
+  pending_cv_.notify_one();
+  if (out != nullptr) *out = std::move(job);
+  return Admit::kAdmitted;
+}
+
+void Scheduler::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  draining_ = true;
+  pending_cv_.notify_all();
+  drained_cv_.wait(lock, [this] { return depth_ == 0; });
+}
+
+std::int64_t Scheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return depth_;
+}
+
+Scheduler::Stats Scheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void Scheduler::dispatcher_loop() {
+  for (;;) {
+    std::vector<std::shared_ptr<Job>> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      pending_cv_.wait(
+          lock, [this] { return !pending_.empty() || stopping_; });
+      if (pending_.empty() && stopping_) return;
+      batch.swap(pending_);
+    }
+
+    // Identical-shape batching: consecutive-arrival jobs that name the
+    // same tree recipe share one tree build. The first job of a group
+    // runs in the group task itself; the rest fan back out to the pool
+    // so same-shape jobs with different algorithms still run in
+    // parallel.
+    std::stable_sort(
+        batch.begin(), batch.end(),
+        [](const std::shared_ptr<Job>& a, const std::shared_ptr<Job>& b) {
+          return a->request_.recipe.label() < b->request_.recipe.label();
+        });
+    std::size_t group_start = 0;
+    while (group_start < batch.size()) {
+      std::size_t group_end = group_start + 1;
+      while (group_end < batch.size() &&
+             batch[group_end]->request_.recipe.label() ==
+                 batch[group_start]->request_.recipe.label()) {
+        ++group_end;
+      }
+      std::vector<std::shared_ptr<Job>> group(
+          batch.begin() + static_cast<std::ptrdiff_t>(group_start),
+          batch.begin() + static_cast<std::ptrdiff_t>(group_end));
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.trees_built;
+        if (group.size() > 1) {
+          stats_.batched_jobs += static_cast<std::int64_t>(group.size());
+        }
+      }
+      pool_.submit([this, group = std::move(group)] {
+        std::shared_ptr<const Tree> tree;
+        try {
+          tree = std::make_shared<const Tree>(
+              group.front()->request_.recipe.build());
+        } catch (const std::exception& e) {
+          for (const auto& job : group) {
+            finish(job, {false, std::string("tree build failed: ") +
+                                    e.what()});
+          }
+          return;
+        }
+        for (std::size_t i = 1; i < group.size(); ++i) {
+          pool_.submit([this, job = group[i], tree] { run_job(job, tree); });
+        }
+        run_job(group.front(), tree);
+      });
+      group_start = group_end;
+    }
+  }
+}
+
+void Scheduler::run_job(const std::shared_ptr<Job>& job,
+                        const std::shared_ptr<const Tree>& tree) {
+  JobOutcome outcome;
+  try {
+    outcome.payload = execute_run(job->request_, *tree);
+    outcome.ok = true;
+  } catch (const std::exception& e) {
+    outcome.ok = false;
+    outcome.payload = e.what();
+  }
+  finish(job, std::move(outcome));
+}
+
+void Scheduler::finish(const std::shared_ptr<Job>& job,
+                       JobOutcome outcome) {
+  const double latency_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - job->admitted_at_)
+          .count();
+  job->complete(std::move(outcome));
+  bool drained = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.completed;
+    stats_.latency_us.add(latency_us);
+    stats_.latency_log2_us.add(static_cast<std::int64_t>(
+        std::ceil(std::log2(std::max(1.0, latency_us)))));
+    --depth_;
+    drained = depth_ == 0;
+  }
+  if (drained) drained_cv_.notify_all();
+}
+
+}  // namespace bfdn

@@ -1,0 +1,120 @@
+// Admission-controlled job scheduler for the exploration service.
+//
+// Jobs (parsed run requests) pass through a bounded admission window:
+// submit() rejects once `queue_capacity` jobs are admitted but not yet
+// completed, which is the backpressure signal the server turns into a
+// retry-after response — admitted jobs are never dropped. A dispatcher
+// thread pulls admitted jobs in arrival order, groups consecutive jobs
+// with the same tree recipe (identical-shape batching: the tree is
+// built once per group and shared read-only), and shards execution over
+// a support/thread_pool. Determinism: each job builds its own algorithm
+// and RNG state from its own spec, so grouping and pool scheduling
+// cannot change any job's result — a served run is bit-identical to the
+// same run through bfdn_cli (tests/service_test.cpp pins this).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.h"
+#include "support/stats.h"
+#include "support/thread_pool.h"
+
+namespace bfdn {
+
+struct JobOutcome {
+  bool ok = false;
+  /// Result object JSON when ok; error message otherwise.
+  std::string payload;
+};
+
+struct SchedulerOptions {
+  /// Worker threads (0 = hardware concurrency).
+  std::int32_t threads = 0;
+  /// Bound on admitted-but-not-completed jobs.
+  std::int32_t queue_capacity = 64;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerOptions options);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// One admitted job; wait() blocks until a worker completed it.
+  class Job {
+   public:
+    const JobOutcome& wait();
+
+   private:
+    friend class Scheduler;
+    void complete(JobOutcome outcome);
+
+    std::mutex mutex_;
+    std::condition_variable done_cv_;
+    bool done_ = false;
+    JobOutcome outcome_;
+    ServiceRequest request_;
+    std::chrono::steady_clock::time_point admitted_at_;
+  };
+
+  enum class Admit : std::uint8_t { kAdmitted, kQueueFull, kDraining };
+
+  /// Admits `request` unless the window is full or a drain started.
+  /// On kAdmitted, *out receives the job handle.
+  Admit submit(const ServiceRequest& request, std::shared_ptr<Job>* out);
+
+  /// Stops admitting and blocks until every admitted job completed.
+  /// Idempotent; the destructor drains too.
+  void drain();
+
+  /// Admitted-but-not-completed jobs right now.
+  std::int64_t queue_depth() const;
+  std::int32_t queue_capacity() const { return options_.queue_capacity; }
+  std::int32_t num_threads() const { return pool_.num_threads(); }
+
+  struct Stats {
+    std::int64_t admitted = 0;
+    std::int64_t completed = 0;
+    std::int64_t rejected_full = 0;
+    std::int64_t rejected_draining = 0;
+    /// Jobs that rode a shared tree build (group size > 1).
+    std::int64_t batched_jobs = 0;
+    std::int64_t trees_built = 0;
+    /// Admission-to-completion latency, microseconds.
+    RunningStat latency_us;
+    /// log2(latency_us) buckets for a coarse percentile picture.
+    Histogram latency_log2_us;
+  };
+  Stats stats() const;
+
+ private:
+  void dispatcher_loop();
+  void run_job(const std::shared_ptr<Job>& job,
+               const std::shared_ptr<const Tree>& tree);
+  void finish(const std::shared_ptr<Job>& job, JobOutcome outcome);
+
+  SchedulerOptions options_;
+  ThreadPool pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable pending_cv_;  // dispatcher wake-up
+  std::condition_variable drained_cv_;  // drain() wake-up
+  std::vector<std::shared_ptr<Job>> pending_;
+  std::int64_t depth_ = 0;  // admitted - completed
+  bool draining_ = false;
+  bool stopping_ = false;
+  Stats stats_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace bfdn

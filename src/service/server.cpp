@@ -1,0 +1,198 @@
+#include "service/server.h"
+
+#include "support/check.h"
+#include "support/json.h"
+#include "support/strings.h"
+
+namespace bfdn {
+
+ServiceServer::ServiceServer(ServerOptions options)
+    : options_(options),
+      cache_(options.cache_capacity),
+      scheduler_({options.threads, options.queue_capacity}) {}
+
+ServiceServer::~ServiceServer() { drain(); }
+
+void ServiceServer::start() {
+  BFDN_REQUIRE(!accept_thread_.joinable(), "server already started");
+  listener_.listen(options_.port);
+  started_at_ = std::chrono::steady_clock::now();
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void ServiceServer::accept_loop() {
+  while (!draining_) {
+    auto socket = listener_.accept(/*timeout_ms=*/50);
+    if (!socket.has_value()) continue;
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    reap_finished_locked();
+    auto connection = std::make_unique<Connection>();
+    connection->socket = std::move(*socket);
+    Connection* raw = connection.get();
+    connection->thread =
+        std::thread([this, raw] { serve_connection(raw); });
+    connections_.push_back(std::move(connection));
+  }
+}
+
+void ServiceServer::reap_finished_locked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->finished) {
+      (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ServiceServer::serve_connection(Connection* connection) {
+  for (;;) {
+    const auto line = connection->socket.recv_line();
+    if (!line.has_value()) break;
+    if (line->empty()) continue;
+    ++requests_total_;
+    const std::string response = handle_line(*line);
+    if (!connection->socket.send_all(response + "\n")) break;
+  }
+  connection->finished = true;
+}
+
+std::string ServiceServer::handle_line(const std::string& line) {
+  ServiceRequest request;
+  std::string error;
+  if (!parse_request(line, request, &error)) {
+    ++protocol_errors_;
+    ++responses_error_;
+    return error_response("", error);
+  }
+  if (request.type == RequestType::kStats) {
+    return stats_response(request.id, stats_json());
+  }
+  return handle_run(request);
+}
+
+std::string ServiceServer::handle_run(const ServiceRequest& request) {
+  if (request.recipe.nodes > options_.max_nodes) {
+    ++responses_error_;
+    return error_response(
+        request.id,
+        str_format("nodes exceeds server limit %lld",
+                   static_cast<long long>(options_.max_nodes)));
+  }
+
+  const std::uint64_t key = request_fingerprint(request);
+  if (auto cached = cache_.get(key); cached.has_value()) {
+    ++responses_ok_;
+    return ok_response(request.id, /*cached=*/true, key, *cached);
+  }
+
+  std::shared_ptr<Scheduler::Job> job;
+  switch (scheduler_.submit(request, &job)) {
+    case Scheduler::Admit::kQueueFull:
+      ++responses_retry_;
+      return retry_response(request.id, options_.retry_after_ms,
+                            scheduler_.queue_depth());
+    case Scheduler::Admit::kDraining:
+      ++responses_error_;
+      return error_response(request.id, "server is draining");
+    case Scheduler::Admit::kAdmitted:
+      break;
+  }
+
+  const JobOutcome& outcome = job->wait();
+  if (!outcome.ok) {
+    ++responses_error_;
+    return error_response(request.id, outcome.payload);
+  }
+  cache_.put(key, outcome.payload);
+  ++responses_ok_;
+  return ok_response(request.id, /*cached=*/false, key, outcome.payload);
+}
+
+void ServiceServer::drain() {
+  std::lock_guard<std::mutex> drain_lock(drain_mutex_);
+  if (drained_) return;
+  draining_ = true;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+
+  // Every admitted job finishes; connection threads blocked in
+  // Job::wait() get their outcome and write the response.
+  scheduler_.drain();
+
+  // Wake connection threads idling in recv_line and let them exit.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const auto& connection : connections_) {
+      connection->socket.shutdown_read();
+    }
+    for (const auto& connection : connections_) {
+      connection->thread.join();
+    }
+    connections_.clear();
+  }
+  drained_ = true;
+}
+
+std::string ServiceServer::stats_json() const {
+  const auto cache = cache_.stats();
+  const auto jobs = scheduler_.stats();
+  const double uptime_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_at_)
+          .count();
+
+  JsonWriter w;
+  w.begin_object();
+  w.kv("uptime_s", uptime_s, 3);
+  w.key("queue").begin_object();
+  w.kv("depth", scheduler_.queue_depth());
+  w.kv("capacity", scheduler_.queue_capacity());
+  w.kv("threads", scheduler_.num_threads());
+  w.end_object();
+  w.key("requests").begin_object();
+  w.kv("total", requests_total_.load());
+  w.kv("ok", responses_ok_.load());
+  w.kv("retry", responses_retry_.load());
+  w.kv("error", responses_error_.load());
+  w.kv("protocol_errors", protocol_errors_.load());
+  w.end_object();
+  w.key("cache").begin_object();
+  w.kv("hits", cache.hits);
+  w.kv("misses", cache.misses);
+  w.kv("evictions", cache.evictions);
+  w.kv("entries", static_cast<std::int64_t>(cache.entries));
+  w.kv("capacity", static_cast<std::int64_t>(cache.capacity));
+  w.kv("hit_rate", cache.hit_rate(), 4);
+  w.end_object();
+  w.key("jobs").begin_object();
+  w.kv("admitted", jobs.admitted);
+  w.kv("completed", jobs.completed);
+  w.kv("rejected_full", jobs.rejected_full);
+  w.kv("rejected_draining", jobs.rejected_draining);
+  w.kv("batched", jobs.batched_jobs);
+  w.kv("trees_built", jobs.trees_built);
+  w.kv("per_sec", uptime_s > 0
+                      ? static_cast<double>(jobs.completed) / uptime_s
+                      : 0.0,
+       2);
+  w.end_object();
+  w.key("latency_us").begin_object();
+  w.kv("count", static_cast<std::int64_t>(jobs.latency_us.count()));
+  if (jobs.latency_us.count() > 0) {
+    w.kv("mean", jobs.latency_us.mean(), 1);
+    w.kv("min", jobs.latency_us.min(), 1);
+    w.kv("max", jobs.latency_us.max(), 1);
+  }
+  w.key("log2_hist").begin_object();
+  for (const auto& [bucket, count] : jobs.latency_log2_us.buckets()) {
+    w.kv(str_format("%lld", static_cast<long long>(bucket)), count);
+  }
+  w.end_object();
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace bfdn

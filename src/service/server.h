@@ -1,0 +1,98 @@
+// TCP front end of the exploration service: accepts loopback
+// connections, speaks the line-delimited JSON protocol (protocol.h),
+// consults the content-addressed result cache before scheduling, and
+// drains gracefully — stop accepting, finish every admitted job, answer
+// the in-flight responses, then release the connections.
+//
+// Embeddable: tests run servers in-process (start / drain / stats);
+// tools/bfdn_serve wraps one instance and wires SIGTERM to drain().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/cache.h"
+#include "service/scheduler.h"
+#include "support/socket.h"
+
+namespace bfdn {
+
+struct ServerOptions {
+  /// 0 = ephemeral; ServiceServer::port() reports the bound port.
+  std::uint16_t port = 0;
+  std::int32_t threads = 0;  // scheduler workers; 0 = hardware
+  std::int32_t queue_capacity = 64;
+  std::size_t cache_capacity = 1024;
+  /// Suggested client back-off in backpressure rejections.
+  std::int32_t retry_after_ms = 20;
+  /// Admission guard on request tree sizes.
+  std::int64_t max_nodes = 1000000;
+};
+
+class ServiceServer {
+ public:
+  explicit ServiceServer(ServerOptions options);
+  ~ServiceServer();
+
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  /// Binds, listens and starts accepting. Throws CheckError when the
+  /// port is taken.
+  void start();
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// Graceful drain: stop accepting, reject new submissions, finish
+  /// every admitted job (their responses are written), close
+  /// connections. Idempotent; also run by the destructor.
+  void drain();
+
+  /// The protocol's stats object (also the final flush bfdn_serve
+  /// prints on drain).
+  std::string stats_json() const;
+
+  ResultCache::Stats cache_stats() const { return cache_.stats(); }
+  Scheduler::Stats scheduler_stats() const { return scheduler_.stats(); }
+  std::int64_t protocol_errors() const { return protocol_errors_; }
+
+ private:
+  struct Connection {
+    Socket socket;
+    std::thread thread;
+    std::atomic<bool> finished{false};
+  };
+
+  void accept_loop();
+  void serve_connection(Connection* connection);
+  std::string handle_line(const std::string& line);
+  std::string handle_run(const ServiceRequest& request);
+  void reap_finished_locked();
+
+  ServerOptions options_;
+  ResultCache cache_;
+  Scheduler scheduler_;
+  ListenSocket listener_;
+
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> drained_{false};
+  std::mutex drain_mutex_;
+
+  std::chrono::steady_clock::time_point started_at_;
+  std::atomic<std::int64_t> requests_total_{0};
+  std::atomic<std::int64_t> responses_ok_{0};
+  std::atomic<std::int64_t> responses_retry_{0};
+  std::atomic<std::int64_t> responses_error_{0};
+  std::atomic<std::int64_t> protocol_errors_{0};
+};
+
+}  // namespace bfdn

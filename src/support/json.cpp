@@ -1,0 +1,451 @@
+#include "support/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "support/check.h"
+#include "support/strings.h"
+
+namespace bfdn {
+
+std::string json_quote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += str_format("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+JsonWriter::JsonWriter(bool pretty) : pretty_(pretty) {}
+
+void JsonWriter::newline_indent() {
+  out_.push_back('\n');
+  out_.append(2 * stack_.size(), ' ');
+}
+
+void JsonWriter::before_value() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;
+  }
+  if (stack_.empty()) {
+    BFDN_REQUIRE(out_.empty(), "JsonWriter: one top-level value only");
+    return;
+  }
+  BFDN_REQUIRE(stack_.back().first == '[',
+               "JsonWriter: object member needs key()");
+  if (stack_.back().second++ > 0) out_.push_back(',');
+  if (pretty_) newline_indent();
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_.push_back('{');
+  stack_.emplace_back('{', 0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  BFDN_REQUIRE(!stack_.empty() && stack_.back().first == '{' &&
+                   !key_pending_,
+               "JsonWriter: mismatched end_object");
+  const bool had_members = stack_.back().second > 0;
+  stack_.pop_back();
+  if (pretty_ && had_members) newline_indent();
+  out_.push_back('}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_.push_back('[');
+  stack_.emplace_back('[', 0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  BFDN_REQUIRE(!stack_.empty() && stack_.back().first == '[',
+               "JsonWriter: mismatched end_array");
+  const bool had_items = stack_.back().second > 0;
+  stack_.pop_back();
+  if (pretty_ && had_items) newline_indent();
+  out_.push_back(']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  BFDN_REQUIRE(!stack_.empty() && stack_.back().first == '{' &&
+                   !key_pending_,
+               "JsonWriter: key() outside object");
+  if (stack_.back().second++ > 0) out_.push_back(',');
+  if (pretty_) newline_indent();
+  out_ += json_quote(name);
+  out_.push_back(':');
+  if (pretty_) out_.push_back(' ');
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  before_value();
+  out_ += json_quote(text);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) {
+  return value(std::string_view(text));
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  before_value();
+  out_ += str_format("%lld", static_cast<long long>(number));
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int32_t number) {
+  return value(static_cast<std::int64_t>(number));
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  before_value();
+  out_ += str_format("%llu", static_cast<unsigned long long>(number));
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number, int decimals) {
+  before_value();
+  out_ += decimals < 0 ? str_format("%.6g", number)
+                       : str_format("%.*f", decimals, number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  before_value();
+  out_ += flag ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_null() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  before_value();
+  out_ += json;
+  return *this;
+}
+
+bool JsonValue::as_bool() const {
+  BFDN_REQUIRE(type_ == Type::kBool, "JsonValue: not a bool");
+  return bool_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  BFDN_REQUIRE(type_ == Type::kNumber, "JsonValue: not a number");
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text_.c_str(), &end, 10);
+  BFDN_REQUIRE(errno == 0 && end != nullptr && *end == '\0',
+               "JsonValue: not an int64: " + text_);
+  return v;
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  BFDN_REQUIRE(type_ == Type::kNumber, "JsonValue: not a number");
+  BFDN_REQUIRE(!text_.empty() && text_[0] != '-',
+               "JsonValue: negative uint64: " + text_);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text_.c_str(), &end, 10);
+  BFDN_REQUIRE(errno == 0 && end != nullptr && *end == '\0',
+               "JsonValue: not a uint64: " + text_);
+  return v;
+}
+
+double JsonValue::as_double() const {
+  BFDN_REQUIRE(type_ == Type::kNumber, "JsonValue: not a number");
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text_.c_str(), &end);
+  BFDN_REQUIRE(errno == 0 && end != nullptr && *end == '\0',
+               "JsonValue: not a double: " + text_);
+  return v;
+}
+
+const std::string& JsonValue::as_string() const {
+  BFDN_REQUIRE(type_ == Type::kString, "JsonValue: not a string");
+  return text_;
+}
+
+std::size_t JsonValue::size() const {
+  BFDN_REQUIRE(type_ == Type::kArray, "JsonValue: not an array");
+  return items_.size();
+}
+
+const JsonValue& JsonValue::at(std::size_t index) const {
+  BFDN_REQUIRE(type_ == Type::kArray && index < items_.size(),
+               "JsonValue: bad array index");
+  return items_[index];
+}
+
+bool JsonValue::has(std::string_view key) const {
+  if (type_ != Type::kObject) return false;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return true;
+  }
+  return false;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  BFDN_REQUIRE(type_ == Type::kObject, "JsonValue: not an object");
+  for (const auto& [name, value] : members_) {
+    if (name == key) return value;
+  }
+  BFDN_REQUIRE(false, "JsonValue: missing member " + std::string(key));
+  return *this;  // unreachable
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  BFDN_REQUIRE(type_ == Type::kObject, "JsonValue: not an object");
+  return members_;
+}
+
+std::string JsonValue::get_string(std::string_view key,
+                                  const std::string& fallback) const {
+  return has(key) ? at(key).as_string() : fallback;
+}
+
+std::int64_t JsonValue::get_int(std::string_view key,
+                                std::int64_t fallback) const {
+  return has(key) ? at(key).as_int() : fallback;
+}
+
+std::uint64_t JsonValue::get_uint(std::string_view key,
+                                  std::uint64_t fallback) const {
+  return has(key) ? at(key).as_uint() : fallback;
+}
+
+double JsonValue::get_double(std::string_view key, double fallback) const {
+  return has(key) ? at(key).as_double() : fallback;
+}
+
+bool JsonValue::get_bool(std::string_view key, bool fallback) const {
+  return has(key) ? at(key).as_bool() : fallback;
+}
+
+/// Recursive-descent parser over a string_view with an index cursor.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool parse(JsonValue& out, std::string* error) {
+    try {
+      skip_ws();
+      parse_value(out, /*depth=*/0);
+      skip_ws();
+      require(pos_ == text_.size(), "trailing characters");
+      return true;
+    } catch (const CheckError& e) {
+      if (error != nullptr) *error = e.what();
+      return false;
+    }
+  }
+
+ private:
+  void require(bool ok, const char* what) {
+    BFDN_REQUIRE(ok, str_format("json parse error at offset %zu: %s", pos_,
+                                what));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    require(pos_ < text_.size(), "unexpected end of input");
+    return text_[pos_];
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c, const char* what) { require(consume(c), what); }
+
+  void parse_value(JsonValue& out, int depth) {
+    require(depth < 64, "nesting too deep");
+    switch (peek()) {
+      case '{': parse_object(out, depth); return;
+      case '[': parse_array(out, depth); return;
+      case '"':
+        out.type_ = JsonValue::Type::kString;
+        out.text_ = parse_string();
+        return;
+      case 't':
+        expect_word("true");
+        out.type_ = JsonValue::Type::kBool;
+        out.bool_ = true;
+        return;
+      case 'f':
+        expect_word("false");
+        out.type_ = JsonValue::Type::kBool;
+        out.bool_ = false;
+        return;
+      case 'n':
+        expect_word("null");
+        out.type_ = JsonValue::Type::kNull;
+        return;
+      default:
+        out.type_ = JsonValue::Type::kNumber;
+        out.text_ = parse_number();
+        return;
+    }
+  }
+
+  void expect_word(const char* word) {
+    for (const char* c = word; *c != '\0'; ++c) {
+      require(consume(*c), "bad literal");
+    }
+  }
+
+  std::string parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    require(pos_ > start + (text_[start] == '-' ? 1 : 0), "bad number");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::string parse_string() {
+    expect('"', "expected string");
+    std::string out;
+    for (;;) {
+      require(pos_ < text_.size(), "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      require(pos_ < text_.size(), "unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          require(pos_ + 4 <= text_.size(), "bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else require(false, "bad \\u escape");
+          }
+          // Protocol strings are ASCII; encode BMP code points as UTF-8.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: require(false, "bad escape");
+      }
+    }
+  }
+
+  void parse_object(JsonValue& out, int depth) {
+    expect('{', "expected object");
+    out.type_ = JsonValue::Type::kObject;
+    skip_ws();
+    if (consume('}')) return;
+    for (;;) {
+      skip_ws();
+      std::string name = parse_string();
+      skip_ws();
+      expect(':', "expected ':'");
+      skip_ws();
+      JsonValue member;
+      parse_value(member, depth + 1);
+      out.members_.emplace_back(std::move(name), std::move(member));
+      skip_ws();
+      if (consume(',')) continue;
+      expect('}', "expected ',' or '}'");
+      return;
+    }
+  }
+
+  void parse_array(JsonValue& out, int depth) {
+    expect('[', "expected array");
+    out.type_ = JsonValue::Type::kArray;
+    skip_ws();
+    if (consume(']')) return;
+    for (;;) {
+      skip_ws();
+      JsonValue item;
+      parse_value(item, depth + 1);
+      out.items_.push_back(std::move(item));
+      skip_ws();
+      if (consume(',')) continue;
+      expect(']', "expected ',' or ']'");
+      return;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+bool json_parse(std::string_view text, JsonValue& out, std::string* error) {
+  out = JsonValue();
+  return JsonParser(text).parse(out, error);
+}
+
+}  // namespace bfdn

@@ -1,0 +1,132 @@
+// Minimal JSON emission and parsing, shared by the bench binaries
+// (BENCH_*.json documents) and the serving protocol (src/service).
+//
+// The writer replaces the hand-rolled printf JSON that used to live in
+// bench/bench_*.cpp: it tracks nesting and comma placement so emitting
+// a document is a linear sequence of begin/key/value calls that cannot
+// produce malformed output. The parser is a small recursive-descent
+// reader covering the JSON subset the protocol uses (objects, arrays,
+// strings, numbers, booleans, null); numbers keep their source text so
+// 64-bit identifiers round-trip without double-precision loss.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bfdn {
+
+/// Escapes and quotes a string for JSON output.
+std::string json_quote(std::string_view text);
+
+/// Streaming JSON document builder. Compact by default (single line,
+/// protocol framing); pretty mode emits two-space indentation for the
+/// committed BENCH files.
+class JsonWriter {
+ public:
+  explicit JsonWriter(bool pretty = false);
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member name; must be followed by a value or container.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::int32_t number);
+  JsonWriter& value(std::uint64_t number);
+  /// decimals < 0 formats with %.6g; otherwise fixed-point %.*f.
+  JsonWriter& value(double number, int decimals = -1);
+  JsonWriter& value(bool flag);
+  JsonWriter& value_null();
+  /// Splices pre-serialized JSON verbatim (e.g. a cached result object).
+  JsonWriter& raw(std::string_view json);
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+  JsonWriter& kv(std::string_view name, double number, int decimals) {
+    key(name);
+    return value(number, decimals);
+  }
+
+  /// The document so far. Valid once every container is closed.
+  const std::string& str() const { return out_; }
+
+ private:
+  void before_value();
+  void newline_indent();
+
+  bool pretty_ = false;
+  std::string out_;
+  // One entry per open container: '{' or '['; value_count of the top.
+  std::vector<std::pair<char, std::int32_t>> stack_;
+  bool key_pending_ = false;
+};
+
+/// Parsed JSON value. Numbers keep their raw text; accessors convert on
+/// demand and throw CheckError on type or range mismatch.
+class JsonValue {
+ public:
+  enum class Type : std::uint8_t {
+    kNull, kBool, kNumber, kString, kArray, kObject,
+  };
+
+  Type type() const { return type_; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_null() const { return type_ == Type::kNull; }
+
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  std::uint64_t as_uint() const;
+  double as_double() const;
+  const std::string& as_string() const;
+
+  // Arrays.
+  std::size_t size() const;
+  const JsonValue& at(std::size_t index) const;
+
+  // Objects (member order preserved).
+  bool has(std::string_view key) const;
+  /// Member lookup; throws CheckError when absent.
+  const JsonValue& at(std::string_view key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  // Convenience lookups with defaults, for optional protocol fields.
+  std::string get_string(std::string_view key,
+                         const std::string& fallback) const;
+  std::int64_t get_int(std::string_view key, std::int64_t fallback) const;
+  std::uint64_t get_uint(std::string_view key,
+                         std::uint64_t fallback) const;
+  double get_double(std::string_view key, double fallback) const;
+  bool get_bool(std::string_view key, bool fallback) const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::string text_;  // number source text or string payload
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one JSON document (surrounding whitespace allowed, nothing
+/// else after it). Returns false and fills *error on malformed input.
+bool json_parse(std::string_view text, JsonValue& out, std::string* error);
+
+}  // namespace bfdn

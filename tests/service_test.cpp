@@ -1,0 +1,482 @@
+// Tests for the exploration service (src/service): protocol round
+// trips, content-addressed cache semantics, scheduler admission
+// control, and the end-to-end contract — a served run is bit-identical
+// to the same run through the engine directly.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/cache.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/scheduler.h"
+#include "service/server.h"
+#include "sim/engine.h"
+#include "support/check.h"
+#include "support/socket.h"
+#include "support/strings.h"
+#include "verify/spec.h"
+
+namespace bfdn {
+namespace {
+
+ServiceRequest golden_request() {
+  ServiceRequest request;
+  request.id = "g";
+  request.recipe.family = "comb";
+  request.recipe.arms = 12;
+  request.recipe.depth = 6;
+  request.algo.kind = AlgoKind::kBfdn;
+  request.algo.k = 4;
+  return request;
+}
+
+/// A request whose run takes on the order of a second: a long path with
+/// fast-forward off (implied by invariant checking), so the admission
+/// window stays occupied long enough to observe backpressure and drain
+/// behaviour deterministically.
+ServiceRequest slow_request() {
+  ServiceRequest request;
+  request.id = "slow";
+  request.recipe.family = "path";
+  request.recipe.nodes = 12000;
+  request.algo.kind = AlgoKind::kBfdn;
+  request.algo.k = 2;
+  request.check_invariants = true;
+  return request;
+}
+
+// --- protocol ---
+
+TEST(ServiceProtocolTest, SerializeParseRoundTrip) {
+  ServiceRequest request;
+  request.id = "req-1";
+  request.recipe = TreeRecipe{"spider", 400, 9, 6, 77};
+  request.algo.kind = AlgoKind::kBfdn;
+  request.algo.k = 8;
+  request.algo.options.shortcut_reanchor = true;
+  request.algo.options.policy = ReanchorPolicy::kRandom;
+  request.algo.options.seed = 123456789;
+  request.algo.options.depth_cap = 5;
+  request.schedule.kind = ScheduleKind::kBurst;
+  request.schedule.horizon = 5000;
+  request.schedule.period = 3;
+  request.max_rounds = 9000;
+  request.fast_forward = false;
+  request.check_invariants = true;
+
+  const std::string line = serialize_request(request);
+  ServiceRequest parsed;
+  std::string error;
+  ASSERT_TRUE(parse_request(line, parsed, &error)) << error;
+  EXPECT_EQ(serialize_request(parsed), line);
+  EXPECT_EQ(canonical_request(parsed), canonical_request(request));
+  EXPECT_EQ(request_fingerprint(parsed), request_fingerprint(request));
+}
+
+TEST(ServiceProtocolTest, FingerprintIgnoresRequestId) {
+  ServiceRequest a = golden_request();
+  ServiceRequest b = golden_request();
+  b.id = "entirely-different";
+  EXPECT_EQ(request_fingerprint(a), request_fingerprint(b));
+}
+
+TEST(ServiceProtocolTest, FingerprintSeparatesSemanticFields) {
+  const ServiceRequest base = golden_request();
+  ServiceRequest other = base;
+  other.algo.k = base.algo.k + 1;
+  EXPECT_NE(request_fingerprint(base), request_fingerprint(other));
+  other = base;
+  other.recipe.seed += 1;
+  EXPECT_NE(request_fingerprint(base), request_fingerprint(other));
+  other = base;
+  other.fast_forward = false;
+  EXPECT_NE(request_fingerprint(base), request_fingerprint(other));
+}
+
+TEST(ServiceProtocolTest, ParseRejectsMalformedRequests) {
+  ServiceRequest out;
+  std::string error;
+  EXPECT_FALSE(parse_request("not json", out, &error));
+  EXPECT_FALSE(parse_request("{\"type\":\"run\",\"family\":\"lattice\"}",
+                             out, &error));
+  EXPECT_NE(error.find("family"), std::string::npos);
+  EXPECT_FALSE(parse_request("{\"type\":\"run\",\"k\":0}", out, &error));
+  EXPECT_FALSE(
+      parse_request("{\"type\":\"run\",\"algo\":\"writeread\"}", out,
+                    &error));
+  EXPECT_FALSE(parse_request(
+      "{\"type\":\"run\",\"schedule\":\"burst\"}", out, &error));
+  EXPECT_NE(error.find("horizon"), std::string::npos);
+}
+
+// --- cache ---
+
+TEST(ResultCacheTest, HitReturnsStoredBytesAndCounts) {
+  ResultCache cache(4);
+  EXPECT_FALSE(cache.get(1).has_value());
+  cache.put(1, "{\"rounds\":7}");
+  const auto hit = cache.get(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "{\"rounds\":7}");
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedFirst) {
+  ResultCache cache(2);
+  cache.put(1, "one");
+  cache.put(2, "two");
+  // Refresh key 1: key 2 becomes the LRU entry.
+  ASSERT_TRUE(cache.get(1).has_value());
+  cache.put(3, "three");
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_TRUE(cache.get(1).has_value());
+  EXPECT_TRUE(cache.get(3).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ResultCacheTest, DuplicatePutKeepsFirstValue) {
+  ResultCache cache(2);
+  cache.put(9, "original");
+  cache.put(9, "imposter");
+  EXPECT_EQ(*cache.get(9), "original");
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0);
+  cache.put(1, "x");
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().evictions, 0);
+}
+
+// --- scheduler ---
+
+TEST(SchedulerTest, RejectsWhenAdmissionWindowFull) {
+  SchedulerOptions options;
+  options.threads = 1;
+  options.queue_capacity = 1;
+  Scheduler scheduler(options);
+
+  std::shared_ptr<Scheduler::Job> slow;
+  ASSERT_EQ(scheduler.submit(slow_request(), &slow),
+            Scheduler::Admit::kAdmitted);
+  // The window is a bound on admitted-but-not-completed jobs, so the
+  // very next submit must bounce regardless of worker progress.
+  std::shared_ptr<Scheduler::Job> rejected;
+  EXPECT_EQ(scheduler.submit(golden_request(), &rejected),
+            Scheduler::Admit::kQueueFull);
+
+  const JobOutcome& outcome = slow->wait();
+  EXPECT_TRUE(outcome.ok) << outcome.payload;
+  // Completion reopens the window (poll: the depth decrement races the
+  // wait() wake-up by design).
+  std::shared_ptr<Scheduler::Job> retried;
+  Scheduler::Admit admit = Scheduler::Admit::kQueueFull;
+  for (int i = 0; i < 200 && admit != Scheduler::Admit::kAdmitted; ++i) {
+    admit = scheduler.submit(golden_request(), &retried);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(admit, Scheduler::Admit::kAdmitted);
+  EXPECT_TRUE(retried->wait().ok);
+  // At least the guaranteed rejection above; the reopen-poll may have
+  // bounced a few more times before the depth decrement landed.
+  EXPECT_GE(scheduler.stats().rejected_full, 1);
+}
+
+TEST(SchedulerTest, DrainCompletesEveryAdmittedJob) {
+  SchedulerOptions options;
+  options.threads = 2;
+  options.queue_capacity = 16;
+  Scheduler scheduler(options);
+
+  std::vector<std::shared_ptr<Scheduler::Job>> jobs;
+  for (int i = 0; i < 6; ++i) {
+    ServiceRequest request = golden_request();
+    request.recipe.seed = static_cast<std::uint64_t>(i + 1);
+    std::shared_ptr<Scheduler::Job> job;
+    ASSERT_EQ(scheduler.submit(request, &job),
+              Scheduler::Admit::kAdmitted);
+    jobs.push_back(std::move(job));
+  }
+  scheduler.drain();
+  for (const auto& job : jobs) {
+    EXPECT_TRUE(job->wait().ok) << job->wait().payload;
+  }
+  std::shared_ptr<Scheduler::Job> late;
+  EXPECT_EQ(scheduler.submit(golden_request(), &late),
+            Scheduler::Admit::kDraining);
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.admitted, 6);
+  EXPECT_EQ(stats.completed, 6);
+  EXPECT_EQ(stats.rejected_draining, 1);
+}
+
+TEST(SchedulerTest, BatchingDoesNotChangeResults) {
+  // Eight identical-recipe jobs (the batcher builds one tree) against
+  // one job run alone: every outcome must be byte-identical.
+  ServiceRequest request = golden_request();
+  const Tree tree = request.recipe.build();
+  const std::string direct = execute_run(request, tree);
+
+  SchedulerOptions options;
+  options.threads = 4;
+  options.queue_capacity = 16;
+  Scheduler scheduler(options);
+  std::vector<std::shared_ptr<Scheduler::Job>> jobs;
+  for (int i = 0; i < 8; ++i) {
+    std::shared_ptr<Scheduler::Job> job;
+    ASSERT_EQ(scheduler.submit(request, &job),
+              Scheduler::Admit::kAdmitted);
+    jobs.push_back(std::move(job));
+  }
+  for (const auto& job : jobs) {
+    const JobOutcome& outcome = job->wait();
+    ASSERT_TRUE(outcome.ok) << outcome.payload;
+    EXPECT_EQ(outcome.payload, direct);
+  }
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.completed, 8);
+  // At least one group shared a tree build.
+  EXPECT_LT(stats.trees_built, 8);
+  EXPECT_GT(stats.batched_jobs, 0);
+}
+
+// --- end to end ---
+
+std::string hash_hex(std::uint64_t hash) {
+  return str_format("%016llx", static_cast<unsigned long long>(hash));
+}
+
+TEST(ServiceEndToEndTest, GoldenGridMatchesDirectEngineRun) {
+  ServiceServer server(
+      ServerOptions{0, /*threads=*/4, /*queue=*/32, /*cache=*/64, 20,
+                    1000000});
+  server.start();
+  ServiceClient client(server.port());
+
+  struct Cell {
+    const char* family;
+    std::int64_t nodes;
+    std::int32_t depth;
+    std::int32_t arms;
+    AlgoKind algo;
+    std::int32_t k;
+    ScheduleKind schedule;
+  };
+  const std::vector<Cell> grid = {
+      {"comb", 500, 6, 12, AlgoKind::kBfdn, 4, ScheduleKind::kNone},
+      {"random", 400, 12, 8, AlgoKind::kBfdn, 8, ScheduleKind::kNone},
+      {"spider", 300, 10, 6, AlgoKind::kBfdnEll, 6, ScheduleKind::kNone},
+      {"binary", 500, 7, 2, AlgoKind::kBfsLevels, 8, ScheduleKind::kNone},
+      {"cte-hard", 300, 5, 4, AlgoKind::kCte, 9, ScheduleKind::kNone},
+      {"caterpillar", 350, 8, 3, AlgoKind::kBfdn, 6,
+       ScheduleKind::kRoundRobin},
+      {"broom", 260, 9, 5, AlgoKind::kBfdn, 5, ScheduleKind::kBurst},
+  };
+
+  for (const Cell& cell : grid) {
+    ServiceRequest request;
+    request.id = str_format("%s-k%d", cell.family, cell.k);
+    request.recipe.family = cell.family;
+    request.recipe.nodes = cell.nodes;
+    request.recipe.depth = cell.depth;
+    request.recipe.arms = cell.arms;
+    request.recipe.seed = 5;
+    request.algo.kind = cell.algo;
+    request.algo.k = cell.k;
+    if (cell.algo == AlgoKind::kBfdnEll) request.algo.ell = 2;
+    request.schedule.kind = cell.schedule;
+    if (cell.schedule != ScheduleKind::kNone) {
+      request.schedule.horizon = 200000;
+      request.schedule.period = 2;
+    }
+
+    // Direct run: same tree, same spec, straight through the engine.
+    const Tree tree = request.recipe.build();
+    const std::unique_ptr<Algorithm> algorithm =
+        make_algorithm(request.algo, tree);
+    RunConfig config;
+    config.num_robots = request.algo.k;
+    const std::unique_ptr<FiniteSchedule> schedule =
+        request.schedule.make(request.algo.k);
+    config.schedule = schedule.get();
+    const RunResult direct = run_exploration(tree, *algorithm, config);
+
+    const JsonValue response = client.run(request);
+    ASSERT_EQ(response.get_string("status", ""), "ok")
+        << request.id << ": "
+        << response.get_string("error", "(no error field)");
+    EXPECT_EQ(response.get_string("id", ""), request.id);
+    const JsonValue& result = response.at("result");
+    EXPECT_EQ(result.get_int("rounds", -1), direct.rounds) << request.id;
+    EXPECT_EQ(result.get_bool("complete", false), direct.complete);
+    EXPECT_EQ(result.get_string("final_state_hash", ""),
+              hash_hex(direct.final_state_hash))
+        << request.id;
+  }
+  server.drain();
+}
+
+TEST(ServiceEndToEndTest, CacheHitIsByteIdenticalToOriginalMiss) {
+  ServiceServer server(ServerOptions{0, 2, 16, 16, 20, 1000000});
+  server.start();
+
+  // Raw socket: the byte-level contract is on the wire, not on parsed
+  // values.
+  Socket socket = connect_local(server.port(), /*recv_timeout_ms=*/30000);
+  const std::string line = serialize_request(golden_request()) + "\n";
+  ASSERT_TRUE(socket.send_all(line));
+  const auto miss = socket.recv_line();
+  ASSERT_TRUE(miss.has_value());
+  ASSERT_TRUE(socket.send_all(line));
+  const auto hit = socket.recv_line();
+  ASSERT_TRUE(hit.has_value());
+
+  EXPECT_NE(miss->find("\"cached\":false"), std::string::npos);
+  EXPECT_NE(hit->find("\"cached\":true"), std::string::npos);
+  // Identical apart from the cached flag in the envelope.
+  std::string normalized = *hit;
+  normalized.replace(normalized.find("\"cached\":true"),
+                     std::string("\"cached\":true").size(),
+                     "\"cached\":false");
+  EXPECT_EQ(normalized, *miss);
+
+  EXPECT_EQ(server.cache_stats().hits, 1);
+  EXPECT_EQ(server.cache_stats().misses, 1);
+  // The hit never touched the scheduler.
+  EXPECT_EQ(server.scheduler_stats().admitted, 1);
+  server.drain();
+}
+
+TEST(ServiceEndToEndTest, ColdCacheAfterRestartReproducesResults) {
+  const std::string line = serialize_request(golden_request()) + "\n";
+  std::string first_response;
+  {
+    ServiceServer server(ServerOptions{0, 2, 16, 16, 20, 1000000});
+    server.start();
+    Socket socket = connect_local(server.port(), 30000);
+    ASSERT_TRUE(socket.send_all(line));
+    first_response = socket.recv_line().value();
+    server.drain();
+  }
+  // Fresh server, cold cache: recomputes, and bytes match.
+  ServiceServer server(ServerOptions{0, 2, 16, 16, 20, 1000000});
+  server.start();
+  Socket socket = connect_local(server.port(), 30000);
+  ASSERT_TRUE(socket.send_all(line));
+  const std::string second_response = socket.recv_line().value();
+  EXPECT_NE(second_response.find("\"cached\":false"), std::string::npos);
+  EXPECT_EQ(second_response, first_response);
+  EXPECT_EQ(server.cache_stats().hits, 0);
+  server.drain();
+}
+
+TEST(ServiceEndToEndTest, FullQueueReturnsRetryAfter) {
+  // One worker, admission window of one, cache off: while the slow job
+  // runs, any other request must bounce with a retry-after hint.
+  ServiceServer server(ServerOptions{0, 1, 1, 0, 35, 1000000});
+  server.start();
+
+  Socket slow_conn = connect_local(server.port(), 60000);
+  ASSERT_TRUE(
+      slow_conn.send_all(serialize_request(slow_request()) + "\n"));
+  // Wait until the slow job occupies the window.
+  for (int i = 0; i < 200 && server.scheduler_stats().admitted == 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(server.scheduler_stats().admitted, 1);
+
+  ServiceClient bouncing(server.port());
+  const JsonValue rejected =
+      bouncing.call(serialize_request(golden_request()));
+  ASSERT_EQ(rejected.get_string("status", ""), "retry");
+  EXPECT_EQ(rejected.get_int("retry_after_ms", 0), 35);
+  EXPECT_GE(rejected.get_int("queue_depth", 0), 1);
+
+  // The slow job itself still answers.
+  const auto slow_response = slow_conn.recv_line();
+  ASSERT_TRUE(slow_response.has_value());
+  EXPECT_NE(slow_response->find("\"status\":\"ok\""), std::string::npos);
+
+  // ServiceClient::run turns retries into transparent re-sends.
+  std::int64_t retries = 0;
+  const JsonValue eventually = bouncing.run(golden_request(), 200,
+                                            &retries);
+  EXPECT_EQ(eventually.get_string("status", ""), "ok");
+  server.drain();
+}
+
+TEST(ServiceEndToEndTest, DrainFinishesInFlightJobs) {
+  ServiceServer server(ServerOptions{0, 1, 4, 16, 20, 1000000});
+  server.start();
+
+  Socket socket = connect_local(server.port(), 60000);
+  ASSERT_TRUE(socket.send_all(serialize_request(slow_request()) + "\n"));
+  for (int i = 0; i < 200 && server.scheduler_stats().admitted == 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(server.scheduler_stats().admitted, 1);
+
+  // Drain while the job is in flight: it must complete and its response
+  // must still be delivered before the connection is released.
+  server.drain();
+  EXPECT_EQ(server.scheduler_stats().completed, 1);
+  const auto response = socket.recv_line();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_NE(response->find("\"status\":\"ok\""), std::string::npos);
+
+  // The listener is gone: new connections are refused.
+  EXPECT_THROW(connect_local(server.port(), 1000), CheckError);
+}
+
+TEST(ServiceEndToEndTest, OversizedAndMalformedRequestsAreRejected) {
+  ServiceServer server(ServerOptions{0, 2, 16, 16, 20,
+                                     /*max_nodes=*/1000});
+  server.start();
+  ServiceClient client(server.port());
+
+  ServiceRequest huge = golden_request();
+  huge.recipe.family = "random";
+  huge.recipe.nodes = 100000;
+  const JsonValue refused = client.call(serialize_request(huge));
+  EXPECT_EQ(refused.get_string("status", ""), "error");
+
+  const JsonValue garbled = client.call("this is not json");
+  EXPECT_EQ(garbled.get_string("status", ""), "error");
+  EXPECT_EQ(server.protocol_errors(), 1);
+  server.drain();
+}
+
+TEST(ServiceEndToEndTest, StatsRequestReportsQueueAndCache) {
+  ServiceServer server(ServerOptions{0, 2, 7, 16, 20, 1000000});
+  server.start();
+  ServiceClient client(server.port());
+  ASSERT_EQ(client.run(golden_request()).get_string("status", ""), "ok");
+  ASSERT_EQ(client.run(golden_request()).get_string("status", ""), "ok");
+
+  const JsonValue response = client.stats();
+  ASSERT_EQ(response.get_string("status", ""), "ok");
+  const JsonValue& stats = response.at("stats");
+  EXPECT_EQ(stats.at("queue").get_int("capacity", -1), 7);
+  EXPECT_EQ(stats.at("cache").get_int("hits", -1), 1);
+  EXPECT_EQ(stats.at("cache").get_int("misses", -1), 1);
+  EXPECT_EQ(stats.at("jobs").get_int("completed", -1), 1);
+  EXPECT_GE(stats.at("latency_us").get_int("count", -1), 1);
+  server.drain();
+}
+
+}  // namespace
+}  // namespace bfdn

@@ -6,6 +6,7 @@
 
 #include "support/check.h"
 #include "support/cli.h"
+#include "support/json.h"
 #include "support/rng.h"
 #include "support/stats.h"
 #include "support/strings.h"
@@ -230,6 +231,117 @@ TEST(CliTest, HelpReturnsFalse) {
   CliParser cli("prog", "test");
   const char* argv[] = {"prog", "--help"};
   EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(JsonWriterTest, CompactObjectWithAllValueKinds) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("name", "a\"b\\c\n");
+  w.kv("count", std::int64_t{-3});
+  w.kv("big", std::uint64_t{18446744073709551615ULL});
+  w.kv("ratio", 0.25, 2);
+  w.kv("on", true);
+  w.key("none").value_null();
+  w.key("items").begin_array();
+  w.value(std::int64_t{1});
+  w.value("two");
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"a\\\"b\\\\c\\n\",\"count\":-3,"
+            "\"big\":18446744073709551615,\"ratio\":0.25,\"on\":true,"
+            "\"none\":null,\"items\":[1,\"two\"]}");
+}
+
+TEST(JsonWriterTest, RawSplicesVerbatim) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("result").raw("{\"rounds\":7}");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"result\":{\"rounds\":7}}");
+}
+
+TEST(JsonWriterTest, PrettyIndentsNestedContainers) {
+  JsonWriter w(/*pretty=*/true);
+  w.begin_object();
+  w.kv("a", std::int64_t{1});
+  w.key("b").begin_array();
+  w.value(std::int64_t{2});
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+}
+
+TEST(JsonParseTest, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("n", std::int64_t{42});
+  w.kv("seed", std::uint64_t{18446744073709551615ULL});
+  w.kv("label", "x\ty");
+  w.kv("frac", 0.5, 3);
+  w.kv("flag", false);
+  w.end_object();
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(w.str(), doc, &error)) << error;
+  EXPECT_EQ(doc.get_int("n", 0), 42);
+  EXPECT_EQ(doc.get_uint("seed", 0), 18446744073709551615ULL);
+  EXPECT_EQ(doc.get_string("label", ""), "x\ty");
+  EXPECT_DOUBLE_EQ(doc.get_double("frac", 0), 0.5);
+  EXPECT_FALSE(doc.get_bool("flag", true));
+}
+
+TEST(JsonParseTest, NestedAccessAndDefaults) {
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(
+      "{\"outer\": {\"list\": [10, 20, 30], \"null_field\": null}}", doc,
+      &error))
+      << error;
+  const JsonValue& outer = doc.at("outer");
+  ASSERT_TRUE(outer.has("list"));
+  EXPECT_EQ(outer.at("list").size(), 3u);
+  EXPECT_EQ(outer.at("list").at(1).as_int(), 20);
+  EXPECT_TRUE(outer.at("null_field").is_null());
+  EXPECT_EQ(outer.get_int("absent", -7), -7);
+}
+
+TEST(JsonParseTest, UnicodeEscapesDecodeToUtf8) {
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse("{\"s\": \"\\u00e9\\u0041\"}", doc, &error))
+      << error;
+  EXPECT_EQ(doc.get_string("s", ""), "\xc3\xa9"
+                                     "A");
+}
+
+TEST(JsonParseTest, RejectsMalformedDocuments) {
+  JsonValue doc;
+  std::string error;
+  EXPECT_FALSE(json_parse("{\"a\": }", doc, &error));
+  EXPECT_FALSE(json_parse("{\"a\": 1,}", doc, &error));
+  EXPECT_FALSE(json_parse("[1, 2", doc, &error));
+  EXPECT_FALSE(json_parse("{\"a\": 1} trailing", doc, &error));
+  EXPECT_FALSE(json_parse("", doc, &error));
+}
+
+TEST(JsonParseTest, DepthLimitGuardsRecursion) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  JsonValue doc;
+  std::string error;
+  EXPECT_FALSE(json_parse(deep, doc, &error));
+  EXPECT_NE(error.find("deep"), std::string::npos);
+}
+
+TEST(JsonParseTest, WrongTypeAccessorThrows) {
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse("{\"s\": \"text\"}", doc, &error));
+  EXPECT_THROW(doc.at("s").as_int(), CheckError);
+  EXPECT_THROW(doc.at("missing"), CheckError);
 }
 
 TEST(ThreadPoolTest, RunsAllJobs) {

@@ -44,34 +44,14 @@ void add_shape_flags(CliParser& cli) {
 }
 
 Tree generate_tree(const CliParser& cli) {
-  const std::string family = cli.get_string("family");
-  const std::int64_t n = cli.get_int("nodes");
-  const auto depth = static_cast<std::int32_t>(cli.get_int("depth"));
-  const auto arms = static_cast<std::int32_t>(cli.get_int("arms"));
-  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
-  if (family == "path") return make_path(n);
-  if (family == "star") return make_star(n);
-  if (family == "binary") return make_complete_bary(2, depth);
-  if (family == "spider") {
-    return make_spider(arms, static_cast<std::int32_t>(
-                                 std::max<std::int64_t>(1, n / arms)));
-  }
-  if (family == "caterpillar") {
-    return make_caterpillar(static_cast<std::int32_t>(
-                                std::max<std::int64_t>(1, n / (arms + 1))),
-                            arms);
-  }
-  if (family == "comb") return make_comb(arms, depth);
-  if (family == "broom") {
-    return make_broom(depth,
-                      static_cast<std::int32_t>(
-                          std::max<std::int64_t>(1, n - depth - 1)));
-  }
-  if (family == "cte-hard") return make_cte_hard_tree(arms, depth, rng);
-  if (family == "fixed-depth") return make_tree_with_depth(n, depth, rng);
-  if (family == "random") return make_random_leafy(n, 5, rng);
-  BFDN_REQUIRE(false, "unknown --family " + family);
-  return make_path(1);
+  // Shared with the serving protocol (src/service): `bfdn_serve` builds
+  // trees from the same vocabulary, so served runs diff cleanly against
+  // CLI runs.
+  return make_family_tree(
+      cli.get_string("family"), cli.get_int("nodes"),
+      static_cast<std::int32_t>(cli.get_int("depth")),
+      static_cast<std::int32_t>(cli.get_int("arms")),
+      static_cast<std::uint64_t>(cli.get_int("seed")));
 }
 
 Tree obtain_tree(const CliParser& cli) {
@@ -192,6 +172,10 @@ int cmd_explore(int argc, const char* const* argv) {
               result.all_at_root ? "yes" : "no",
               theorem1_bound(tree.num_nodes(), tree.depth(),
                              tree.max_degree(), k));
+  // Digest of the final exploration state (PR3); lets a served run
+  // (tools/bfdn_serve) be diffed against this CLI from the shell.
+  std::printf("final_state_hash=%016llx\n",
+              static_cast<unsigned long long>(result.final_state_hash));
   if (cli.get_bool("dot")) {
     std::vector<char> explored(
         static_cast<std::size_t>(tree.num_nodes()), 1);

@@ -1,0 +1,311 @@
+// bfdn_load — load generator for the bfdn_serve exploration service.
+//
+// Two measured phases over `--connections` concurrent client
+// connections:
+//   cold: unique requests (fresh recipe seeds) — every one simulates;
+//   warm: a configurable mix of Zipf-distributed draws over a hot set
+//         of already-served recipes (cache hits) and fresh uniques.
+// Prints a BENCH-style JSON summary (committed as BENCH_service.json)
+// with cold/warm throughput, the measured hit rate, and the server's
+// own stats object. Exits non-zero on any protocol error, on a
+// served-twice request whose result bytes differ (determinism cross-
+// check), or when --require-hit-rate is not met — so CI can use a
+// single invocation as the service smoke.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "service/client.h"
+#include "support/check.h"
+#include "support/cli.h"
+#include "support/json.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace bfdn {
+namespace {
+
+struct PlannedRequest {
+  ServiceRequest request;
+  /// Index into the hot set, or -1 for a cold unique.
+  std::int32_t hot_index = -1;
+};
+
+struct WorkerTally {
+  std::int64_t ok = 0;
+  std::int64_t cached = 0;
+  std::int64_t errors = 0;
+  std::int64_t retries = 0;
+  std::int64_t hash_mismatches = 0;
+};
+
+/// The request mix vocabulary: deterministic in (sequence index), with
+/// enough shape variety to exercise batching (paired recipe seeds) and
+/// different k.
+ServiceRequest make_unique_request(std::int64_t index, std::int64_t nodes) {
+  static constexpr const char* kMixFamilies[] = {"fixed-depth", "random",
+                                                 "caterpillar", "spider"};
+  ServiceRequest request;
+  request.id = str_format("u%lld", static_cast<long long>(index));
+  // Consecutive pairs share a recipe (same tree, different k): unique
+  // fingerprints for the cache, identical shapes for the batcher.
+  const std::int64_t recipe_index = index / 2;
+  request.recipe.family = kMixFamilies[recipe_index % 4];
+  request.recipe.nodes = nodes;
+  request.recipe.depth = static_cast<std::int32_t>(
+      std::max<std::int64_t>(4, std::min<std::int64_t>(40, nodes / 16)));
+  request.recipe.arms = request.recipe.family == std::string("spider")
+                            ? 8
+                            : 3;
+  request.recipe.seed = static_cast<std::uint64_t>(1000 + recipe_index);
+  request.algo.kind = AlgoKind::kBfdn;
+  request.algo.k = index % 2 == 0 ? 8 : 16;
+  return request;
+}
+
+double run_phase(std::uint16_t port, std::int32_t connections,
+                 const std::vector<PlannedRequest>& plan,
+                 std::vector<std::string>& hot_hashes, WorkerTally& tally,
+                 std::string* first_error) {
+  std::vector<WorkerTally> tallies(
+      static_cast<std::size_t>(connections));
+  std::vector<std::string> errors(static_cast<std::size_t>(connections));
+  // First writer wins per hot index; all workers then compare against
+  // it. Slots are pre-sized, distinct indices never race, and identical
+  // results make double-writes benign.
+  std::vector<std::thread> workers;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::int32_t w = 0; w < connections; ++w) {
+    workers.emplace_back([&, w] {
+      WorkerTally& mine = tallies[static_cast<std::size_t>(w)];
+      try {
+        ServiceClient client(port);
+        for (std::size_t i = static_cast<std::size_t>(w); i < plan.size();
+             i += static_cast<std::size_t>(connections)) {
+          const PlannedRequest& planned = plan[i];
+          JsonValue response =
+              client.run(planned.request, 500, &mine.retries);
+          if (response.get_string("status", "") != "ok") {
+            ++mine.errors;
+            if (errors[static_cast<std::size_t>(w)].empty()) {
+              errors[static_cast<std::size_t>(w)] =
+                  response.get_string("error", "non-ok response");
+            }
+            continue;
+          }
+          ++mine.ok;
+          if (response.get_bool("cached", false)) ++mine.cached;
+          if (planned.hot_index >= 0) {
+            const std::string hash = response.at("result").get_string(
+                "final_state_hash", "");
+            std::string& slot =
+                hot_hashes[static_cast<std::size_t>(planned.hot_index)];
+            if (slot.empty()) {
+              slot = hash;
+            } else if (slot != hash) {
+              ++mine.hash_mismatches;
+            }
+          }
+        }
+      } catch (const CheckError& e) {
+        ++mine.errors;
+        if (errors[static_cast<std::size_t>(w)].empty()) {
+          errors[static_cast<std::size_t>(w)] = e.what();
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+  for (std::int32_t w = 0; w < connections; ++w) {
+    const WorkerTally& t = tallies[static_cast<std::size_t>(w)];
+    tally.ok += t.ok;
+    tally.cached += t.cached;
+    tally.errors += t.errors;
+    tally.retries += t.retries;
+    tally.hash_mismatches += t.hash_mismatches;
+    if (first_error != nullptr && first_error->empty()) {
+      *first_error = errors[static_cast<std::size_t>(w)];
+    }
+  }
+  return wall_s;
+}
+
+int run(int argc, const char* const* argv) {
+  CliParser cli("bfdn_load",
+                "replay request mixes against a running bfdn_serve");
+  cli.add_int("port", 7431, "server port");
+  cli.add_int("connections", 4, "concurrent client connections");
+  cli.add_int("cold", 64, "cold-phase unique requests");
+  cli.add_int("requests", 400, "warm-phase requests");
+  cli.add_int("hot-set", 16, "recipes in the warm hot set");
+  cli.add_double("hot-fraction", 0.9,
+                 "warm-phase probability of drawing from the hot set");
+  cli.add_double("zipf-s", 1.1, "Zipf exponent over hot-set ranks");
+  cli.add_int("nodes", 2000, "tree size of generated requests");
+  cli.add_int("seed", 1, "mix-sampling seed");
+  cli.add_double("require-hit-rate", -1.0,
+                 "exit 1 unless the warm-phase hit rate reaches this");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto port = static_cast<std::uint16_t>(cli.get_int("port"));
+  const auto connections = static_cast<std::int32_t>(
+      std::max<std::int64_t>(1, cli.get_int("connections")));
+  const std::int64_t cold_n = std::max<std::int64_t>(1,
+                                                     cli.get_int("cold"));
+  const std::int64_t warm_n =
+      std::max<std::int64_t>(1, cli.get_int("requests"));
+  const std::int64_t hot_set = std::min<std::int64_t>(
+      cold_n, std::max<std::int64_t>(1, cli.get_int("hot-set")));
+  const double hot_fraction = cli.get_double("hot-fraction");
+  const std::int64_t nodes = cli.get_int("nodes");
+
+  // Cold phase: unique requests, all simulate.
+  std::vector<PlannedRequest> cold_plan;
+  for (std::int64_t i = 0; i < cold_n; ++i) {
+    PlannedRequest planned;
+    planned.request = make_unique_request(i, nodes);
+    // The first hot_set cold requests double as the warm hot set, so
+    // their results are pinned for the determinism cross-check.
+    if (i < hot_set) planned.hot_index = static_cast<std::int32_t>(i);
+    cold_plan.push_back(std::move(planned));
+  }
+  std::vector<std::string> hot_hashes(static_cast<std::size_t>(hot_set));
+  WorkerTally cold_tally;
+  std::string first_error;
+  const double cold_wall_s = run_phase(port, connections, cold_plan,
+                                       hot_hashes, cold_tally,
+                                       &first_error);
+
+  // Warm phase: Zipf over the hot set vs fresh uniques.
+  std::vector<double> zipf(static_cast<std::size_t>(hot_set));
+  for (std::int64_t r = 0; r < hot_set; ++r) {
+    zipf[static_cast<std::size_t>(r)] =
+        1.0 / std::pow(static_cast<double>(r + 1),
+                       cli.get_double("zipf-s"));
+  }
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  std::vector<PlannedRequest> warm_plan;
+  std::int64_t next_unique = cold_n;
+  for (std::int64_t i = 0; i < warm_n; ++i) {
+    PlannedRequest planned;
+    if (rng.next_bool(hot_fraction)) {
+      const auto rank = static_cast<std::int64_t>(rng.next_weighted(zipf));
+      planned.request = make_unique_request(rank, nodes);
+      planned.request.id = str_format("w%lld", static_cast<long long>(i));
+      planned.hot_index = static_cast<std::int32_t>(rank);
+    } else {
+      planned.request = make_unique_request(next_unique++, nodes);
+    }
+    warm_plan.push_back(std::move(planned));
+  }
+  WorkerTally warm_tally;
+  const double warm_wall_s = run_phase(port, connections, warm_plan,
+                                       hot_hashes, warm_tally,
+                                       &first_error);
+
+  // Server-side view: cache ratios and batching counters.
+  double server_hit_rate = 0;
+  std::int64_t server_evictions = 0;
+  std::int64_t server_batched = 0;
+  std::int64_t server_trees_built = 0;
+  std::int64_t server_completed = 0;
+  bool have_server_stats = false;
+  try {
+    ServiceClient client(port);
+    const JsonValue response = client.stats();
+    if (response.has("stats")) {
+      const JsonValue& stats = response.at("stats");
+      if (stats.has("cache")) {
+        server_hit_rate = stats.at("cache").get_double("hit_rate", 0);
+        server_evictions = stats.at("cache").get_int("evictions", 0);
+      }
+      if (stats.has("jobs")) {
+        server_batched = stats.at("jobs").get_int("batched", 0);
+        server_trees_built = stats.at("jobs").get_int("trees_built", 0);
+        server_completed = stats.at("jobs").get_int("completed", 0);
+      }
+      have_server_stats = true;
+    }
+  } catch (const CheckError&) {
+    have_server_stats = false;
+  }
+
+  const double cold_rps =
+      cold_wall_s > 0 ? static_cast<double>(cold_n) / cold_wall_s : 0;
+  const double warm_rps =
+      warm_wall_s > 0 ? static_cast<double>(warm_n) / warm_wall_s : 0;
+  const double hit_rate =
+      warm_tally.ok > 0 ? static_cast<double>(warm_tally.cached) /
+                              static_cast<double>(warm_tally.ok)
+                        : 0;
+  const std::int64_t protocol_errors =
+      cold_tally.errors + warm_tally.errors +
+      cold_tally.hash_mismatches + warm_tally.hash_mismatches;
+
+  JsonWriter w(/*pretty=*/true);
+  w.begin_object();
+  w.kv("bench", "service");
+  w.kv("connections", connections);
+  w.kv("nodes", nodes);
+  w.key("cold").begin_object();
+  w.kv("requests", cold_n);
+  w.kv("wall_s", cold_wall_s, 4);
+  w.kv("requests_per_sec", cold_rps, 1);
+  w.kv("retries", cold_tally.retries);
+  w.end_object();
+  w.key("warm").begin_object();
+  w.kv("requests", warm_n);
+  w.kv("wall_s", warm_wall_s, 4);
+  w.kv("requests_per_sec", warm_rps, 1);
+  w.kv("retries", warm_tally.retries);
+  w.kv("cache_hits", warm_tally.cached);
+  w.kv("hit_rate", hit_rate, 4);
+  w.end_object();
+  w.kv("warm_over_cold_speedup", cold_rps > 0 ? warm_rps / cold_rps : 0,
+       2);
+  w.kv("protocol_errors", protocol_errors);
+  if (have_server_stats) {
+    w.key("server").begin_object();
+    w.kv("cache_hit_rate", server_hit_rate, 4);
+    w.kv("cache_evictions", server_evictions);
+    w.kv("jobs_completed", server_completed);
+    w.kv("jobs_batched", server_batched);
+    w.kv("trees_built", server_trees_built);
+    w.end_object();
+  }
+  w.end_object();
+  std::printf("%s\n", w.str().c_str());
+
+  if (protocol_errors > 0) {
+    std::fprintf(stderr, "bfdn_load: %lld protocol errors (first: %s)\n",
+                 static_cast<long long>(protocol_errors),
+                 first_error.c_str());
+    return 1;
+  }
+  const double required = cli.get_double("require-hit-rate");
+  if (required >= 0 && hit_rate < required) {
+    std::fprintf(stderr,
+                 "bfdn_load: warm hit rate %.4f below required %.4f\n",
+                 hit_rate, required);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bfdn
+
+int main(int argc, char** argv) {
+  try {
+    return bfdn::run(argc, argv);
+  } catch (const bfdn::CheckError& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+}

@@ -1,0 +1,94 @@
+// bfdn_serve — the exploration-as-a-service daemon.
+//
+// Listens on a loopback TCP port for line-delimited JSON run requests
+// (docs/SERVICE.md), schedules them over a thread pool behind a bounded
+// admission queue, and serves repeated requests from a
+// content-addressed result cache. SIGTERM / SIGINT trigger a graceful
+// drain: stop accepting, finish every admitted job, answer the
+// in-flight responses, flush a final stats document to stdout, exit 0.
+//
+//   bfdn_serve --port=7431 --threads=8 --queue=64 --cache=1024
+//   bfdn_serve --port=0 --port-file=serve.port   # ephemeral port
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "service/server.h"
+#include "support/check.h"
+#include "support/cli.h"
+
+namespace bfdn {
+namespace {
+
+// Signal handlers may only touch lock-free atomics; the main loop polls.
+volatile std::sig_atomic_t g_drain_requested = 0;
+
+extern "C" void handle_signal(int) { g_drain_requested = 1; }
+
+int run(int argc, const char* const* argv) {
+  CliParser cli("bfdn_serve", "serve exploration runs over loopback TCP");
+  cli.add_int("port", 7431, "listen port (0 = ephemeral)");
+  cli.add_int("threads", 0, "scheduler worker threads (0 = hardware)");
+  cli.add_int("queue", 64, "admission queue depth (backpressure bound)");
+  cli.add_int("cache", 1024, "result cache capacity in entries (0 = off)");
+  cli.add_int("retry-after-ms", 20,
+              "suggested client back-off in backpressure rejections");
+  cli.add_int("max-nodes", 1000000, "largest admissible request tree");
+  cli.add_string("port-file", "",
+                 "write the bound port here once listening (for scripts "
+                 "using --port=0)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  ServerOptions options;
+  options.port = static_cast<std::uint16_t>(cli.get_int("port"));
+  options.threads = static_cast<std::int32_t>(cli.get_int("threads"));
+  options.queue_capacity =
+      static_cast<std::int32_t>(cli.get_int("queue"));
+  options.cache_capacity =
+      static_cast<std::size_t>(cli.get_int("cache"));
+  options.retry_after_ms =
+      static_cast<std::int32_t>(cli.get_int("retry-after-ms"));
+  options.max_nodes = cli.get_int("max-nodes");
+
+  ServiceServer server(options);
+  server.start();
+
+  const std::string port_file = cli.get_string("port-file");
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    BFDN_REQUIRE(out.good(), "cannot open --port-file " + port_file);
+    out << server.port() << "\n";
+  }
+  std::fprintf(stdout, "bfdn_serve listening on 127.0.0.1:%u\n",
+               server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGINT, handle_signal);
+  while (g_drain_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::fprintf(stderr, "bfdn_serve: drain requested, finishing "
+                       "in-flight jobs\n");
+  server.drain();
+  // Final stats flush: one JSON document, same shape as the protocol's
+  // stats response payload.
+  std::fprintf(stdout, "%s\n", server.stats_json().c_str());
+  std::fflush(stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bfdn
+
+int main(int argc, char** argv) {
+  try {
+    return bfdn::run(argc, argv);
+  } catch (const bfdn::CheckError& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+}
