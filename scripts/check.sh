@@ -1,26 +1,87 @@
 #!/usr/bin/env sh
-# Tier-1 verify plus a sanitized pass plus a fuzz smoke. Stages run in
-# order and the script fails fast (set -eu): builds the tree in Release
-# and runs the full suite, rebuilds with ASan/UBSan (RelWithDebInfo) in
-# a separate build directory and re-runs the tests under the
-# sanitizers, then runs the differential-oracle fuzzer for a short
-# fixed-seed burst (see docs/VERIFY.md). Any leak, overflow, UB in the
-# hot path, or oracle counterexample fails the gate.
+# Tier-1 verify plus the correctness gates. Stages run in order and the
+# script fails fast (set -eu):
+#
+#   lint      bfdn_lint over src/ and tools/ — layering back-edges,
+#             determinism bans, unordered-container iteration in hashed
+#             paths, trace-format drift (rules: scripts/lint_rules.json,
+#             rationale: docs/LINT.md)
+#   tier-1    Release build + full ctest
+#   tidy      clang-tidy baseline (skipped with a notice when the binary
+#             is not installed — CI installs it)
+#   asan      ASan/UBSan rebuild + full ctest
+#   tsan      ThreadSanitizer build of the concurrent service tier;
+#             scheduler_stress_test, service_test and support_test must
+#             report zero races
+#   fuzz      differential-oracle fuzzer, short fixed-seed burst
+#   bench     fast-forward vs stepped smoke
+#   service   serve + load mix + SIGTERM drain
+#
+# Fast paths: `check.sh --lint-only` runs just lint + tidy (seconds, for
+# pre-commit); `check.sh --tsan-only` runs just the tsan stage.
 set -eu
 cd "$(dirname "$0")/.."
 
+lint_stage() {
+  echo "== lint: layering, determinism, trace-format (bfdn_lint) =="
+  cmake --preset release > /dev/null
+  cmake --build build -j --target bfdn_lint > /dev/null
+  ./build/tools/bfdn_lint --root=.
+}
+
+tidy_stage() {
+  if command -v clang-tidy > /dev/null 2>&1; then
+    echo "== tidy: clang-tidy baseline over src/ and tools/ =="
+    find src tools -name '*.cpp' -print0 | xargs -0 -n 8 -P "$(nproc)" \
+      clang-tidy -p build --quiet --warnings-as-errors='*'
+  else
+    echo "== tidy: clang-tidy not installed; skipping (CI runs it) =="
+  fi
+}
+
+tsan_stage() {
+  echo "== tsan: race detection over the service tier =="
+  cmake --preset tsan > /dev/null
+  cmake --build --preset tsan -j > /dev/null
+  ./build-tsan/tests/scheduler_stress_test
+  ./build-tsan/tests/service_test
+  ./build-tsan/tests/support_test
+}
+
+case "${1:-}" in
+  --lint-only)
+    lint_stage
+    tidy_stage
+    echo "check.sh: lint gates passed."
+    exit 0
+    ;;
+  --tsan-only)
+    tsan_stage
+    echo "check.sh: tsan gate passed."
+    exit 0
+    ;;
+  "") ;;
+  *)
+    echo "usage: scripts/check.sh [--lint-only | --tsan-only]" >&2
+    exit 2
+    ;;
+esac
+
+lint_stage
+
 echo "== tier-1: Release build + full ctest =="
-cmake -B build -S .
+cmake --preset release
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
+tidy_stage
+
 echo "== sanitized: ASan/UBSan build + full ctest =="
-cmake -B build-asan -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --preset asan
 cmake --build build-asan -j
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+
+tsan_stage
 
 echo "== fuzz smoke: differential oracle, fixed seed, all cores =="
 ./build/tools/bfdn_fuzz --budget-s=10 --seed=1 --jobs="$(nproc)"

@@ -1,0 +1,872 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "support/check.h"
+#include "support/json.h"
+#include "support/strings.h"
+
+namespace bfdn {
+namespace lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Source text handling
+// ---------------------------------------------------------------------------
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  BFDN_REQUIRE(in.good(), "lint: cannot read " + path.string());
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+struct StrippedText {
+  std::string no_comments;  // comments blanked, string literals kept
+  std::string no_strings;   // string/char literals blanked, comments kept
+  std::string code_only;    // comments and string/char literals blanked
+};
+
+/// Single-pass state machine. Blanked characters become spaces so every
+/// byte keeps its (line, column) position; newlines survive verbatim.
+StrippedText strip_source(const std::string& text) {
+  enum class State {
+    kCode, kLineComment, kBlockComment, kString, kChar,
+  };
+  StrippedText out;
+  out.no_comments = text;
+  out.no_strings = text;
+  out.code_only = text;
+  const auto blank_comment = [&](std::size_t i) {
+    out.no_comments[i] = out.code_only[i] = ' ';
+  };
+  const auto blank_string = [&](std::size_t i) {
+    out.no_strings[i] = out.code_only[i] = ' ';
+  };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          blank_comment(i);
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          blank_comment(i);
+        } else if (c == '"') {
+          state = State::kString;
+          blank_string(i);
+        } else if (c == '\'') {
+          state = State::kChar;
+          blank_string(i);
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          blank_comment(i);
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          blank_comment(i);
+          blank_comment(i + 1);
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          blank_comment(i);
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          blank_string(i);
+          if (next != '\n') blank_string(i + 1);
+          ++i;
+        } else if (c == '"' || c == '\n') {
+          state = State::kCode;
+          if (c == '"') blank_string(i);
+        } else {
+          blank_string(i);
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          blank_string(i);
+          if (next != '\n') blank_string(i + 1);
+          ++i;
+        } else if (c == '\'' || c == '\n') {
+          state = State::kCode;
+          if (c == '\'') blank_string(i);
+        } else {
+          blank_string(i);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+struct Token {
+  std::string text;
+  std::int32_t line = 0;
+};
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Identifiers and numbers stay whole; "::" and "->" are single tokens
+/// (so a lone ':' unambiguously marks a range-for); every other
+/// non-space character is its own token.
+std::vector<Token> tokenize(const std::string& code) {
+  std::vector<Token> tokens;
+  std::int32_t line = 1;
+  for (std::size_t i = 0; i < code.size();) {
+    const char c = code[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < code.size() && is_ident_char(code[j])) ++j;
+      tokens.push_back({code.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i + 1;
+      while (j < code.size() &&
+             (is_ident_char(code[j]) || code[j] == '.')) {
+        ++j;
+      }
+      tokens.push_back({code.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (c == ':' && i + 1 < code.size() && code[i + 1] == ':') {
+      tokens.push_back({"::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < code.size() && code[i + 1] == '>') {
+      tokens.push_back({"->", line});
+      i += 2;
+      continue;
+    }
+    tokens.push_back({std::string(1, c), line});
+    ++i;
+  }
+  return tokens;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+bool starts_with(const std::string& text, const std::string& prefix) {
+  return text.rfind(prefix, 0) == 0;
+}
+
+bool path_allowed(const std::string& rel,
+                  const std::vector<std::string>& prefixes) {
+  for (const auto& prefix : prefixes) {
+    if (starts_with(rel, prefix)) return true;
+  }
+  return false;
+}
+
+std::uint64_t fnv1a(std::uint64_t hash, const std::string& text) {
+  for (const char c : text) {
+    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    hash *= 1099511628211ULL;
+  }
+  // Separator so {"ab","c"} and {"a","bc"} hash differently.
+  hash ^= 0xff;
+  hash *= 1099511628211ULL;
+  return hash;
+}
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+
+// ---------------------------------------------------------------------------
+// Per-file parsed form
+// ---------------------------------------------------------------------------
+
+struct IncludeEdge {
+  std::string target;  // quoted include path as written
+  std::int32_t line = 0;
+};
+
+struct SourceFile {
+  std::string rel;  // forward-slash path relative to the lint root
+  /// Lines with string literals blanked (comments kept): NOLINT markers
+  /// live in comments, but a literal spelling "NOLINT" (e.g. in the
+  /// linter's own sources) must not look like a suppression.
+  std::vector<std::string> nolint_lines;
+  std::vector<Token> tokens;  // comments and literals stripped
+  std::vector<IncludeEdge> includes;
+};
+
+SourceFile parse_file(const fs::path& full, std::string rel) {
+  SourceFile file;
+  file.rel = std::move(rel);
+  const std::string text = read_file(full);
+  const StrippedText stripped = strip_source(text);
+  file.nolint_lines = split_lines(stripped.no_strings);
+  file.tokens = tokenize(stripped.code_only);
+
+  const std::vector<std::string> lines =
+      split_lines(stripped.no_comments);
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    const std::string& line = lines[n];
+    std::size_t i = line.find_first_not_of(" \t");
+    if (i == std::string::npos || line[i] != '#') continue;
+    i = line.find_first_not_of(" \t", i + 1);
+    if (i == std::string::npos || line.compare(i, 7, "include") != 0) {
+      continue;
+    }
+    const std::size_t open = line.find('"', i + 7);
+    if (open == std::string::npos) continue;  // <system> include
+    const std::size_t close = line.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    file.includes.push_back({line.substr(open + 1, close - open - 1),
+                             static_cast<std::int32_t>(n + 1)});
+  }
+  return file;
+}
+
+// ---------------------------------------------------------------------------
+// Inline suppressions
+// ---------------------------------------------------------------------------
+
+struct FileSuppressions {
+  /// line -> set of check names suppressed on that line.
+  std::map<std::int32_t, std::set<std::string>> by_line;
+};
+
+/// Parses "// NOLINT(<check>): <reason>" and NOLINTNEXTLINE variants.
+/// Malformed markers (missing check list or missing reason) become
+/// findings; well-formed ones are recorded in both outputs. A marker
+/// must *start* its line comment — prose mentioning the keyword
+/// mid-comment is ignored.
+void scan_nolint(const SourceFile& file, FileSuppressions& suppressions,
+                 Report& report) {
+  for (std::size_t n = 0; n < file.nolint_lines.size(); ++n) {
+    const std::string& line = file.nolint_lines[n];
+    const std::size_t slashes = line.find("//");
+    if (slashes == std::string::npos) continue;
+    std::size_t at = slashes;
+    while (at < line.size() && line[at] == '/') ++at;
+    while (at < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[at])) != 0) {
+      ++at;
+    }
+    if (line.compare(at, 6, "NOLINT") != 0) continue;
+    const auto line_no = static_cast<std::int32_t>(n + 1);
+    std::size_t i = at + 6;
+    std::int32_t target_line = line_no;
+    if (line.compare(i, 8, "NEXTLINE") == 0) {
+      i += 8;
+      target_line = line_no + 1;
+    }
+    const auto malformed = [&](const std::string& detail) {
+      report.findings.push_back(
+          {file.rel, line_no, "nolint-format",
+           "suppression must be written '// NOLINT(<check>): <reason>' "
+           "(" + detail + ")"});
+    };
+    if (i >= line.size() || line[i] != '(') {
+      malformed("missing (<check>)");
+      continue;
+    }
+    const std::size_t close = line.find(')', i);
+    if (close == std::string::npos) {
+      malformed("unterminated check list");
+      continue;
+    }
+    const std::string checks = line.substr(i + 1, close - i - 1);
+    std::size_t j = close + 1;
+    if (j >= line.size() || line[j] != ':') {
+      malformed("missing ': <reason>' after the check list");
+      continue;
+    }
+    ++j;
+    while (j < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[j])) != 0) {
+      ++j;
+    }
+    const std::string reason = line.substr(j);
+    if (checks.empty() || reason.empty()) {
+      malformed(checks.empty() ? "empty check list" : "empty reason");
+      continue;
+    }
+    for (const std::string& check : split(checks, ',')) {
+      std::string name = check;
+      name.erase(0, name.find_first_not_of(" \t"));
+      name.erase(name.find_last_not_of(" \t") + 1);
+      if (name.empty()) continue;
+      suppressions.by_line[target_line].insert(name);
+      report.suppressions.push_back({file.rel, line_no, name, reason});
+    }
+  }
+}
+
+bool suppressed(const FileSuppressions& suppressions, std::int32_t line,
+                const std::string& rule) {
+  const auto it = suppressions.by_line.find(line);
+  if (it == suppressions.by_line.end()) return false;
+  return it->second.count(rule) > 0 || it->second.count("*") > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Layering
+// ---------------------------------------------------------------------------
+
+class LayerMap {
+ public:
+  explicit LayerMap(const std::vector<std::vector<std::string>>& layers) {
+    for (std::size_t rank = 0; rank < layers.size(); ++rank) {
+      for (const std::string& dir : layers[rank]) {
+        rank_[dir] = static_cast<std::int32_t>(rank);
+      }
+    }
+  }
+
+  /// The layer directory of a scanned file: the first path segment with
+  /// a configured rank ("src/sim/engine.cpp" -> "sim", "tools/x.cpp" ->
+  /// "tools"). Empty when no segment is configured.
+  std::string dir_of(const std::string& rel) const {
+    for (const std::string& segment : split(rel, '/')) {
+      if (rank_.count(segment) > 0) return segment;
+    }
+    return {};
+  }
+
+  std::int32_t rank_of(const std::string& dir) const {
+    const auto it = rank_.find(dir);
+    return it == rank_.end() ? -1 : it->second;
+  }
+
+ private:
+  std::map<std::string, std::int32_t> rank_;
+};
+
+void check_layering(const SourceFile& file, const LayerMap& layers,
+                    const FileSuppressions& suppressions,
+                    Report& report) {
+  const std::string from_dir = layers.dir_of(file.rel);
+  if (from_dir.empty()) {
+    report.findings.push_back(
+        {file.rel, 1, "layering",
+         "file is in no configured layer; add its directory to "
+         "\"layers\" in the rules file"});
+    return;
+  }
+  const std::int32_t from_rank = layers.rank_of(from_dir);
+  for (const IncludeEdge& include : file.includes) {
+    const std::vector<std::string> segments = split(include.target, '/');
+    if (segments.size() < 2) continue;  // local include, no layer claim
+    const std::string& to_dir = segments.front();
+    const std::int32_t to_rank = layers.rank_of(to_dir);
+    if (to_rank < 0) continue;  // not a layer directory (e.g. gtest/)
+    if (to_dir == from_dir || to_rank < from_rank) continue;
+    if (suppressed(suppressions, include.line, "layering")) continue;
+    report.findings.push_back(
+        {file.rel, include.line, "layering",
+         str_format("back-edge: layer '%s' (rank %d) must not include "
+                    "'%s' (rank %d)",
+                    from_dir.c_str(), from_rank, to_dir.c_str(),
+                    to_rank)});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Banned calls
+// ---------------------------------------------------------------------------
+
+void check_banned(const SourceFile& file,
+                  const std::vector<BannedRule>& rules,
+                  const FileSuppressions& suppressions, Report& report) {
+  for (const BannedRule& rule : rules) {
+    if (path_allowed(file.rel, rule.allow)) continue;
+    const std::set<std::string> banned(rule.tokens.begin(),
+                                       rule.tokens.end());
+    for (std::size_t i = 0; i < file.tokens.size(); ++i) {
+      const Token& token = file.tokens[i];
+      if (banned.count(token.text) == 0) continue;
+      if (rule.call_only) {
+        const bool called = i + 1 < file.tokens.size() &&
+                            file.tokens[i + 1].text == "(";
+        const bool member =
+            i > 0 && (file.tokens[i - 1].text == "." ||
+                      file.tokens[i - 1].text == "->");
+        if (!called || member) continue;
+      }
+      if (suppressed(suppressions, token.line, rule.rule)) continue;
+      report.findings.push_back(
+          {file.rel, token.line, rule.rule,
+           str_format("'%s' is banned here", token.text.c_str()) +
+               (rule.why.empty() ? "" : ": " + rule.why)});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Unordered-container iteration in hashed paths
+// ---------------------------------------------------------------------------
+
+const std::set<std::string>& unordered_type_names() {
+  static const std::set<std::string> kNames = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  return kNames;
+}
+
+/// Collects names declared with an unordered container type in this
+/// token stream: direct declarations ("std::unordered_map<K, V> name")
+/// and declarations through a local "using Alias = std::unordered_..."
+/// alias. Template arguments are skipped by angle-bracket balance.
+void harvest_unordered_names(const std::vector<Token>& tokens,
+                             std::set<std::string>& vars,
+                             std::set<std::string>& aliases) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const bool direct = unordered_type_names().count(tokens[i].text) > 0;
+    const bool via_alias =
+        aliases.count(tokens[i].text) > 0 &&
+        (i == 0 || (tokens[i - 1].text != "using" &&
+                    tokens[i - 1].text != "::"));
+    if (!direct && !via_alias) continue;
+
+    // "using Alias = std::unordered_map<...>" registers the alias.
+    if (direct) {
+      std::size_t back = i;
+      while (back >= 2 && (tokens[back - 1].text == "::" ||
+                           tokens[back - 1].text == "std")) {
+        --back;
+      }
+      if (back >= 2 && tokens[back - 1].text == "=" &&
+          tokens[back - 2].text != "using" && back >= 3 &&
+          tokens[back - 3].text == "using") {
+        aliases.insert(tokens[back - 2].text);
+        continue;
+      }
+    }
+
+    std::size_t j = i + 1;
+    if (direct) {
+      if (j >= tokens.size() || tokens[j].text != "<") continue;
+      std::int32_t depth = 0;
+      for (; j < tokens.size(); ++j) {
+        if (tokens[j].text == "<") ++depth;
+        if (tokens[j].text == ">" && --depth == 0) break;
+      }
+      ++j;  // past the closing '>'
+    }
+    while (j < tokens.size() &&
+           (tokens[j].text == "&" || tokens[j].text == "*" ||
+            tokens[j].text == "const")) {
+      ++j;
+    }
+    if (j < tokens.size() && is_ident_start(tokens[j].text[0])) {
+      vars.insert(tokens[j].text);
+    }
+  }
+}
+
+void check_unordered_iteration(const SourceFile& file,
+                               const std::set<std::string>& vars,
+                               const std::set<std::string>& aliases,
+                               const FileSuppressions& suppressions,
+                               Report& report) {
+  const auto is_unordered_expr = [&](const Token& token) {
+    return vars.count(token.text) > 0 || aliases.count(token.text) > 0 ||
+           unordered_type_names().count(token.text) > 0;
+  };
+  const auto flag = [&](std::int32_t line, const std::string& what) {
+    if (suppressed(suppressions, line, "unordered-iteration")) return;
+    report.findings.push_back(
+        {file.rel, line, "unordered-iteration",
+         what + ": iteration order over unordered containers is "
+                "unspecified, which breaks the per-round state-hash "
+                "contract in this hashed path"});
+  };
+  const std::vector<Token>& tokens = file.tokens;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    // Range-for whose sequence expression mentions a tracked container.
+    if (tokens[i].text == "for" && tokens[i + 1].text == "(") {
+      std::int32_t depth = 0;
+      std::size_t colon = 0;
+      std::size_t close = 0;
+      for (std::size_t j = i + 1; j < tokens.size(); ++j) {
+        if (tokens[j].text == "(") ++depth;
+        if (tokens[j].text == ")" && --depth == 0) {
+          close = j;
+          break;
+        }
+        if (tokens[j].text == ":" && depth == 1 && colon == 0) colon = j;
+      }
+      if (colon == 0 || close == 0) continue;
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (is_unordered_expr(tokens[j])) {
+          flag(tokens[i].line, str_format("range-for over '%s'",
+                                          tokens[j].text.c_str()));
+          break;
+        }
+      }
+      continue;
+    }
+    // Explicit iterator walk: tracked.begin() / cbegin() / rbegin().
+    if (vars.count(tokens[i].text) > 0 && i + 2 < tokens.size() &&
+        (tokens[i + 1].text == "." || tokens[i + 1].text == "->") &&
+        (tokens[i + 2].text == "begin" || tokens[i + 2].text == "cbegin" ||
+         tokens[i + 2].text == "rbegin" ||
+         tokens[i + 2].text == "crbegin")) {
+      flag(tokens[i].line, str_format("iterator walk over '%s'",
+                                      tokens[i].text.c_str()));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trace-format hygiene
+// ---------------------------------------------------------------------------
+
+/// Appends the normalized token stream of `struct <name> { ... }` (or
+/// class) to the fingerprint. Returns false when the struct is absent.
+bool hash_struct(const std::vector<Token>& tokens, const std::string& name,
+                 std::uint64_t& hash) {
+  for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+    if (tokens[i].text != "struct" && tokens[i].text != "class") continue;
+    if (tokens[i + 1].text != name) continue;
+    std::size_t j = i + 2;
+    while (j < tokens.size() && tokens[j].text != "{" &&
+           tokens[j].text != ";") {
+      ++j;  // base-class list
+    }
+    if (j >= tokens.size() || tokens[j].text == ";") continue;  // fwd decl
+    hash = fnv1a(hash, "struct");
+    hash = fnv1a(hash, name);
+    std::int32_t depth = 0;
+    for (; j < tokens.size(); ++j) {
+      hash = fnv1a(hash, tokens[j].text);
+      if (tokens[j].text == "{") ++depth;
+      if (tokens[j].text == "}" && --depth == 0) break;
+    }
+    return true;
+  }
+  return false;
+}
+
+void check_trace_rule(const std::string& root, const Config& config,
+                      Report& report) {
+  if (config.trace.files.empty()) return;
+  const std::string version = compute_trace_version(root, config);
+  const std::uint64_t fingerprint =
+      compute_trace_fingerprint(root, config);
+
+  // Every configured struct must exist somewhere in the trace files,
+  // otherwise the fingerprint silently stops covering it.
+  std::set<std::string> found;
+  for (const std::string& rel : config.trace.files) {
+    const std::vector<Token> tokens = tokenize(
+        strip_source(read_file(fs::path(root) / rel)).code_only);
+    for (const std::string& name : config.trace.structs) {
+      std::uint64_t scratch = kFnvOffset;
+      if (hash_struct(tokens, name, scratch)) found.insert(name);
+    }
+  }
+  for (const std::string& name : config.trace.structs) {
+    if (found.count(name) == 0) {
+      report.findings.push_back(
+          {config.trace.files.front(), 1, "trace-version",
+           "serialization struct '" + name +
+               "' named in the rules file was not found in the "
+               "configured trace files"});
+    }
+  }
+
+  if (version != config.trace.version) {
+    report.findings.push_back(
+        {config.trace.version_file, 1, "trace-version",
+         "trace format version is '" + version +
+             "' but the rules baseline records '" + config.trace.version +
+             "'; refresh with bfdn_lint --write-trace-baseline"});
+  } else if (fingerprint != config.trace.fingerprint) {
+    report.findings.push_back(
+        {config.trace.version_file, 1, "trace-version",
+         "serialization structs changed without a trace-format version "
+         "bump: bump kTraceFormatVersion (and the BFDNTRC magic), then "
+         "refresh the baseline with bfdn_lint --write-trace-baseline"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Config (de)serialization
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> string_array(const JsonValue& value) {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    out.push_back(value.at(i).as_string());
+  }
+  return out;
+}
+
+}  // namespace
+
+Config load_config(const std::string& path) {
+  JsonValue doc;
+  std::string error;
+  BFDN_REQUIRE(json_parse(read_file(path), doc, &error),
+               "lint: malformed rules file " + path + ": " + error);
+  Config config;
+  const JsonValue& layers = doc.at("layers");
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    config.layers.push_back(string_array(layers.at(i)));
+  }
+  config.scan_roots = string_array(doc.at("scan_roots"));
+  if (doc.has("banned")) {
+    const JsonValue& banned = doc.at("banned");
+    for (std::size_t i = 0; i < banned.size(); ++i) {
+      const JsonValue& entry = banned.at(i);
+      BannedRule rule;
+      rule.rule = entry.at("rule").as_string();
+      rule.tokens = string_array(entry.at("tokens"));
+      if (entry.has("allow")) rule.allow = string_array(entry.at("allow"));
+      rule.call_only = entry.get_bool("call_only", false);
+      rule.why = entry.get_string("why", "");
+      config.banned.push_back(std::move(rule));
+    }
+  }
+  if (doc.has("hashed_paths")) {
+    config.hashed_paths = string_array(doc.at("hashed_paths"));
+  }
+  if (doc.has("trace")) {
+    const JsonValue& trace = doc.at("trace");
+    config.trace.files = string_array(trace.at("files"));
+    config.trace.structs = string_array(trace.at("structs"));
+    config.trace.version_file = trace.at("version_file").as_string();
+    config.trace.version = trace.get_string("version", "");
+    config.trace.fingerprint = trace.get_uint("fingerprint", 0);
+  }
+  return config;
+}
+
+std::string config_to_json(const Config& config) {
+  JsonWriter w(/*pretty=*/true);
+  w.begin_object();
+  w.key("layers").begin_array();
+  for (const auto& band : config.layers) {
+    w.begin_array();
+    for (const auto& dir : band) w.value(dir);
+    w.end_array();
+  }
+  w.end_array();
+  w.key("scan_roots").begin_array();
+  for (const auto& dir : config.scan_roots) w.value(dir);
+  w.end_array();
+  w.key("banned").begin_array();
+  for (const auto& rule : config.banned) {
+    w.begin_object();
+    w.kv("rule", rule.rule);
+    w.key("tokens").begin_array();
+    for (const auto& token : rule.tokens) w.value(token);
+    w.end_array();
+    w.kv("call_only", rule.call_only);
+    w.key("allow").begin_array();
+    for (const auto& prefix : rule.allow) w.value(prefix);
+    w.end_array();
+    w.kv("why", rule.why);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("hashed_paths").begin_array();
+  for (const auto& prefix : config.hashed_paths) w.value(prefix);
+  w.end_array();
+  w.key("trace").begin_object();
+  w.key("files").begin_array();
+  for (const auto& file : config.trace.files) w.value(file);
+  w.end_array();
+  w.key("structs").begin_array();
+  for (const auto& name : config.trace.structs) w.value(name);
+  w.end_array();
+  w.kv("version_file", config.trace.version_file);
+  w.kv("version", config.trace.version);
+  w.kv("fingerprint", config.trace.fingerprint);
+  w.end_object();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+std::uint64_t compute_trace_fingerprint(const std::string& root,
+                                        const Config& config) {
+  std::uint64_t hash = kFnvOffset;
+  for (const std::string& rel : config.trace.files) {
+    const std::vector<Token> tokens = tokenize(
+        strip_source(read_file(fs::path(root) / rel)).code_only);
+    for (const std::string& name : config.trace.structs) {
+      hash_struct(tokens, name, hash);
+    }
+  }
+  return hash;
+}
+
+std::string compute_trace_version(const std::string& root,
+                                  const Config& config) {
+  const std::string text =
+      read_file(fs::path(root) / config.trace.version_file);
+  std::string magic;
+  const std::size_t at = text.find("BFDNTRC");
+  if (at != std::string::npos) {
+    std::size_t end = at + 7;
+    while (end < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[end])) != 0) {
+      ++end;
+    }
+    magic = text.substr(at, end - at);
+  }
+  std::string version_number;
+  const std::size_t decl = text.find("kTraceFormatVersion");
+  if (decl != std::string::npos) {
+    std::size_t i = text.find('=', decl);
+    if (i != std::string::npos) {
+      ++i;
+      while (i < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[i])) != 0) {
+        ++i;
+      }
+      while (i < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[i])) != 0) {
+        version_number.push_back(text[i]);
+        ++i;
+      }
+    }
+  }
+  return magic + ":v" + version_number;
+}
+
+Report run_lint(const std::string& root, const Config& config) {
+  Report report;
+  const LayerMap layers(config.layers);
+
+  // Deterministic scan order: collect, then sort by relative path.
+  std::vector<std::pair<std::string, fs::path>> files;
+  for (const std::string& scan_root : config.scan_roots) {
+    const fs::path base = fs::path(root) / scan_root;
+    BFDN_REQUIRE(fs::is_directory(base),
+                 "lint: scan root is not a directory: " + base.string());
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".hpp" && ext != ".cpp" && ext != ".cc") {
+        continue;
+      }
+      files.emplace_back(
+          entry.path().lexically_relative(root).generic_string(),
+          entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const auto& [rel, full] : files) {
+    const SourceFile file = parse_file(full, rel);
+    ++report.files_scanned;
+
+    FileSuppressions suppressions;
+    scan_nolint(file, suppressions, report);
+    check_layering(file, layers, suppressions, report);
+    check_banned(file, config.banned, suppressions, report);
+
+    if (path_allowed(rel, config.hashed_paths)) {
+      std::set<std::string> vars;
+      std::set<std::string> aliases;
+      // Members declared in the sibling header are iterated from the
+      // .cpp, so harvest its declarations first.
+      const std::string ext = full.extension().string();
+      if (ext == ".cpp" || ext == ".cc") {
+        fs::path header = full;
+        header.replace_extension(".h");
+        if (fs::exists(header)) {
+          harvest_unordered_names(
+              tokenize(strip_source(read_file(header)).code_only), vars,
+              aliases);
+        }
+      }
+      harvest_unordered_names(file.tokens, vars, aliases);
+      check_unordered_iteration(file, vars, aliases, suppressions,
+                                report);
+    }
+  }
+
+  check_trace_rule(root, config, report);
+
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return report;
+}
+
+std::string format_report(const Report& report) {
+  std::string out;
+  for (const Finding& finding : report.findings) {
+    out += str_format("%s:%d: [%s] ", finding.file.c_str(), finding.line,
+                      finding.rule.c_str());
+    out += finding.message;
+    out += "\n";
+  }
+  std::map<std::string, std::int64_t> by_check;
+  for (const Suppression& suppression : report.suppressions) {
+    ++by_check[suppression.check];
+  }
+  std::vector<std::string> tally;
+  for (const auto& [check, count] : by_check) {
+    tally.push_back(
+        str_format("%s:%lld", check.c_str(),
+                   static_cast<long long>(count)));
+  }
+  out += str_format(
+      "bfdn_lint: %d files scanned, %d findings, %d suppressions",
+      report.files_scanned,
+      static_cast<std::int32_t>(report.findings.size()),
+      static_cast<std::int32_t>(report.suppressions.size()));
+  if (!tally.empty()) out += " (" + join(tally, ", ") + ")";
+  out += "\n";
+  return out;
+}
+
+}  // namespace lint
+}  // namespace bfdn

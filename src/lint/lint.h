@@ -1,0 +1,129 @@
+// Repo-aware static analysis for the BFDN codebase (tools/bfdn_lint).
+//
+// The repo's core contract — served runs bit-identical to direct engine
+// runs, traces replayable through per-round splitmix64 hashes — is
+// otherwise enforced only dynamically (golden tests, differential
+// oracles, the fuzzer). This engine catches the classes of regression
+// that break that contract *statically*, at CI time:
+//
+//   layering             #include back-edges against the architecture
+//                        layer DAG (support -> graph -> sim -> core and
+//                        the algorithm layers -> verify/exp -> service
+//                        -> tools);
+//   banned calls         wall-clock, rand(), random_device & friends in
+//                        deterministic code (configurable allowlist);
+//   unordered-iteration  iteration over unordered_{map,set} in any file
+//                        that feeds final_state_hash or trace hashing
+//                        (iteration order is unspecified => the hash
+//                        sequence would depend on libstdc++ internals);
+//   trace-version        edits to the serialization structs of the
+//                        BFDNTRC trace format without a format-version
+//                        bump (fingerprint baseline in the rules file);
+//   nolint-format        suppressions must carry a check name and a
+//                        reason: "// NOLINT(<check>): <reason>". Well-
+//                        formed suppressions are counted and reported.
+//
+// Analysis is token-level (comments and string literals stripped), not
+// a full parse: simple, fast, zero dependencies beyond support/, and
+// precise enough for the rule set above. Rules load from a JSON config
+// (scripts/lint_rules.json) so allowlists and the layer map evolve
+// without recompiling. The engine is a library so tests/lint_test.cpp
+// can run it against fixture source trees and assert exact findings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bfdn {
+namespace lint {
+
+/// One rule violation, anchored at file:line (1-based).
+struct Finding {
+  std::string file;  // path relative to the scanned root
+  std::int32_t line = 0;
+  std::string rule;  // e.g. "layering", "raw-rand", "trace-version"
+  std::string message;
+};
+
+/// One well-formed inline suppression: "// NOLINT(<check>): <reason>".
+struct Suppression {
+  std::string file;
+  std::int32_t line = 0;
+  std::string check;
+  std::string reason;
+};
+
+struct Report {
+  std::vector<Finding> findings;  // sorted by (file, line, rule)
+  std::vector<Suppression> suppressions;
+  std::int32_t files_scanned = 0;
+  bool clean() const { return findings.empty(); }
+};
+
+/// A determinism ban: any of `tokens` appearing in a scanned file whose
+/// path does not start with one of the `allow` prefixes is a finding.
+/// With `call_only`, an identifier matches only when directly invoked
+/// (followed by '(' and not a member access), so e.g. a variable named
+/// `time` does not trip the wall-clock rule.
+struct BannedRule {
+  std::string rule;  // finding id, e.g. "raw-rand"
+  std::vector<std::string> tokens;
+  std::vector<std::string> allow;  // path prefixes, repo-relative
+  bool call_only = false;
+  std::string why;  // rationale echoed in the finding message
+};
+
+/// Trace-format hygiene baseline: a fingerprint over the (normalized)
+/// definitions of the serialization structs, plus the format version
+/// string they were recorded at. Changing a struct without bumping the
+/// version is the exact bug class this guards against: old trace files
+/// would be reinterpreted under a new layout instead of rejected.
+struct TraceRule {
+  std::vector<std::string> files;    // files holding the structs
+  std::vector<std::string> structs;  // struct names to fingerprint
+  std::string version_file;          // file with magic + version constant
+  std::string version;               // recorded, e.g. "BFDNTRC1:v1"
+  std::uint64_t fingerprint = 0;     // recorded token fingerprint
+};
+
+struct Config {
+  /// Layer bands in dependency order (rank 0 = bottom). A quoted
+  /// include from band r into band r' is legal iff r' < r or both files
+  /// share a top-level directory. Directories are the first path
+  /// segment under the scan root ("support", "graph", ..., "tools").
+  std::vector<std::vector<std::string>> layers;
+  /// Directories (relative to the root) to scan, e.g. ["src", "tools"].
+  std::vector<std::string> scan_roots;
+  std::vector<BannedRule> banned;
+  /// Path prefixes of files that feed final_state_hash or trace
+  /// hashing; the unordered-iteration rule applies inside these.
+  std::vector<std::string> hashed_paths;
+  TraceRule trace;
+};
+
+/// Loads the JSON rules file; throws CheckError on malformed input.
+Config load_config(const std::string& path);
+
+/// Canonical re-emission of the config (used by --write-trace-baseline
+/// to refresh the recorded trace fingerprint in place).
+std::string config_to_json(const Config& config);
+
+/// Runs every rule over the tree rooted at `root`. Throws CheckError
+/// when `root` or a configured scan root does not exist.
+Report run_lint(const std::string& root, const Config& config);
+
+/// Current fingerprint over the configured serialization structs, and
+/// the current format version string ("<magic>:v<n>") parsed from the
+/// version file. Exposed for --write-trace-baseline and the tests.
+std::uint64_t compute_trace_fingerprint(const std::string& root,
+                                        const Config& config);
+std::string compute_trace_version(const std::string& root,
+                                  const Config& config);
+
+/// Formats a report the way bfdn_lint prints it: one "file:line:
+/// [rule] message" per finding, then the suppression tally.
+std::string format_report(const Report& report);
+
+}  // namespace lint
+}  // namespace bfdn

@@ -163,8 +163,8 @@ void Scheduler::finish(const std::shared_ptr<Job>& job,
       std::chrono::duration<double, std::micro>(
           std::chrono::steady_clock::now() - job->admitted_at_)
           .count();
-  job->complete(std::move(outcome));
-  bool drained = false;
+  // Account before waking the job's waiter, so "wait() returned"
+  // implies the job is visible in stats() and queue_depth().
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.completed;
@@ -172,9 +172,14 @@ void Scheduler::finish(const std::shared_ptr<Job>& job,
     stats_.latency_log2_us.add(static_cast<std::int64_t>(
         std::ceil(std::log2(std::max(1.0, latency_us)))));
     --depth_;
-    drained = depth_ == 0;
+    // Notify while holding the mutex: drain() may wake for any reason,
+    // see depth_ == 0 and let ~Scheduler destroy drained_cv_ — an
+    // unlocked notify here could then touch a dead condition variable.
+    // (The worker itself stays joinable past that point: pool_ is
+    // declared first, so its destructor — which joins — runs last.)
+    if (depth_ == 0) drained_cv_.notify_all();
   }
-  if (drained) drained_cv_.notify_all();
+  job->complete(std::move(outcome));
 }
 
 }  // namespace bfdn

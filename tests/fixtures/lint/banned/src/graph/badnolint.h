@@ -1,0 +1,4 @@
+#pragma once
+
+// NOLINT: blanket suppression without naming a check
+inline int fine() { return 1; }

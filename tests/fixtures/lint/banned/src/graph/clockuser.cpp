@@ -1,0 +1,9 @@
+#include <chrono>
+#include <cstdlib>
+
+double now_s() {
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+int roll() { return rand() % 6; }

@@ -1,0 +1,11 @@
+#pragma once
+
+#include "support/util.h"
+
+inline int tree_size() { return util_identity(3); }
+
+// A suppressed banned call: the report must count the suppression and
+// emit no finding.
+inline int seeded() {
+  return rand();  // NOLINT(raw-rand): fixture exercises suppression accounting
+}

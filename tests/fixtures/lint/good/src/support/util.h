@@ -1,0 +1,3 @@
+#pragma once
+
+inline int util_identity(int x) { return x; }

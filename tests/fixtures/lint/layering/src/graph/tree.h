@@ -1,0 +1,3 @@
+#pragma once
+
+inline int tree_size() { return 3; }

@@ -1,0 +1,5 @@
+#pragma once
+
+#include "graph/tree.h"
+
+inline int bad() { return tree_size(); }

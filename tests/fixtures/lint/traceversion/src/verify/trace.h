@@ -1,0 +1,11 @@
+#pragma once
+
+#include <cstdint>
+
+// Layout: magic "BFDNTRC1" | fields of TraceData.
+inline constexpr std::uint32_t kTraceFormatVersion = 1;
+
+struct TraceData {
+  std::int64_t rounds = 0;
+  bool complete = false;
+};

@@ -1,0 +1,9 @@
+#include <unordered_map>
+
+// Not a hashed path: iterating here is legal (output order does not
+// feed any state hash).
+int sum_all(const std::unordered_map<int, int>& counts) {
+  int total = 0;
+  for (const auto& [k, v] : counts) total += v;
+  return total;
+}

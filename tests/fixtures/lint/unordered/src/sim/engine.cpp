@@ -1,0 +1,19 @@
+#include "sim/engine.h"
+
+std::int64_t Engine::lookup(std::int64_t v) const {
+  const auto it = visits_.find(v);
+  return it == visits_.end() ? 0 : it->second;
+}
+
+std::uint64_t Engine::hash_all() const {
+  std::uint64_t h = 0;
+  for (const auto& [node, count] : visits_) {
+    h ^= static_cast<std::uint64_t>(node * 31 + count);
+  }
+  return h;
+}
+
+std::int64_t Engine::first_key() const {
+  const auto it = visits_.begin();
+  return it == visits_.end() ? -1 : it->first;
+}

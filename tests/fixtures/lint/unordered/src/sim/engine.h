@@ -1,0 +1,12 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+struct Engine {
+  std::unordered_map<std::int64_t, std::int64_t> visits_;
+
+  std::int64_t lookup(std::int64_t v) const;
+  std::uint64_t hash_all() const;
+  std::int64_t first_key() const;
+};

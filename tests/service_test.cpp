@@ -223,8 +223,12 @@ TEST(SchedulerTest, DrainCompletesEveryAdmittedJob) {
 }
 
 TEST(SchedulerTest, BatchingDoesNotChangeResults) {
-  // Eight identical-recipe jobs (the batcher builds one tree) against
-  // one job run alone: every outcome must be byte-identical.
+  // Identical-recipe jobs submitted back-to-back (the batcher shares
+  // one tree build) against one job run alone: every outcome must be
+  // byte-identical. Batching itself is opportunistic — the dispatcher
+  // may wake between submits and dispatch singletons (common under a
+  // sanitizer on one core) — so rounds repeat until a batch forms; the
+  // byte-identity invariant is asserted on every round regardless.
   ServiceRequest request = golden_request();
   const Tree tree = request.recipe.build();
   const std::string direct = execute_run(request, tree);
@@ -233,23 +237,28 @@ TEST(SchedulerTest, BatchingDoesNotChangeResults) {
   options.threads = 4;
   options.queue_capacity = 16;
   Scheduler scheduler(options);
-  std::vector<std::shared_ptr<Scheduler::Job>> jobs;
-  for (int i = 0; i < 8; ++i) {
-    std::shared_ptr<Scheduler::Job> job;
-    ASSERT_EQ(scheduler.submit(request, &job),
-              Scheduler::Admit::kAdmitted);
-    jobs.push_back(std::move(job));
-  }
-  for (const auto& job : jobs) {
-    const JobOutcome& outcome = job->wait();
-    ASSERT_TRUE(outcome.ok) << outcome.payload;
-    EXPECT_EQ(outcome.payload, direct);
+  std::int64_t submitted = 0;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::shared_ptr<Scheduler::Job>> jobs;
+    for (int i = 0; i < 8; ++i) {
+      std::shared_ptr<Scheduler::Job> job;
+      ASSERT_EQ(scheduler.submit(request, &job),
+                Scheduler::Admit::kAdmitted);
+      jobs.push_back(std::move(job));
+      ++submitted;
+    }
+    for (const auto& job : jobs) {
+      const JobOutcome& outcome = job->wait();
+      ASSERT_TRUE(outcome.ok) << outcome.payload;
+      EXPECT_EQ(outcome.payload, direct);
+    }
+    if (scheduler.stats().batched_jobs > 0) break;
   }
   const auto stats = scheduler.stats();
-  EXPECT_EQ(stats.completed, 8);
-  // At least one group shared a tree build.
-  EXPECT_LT(stats.trees_built, 8);
+  EXPECT_EQ(stats.completed, submitted);
+  // At least one round grouped jobs over a shared tree build.
   EXPECT_GT(stats.batched_jobs, 0);
+  EXPECT_LT(stats.trees_built, submitted);
 }
 
 // --- end to end ---

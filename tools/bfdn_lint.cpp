@@ -1,0 +1,73 @@
+// bfdn_lint — repo-aware static analysis gate (see docs/LINT.md).
+//
+// Runs the lint engine (src/lint) over the source tree with the rules
+// in scripts/lint_rules.json: architecture-layer include DAG,
+// determinism bans (wall clock, rand(), random_device), iteration over
+// unordered containers in state-hashed paths, and trace-format version
+// hygiene. Prints one "file:line: [rule] message" per finding and exits
+// non-zero when any rule fires, so CI and scripts/check.sh --lint-only
+// can use it directly as a gate.
+//
+// --write-trace-baseline re-records the serialization-struct
+// fingerprint (and format version) in the rules file; run it in the
+// same commit that bumps kTraceFormatVersion.
+#include <cstdio>
+#include <fstream>
+
+#include "lint/lint.h"
+#include "support/check.h"
+#include "support/cli.h"
+
+namespace bfdn {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  CliParser cli("bfdn_lint",
+                "static determinism/layering gate over the source tree");
+  cli.add_string("root", ".", "repository root to scan");
+  cli.add_string("rules", "", "rules file (default <root>/scripts/"
+                              "lint_rules.json)");
+  cli.add_bool("write-trace-baseline", false,
+               "re-record the trace-struct fingerprint in the rules "
+               "file and exit");
+  cli.add_bool("quiet", false, "suppress the summary line on success");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::string root = cli.get_string("root");
+  std::string rules_path = cli.get_string("rules");
+  if (rules_path.empty()) rules_path = root + "/scripts/lint_rules.json";
+  lint::Config config = lint::load_config(rules_path);
+
+  if (cli.get_bool("write-trace-baseline")) {
+    config.trace.fingerprint =
+        lint::compute_trace_fingerprint(root, config);
+    config.trace.version = lint::compute_trace_version(root, config);
+    std::ofstream out(rules_path, std::ios::binary | std::ios::trunc);
+    BFDN_REQUIRE(out.good(), "cannot write " + rules_path);
+    out << lint::config_to_json(config);
+    std::printf("bfdn_lint: baseline written to %s (version %s, "
+                "fingerprint %llu)\n",
+                rules_path.c_str(), config.trace.version.c_str(),
+                static_cast<unsigned long long>(config.trace.fingerprint));
+    return 0;
+  }
+
+  const lint::Report report = lint::run_lint(root, config);
+  const std::string formatted = lint::format_report(report);
+  if (!report.clean() || !cli.get_bool("quiet")) {
+    std::fputs(formatted.c_str(), report.clean() ? stdout : stderr);
+  }
+  return report.clean() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bfdn
+
+int main(int argc, char** argv) {
+  try {
+    return bfdn::run(argc, argv);
+  } catch (const bfdn::CheckError& error) {
+    std::fprintf(stderr, "bfdn_lint: %s\n", error.what());
+    return 2;
+  }
+}

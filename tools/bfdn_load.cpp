@@ -6,7 +6,8 @@
 //   warm: a configurable mix of Zipf-distributed draws over a hot set
 //         of already-served recipes (cache hits) and fresh uniques.
 // Prints a BENCH-style JSON summary (committed as BENCH_service.json)
-// with cold/warm throughput, the measured hit rate, and the server's
+// with cold/warm throughput, client-observed latency percentiles
+// (p50/p95/p99 per phase), the measured hit rate, and the server's
 // own stats object. Exits non-zero on any protocol error, on a
 // served-twice request whose result bytes differ (determinism cross-
 // check), or when --require-hit-rate is not met — so CI can use a
@@ -23,6 +24,7 @@
 #include "support/cli.h"
 #include "support/json.h"
 #include "support/rng.h"
+#include "support/stats.h"
 #include "support/strings.h"
 
 namespace bfdn {
@@ -40,6 +42,9 @@ struct WorkerTally {
   std::int64_t errors = 0;
   std::int64_t retries = 0;
   std::int64_t hash_mismatches = 0;
+  /// Client-observed per-request wall time (submit to response,
+  /// including retry loops), successful requests only.
+  std::vector<double> latency_ms;
 };
 
 /// The request mix vocabulary: deterministic in (sequence index), with
@@ -86,8 +91,13 @@ double run_phase(std::uint16_t port, std::int32_t connections,
         for (std::size_t i = static_cast<std::size_t>(w); i < plan.size();
              i += static_cast<std::size_t>(connections)) {
           const PlannedRequest& planned = plan[i];
+          const auto sent = std::chrono::steady_clock::now();
           JsonValue response =
               client.run(planned.request, 500, &mine.retries);
+          const double millis =
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - sent)
+                  .count();
           if (response.get_string("status", "") != "ok") {
             ++mine.errors;
             if (errors[static_cast<std::size_t>(w)].empty()) {
@@ -97,6 +107,7 @@ double run_phase(std::uint16_t port, std::int32_t connections,
             continue;
           }
           ++mine.ok;
+          mine.latency_ms.push_back(millis);
           if (response.get_bool("cached", false)) ++mine.cached;
           if (planned.hot_index >= 0) {
             const std::string hash = response.at("result").get_string(
@@ -129,11 +140,25 @@ double run_phase(std::uint16_t port, std::int32_t connections,
     tally.errors += t.errors;
     tally.retries += t.retries;
     tally.hash_mismatches += t.hash_mismatches;
+    tally.latency_ms.insert(tally.latency_ms.end(),
+                            t.latency_ms.begin(), t.latency_ms.end());
     if (first_error != nullptr && first_error->empty()) {
       *first_error = errors[static_cast<std::size_t>(w)];
     }
   }
   return wall_s;
+}
+
+/// Client-observed latency SLO block: p50/p95/p99 over one phase's
+/// successful requests (support/stats.h percentile, linear
+/// interpolation on the sorted sample).
+void write_latency(JsonWriter& w, const WorkerTally& tally) {
+  if (tally.latency_ms.empty()) return;  // phase fully rejected
+  w.key("latency_ms").begin_object();
+  w.kv("p50", percentile(tally.latency_ms, 0.50), 3);
+  w.kv("p95", percentile(tally.latency_ms, 0.95), 3);
+  w.kv("p99", percentile(tally.latency_ms, 0.99), 3);
+  w.end_object();
 }
 
 int run(int argc, const char* const* argv) {
@@ -258,6 +283,7 @@ int run(int argc, const char* const* argv) {
   w.kv("wall_s", cold_wall_s, 4);
   w.kv("requests_per_sec", cold_rps, 1);
   w.kv("retries", cold_tally.retries);
+  write_latency(w, cold_tally);
   w.end_object();
   w.key("warm").begin_object();
   w.kv("requests", warm_n);
@@ -266,6 +292,7 @@ int run(int argc, const char* const* argv) {
   w.kv("retries", warm_tally.retries);
   w.kv("cache_hits", warm_tally.cached);
   w.kv("hit_rate", hit_rate, 4);
+  write_latency(w, warm_tally);
   w.end_object();
   w.kv("warm_over_cold_speedup", cold_rps > 0 ? warm_rps / cold_rps : 0,
        2);
