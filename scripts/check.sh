@@ -86,8 +86,15 @@ tsan_stage
 echo "== fuzz smoke: differential oracle, fixed seed, all cores =="
 ./build/tools/bfdn_fuzz --budget-s=10 --seed=1 --jobs="$(nproc)"
 
+echo "== async fuzz smoke: every case under an exotic scheduler =="
+./build/tools/bfdn_fuzz --budget-s=10 --seed=2 --jobs="$(nproc)" \
+  --async-p=1.0 --schedule-p=0.0
+
 echo "== bench smoke: fast-forward vs stepped, one Release cell =="
 ./build/bench/bench_hotpath --smoke > /dev/null
+
+echo "== bench smoke: async scheduler zoo vs lockstep, one cell =="
+./build/bench/bench_async --smoke > /dev/null
 
 echo "== service smoke: serve + load mix + SIGTERM drain =="
 rm -f build/serve.port

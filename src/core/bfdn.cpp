@@ -226,6 +226,10 @@ void BfdnAlgorithm::select_one(const ExplorationView& view,
   selector.move_up(i);
 }
 
+ActivationGranularity BfdnAlgorithm::activation_granularity() const {
+  return ActivationGranularity::kAsyncSafe;
+}
+
 TransitCapability BfdnAlgorithm::transit_capability() const {
   // The shortcut ablation re-anchors the moment an excursion ends —
   // i.e. in the middle of what the planner below would commit as an

@@ -74,6 +74,15 @@ class BfdnAlgorithm : public Algorithm {
                     MoveSelector& selector) override;
   std::vector<NodeId> anchors() const override;
 
+  /// Async-safety (per-robot-clock engine). Every BFDN decision is a
+  /// function of shared exploration state plus the deciding robot's own
+  /// private (mode, anchor, path) — select_one never reads another
+  /// robot's private state — so activating any subset of robots at a
+  /// time step is well-defined and a robot that stays keeps staying
+  /// until someone else moves (stay-stability). Holds for all ablation
+  /// variants, including the step-only shortcut one.
+  ActivationGranularity activation_granularity() const override;
+
   /// Fast-forward support. Every BFDN decision depends only on shared
   /// exploration state and the robot's own (mode, anchor, path), so BF
   /// descents and DN return climbs are committed segments. The shortcut

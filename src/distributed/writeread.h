@@ -28,6 +28,7 @@
 
 #include "distributed/ports.h"
 #include "graph/tree.h"
+#include "sim/engine.h"
 #include "support/stats.h"
 
 namespace bfdn {
@@ -47,6 +48,17 @@ struct WriteReadResult {
   /// Highest working depth the planner reached.
   std::int32_t final_working_depth = 0;
 };
+
+/// The write-read model is async-safe in the sense of
+/// ActivationGranularity::kAsyncSafe: between root visits a robot acts
+/// on local port information only, so activating any subset of robots
+/// per time step cannot change its decisions. This simulator, however,
+/// batch-steps the planner and robots together rather than going
+/// through the engine's Algorithm interface, so per-robot-clock runs of
+/// the model go through BfdnAlgorithm (which subsumes it per Remark 5)
+/// rather than this free function.
+constexpr ActivationGranularity kWriteReadActivationGranularity =
+    ActivationGranularity::kAsyncSafe;
 
 /// Runs the write-read BFDN to completion on `tree` with k robots.
 /// If `trace` is non-null it receives the robot positions after every

@@ -64,6 +64,27 @@ bool parse_schedule_kind(const std::string& name, ScheduleKind& out) {
   return true;
 }
 
+const char* async_name(AsyncKind kind) {
+  switch (kind) {
+    case AsyncKind::kNone: return "none";
+    case AsyncKind::kRoundRobin: return "round-robin";
+    case AsyncKind::kFixedRate: return "fixed-rate";
+    case AsyncKind::kLaggard: return "laggard";
+    case AsyncKind::kRandom: return "random";
+  }
+  return "?";
+}
+
+bool parse_async_kind(const std::string& name, AsyncKind& out) {
+  if (name == "none") out = AsyncKind::kNone;
+  else if (name == "round-robin") out = AsyncKind::kRoundRobin;
+  else if (name == "fixed-rate") out = AsyncKind::kFixedRate;
+  else if (name == "laggard") out = AsyncKind::kLaggard;
+  else if (name == "random") out = AsyncKind::kRandom;
+  else return false;
+  return true;
+}
+
 }  // namespace
 
 Tree TreeRecipe::build() const {
@@ -176,6 +197,24 @@ bool parse_request(const std::string& line, ServiceRequest& out,
       if (out.schedule.period < 1) return fail("period must be >= 1");
     }
 
+    if (!parse_async_kind(doc.get_string("async", "none"),
+                          out.async.kind)) {
+      return fail("unknown async scheduler: " + doc.get_string("async", ""));
+    }
+    if (out.async.kind != AsyncKind::kNone) {
+      if (out.schedule.kind != ScheduleKind::kNone) {
+        return fail("async is mutually exclusive with schedule");
+      }
+      out.async.seed = doc.get_uint("async_seed", out.async.seed);
+      out.async.max_delay = doc.get_int("async_delay", out.async.max_delay);
+      if (out.async.max_delay < 0) return fail("async_delay must be >= 0");
+      out.async.period = doc.get_int("async_period", out.async.period);
+      if (out.async.period < 1) return fail("async_period must be >= 1");
+      out.async.num_slow = static_cast<std::int32_t>(
+          doc.get_int("async_slow", out.async.num_slow));
+      if (out.async.num_slow < 1) return fail("async_slow must be >= 1");
+    }
+
     out.max_rounds = doc.get_int("max_rounds", 0);
     out.fast_forward = doc.get_bool("fast_forward", true);
     out.check_invariants = doc.get_bool("check_invariants", false);
@@ -216,6 +255,13 @@ std::string serialize_request(const ServiceRequest& request) {
     w.kv("schedule_seed", request.schedule.seed);
     w.kv("period", request.schedule.period);
   }
+  if (request.async.kind != AsyncKind::kNone) {
+    w.kv("async", async_name(request.async.kind));
+    w.kv("async_seed", request.async.seed);
+    w.kv("async_delay", request.async.max_delay);
+    w.kv("async_period", request.async.period);
+    w.kv("async_slow", request.async.num_slow);
+  }
   if (request.max_rounds != 0) w.kv("max_rounds", request.max_rounds);
   if (!request.fast_forward) w.kv("fast_forward", false);
   if (request.check_invariants) w.kv("check_invariants", true);
@@ -232,11 +278,12 @@ std::string canonical_request(const ServiceRequest& request) {
   // harness writes into trace files.
   return str_format(
       "recipe=%s algo=%s policy=%s algo_seed=%llu depth_cap=%d "
-      "sched=%s max_rounds=%lld ff=%d check=%d",
+      "sched=%s async=%s max_rounds=%lld ff=%d check=%d",
       request.recipe.label().c_str(), request.algo.label().c_str(),
       policy_name(request.algo.options.policy),
       static_cast<unsigned long long>(request.algo.options.seed),
       request.algo.options.depth_cap, request.schedule.label().c_str(),
+      request.async.label().c_str(),
       static_cast<long long>(request.max_rounds),
       request.fast_forward ? 1 : 0, request.check_invariants ? 1 : 0);
 }
@@ -263,6 +310,15 @@ std::string execute_run(const ServiceRequest& request, const Tree& tree) {
   const std::unique_ptr<FiniteSchedule> schedule =
       request.schedule.make(request.algo.k);
   config.schedule = schedule.get();
+  const std::unique_ptr<AsyncScheduler> async =
+      request.async.make(request.algo.k);
+  config.async = async.get();
+  // Slow async schedulers stretch the makespan by their worst-case
+  // activation gap; scale the default round budget accordingly (same
+  // rule as verify/trace.cpp) so unconfigured requests still finish.
+  if (config.max_rounds == 0 && request.async.slowdown() > 1) {
+    config.max_rounds = default_round_limit(tree) * request.async.slowdown();
+  }
   const RunResult result = run_exploration(tree, *algorithm, config);
 
   const std::int64_t total_moves =
@@ -282,6 +338,7 @@ std::string execute_run(const ServiceRequest& request, const Tree& tree) {
   w.kv("rounds_with_idle", result.rounds_with_idle);
   w.kv("idle_robot_rounds", result.idle_robot_rounds);
   w.kv("total_moves", total_moves);
+  w.kv("total_activations", result.total_activations);
   w.kv("total_reanchors", result.total_reanchors);
   w.kv("total_reanchor_switches", result.total_reanchor_switches);
   w.kv("final_state_hash",

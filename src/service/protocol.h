@@ -49,6 +49,12 @@ struct ServiceRequest {
   AlgoSpec algo;
   /// Break-down schedule; kind kNone = complete communication.
   ScheduleSpec schedule;
+  /// Per-robot-clock scheduler; kind kNone = synchronous rounds.
+  /// Mutually exclusive with a break-down schedule (the engine rejects
+  /// the combination, so parse_request does too). Wire fields: "async"
+  /// (kind name), "async_seed", "async_delay", "async_period",
+  /// "async_slow".
+  AsyncSpec async;
   std::int64_t max_rounds = 0;
   bool fast_forward = true;
   bool check_invariants = false;

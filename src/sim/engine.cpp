@@ -112,6 +112,10 @@ void Algorithm::begin(const ExplorationView&) {}
 bool Algorithm::finished(const ExplorationView&) const { return false; }
 std::vector<NodeId> Algorithm::anchors() const { return {}; }
 
+ActivationGranularity Algorithm::activation_granularity() const {
+  return ActivationGranularity::kLockstep;
+}
+
 TransitCapability Algorithm::transit_capability() const {
   return TransitCapability::kStepOnly;
 }
@@ -209,6 +213,70 @@ void flush_reanchor_counts(const MoveSelector& selector, RunResult& result) {
   }
 }
 
+/// The MOVE step for one robot's selected move, identical in every
+/// engine mode: position update, first-traversal flags, dangling commit
+/// with depth-completion accounting, per-robot move counter. Returns
+/// true iff the robot actually moved (i.e. not stay/none; the caller
+/// does its own idle accounting). `commit_round` is the round recorded
+/// in depth_completed_round when this move commits the last unexplored
+/// node of a depth.
+bool apply_pending_move(const Tree& tree, ExplorationState& state,
+                        std::int32_t robot, const MoveSelector::Pending& p,
+                        std::vector<std::int64_t>& unexplored_at_depth,
+                        RunResult& result, std::int64_t commit_round) {
+  const NodeId pos = state.robot_pos(robot);
+  switch (p.kind) {
+    case MoveSelector::Kind::kNone:
+    case MoveSelector::Kind::kStay:
+      return false;
+    case MoveSelector::Kind::kUp:
+      BFDN_CHECK(p.target == pos, "stale up-move");
+      state.set_robot_pos(robot, tree.parent(pos));
+      state.record_traversal(pos, /*downward=*/false);
+      ++result.robot_moves[static_cast<std::size_t>(robot)];
+      return true;
+    case MoveSelector::Kind::kDownExplored:
+      state.set_robot_pos(robot, p.target);
+      state.record_traversal(p.target, /*downward=*/true);
+      ++result.robot_moves[static_cast<std::size_t>(robot)];
+      return true;
+    case MoveSelector::Kind::kDownDangling:
+      if (!state.is_explored(p.target)) {
+        state.commit_dangling(pos, p.target);
+        const auto d = static_cast<std::size_t>(tree.depth(p.target));
+        if (--unexplored_at_depth[d] == 0) {
+          result.depth_completed_round[d] = commit_round;
+        }
+      }
+      // else: a joiner; an earlier robot in this round's commit order
+      // already explored the edge (group traversal).
+      state.set_robot_pos(robot, p.target);
+      state.record_traversal(p.target, /*downward=*/true);
+      ++result.robot_moves[static_cast<std::size_t>(robot)];
+      return true;
+  }
+  return false;  // unreachable
+}
+
+/// One step of a committed walk (TransitPlan::kWalk): validates the
+/// step, records the traversal and advances the robot. Shared between
+/// the fast-forward engine (which executes whole walks eagerly) and the
+/// async engine (which replays them one activation at a time).
+void apply_walk_step(const Tree& tree, ExplorationState& state,
+                     std::int32_t robot, NodeId next, RunResult& result) {
+  const NodeId cur = state.robot_pos(robot);
+  if (cur != tree.root() && next == tree.parent(cur)) {
+    state.record_traversal(cur, /*downward=*/false);
+  } else {
+    BFDN_CHECK(tree.parent(next) == cur && state.is_explored(next),
+               "committed walk step is not an up-move or an "
+               "explored down-move");
+    state.record_traversal(next, /*downward=*/true);
+  }
+  state.set_robot_pos(robot, next);
+  ++result.robot_moves[static_cast<std::size_t>(robot)];
+}
+
 /// Event-driven fast-forward loop. Robots alternate between "event
 /// rounds", where they run the algorithm's real selection logic, and
 /// committed walks (TransitPlan::kWalk), which the engine executes in
@@ -289,6 +357,7 @@ RunResult run_fast_forward(const Tree& tree, Algorithm& algorithm,
 
     // Selection, restricted to the woken robots; everyone else is
     // mid-walk (their move this round was already executed) or parked.
+    state.set_clock_base(event_round);
     selector.reset();
     algorithm.select_moves_subset(view, selector, woken);
     const std::vector<MoveSelector::Pending>& pending =
@@ -323,37 +392,10 @@ RunResult run_fast_forward(const Tree& tree, Algorithm& algorithm,
     // this round were executed when their walk was planned).
     std::int64_t idle_movable = 0;
     for (std::int32_t i : woken) {
-      const auto& p = pending[static_cast<std::size_t>(i)];
-      const NodeId pos = state.robot_pos(i);
-      switch (p.kind) {
-        case MoveSelector::Kind::kNone:
-        case MoveSelector::Kind::kStay:
-          ++idle_movable;
-          break;
-        case MoveSelector::Kind::kUp:
-          BFDN_CHECK(p.target == pos, "stale up-move");
-          state.set_robot_pos(i, tree.parent(pos));
-          state.record_traversal(pos, /*downward=*/false);
-          ++result.robot_moves[static_cast<std::size_t>(i)];
-          break;
-        case MoveSelector::Kind::kDownExplored:
-          state.set_robot_pos(i, p.target);
-          state.record_traversal(p.target, /*downward=*/true);
-          ++result.robot_moves[static_cast<std::size_t>(i)];
-          break;
-        case MoveSelector::Kind::kDownDangling: {
-          if (!state.is_explored(p.target)) {
-            state.commit_dangling(pos, p.target);
-            const auto d = static_cast<std::size_t>(tree.depth(p.target));
-            if (--unexplored_at_depth[d] == 0) {
-              result.depth_completed_round[d] = result.rounds + 1;
-            }
-          }
-          state.set_robot_pos(i, p.target);
-          state.record_traversal(p.target, /*downward=*/true);
-          ++result.robot_moves[static_cast<std::size_t>(i)];
-          break;
-        }
+      if (!apply_pending_move(tree, state, i,
+                              pending[static_cast<std::size_t>(i)],
+                              unexplored_at_depth, result, event_round)) {
+        ++idle_movable;
       }
     }
     result.rounds = event_round;
@@ -384,21 +426,10 @@ RunResult run_fast_forward(const Tree& tree, Algorithm& algorithm,
               static_cast<std::int64_t>(plan.path.size());
           const std::int64_t len =
               std::min(full_len, max_rounds - event_round);
-          NodeId cur = state.robot_pos(i);
           for (std::int64_t s = 0; s < len; ++s) {
-            const NodeId next = plan.path[static_cast<std::size_t>(s)];
-            if (cur != tree.root() && next == tree.parent(cur)) {
-              state.record_traversal(cur, /*downward=*/false);
-            } else {
-              BFDN_CHECK(tree.parent(next) == cur && state.is_explored(next),
-                         "committed walk step is not an up-move or an "
-                         "explored down-move");
-              state.record_traversal(next, /*downward=*/true);
-            }
-            cur = next;
+            apply_walk_step(tree, state, i,
+                            plan.path[static_cast<std::size_t>(s)], result);
           }
-          state.set_robot_pos(i, cur);
-          result.robot_moves[static_cast<std::size_t>(i)] += len;
           // A limit-capped walk parks the robot just past the horizon.
           wake[static_cast<std::size_t>(i)] =
               len < full_len ? max_rounds + 1 : event_round + len + 1;
@@ -412,6 +443,229 @@ RunResult run_fast_forward(const Tree& tree, Algorithm& algorithm,
   // rounds without an earlier break (its limit check precedes the
   // round's all-stay test).
   if (result.rounds >= max_rounds) result.hit_round_limit = true;
+  // All clocks tick together: every robot is activated (mid-walk,
+  // parked-stay or selecting) in every counted round, exactly like the
+  // stepped loop.
+  result.total_activations = static_cast<std::int64_t>(k) * result.rounds;
+  result.complete = state.num_explored_nodes() == tree.num_nodes();
+  result.edge_events = state.edge_events();
+  result.all_at_root = true;
+  for (std::int32_t i = 0; i < k; ++i) {
+    if (state.robot_pos(i) != tree.root()) {
+      result.all_at_root = false;
+      break;
+    }
+  }
+  result.final_state_hash = state.state_hash();
+  return result;
+}
+
+/// Per-robot-clock event loop (RunConfig::async). Time is a virtual
+/// integer axis; the scheduler decides at which times each robot is
+/// activated, and every loop iteration processes the earliest pending
+/// activation time T as one synchronous mini-round over the robots
+/// activated at T: selection against the pre-MOVE state, then MOVE in
+/// ascending robot index — the same two-phase structure as the stepped
+/// loop, so a lockstep (round-robin) schedule reproduces the
+/// synchronous execution bit-exactly.
+///
+/// Two sub-modes, equivalent for committed-segment algorithms:
+///  * plan-batched (default): after each selection the robot's transit
+///    is planned once (plan_transit) and a kWalk path is replayed one
+///    step per activation without calling back into the algorithm;
+///    kStayForever parks the robot — it keeps its activation slots
+///    (stay accounting) but never selects again.
+///  * stepped fallback: every activation runs real selection. Forced by
+///    per-round hooks (trace / observer / check_invariants) or a
+///    step-only transit capability.
+///
+/// Termination: no global all-stay round exists under a partial
+/// schedule, so the engine tracks the last time any robot moved and,
+/// per robot, the last time it was activated and chose to stay. Once
+/// every robot is parked or has stayed strictly after the last move,
+/// stay-stability (part of the kAsyncSafe contract) guarantees nobody
+/// ever moves again. Under round-robin this fires exactly on the
+/// stepped loop's uncounted terminal all-stay round.
+///
+/// Accounting: an event time T is "counted" iff at least one move
+/// executes at T. A counted event mirrors one stepped round: idle =
+/// stay slots (including parked robots' slots), total_activations +=
+/// batch size, depth completion and hooks use round = T. Uncounted
+/// events contribute nothing, and result.rounds is the makespan — the
+/// last counted time.
+RunResult run_async(const Tree& tree, Algorithm& algorithm,
+                    const RunConfig& config, std::int64_t max_rounds) {
+  const std::int32_t k = config.num_robots;
+  const AsyncScheduler& schedule = *config.async;
+  ExplorationState state(tree, k);
+  RunResult result;
+  result.robot_moves.assign(static_cast<std::size_t>(k), 0);
+  std::vector<std::int64_t> unexplored_at_depth;
+  init_depth_accounting(tree, result, unexplored_at_depth);
+
+  const std::vector<char> movable(static_cast<std::size_t>(k), 1);
+  ExplorationView view(state, movable);
+  algorithm.begin(view);
+  MoveSelector selector(state, movable);
+
+  const bool batched =
+      algorithm.transit_capability() ==
+          TransitCapability::kCommittedSegments &&
+      config.trace == nullptr && config.observer == nullptr &&
+      !config.check_invariants;
+
+  std::vector<std::int64_t> next_time(static_cast<std::size_t>(k));
+  for (std::int32_t i = 0; i < k; ++i) {
+    const std::int64_t first = schedule.first_activation(i);
+    BFDN_CHECK(first >= 1, "scheduler first_activation must be >= 1");
+    next_time[static_cast<std::size_t>(i)] = first;
+  }
+  std::vector<char> parked(static_cast<std::size_t>(k), 0);
+  // Batched-mode walk replay: walk_of[i] is robot i's committed path,
+  // walk_pos[i] the next step; an exhausted path means the robot's next
+  // activation runs selection.
+  std::vector<std::vector<NodeId>> walk_of(static_cast<std::size_t>(k));
+  std::vector<std::size_t> walk_pos(static_cast<std::size_t>(k), 0);
+
+  std::vector<std::int64_t> last_stay_time(static_cast<std::size_t>(k), -1);
+  std::int64_t last_move_time = 0;
+
+  std::vector<std::int32_t> slots;      // robots activated at T, ascending
+  std::vector<std::int32_t> selecting;  // the slots that run selection
+  slots.reserve(static_cast<std::size_t>(k));
+  selecting.reserve(static_cast<std::size_t>(k));
+  TransitPlan plan;
+
+  for (;;) {
+    std::int64_t event_time = next_time[0];
+    for (std::int32_t i = 1; i < k; ++i) {
+      event_time = std::min(event_time, next_time[static_cast<std::size_t>(i)]);
+    }
+    if (algorithm.finished(view)) break;
+    if (event_time > max_rounds) {
+      result.hit_round_limit = true;
+      break;
+    }
+
+    slots.clear();
+    selecting.clear();
+    for (std::int32_t i = 0; i < k; ++i) {
+      if (next_time[static_cast<std::size_t>(i)] != event_time) continue;
+      slots.push_back(i);
+      const std::int64_t next = schedule.next_activation(event_time, i);
+      BFDN_CHECK(next > event_time,
+                 "scheduler next_activation must advance time");
+      next_time[static_cast<std::size_t>(i)] = next;
+      state.set_robot_clock(i, event_time);
+      if (parked[static_cast<std::size_t>(i)]) continue;  // stay slot
+      if (batched && walk_pos[static_cast<std::size_t>(i)] <
+                         walk_of[static_cast<std::size_t>(i)].size()) {
+        continue;  // mid-walk: the step is committed, no selection
+      }
+      selecting.push_back(i);
+    }
+
+    selector.reset();
+    if (!selecting.empty()) {
+      algorithm.select_moves_subset(view, selector, selecting);
+    }
+    const std::vector<MoveSelector::Pending>& pending =
+        EngineAccess::pending(selector);
+
+    // MOVE over the whole batch, ascending robot index (the commit
+    // order group traversals rely on): walkers replay their next
+    // committed step, selectors apply their selected move.
+    std::int64_t moves = 0;
+    std::int64_t idle_slots = 0;
+    for (std::int32_t i : slots) {
+      const auto s = static_cast<std::size_t>(i);
+      if (parked[s]) {
+        ++idle_slots;
+        continue;
+      }
+      if (batched && walk_pos[s] < walk_of[s].size()) {
+        apply_walk_step(tree, state, i, walk_of[s][walk_pos[s]++], result);
+        ++moves;
+        continue;
+      }
+      if (apply_pending_move(tree, state, i, pending[s],
+                             unexplored_at_depth, result, event_time)) {
+        ++moves;
+      } else {
+        ++idle_slots;
+        last_stay_time[s] = event_time;
+      }
+    }
+
+    if (moves > 0) {
+      last_move_time = event_time;
+      if (idle_slots > 0) {
+        ++result.rounds_with_idle;
+        result.idle_robot_rounds += idle_slots;
+      }
+      result.total_activations += static_cast<std::int64_t>(slots.size());
+      flush_reanchor_counts(selector, result);
+
+      // Per-round hooks only ever run in the stepped sub-mode (their
+      // presence disables batching above); they see counted events as
+      // rounds, exactly the stepped loop's view under round-robin.
+      if (config.trace != nullptr) {
+        TraceFrame frame;
+        frame.round = event_time;
+        frame.positions.reserve(static_cast<std::size_t>(k));
+        for (std::int32_t i = 0; i < k; ++i) {
+          frame.positions.push_back(state.robot_pos(i));
+        }
+        config.trace->push_back(std::move(frame));
+      }
+      if (config.observer != nullptr) {
+        config.observer->on_round(event_time, state);
+      }
+      if (config.check_invariants) {
+        check_open_node_coverage(tree, state, algorithm.anchors());
+      }
+    }
+
+    // Re-plan the robots that just ran selection from the post-MOVE
+    // state (mirrors the fast-forward plan step).
+    if (batched) {
+      for (std::int32_t i : selecting) {
+        const auto s = static_cast<std::size_t>(i);
+        plan.kind = TransitPlan::Kind::kEvent;
+        plan.path.clear();
+        algorithm.plan_transit(view, i, plan);
+        switch (plan.kind) {
+          case TransitPlan::Kind::kStayForever:
+            parked[s] = 1;
+            break;
+          case TransitPlan::Kind::kEvent:
+            walk_of[s].clear();
+            walk_pos[s] = 0;
+            break;
+          case TransitPlan::Kind::kWalk:
+            walk_of[s] = std::move(plan.path);
+            walk_pos[s] = 0;
+            plan.path.clear();
+            break;
+        }
+      }
+    }
+
+    // Natural termination: every robot is parked or has stayed
+    // strictly after the last move anywhere in the system.
+    bool stable = true;
+    for (std::int32_t i = 0; i < k; ++i) {
+      const auto s = static_cast<std::size_t>(i);
+      if (parked[s]) continue;
+      if (last_stay_time[s] <= last_move_time) {
+        stable = false;
+        break;
+      }
+    }
+    if (stable) break;
+  }
+
+  result.rounds = last_move_time;
   result.complete = state.num_explored_nodes() == tree.num_nodes();
   result.edge_events = state.edge_events();
   result.all_at_root = true;
@@ -432,12 +686,23 @@ RunResult run_exploration(const Tree& tree, Algorithm& algorithm,
   BFDN_REQUIRE(config.num_robots >= 1, "need at least one robot");
   BFDN_REQUIRE(config.schedule == nullptr || config.reactive == nullptr,
                "schedule and reactive adversary are mutually exclusive");
-  const std::int64_t max_rounds =
-      config.max_rounds > 0
-          ? config.max_rounds
-          : 3 * static_cast<std::int64_t>(std::max(tree.depth(), 1)) *
-                    tree.num_nodes() +
-                4 * tree.num_nodes() + 4 * tree.depth() + 64;
+  BFDN_REQUIRE(config.async == nullptr ||
+                   (config.schedule == nullptr && config.reactive == nullptr),
+               "async scheduler is mutually exclusive with the break-down "
+               "and reactive adversaries");
+  const std::int64_t max_rounds = config.max_rounds > 0
+                                      ? config.max_rounds
+                                      : default_round_limit(tree);
+
+  // Per-robot-clock mode: only algorithms that advertise async-safety
+  // run the real event loop; a lockstep-only algorithm under an async
+  // config is auto-driven by the synchronous round-robin schedule,
+  // which is exactly the stepped loop below.
+  if (config.async != nullptr &&
+      algorithm.activation_granularity() ==
+          ActivationGranularity::kAsyncSafe) {
+    return run_async(tree, algorithm, config, max_rounds);
+  }
 
   // Fast-forward needs committed-segment hints from the algorithm and
   // is incompatible with anything that must see (or perturb) every
@@ -488,6 +753,7 @@ RunResult run_exploration(const Tree& tree, Algorithm& algorithm,
       }
     }
 
+    state.set_clock_base(t + 1);
     selector.reset();
     algorithm.select_moves(view, selector);
 
@@ -559,6 +825,9 @@ RunResult run_exploration(const Tree& tree, Algorithm& algorithm,
       // Under break-downs an all-stay round can simply mean every useful
       // robot was blocked; time still passes.
       ++result.rounds;
+      for (const char m : movable) {
+        if (m) ++result.total_activations;
+      }
       if (config.observer != nullptr) {
         config.observer->on_round(result.rounds, state);
       }
@@ -568,43 +837,18 @@ RunResult run_exploration(const Tree& tree, Algorithm& algorithm,
     // Synchronous MOVE.
     std::int64_t idle_movable = 0;
     for (std::int32_t i = 0; i < config.num_robots; ++i) {
-      const auto& p = pending[static_cast<std::size_t>(i)];
-      const NodeId pos = state.robot_pos(i);
-      switch (p.kind) {
-        case MoveSelector::Kind::kNone:
-        case MoveSelector::Kind::kStay:
-          if (movable[static_cast<std::size_t>(i)]) ++idle_movable;
-          break;
-        case MoveSelector::Kind::kUp:
-          BFDN_CHECK(p.target == pos, "stale up-move");
-          state.set_robot_pos(i, tree.parent(pos));
-          state.record_traversal(pos, /*downward=*/false);
-          ++result.robot_moves[static_cast<std::size_t>(i)];
-          break;
-        case MoveSelector::Kind::kDownExplored:
-          state.set_robot_pos(i, p.target);
-          state.record_traversal(p.target, /*downward=*/true);
-          ++result.robot_moves[static_cast<std::size_t>(i)];
-          break;
-        case MoveSelector::Kind::kDownDangling: {
-          if (!state.is_explored(p.target)) {
-            state.commit_dangling(pos, p.target);
-            const auto d =
-                static_cast<std::size_t>(tree.depth(p.target));
-            if (--unexplored_at_depth[d] == 0) {
-              result.depth_completed_round[d] = result.rounds + 1;
-            }
-          }
-          // else: a joiner; an earlier robot in this round's commit
-          // order already explored the edge (group traversal).
-          state.set_robot_pos(i, p.target);
-          state.record_traversal(p.target, /*downward=*/true);
-          ++result.robot_moves[static_cast<std::size_t>(i)];
-          break;
-        }
+      if (!apply_pending_move(tree, state, i,
+                              pending[static_cast<std::size_t>(i)],
+                              unexplored_at_depth, result,
+                              result.rounds + 1) &&
+          movable[static_cast<std::size_t>(i)]) {
+        ++idle_movable;
       }
     }
     ++result.rounds;
+    for (const char m : movable) {
+      if (m) ++result.total_activations;
+    }
     if (idle_movable > 0) {
       ++result.rounds_with_idle;
       result.idle_robot_rounds += idle_movable;
@@ -641,6 +885,12 @@ RunResult run_exploration(const Tree& tree, Algorithm& algorithm,
   }
   result.final_state_hash = state.state_hash();
   return result;
+}
+
+std::int64_t default_round_limit(const Tree& tree) {
+  return 3 * static_cast<std::int64_t>(std::max(tree.depth(), 1)) *
+             tree.num_nodes() +
+         4 * tree.num_nodes() + 4 * tree.depth() + 64;
 }
 
 double theorem1_bound(std::int64_t n, std::int32_t depth,

@@ -31,6 +31,31 @@ class BreakdownSchedule {
   virtual bool exhausted(std::int64_t t) const = 0;
 };
 
+/// Per-robot virtual clock source for the asynchronous execution model
+/// (see docs/MODEL.md, "Per-robot clocks"). The scheduler decides at
+/// which virtual times each robot is activated; the engine processes
+/// activations in ascending time order, robots sharing a time forming
+/// one synchronous mini-round. Implementations must be deterministic
+/// pure functions of (robot, now) — no internal state — so a run is
+/// reproducible from the spec alone, and must satisfy
+/// first_activation(i) >= 1 and next_activation(now, i) > now with all
+/// gaps finite (every robot is activated infinitely often).
+/// Concrete schedulers live in src/adversarial/async_scheduler.h.
+class AsyncScheduler {
+ public:
+  virtual ~AsyncScheduler() = default;
+  virtual std::string name() const = 0;
+  /// Virtual time of robot's first activation (>= 1).
+  virtual std::int64_t first_activation(std::int32_t robot) const = 0;
+  /// Next activation of `robot` strictly after virtual time `now`.
+  virtual std::int64_t next_activation(std::int64_t now,
+                                       std::int32_t robot) const = 0;
+  /// True iff every robot is activated at every virtual time (all
+  /// clocks tick together) — the schedule under which the async engine
+  /// must reproduce the synchronous engine bit-identically.
+  virtual bool lockstep() const { return false; }
+};
+
 /// Remark 8 extension: an adversary that inspects the moves the robots
 /// selected this round BEFORE deciding which robots to block. Blocked
 /// robots stay put and their dangling-edge reservations return to the
@@ -132,6 +157,21 @@ enum class TransitCapability : std::uint8_t {
   kCommittedSegments,
 };
 
+/// Whether an algorithm's per-robot decisions stay correct when robots
+/// are activated out of lockstep by an AsyncScheduler. kAsyncSafe
+/// requires (1) select_moves_subset implemented for arbitrary batches
+/// (not only the fast-forward wake sets), (2) each robot's decision to
+/// depend only on shared exploration state plus that robot's private
+/// state, (3) stay-stability: a robot that selected stay selects stay
+/// again at its next activation if no move executed in between, and
+/// (4) finished() left at the default. Lockstep-only algorithms under
+/// an async RunConfig are auto-driven by the round-robin schedule,
+/// i.e. executed synchronously.
+enum class ActivationGranularity : std::uint8_t {
+  kLockstep,
+  kAsyncSafe,
+};
+
 /// One robot's committed plan between two of its decision points
 /// ("events"), produced by Algorithm::plan_transit right after the
 /// robot's move in an event round:
@@ -178,6 +218,11 @@ class Algorithm {
   /// used by the optional Claim-4 invariant checker. Empty = not
   /// anchor-based.
   virtual std::vector<NodeId> anchors() const;
+
+  /// Opt-in to the per-robot-clock engine (RunConfig::async). Default:
+  /// kLockstep — the engine then drives the algorithm round-robin
+  /// (synchronously) even when an async scheduler is configured.
+  virtual ActivationGranularity activation_granularity() const;
 
   /// Opt-in to the engine's fast-forward mode. Default: kStepOnly.
   /// Implementations returning kCommittedSegments must also override
@@ -233,6 +278,13 @@ struct RunConfig {
   BreakdownSchedule* schedule = nullptr;
   /// Reactive adversary (Remark 8); mutually exclusive with `schedule`.
   ReactiveAdversary* reactive = nullptr;
+  /// Per-robot-clock activation source; nullptr = the synchronous
+  /// model (all robots activated every round). Mutually exclusive with
+  /// `schedule` and `reactive`. Algorithms advertising kAsyncSafe run
+  /// through the async event loop; kLockstep algorithms are auto-driven
+  /// by the round-robin schedule (i.e. the scheduler is ignored and the
+  /// run is synchronous; see docs/MODEL.md).
+  AsyncScheduler* async = nullptr;
   /// If non-null, receives one frame per executed round.
   std::vector<TraceFrame>* trace = nullptr;
   /// If non-null, called after every counted round (verification hook).
@@ -270,6 +322,13 @@ struct RunResult {
   std::int64_t total_reanchor_switches = 0;
   /// Robot-moves cancelled by a reactive adversary (Remark 8).
   std::int64_t reactive_blocks = 0;
+  /// Robot-activation slots in counted rounds: one per (robot, time)
+  /// pair in which the scheduler activated the robot and the round was
+  /// counted. Synchronously this is movable-robots x counted rounds
+  /// (= k x rounds outside break-downs); under an async schedule, the
+  /// sum of mini-round batch sizes over counted event times. The
+  /// bench's activations/s throughput denominator.
+  std::int64_t total_activations = 0;
   /// depth_completed_round[d]: first round after which every node at
   /// depth d is explored (-1 if the run ended before that; [0] == 0).
   /// BFDN's breadth-first re-anchoring makes this strictly increasing
@@ -284,6 +343,11 @@ struct RunResult {
 /// Runs `algorithm` on `tree` until termination (see RunConfig).
 RunResult run_exploration(const Tree& tree, Algorithm& algorithm,
                           const RunConfig& config);
+
+/// The automatic round limit run_exploration applies when
+/// RunConfig::max_rounds == 0: comfortably above the 3*D*n termination
+/// bound. Exposed so callers driving slow async schedules can scale it.
+std::int64_t default_round_limit(const Tree& tree);
 
 /// Theorem 1 right-hand side: 2n/k + D^2 (min(log k, log Delta) + 3).
 double theorem1_bound(std::int64_t n, std::int32_t depth,

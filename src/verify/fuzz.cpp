@@ -161,6 +161,24 @@ ScheduleSpec sample_schedule(Rng& rng, const Tree& tree, std::int32_t k) {
   return spec;
 }
 
+AsyncSpec sample_async(Rng& rng, std::int32_t k) {
+  AsyncSpec spec;
+  // Exotic kinds only: round-robin is exercised by every case through
+  // the always-on kAsyncEquivalence leg, so sampling it here would be
+  // redundant coverage.
+  switch (rng.next_below(3)) {
+    case 0: spec.kind = AsyncKind::kFixedRate; break;
+    case 1: spec.kind = AsyncKind::kLaggard; break;
+    default: spec.kind = AsyncKind::kRandom; break;
+  }
+  spec.seed = rng();
+  spec.period = rng.next_int(2, 5);
+  spec.max_delay = rng.next_int(1, 4);
+  spec.num_slow = static_cast<std::int32_t>(
+      rng.next_int(1, std::max<std::int32_t>(1, k)));
+  return spec;
+}
+
 }  // namespace
 
 Tree build_fuzz_case(const FuzzOptions& options, std::int32_t case_index,
@@ -176,17 +194,24 @@ Tree build_fuzz_case(const FuzzOptions& options, std::int32_t case_index,
   if (rng.next_bool(options.schedule_p)) {
     config.schedule = sample_schedule(rng, sampled.tree, config.k);
     schedule_label = config.schedule.label();
+  } else if (rng.next_bool(options.async_p)) {
+    // Async and break-down schedules are mutually exclusive, so the
+    // async draw only happens on the no-schedule branch. That also
+    // keeps the rng draw sequence of schedule-carrying cases identical
+    // to the pre-async fuzzer: a given (seed, index) keeps sampling
+    // the same tree, k, and schedule as before.
+    config.async = sample_async(rng, config.k);
   }
 
   if (recipe_out != nullptr) {
     *recipe_out = str_format(
         "case=%d seed=%llu family=%s n=%lld D=%d Delta=%d k=%d "
-        "schedule=%s fault=%s",
+        "schedule=%s async=%s fault=%s",
         case_index, static_cast<unsigned long long>(options.seed),
         sampled.recipe.c_str(),
         static_cast<long long>(sampled.tree.num_nodes()),
         sampled.tree.depth(), sampled.tree.max_degree(), config.k,
-        schedule_label.c_str(),
+        schedule_label.c_str(), config.async.label().c_str(),
         options.inject_load_leak ? "load-leak" : "none");
   }
   if (config_out != nullptr) *config_out = config;
@@ -229,7 +254,7 @@ FuzzCounterexample finalize_counterexample(const FuzzOptions& options,
     algo.options = cex.shrunk.config.bfdn;
     cex.trace_path = stem + ".trace";
     record_trace(cex.shrunk.tree, algo, cex.trace_path,
-                 cex.shrunk.config.schedule);
+                 cex.shrunk.config.schedule, 0, cex.shrunk.config.async);
     cex.recipe_path = stem + ".txt";
     const std::string body = str_format(
         "# bfdn_fuzz counterexample\n# %s\n# check=%s\n# %s\n"

@@ -33,6 +33,12 @@ struct FuzzOptions {
   std::int64_t max_nodes = 400;
   /// Sampling probability of attaching a break-down schedule to a case.
   double schedule_p = 0.3;
+  /// Sampling probability of attaching an async (per-robot-clock)
+  /// scheduler to a case that drew no break-down schedule (the two are
+  /// mutually exclusive). Every async case runs the
+  /// kAsyncEquivalence exotic leg on top of the always-on round-robin
+  /// one.
+  double async_p = 0.3;
   /// Inject the fault_load_leak counter bug into every case (harness
   /// self-test: the oracle must then find counterexamples).
   bool inject_load_leak = false;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "adversarial/async_scheduler.h"
 #include "adversarial/schedules.h"
 #include "core/bfdn.h"
 #include "distributed/writeread.h"
@@ -28,6 +29,7 @@ const char* oracle_check_name(OracleCheck check) {
     case OracleCheck::kBreakdown: return "breakdown";
     case OracleCheck::kEngineInvariant: return "engine-invariant";
     case OracleCheck::kFastForward: return "fast-forward";
+    case OracleCheck::kAsyncEquivalence: return "async-equivalence";
   }
   return "?";
 }
@@ -106,6 +108,92 @@ BfdnRunOutcome run_bfdn(const Tree& tree, const OracleConfig& config,
     outcome.average_allowed = schedule->average_allowed();
   }
   return outcome;
+}
+
+/// Observer that records nothing; its presence forces the stepped
+/// engine paths (sync loop, async stepped sub-mode) without otherwise
+/// perturbing the run.
+class NullObserver : public RoundObserver {
+ public:
+  void on_round(std::int64_t, const ExplorationState&) override {}
+};
+
+/// Field-by-field RunResult comparison shared by the fast-forward and
+/// async-equivalence differentials: `candidate` (named `candidate_name`
+/// in failure details) must reproduce the stepped reference `st`
+/// exactly.
+void compare_run_results(const RunResult& candidate, const RunResult& st,
+                         const char* candidate_name, OracleCheck check,
+                         OracleReport& report) {
+  const auto fail = [&report, check](std::string detail) {
+    report.failures.push_back({check, std::move(detail)});
+  };
+  const auto mismatch = [&fail, candidate_name](const char* what,
+                                                long long a, long long b) {
+    fail(str_format("%s: %s %lld != stepped %lld", what, candidate_name, a,
+                    b));
+  };
+  if (candidate.rounds != st.rounds) {
+    mismatch("rounds", candidate.rounds, st.rounds);
+  } else if (candidate.final_state_hash != st.final_state_hash) {
+    fail(str_format("%s: final state hashes diverge at equal round counts",
+                    candidate_name));
+  }
+  if (candidate.complete != st.complete) {
+    mismatch("complete", candidate.complete, st.complete);
+  }
+  if (candidate.all_at_root != st.all_at_root) {
+    mismatch("all_at_root", candidate.all_at_root, st.all_at_root);
+  }
+  if (candidate.hit_round_limit != st.hit_round_limit) {
+    mismatch("hit_round_limit", candidate.hit_round_limit,
+             st.hit_round_limit);
+  }
+  if (candidate.edge_events != st.edge_events) {
+    mismatch("edge_events", candidate.edge_events, st.edge_events);
+  }
+  if (candidate.rounds_with_idle != st.rounds_with_idle) {
+    mismatch("rounds_with_idle", candidate.rounds_with_idle,
+             st.rounds_with_idle);
+  }
+  if (candidate.idle_robot_rounds != st.idle_robot_rounds) {
+    mismatch("idle_robot_rounds", candidate.idle_robot_rounds,
+             st.idle_robot_rounds);
+  }
+  if (candidate.total_activations != st.total_activations) {
+    mismatch("total_activations", candidate.total_activations,
+             st.total_activations);
+  }
+  if (candidate.robot_moves != st.robot_moves) {
+    fail(str_format("%s: per-robot move counts diverge", candidate_name));
+  }
+  if (candidate.total_reanchors != st.total_reanchors) {
+    mismatch("total_reanchors", candidate.total_reanchors,
+             st.total_reanchors);
+  }
+  if (candidate.total_reanchor_switches != st.total_reanchor_switches) {
+    mismatch("total_reanchor_switches", candidate.total_reanchor_switches,
+             st.total_reanchor_switches);
+  }
+  if (candidate.reanchors_by_depth.buckets() !=
+      st.reanchors_by_depth.buckets()) {
+    fail(str_format("%s: reanchor histograms diverge: {%s} vs {%s}",
+                    candidate_name,
+                    candidate.reanchors_by_depth.to_string().c_str(),
+                    st.reanchors_by_depth.to_string().c_str()));
+  }
+  if (candidate.reanchor_switches_by_depth.buckets() !=
+      st.reanchor_switches_by_depth.buckets()) {
+    fail(str_format(
+        "%s: Lemma 2 switch histograms diverge: {%s} vs {%s}",
+        candidate_name,
+        candidate.reanchor_switches_by_depth.to_string().c_str(),
+        st.reanchor_switches_by_depth.to_string().c_str()));
+  }
+  if (candidate.depth_completed_round != st.depth_completed_round) {
+    fail(str_format("%s: depth completion timelines diverge",
+                    candidate_name));
+  }
 }
 
 /// The tree as a port-numbered graph for the Section 4.3 driver.
@@ -243,71 +331,115 @@ OracleReport run_oracle(const Tree& tree, const OracleConfig& config) {
     run_config.fast_forward = true;
     try {
       const RunResult ff = run_exploration(tree, algorithm, run_config);
-      const RunResult& st = primary.result;
-      const auto mismatch = [&fail](const char* what, long long a,
-                                    long long b) {
-        fail(OracleCheck::kFastForward,
-             str_format("%s: fast-forward %lld != stepped %lld", what, a,
-                        b));
-      };
-      if (ff.rounds != st.rounds) {
-        mismatch("rounds", ff.rounds, st.rounds);
-      } else if (ff.final_state_hash != st.final_state_hash) {
-        fail(OracleCheck::kFastForward,
-             "final state hashes diverge at equal round counts");
-      }
-      if (ff.complete != st.complete) {
-        mismatch("complete", ff.complete, st.complete);
-      }
-      if (ff.all_at_root != st.all_at_root) {
-        mismatch("all_at_root", ff.all_at_root, st.all_at_root);
-      }
-      if (ff.hit_round_limit != st.hit_round_limit) {
-        mismatch("hit_round_limit", ff.hit_round_limit,
-                 st.hit_round_limit);
-      }
-      if (ff.edge_events != st.edge_events) {
-        mismatch("edge_events", ff.edge_events, st.edge_events);
-      }
-      if (ff.rounds_with_idle != st.rounds_with_idle) {
-        mismatch("rounds_with_idle", ff.rounds_with_idle,
-                 st.rounds_with_idle);
-      }
-      if (ff.idle_robot_rounds != st.idle_robot_rounds) {
-        mismatch("idle_robot_rounds", ff.idle_robot_rounds,
-                 st.idle_robot_rounds);
-      }
-      if (ff.robot_moves != st.robot_moves) {
-        fail(OracleCheck::kFastForward, "per-robot move counts diverge");
-      }
-      if (ff.total_reanchors != st.total_reanchors) {
-        mismatch("total_reanchors", ff.total_reanchors,
-                 st.total_reanchors);
-      }
-      if (ff.total_reanchor_switches != st.total_reanchor_switches) {
-        mismatch("total_reanchor_switches", ff.total_reanchor_switches,
-                 st.total_reanchor_switches);
-      }
-      if (ff.reanchors_by_depth.buckets() !=
-          st.reanchors_by_depth.buckets()) {
-        fail(OracleCheck::kFastForward,
-             str_format("reanchor histograms diverge: {%s} vs {%s}",
-                        ff.reanchors_by_depth.to_string().c_str(),
-                        st.reanchors_by_depth.to_string().c_str()));
-      }
-      if (ff.reanchor_switches_by_depth.buckets() !=
-          st.reanchor_switches_by_depth.buckets()) {
-        fail(OracleCheck::kFastForward,
-             str_format("Lemma 2 switch histograms diverge: {%s} vs {%s}",
-                        ff.reanchor_switches_by_depth.to_string().c_str(),
-                        st.reanchor_switches_by_depth.to_string().c_str()));
-      }
-      if (ff.depth_completed_round != st.depth_completed_round) {
-        fail(OracleCheck::kFastForward,
-             "depth completion timelines diverge");
-      }
+      compare_run_results(ff, primary.result, "fast-forward",
+                          OracleCheck::kFastForward, report);
     } catch (const CheckError& error) {
       fail(OracleCheck::kEngineInvariant, error.what());
+    }
+  }
+
+  // --- per-robot clocks: async == sync (differential) -----------------
+  // The round-robin scheduler is the degenerate point of the async
+  // model, and the engine promises it reproduces the synchronous run
+  // bit-identically in both sub-modes: the stepped one (observer forces
+  // it; compared hash-by-hash against the primary run) and the
+  // plan-batched one (no hooks). An exotic AsyncSpec additionally pits
+  // the two sub-modes against each other and requires the run to still
+  // finish the job. Skipped under break-downs, which are mutually
+  // exclusive with async scheduling.
+  if (!breakdown) {
+    RoundRobinScheduler round_robin;
+    {
+      BfdnAlgorithm algorithm(k, config.bfdn);
+      std::vector<std::uint64_t> hashes;
+      CollectingObserver observer(hashes);
+      RunConfig run_config;
+      run_config.num_robots = k;
+      run_config.max_rounds = config.max_rounds;
+      run_config.async = &round_robin;
+      run_config.check_invariants = true;
+      run_config.observer = &observer;
+      try {
+        const RunResult rr = run_exploration(tree, algorithm, run_config);
+        if (hashes != primary.hashes) {
+          const std::size_t common =
+              std::min(hashes.size(), primary.hashes.size());
+          std::size_t r = 0;
+          while (r < common && hashes[r] == primary.hashes[r]) ++r;
+          fail(OracleCheck::kAsyncEquivalence,
+               str_format("round-robin async and sync hash sequences "
+                          "diverge at round %zu (%zu vs %zu rounds total)",
+                          r + 1, hashes.size(), primary.hashes.size()));
+        }
+        compare_run_results(rr, primary.result, "round-robin async",
+                            OracleCheck::kAsyncEquivalence, report);
+      } catch (const CheckError& error) {
+        fail(OracleCheck::kEngineInvariant, error.what());
+      }
+    }
+    {
+      BfdnAlgorithm algorithm(k, config.bfdn);
+      RunConfig run_config;
+      run_config.num_robots = k;
+      run_config.max_rounds = config.max_rounds;
+      run_config.async = &round_robin;
+      try {
+        const RunResult rr = run_exploration(tree, algorithm, run_config);
+        compare_run_results(rr, primary.result, "batched round-robin async",
+                            OracleCheck::kAsyncEquivalence, report);
+      } catch (const CheckError& error) {
+        fail(OracleCheck::kEngineInvariant, error.what());
+      }
+    }
+    if (config.async.kind != AsyncKind::kNone &&
+        config.async.kind != AsyncKind::kRoundRobin) {
+      const std::unique_ptr<AsyncScheduler> scheduler =
+          config.async.make(k);
+      // Slow schedulers stretch the makespan by up to the worst
+      // activation gap; scale the round limit so a healthy run is never
+      // misread as a timeout.
+      const std::int64_t limit =
+          (config.max_rounds > 0 ? config.max_rounds
+                                 : default_round_limit(tree)) *
+          config.async.slowdown();
+      try {
+        NullObserver null_observer;
+        BfdnAlgorithm stepped_algorithm(k, config.bfdn);
+        RunConfig stepped_config;
+        stepped_config.num_robots = k;
+        stepped_config.max_rounds = limit;
+        stepped_config.async = scheduler.get();
+        stepped_config.observer = &null_observer;
+        const RunResult stepped =
+            run_exploration(tree, stepped_algorithm, stepped_config);
+
+        BfdnAlgorithm batched_algorithm(k, config.bfdn);
+        RunConfig batched_config;
+        batched_config.num_robots = k;
+        batched_config.max_rounds = limit;
+        batched_config.async = scheduler.get();
+        const RunResult batched =
+            run_exploration(tree, batched_algorithm, batched_config);
+
+        compare_run_results(batched, stepped, "batched async",
+                            OracleCheck::kAsyncEquivalence, report);
+        if (!stepped.complete || !stepped.all_at_root) {
+          fail(OracleCheck::kAsyncEquivalence,
+               str_format("%s: complete=%d all_at_root=%d hit_limit=%d",
+                          config.async.label().c_str(),
+                          stepped.complete ? 1 : 0,
+                          stepped.all_at_root ? 1 : 0,
+                          stepped.hit_round_limit ? 1 : 0));
+        } else if (stepped.edge_events != 2 * (n - 1)) {
+          fail(OracleCheck::kAsyncEquivalence,
+               str_format("%s: edge events %lld != 2(n-1) = %lld",
+                          config.async.label().c_str(),
+                          static_cast<long long>(stepped.edge_events),
+                          static_cast<long long>(2 * (n - 1))));
+        }
+      } catch (const CheckError& error) {
+        fail(OracleCheck::kEngineInvariant, error.what());
+      }
     }
   }
 

@@ -27,6 +27,15 @@
 //    exploration (Section 4.3 degenerates on trees): no edge is ever
 //    closed, the BFS tree is the tree itself, and rounds respect the
 //    Proposition 9 bound.
+//  * The per-robot-clock engine under the round-robin scheduler
+//    reproduces the synchronous execution bit-identically — the same
+//    per-round state hashes, final digest, Lemma 2 histograms and every
+//    other RunResult field — in both its stepped and plan-batched
+//    sub-modes; and for an exotic AsyncSpec (heterogeneous rates,
+//    laggards, random gaps) the two sub-modes agree with each other and
+//    the run still completes with 2(n-1) edge events and all robots
+//    home (skipped under break-down schedules, which are mutually
+//    exclusive with async scheduling).
 //  * Under a break-down schedule (Section 4.2): if the run ended
 //    incomplete, the adversary must not have granted an average allowed
 //    distance of 2n/k + D^2(log k + 3) (Proposition 7 contrapositive).
@@ -55,6 +64,7 @@ enum class OracleCheck : std::uint8_t {
   kBreakdown = 7,        // Prop. 7 work accounting under schedules
   kEngineInvariant = 8,  // a BFDN_CHECK fired inside a run
   kFastForward = 9,      // fast-forward == stepped engine, field by field
+  kAsyncEquivalence = 10,  // round-robin async == sync, bit by bit
 };
 
 const char* oracle_check_name(OracleCheck check);
@@ -65,6 +75,10 @@ struct OracleConfig {
   /// plain Section 2 setting). Bound checks that do not hold under
   /// break-downs are adjusted per Proposition 7.
   ScheduleSpec schedule;
+  /// Exotic per-robot-clock schedule to exercise on top of the always-on
+  /// round-robin equivalence leg (kNone / kRoundRobin add nothing).
+  /// Mutually exclusive with `schedule`; ignored under break-downs.
+  AsyncSpec async;
   /// Options for the primary BFDN runs. The bound checks assume the
   /// paper's algorithm (least-loaded, no depth cap, no shortcut) and
   /// are skipped for other policies. Fault-injection knobs ride here.

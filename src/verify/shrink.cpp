@@ -24,6 +24,14 @@ OracleConfig probe_config(const OracleConfig& config, OracleCheck check) {
     probe.run_ell = config.run_ell;
     probe.run_graph = config.run_graph;
   }
+  // Only async-equivalence (and the anywhere-originating invariant
+  // check) need the exotic async leg; everything else probes cheaper
+  // without it. The dedicated async_pass later simplifies the spec for
+  // the checks that keep it.
+  if (check != OracleCheck::kAsyncEquivalence &&
+      check != OracleCheck::kEngineInvariant) {
+    probe.async = AsyncSpec{};
+  }
   return probe;
 }
 
@@ -97,6 +105,7 @@ class Shrinker {
       progress |= leaf_pass();
       progress |= hoist_pass();
       progress |= robot_pass();
+      progress |= async_pass();
     }
     return std::move(result_);
   }
@@ -229,6 +238,46 @@ class Shrinker {
         continue;
       }
       break;
+    }
+    return progress;
+  }
+
+  /// Simplifies the async scheduler spec while the failure persists:
+  /// drop it entirely, else reduce an exotic kind to round-robin (the
+  /// sync-equivalent schedule), else floor the exotic parameters.
+  bool async_pass() {
+    if (result_.config.async.kind == AsyncKind::kNone) return false;
+    bool progress = false;
+    const auto try_spec = [this, &progress](const AsyncSpec& spec) {
+      if (result_.probes >= options_.max_probes) return;
+      OracleConfig candidate = result_.config;
+      candidate.async = spec;
+      if (still_fails(result_.tree, candidate)) {
+        result_.config = candidate;
+        ++result_.accepted_reductions;
+        progress = true;
+      }
+    };
+    try_spec(AsyncSpec{});
+    if (result_.config.async.kind != AsyncKind::kNone &&
+        result_.config.async.kind != AsyncKind::kRoundRobin) {
+      AsyncSpec round_robin;
+      round_robin.kind = AsyncKind::kRoundRobin;
+      try_spec(round_robin);
+    }
+    const AsyncSpec& current = result_.config.async;
+    if (current.kind == AsyncKind::kFixedRate ||
+        current.kind == AsyncKind::kLaggard ||
+        current.kind == AsyncKind::kRandom) {
+      AsyncSpec floored = current;
+      floored.num_slow = 1;
+      floored.period = 2;
+      floored.max_delay = 1;
+      if (floored.num_slow != current.num_slow ||
+          floored.period != current.period ||
+          floored.max_delay != current.max_delay) {
+        try_spec(floored);
+      }
     }
     return progress;
   }

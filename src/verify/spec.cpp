@@ -52,6 +52,62 @@ std::string ScheduleSpec::label() const {
   return "?";
 }
 
+std::unique_ptr<AsyncScheduler> AsyncSpec::make(std::int32_t k) const {
+  switch (kind) {
+    case AsyncKind::kNone:
+      return nullptr;
+    case AsyncKind::kRoundRobin:
+      return std::make_unique<RoundRobinScheduler>();
+    case AsyncKind::kFixedRate:
+      return std::make_unique<FixedRateScheduler>(
+          k, period, std::min(num_slow, k));
+    case AsyncKind::kLaggard:
+      return std::make_unique<LaggardScheduler>(k, period,
+                                                std::min(num_slow, k));
+    case AsyncKind::kRandom:
+      return std::make_unique<RandomScheduler>(seed, max_delay);
+  }
+  BFDN_CHECK(false, "unreachable async kind");
+  return nullptr;
+}
+
+std::int64_t AsyncSpec::slowdown() const {
+  switch (kind) {
+    case AsyncKind::kNone:
+    case AsyncKind::kRoundRobin:
+      return 1;
+    case AsyncKind::kFixedRate:
+      return period;
+    case AsyncKind::kLaggard:
+      // A laggard activated right before its stalled window waits
+      // period steps for the window plus its own next turn.
+      return 2 * period;
+    case AsyncKind::kRandom:
+      return max_delay + 1;
+  }
+  return 1;
+}
+
+std::string AsyncSpec::label() const {
+  switch (kind) {
+    case AsyncKind::kNone:
+      return "none";
+    case AsyncKind::kRoundRobin:
+      return "round-robin";
+    case AsyncKind::kFixedRate:
+      return str_format("fixed-rate(period=%lld, slow=%d)",
+                        static_cast<long long>(period), num_slow);
+    case AsyncKind::kLaggard:
+      return str_format("laggard(period=%lld, slow=%d)",
+                        static_cast<long long>(period), num_slow);
+    case AsyncKind::kRandom:
+      return str_format("random(seed=%llu, delay=%lld)",
+                        static_cast<unsigned long long>(seed),
+                        static_cast<long long>(max_delay));
+  }
+  return "?";
+}
+
 std::string AlgoSpec::label() const {
   switch (kind) {
     case AlgoKind::kBfdn: {

@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 
+#include "adversarial/async_scheduler.h"
 #include "adversarial/schedules.h"
 #include "core/bfdn.h"
 #include "graph/tree.h"
@@ -51,6 +52,37 @@ struct ScheduleSpec {
   /// Instantiates the schedule (nullptr for kNone). Deterministic: two
   /// instances from the same spec produce identical allow decisions.
   std::unique_ptr<FiniteSchedule> make(std::int32_t k) const;
+
+  std::string label() const;
+};
+
+/// Per-robot-clock scheduler family (src/adversarial/async_scheduler).
+/// kNone is the synchronous model; mutually exclusive with a break-down
+/// ScheduleSpec — the two adversaries control different things (speeds
+/// vs. permitted moves) and the engine rejects the combination.
+enum class AsyncKind : std::uint8_t {
+  kNone = 0,
+  kRoundRobin = 1,
+  kFixedRate = 2,
+  kLaggard = 3,
+  kRandom = 4,
+};
+
+struct AsyncSpec {
+  AsyncKind kind = AsyncKind::kNone;
+  std::uint64_t seed = 1;      // kRandom
+  std::int64_t max_delay = 3;  // kRandom: gap in [1, max_delay + 1]
+  std::int64_t period = 2;     // kFixedRate: speed ratio; kLaggard: window
+  std::int32_t num_slow = 1;   // kFixedRate / kLaggard
+
+  /// Instantiates the scheduler (nullptr for kNone). Deterministic:
+  /// activation times are pure functions of the spec.
+  std::unique_ptr<AsyncScheduler> make(std::int32_t k) const;
+
+  /// For slow schedulers the default 3Dn round limit no longer covers
+  /// a full exploration; this is the factor by which callers should
+  /// scale it (worst-case activation gap of the slowest robot).
+  std::int64_t slowdown() const;
 
   std::string label() const;
 };

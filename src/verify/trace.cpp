@@ -14,7 +14,7 @@
 namespace bfdn {
 namespace {
 
-constexpr char kMagic[8] = {'B', 'F', 'D', 'N', 'T', 'R', 'C', '1'};
+constexpr char kMagic[8] = {'B', 'F', 'D', 'N', 'T', 'R', 'C', '2'};
 
 // --- little-endian fixed-width primitives ----------------------------
 
@@ -138,10 +138,16 @@ Graph tree_as_graph(const Tree& tree) {
 
 TraceData run_traced(const Tree& tree, const AlgoSpec& algo,
                      const ScheduleSpec& schedule,
-                     std::int64_t max_rounds) {
+                     std::int64_t max_rounds, const AsyncSpec& async) {
+  BFDN_REQUIRE(async.kind == AsyncKind::kNone ||
+                   (algo.engine_based() &&
+                    schedule.kind == ScheduleKind::kNone),
+               "async specs apply to engine-based runs without break-down "
+               "schedules");
   TraceData data;
   data.algo = algo;
   data.schedule = schedule;
+  data.async = async;
   data.max_rounds = max_rounds;
   data.parents.reserve(static_cast<std::size_t>(tree.num_nodes()));
   for (NodeId v = 0; v < tree.num_nodes(); ++v) {
@@ -151,11 +157,18 @@ TraceData run_traced(const Tree& tree, const AlgoSpec& algo,
   if (algo.engine_based()) {
     const std::unique_ptr<Algorithm> algorithm = make_algorithm(algo, tree);
     const std::unique_ptr<FiniteSchedule> sched = schedule.make(algo.k);
+    const std::unique_ptr<AsyncScheduler> async_sched = async.make(algo.k);
     HashingObserver observer(data.round_hashes);
     RunConfig config;
     config.num_robots = algo.k;
     config.max_rounds = max_rounds;
+    if (max_rounds == 0 && async.slowdown() > 1) {
+      // Slow schedulers stretch the makespan beyond the engine's
+      // default limit; scale it deterministically so replay agrees.
+      config.max_rounds = default_round_limit(tree) * async.slowdown();
+    }
     config.schedule = sched.get();
+    config.async = async_sched.get();
     config.observer = &observer;
     const RunResult result = run_exploration(tree, *algorithm, config);
     data.rounds = result.rounds;
@@ -218,6 +231,13 @@ void write_trace(const TraceData& data, const std::string& path) {
   put_f64(out, data.schedule.p);
   put_u64(out, data.schedule.seed);
   put_i64(out, data.schedule.period);
+
+  // Async (per-robot-clock) spec — new in version 2.
+  put_u8(out, static_cast<std::uint8_t>(data.async.kind));
+  put_u64(out, data.async.seed);
+  put_i64(out, data.async.max_delay);
+  put_i64(out, data.async.period);
+  put_i32(out, data.async.num_slow);
 
   // Run config.
   put_i64(out, data.max_rounds);
@@ -283,6 +303,18 @@ TraceData read_trace(const std::string& path) {
   data.schedule.seed = get_u64(in);
   data.schedule.period = get_i64(in);
 
+  const std::uint8_t async_kind = get_u8(in);
+  BFDN_CHECK(async_kind <= static_cast<std::uint8_t>(AsyncKind::kRandom),
+             "trace names an unknown async scheduler kind");
+  data.async.kind = static_cast<AsyncKind>(async_kind);
+  data.async.seed = get_u64(in);
+  data.async.max_delay = get_i64(in);
+  data.async.period = get_i64(in);
+  data.async.num_slow = get_i32(in);
+  BFDN_CHECK(data.async.max_delay >= 0 && data.async.period >= 1 &&
+                 data.async.num_slow >= 0,
+             "trace has an implausible async spec");
+
   data.max_rounds = get_i64(in);
   data.check_invariants = get_u8(in) != 0;
 
@@ -311,8 +343,8 @@ TraceData read_trace(const std::string& path) {
 TraceData record_trace(const Tree& tree, const AlgoSpec& algo,
                        const std::string& path,
                        const ScheduleSpec& schedule,
-                       std::int64_t max_rounds) {
-  TraceData data = run_traced(tree, algo, schedule, max_rounds);
+                       std::int64_t max_rounds, const AsyncSpec& async) {
+  TraceData data = run_traced(tree, algo, schedule, max_rounds, async);
   write_trace(data, path);
   return data;
 }
@@ -322,7 +354,7 @@ ReplayReport replay_trace(const TraceData& recorded) {
   report.recorded = recorded;
   const Tree tree = recorded.rebuild_tree();
   report.replayed = run_traced(tree, recorded.algo, recorded.schedule,
-                               recorded.max_rounds);
+                               recorded.max_rounds, recorded.async);
 
   const auto& want = recorded.round_hashes;
   const auto& got = report.replayed.round_hashes;

@@ -10,8 +10,11 @@
 // which the executions split.
 //
 // Layout (little-endian, fixed-width; see docs/VERIFY.md):
-//   magic "BFDNTRC1" | u32 version | algo spec | schedule spec |
-//   run config | tree (n + parents) | round hashes | summary footer.
+//   magic "BFDNTRC2" | u32 version | algo spec | schedule spec |
+//   async spec | run config | tree (n + parents) | round hashes |
+//   summary footer.
+// Version 2 added the async (per-robot-clock scheduler) spec; version-1
+// files are rejected rather than silently reinterpreted.
 //
 // Engine-based instances (BFDN, BFDN_l, baselines) hash the observable
 // ExplorationState after every round; the write-read and graph drivers
@@ -27,12 +30,15 @@
 
 namespace bfdn {
 
-inline constexpr std::uint32_t kTraceFormatVersion = 1;
+inline constexpr std::uint32_t kTraceFormatVersion = 2;
 
 /// In-memory image of a trace file.
 struct TraceData {
   AlgoSpec algo;
   ScheduleSpec schedule;
+  /// Per-robot-clock scheduler (kNone = synchronous). Engine-based
+  /// kinds only; mutually exclusive with a break-down schedule.
+  AsyncSpec async;
   std::int64_t max_rounds = 0;  // 0 = engine default
   bool check_invariants = false;
   std::vector<NodeId> parents;  // ground-truth tree, parent array
@@ -54,7 +60,8 @@ struct TraceData {
 /// state after every round. Does not touch the filesystem.
 TraceData run_traced(const Tree& tree, const AlgoSpec& algo,
                      const ScheduleSpec& schedule = {},
-                     std::int64_t max_rounds = 0);
+                     std::int64_t max_rounds = 0,
+                     const AsyncSpec& async = {});
 
 /// Binary serialization; throws CheckError on I/O failure or (for read)
 /// malformed input.
@@ -65,7 +72,8 @@ TraceData read_trace(const std::string& path);
 TraceData record_trace(const Tree& tree, const AlgoSpec& algo,
                        const std::string& path,
                        const ScheduleSpec& schedule = {},
-                       std::int64_t max_rounds = 0);
+                       std::int64_t max_rounds = 0,
+                       const AsyncSpec& async = {});
 
 struct ReplayReport {
   bool ok = false;

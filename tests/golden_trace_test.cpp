@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include "adversarial/async_scheduler.h"
 #include "adversarial/schedules.h"
 #include "baselines/bfs_levels.h"
 #include "baselines/cte.h"
@@ -200,6 +201,46 @@ std::vector<CellResult> run_grid() {
     return make_random_recursive(400, rng);
   }(), 8, make_random_schedule(6000, 8, 0.6, 5));
 
+  // --- Per-robot-clock async engine path -------------------------------
+  // Appended after the original grid so the pre-async rows above stay
+  // byte-identical. The round-robin cell must reproduce the synchronous
+  // comb cell exactly (the oracle's kAsyncEquivalence pins the same fact
+  // on every instance); the heterogeneous-speed cells pin the event-loop
+  // schedule interleavings bit-exactly.
+  const auto async_cell = [&](const std::string& name, const Tree& tree,
+                              std::int32_t k, AsyncScheduler& schedule) {
+    BfdnAlgorithm algorithm(k, BfdnOptions{});
+    RunConfig config;
+    config.num_robots = k;
+    config.async = &schedule;
+    const RunResult result = run_exploration(tree, algorithm, config);
+    CellResult out;
+    out.cell = name;
+    out.rounds = result.rounds;
+    out.edge_events = result.edge_events;
+    out.total_reanchors = result.total_reanchors;
+    out.reanchors_by_depth = result.reanchors_by_depth.to_string();
+    results.push_back(out);
+  };
+  {
+    RoundRobinScheduler schedule;
+    async_cell("comb12x6/bfdn-ll/k4/async-rr", comb, 4, schedule);
+  }
+  {
+    FixedRateScheduler schedule(4, 2, 2);
+    async_cell("comb12x6/bfdn-ll/k4/async-fixed2x2", comb, 4, schedule);
+  }
+  {
+    LaggardScheduler schedule(8, 3, 2);
+    async_cell("spider9x15/bfdn-ll/k8/async-laggard3x2", make_spider(9, 15),
+               8, schedule);
+  }
+  {
+    RandomScheduler schedule(11, 3);
+    async_cell("star200/bfdn-ll/k8/async-random-d3", make_star(200), 8,
+               schedule);
+  }
+
   return results;
 }
 
@@ -228,6 +269,13 @@ const GoldenRow kGolden[] = {
     {"spider9x15/bfdn-ll/k8/burst8", 85, 258, 37, "0:16 1:7 3:7 9:7"},
     {"star200/bfdn-ll/k8/rolling4", 99, 395, 200, "0:200"},
     {"rrt400/bfdn-ll/k8/random-p0.6", 193, 794, 35, "0:6 1:6 2:5 3:6 4:3 5:4 6:5"},
+    // Async cells: round-robin is bit-identical to the synchronous
+    // comb cell above; the heterogeneous-speed rows pin the event-loop
+    // interleavings.
+    {"comb12x6/bfdn-ll/k4/async-rr", 78, 166, 18, "0:4 1:2 2:2 3:2 4:2 5:2 6:2 7:2"},
+    {"comb12x6/bfdn-ll/k4/async-fixed2x2", 89, 166, 17, "0:4 1:2 2:3 3:2 4:2 5:2 6:2"},
+    {"spider9x15/bfdn-ll/k8/async-laggard3x2", 60, 270, 29, "0:14 1:5 3:5 9:5"},
+    {"star200/bfdn-ll/k8/async-random-d3", 127, 398, 199, "0:199"},
     // clang-format on
 };
 

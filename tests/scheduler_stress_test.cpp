@@ -38,6 +38,14 @@ ServiceRequest tiny_request(std::int64_t variant) {
   request.recipe.seed = static_cast<std::uint64_t>(7 + variant % 5);
   request.algo.kind = AlgoKind::kBfdn;
   request.algo.k = variant % 3 == 0 ? 4 : 8;
+  // A third of the mix runs the per-robot-clock engine path so the
+  // async event loop executes on the dispatcher's worker threads too.
+  if (variant % 3 == 1) {
+    request.async.kind =
+        variant % 2 == 0 ? AsyncKind::kFixedRate : AsyncKind::kLaggard;
+    request.async.period = 2;
+    request.async.num_slow = 1;
+  }
   return request;
 }
 

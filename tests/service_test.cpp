@@ -78,6 +78,52 @@ TEST(ServiceProtocolTest, SerializeParseRoundTrip) {
   EXPECT_EQ(request_fingerprint(parsed), request_fingerprint(request));
 }
 
+TEST(ServiceProtocolTest, AsyncSerializeParseRoundTrip) {
+  ServiceRequest request;
+  request.id = "req-async";
+  request.recipe = TreeRecipe{"comb", 300, 8, 6, 11};
+  request.algo.kind = AlgoKind::kBfdn;
+  request.algo.k = 6;
+  request.async.kind = AsyncKind::kLaggard;
+  request.async.seed = 99;
+  request.async.max_delay = 4;
+  request.async.period = 3;
+  request.async.num_slow = 2;
+
+  const std::string line = serialize_request(request);
+  ServiceRequest parsed;
+  std::string error;
+  ASSERT_TRUE(parse_request(line, parsed, &error)) << error;
+  EXPECT_EQ(serialize_request(parsed), line);
+  EXPECT_EQ(canonical_request(parsed), canonical_request(request));
+  EXPECT_EQ(request_fingerprint(parsed), request_fingerprint(request));
+
+  // The async axis is a semantic field: it must separate cache keys
+  // from the synchronous request and from other async kinds.
+  ServiceRequest other = request;
+  other.async.kind = AsyncKind::kNone;
+  EXPECT_NE(request_fingerprint(request), request_fingerprint(other));
+  other = request;
+  other.async.kind = AsyncKind::kFixedRate;
+  EXPECT_NE(request_fingerprint(request), request_fingerprint(other));
+}
+
+TEST(ServiceProtocolTest, ParseRejectsAsyncCombinedWithSchedule) {
+  ServiceRequest out;
+  std::string error;
+  EXPECT_FALSE(parse_request(
+      "{\"type\":\"run\",\"schedule\":\"burst\",\"horizon\":100,"
+      "\"async\":\"laggard\"}",
+      out, &error));
+  EXPECT_NE(error.find("mutually exclusive"), std::string::npos);
+  EXPECT_FALSE(parse_request("{\"type\":\"run\",\"async\":\"warped\"}",
+                             out, &error));
+  EXPECT_NE(error.find("async"), std::string::npos);
+  EXPECT_FALSE(parse_request(
+      "{\"type\":\"run\",\"async\":\"fixed-rate\",\"async_period\":0}",
+      out, &error));
+}
+
 TEST(ServiceProtocolTest, FingerprintIgnoresRequestId) {
   ServiceRequest a = golden_request();
   ServiceRequest b = golden_request();
@@ -334,6 +380,101 @@ TEST(ServiceEndToEndTest, GoldenGridMatchesDirectEngineRun) {
               hash_hex(direct.final_state_hash))
         << request.id;
   }
+  server.drain();
+}
+
+TEST(ServiceEndToEndTest, AsyncRunsMatchDirectEngineRuns) {
+  ServiceServer server(
+      ServerOptions{0, /*threads=*/4, /*queue=*/32, /*cache=*/64, 20,
+                    1000000});
+  server.start();
+  ServiceClient client(server.port());
+
+  struct Cell {
+    const char* family;
+    std::int32_t k;
+    AsyncKind async;
+  };
+  const std::vector<Cell> grid = {
+      {"comb", 4, AsyncKind::kRoundRobin},
+      {"spider", 6, AsyncKind::kFixedRate},
+      {"caterpillar", 8, AsyncKind::kLaggard},
+      {"random", 8, AsyncKind::kRandom},
+  };
+  for (const Cell& cell : grid) {
+    ServiceRequest request;
+    request.id = str_format("async-%s-k%d", cell.family, cell.k);
+    request.recipe.family = cell.family;
+    request.recipe.nodes = 300;
+    request.recipe.depth = 8;
+    request.recipe.arms = 5;
+    request.recipe.seed = 5;
+    request.algo.kind = AlgoKind::kBfdn;
+    request.algo.k = cell.k;
+    request.async.kind = cell.async;
+    request.async.seed = 13;
+    request.async.period = 2;
+    request.async.num_slow = 2;
+    request.async.max_delay = 3;
+
+    // Direct run: same tree, same spec, straight through the engine —
+    // including execute_run's slow-scheduler round-budget scaling.
+    const Tree tree = request.recipe.build();
+    const std::unique_ptr<Algorithm> algorithm =
+        make_algorithm(request.algo, tree);
+    RunConfig config;
+    config.num_robots = request.algo.k;
+    const std::unique_ptr<AsyncScheduler> async =
+        request.async.make(request.algo.k);
+    config.async = async.get();
+    if (request.async.slowdown() > 1) {
+      config.max_rounds =
+          default_round_limit(tree) * request.async.slowdown();
+    }
+    const RunResult direct = run_exploration(tree, *algorithm, config);
+
+    const JsonValue response = client.run(request);
+    ASSERT_EQ(response.get_string("status", ""), "ok")
+        << request.id << ": "
+        << response.get_string("error", "(no error field)");
+    const JsonValue& result = response.at("result");
+    EXPECT_EQ(result.get_int("rounds", -1), direct.rounds) << request.id;
+    EXPECT_EQ(result.get_bool("complete", false), direct.complete);
+    EXPECT_EQ(result.get_int("total_activations", -1),
+              direct.total_activations)
+        << request.id;
+    EXPECT_EQ(result.get_string("final_state_hash", ""),
+              hash_hex(direct.final_state_hash))
+        << request.id;
+  }
+  server.drain();
+}
+
+TEST(ServiceEndToEndTest, AsyncCacheHitIsByteIdenticalToOriginalMiss) {
+  ServiceServer server(ServerOptions{0, 2, 16, 16, 20, 1000000});
+  server.start();
+
+  ServiceRequest request = golden_request();
+  request.async.kind = AsyncKind::kFixedRate;
+  request.async.period = 2;
+  request.async.num_slow = 1;
+
+  Socket socket = connect_local(server.port(), /*recv_timeout_ms=*/30000);
+  const std::string line = serialize_request(request) + "\n";
+  ASSERT_TRUE(socket.send_all(line));
+  const auto miss = socket.recv_line();
+  ASSERT_TRUE(miss.has_value());
+  ASSERT_TRUE(socket.send_all(line));
+  const auto hit = socket.recv_line();
+  ASSERT_TRUE(hit.has_value());
+
+  EXPECT_NE(miss->find("\"cached\":false"), std::string::npos);
+  EXPECT_NE(hit->find("\"cached\":true"), std::string::npos);
+  std::string normalized = *hit;
+  normalized.replace(normalized.find("\"cached\":true"),
+                     std::string("\"cached\":true").size(),
+                     "\"cached\":false");
+  EXPECT_EQ(normalized, *miss);
   server.drain();
 }
 

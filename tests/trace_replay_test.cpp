@@ -22,6 +22,7 @@ struct TraceCell {
   Tree tree;
   AlgoSpec algo;
   ScheduleSpec schedule;
+  AsyncSpec async;
 };
 
 AlgoSpec bfdn_spec(std::int32_t k, BfdnOptions options = BfdnOptions{}) {
@@ -45,9 +46,10 @@ AlgoSpec kind_spec(AlgoKind kind, std::int32_t k, std::int32_t ell = 1) {
 std::vector<TraceCell> make_cells() {
   std::vector<TraceCell> cells;
   const auto add = [&cells](std::string name, Tree tree, AlgoSpec algo,
-                            ScheduleSpec schedule = {}) {
+                            ScheduleSpec schedule = {},
+                            AsyncSpec async = {}) {
     cells.push_back(
-        {std::move(name), std::move(tree), algo, schedule});
+        {std::move(name), std::move(tree), algo, schedule, async});
   };
 
   add("comb12x6/bfdn-ll/k4", make_comb(12, 6), bfdn_spec(4));
@@ -122,6 +124,24 @@ std::vector<TraceCell> make_cells() {
     add("spider9x15/bfdn-ll/k8/random", make_spider(9, 15), bfdn_spec(8),
         schedule);
   }
+
+  // Per-robot-clock engine path: a trace frame per counted event.
+  {
+    AsyncSpec async = AsyncSpec{};
+    async.kind = AsyncKind::kFixedRate;
+    async.period = 2;
+    async.num_slow = 2;
+    add("comb12x6/bfdn-ll/k4/async-fixed", make_comb(12, 6), bfdn_spec(4),
+        {}, async);
+  }
+  {
+    AsyncSpec async = AsyncSpec{};
+    async.kind = AsyncKind::kRandom;
+    async.seed = 11;
+    async.max_delay = 3;
+    add("spider9x15/bfdn-ll/k8/async-random", make_spider(9, 15),
+        bfdn_spec(8), {}, async);
+  }
   return cells;
 }
 
@@ -129,10 +149,17 @@ TEST(TraceReplay, GoldenCellsReplayBitExactly) {
   for (const TraceCell& cell : make_cells()) {
     SCOPED_TRACE(cell.name);
     const TraceData recorded =
-        run_traced(cell.tree, cell.algo, cell.schedule);
+        run_traced(cell.tree, cell.algo, cell.schedule, 0, cell.async);
     EXPECT_GT(recorded.round_hashes.size(), 0u);
-    EXPECT_EQ(static_cast<std::int64_t>(recorded.round_hashes.size()),
-              recorded.rounds);
+    if (cell.async.kind == AsyncKind::kNone) {
+      EXPECT_EQ(static_cast<std::int64_t>(recorded.round_hashes.size()),
+                recorded.rounds);
+    } else {
+      // Async traces carry one frame per *counted event*; event times
+      // may skip, so there can be fewer frames than the makespan.
+      EXPECT_LE(static_cast<std::int64_t>(recorded.round_hashes.size()),
+                recorded.rounds);
+    }
     const ReplayReport report = replay_trace(recorded);
     EXPECT_TRUE(report.ok) << report.detail;
     EXPECT_EQ(report.first_divergence, -1);
@@ -173,6 +200,30 @@ TEST(TraceReplay, FileRoundTripPreservesEveryField) {
 
   const ReplayReport report = replay_trace(path);
   EXPECT_TRUE(report.ok) << report.detail;
+}
+
+TEST(TraceReplay, AsyncFileRoundTripPreservesTheAsyncSpec) {
+  const std::string path = testing::TempDir() + "trace_async.bfdntrc";
+  AsyncSpec async;
+  async.kind = AsyncKind::kLaggard;
+  async.seed = 21;
+  async.max_delay = 5;
+  async.period = 3;
+  async.num_slow = 2;
+
+  const TraceData written =
+      record_trace(make_comb(10, 5), bfdn_spec(4), path, {}, 0, async);
+  const TraceData read = read_trace(path);
+  EXPECT_EQ(read.async.kind, written.async.kind);
+  EXPECT_EQ(read.async.seed, written.async.seed);
+  EXPECT_EQ(read.async.max_delay, written.async.max_delay);
+  EXPECT_EQ(read.async.period, written.async.period);
+  EXPECT_EQ(read.async.num_slow, written.async.num_slow);
+  EXPECT_EQ(read.round_hashes, written.round_hashes);
+
+  const ReplayReport report = replay_trace(path);
+  EXPECT_TRUE(report.ok) << report.detail;
+  std::remove(path.c_str());
 }
 
 TEST(TraceReplay, TamperedHashReportsFirstDivergentRound) {

@@ -53,6 +53,30 @@ TEST(OracleTest, PassesUnderBreakdownSchedules) {
   }
 }
 
+TEST(OracleTest, AsyncEquivalenceLegPassesOnExoticSchedulers) {
+  // The round-robin async legs run on every instance; an exotic spec
+  // additionally drives the batched-vs-stepped differential. All must
+  // hold across the scheduler kinds.
+  const Tree comb = make_comb(10, 4);
+  const Tree spider = make_spider(6, 8);
+  for (const AsyncKind kind :
+       {AsyncKind::kRoundRobin, AsyncKind::kFixedRate, AsyncKind::kLaggard,
+        AsyncKind::kRandom}) {
+    SCOPED_TRACE(static_cast<int>(kind));
+    OracleConfig config;
+    config.k = 4;
+    config.async.kind = kind;
+    config.async.period = 3;
+    config.async.num_slow = 2;
+    config.async.max_delay = 3;
+    config.async.seed = 11;
+    EXPECT_TRUE(run_oracle(comb, config).ok())
+        << run_oracle(comb, config).summary();
+    EXPECT_TRUE(run_oracle(spider, config).ok())
+        << run_oracle(spider, config).summary();
+  }
+}
+
 TEST(OracleTest, PassesOnNonPaperPolicies) {
   // Ablation policies void the bound checks but everything else (run
   // sanity, load-counter differential, invariants) still applies.

@@ -20,6 +20,9 @@ int main(int argc, char** argv) {
   cli.add_int("max-nodes", 400, "max sampled tree size");
   cli.add_double("schedule-p", 0.3,
                  "probability of attaching a break-down schedule");
+  cli.add_double("async-p", 0.3,
+                 "probability of attaching an exotic async scheduler to "
+                 "a case without a break-down schedule");
   cli.add_string("out-dir", "", "artifact directory for counterexamples");
   cli.add_bool("fault", false,
                "inject the load-leak counter bug (harness self-test; the "
@@ -44,6 +47,7 @@ int main(int argc, char** argv) {
   options.max_cases = static_cast<std::int32_t>(cli.get_int("cases"));
   options.max_nodes = cli.get_int("max-nodes");
   options.schedule_p = cli.get_double("schedule-p");
+  options.async_p = cli.get_double("async-p");
   options.artifact_dir = cli.get_string("out-dir");
   options.inject_load_leak = cli.get_bool("fault");
   options.stop_on_failure = !cli.get_bool("keep-going");

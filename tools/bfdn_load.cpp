@@ -68,6 +68,14 @@ ServiceRequest make_unique_request(std::int64_t index, std::int64_t nodes) {
   request.recipe.seed = static_cast<std::uint64_t>(1000 + recipe_index);
   request.algo.kind = AlgoKind::kBfdn;
   request.algo.k = index % 2 == 0 ? 8 : 16;
+  // Every fourth request runs under a per-robot-clock scheduler so the
+  // async axis is part of the served mix (cache keys, batching, and the
+  // determinism cross-check all cover it).
+  if (index % 4 == 3) {
+    request.async.kind = AsyncKind::kFixedRate;
+    request.async.period = 2;
+    request.async.num_slow = 2;
+  }
   return request;
 }
 
