@@ -90,8 +90,15 @@ echo "== async fuzz smoke: every case under an exotic scheduler =="
 ./build/tools/bfdn_fuzz --budget-s=10 --seed=2 --jobs="$(nproc)" \
   --async-p=1.0 --schedule-p=0.0
 
+echo "== batch fuzz smoke: every case batch-equivalence checked =="
+./build/tools/bfdn_fuzz --budget-s=10 --seed=3 --jobs="$(nproc)" \
+  --batch-p=1.0
+
 echo "== bench smoke: fast-forward vs stepped, one Release cell =="
 ./build/bench/bench_hotpath --smoke > /dev/null
+
+echo "== bench smoke: batched campaign >= 3x solo loop, one cell =="
+./build/bench/bench_campaign --smoke > /dev/null
 
 echo "== bench smoke: async scheduler zoo vs lockstep, one cell =="
 ./build/bench/bench_async --smoke > /dev/null

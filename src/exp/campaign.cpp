@@ -8,6 +8,7 @@
 #include "baselines/depth_next_only.h"
 #include "core/bfdn.h"
 #include "recursive/bfdn_ell.h"
+#include "sim/batch_executor.h"
 #include "sim/engine.h"
 #include "support/check.h"
 #include "support/thread_pool.h"
@@ -93,43 +94,59 @@ std::vector<CellResult> Campaign::run(std::int32_t threads) const {
   BFDN_REQUIRE(!algorithms_.empty(), "campaign without algorithms");
 
   std::vector<CellResult> results(num_cells());
+  const std::size_t cells_per_tree =
+      team_sizes_.size() * algorithms_.size();
   ThreadPool pool(threads);
-  std::size_t slot = 0;
+  std::size_t base = 0;
   for (const Instance& instance : instances_) {
-    for (const std::int32_t k : team_sizes_) {
-      for (const AlgorithmKind kind : algorithms_) {
-        CellResult* out = &results[slot++];
-        const Instance* inst = &instance;
-        pool.submit([out, inst, k, kind] {
-          const Tree& tree = inst->tree;
-          auto algorithm = make_algorithm(kind, tree, k);
+    CellResult* out = &results[base];
+    base += cells_per_tree;
+    const Instance* inst = &instance;
+    // One task per tree: all of the tree's cells run through a single
+    // BatchExecutor pass, sharing the tree's arrays while each member
+    // keeps its own run state. Slot order within the block matches the
+    // add_member order (k-major, then algorithm), so results land in
+    // the same deterministic cell order as before.
+    pool.submit([this, out, inst] {
+      const Tree& tree = inst->tree;
+      BatchExecutor batch(tree);
+      for (const std::int32_t k : team_sizes_) {
+        for (const AlgorithmKind kind : algorithms_) {
           RunConfig config;
           config.num_robots = k;
-          const RunResult run_result =
-              run_exploration(tree, *algorithm, config);
-          out->tree_name = inst->name;
-          out->n = tree.num_nodes();
-          out->depth = tree.depth();
-          out->max_degree = tree.max_degree();
-          out->k = k;
-          out->algorithm = kind;
-          out->rounds = run_result.rounds;
-          out->complete = run_result.complete;
-          out->all_at_root = run_result.all_at_root;
+          batch.add_member(make_algorithm(kind, tree, k), config);
+        }
+      }
+      const std::vector<RunResult> runs = batch.run();
+      std::size_t slot = 0;
+      for (const std::int32_t k : team_sizes_) {
+        for (const AlgorithmKind kind : algorithms_) {
+          const RunResult& run_result = runs[slot];
+          CellResult* cell = out + slot;
+          ++slot;
+          cell->tree_name = inst->name;
+          cell->n = tree.num_nodes();
+          cell->depth = tree.depth();
+          cell->max_degree = tree.max_degree();
+          cell->k = k;
+          cell->algorithm = kind;
+          cell->rounds = run_result.rounds;
+          cell->complete = run_result.complete;
+          cell->all_at_root = run_result.all_at_root;
           const double opt_proxy =
               static_cast<double>(tree.num_nodes()) / k + tree.depth();
-          out->ratio_vs_opt =
+          cell->ratio_vs_opt =
               static_cast<double>(run_result.rounds) / opt_proxy;
           const double lower =
               offline_lower_bound(tree.num_nodes(), tree.depth(), k);
-          out->ratio_vs_lower =
+          cell->ratio_vs_lower =
               static_cast<double>(run_result.rounds) / lower;
-          out->overhead =
+          cell->overhead =
               static_cast<double>(run_result.rounds) -
               2.0 * static_cast<double>(tree.num_nodes()) / k;
-        });
+        }
       }
-    }
+    });
   }
   pool.wait_idle();
   return results;

@@ -1,12 +1,14 @@
 // Experiment campaigns: evaluate a grid of (tree instance, algorithm,
-// team size) cells in parallel and collect per-cell metrics. The bench
-// binaries that sweep many configurations (competitive-ratio estimates,
-// winner maps) are built on this.
+// team size) cells and collect per-cell metrics. The bench binaries
+// that sweep many configurations (competitive-ratio estimates, winner
+// maps) are built on this.
 //
-// Cells are independent: trees are immutable and shared read-only;
-// every cell builds its own algorithm and engine state, and writes into
-// its own pre-allocated result slot, so the only synchronization is the
-// pool's queue.
+// Execution: each tree's cells run through one sim/BatchExecutor — a
+// single interleaved pass over the shared tree instead of one cold
+// engine invocation per cell — and trees shard across the thread pool.
+// Every cell still builds its own algorithm and run state and writes
+// into its own pre-allocated result slot; results are bit-identical to
+// solo run_exploration calls (the batch-equivalence oracle pins this).
 #pragma once
 
 #include <cstdint>

@@ -1,5 +1,6 @@
 #include "service/protocol.h"
 
+#include <algorithm>
 #include <numeric>
 
 #include "graph/generators.h"
@@ -130,8 +131,13 @@ bool parse_request(const std::string& line, ServiceRequest& out,
     out.type = RequestType::kStats;
     return true;
   }
-  if (type != "run") return fail("unknown request type: " + type);
-  out.type = RequestType::kRun;
+  if (type == "run") {
+    out.type = RequestType::kRun;
+  } else if (type == "campaign") {
+    out.type = RequestType::kCampaign;
+  } else {
+    return fail("unknown request type: " + type);
+  }
 
   try {
     out.recipe.family = doc.get_string("family", out.recipe.family);
@@ -218,6 +224,32 @@ bool parse_request(const std::string& line, ServiceRequest& out,
     out.max_rounds = doc.get_int("max_rounds", 0);
     out.fast_forward = doc.get_bool("fast_forward", true);
     out.check_invariants = doc.get_bool("check_invariants", false);
+
+    if (out.type == RequestType::kCampaign) {
+      if (doc.has("ks")) {
+        const JsonValue& ks = doc.at("ks");
+        if (!ks.is_array()) return fail("ks must be an array");
+        for (std::size_t i = 0; i < ks.size(); ++i) {
+          const std::int64_t k = ks.at(i).as_int();
+          if (k < 1 || k > 65536) return fail("k must be in [1, 65536]");
+          out.campaign_ks.push_back(static_cast<std::int32_t>(k));
+        }
+      }
+      if (doc.has("algo_seeds")) {
+        const JsonValue& seeds = doc.at("algo_seeds");
+        if (!seeds.is_array()) return fail("algo_seeds must be an array");
+        for (std::size_t i = 0; i < seeds.size(); ++i) {
+          out.campaign_seeds.push_back(seeds.at(i).as_uint());
+        }
+      }
+      const std::size_t members =
+          std::max<std::size_t>(1, out.campaign_ks.size()) *
+          std::max<std::size_t>(1, out.campaign_seeds.size());
+      if (members > kMaxCampaignMembers) {
+        return fail(str_format("campaign expands to %zu members (max %zu)",
+                               members, kMaxCampaignMembers));
+      }
+    }
   } catch (const CheckError& e) {
     return fail(e.what());  // wrong-typed field accessors throw
   }
@@ -233,7 +265,7 @@ std::string serialize_request(const ServiceRequest& request) {
     w.end_object();
     return w.str();
   }
-  w.kv("type", "run");
+  w.kv("type", request.type == RequestType::kCampaign ? "campaign" : "run");
   w.kv("family", request.recipe.family);
   w.kv("nodes", request.recipe.nodes);
   w.kv("depth", request.recipe.depth);
@@ -265,8 +297,71 @@ std::string serialize_request(const ServiceRequest& request) {
   if (request.max_rounds != 0) w.kv("max_rounds", request.max_rounds);
   if (!request.fast_forward) w.kv("fast_forward", false);
   if (request.check_invariants) w.kv("check_invariants", true);
+  if (request.type == RequestType::kCampaign) {
+    if (!request.campaign_ks.empty()) {
+      w.key("ks").begin_array();
+      for (const std::int32_t k : request.campaign_ks) w.value(k);
+      w.end_array();
+    }
+    if (!request.campaign_seeds.empty()) {
+      w.key("algo_seeds").begin_array();
+      for (const std::uint64_t seed : request.campaign_seeds) {
+        w.value(seed);
+      }
+      w.end_array();
+    }
+  }
   w.end_object();
   return w.str();
+}
+
+std::vector<ServiceRequest> expand_campaign(const ServiceRequest& request) {
+  BFDN_REQUIRE(request.type == RequestType::kCampaign,
+               "expand_campaign: campaign requests only");
+  const std::vector<std::int32_t> ks =
+      request.campaign_ks.empty() ? std::vector<std::int32_t>{request.algo.k}
+                                  : request.campaign_ks;
+  const std::vector<std::uint64_t> seeds =
+      request.campaign_seeds.empty()
+          ? std::vector<std::uint64_t>{request.algo.options.seed}
+          : request.campaign_seeds;
+  BFDN_REQUIRE(ks.size() * seeds.size() <= kMaxCampaignMembers,
+               "campaign expands past kMaxCampaignMembers");
+  std::vector<ServiceRequest> members;
+  members.reserve(ks.size() * seeds.size());
+  for (const std::int32_t k : ks) {
+    for (const std::uint64_t seed : seeds) {
+      ServiceRequest member = request;
+      member.type = RequestType::kRun;
+      member.campaign_ks.clear();
+      member.campaign_seeds.clear();
+      member.algo.k = k;
+      member.algo.options.seed = seed;
+      members.push_back(std::move(member));
+    }
+  }
+  return members;
+}
+
+bool batchable_request(const ServiceRequest& request) {
+  return request.type == RequestType::kRun &&
+         request.schedule.kind == ScheduleKind::kNone &&
+         request.async.kind == AsyncKind::kNone;
+}
+
+std::string batch_coalesce_key(const ServiceRequest& request) {
+  // The algorithm seed is only ever consumed by BfdnAlgorithm under the
+  // random reanchor policy (spec.cpp passes it to no other kind); every
+  // other servable run is seed-blind, so a seed sweep over one of them
+  // describes a single run. The key's promise is differential-tested by
+  // OracleCheck::kBatchEquivalence.
+  if (request.algo.kind == AlgoKind::kBfdn &&
+      request.algo.options.policy == ReanchorPolicy::kRandom) {
+    return "";
+  }
+  ServiceRequest blind = request;
+  blind.algo.options.seed = 0;
+  return "batch:" + canonical_request(blind);
 }
 
 std::string canonical_request(const ServiceRequest& request) {
@@ -320,7 +415,11 @@ std::string execute_run(const ServiceRequest& request, const Tree& tree) {
     config.max_rounds = default_round_limit(tree) * request.async.slowdown();
   }
   const RunResult result = run_exploration(tree, *algorithm, config);
+  return serialize_run_result(request, tree, result);
+}
 
+std::string serialize_run_result(const ServiceRequest& request,
+                                 const Tree& tree, const RunResult& result) {
   const std::int64_t total_moves =
       std::accumulate(result.robot_moves.begin(), result.robot_moves.end(),
                       std::int64_t{0});
@@ -381,6 +480,28 @@ std::string error_response(const std::string& id,
   w.kv("id", id);
   w.kv("status", "error");
   w.kv("error", message);
+  w.end_object();
+  return w.str();
+}
+
+std::string campaign_response(
+    const std::string& id,
+    const std::vector<CampaignMemberResponse>& members) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("id", id);
+  w.kv("status", "ok");
+  w.kv("members_total", static_cast<std::int64_t>(members.size()));
+  w.key("members").begin_array();
+  for (const CampaignMemberResponse& member : members) {
+    w.begin_object();
+    w.kv("cached", member.cached);
+    w.kv("key", str_format("%016llx",
+                           static_cast<unsigned long long>(member.key)));
+    w.key("result").raw(member.result_json);
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
   return w.str();
 }

@@ -12,10 +12,19 @@
 // the result cache stores the serialized result object, so two
 // requests that mean the same run share one cache entry regardless of
 // field order or formatting on the wire.
+//
+// A campaign request (type "campaign") bundles a cross product of run
+// requests over one tree recipe — wire arrays "ks" (team sizes) and
+// "algo_seeds" (algorithm seeds), k-major then seed — and is answered
+// with one response carrying every member's result object. Members are
+// first-class runs: each is cached under its own solo fingerprint, so
+// a campaign miss warms the cache for later solo requests and vice
+// versa, and the member bytes are identical either way.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "graph/tree.h"
 #include "sim/engine.h"
@@ -38,7 +47,10 @@ struct TreeRecipe {
   std::string label() const;
 };
 
-enum class RequestType : std::uint8_t { kRun, kStats };
+enum class RequestType : std::uint8_t { kRun, kStats, kCampaign };
+
+/// Hard bound on expanded campaign members per request.
+constexpr std::size_t kMaxCampaignMembers = 64;
 
 struct ServiceRequest {
   RequestType type = RequestType::kRun;
@@ -58,6 +70,12 @@ struct ServiceRequest {
   std::int64_t max_rounds = 0;
   bool fast_forward = true;
   bool check_invariants = false;
+  /// Campaign sweeps (kCampaign only): the request expands into the
+  /// cross product of these team sizes and algorithm seeds, k-major
+  /// then seed; an empty vector falls back to the singleton {algo.k}
+  /// resp. {algo.options.seed}. Wire fields "ks" and "algo_seeds".
+  std::vector<std::int32_t> campaign_ks;
+  std::vector<std::uint64_t> campaign_seeds;
 };
 
 /// Parses one request line. Returns false and fills *error on
@@ -82,6 +100,28 @@ std::uint64_t request_fingerprint(const ServiceRequest& request);
 /// on invalid parameter combinations.
 std::string execute_run(const ServiceRequest& request, const Tree& tree);
 
+/// Serializes an already-computed RunResult into the exact bytes
+/// execute_run would emit for `request` — the bridge that lets the
+/// batched campaign path produce byte-identical cache entries.
+std::string serialize_run_result(const ServiceRequest& request,
+                                 const Tree& tree, const RunResult& result);
+
+/// Expands a campaign request into its member run requests (k-major,
+/// then seed). Each member is a plain kRun whose fingerprint is the
+/// same fingerprint a direct solo request for that run would get.
+std::vector<ServiceRequest> expand_campaign(const ServiceRequest& request);
+
+/// True when the run can join a sim/BatchExecutor pass: a synchronous
+/// complete-communication run (no break-down schedule, no async
+/// scheduler).
+bool batchable_request(const ServiceRequest& request);
+
+/// BatchExecutor coalesce key for the run: requests that provably
+/// ignore their algorithm seed (every servable kind except BFDN under
+/// the random reanchor policy) share a key with their seed zeroed, so
+/// a seed sweep over them executes once. "" = never coalesce.
+std::string batch_coalesce_key(const ServiceRequest& request);
+
 // Response envelopes (no trailing newline).
 std::string ok_response(const std::string& id, bool cached,
                         std::uint64_t key, const std::string& result_json);
@@ -92,6 +132,17 @@ std::string error_response(const std::string& id,
                            const std::string& message);
 std::string stats_response(const std::string& id,
                            const std::string& stats_json);
+
+/// One member slot of a campaign response.
+struct CampaignMemberResponse {
+  bool cached = false;
+  std::uint64_t key = 0;
+  /// The member's solo result object, spliced verbatim.
+  std::string result_json;
+};
+std::string campaign_response(
+    const std::string& id,
+    const std::vector<CampaignMemberResponse>& members);
 
 /// Wire name of an engine-based AlgoSpec ("bfdn", "bfdn-shortcut",
 /// "cte", "bfs-levels", "bfdn-ell").

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/batch_executor.h"
 #include "support/check.h"
 
 namespace bfdn {
@@ -63,6 +64,41 @@ Scheduler::Admit Scheduler::submit(const ServiceRequest& request,
   }
   pending_cv_.notify_one();
   if (out != nullptr) *out = std::move(job);
+  return Admit::kAdmitted;
+}
+
+Scheduler::Admit Scheduler::submit_all(
+    const std::vector<ServiceRequest>& requests,
+    std::vector<std::shared_ptr<Job>>* out) {
+  BFDN_REQUIRE(!requests.empty(), "submit_all: empty request list");
+  std::vector<std::shared_ptr<Job>> jobs;
+  jobs.reserve(requests.size());
+  const auto now = std::chrono::steady_clock::now();
+  for (const ServiceRequest& request : requests) {
+    BFDN_REQUIRE(request.type == RequestType::kRun,
+                 "submit_all: run requests only");
+    auto job = std::make_shared<Job>();
+    job->request_ = request;
+    job->admitted_at_ = now;
+    jobs.push_back(std::move(job));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      stats_.rejected_draining += static_cast<std::int64_t>(jobs.size());
+      return Admit::kDraining;
+    }
+    if (depth_ + static_cast<std::int64_t>(jobs.size()) >
+        options_.queue_capacity) {
+      stats_.rejected_full += static_cast<std::int64_t>(jobs.size());
+      return Admit::kQueueFull;
+    }
+    depth_ += static_cast<std::int64_t>(jobs.size());
+    stats_.admitted += static_cast<std::int64_t>(jobs.size());
+    for (const auto& job : jobs) pending_.push_back(job);
+  }
+  pending_cv_.notify_one();
+  if (out != nullptr) *out = std::move(jobs);
   return Admit::kAdmitted;
 }
 
@@ -134,10 +170,32 @@ void Scheduler::dispatcher_loop() {
           }
           return;
         }
-        for (std::size_t i = 1; i < group.size(); ++i) {
-          pool_.submit([this, job = group[i], tree] { run_job(job, tree); });
+        // Route the group's synchronous complete-communication jobs
+        // into one BatchExecutor pass; schedule/async jobs run solo.
+        // A single batchable job gains nothing from the batch path, so
+        // it stays on the solo one (identical results either way).
+        std::vector<std::shared_ptr<Job>> batched;
+        std::vector<std::shared_ptr<Job>> solo;
+        for (const auto& job : group) {
+          if (batchable_request(job->request_)) {
+            batched.push_back(job);
+          } else {
+            solo.push_back(job);
+          }
         }
-        run_job(group.front(), tree);
+        if (batched.size() < 2) {
+          solo = group;
+          batched.clear();
+        }
+        const std::size_t first_pooled = batched.empty() ? 1 : 0;
+        for (std::size_t i = first_pooled; i < solo.size(); ++i) {
+          pool_.submit([this, job = solo[i], tree] { run_job(job, tree); });
+        }
+        if (!batched.empty()) {
+          run_batch(batched, tree);
+        } else if (!solo.empty()) {
+          run_job(solo.front(), tree);
+        }
       });
       group_start = group_end;
     }
@@ -155,6 +213,48 @@ void Scheduler::run_job(const std::shared_ptr<Job>& job,
     outcome.payload = e.what();
   }
   finish(job, std::move(outcome));
+}
+
+void Scheduler::run_batch(const std::vector<std::shared_ptr<Job>>& jobs,
+                          const std::shared_ptr<const Tree>& tree) {
+  // Every payload is produced before any job is finished: if anything
+  // in the batched pass throws (a member rejected by the executor, an
+  // engine invariant), no job has been completed yet and the whole
+  // group falls back to solo execution, which reports per-job errors.
+  std::vector<std::string> payloads;
+  std::int64_t coalesced = 0;
+  try {
+    BatchExecutor batch(*tree);
+    for (const auto& job : jobs) {
+      const ServiceRequest& request = job->request_;
+      RunConfig config;
+      config.num_robots = request.algo.k;
+      config.max_rounds = request.max_rounds;
+      config.check_invariants = request.check_invariants;
+      config.fast_forward = request.fast_forward;
+      batch.add_member(make_algorithm(request.algo, *tree), config,
+                       batch_coalesce_key(request));
+    }
+    const std::vector<RunResult> results = batch.run();
+    coalesced = batch.stats().coalesced;
+    payloads.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      payloads.push_back(
+          serialize_run_result(jobs[i]->request_, *tree, results[i]));
+    }
+  } catch (const std::exception&) {
+    for (const auto& job : jobs) run_job(job, tree);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.batch_groups;
+    stats_.batch_members += static_cast<std::int64_t>(jobs.size());
+    stats_.batch_coalesced += coalesced;
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    finish(jobs[i], {true, std::move(payloads[i])});
+  }
 }
 
 void Scheduler::finish(const std::shared_ptr<Job>& job,

@@ -7,10 +7,16 @@
 // thread pulls admitted jobs in arrival order, groups consecutive jobs
 // with the same tree recipe (identical-shape batching: the tree is
 // built once per group and shared read-only), and shards execution over
-// a support/thread_pool. Determinism: each job builds its own algorithm
-// and RNG state from its own spec, so grouping and pool scheduling
-// cannot change any job's result — a served run is bit-identical to the
-// same run through bfdn_cli (tests/service_test.cpp pins this).
+// a support/thread_pool. Within a group, the jobs that describe
+// synchronous complete-communication runs (no break-down schedule, no
+// async scheduler) execute through one sim/BatchExecutor pass —
+// interleaved over the shared tree, seed-blind twins coalesced — while
+// schedule/async jobs fan out to the pool solo. Determinism: each job
+// builds its own algorithm and RNG state from its own spec, so
+// grouping, pool scheduling and batch interleaving cannot change any
+// job's result — a served run is bit-identical to the same run through
+// bfdn_cli (tests/service_test.cpp pins this, and the batch pass is
+// additionally pinned by OracleCheck::kBatchEquivalence).
 #pragma once
 
 #include <chrono>
@@ -72,6 +78,13 @@ class Scheduler {
   /// On kAdmitted, *out receives the job handle.
   Admit submit(const ServiceRequest& request, std::shared_ptr<Job>* out);
 
+  /// Atomic multi-admit for campaign members: either every request is
+  /// admitted under one window check (kAdmitted, *out holds the handles
+  /// in request order) or none is — a half-admitted campaign would
+  /// deadlock its client against its own backpressure.
+  Admit submit_all(const std::vector<ServiceRequest>& requests,
+                   std::vector<std::shared_ptr<Job>>* out);
+
   /// Stops admitting and blocks until every admitted job completed.
   /// Idempotent; the destructor drains too.
   void drain();
@@ -89,6 +102,13 @@ class Scheduler {
     /// Jobs that rode a shared tree build (group size > 1).
     std::int64_t batched_jobs = 0;
     std::int64_t trees_built = 0;
+    /// Same-tree groups executed through one BatchExecutor pass.
+    std::int64_t batch_groups = 0;
+    /// Jobs inside those passes...
+    std::int64_t batch_members = 0;
+    /// ...of which this many were coalesced onto a seed-blind twin's
+    /// run instead of executing.
+    std::int64_t batch_coalesced = 0;
     /// Admission-to-completion latency, microseconds.
     RunningStat latency_us;
     /// log2(latency_us) buckets for a coarse percentile picture.
@@ -100,6 +120,8 @@ class Scheduler {
   void dispatcher_loop();
   void run_job(const std::shared_ptr<Job>& job,
                const std::shared_ptr<const Tree>& tree);
+  void run_batch(const std::vector<std::shared_ptr<Job>>& jobs,
+                 const std::shared_ptr<const Tree>& tree);
   void finish(const std::shared_ptr<Job>& job, JobOutcome outcome);
 
   SchedulerOptions options_;

@@ -69,6 +69,9 @@ std::string ServiceServer::handle_line(const std::string& line) {
   if (request.type == RequestType::kStats) {
     return stats_response(request.id, stats_json());
   }
+  if (request.type == RequestType::kCampaign) {
+    return handle_campaign(request);
+  }
   return handle_run(request);
 }
 
@@ -108,6 +111,70 @@ std::string ServiceServer::handle_run(const ServiceRequest& request) {
   cache_.put(key, outcome.payload);
   ++responses_ok_;
   return ok_response(request.id, /*cached=*/false, key, outcome.payload);
+}
+
+std::string ServiceServer::handle_campaign(const ServiceRequest& request) {
+  if (request.recipe.nodes > options_.max_nodes) {
+    ++responses_error_;
+    return error_response(
+        request.id,
+        str_format("nodes exceeds server limit %lld",
+                   static_cast<long long>(options_.max_nodes)));
+  }
+
+  // Each member is cached under its own solo fingerprint: hits splice
+  // the original solo bytes back verbatim, misses are admitted as one
+  // atomic group (the scheduler then routes same-recipe members into a
+  // BatchExecutor pass) and their results warm the per-member cache.
+  const std::vector<ServiceRequest> members = expand_campaign(request);
+  std::vector<CampaignMemberResponse> responses(members.size());
+  std::vector<std::size_t> miss_slots;
+  std::vector<ServiceRequest> misses;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    responses[i].key = request_fingerprint(members[i]);
+    if (auto cached = cache_.get(responses[i].key); cached.has_value()) {
+      responses[i].cached = true;
+      responses[i].result_json = std::move(*cached);
+    } else {
+      miss_slots.push_back(i);
+      misses.push_back(members[i]);
+    }
+  }
+
+  if (!misses.empty()) {
+    std::vector<std::shared_ptr<Scheduler::Job>> jobs;
+    switch (scheduler_.submit_all(misses, &jobs)) {
+      case Scheduler::Admit::kQueueFull:
+        ++responses_retry_;
+        return retry_response(request.id, options_.retry_after_ms,
+                              scheduler_.queue_depth());
+      case Scheduler::Admit::kDraining:
+        ++responses_error_;
+        return error_response(request.id, "server is draining");
+      case Scheduler::Admit::kAdmitted:
+        break;
+    }
+    // Wait for every member before reporting, so an early failure
+    // cannot leave admitted siblings racing the response.
+    std::string first_error;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      const JobOutcome& outcome = jobs[j]->wait();
+      if (!outcome.ok) {
+        if (first_error.empty()) first_error = outcome.payload;
+        continue;
+      }
+      const std::size_t slot = miss_slots[j];
+      cache_.put(responses[slot].key, outcome.payload);
+      responses[slot].result_json = outcome.payload;
+    }
+    if (!first_error.empty()) {
+      ++responses_error_;
+      return error_response(request.id, first_error);
+    }
+  }
+
+  ++responses_ok_;
+  return campaign_response(request.id, responses);
 }
 
 void ServiceServer::drain() {
@@ -173,6 +240,9 @@ std::string ServiceServer::stats_json() const {
   w.kv("rejected_draining", jobs.rejected_draining);
   w.kv("batched", jobs.batched_jobs);
   w.kv("trees_built", jobs.trees_built);
+  w.kv("batch_groups", jobs.batch_groups);
+  w.kv("batch_members", jobs.batch_members);
+  w.kv("batch_coalesced", jobs.batch_coalesced);
   w.kv("per_sec", uptime_s > 0
                       ? static_cast<double>(jobs.completed) / uptime_s
                       : 0.0,

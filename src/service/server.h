@@ -72,6 +72,7 @@ class ServiceServer {
   void serve_connection(Connection* connection);
   std::string handle_line(const std::string& line);
   std::string handle_run(const ServiceRequest& request);
+  std::string handle_campaign(const ServiceRequest& request);
   void reap_finished_locked();
 
   ServerOptions options_;

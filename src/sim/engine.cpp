@@ -3,10 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/engine_internal.h"
 #include "support/check.h"
 #include "support/strings.h"
 
 namespace bfdn {
+
+using engine_internal::apply_pending_move;
+using engine_internal::apply_walk_step;
+using engine_internal::check_open_node_coverage;
+using engine_internal::flush_reanchor_counts;
+using engine_internal::init_depth_accounting;
 
 MoveSelector::MoveSelector(ExplorationState& state,
                            const std::vector<char>& movable)
@@ -131,29 +138,11 @@ void Algorithm::select_moves_subset(const ExplorationView&, MoveSelector&,
              "select_moves_subset called on a step-only algorithm");
 }
 
-// Engine-private access to MoveSelector internals.
-struct EngineAccess {
-  static const std::vector<MoveSelector::Pending>& pending(
-      const MoveSelector& sel) {
-    return sel.pending_;
-  }
-  static const std::vector<std::uint64_t>& reanchors(
-      const MoveSelector& sel) {
-    return sel.reanchor_counts_;
-  }
-  static const std::vector<std::uint64_t>& reanchor_switches(
-      const MoveSelector& sel) {
-    return sel.reanchor_switch_counts_;
-  }
-  static const std::vector<std::pair<NodeId, NodeId>>& reservations(
-      const MoveSelector& sel) {
-    return sel.reserved_this_round_;
-  }
-};
+// The shared per-move/per-round helpers below are declared in
+// sim/engine_internal.h so batch_executor.cpp replays the exact same
+// semantics; their definitions stay here next to the loops they mirror.
+namespace engine_internal {
 
-namespace {
-
-/// Claim 4: all open nodes lie in the union of anchor subtrees.
 void check_open_node_coverage(const Tree& tree,
                               const ExplorationState& state,
                               const std::vector<NodeId>& anchors) {
@@ -173,7 +162,6 @@ void check_open_node_coverage(const Tree& tree,
   }
 }
 
-/// Shared result/accounting setup for both engine modes.
 void init_depth_accounting(const Tree& tree, RunResult& result,
                            std::vector<std::int64_t>& unexplored_at_depth) {
   unexplored_at_depth.assign(static_cast<std::size_t>(tree.depth()) + 1, 0);
@@ -191,8 +179,6 @@ void init_depth_accounting(const Tree& tree, RunResult& result,
   }
 }
 
-/// Flushes the selector's per-depth reanchor counters into the result
-/// histograms (identical in both engine modes).
 void flush_reanchor_counts(const MoveSelector& selector, RunResult& result) {
   const std::vector<std::uint64_t>& reanchors =
       EngineAccess::reanchors(selector);
@@ -213,13 +199,6 @@ void flush_reanchor_counts(const MoveSelector& selector, RunResult& result) {
   }
 }
 
-/// The MOVE step for one robot's selected move, identical in every
-/// engine mode: position update, first-traversal flags, dangling commit
-/// with depth-completion accounting, per-robot move counter. Returns
-/// true iff the robot actually moved (i.e. not stay/none; the caller
-/// does its own idle accounting). `commit_round` is the round recorded
-/// in depth_completed_round when this move commits the last unexplored
-/// node of a depth.
 bool apply_pending_move(const Tree& tree, ExplorationState& state,
                         std::int32_t robot, const MoveSelector::Pending& p,
                         std::vector<std::int64_t>& unexplored_at_depth,
@@ -258,10 +237,6 @@ bool apply_pending_move(const Tree& tree, ExplorationState& state,
   return false;  // unreachable
 }
 
-/// One step of a committed walk (TransitPlan::kWalk): validates the
-/// step, records the traversal and advances the robot. Shared between
-/// the fast-forward engine (which executes whole walks eagerly) and the
-/// async engine (which replays them one activation at a time).
 void apply_walk_step(const Tree& tree, ExplorationState& state,
                      std::int32_t robot, NodeId next, RunResult& result) {
   const NodeId cur = state.robot_pos(robot);
@@ -277,187 +252,217 @@ void apply_walk_step(const Tree& tree, ExplorationState& state,
   ++result.robot_moves[static_cast<std::size_t>(robot)];
 }
 
-/// Event-driven fast-forward loop. Robots alternate between "event
-/// rounds", where they run the algorithm's real selection logic, and
-/// committed walks (TransitPlan::kWalk), which the engine executes in
-/// one batch the moment they are planned: the robot's position, the
-/// first-traversal flags and its move counter advance over the whole
-/// segment, and the robot is parked until its wake round. Because a
-/// committed-segment algorithm decides each robot's move from shared
-/// exploration state plus that robot's own private state only, and
-/// transit moves touch no shared state another robot's decision reads
-/// (traversal flags are write-only bookkeeping; dangling counts only
-/// ever decrease), executing the walk eagerly is indistinguishable from
-/// interleaving it with the other robots' rounds — the stepped engine
-/// would produce exactly the same moves. The round counter advances
-/// analytically over the gaps between events; every accounting rule
-/// below mirrors one line of the stepped loop (see docs/MODEL.md).
-RunResult run_fast_forward(const Tree& tree, Algorithm& algorithm,
-                           const RunConfig& config,
-                           std::int64_t max_rounds) {
-  const std::int32_t k = config.num_robots;
-  ExplorationState state(tree, k);
-  RunResult result;
-  result.robot_moves.assign(static_cast<std::size_t>(k), 0);
-  std::vector<std::int64_t> unexplored_at_depth;
-  init_depth_accounting(tree, result, unexplored_at_depth);
+// Event-driven fast-forward execution (engine_internal::FastForwardRun).
+// Robots alternate between "event rounds", where they run the
+// algorithm's real selection logic, and committed walks
+// (TransitPlan::kWalk), which the engine executes in one batch the
+// moment they are planned: the robot's position, the first-traversal
+// flags and its move counter advance over the whole segment, and the
+// robot is parked until its wake round. Because a committed-segment
+// algorithm decides each robot's move from shared exploration state
+// plus that robot's own private state only, and transit moves touch no
+// shared state another robot's decision reads (traversal flags are
+// write-only bookkeeping; dangling counts only ever decrease),
+// executing the walk eagerly is indistinguishable from interleaving it
+// with the other robots' rounds — the stepped engine would produce
+// exactly the same moves. The round counter advances analytically over
+// the gaps between events; every accounting rule below mirrors one
+// line of the stepped loop (see docs/MODEL.md). The loop is cut at its
+// event boundaries into an advance() method so the batch executor can
+// interleave several runs; run_exploration drives one context straight
+// through, which is the exact former single-run loop.
+FastForwardRun::FastForwardRun(const Tree& tree, Algorithm& algorithm,
+                               std::int32_t k, std::int64_t max_rounds)
+    : tree_(tree),
+      algorithm_(algorithm),
+      k_(k),
+      max_rounds_(max_rounds),
+      state_(tree, k),
+      movable_(static_cast<std::size_t>(k), 1),
+      view_(state_, movable_),
+      selector_(state_, movable_),
+      wake_(static_cast<std::size_t>(k), 1),
+      parked_(static_cast<std::size_t>(k), 0) {
+  result_.robot_moves.assign(static_cast<std::size_t>(k), 0);
+  init_depth_accounting(tree, result_, unexplored_at_depth_);
+  algorithm_.begin(view_);
+  woken_.reserve(static_cast<std::size_t>(k));
+}
 
-  const std::vector<char> movable(static_cast<std::size_t>(k), 1);
-  ExplorationView view(state, movable);
-  algorithm.begin(view);
-  MoveSelector selector(state, movable);
-
-  // wake[i]: next round in which robot i runs selection; parked robots
-  // (kStayForever, or walks capped by the round limit) get the sentinel
-  // max_rounds + 1 and never wake. All robots start awake at round 1.
-  std::vector<std::int64_t> wake(static_cast<std::size_t>(k), 1);
-  std::vector<char> parked(static_cast<std::size_t>(k), 0);
-  std::int64_t num_parked = 0;
-  std::vector<std::int32_t> woken;
-  woken.reserve(static_cast<std::size_t>(k));
-  TransitPlan plan;  // reused; path keeps its capacity across events
-
-  for (;;) {
-    // Next event round: the earliest wake among non-parked robots.
-    std::int64_t event_round = max_rounds + 1;
-    for (std::int32_t i = 0; i < k; ++i) {
-      if (!parked[static_cast<std::size_t>(i)]) {
-        event_round = std::min(event_round, wake[static_cast<std::size_t>(i)]);
-      }
+std::int64_t FastForwardRun::next_event_round() const {
+  // Next event round: the earliest wake among non-parked robots.
+  std::int64_t event_round = max_rounds_ + 1;
+  for (std::int32_t i = 0; i < k_; ++i) {
+    if (!parked_[static_cast<std::size_t>(i)]) {
+      event_round =
+          std::min(event_round, wake_[static_cast<std::size_t>(i)]);
     }
+  }
+  return event_round;
+}
 
-    // Gap rounds (result.rounds, event_round): every non-parked robot is
-    // mid-walk and moves in each of them, so they all count; parked
-    // robots stay, which is exactly the stepped loop's idle accounting.
-    const std::int64_t gap_end = std::min(event_round - 1, max_rounds);
-    if (gap_end > result.rounds) {
-      const std::int64_t gap = gap_end - result.rounds;
-      if (num_parked > 0) {
-        result.rounds_with_idle += gap;
-        result.idle_robot_rounds += gap * num_parked;
-      }
-      result.rounds = gap_end;
+bool FastForwardRun::advance() {
+  if (done_) return false;
+  const std::int64_t event_round = next_event_round();
+
+  // Gap rounds (result.rounds, event_round): every non-parked robot is
+  // mid-walk and moves in each of them, so they all count; parked
+  // robots stay, which is exactly the stepped loop's idle accounting.
+  const std::int64_t gap_end = std::min(event_round - 1, max_rounds_);
+  if (gap_end > result_.rounds) {
+    const std::int64_t gap = gap_end - result_.rounds;
+    if (num_parked_ > 0) {
+      result_.rounds_with_idle += gap;
+      result_.idle_robot_rounds += gap * num_parked_;
     }
-    if (event_round > max_rounds) {
-      // Either all robots are parked forever (stepped: the next round is
-      // all-stay or past the limit) or every remaining walk was capped
-      // at the limit; hit_round_limit is derived below.
+    result_.rounds = gap_end;
+  }
+  if (event_round > max_rounds_) {
+    // Either all robots are parked forever (stepped: the next round is
+    // all-stay or past the limit) or every remaining walk was capped
+    // at the limit; hit_round_limit is derived in finish().
+    done_ = true;
+    return false;
+  }
+
+  if (algorithm_.finished(view_)) {
+    done_ = true;
+    return false;
+  }
+
+  woken_.clear();
+  for (std::int32_t i = 0; i < k_; ++i) {
+    if (!parked_[static_cast<std::size_t>(i)] &&
+        wake_[static_cast<std::size_t>(i)] == event_round) {
+      woken_.push_back(i);
+    }
+  }
+
+  // Selection, restricted to the woken robots; everyone else is
+  // mid-walk (their move this round was already executed) or parked.
+  state_.set_clock_base(event_round);
+  selector_.reset();
+  algorithm_.select_moves_subset(view_, selector_, woken_);
+  const std::vector<MoveSelector::Pending>& pending =
+      EngineAccess::pending(selector_);
+
+  bool any_move = false;
+  for (std::int32_t i : woken_) {
+    const auto kind = pending[static_cast<std::size_t>(i)].kind;
+    if (kind == MoveSelector::Kind::kUp ||
+        kind == MoveSelector::Kind::kDownExplored ||
+        kind == MoveSelector::Kind::kDownDangling) {
+      any_move = true;
       break;
     }
-
-    if (algorithm.finished(view)) break;
-
-    woken.clear();
-    for (std::int32_t i = 0; i < k; ++i) {
-      if (!parked[static_cast<std::size_t>(i)] &&
-          wake[static_cast<std::size_t>(i)] == event_round) {
-        woken.push_back(i);
-      }
-    }
-
-    // Selection, restricted to the woken robots; everyone else is
-    // mid-walk (their move this round was already executed) or parked.
-    state.set_clock_base(event_round);
-    selector.reset();
-    algorithm.select_moves_subset(view, selector, woken);
-    const std::vector<MoveSelector::Pending>& pending =
-        EngineAccess::pending(selector);
-
-    bool any_move = false;
-    for (std::int32_t i : woken) {
-      const auto kind = pending[static_cast<std::size_t>(i)].kind;
-      if (kind == MoveSelector::Kind::kUp ||
-          kind == MoveSelector::Kind::kDownExplored ||
-          kind == MoveSelector::Kind::kDownDangling) {
-        any_move = true;
+  }
+  if (!any_move) {
+    // A mid-walk robot (wake beyond this round) still moves this
+    // round; only if nobody moves is this Algorithm 1's terminal
+    // all-stay round, which is not counted.
+    bool walker_moving = false;
+    for (std::int32_t i = 0; i < k_; ++i) {
+      if (!parked_[static_cast<std::size_t>(i)] &&
+          wake_[static_cast<std::size_t>(i)] > event_round) {
+        walker_moving = true;
         break;
       }
     }
-    if (!any_move) {
-      // A mid-walk robot (wake beyond this round) still moves this
-      // round; only if nobody moves is this Algorithm 1's terminal
-      // all-stay round, which is not counted.
-      bool walker_moving = false;
-      for (std::int32_t i = 0; i < k; ++i) {
-        if (!parked[static_cast<std::size_t>(i)] &&
-            wake[static_cast<std::size_t>(i)] > event_round) {
-          walker_moving = true;
-          break;
-        }
-      }
-      if (!walker_moving) break;
-    }
-
-    // Synchronous MOVE for the woken robots (mid-walk robots' moves for
-    // this round were executed when their walk was planned).
-    std::int64_t idle_movable = 0;
-    for (std::int32_t i : woken) {
-      if (!apply_pending_move(tree, state, i,
-                              pending[static_cast<std::size_t>(i)],
-                              unexplored_at_depth, result, event_round)) {
-        ++idle_movable;
-      }
-    }
-    result.rounds = event_round;
-    idle_movable += num_parked;
-    if (idle_movable > 0) {
-      ++result.rounds_with_idle;
-      result.idle_robot_rounds += idle_movable;
-    }
-    flush_reanchor_counts(selector, result);
-
-    // Re-plan every woken robot from the post-MOVE state and execute
-    // committed walks immediately; the walk's steps occupy rounds
-    // event_round + 1 .. event_round + len.
-    for (std::int32_t i : woken) {
-      plan.kind = TransitPlan::Kind::kEvent;
-      plan.path.clear();
-      algorithm.plan_transit(view, i, plan);
-      switch (plan.kind) {
-        case TransitPlan::Kind::kStayForever:
-          parked[static_cast<std::size_t>(i)] = 1;
-          ++num_parked;
-          break;
-        case TransitPlan::Kind::kEvent:
-          wake[static_cast<std::size_t>(i)] = event_round + 1;
-          break;
-        case TransitPlan::Kind::kWalk: {
-          const auto full_len =
-              static_cast<std::int64_t>(plan.path.size());
-          const std::int64_t len =
-              std::min(full_len, max_rounds - event_round);
-          for (std::int64_t s = 0; s < len; ++s) {
-            apply_walk_step(tree, state, i,
-                            plan.path[static_cast<std::size_t>(s)], result);
-          }
-          // A limit-capped walk parks the robot just past the horizon.
-          wake[static_cast<std::size_t>(i)] =
-              len < full_len ? max_rounds + 1 : event_round + len + 1;
-          break;
-        }
-      }
+    if (!walker_moving) {
+      done_ = true;
+      return false;
     }
   }
 
+  // Synchronous MOVE for the woken robots (mid-walk robots' moves for
+  // this round were executed when their walk was planned).
+  std::int64_t idle_movable = 0;
+  for (std::int32_t i : woken_) {
+    if (!apply_pending_move(tree_, state_, i,
+                            pending[static_cast<std::size_t>(i)],
+                            unexplored_at_depth_, result_, event_round)) {
+      ++idle_movable;
+    }
+  }
+  result_.rounds = event_round;
+  idle_movable += num_parked_;
+  if (idle_movable > 0) {
+    ++result_.rounds_with_idle;
+    result_.idle_robot_rounds += idle_movable;
+  }
+  flush_reanchor_counts(selector_, result_);
+
+  // Re-plan every woken robot from the post-MOVE state and execute
+  // committed walks immediately; the walk's steps occupy rounds
+  // event_round + 1 .. event_round + len.
+  for (std::int32_t i : woken_) {
+    plan_.kind = TransitPlan::Kind::kEvent;
+    plan_.path.clear();
+    algorithm_.plan_transit(view_, i, plan_);
+    switch (plan_.kind) {
+      case TransitPlan::Kind::kStayForever:
+        parked_[static_cast<std::size_t>(i)] = 1;
+        ++num_parked_;
+        break;
+      case TransitPlan::Kind::kEvent:
+        wake_[static_cast<std::size_t>(i)] = event_round + 1;
+        break;
+      case TransitPlan::Kind::kWalk: {
+        const auto full_len = static_cast<std::int64_t>(plan_.path.size());
+        const std::int64_t len =
+            std::min(full_len, max_rounds_ - event_round);
+        for (std::int64_t s = 0; s < len; ++s) {
+          apply_walk_step(tree_, state_, i,
+                          plan_.path[static_cast<std::size_t>(s)], result_);
+        }
+        // A limit-capped walk parks the robot just past the horizon.
+        wake_[static_cast<std::size_t>(i)] =
+            len < full_len ? max_rounds_ + 1 : event_round + len + 1;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+RunResult FastForwardRun::finish() {
+  BFDN_REQUIRE(done_, "finish() before the run ended");
+  BFDN_REQUIRE(!finished_, "finish() called twice");
+  finished_ = true;
   // The stepped loop flags the limit whenever it executes max_rounds
   // rounds without an earlier break (its limit check precedes the
   // round's all-stay test).
-  if (result.rounds >= max_rounds) result.hit_round_limit = true;
+  if (result_.rounds >= max_rounds_) result_.hit_round_limit = true;
   // All clocks tick together: every robot is activated (mid-walk,
   // parked-stay or selecting) in every counted round, exactly like the
   // stepped loop.
-  result.total_activations = static_cast<std::int64_t>(k) * result.rounds;
-  result.complete = state.num_explored_nodes() == tree.num_nodes();
-  result.edge_events = state.edge_events();
-  result.all_at_root = true;
-  for (std::int32_t i = 0; i < k; ++i) {
-    if (state.robot_pos(i) != tree.root()) {
-      result.all_at_root = false;
+  result_.total_activations =
+      static_cast<std::int64_t>(k_) * result_.rounds;
+  result_.complete = state_.num_explored_nodes() == tree_.num_nodes();
+  result_.edge_events = state_.edge_events();
+  result_.all_at_root = true;
+  for (std::int32_t i = 0; i < k_; ++i) {
+    if (state_.robot_pos(i) != tree_.root()) {
+      result_.all_at_root = false;
       break;
     }
   }
-  result.final_state_hash = state.state_hash();
-  return result;
+  result_.final_state_hash = state_.state_hash();
+  return std::move(result_);
+}
+
+}  // namespace engine_internal
+
+namespace {
+
+RunResult run_fast_forward(const Tree& tree, Algorithm& algorithm,
+                           const RunConfig& config,
+                           std::int64_t max_rounds) {
+  engine_internal::FastForwardRun run(tree, algorithm, config.num_robots,
+                                      max_rounds);
+  while (run.advance()) {
+  }
+  return run.finish();
 }
 
 /// Per-robot-clock event loop (RunConfig::async). Time is a virtual

@@ -202,17 +202,27 @@ Tree build_fuzz_case(const FuzzOptions& options, std::int32_t case_index,
     // the same tree, k, and schedule as before.
     config.async = sample_async(rng, config.k);
   }
+  // The batch draws come last and are always consumed, so turning the
+  // knobs on or off never changes which tree, k, schedule or async
+  // spec a given (seed, index) samples.
+  const bool want_batch = rng.next_bool(options.batch_p);
+  const std::int64_t width_draw = rng.next_int(
+      2, std::max<std::int64_t>(2, options.batch_width));
+  if (want_batch && options.batch_width >= 2 &&
+      config.schedule.kind == ScheduleKind::kNone) {
+    config.batch_width = static_cast<std::int32_t>(width_draw);
+  }
 
   if (recipe_out != nullptr) {
     *recipe_out = str_format(
         "case=%d seed=%llu family=%s n=%lld D=%d Delta=%d k=%d "
-        "schedule=%s async=%s fault=%s",
+        "schedule=%s async=%s batch=%d fault=%s",
         case_index, static_cast<unsigned long long>(options.seed),
         sampled.recipe.c_str(),
         static_cast<long long>(sampled.tree.num_nodes()),
         sampled.tree.depth(), sampled.tree.max_degree(), config.k,
         schedule_label.c_str(), config.async.label().c_str(),
-        options.inject_load_leak ? "load-leak" : "none");
+        config.batch_width, options.inject_load_leak ? "load-leak" : "none");
   }
   if (config_out != nullptr) *config_out = config;
   return std::move(sampled.tree);

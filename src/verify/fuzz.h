@@ -39,6 +39,16 @@ struct FuzzOptions {
   /// kAsyncEquivalence exotic leg on top of the always-on round-robin
   /// one.
   double async_p = 0.3;
+  /// Sampling probability of attaching a batched-campaign differential
+  /// (OracleCheck::kBatchEquivalence) to a case: the oracle then runs a
+  /// BatchExecutor of width uniform in [2, batch_width] and compares
+  /// every member to its own solo run. Break-down cases skip the leg
+  /// (the executor rejects schedule members) but still consume the
+  /// sampling draws, so every other parameter of a (seed, index) case
+  /// is unchanged by these knobs.
+  double batch_p = 0.25;
+  /// Largest sampled batch width (< 2 disables the leg entirely).
+  std::int32_t batch_width = 4;
   /// Inject the fault_load_leak counter bug into every case (harness
   /// self-test: the oracle must then find counterexamples).
   bool inject_load_leak = false;

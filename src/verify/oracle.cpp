@@ -11,6 +11,7 @@
 #include "graph/graph.h"
 #include "graphexp/graph_bfdn.h"
 #include "recursive/bfdn_ell.h"
+#include "sim/batch_executor.h"
 #include "support/check.h"
 #include "support/strings.h"
 #include "verify/trace.h"
@@ -30,6 +31,7 @@ const char* oracle_check_name(OracleCheck check) {
     case OracleCheck::kEngineInvariant: return "engine-invariant";
     case OracleCheck::kFastForward: return "fast-forward";
     case OracleCheck::kAsyncEquivalence: return "async-equivalence";
+    case OracleCheck::kBatchEquivalence: return "batch-equivalence";
   }
   return "?";
 }
@@ -446,6 +448,89 @@ OracleReport run_oracle(const Tree& tree, const OracleConfig& config) {
   // The secondary models run the plain Section 2 setting; under a
   // break-down schedule their agreements are not claimed by the paper.
   if (breakdown) return report;
+
+  // --- batched campaign members == solo runs (differential) -----------
+  // A BatchExecutor interleaves its member runs over the shared tree;
+  // the contract is that every member — fast-forwarded, coalesced as a
+  // seed-blind twin, or riding the stepped fallback — is bit-identical
+  // to running it alone through run_exploration. Member i sweeps the
+  // axes a campaign sweeps: the algorithm seed always, and (odd
+  // members) the random reanchor policy, the one policy that actually
+  // consumes the seed. Even members keep the configured policy and are
+  // tagged coalescible whenever that policy is seed-blind, so the
+  // replication path is exercised against members that each still get
+  // their own independently executed solo reference. The comparison
+  // stops at the lowest-index diverging member (the shrinker minimizes
+  // toward that pair).
+  if (config.batch_width >= 2) {
+    RunConfig member_config;
+    member_config.num_robots = k;
+    member_config.max_rounds = config.max_rounds;
+    std::vector<BfdnOptions> member_options;
+    member_options.reserve(static_cast<std::size_t>(config.batch_width));
+    BatchExecutor batch(tree);
+    for (std::int32_t i = 0; i < config.batch_width; ++i) {
+      BfdnOptions options = config.bfdn;
+      options.seed = config.bfdn.seed + static_cast<std::uint64_t>(i);
+      if (i % 2 == 1) options.policy = ReanchorPolicy::kRandom;
+      std::string key;
+      if (options.policy != ReanchorPolicy::kRandom) {
+        key = str_format("seed-blind policy=%d cap=%d shortcut=%d",
+                         static_cast<int>(options.policy),
+                         options.depth_cap,
+                         options.shortcut_reanchor ? 1 : 0);
+      }
+      batch.add_member(std::make_unique<BfdnAlgorithm>(k, options),
+                       member_config, std::move(key));
+      member_options.push_back(options);
+    }
+    try {
+      const std::vector<RunResult> batched = batch.run();
+      for (std::int32_t i = 0; i < config.batch_width; ++i) {
+        BfdnAlgorithm solo(k, member_options[static_cast<std::size_t>(i)]);
+        const RunResult expected =
+            run_exploration(tree, solo, member_config);
+        const std::string name = str_format("batch member %d", i);
+        compare_run_results(batched[static_cast<std::size_t>(i)], expected,
+                            name.c_str(), OracleCheck::kBatchEquivalence,
+                            report);
+        if (report.failed(OracleCheck::kBatchEquivalence)) break;
+      }
+    } catch (const CheckError& error) {
+      fail(OracleCheck::kEngineInvariant, error.what());
+    }
+
+    // Per-round hash sequence: a member carrying an observer rides the
+    // executor's documented stepped fallback; its hash stream and its
+    // RunResult must reproduce the primary stepped run exactly.
+    if (!report.failed(OracleCheck::kBatchEquivalence)) {
+      try {
+        std::vector<std::uint64_t> hashes;
+        CollectingObserver observer(hashes);
+        RunConfig hook_config = member_config;
+        hook_config.check_invariants = true;
+        hook_config.observer = &observer;
+        BatchExecutor hook_batch(tree);
+        hook_batch.add_member(
+            std::make_unique<BfdnAlgorithm>(k, config.bfdn), hook_config);
+        const RunResult hooked = hook_batch.run().front();
+        if (hashes != primary.hashes) {
+          const std::size_t common =
+              std::min(hashes.size(), primary.hashes.size());
+          std::size_t r = 0;
+          while (r < common && hashes[r] == primary.hashes[r]) ++r;
+          fail(OracleCheck::kBatchEquivalence,
+               str_format("observed batch member and solo hash sequences "
+                          "diverge at round %zu (%zu vs %zu rounds total)",
+                          r + 1, hashes.size(), primary.hashes.size()));
+        }
+        compare_run_results(hooked, primary.result, "observed batch member",
+                            OracleCheck::kBatchEquivalence, report);
+      } catch (const CheckError& error) {
+        fail(OracleCheck::kEngineInvariant, error.what());
+      }
+    }
+  }
 
   // --- write-read BFDN (Proposition 6) -------------------------------
   if (config.run_write_read && paper_bfdn) {

@@ -39,6 +39,13 @@
 //  * Under a break-down schedule (Section 4.2): if the run ended
 //    incomplete, the adversary must not have granted an average allowed
 //    distance of 2n/k + D^2(log k + 3) (Proposition 7 contrapositive).
+//  * Every member of a batched campaign (sim/batch_executor) reproduces
+//    its solo engine run bit-exactly — full RunResult, final-state
+//    digest, and (through the stepped-fallback member that carries an
+//    observer) the per-round hash sequence — including members that the
+//    executor coalesced as seed-blind twins, each of which is compared
+//    against its own independently executed solo run (skipped under
+//    break-down schedules, whose members the executor rejects).
 //
 // Any CheckError thrown by an engine invariant is converted into an
 // oracle failure rather than propagating.
@@ -65,6 +72,7 @@ enum class OracleCheck : std::uint8_t {
   kEngineInvariant = 8,  // a BFDN_CHECK fired inside a run
   kFastForward = 9,      // fast-forward == stepped engine, field by field
   kAsyncEquivalence = 10,  // round-robin async == sync, bit by bit
+  kBatchEquivalence = 11,  // batched campaign member == its solo run
 };
 
 const char* oracle_check_name(OracleCheck check);
@@ -90,6 +98,13 @@ struct OracleConfig {
   std::int32_t ell = 1;
   bool run_graph = true;
   std::int64_t max_rounds = 0;
+  /// Width of the batched-campaign differential (kBatchEquivalence):
+  /// the oracle builds a batch of this many member variants of the
+  /// primary run (seed sweep; odd members switch to the seed-consuming
+  /// random reanchor policy) and compares every member against its own
+  /// solo execution. 0 or 1 skips the check; the fuzzer samples widths
+  /// via --batch-p / --batch-width.
+  std::int32_t batch_width = 0;
 };
 
 struct OracleFailure {

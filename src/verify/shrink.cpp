@@ -32,6 +32,13 @@ OracleConfig probe_config(const OracleConfig& config, OracleCheck check) {
       check != OracleCheck::kEngineInvariant) {
     probe.async = AsyncSpec{};
   }
+  // Likewise the batched-campaign leg: only its own check (and the
+  // anywhere-originating invariant check) keeps it; batch_pass later
+  // narrows the width for the checks that do.
+  if (check != OracleCheck::kBatchEquivalence &&
+      check != OracleCheck::kEngineInvariant) {
+    probe.batch_width = 0;
+  }
   return probe;
 }
 
@@ -106,6 +113,7 @@ class Shrinker {
       progress |= hoist_pass();
       progress |= robot_pass();
       progress |= async_pass();
+      progress |= batch_pass();
     }
     return std::move(result_);
   }
@@ -278,6 +286,37 @@ class Shrinker {
           floored.max_delay != current.max_delay) {
         try_spec(floored);
       }
+    }
+    return progress;
+  }
+
+  /// Narrows the batched-campaign differential toward the smallest
+  /// batch that still diverges (halving, then decrements). Width 2 is
+  /// the floor: one member below the oracle skips the leg entirely.
+  bool batch_pass() {
+    bool progress = false;
+    while (result_.config.batch_width > 2 &&
+           result_.probes < options_.max_probes) {
+      OracleConfig candidate = result_.config;
+      candidate.batch_width =
+          std::max<std::int32_t>(2, result_.config.batch_width / 2);
+      if (still_fails(result_.tree, candidate)) {
+        result_.config = candidate;
+        ++result_.accepted_reductions;
+        progress = true;
+        continue;
+      }
+      candidate.batch_width = result_.config.batch_width - 1;
+      if (candidate.batch_width >= 2 &&
+          candidate.batch_width !=
+              std::max<std::int32_t>(2, result_.config.batch_width / 2) &&
+          still_fails(result_.tree, candidate)) {
+        result_.config = candidate;
+        ++result_.accepted_reductions;
+        progress = true;
+        continue;
+      }
+      break;
     }
     return progress;
   }

@@ -105,6 +105,104 @@ TEST(SchedulerStress, ConcurrentSubmitWaitStatsDrain) {
             Scheduler::Admit::kDraining);
 }
 
+/// Campaign-shaped group whose members all share one tree recipe.
+/// `with_async` flips the members onto the per-robot-clock engine path,
+/// which makes them non-batchable: the dispatcher must then thread them
+/// through the solo lane of a possibly mixed batched+solo group.
+ServiceRequest storm_campaign(bool with_async) {
+  ServiceRequest request;
+  request.type = RequestType::kCampaign;
+  request.id = with_async ? "storm-async" : "storm";
+  request.recipe.family = "fixed-depth";
+  request.recipe.nodes = 40;
+  request.recipe.depth = 5;
+  request.recipe.seed = 7;
+  request.algo.kind = AlgoKind::kBfdn;
+  request.campaign_ks = {4, 8};
+  request.campaign_seeds = {1, 2, 3};
+  if (with_async) {
+    request.async.kind = AsyncKind::kFixedRate;
+    request.async.period = 2;
+  }
+  return request;
+}
+
+TEST(SchedulerStress, CampaignStormKeepsAtomicityAndByteIdentity) {
+  constexpr std::int32_t kProducers = 4;
+  constexpr std::int32_t kCampaignsPerProducer = 6;
+  // Capacity 8 fits one 6-member campaign but not two: concurrent
+  // submit_all calls constantly collide, exercising the all-or-nothing
+  // admission path (a half-admitted campaign would deadlock its
+  // producer against its own backpressure).
+  Scheduler scheduler({/*threads=*/4, /*queue_capacity=*/8});
+
+  // Per-variant expected bytes, computed solo up front: the batched
+  // path must reproduce them exactly.
+  std::vector<std::vector<std::string>> expected(2);
+  std::vector<std::vector<ServiceRequest>> members(2);
+  for (std::size_t variant = 0; variant < 2; ++variant) {
+    const ServiceRequest campaign = storm_campaign(variant == 1);
+    const Tree tree = campaign.recipe.build();
+    members[variant] = expand_campaign(campaign);
+    for (const ServiceRequest& member : members[variant]) {
+      expected[variant].push_back(execute_run(member, tree));
+    }
+  }
+
+  std::atomic<std::int64_t> groups_ok{0};
+  std::vector<std::thread> producers;
+  for (std::int32_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      // Even producers offer seed-sweep (batchable, coalescible)
+      // members; odd producers offer async members that share the same
+      // recipe label, so dispatcher groups mix both execution lanes.
+      const std::size_t variant = static_cast<std::size_t>(p % 2);
+      for (std::int32_t i = 0; i < kCampaignsPerProducer; ++i) {
+        std::vector<std::shared_ptr<Scheduler::Job>> jobs;
+        for (std::int32_t attempt = 0; attempt < 10000; ++attempt) {
+          if (scheduler.submit_all(members[variant], &jobs) ==
+              Scheduler::Admit::kAdmitted) {
+            break;
+          }
+          jobs.clear();
+          std::this_thread::yield();
+        }
+        ASSERT_FALSE(jobs.empty()) << "submit_all never admitted";
+        ASSERT_EQ(jobs.size(), members[variant].size());
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+          const JobOutcome& outcome = jobs[j]->wait();
+          EXPECT_TRUE(outcome.ok) << outcome.payload;
+          EXPECT_EQ(outcome.payload, expected[variant][j])
+              << "member " << j << " diverged from its solo bytes";
+        }
+        ++groups_ok;
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  scheduler.drain();
+
+  EXPECT_EQ(groups_ok.load(), kProducers * kCampaignsPerProducer);
+  const Scheduler::Stats stats = scheduler.stats();
+  const std::int64_t total_members =
+      kProducers * kCampaignsPerProducer * 6;
+  EXPECT_EQ(stats.admitted, total_members);
+  EXPECT_EQ(stats.completed, stats.admitted);
+  EXPECT_EQ(scheduler.queue_depth(), 0);
+
+  // Batchable members are enqueued together under one mutex hold and
+  // drained wholesale, so every seed-sweep member goes through the
+  // batch lane: 2 even producers x 6 campaigns x 6 members.
+  EXPECT_EQ(stats.batch_members,
+            (kProducers / 2) * kCampaignsPerProducer * 6);
+  EXPECT_GE(stats.batch_groups, 1);
+  // Each batch group carries at most two distinct coalesce keys
+  // (k=4 and k=8 seed sweeps under the seed-blind least-loaded
+  // policy); everything beyond that must have been coalesced.
+  EXPECT_GE(stats.batch_coalesced,
+            stats.batch_members - 2 * stats.batch_groups);
+}
+
 TEST(CacheStress, ConcurrentGetPutEvict) {
   constexpr std::int32_t kThreads = 4;
   constexpr std::int32_t kOps = 800;

@@ -160,6 +160,79 @@ TEST(ServiceProtocolTest, ParseRejectsMalformedRequests) {
   EXPECT_NE(error.find("horizon"), std::string::npos);
 }
 
+TEST(ServiceProtocolTest, CampaignSerializeParseRoundTrip) {
+  ServiceRequest request;
+  request.type = RequestType::kCampaign;
+  request.id = "camp-1";
+  request.recipe = TreeRecipe{"comb", 400, 6, 10, 9};
+  request.algo.kind = AlgoKind::kBfdn;
+  request.algo.k = 4;
+  request.campaign_ks = {2, 4, 8};
+  request.campaign_seeds = {11, 12};
+
+  const std::string line = serialize_request(request);
+  ServiceRequest parsed;
+  std::string error;
+  ASSERT_TRUE(parse_request(line, parsed, &error)) << error;
+  EXPECT_EQ(parsed.type, RequestType::kCampaign);
+  EXPECT_EQ(parsed.campaign_ks, request.campaign_ks);
+  EXPECT_EQ(parsed.campaign_seeds, request.campaign_seeds);
+  EXPECT_EQ(serialize_request(parsed), line);
+
+  // Expansion is the k-major cross product, and every member's
+  // fingerprint is the fingerprint a direct solo request would get.
+  const std::vector<ServiceRequest> members = expand_campaign(parsed);
+  ASSERT_EQ(members.size(), 6u);
+  std::size_t slot = 0;
+  for (const std::int32_t k : request.campaign_ks) {
+    for (const std::uint64_t seed : request.campaign_seeds) {
+      ServiceRequest solo = request;
+      solo.type = RequestType::kRun;
+      solo.campaign_ks.clear();
+      solo.campaign_seeds.clear();
+      solo.algo.k = k;
+      solo.algo.options.seed = seed;
+      EXPECT_EQ(request_fingerprint(members[slot]),
+                request_fingerprint(solo));
+      ++slot;
+    }
+  }
+}
+
+TEST(ServiceProtocolTest, CampaignParseRejectsOversizedAndBadArrays) {
+  ServiceRequest out;
+  std::string error;
+  // 9 x 9 = 81 members > the 64-member cap.
+  EXPECT_FALSE(parse_request(
+      "{\"type\":\"campaign\",\"ks\":[1,2,3,4,5,6,7,8,9],"
+      "\"algo_seeds\":[1,2,3,4,5,6,7,8,9]}",
+      out, &error));
+  EXPECT_NE(error.find("members"), std::string::npos);
+  EXPECT_FALSE(parse_request("{\"type\":\"campaign\",\"ks\":3}", out,
+                             &error));
+  EXPECT_NE(error.find("array"), std::string::npos);
+  EXPECT_FALSE(parse_request("{\"type\":\"campaign\",\"ks\":[0]}", out,
+                             &error));
+}
+
+TEST(ServiceProtocolTest, BatchCoalesceKeyTracksSeedConsumption) {
+  ServiceRequest request = golden_request();
+  // Least-loaded BFDN never consumes its seed: a seed sweep shares one
+  // coalesce key.
+  ServiceRequest other = request;
+  other.algo.options.seed = request.algo.options.seed + 17;
+  EXPECT_FALSE(batch_coalesce_key(request).empty());
+  EXPECT_EQ(batch_coalesce_key(request), batch_coalesce_key(other));
+  // ...but differing non-seed fields must separate keys.
+  other = request;
+  other.algo.k += 1;
+  EXPECT_NE(batch_coalesce_key(request), batch_coalesce_key(other));
+  // The random reanchor policy consumes the seed: never coalesced.
+  ServiceRequest random_policy = request;
+  random_policy.algo.options.policy = ReanchorPolicy::kRandom;
+  EXPECT_TRUE(batch_coalesce_key(random_policy).empty());
+}
+
 // --- cache ---
 
 TEST(ResultCacheTest, HitReturnsStoredBytesAndCounts) {
@@ -625,6 +698,125 @@ TEST(ServiceEndToEndTest, StatsRequestReportsQueueAndCache) {
   EXPECT_EQ(stats.at("cache").get_int("misses", -1), 1);
   EXPECT_EQ(stats.at("jobs").get_int("completed", -1), 1);
   EXPECT_GE(stats.at("latency_us").get_int("count", -1), 1);
+  server.drain();
+}
+
+// --- campaigns ---
+
+ServiceRequest campaign_request() {
+  ServiceRequest request;
+  request.type = RequestType::kCampaign;
+  request.id = "camp";
+  request.recipe.family = "comb";
+  request.recipe.nodes = 500;
+  request.recipe.arms = 12;
+  request.recipe.depth = 6;
+  request.algo.kind = AlgoKind::kBfdn;
+  request.campaign_ks = {2, 4, 8};
+  request.campaign_seeds = {1, 2};
+  return request;
+}
+
+TEST(ServiceCampaignTest, MemberBytesMatchDirectSoloRuns) {
+  ServiceServer server(ServerOptions{0, 2, 32, 64, 20, 1000000});
+  server.start();
+
+  const ServiceRequest request = campaign_request();
+  const Tree tree = request.recipe.build();
+
+  Socket socket = connect_local(server.port(), 60000);
+  ASSERT_TRUE(socket.send_all(serialize_request(request) + "\n"));
+  const auto line = socket.recv_line();
+  ASSERT_TRUE(line.has_value());
+  ASSERT_NE(line->find("\"status\":\"ok\""), std::string::npos) << *line;
+
+  // Byte-level contract: every member's result object appears in the
+  // campaign response exactly as execute_run emits it for the expanded
+  // solo request — the same bytes a direct run request would serve.
+  const std::vector<ServiceRequest> members = expand_campaign(request);
+  ASSERT_EQ(members.size(), 6u);
+  for (const ServiceRequest& member : members) {
+    const std::string expected =
+        "\"result\":" + execute_run(member, tree);
+    EXPECT_NE(line->find(expected), std::string::npos)
+        << "k=" << member.algo.k;
+  }
+
+  const JsonValue response = [&line] {
+    JsonValue parsed;
+    std::string error;
+    BFDN_REQUIRE(json_parse(*line, parsed, &error), "bad response");
+    return parsed;
+  }();
+  EXPECT_EQ(response.get_int("members_total", -1), 6);
+  const JsonValue& member_array = response.at("members");
+  ASSERT_EQ(member_array.size(), 6u);
+  for (std::size_t i = 0; i < member_array.size(); ++i) {
+    EXPECT_FALSE(member_array.at(i).get_bool("cached", true));
+  }
+  server.drain();
+}
+
+TEST(ServiceCampaignTest, CampaignWarmsPerMemberCacheBothWays) {
+  ServiceServer server(ServerOptions{0, 2, 32, 64, 20, 1000000});
+  server.start();
+  ServiceClient client(server.port());
+
+  const ServiceRequest request = campaign_request();
+  const JsonValue first = client.call(serialize_request(request));
+  ASSERT_EQ(first.get_string("status", ""), "ok");
+
+  // Every member landed in the cache under its solo fingerprint: a
+  // direct run request for any member is now a hit, byte-identical.
+  const std::vector<ServiceRequest> members = expand_campaign(request);
+  for (const ServiceRequest& member : members) {
+    const JsonValue solo = client.run(member);
+    ASSERT_EQ(solo.get_string("status", ""), "ok");
+    EXPECT_TRUE(solo.get_bool("cached", false))
+        << "k=" << member.algo.k;
+  }
+  EXPECT_EQ(server.scheduler_stats().admitted, 6);  // campaign only
+
+  // And the reverse: re-running the campaign is all cache hits.
+  const JsonValue second = client.call(serialize_request(request));
+  ASSERT_EQ(second.get_string("status", ""), "ok");
+  const JsonValue& member_array = second.at("members");
+  for (std::size_t i = 0; i < member_array.size(); ++i) {
+    EXPECT_TRUE(member_array.at(i).get_bool("cached", false));
+  }
+  EXPECT_EQ(server.scheduler_stats().admitted, 6);
+  server.drain();
+}
+
+TEST(ServiceCampaignTest, StatsReportBatchedExecution) {
+  ServiceServer server(ServerOptions{0, 2, 32, 64, 20, 1000000});
+  server.start();
+  ServiceClient client(server.port());
+
+  // A seed sweep of least-loaded BFDN: members coalesce onto one run.
+  ServiceRequest request = campaign_request();
+  request.campaign_ks = {4};
+  request.campaign_seeds = {1, 2, 3, 4, 5};
+  ASSERT_EQ(client.call(serialize_request(request)).get_string("status",
+                                                              ""),
+            "ok");
+
+  const JsonValue stats = client.stats().at("stats");
+  EXPECT_GE(stats.at("jobs").get_int("batch_groups", -1), 1);
+  EXPECT_GE(stats.at("jobs").get_int("batch_members", -1), 5);
+  EXPECT_GE(stats.at("jobs").get_int("batch_coalesced", -1), 4);
+  server.drain();
+}
+
+TEST(ServiceCampaignTest, OversizedCampaignTreeIsRejected) {
+  ServiceServer server(ServerOptions{0, 2, 16, 16, 20,
+                                     /*max_nodes=*/100});
+  server.start();
+  ServiceClient client(server.port());
+  ServiceRequest request = campaign_request();
+  request.recipe.nodes = 5000;
+  const JsonValue refused = client.call(serialize_request(request));
+  EXPECT_EQ(refused.get_string("status", ""), "error");
   server.drain();
 }
 

@@ -23,6 +23,11 @@ int main(int argc, char** argv) {
   cli.add_double("async-p", 0.3,
                  "probability of attaching an exotic async scheduler to "
                  "a case without a break-down schedule");
+  cli.add_double("batch-p", 0.25,
+                 "probability of adding the batched-campaign "
+                 "differential (batch members vs their solo runs)");
+  cli.add_int("batch-width", 4,
+              "largest sampled batch width (< 2 disables batching)");
   cli.add_string("out-dir", "", "artifact directory for counterexamples");
   cli.add_bool("fault", false,
                "inject the load-leak counter bug (harness self-test; the "
@@ -48,6 +53,8 @@ int main(int argc, char** argv) {
   options.max_nodes = cli.get_int("max-nodes");
   options.schedule_p = cli.get_double("schedule-p");
   options.async_p = cli.get_double("async-p");
+  options.batch_p = cli.get_double("batch-p");
+  options.batch_width = static_cast<std::int32_t>(cli.get_int("batch-width"));
   options.artifact_dir = cli.get_string("out-dir");
   options.inject_load_leak = cli.get_bool("fault");
   options.stop_on_failure = !cli.get_bool("keep-going");
