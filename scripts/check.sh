@@ -11,11 +11,14 @@
 #             is not installed — CI installs it)
 #   asan      ASan/UBSan rebuild + full ctest
 #   tsan      ThreadSanitizer build of the concurrent service tier;
-#             scheduler_stress_test, service_test and support_test must
-#             report zero races
+#             scheduler_stress_test, service_test, store_test and
+#             support_test must report zero races
 #   fuzz      differential-oracle fuzzer, short fixed-seed burst
 #   bench     fast-forward vs stepped smoke
 #   service   serve + load mix + SIGTERM drain
+#   store     durable-store round trip: serve over a store dir, fill,
+#             SIGTERM, restart, require the rewarm first pass to hit
+#             the recovered segments
 #
 # Fast paths: `check.sh --lint-only` runs just lint + tidy (seconds, for
 # pre-commit); `check.sh --tsan-only` runs just the tsan stage.
@@ -45,6 +48,7 @@ tsan_stage() {
   cmake --build --preset tsan -j > /dev/null
   ./build-tsan/tests/scheduler_stress_test
   ./build-tsan/tests/service_test
+  ./build-tsan/tests/store_test
   ./build-tsan/tests/support_test
 }
 
@@ -103,6 +107,9 @@ echo "== bench smoke: batched campaign >= 3x solo loop, one cell =="
 echo "== bench smoke: async scheduler zoo vs lockstep, one cell =="
 ./build/bench/bench_async --smoke > /dev/null
 
+echo "== bench smoke: store warm-start, recovery, write-behind =="
+./build/bench/bench_store --smoke > /dev/null
+
 echo "== service smoke: serve + load mix + SIGTERM drain =="
 rm -f build/serve.port
 ./build/tools/bfdn_serve --port=0 --port-file=build/serve.port \
@@ -120,5 +127,44 @@ done
   --require-hit-rate=0.5 > /dev/null
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"   # graceful drain must exit 0
+
+echo "== store smoke: fill, SIGTERM, restart, rewarm must hit =="
+rm -rf build/store-smoke
+rm -f build/serve.port build/serve2.port
+./build/tools/bfdn_serve --port=0 --port-file=build/serve.port \
+  --queue=32 --cache=256 --store-dir=build/store-smoke \
+  > build/serve.out 2>&1 &
+SERVE_PID=$!
+tries=0
+while [ ! -s build/serve.port ]; do
+  tries=$((tries + 1))
+  [ "$tries" -le 100 ] || { echo "bfdn_serve never bound"; exit 1; }
+  sleep 0.1
+done
+echo "$SERVE_PID" > build/serve.pid
+# The restart command drains the first server (flushing its store) and
+# boots a second one over the same directory; bfdn_load then replays
+# the warm Zipf mix and requires the recovered store to serve it.
+cat > build/store-restart.sh << 'RESTART'
+#!/usr/bin/env sh
+set -eu
+kill -TERM "$(cat build/serve.pid)"
+while kill -0 "$(cat build/serve.pid)" 2> /dev/null; do sleep 0.1; done
+./build/tools/bfdn_serve --port=0 --port-file=build/serve2.port \
+  --queue=32 --cache=256 --store-dir=build/store-smoke \
+  > build/serve2.out 2>&1 &
+echo $! > build/serve.pid
+RESTART
+chmod +x build/store-restart.sh
+./build/tools/bfdn_load --port="$(cat build/serve.port)" \
+  --connections=4 --cold=32 --requests=200 --hot-set=8 --nodes=1500 \
+  --restart-phase --restart-port-file=build/serve2.port \
+  --restart-cmd='./build/store-restart.sh' \
+  --require-hit-rate=0.8 > /dev/null
+SERVE2_PID="$(cat build/serve.pid)"
+kill -TERM "$SERVE2_PID"
+# serve2 is the restart script's child, not ours: poll instead of wait.
+while kill -0 "$SERVE2_PID" 2> /dev/null; do sleep 0.1; done
+rm -rf build/store-smoke
 
 echo "check.sh: all gates passed."

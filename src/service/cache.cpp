@@ -1,24 +1,89 @@
 #include "service/cache.h"
 
+#include "store/result_store.h"
+
 namespace bfdn {
 
-ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {}
+ResultCache::ResultCache(std::size_t capacity, ResultStore* store)
+    : capacity_(capacity), store_(store) {}
 
 std::optional<std::string> ResultCache::get(std::uint64_t key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++misses_;
-    return std::nullopt;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->second;
+    }
   }
-  ++hits_;
-  lru_.splice(lru_.begin(), lru_, it->second);
-  return it->second->second;
+  // Memory miss: read through to the store with the cache unlocked so a
+  // disk read never stalls concurrent memory hits.
+  if (store_ != nullptr) {
+    std::optional<std::string> payload = store_->get(key);
+    if (payload.has_value()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++hits_;
+      ++store_hits_;
+      insert_locked(key, *payload);
+      return payload;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++misses_;
+  return std::nullopt;
+}
+
+void ResultCache::get_many(const std::vector<std::uint64_t>& keys,
+                           std::vector<std::optional<std::string>>* out) {
+  out->assign(keys.size(), std::nullopt);
+  std::vector<std::size_t> missing_pos;
+  std::vector<std::uint64_t> missing_keys;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const auto it = index_.find(keys[i]);
+      if (it != index_.end()) {
+        ++hits_;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        (*out)[i] = it->second->second;
+      } else {
+        missing_pos.push_back(i);
+        missing_keys.push_back(keys[i]);
+      }
+    }
+  }
+  if (missing_keys.empty()) return;
+  if (store_ == nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    misses_ += static_cast<std::int64_t>(missing_keys.size());
+    return;
+  }
+  std::vector<std::optional<std::string>> from_store;
+  store_->get_many(missing_keys, &from_store);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t j = 0; j < missing_keys.size(); ++j) {
+    if (from_store[j].has_value()) {
+      ++hits_;
+      ++store_hits_;
+      insert_locked(missing_keys[j], *from_store[j]);
+      (*out)[missing_pos[j]] = std::move(from_store[j]);
+    } else {
+      ++misses_;
+    }
+  }
 }
 
 void ResultCache::put(std::uint64_t key, std::string result_json) {
+  if (store_ != nullptr) store_->put(key, result_json);
   if (capacity_ == 0) return;
   std::lock_guard<std::mutex> lock(mutex_);
+  insert_locked(key, std::move(result_json));
+}
+
+void ResultCache::insert_locked(std::uint64_t key,
+                                std::string result_json) {
+  if (capacity_ == 0) return;
   const auto it = index_.find(key);
   if (it != index_.end()) {
     // Deterministic runs: the stored value equals the new one. Two
@@ -35,11 +100,20 @@ void ResultCache::put(std::uint64_t key, std::string result_json) {
   }
 }
 
+std::vector<std::uint64_t> ResultCache::lru_keys() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(lru_.size());
+  for (const auto& [key, value] : lru_) keys.push_back(key);
+  return keys;
+}
+
 ResultCache::Stats ResultCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Stats stats;
   stats.hits = hits_;
   stats.misses = misses_;
+  stats.store_hits = store_hits_;
   stats.evictions = evictions_;
   stats.entries = lru_.size();
   stats.capacity = capacity_;

@@ -6,6 +6,14 @@
 // the stored bytes verbatim — byte-identical to the response the
 // original miss computed (pinned by tests/service_test.cpp). Eviction
 // is strict LRU over both get-hits and puts.
+//
+// With a ResultStore attached (src/store/result_store.h) the cache is
+// the in-memory tier of a two-level hierarchy: get() reads through to
+// the store on a memory miss (promoting the payload back into the LRU),
+// and put() writes behind to the store's group-commit buffer. Eviction
+// only forgets the memory copy — an evicted key served later comes back
+// from disk as a store hit, and a server restart rebuilds the whole
+// warm set from the segment files.
 #pragma once
 
 #include <cstdint>
@@ -15,26 +23,46 @@
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 namespace bfdn {
 
+class ResultStore;
+
 class ResultCache {
  public:
-  /// capacity 0 disables caching (every get misses, puts are dropped).
-  explicit ResultCache(std::size_t capacity);
+  /// capacity 0 disables the in-memory tier (gets fall through to the
+  /// store when one is attached; puts still write behind to it).
+  /// `store` may be null; the cache does not own it.
+  explicit ResultCache(std::size_t capacity, ResultStore* store = nullptr);
 
   /// Returns the cached result and refreshes its recency, or
-  /// std::nullopt. Counts a hit or a miss.
+  /// std::nullopt. A memory miss reads through to the store; a store
+  /// hit is promoted into the LRU (without re-writing the store) and
+  /// counts as both a hit and a store_hit.
   std::optional<std::string> get(std::uint64_t key);
+
+  /// Batch lookup: out[i] is filled for every key found in memory or
+  /// the store. Store misses are resolved in ONE index pass
+  /// (ResultStore::get_many) — the campaign cache-fill path.
+  void get_many(const std::vector<std::uint64_t>& keys,
+                std::vector<std::optional<std::string>>* out);
 
   /// Inserts (or refreshes) an entry, evicting the least recently used
   /// entries while over capacity. Re-putting an existing key keeps the
   /// first value: results are deterministic, so both are identical.
+  /// Writes behind to the store (which dedups already-durable keys).
   void put(std::uint64_t key, std::string result_json);
+
+  /// Snapshot of resident keys, most recently used first. The compact
+  /// admin request passes this as the live set: records evicted from
+  /// memory are the cold entries compaction drops.
+  std::vector<std::uint64_t> lru_keys() const;
 
   struct Stats {
     std::int64_t hits = 0;
     std::int64_t misses = 0;
+    std::int64_t store_hits = 0;  // subset of hits served from the store
     std::int64_t evictions = 0;
     std::size_t entries = 0;
     std::size_t capacity = 0;
@@ -50,12 +78,17 @@ class ResultCache {
  private:
   using LruList = std::list<std::pair<std::uint64_t, std::string>>;
 
+  /// Inserts without store write-behind; caller holds mutex_.
+  void insert_locked(std::uint64_t key, std::string result_json);
+
   mutable std::mutex mutex_;
   std::size_t capacity_;
-  LruList lru_;  // front = most recently used
+  ResultStore* store_;  // not owned; null = memory-only cache
+  LruList lru_;         // front = most recently used
   std::unordered_map<std::uint64_t, LruList::iterator> index_;
   std::int64_t hits_ = 0;
   std::int64_t misses_ = 0;
+  std::int64_t store_hits_ = 0;
   std::int64_t evictions_ = 0;
 };
 

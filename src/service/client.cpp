@@ -46,4 +46,10 @@ JsonValue ServiceClient::stats() {
   return call(serialize_request(request));
 }
 
+JsonValue ServiceClient::compact() {
+  ServiceRequest request;
+  request.type = RequestType::kCompact;
+  return call(serialize_request(request));
+}
+
 }  // namespace bfdn

@@ -34,6 +34,9 @@ class ServiceClient {
   /// Fetches the server's stats object.
   JsonValue stats();
 
+  /// Issues the `compact` admin request (store segment rewrite).
+  JsonValue compact();
+
  private:
   Socket socket_;
 };

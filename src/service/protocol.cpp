@@ -131,6 +131,10 @@ bool parse_request(const std::string& line, ServiceRequest& out,
     out.type = RequestType::kStats;
     return true;
   }
+  if (type == "compact") {
+    out.type = RequestType::kCompact;
+    return true;
+  }
   if (type == "run") {
     out.type = RequestType::kRun;
   } else if (type == "campaign") {
@@ -260,8 +264,10 @@ std::string serialize_request(const ServiceRequest& request) {
   JsonWriter w;
   w.begin_object();
   if (!request.id.empty()) w.kv("id", request.id);
-  if (request.type == RequestType::kStats) {
-    w.kv("type", "stats");
+  if (request.type == RequestType::kStats ||
+      request.type == RequestType::kCompact) {
+    w.kv("type",
+         request.type == RequestType::kStats ? "stats" : "compact");
     w.end_object();
     return w.str();
   }
@@ -513,6 +519,24 @@ std::string stats_response(const std::string& id,
   w.kv("id", id);
   w.kv("status", "ok");
   w.key("stats").raw(stats_json);
+  w.end_object();
+  return w.str();
+}
+
+std::string compact_response(const std::string& id,
+                             const CompactSummary& summary) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("id", id);
+  w.kv("status", "ok");
+  w.key("compact").begin_object();
+  w.kv("segments_before", summary.segments_before);
+  w.kv("segments_after", summary.segments_after);
+  w.kv("bytes_before", summary.bytes_before);
+  w.kv("bytes_after", summary.bytes_after);
+  w.kv("kept", summary.kept);
+  w.kv("dropped", summary.dropped);
+  w.end_object();
   w.end_object();
   return w.str();
 }

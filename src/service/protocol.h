@@ -47,7 +47,7 @@ struct TreeRecipe {
   std::string label() const;
 };
 
-enum class RequestType : std::uint8_t { kRun, kStats, kCampaign };
+enum class RequestType : std::uint8_t { kRun, kStats, kCampaign, kCompact };
 
 /// Hard bound on expanded campaign members per request.
 constexpr std::size_t kMaxCampaignMembers = 64;
@@ -132,6 +132,19 @@ std::string error_response(const std::string& id,
                            const std::string& message);
 std::string stats_response(const std::string& id,
                            const std::string& stats_json);
+
+/// Response to the `compact` admin request: the store rewrite summary
+/// (fields mirror ResultStore::CompactResult).
+struct CompactSummary {
+  std::int64_t segments_before = 0;
+  std::int64_t segments_after = 0;
+  std::int64_t bytes_before = 0;
+  std::int64_t bytes_after = 0;
+  std::int64_t kept = 0;
+  std::int64_t dropped = 0;
+};
+std::string compact_response(const std::string& id,
+                             const CompactSummary& summary);
 
 /// One member slot of a campaign response.
 struct CampaignMemberResponse {

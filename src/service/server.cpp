@@ -6,9 +6,24 @@
 
 namespace bfdn {
 
+namespace {
+
+std::unique_ptr<ResultStore> make_store(const ServerOptions& options) {
+  if (options.store_dir.empty()) return nullptr;
+  StoreOptions store_options;
+  store_options.dir = options.store_dir;
+  store_options.segment_bytes = options.store_segment_bytes;
+  store_options.flush_interval_ms = options.store_flush_ms;
+  store_options.sync_on_flush = options.store_sync;
+  return std::make_unique<ResultStore>(store_options);
+}
+
+}  // namespace
+
 ServiceServer::ServiceServer(ServerOptions options)
     : options_(options),
-      cache_(options.cache_capacity),
+      store_(make_store(options)),
+      cache_(options.cache_capacity, store_.get()),
       scheduler_({options.threads, options.queue_capacity}) {}
 
 ServiceServer::~ServiceServer() { drain(); }
@@ -69,6 +84,9 @@ std::string ServiceServer::handle_line(const std::string& line) {
   if (request.type == RequestType::kStats) {
     return stats_response(request.id, stats_json());
   }
+  if (request.type == RequestType::kCompact) {
+    return handle_compact(request);
+  }
   if (request.type == RequestType::kCampaign) {
     return handle_campaign(request);
   }
@@ -126,15 +144,24 @@ std::string ServiceServer::handle_campaign(const ServiceRequest& request) {
   // the original solo bytes back verbatim, misses are admitted as one
   // atomic group (the scheduler then routes same-recipe members into a
   // BatchExecutor pass) and their results warm the per-member cache.
+  // The lookup is one get_many call, so a cold campaign against a warm
+  // store bulk-loads every member fingerprint in a single index pass
+  // instead of N separate misses.
   const std::vector<ServiceRequest> members = expand_campaign(request);
   std::vector<CampaignMemberResponse> responses(members.size());
+  std::vector<std::uint64_t> keys(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    keys[i] = request_fingerprint(members[i]);
+    responses[i].key = keys[i];
+  }
+  std::vector<std::optional<std::string>> found;
+  cache_.get_many(keys, &found);
   std::vector<std::size_t> miss_slots;
   std::vector<ServiceRequest> misses;
   for (std::size_t i = 0; i < members.size(); ++i) {
-    responses[i].key = request_fingerprint(members[i]);
-    if (auto cached = cache_.get(responses[i].key); cached.has_value()) {
+    if (found[i].has_value()) {
       responses[i].cached = true;
-      responses[i].result_json = std::move(*cached);
+      responses[i].result_json = std::move(*found[i]);
     } else {
       miss_slots.push_back(i);
       misses.push_back(members[i]);
@@ -177,6 +204,26 @@ std::string ServiceServer::handle_campaign(const ServiceRequest& request) {
   return campaign_response(request.id, responses);
 }
 
+std::string ServiceServer::handle_compact(const ServiceRequest& request) {
+  if (store_ == nullptr) {
+    ++responses_error_;
+    return error_response(request.id, "server has no durable store");
+  }
+  // The cache's LRU residents are the live set; everything evicted from
+  // memory is cold and gets dropped from the rewritten segments.
+  const ResultStore::CompactResult result =
+      store_->compact(cache_.lru_keys());
+  CompactSummary summary;
+  summary.segments_before = result.segments_before;
+  summary.segments_after = result.segments_after;
+  summary.bytes_before = result.bytes_before;
+  summary.bytes_after = result.bytes_after;
+  summary.kept = result.kept;
+  summary.dropped = result.dropped;
+  ++responses_ok_;
+  return compact_response(request.id, summary);
+}
+
 void ServiceServer::drain() {
   std::lock_guard<std::mutex> drain_lock(drain_mutex_);
   if (drained_) return;
@@ -187,6 +234,10 @@ void ServiceServer::drain() {
   // Every admitted job finishes; connection threads blocked in
   // Job::wait() get their outcome and write the response.
   scheduler_.drain();
+
+  // Make everything the drained jobs produced durable before the final
+  // stats flush, so a restart over the same store dir starts warm.
+  if (store_ != nullptr) store_->flush();
 
   // Wake connection threads idling in recv_line and let them exit.
   {
@@ -228,11 +279,32 @@ std::string ServiceServer::stats_json() const {
   w.key("cache").begin_object();
   w.kv("hits", cache.hits);
   w.kv("misses", cache.misses);
+  w.kv("store_hits", cache.store_hits);
   w.kv("evictions", cache.evictions);
   w.kv("entries", static_cast<std::int64_t>(cache.entries));
   w.kv("capacity", static_cast<std::int64_t>(cache.capacity));
   w.kv("hit_rate", cache.hit_rate(), 4);
   w.end_object();
+  if (store_ != nullptr) {
+    const StoreStats store = store_->stats();
+    w.key("store").begin_object();
+    w.kv("segments", store.segments);
+    w.kv("file_bytes", store.file_bytes);
+    w.kv("records", store.records);
+    w.kv("pending_records", store.pending_records);
+    w.kv("recovered_records", store.recovered_records);
+    w.kv("torn_tail_truncations", store.torn_tail_truncations);
+    w.kv("corrupted_skipped", store.corrupted_skipped);
+    w.kv("appended_records", store.appended_records);
+    w.kv("appended_bytes", store.appended_bytes);
+    w.kv("flushes", store.flushes);
+    w.kv("syncs", store.syncs);
+    w.kv("bulk_lookups", store.bulk_lookups);
+    w.kv("bulk_key_hits", store.bulk_key_hits);
+    w.kv("compactions", store.compactions);
+    w.kv("compaction_dropped", store.compaction_dropped);
+    w.end_object();
+  }
   w.key("jobs").begin_object();
   w.kv("admitted", jobs.admitted);
   w.kv("completed", jobs.completed);

@@ -19,6 +19,7 @@
 
 #include "service/cache.h"
 #include "service/scheduler.h"
+#include "store/result_store.h"
 #include "support/socket.h"
 
 namespace bfdn {
@@ -33,6 +34,14 @@ struct ServerOptions {
   std::int32_t retry_after_ms = 20;
   /// Admission guard on request tree sizes.
   std::int64_t max_nodes = 1000000;
+  /// Durable result store directory; empty = in-memory cache only.
+  /// Non-empty runs boot recovery here and makes the cache a
+  /// read-through/write-behind tier over the segment files.
+  std::string store_dir;
+  std::size_t store_segment_bytes = 64ull << 20;
+  std::int32_t store_flush_ms = 25;
+  /// fdatasync each group commit (tests/benches may turn it off).
+  bool store_sync = true;
 };
 
 class ServiceServer {
@@ -60,6 +69,8 @@ class ServiceServer {
   ResultCache::Stats cache_stats() const { return cache_.stats(); }
   Scheduler::Stats scheduler_stats() const { return scheduler_.stats(); }
   std::int64_t protocol_errors() const { return protocol_errors_; }
+  /// Null when the server runs without a durable store.
+  ResultStore* store() { return store_.get(); }
 
  private:
   struct Connection {
@@ -73,9 +84,13 @@ class ServiceServer {
   std::string handle_line(const std::string& line);
   std::string handle_run(const ServiceRequest& request);
   std::string handle_campaign(const ServiceRequest& request);
+  std::string handle_compact(const ServiceRequest& request);
   void reap_finished_locked();
 
   ServerOptions options_;
+  // Declared before cache_: the cache holds a raw pointer into the
+  // store, so the store must outlive it.
+  std::unique_ptr<ResultStore> store_;
   ResultCache cache_;
   Scheduler scheduler_;
   ListenSocket listener_;

@@ -1,0 +1,142 @@
+#include "store/segment.h"
+
+#include <cstring>
+
+#include "support/strings.h"
+
+namespace bfdn {
+namespace store {
+namespace {
+
+constexpr std::uint64_t kPrime1 = 11400714785074694791ULL;
+constexpr std::uint64_t kPrime2 = 14029467366897019727ULL;
+constexpr std::uint64_t kPrime3 = 1609587929392839161ULL;
+constexpr std::uint64_t kPrime4 = 9650029242287828579ULL;
+constexpr std::uint64_t kPrime5 = 2870177450012600261ULL;
+
+std::uint64_t rotl64(std::uint64_t value, int bits) {
+  return (value << bits) | (value >> (64 - bits));
+}
+
+std::uint64_t load_le64(const char* bytes) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(bytes[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+std::uint32_t load_le32(const char* bytes) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(bytes[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+void store_le64(std::uint64_t value, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void store_le32(std::uint32_t value, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+}  // namespace
+
+std::uint64_t record_checksum(std::uint64_t fingerprint,
+                              std::string_view payload) {
+  // Seeding with the fingerprint binds payload bytes to their key: a
+  // record transplanted under a different fingerprint fails validation.
+  std::uint64_t h = fingerprint * kPrime5 + kPrime4 + payload.size();
+  std::size_t i = 0;
+  for (; i + 8 <= payload.size(); i += 8) {
+    const std::uint64_t lane = load_le64(payload.data() + i);
+    h ^= rotl64(lane * kPrime2, 31) * kPrime1;
+    h = rotl64(h, 27) * kPrime1 + kPrime4;
+  }
+  for (; i < payload.size(); ++i) {
+    h ^= static_cast<unsigned char>(payload[i]) * kPrime5;
+    h = rotl64(h, 11) * kPrime1;
+  }
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+std::size_t record_frame_bytes(std::size_t payload_len) {
+  const std::size_t raw = kRecordHeaderBytes + payload_len;
+  return (raw + kRecordAlign - 1) / kRecordAlign * kRecordAlign;
+}
+
+void encode_record(std::uint64_t fingerprint, std::string_view payload,
+                   std::string* out) {
+  const std::size_t frame = record_frame_bytes(payload.size());
+  out->reserve(out->size() + frame);
+  store_le64(fingerprint, out);
+  store_le32(static_cast<std::uint32_t>(payload.size()), out);
+  store_le64(record_checksum(fingerprint, payload), out);
+  out->append(payload);
+  const std::size_t pad = frame - kRecordHeaderBytes - payload.size();
+  out->append(pad, '\0');
+}
+
+RecordStatus decode_record(const char* data, std::size_t size,
+                           std::size_t offset, DecodedRecord* out) {
+  if (offset + kRecordHeaderBytes > size) return RecordStatus::kTorn;
+  const std::uint64_t fingerprint = load_le64(data + offset);
+  const std::uint32_t payload_len = load_le32(data + offset + 8);
+  if (payload_len > kMaxPayloadBytes) return RecordStatus::kTorn;
+  const std::size_t frame = record_frame_bytes(payload_len);
+  if (offset + frame > size) return RecordStatus::kTorn;
+  const std::uint64_t stored_checksum = load_le64(data + offset + 12);
+  const char* payload = data + offset + kRecordHeaderBytes;
+  out->fingerprint = fingerprint;
+  out->payload = payload;
+  out->payload_len = payload_len;
+  out->frame_bytes = frame;
+  if (record_checksum(fingerprint,
+                      std::string_view(payload, payload_len)) !=
+      stored_checksum) {
+    return RecordStatus::kCorrupt;
+  }
+  return RecordStatus::kOk;
+}
+
+std::string segment_file_name(std::uint64_t sequence) {
+  return str_format("seg-%06llu.bfdnseg",
+                    static_cast<unsigned long long>(sequence));
+}
+
+std::uint64_t parse_segment_file_name(const std::string& name) {
+  constexpr const char* kPrefix = "seg-";
+  constexpr const char* kSuffix = ".bfdnseg";
+  const std::size_t prefix_len = std::strlen(kPrefix);
+  const std::size_t suffix_len = std::strlen(kSuffix);
+  if (name.size() <= prefix_len + suffix_len) return 0;
+  if (name.compare(0, prefix_len, kPrefix) != 0) return 0;
+  if (name.compare(name.size() - suffix_len, suffix_len, kSuffix) != 0) {
+    return 0;
+  }
+  std::uint64_t sequence = 0;
+  for (std::size_t i = prefix_len; i < name.size() - suffix_len; ++i) {
+    if (name[i] < '0' || name[i] > '9') return 0;
+    sequence = sequence * 10 +
+               static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return sequence;
+}
+
+}  // namespace store
+}  // namespace bfdn

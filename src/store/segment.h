@@ -1,0 +1,78 @@
+// On-disk framing of the durable result store (src/store/result_store.h).
+//
+// A segment file is an 8-byte magic followed by a sequence of
+// self-checking records, each 8-byte aligned:
+//
+//   [fingerprint u64 | payload_len u32 | checksum u64 | payload | pad]
+//
+// All integers are little-endian. The checksum is an xxhash64-style
+// mix seeded with the fingerprint, so a record binds its payload to its
+// key: a flipped bit anywhere in the frame fails validation and the
+// record is skipped (counted) instead of served. A frame that runs past
+// the end of its file is a torn tail — the bytes a crash cut mid-append
+// — and recovery truncates the file back to the last whole record.
+// This framing is deliberately position-independent and append-only so
+// a segment file can be shipped between nodes verbatim and replayed as
+// a cache fill (ROADMAP: sharded fleet).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bfdn {
+namespace store {
+
+/// Segment file magic, written once at offset 0. The trailing digits
+/// are the format version; readers reject files whose magic differs.
+inline constexpr char kSegmentMagic[8] = {'B', 'F', 'D', 'N',
+                                          'S', 'G', '0', '1'};
+inline constexpr std::size_t kSegmentHeaderBytes = sizeof(kSegmentMagic);
+
+/// fingerprint u64 + payload_len u32 + checksum u64.
+inline constexpr std::size_t kRecordHeaderBytes = 20;
+inline constexpr std::size_t kRecordAlign = 8;
+/// Upper bound a reader trusts in a length field; anything larger is
+/// treated as a torn/corrupt frame rather than an allocation request.
+inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 30;
+
+/// xxhash64-style checksum over `payload`, seeded with `fingerprint`.
+std::uint64_t record_checksum(std::uint64_t fingerprint,
+                              std::string_view payload);
+
+/// Whole frame size (header + payload + alignment padding).
+std::size_t record_frame_bytes(std::size_t payload_len);
+
+/// Appends one encoded record frame (including padding) to `out`.
+void encode_record(std::uint64_t fingerprint, std::string_view payload,
+                   std::string* out);
+
+enum class RecordStatus : std::uint8_t {
+  kOk,       // frame complete, checksum verified
+  kCorrupt,  // frame complete but checksum mismatch — skip it
+  kTorn,     // frame runs past the end of the buffer — truncate here
+};
+
+struct DecodedRecord {
+  std::uint64_t fingerprint = 0;
+  const char* payload = nullptr;  // points into the scanned buffer
+  std::uint32_t payload_len = 0;
+  std::size_t frame_bytes = 0;  // advance by this much to the next record
+};
+
+/// Validates the record starting at `offset` in `data[0, size)`.
+/// On kOk and kCorrupt, `out->frame_bytes` is the stride to the next
+/// record; on kTorn the rest of the buffer is unusable.
+RecordStatus decode_record(const char* data, std::size_t size,
+                           std::size_t offset, DecodedRecord* out);
+
+/// Segment file name for a 1-based sequence number: "seg-000042.bfdnseg".
+std::string segment_file_name(std::uint64_t sequence);
+
+/// Parses a segment file name back to its sequence number; returns 0
+/// when `name` is not a segment file (0 is never a valid sequence).
+std::uint64_t parse_segment_file_name(const std::string& name);
+
+}  // namespace store
+}  // namespace bfdn

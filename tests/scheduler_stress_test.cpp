@@ -8,6 +8,8 @@
 // are the deterministic ones); the interesting failures are the ones
 // TSan reports.
 #include <atomic>
+#include <filesystem>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -18,6 +20,7 @@
 #include "service/client.h"
 #include "service/scheduler.h"
 #include "service/server.h"
+#include "store/result_store.h"
 #include "support/check.h"
 #include "support/strings.h"
 #include "support/thread_pool.h"
@@ -236,6 +239,80 @@ TEST(CacheStress, ConcurrentGetPutEvict) {
   EXPECT_LE(stats.entries, 8u);
   EXPECT_EQ(stats.hits + stats.misses,
             static_cast<std::int64_t>(kThreads) * kOps);
+}
+
+TEST(CacheStress, StoreAppendReadThroughStorm) {
+  // The two-tier path under concurrency: worker threads put and get
+  // through a tiny LRU whose misses read through to the durable store
+  // while its group-commit flusher races them in the background. The
+  // small capacity forces constant eviction, so most hits travel the
+  // full disk path (pending buffer or segment read) — the workload the
+  // TSan build watches for append/read-through races.
+  constexpr std::int32_t kThreads = 4;
+  constexpr std::int32_t kOps = 600;
+  constexpr std::uint64_t kKeys = 48;
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "bfdn_storm")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  const auto value_of = [](std::uint64_t key) {
+    return str_format("result-%llu", static_cast<unsigned long long>(key));
+  };
+  StoreOptions store_options;
+  store_options.dir = dir;
+  store_options.segment_bytes = 4096;  // rotation under load
+  store_options.flush_bytes = 512;     // frequent group commits
+  store_options.flush_interval_ms = 1;
+  store_options.sync_on_flush = false;  // IO latency isn't the subject
+  ResultStore store(store_options);
+  ResultCache cache(/*capacity=*/8, &store);
+
+  std::vector<std::thread> workers;
+  for (std::int32_t w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      for (std::int32_t i = 0; i < kOps; ++i) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(w) * 13 +
+             static_cast<std::uint64_t>(i) * 7) % kKeys;
+        if (const auto hit = cache.get(key); hit.has_value()) {
+          EXPECT_EQ(*hit, value_of(key));
+        } else {
+          cache.put(key, value_of(key));
+        }
+        if (i % 50 == 0) {
+          std::vector<std::uint64_t> keys{key, (key + 1) % kKeys,
+                                          (key + 2) % kKeys};
+          std::vector<std::optional<std::string>> bulk;
+          cache.get_many(keys, &bulk);
+          for (std::size_t j = 0; j < keys.size(); ++j) {
+            if (bulk[j].has_value()) {
+              EXPECT_EQ(*bulk[j], value_of(keys[j]));
+            }
+          }
+        }
+        if (i % 64 == 0) (void)store.stats();
+      }
+    });
+  }
+  // One thread forces explicit flushes against the storm.
+  std::thread flusher([&] {
+    for (std::int32_t i = 0; i < 20; ++i) {
+      store.flush();
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& worker : workers) worker.join();
+  flusher.join();
+
+  // Every key that was ever put is durable and byte-identical.
+  store.flush();
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    const auto payload = store.get(key);
+    ASSERT_TRUE(payload.has_value()) << key;
+    EXPECT_EQ(*payload, value_of(key));
+  }
+  EXPECT_EQ(store.stats().pending_records, 0);
 }
 
 TEST(ThreadPoolStress, SubmitAndWaitFromManyThreads) {

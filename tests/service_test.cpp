@@ -24,6 +24,21 @@
 namespace bfdn {
 namespace {
 
+// Positional ServerOptions literals predate the store fields; build
+// options by assignment so new trailing members keep their defaults.
+ServerOptions server_options(std::int32_t threads, std::int32_t queue,
+                             std::size_t cache,
+                             std::int32_t retry_after_ms = 20,
+                             std::int64_t max_nodes = 1000000) {
+  ServerOptions options;
+  options.threads = threads;
+  options.queue_capacity = queue;
+  options.cache_capacity = cache;
+  options.retry_after_ms = retry_after_ms;
+  options.max_nodes = max_nodes;
+  return options;
+}
+
 ServiceRequest golden_request() {
   ServiceRequest request;
   request.id = "g";
@@ -388,8 +403,7 @@ std::string hash_hex(std::uint64_t hash) {
 
 TEST(ServiceEndToEndTest, GoldenGridMatchesDirectEngineRun) {
   ServiceServer server(
-      ServerOptions{0, /*threads=*/4, /*queue=*/32, /*cache=*/64, 20,
-                    1000000});
+      server_options(/*threads=*/4, /*queue=*/32, /*cache=*/64));
   server.start();
   ServiceClient client(server.port());
 
@@ -458,8 +472,7 @@ TEST(ServiceEndToEndTest, GoldenGridMatchesDirectEngineRun) {
 
 TEST(ServiceEndToEndTest, AsyncRunsMatchDirectEngineRuns) {
   ServiceServer server(
-      ServerOptions{0, /*threads=*/4, /*queue=*/32, /*cache=*/64, 20,
-                    1000000});
+      server_options(/*threads=*/4, /*queue=*/32, /*cache=*/64));
   server.start();
   ServiceClient client(server.port());
 
@@ -524,7 +537,7 @@ TEST(ServiceEndToEndTest, AsyncRunsMatchDirectEngineRuns) {
 }
 
 TEST(ServiceEndToEndTest, AsyncCacheHitIsByteIdenticalToOriginalMiss) {
-  ServiceServer server(ServerOptions{0, 2, 16, 16, 20, 1000000});
+  ServiceServer server(server_options(2, 16, 16));
   server.start();
 
   ServiceRequest request = golden_request();
@@ -552,7 +565,7 @@ TEST(ServiceEndToEndTest, AsyncCacheHitIsByteIdenticalToOriginalMiss) {
 }
 
 TEST(ServiceEndToEndTest, CacheHitIsByteIdenticalToOriginalMiss) {
-  ServiceServer server(ServerOptions{0, 2, 16, 16, 20, 1000000});
+  ServiceServer server(server_options(2, 16, 16));
   server.start();
 
   // Raw socket: the byte-level contract is on the wire, not on parsed
@@ -586,7 +599,7 @@ TEST(ServiceEndToEndTest, ColdCacheAfterRestartReproducesResults) {
   const std::string line = serialize_request(golden_request()) + "\n";
   std::string first_response;
   {
-    ServiceServer server(ServerOptions{0, 2, 16, 16, 20, 1000000});
+    ServiceServer server(server_options(2, 16, 16));
     server.start();
     Socket socket = connect_local(server.port(), 30000);
     ASSERT_TRUE(socket.send_all(line));
@@ -594,7 +607,7 @@ TEST(ServiceEndToEndTest, ColdCacheAfterRestartReproducesResults) {
     server.drain();
   }
   // Fresh server, cold cache: recomputes, and bytes match.
-  ServiceServer server(ServerOptions{0, 2, 16, 16, 20, 1000000});
+  ServiceServer server(server_options(2, 16, 16));
   server.start();
   Socket socket = connect_local(server.port(), 30000);
   ASSERT_TRUE(socket.send_all(line));
@@ -608,7 +621,7 @@ TEST(ServiceEndToEndTest, ColdCacheAfterRestartReproducesResults) {
 TEST(ServiceEndToEndTest, FullQueueReturnsRetryAfter) {
   // One worker, admission window of one, cache off: while the slow job
   // runs, any other request must bounce with a retry-after hint.
-  ServiceServer server(ServerOptions{0, 1, 1, 0, 35, 1000000});
+  ServiceServer server(server_options(1, 1, 0, 35));
   server.start();
 
   Socket slow_conn = connect_local(server.port(), 60000);
@@ -642,7 +655,7 @@ TEST(ServiceEndToEndTest, FullQueueReturnsRetryAfter) {
 }
 
 TEST(ServiceEndToEndTest, DrainFinishesInFlightJobs) {
-  ServiceServer server(ServerOptions{0, 1, 4, 16, 20, 1000000});
+  ServiceServer server(server_options(1, 4, 16));
   server.start();
 
   Socket socket = connect_local(server.port(), 60000);
@@ -666,8 +679,8 @@ TEST(ServiceEndToEndTest, DrainFinishesInFlightJobs) {
 }
 
 TEST(ServiceEndToEndTest, OversizedAndMalformedRequestsAreRejected) {
-  ServiceServer server(ServerOptions{0, 2, 16, 16, 20,
-                                     /*max_nodes=*/1000});
+  ServiceServer server(server_options(2, 16, 16, 20,
+                                      /*max_nodes=*/1000));
   server.start();
   ServiceClient client(server.port());
 
@@ -684,7 +697,7 @@ TEST(ServiceEndToEndTest, OversizedAndMalformedRequestsAreRejected) {
 }
 
 TEST(ServiceEndToEndTest, StatsRequestReportsQueueAndCache) {
-  ServiceServer server(ServerOptions{0, 2, 7, 16, 20, 1000000});
+  ServiceServer server(server_options(2, 7, 16));
   server.start();
   ServiceClient client(server.port());
   ASSERT_EQ(client.run(golden_request()).get_string("status", ""), "ok");
@@ -718,7 +731,7 @@ ServiceRequest campaign_request() {
 }
 
 TEST(ServiceCampaignTest, MemberBytesMatchDirectSoloRuns) {
-  ServiceServer server(ServerOptions{0, 2, 32, 64, 20, 1000000});
+  ServiceServer server(server_options(2, 32, 64));
   server.start();
 
   const ServiceRequest request = campaign_request();
@@ -758,7 +771,7 @@ TEST(ServiceCampaignTest, MemberBytesMatchDirectSoloRuns) {
 }
 
 TEST(ServiceCampaignTest, CampaignWarmsPerMemberCacheBothWays) {
-  ServiceServer server(ServerOptions{0, 2, 32, 64, 20, 1000000});
+  ServiceServer server(server_options(2, 32, 64));
   server.start();
   ServiceClient client(server.port());
 
@@ -789,7 +802,7 @@ TEST(ServiceCampaignTest, CampaignWarmsPerMemberCacheBothWays) {
 }
 
 TEST(ServiceCampaignTest, StatsReportBatchedExecution) {
-  ServiceServer server(ServerOptions{0, 2, 32, 64, 20, 1000000});
+  ServiceServer server(server_options(2, 32, 64));
   server.start();
   ServiceClient client(server.port());
 
@@ -809,8 +822,8 @@ TEST(ServiceCampaignTest, StatsReportBatchedExecution) {
 }
 
 TEST(ServiceCampaignTest, OversizedCampaignTreeIsRejected) {
-  ServiceServer server(ServerOptions{0, 2, 16, 16, 20,
-                                     /*max_nodes=*/100});
+  ServiceServer server(server_options(2, 16, 16, 20,
+                                      /*max_nodes=*/100));
   server.start();
   ServiceClient client(server.port());
   ServiceRequest request = campaign_request();

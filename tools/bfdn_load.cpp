@@ -12,10 +12,22 @@
 // served-twice request whose result bytes differ (determinism cross-
 // check), or when --require-hit-rate is not met — so CI can use a
 // single invocation as the service smoke.
+//
+// --restart-phase appends a third measured phase for the durable
+// result store: after warm, --restart-cmd is run (a shell command
+// that typically SIGTERMs the server and relaunches it over the same
+// --store-dir), the new port is polled from --restart-port-file, and
+// the warm Zipf mix is replayed against the restarted server
+// ("rewarm"). With a store, the rewarm first pass hits recovered
+// segments; --require-hit-rate then gates that phase, and the hot-set
+// result hashes pinned in the cold phase cross-check determinism
+// across the restart.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <thread>
 #include <vector>
 
@@ -157,6 +169,28 @@ double run_phase(std::uint16_t port, std::int32_t connections,
   return wall_s;
 }
 
+/// Polls `path` until it holds a port number. The restart command is
+/// responsible for (re)writing the file once its server listens
+/// (bfdn_serve --port-file does this after binding).
+std::uint16_t wait_for_port_file(const std::string& path,
+                                 double timeout_s) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::ifstream in(path);
+    long port = 0;
+    if (in >> port && port > 0 && port < 65536) {
+      return static_cast<std::uint16_t>(port);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  BFDN_REQUIRE(false, "restarted server's port file never appeared: " +
+                          path);
+  return 0;
+}
+
 /// Client-observed latency SLO block: p50/p95/p99 over one phase's
 /// successful requests (support/stats.h percentile, linear
 /// interpolation on the sorted sample).
@@ -183,7 +217,17 @@ int run(int argc, const char* const* argv) {
   cli.add_int("nodes", 2000, "tree size of generated requests");
   cli.add_int("seed", 1, "mix-sampling seed");
   cli.add_double("require-hit-rate", -1.0,
-                 "exit 1 unless the warm-phase hit rate reaches this");
+                 "exit 1 unless the warm-phase hit rate reaches this "
+                 "(with --restart-phase: the rewarm-phase hit rate)");
+  cli.add_bool("restart-phase", false,
+               "after warm, run --restart-cmd and replay the warm mix "
+               "against the restarted server (rewarm phase)");
+  cli.add_string("restart-cmd", "",
+                 "shell command that restarts the server (required with "
+                 "--restart-phase)");
+  cli.add_string("restart-port-file", "",
+                 "poll this file for the restarted server's port "
+                 "(empty = reuse --port)");
   if (!cli.parse(argc, argv)) return 0;
 
   const auto port = static_cast<std::uint16_t>(cli.get_int("port"));
@@ -242,26 +286,69 @@ int run(int argc, const char* const* argv) {
                                        hot_hashes, warm_tally,
                                        &first_error);
 
+  // Restart phase: bounce the server, then replay the warm Zipf mix
+  // against the recovered store. The hot-set hashes pinned in the cold
+  // phase carry across the restart, so a recovered result that drifted
+  // from the original bytes counts as a hash mismatch.
+  const bool restart_phase = cli.get_bool("restart-phase");
+  std::uint16_t final_port = port;
+  WorkerTally rewarm_tally;
+  double rewarm_wall_s = 0;
+  if (restart_phase) {
+    const std::string restart_cmd = cli.get_string("restart-cmd");
+    BFDN_REQUIRE(!restart_cmd.empty(),
+                 "--restart-phase needs --restart-cmd");
+    const std::string restart_port_file =
+        cli.get_string("restart-port-file");
+    if (!restart_port_file.empty()) {
+      std::remove(restart_port_file.c_str());  // never read a stale port
+    }
+    const int rc = std::system(restart_cmd.c_str());
+    BFDN_REQUIRE(rc == 0, str_format("--restart-cmd exited with %d", rc));
+    if (!restart_port_file.empty()) {
+      final_port = wait_for_port_file(restart_port_file,
+                                      /*timeout_s=*/30.0);
+    }
+    std::vector<PlannedRequest> rewarm_plan = warm_plan;
+    for (std::size_t i = 0; i < rewarm_plan.size(); ++i) {
+      rewarm_plan[i].request.id =
+          str_format("r%llu", static_cast<unsigned long long>(i));
+    }
+    rewarm_wall_s = run_phase(final_port, connections, rewarm_plan,
+                              hot_hashes, rewarm_tally, &first_error);
+  }
+
   // Server-side view: cache ratios and batching counters.
   double server_hit_rate = 0;
   std::int64_t server_evictions = 0;
   std::int64_t server_batched = 0;
   std::int64_t server_trees_built = 0;
   std::int64_t server_completed = 0;
+  std::int64_t server_store_segments = 0;
+  std::int64_t server_store_recovered = 0;
+  std::int64_t server_store_hits = 0;
+  bool have_store_stats = false;
   bool have_server_stats = false;
   try {
-    ServiceClient client(port);
+    ServiceClient client(final_port);
     const JsonValue response = client.stats();
     if (response.has("stats")) {
       const JsonValue& stats = response.at("stats");
       if (stats.has("cache")) {
         server_hit_rate = stats.at("cache").get_double("hit_rate", 0);
         server_evictions = stats.at("cache").get_int("evictions", 0);
+        server_store_hits = stats.at("cache").get_int("store_hits", 0);
       }
       if (stats.has("jobs")) {
         server_batched = stats.at("jobs").get_int("batched", 0);
         server_trees_built = stats.at("jobs").get_int("trees_built", 0);
         server_completed = stats.at("jobs").get_int("completed", 0);
+      }
+      if (stats.has("store")) {
+        server_store_segments = stats.at("store").get_int("segments", 0);
+        server_store_recovered =
+            stats.at("store").get_int("recovered_records", 0);
+        have_store_stats = true;
       }
       have_server_stats = true;
     }
@@ -277,9 +364,16 @@ int run(int argc, const char* const* argv) {
       warm_tally.ok > 0 ? static_cast<double>(warm_tally.cached) /
                               static_cast<double>(warm_tally.ok)
                         : 0;
+  const double rewarm_rps =
+      rewarm_wall_s > 0 ? static_cast<double>(warm_n) / rewarm_wall_s : 0;
+  const double rewarm_hit_rate =
+      rewarm_tally.ok > 0 ? static_cast<double>(rewarm_tally.cached) /
+                                static_cast<double>(rewarm_tally.ok)
+                          : 0;
   const std::int64_t protocol_errors =
-      cold_tally.errors + warm_tally.errors +
-      cold_tally.hash_mismatches + warm_tally.hash_mismatches;
+      cold_tally.errors + warm_tally.errors + rewarm_tally.errors +
+      cold_tally.hash_mismatches + warm_tally.hash_mismatches +
+      rewarm_tally.hash_mismatches;
 
   JsonWriter w(/*pretty=*/true);
   w.begin_object();
@@ -302,8 +396,23 @@ int run(int argc, const char* const* argv) {
   w.kv("hit_rate", hit_rate, 4);
   write_latency(w, warm_tally);
   w.end_object();
+  if (restart_phase) {
+    w.key("rewarm").begin_object();
+    w.kv("requests", warm_n);
+    w.kv("wall_s", rewarm_wall_s, 4);
+    w.kv("requests_per_sec", rewarm_rps, 1);
+    w.kv("retries", rewarm_tally.retries);
+    w.kv("cache_hits", rewarm_tally.cached);
+    w.kv("hit_rate", rewarm_hit_rate, 4);
+    write_latency(w, rewarm_tally);
+    w.end_object();
+  }
   w.kv("warm_over_cold_speedup", cold_rps > 0 ? warm_rps / cold_rps : 0,
        2);
+  if (restart_phase) {
+    w.kv("rewarm_over_cold_speedup",
+         cold_rps > 0 ? rewarm_rps / cold_rps : 0, 2);
+  }
   w.kv("protocol_errors", protocol_errors);
   if (have_server_stats) {
     w.key("server").begin_object();
@@ -312,6 +421,11 @@ int run(int argc, const char* const* argv) {
     w.kv("jobs_completed", server_completed);
     w.kv("jobs_batched", server_batched);
     w.kv("trees_built", server_trees_built);
+    if (have_store_stats) {
+      w.kv("store_hits", server_store_hits);
+      w.kv("store_segments", server_store_segments);
+      w.kv("store_recovered_records", server_store_recovered);
+    }
     w.end_object();
   }
   w.end_object();
@@ -324,10 +438,11 @@ int run(int argc, const char* const* argv) {
     return 1;
   }
   const double required = cli.get_double("require-hit-rate");
-  if (required >= 0 && hit_rate < required) {
+  const double gated_rate = restart_phase ? rewarm_hit_rate : hit_rate;
+  if (required >= 0 && gated_rate < required) {
     std::fprintf(stderr,
-                 "bfdn_load: warm hit rate %.4f below required %.4f\n",
-                 hit_rate, required);
+                 "bfdn_load: %s hit rate %.4f below required %.4f\n",
+                 restart_phase ? "rewarm" : "warm", gated_rate, required);
     return 1;
   }
   return 0;

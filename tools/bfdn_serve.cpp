@@ -7,8 +7,13 @@
 // drain: stop accepting, finish every admitted job, answer the
 // in-flight responses, flush a final stats document to stdout, exit 0.
 //
+// With --store-dir the result cache is backed by the durable segment
+// store (src/store): a restart over the same directory recovers every
+// persisted result and serves it byte-identical without recomputing.
+//
 //   bfdn_serve --port=7431 --threads=8 --queue=64 --cache=1024
 //   bfdn_serve --port=0 --port-file=serve.port   # ephemeral port
+//   bfdn_serve --store-dir=/var/bfdn/store --store-segment-mb=64
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -39,6 +44,14 @@ int run(int argc, const char* const* argv) {
   cli.add_string("port-file", "",
                  "write the bound port here once listening (for scripts "
                  "using --port=0)");
+  cli.add_string("store-dir", "",
+                 "durable result store directory (empty = memory only)");
+  cli.add_int("store-segment-mb", 64,
+              "store segment rotation size in MiB");
+  cli.add_int("store-flush-ms", 25,
+              "store group-commit age trigger in milliseconds");
+  cli.add_bool("no-store", false,
+               "ignore --store-dir and run memory-only");
   if (!cli.parse(argc, argv)) return 0;
 
   ServerOptions options;
@@ -51,6 +64,13 @@ int run(int argc, const char* const* argv) {
   options.retry_after_ms =
       static_cast<std::int32_t>(cli.get_int("retry-after-ms"));
   options.max_nodes = cli.get_int("max-nodes");
+  if (!cli.get_bool("no-store")) {
+    options.store_dir = cli.get_string("store-dir");
+  }
+  options.store_segment_bytes =
+      static_cast<std::size_t>(cli.get_int("store-segment-mb")) << 20;
+  options.store_flush_ms =
+      static_cast<std::int32_t>(cli.get_int("store-flush-ms"));
 
   ServiceServer server(options);
   server.start();
