@@ -1,0 +1,431 @@
+// E22 — sharded fleet bench: what the consistent-hash router buys.
+//
+// Three measured sections, all in-process (N ServiceServer shards
+// behind one RouterServer, loopback ServiceClient workers — the same
+// transport bfdn_load drives):
+//
+//   scaling: warm aggregate req/s through the router for fleets of
+//     1, 2 and 4 shards over the same Zipf request mix. Per-shard
+//     cache capacity is deliberately smaller than the request
+//     vocabulary, so the solo "fleet" thrashes its LRU and recomputes
+//     the Zipf tail forever, while the 4-shard fleet's aggregate
+//     capacity holds the whole working set. This is the honest
+//     single-box version of why a cache tier shards: the win measured
+//     here is aggregate cache memory (and holds at any core count);
+//     on real fleets CPU parallelism multiplies on top.
+//   hot_tail: p50/p95/p99 latency of one Zipf-head key under
+//     background compute load, replicas=1 vs replicas=2 — what
+//     spreading the head over two owners does to the tail while both
+//     shards keep computing tail misses. Report-only (no gate): on a
+//     one-core host both arms share the CPU and the spread is noise.
+//   ship_warmup: wall time to warm an empty shard by ship_segment
+//     (stream the source's live set as one segment image, replayed
+//     through the recovery scan) vs recomputing the same vocabulary
+//     from scratch.
+//
+// Gates (a failed gate is exit status 1, visible in CI):
+//   full mode:  scaling >= 1.7x at 2 shards and >= 3.0x at 4 shards,
+//               ship warm-up >= 5x faster than recompute;
+//   --smoke:    >= 1.3x / 2.0x, ship >= 3x (small counts, noisy CI).
+// Output is one JSON document on stdout (BENCH_cluster.json).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/router.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "support/check.h"
+#include "support/cli.h"
+#include "support/json.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace bfdn {
+namespace {
+
+/// Deterministic request vocabulary indexed by Zipf rank. Compute-heavy
+/// on a miss (the whole point: a thrashed cache pays this, a warm fleet
+/// does not).
+ServiceRequest make_request(std::int64_t rank, std::int64_t nodes) {
+  static constexpr const char* kFamilies[] = {"random", "caterpillar",
+                                              "spider", "fixed-depth"};
+  ServiceRequest request;
+  request.id = str_format("r%lld", static_cast<long long>(rank));
+  request.recipe.family = kFamilies[rank % 4];
+  request.recipe.nodes = nodes;
+  request.recipe.depth = static_cast<std::int32_t>(
+      std::max<std::int64_t>(4, std::min<std::int64_t>(40, nodes / 16)));
+  request.recipe.arms =
+      request.recipe.family == std::string("spider") ? 8 : 3;
+  request.recipe.seed = static_cast<std::uint64_t>(9000 + rank);
+  request.algo.kind = AlgoKind::kBfdn;
+  request.algo.k = rank % 2 == 0 ? 8 : 16;
+  return request;
+}
+
+/// N shards (capacity-limited caches) behind one router.
+struct Fleet {
+  std::vector<std::unique_ptr<ServiceServer>> shards;
+  std::unique_ptr<RouterServer> router;
+
+  Fleet(std::size_t n, std::size_t cache_capacity,
+        std::int32_t replicas, std::int64_t hot_threshold) {
+    for (std::size_t i = 0; i < n; ++i) {
+      ServerOptions options;
+      options.port = 0;
+      options.threads = 1;
+      options.queue_capacity = 256;
+      options.cache_capacity = cache_capacity;
+      shards.push_back(std::make_unique<ServiceServer>(options));
+      shards.back()->start();
+    }
+    RouterOptions router_options;
+    router_options.port = 0;
+    for (const auto& shard : shards) {
+      router_options.peers.push_back(shard->port());
+    }
+    router_options.replicas = replicas;
+    router_options.hot_threshold = hot_threshold;
+    router = std::make_unique<RouterServer>(router_options);
+    router->start();
+  }
+
+  void drain() {
+    router->drain();
+    for (auto& shard : shards) shard->drain();
+  }
+};
+
+struct PhaseResult {
+  double wall_s = 0;
+  std::int64_t ok = 0;
+  std::int64_t errors = 0;
+  double rps() const {
+    return wall_s > 0 ? static_cast<double>(ok) / wall_s : 0;
+  }
+};
+
+PhaseResult run_plan(std::uint16_t port, std::int32_t connections,
+                     const std::vector<ServiceRequest>& plan) {
+  std::vector<PhaseResult> tallies(
+      static_cast<std::size_t>(connections));
+  std::vector<std::thread> workers;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::int32_t w = 0; w < connections; ++w) {
+    workers.emplace_back([&, w] {
+      PhaseResult& mine = tallies[static_cast<std::size_t>(w)];
+      ServiceClient client(port);
+      for (std::size_t i = static_cast<std::size_t>(w); i < plan.size();
+           i += static_cast<std::size_t>(connections)) {
+        const JsonValue response = client.run(plan[i], 500);
+        if (response.get_string("status", "") == "ok") {
+          ++mine.ok;
+        } else {
+          ++mine.errors;
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  PhaseResult total;
+  total.wall_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  for (const PhaseResult& t : tallies) {
+    total.ok += t.ok;
+    total.errors += t.errors;
+  }
+  return total;
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const auto index = static_cast<std::size_t>(
+      p * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(index, samples.size() - 1)];
+}
+
+int run(int argc, const char* const* argv) {
+  CliParser cli("bench_cluster",
+                "sharded fleet: warm aggregate throughput scaling, "
+                "hot-key replication tail latency, ship-vs-recompute "
+                "warm-up");
+  cli.add_int("vocabulary", 96, "unique requests in the Zipf mix");
+  cli.add_int("shard-cache", 32, "per-shard result cache capacity");
+  cli.add_int("measure", 384, "Zipf draws in the measured phase");
+  cli.add_int("connections", 4, "concurrent client connections");
+  cli.add_int("nodes", 40000, "tree size of generated requests");
+  cli.add_double("zipf-s", 0.3, "Zipf exponent over request ranks");
+  cli.add_int("hot-probes", 48, "timed hot-key requests per tail arm");
+  cli.add_int("ship-vocabulary", 48,
+              "unique requests in the ship-vs-recompute section");
+  cli.add_bool("smoke", false, "small counts + relaxed gates (CI)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const bool smoke = cli.get_bool("smoke");
+  const std::int64_t vocabulary =
+      smoke ? 48 : std::max<std::int64_t>(8, cli.get_int("vocabulary"));
+  const auto shard_cache = static_cast<std::size_t>(
+      smoke ? 16 : std::max<std::int64_t>(4, cli.get_int("shard-cache")));
+  const std::int64_t measure_n =
+      smoke ? 160 : std::max<std::int64_t>(8, cli.get_int("measure"));
+  const std::int64_t nodes = smoke ? 4000 : cli.get_int("nodes");
+  const auto connections = static_cast<std::int32_t>(
+      std::max<std::int64_t>(1, cli.get_int("connections")));
+  const std::int64_t hot_probes =
+      smoke ? 24 : std::max<std::int64_t>(8, cli.get_int("hot-probes"));
+  const std::int64_t ship_vocabulary =
+      smoke ? 16
+            : std::max<std::int64_t>(4, cli.get_int("ship-vocabulary"));
+  const double gate_2x = smoke ? 1.3 : 1.7;
+  const double gate_4x = smoke ? 2.0 : 3.0;
+  const double gate_ship = smoke ? 3.0 : 5.0;
+
+  // One Zipf plan, reused verbatim for every fleet size.
+  std::vector<double> zipf(static_cast<std::size_t>(vocabulary));
+  for (std::int64_t r = 0; r < vocabulary; ++r) {
+    zipf[static_cast<std::size_t>(r)] =
+        1.0 / std::pow(static_cast<double>(r + 1),
+                       cli.get_double("zipf-s"));
+  }
+  Rng rng(22);
+  std::vector<ServiceRequest> warm_plan;
+  for (std::int64_t r = 0; r < vocabulary; ++r) {
+    warm_plan.push_back(make_request(r, nodes));
+  }
+  std::vector<ServiceRequest> measure_plan;
+  for (std::int64_t i = 0; i < measure_n; ++i) {
+    const auto rank = static_cast<std::int64_t>(rng.next_weighted(zipf));
+    ServiceRequest request = make_request(rank, nodes);
+    request.id = str_format("z%lld", static_cast<long long>(i));
+    measure_plan.push_back(std::move(request));
+  }
+
+  // --- scaling: same plan, fleets of 1 / 2 / 4 shards ---
+  struct ScalePoint {
+    std::int64_t shards;
+    double rps;
+    double hit_rate;
+    double speedup;
+  };
+  std::vector<ScalePoint> scaling;
+  std::int64_t phase_errors = 0;
+  for (const std::int64_t n : {1, 2, 4}) {
+    Fleet fleet(static_cast<std::size_t>(n), shard_cache,
+                /*replicas=*/2, /*hot_threshold=*/8);
+    const PhaseResult warm =
+        run_plan(fleet.router->port(), connections, warm_plan);
+    const PhaseResult measured =
+        run_plan(fleet.router->port(), connections, measure_plan);
+    phase_errors += warm.errors + measured.errors;
+    std::int64_t hits = 0;
+    std::int64_t lookups = 0;
+    for (const auto& shard : fleet.shards) {
+      const ResultCache::Stats cache = shard->cache_stats();
+      hits += cache.hits;
+      lookups += cache.hits + cache.misses;
+    }
+    ScalePoint point;
+    point.shards = n;
+    point.rps = measured.rps();
+    point.hit_rate =
+        lookups > 0 ? static_cast<double>(hits) /
+                          static_cast<double>(lookups)
+                    : 0;
+    point.speedup = scaling.empty() || scaling.front().rps <= 0
+                        ? 1.0
+                        : point.rps / scaling.front().rps;
+    scaling.push_back(point);
+    fleet.drain();
+  }
+  const double speedup_2 = scaling[1].speedup;
+  const double speedup_4 = scaling[2].speedup;
+  const bool scaling_pass = speedup_2 >= gate_2x && speedup_4 >= gate_4x;
+
+  // --- hot_tail: one head key under background load, R=1 vs R=2 ---
+  struct TailPoint {
+    double p50_ms;
+    double p95_ms;
+    double p99_ms;
+  };
+  std::vector<TailPoint> tails;
+  for (const std::int32_t replicas : {1, 2}) {
+    Fleet fleet(2, shard_cache, replicas, /*hot_threshold=*/2);
+    const ServiceRequest hot = make_request(0, nodes);
+    ServiceClient foreground(fleet.router->port());
+    // Heat the key past the threshold and land it in every replica's
+    // cache so the timed probes measure serving, not first-compute.
+    for (int i = 0; i < 6; ++i) foreground.run(hot, 500);
+
+    std::atomic<bool> stop{false};
+    std::thread background([&fleet, &stop, nodes] {
+      ServiceClient client(fleet.router->port());
+      std::int64_t next = 1000;  // ranks outside the vocabulary: misses
+      while (!stop.load()) {
+        client.run(make_request(next++, nodes), 500);
+      }
+    });
+    std::vector<double> samples;
+    for (std::int64_t i = 0; i < hot_probes; ++i) {
+      const auto start = std::chrono::steady_clock::now();
+      const JsonValue response = foreground.run(hot, 500);
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+      if (response.get_string("status", "") == "ok") {
+        samples.push_back(ms);
+      } else {
+        ++phase_errors;
+      }
+    }
+    stop.store(true);
+    background.join();
+    fleet.drain();
+    TailPoint point;
+    point.p50_ms = percentile(samples, 0.50);
+    point.p95_ms = percentile(samples, 0.95);
+    point.p99_ms = percentile(samples, 0.99);
+    tails.push_back(point);
+  }
+
+  // --- ship_warmup: stream the warm set vs recompute it ---
+  std::vector<ServiceRequest> ship_plan;
+  for (std::int64_t r = 0; r < ship_vocabulary; ++r) {
+    ServiceRequest request = make_request(r, nodes);
+    request.id = str_format("s%lld", static_cast<long long>(r));
+    ship_plan.push_back(std::move(request));
+  }
+  ServerOptions member_options;
+  member_options.threads = 1;
+  member_options.queue_capacity = 256;
+  member_options.cache_capacity =
+      static_cast<std::size_t>(ship_vocabulary) * 2;
+  ServiceServer source(member_options);
+  source.start();
+  const PhaseResult fill =
+      run_plan(source.port(), connections, ship_plan);
+  phase_errors += fill.errors;
+
+  ServiceServer sink(member_options);
+  sink.start();
+  const auto ship_start = std::chrono::steady_clock::now();
+  ServiceClient source_client(source.port());
+  const JsonValue ship_ack = source_client.call(
+      str_format("{\"id\":\"ship\",\"type\":\"ship_segment\","
+                 "\"port\":%u}",
+                 static_cast<unsigned>(sink.port())));
+  const double ship_s =
+      std::max(1e-6, std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - ship_start)
+                         .count());
+  const std::int64_t shipped =
+      ship_ack.get_string("status", "") == "ok"
+          ? ship_ack.at("ship").at("fill").get_int("imported", 0)
+          : -1;
+  BFDN_CHECK(shipped == ship_vocabulary, "ship lost records");
+  // Every shipped key must now serve warm from the sink.
+  const PhaseResult sink_warm =
+      run_plan(sink.port(), connections, ship_plan);
+  phase_errors += sink_warm.errors;
+  const ResultCache::Stats sink_cache = sink.cache_stats();
+  BFDN_CHECK(sink_cache.misses == 0, "sink recomputed a shipped key");
+
+  ServiceServer recompute(member_options);
+  recompute.start();
+  const auto recompute_start = std::chrono::steady_clock::now();
+  const PhaseResult recomputed =
+      run_plan(recompute.port(), connections, ship_plan);
+  const double recompute_s = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() -
+                                 recompute_start)
+                                 .count();
+  phase_errors += recomputed.errors;
+  source.drain();
+  sink.drain();
+  recompute.drain();
+  const double ship_speedup = recompute_s / ship_s;
+  const bool ship_pass = ship_speedup >= gate_ship;
+
+  const bool pass = scaling_pass && ship_pass && phase_errors == 0;
+
+  JsonWriter w(/*pretty=*/true);
+  w.begin_object();
+  w.kv("bench", "cluster");
+  w.kv("smoke", smoke);
+  w.kv("connections", connections);
+  w.kv("nodes", nodes);
+  w.key("scaling").begin_object();
+  w.kv("vocabulary", vocabulary);
+  w.kv("shard_cache_capacity", static_cast<std::int64_t>(shard_cache));
+  w.kv("measure_requests", measure_n);
+  w.key("fleets").begin_array();
+  for (const ScalePoint& point : scaling) {
+    w.begin_object();
+    w.kv("shards", point.shards);
+    w.kv("warm_rps", point.rps, 1);
+    w.kv("hit_rate", point.hit_rate, 4);
+    w.kv("speedup_vs_1", point.speedup, 2);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("gate_min_speedup_2", gate_2x, 1);
+  w.kv("gate_min_speedup_4", gate_4x, 1);
+  w.kv("pass", scaling_pass);
+  w.end_object();
+  w.key("hot_tail").begin_object();
+  w.kv("probes", hot_probes);
+  for (std::size_t arm = 0; arm < tails.size(); ++arm) {
+    w.key(arm == 0 ? "no_replica" : "replica").begin_object();
+    w.kv("p50_ms", tails[arm].p50_ms, 3);
+    w.kv("p95_ms", tails[arm].p95_ms, 3);
+    w.kv("p99_ms", tails[arm].p99_ms, 3);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("ship_warmup").begin_object();
+  w.kv("records", ship_vocabulary);
+  w.kv("ship_s", ship_s, 5);
+  w.kv("recompute_s", recompute_s, 3);
+  w.kv("speedup_vs_recompute", ship_speedup, 1);
+  w.kv("gate_min_speedup", gate_ship, 1);
+  w.kv("pass", ship_pass);
+  w.end_object();
+  w.kv("phase_errors", phase_errors);
+  w.kv("pass", pass);
+  w.end_object();
+  std::printf("%s\n", w.str().c_str());
+
+  if (!pass) {
+    std::fprintf(stderr,
+                 "bench_cluster: gate failed (2-shard %.2f >= %.1f: %s, "
+                 "4-shard %.2f >= %.1f: %s, ship %.1f >= %.1f: %s, "
+                 "errors %lld)\n",
+                 speedup_2, gate_2x, speedup_2 >= gate_2x ? "ok" : "FAIL",
+                 speedup_4, gate_4x, speedup_4 >= gate_4x ? "ok" : "FAIL",
+                 ship_speedup, gate_ship, ship_pass ? "ok" : "FAIL",
+                 static_cast<long long>(phase_errors));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bfdn
+
+int main(int argc, char** argv) {
+  try {
+    return bfdn::run(argc, argv);
+  } catch (const bfdn::CheckError& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+}

@@ -11,14 +11,19 @@
 #             is not installed — CI installs it)
 #   asan      ASan/UBSan rebuild + full ctest
 #   tsan      ThreadSanitizer build of the concurrent service tier;
-#             scheduler_stress_test, service_test, store_test and
-#             support_test must report zero races
+#             scheduler_stress_test, service_test, store_test,
+#             cluster_test and support_test must report zero races
 #   fuzz      differential-oracle fuzzer, short fixed-seed burst
 #   bench     fast-forward vs stepped smoke
 #   service   serve + load mix + SIGTERM drain
 #   store     durable-store round trip: serve over a store dir, fill,
 #             SIGTERM, restart, require the rewarm first pass to hit
 #             the recovered segments
+#   fleet     sharded fleet round trip: two shards behind bfdn_route,
+#             routed load with a balance gate, shard-ownership probe,
+#             kill one shard, require the survivor's keys to keep
+#             answering ok (hot key reroutes) and the dead shard's to
+#             answer retry
 #
 # Fast paths: `check.sh --lint-only` runs just lint + tidy (seconds, for
 # pre-commit); `check.sh --tsan-only` runs just the tsan stage.
@@ -49,6 +54,7 @@ tsan_stage() {
   ./build-tsan/tests/scheduler_stress_test
   ./build-tsan/tests/service_test
   ./build-tsan/tests/store_test
+  ./build-tsan/tests/cluster_test
   ./build-tsan/tests/support_test
 }
 
@@ -110,6 +116,9 @@ echo "== bench smoke: async scheduler zoo vs lockstep, one cell =="
 echo "== bench smoke: store warm-start, recovery, write-behind =="
 ./build/bench/bench_store --smoke > /dev/null
 
+echo "== bench smoke: fleet scaling, hot-key tail, segment ship =="
+./build/bench/bench_cluster --smoke > /dev/null
+
 echo "== service smoke: serve + load mix + SIGTERM drain =="
 rm -f build/serve.port
 ./build/tools/bfdn_serve --port=0 --port-file=build/serve.port \
@@ -166,5 +175,79 @@ kill -TERM "$SERVE2_PID"
 # serve2 is the restart script's child, not ours: poll instead of wait.
 while kill -0 "$SERVE2_PID" 2> /dev/null; do sleep 0.1; done
 rm -rf build/store-smoke
+
+echo "== fleet smoke: route -> load -> kill shard -> reroute =="
+SHARD0_PORT=7461
+SHARD1_PORT=7462
+rm -f build/route.port
+./build/tools/bfdn_serve --port="$SHARD0_PORT" --peer-id=0 \
+  --peers="$SHARD0_PORT,$SHARD1_PORT" --queue=32 --cache=256 \
+  > build/shard0.out 2>&1 &
+SHARD0_PID=$!
+./build/tools/bfdn_serve --port="$SHARD1_PORT" --peer-id=1 \
+  --peers="$SHARD0_PORT,$SHARD1_PORT" --queue=32 --cache=256 \
+  > build/shard1.out 2>&1 &
+SHARD1_PID=$!
+./build/tools/bfdn_route --port=0 --port-file=build/route.port \
+  --peers="$SHARD0_PORT,$SHARD1_PORT" --hot-threshold=4 \
+  > build/route.out 2>&1 &
+ROUTE_PID=$!
+for port in "$SHARD0_PORT" "$SHARD1_PORT"; do
+  tries=0
+  until ./build/tools/bfdn_load --port="$port" \
+    --probe='{"type":"stats"}' > /dev/null 2>&1; do
+    tries=$((tries + 1))
+    [ "$tries" -le 100 ] || { echo "shard $port never bound"; exit 1; }
+    sleep 0.1
+  done
+done
+tries=0
+while [ ! -s build/route.port ]; do
+  tries=$((tries + 1))
+  [ "$tries" -le 100 ] || { echo "bfdn_route never bound"; exit 1; }
+  sleep 0.1
+done
+ROUTE_PORT="$(cat build/route.port)"
+# Routed load: zero protocol errors and a balanced forward split across
+# the two shards, or bfdn_load exits non-zero.
+./build/tools/bfdn_load --port="$ROUTE_PORT" --router \
+  --connections=4 --cold=32 --requests=200 --hot-set=8 --nodes=1500 \
+  --require-balance=1.6 > /dev/null
+# Routing introspection: the router must answer a shard probe with the
+# owning peer list.
+./build/tools/bfdn_load --port="$ROUTE_PORT" --probe='{"id":"own","type":"shard","family":"comb","nodes":300,"arms":8,"depth":5,"k":4,"seed":1}' \
+  | grep -q '"owners":\[' || { echo "shard probe missing owners"; exit 1; }
+# Heat one key past the hot threshold so it is replicated to both
+# shards, then kill shard 0. The hot key must keep answering ok from
+# the surviving replica; cold keys split into ok (survivor-owned) and
+# retry (dead-shard-owned) — never a wrong byte, never a hang.
+HOT_LINE='{"id":"hot","type":"run","family":"comb","nodes":300,"arms":8,"depth":5,"k":4,"seed":77}'
+i=0
+while [ "$i" -lt 6 ]; do
+  ./build/tools/bfdn_load --port="$ROUTE_PORT" --probe="$HOT_LINE" \
+    > /dev/null
+  i=$((i + 1))
+done
+kill -TERM "$SHARD0_PID"
+wait "$SHARD0_PID"   # graceful shard drain must exit 0
+./build/tools/bfdn_load --port="$ROUTE_PORT" --probe="$HOT_LINE" \
+  | grep -q '"status":"ok"' \
+  || { echo "hot key did not reroute to the surviving replica"; exit 1; }
+saw_ok=0
+saw_retry=0
+for seed in 1 2 3 4 5 6 7 8; do
+  response="$(./build/tools/bfdn_load --port="$ROUTE_PORT" \
+    --probe="{\"id\":\"c$seed\",\"type\":\"run\",\"family\":\"comb\",\"nodes\":300,\"arms\":8,\"depth\":5,\"k\":4,\"seed\":$seed}")"
+  case "$response" in
+    *'"status":"ok"'*) saw_ok=1 ;;
+    *'"status":"retry"'*) saw_retry=1 ;;
+    *) echo "unexpected fleet response: $response"; exit 1 ;;
+  esac
+done
+[ "$saw_ok" -eq 1 ] && [ "$saw_retry" -eq 1 ] \
+  || { echo "fleet kill: expected an ok + retry mix, got ok=$saw_ok retry=$saw_retry"; exit 1; }
+kill -TERM "$SHARD1_PID" "$ROUTE_PID"
+wait "$SHARD1_PID"   # graceful drains must exit 0
+wait "$ROUTE_PID"
 
 echo "check.sh: all gates passed."

@@ -1,0 +1,93 @@
+#include "cluster/forward.h"
+
+#include "support/check.h"
+
+namespace bfdn {
+
+PeerPool::PeerPool(std::vector<std::uint16_t> ports,
+                   std::int32_t recv_timeout_ms)
+    : recv_timeout_ms_(recv_timeout_ms) {
+  peers_.reserve(ports.size());
+  for (const std::uint16_t port : ports) {
+    auto peer = std::make_unique<Peer>();
+    peer->port = port;
+    peers_.push_back(std::move(peer));
+  }
+}
+
+std::uint16_t PeerPool::port(std::int32_t peer) const {
+  BFDN_REQUIRE(peer >= 0 &&
+                   peer < static_cast<std::int32_t>(peers_.size()),
+               "peer id out of range");
+  return peers_[static_cast<std::size_t>(peer)]->port;
+}
+
+std::optional<std::string> PeerPool::exchange(Peer& peer,
+                                              const std::string& line) {
+  Socket socket;
+  {
+    std::lock_guard<std::mutex> lock(peer.mutex);
+    if (!peer.idle.empty()) {
+      socket = std::move(peer.idle.back());
+      peer.idle.pop_back();
+    }
+  }
+  // Two attempts: a pooled socket may have gone stale (shard restarted,
+  // idle timeout); the second always runs on a fresh connection.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (!socket.valid()) {
+      try {
+        socket = connect_local(peer.port, recv_timeout_ms_);
+        ++peer.reconnects;
+      } catch (const CheckError&) {
+        return std::nullopt;  // nothing listening
+      }
+    }
+    if (socket.send_all(line + "\n")) {
+      auto response = socket.recv_line();
+      if (response.has_value()) {
+        std::lock_guard<std::mutex> lock(peer.mutex);
+        peer.idle.push_back(std::move(socket));
+        return response;
+      }
+    }
+    socket.close();  // retire and retry fresh
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> PeerPool::forward(std::int32_t peer,
+                                             const std::string& line) {
+  BFDN_REQUIRE(peer >= 0 &&
+                   peer < static_cast<std::int32_t>(peers_.size()),
+               "peer id out of range");
+  Peer& p = *peers_[static_cast<std::size_t>(peer)];
+  auto response = exchange(p, line);
+  if (response.has_value()) {
+    ++p.forwarded;
+  } else {
+    ++p.errors;
+  }
+  return response;
+}
+
+void PeerPool::close_all() {
+  for (const auto& peer : peers_) {
+    std::lock_guard<std::mutex> lock(peer->mutex);
+    peer->idle.clear();
+  }
+}
+
+PeerPool::Counters PeerPool::counters(std::int32_t peer) const {
+  BFDN_REQUIRE(peer >= 0 &&
+                   peer < static_cast<std::int32_t>(peers_.size()),
+               "peer id out of range");
+  const Peer& p = *peers_[static_cast<std::size_t>(peer)];
+  Counters counters;
+  counters.forwarded = p.forwarded.load();
+  counters.errors = p.errors.load();
+  counters.reconnects = p.reconnects.load();
+  return counters;
+}
+
+}  // namespace bfdn

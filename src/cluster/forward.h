@@ -1,0 +1,70 @@
+// Pooled request forwarding to the shard fleet.
+//
+// One PeerPool serves every router connection: per peer it keeps a
+// free-list of connected loopback sockets, checked out for the duration
+// of one request/response exchange and checked back in afterwards, so
+// concurrent forwards to the same shard ride separate connections and
+// a warm fleet never pays per-request connect latency. A send or
+// receive failure retires the socket and retries once on a fresh
+// connection (the shard may have restarted); a second failure reports
+// the peer dead for this exchange and the router falls back to its
+// retry/reroute policy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/socket.h"
+
+namespace bfdn {
+
+class PeerPool {
+ public:
+  /// `ports`: the fleet's loopback ports, indexed by peer id.
+  /// `recv_timeout_ms` arms SO_RCVTIMEO on every pooled connection so a
+  /// hung shard cannot wedge a router thread forever.
+  explicit PeerPool(std::vector<std::uint16_t> ports,
+                    std::int32_t recv_timeout_ms = 30000);
+
+  std::size_t num_peers() const { return peers_.size(); }
+  std::uint16_t port(std::int32_t peer) const;
+
+  /// Sends `line` ('\n' appended here) to `peer` and returns its
+  /// response line, or std::nullopt when the peer is unreachable after
+  /// one reconnect attempt.
+  std::optional<std::string> forward(std::int32_t peer,
+                                     const std::string& line);
+
+  /// Drops every pooled connection (the peers see EOF and release their
+  /// connection threads).
+  void close_all();
+
+  struct Counters {
+    std::int64_t forwarded = 0;   // successful exchanges
+    std::int64_t errors = 0;      // exchanges abandoned (peer dead)
+    std::int64_t reconnects = 0;  // fresh connections dialed
+  };
+  Counters counters(std::int32_t peer) const;
+
+ private:
+  struct Peer {
+    std::uint16_t port = 0;
+    std::mutex mutex;
+    std::vector<Socket> idle;
+    std::atomic<std::int64_t> forwarded{0};
+    std::atomic<std::int64_t> errors{0};
+    std::atomic<std::int64_t> reconnects{0};
+  };
+
+  std::optional<std::string> exchange(Peer& peer, const std::string& line);
+
+  std::int32_t recv_timeout_ms_;
+  std::vector<std::unique_ptr<Peer>> peers_;
+};
+
+}  // namespace bfdn

@@ -1,0 +1,36 @@
+#include "cluster/peers.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace bfdn {
+
+std::vector<std::uint16_t> parse_peer_ports(const std::string& spec) {
+  std::vector<std::uint16_t> ports;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(start, end - start);
+    BFDN_REQUIRE(!entry.empty(), "peers: empty entry in '" + spec + "'");
+    long value = 0;
+    for (const char c : entry) {
+      BFDN_REQUIRE(c >= '0' && c <= '9',
+                   "peers: malformed port '" + entry + "'");
+      value = value * 10 + (c - '0');
+      BFDN_REQUIRE(value <= 65535,
+                   "peers: port out of range '" + entry + "'");
+    }
+    BFDN_REQUIRE(value >= 1, "peers: port out of range '" + entry + "'");
+    const auto port = static_cast<std::uint16_t>(value);
+    BFDN_REQUIRE(std::find(ports.begin(), ports.end(), port) ==
+                     ports.end(),
+                 "peers: duplicate port '" + entry + "'");
+    ports.push_back(port);
+    start = end + 1;
+  }
+  return ports;
+}
+
+}  // namespace bfdn

@@ -1,0 +1,21 @@
+// Fleet peer-list parsing shared by the cluster tools.
+//
+// A fleet is described by one comma-separated port list ("7431,7432"),
+// identical on the router and on every shard; a shard additionally
+// knows its own index (--peer-id). Position in the list is the peer id
+// everywhere — ring labels, ship_segment peer targets, stats blocks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bfdn {
+
+/// Parses "port,port,..." into the fleet port list. Throws CheckError
+/// on an empty spec, a malformed entry, an out-of-range port, or a
+/// duplicate port (peer identity is the port, so duplicates would
+/// alias two peers).
+std::vector<std::uint16_t> parse_peer_ports(const std::string& spec);
+
+}  // namespace bfdn

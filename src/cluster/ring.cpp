@@ -1,0 +1,70 @@
+#include "cluster/ring.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace bfdn {
+
+std::uint64_t ConsistentRing::point(const std::string& label,
+                                    std::int32_t vnode) {
+  const std::string name = str_format("%s:%d", label.c_str(), vnode);
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  // splitmix64 finalizer: FNV alone mixes low bits poorly, and ring
+  // balance depends on the points being uniform over the full 64 bits.
+  return splitmix64(h);
+}
+
+ConsistentRing::ConsistentRing(const std::vector<std::string>& labels,
+                               std::int32_t vnodes)
+    : num_peers_(labels.size()), vnodes_(vnodes) {
+  BFDN_REQUIRE(!labels.empty(), "ring needs at least one peer");
+  BFDN_REQUIRE(vnodes >= 1, "ring needs vnodes >= 1");
+  points_.reserve(labels.size() * static_cast<std::size_t>(vnodes));
+  for (std::size_t peer = 0; peer < labels.size(); ++peer) {
+    for (std::int32_t v = 0; v < vnodes; ++v) {
+      points_.emplace_back(point(labels[peer], v),
+                           static_cast<std::int32_t>(peer));
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+std::int32_t ConsistentRing::owner(std::uint64_t key) const {
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), key,
+      [](const std::pair<std::uint64_t, std::int32_t>& p,
+         std::uint64_t k) { return p.first < k; });
+  if (it == points_.end()) it = points_.begin();  // wrap
+  return it->second;
+}
+
+std::vector<std::int32_t> ConsistentRing::owners(
+    std::uint64_t key, std::int32_t replicas) const {
+  const std::size_t want = std::min<std::size_t>(
+      num_peers_, static_cast<std::size_t>(std::max(replicas, 1)));
+  std::vector<std::int32_t> result;
+  result.reserve(want);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), key,
+      [](const std::pair<std::uint64_t, std::int32_t>& p,
+         std::uint64_t k) { return p.first < k; });
+  for (std::size_t seen = 0;
+       result.size() < want && seen < points_.size(); ++seen) {
+    if (it == points_.end()) it = points_.begin();
+    const std::int32_t peer = it->second;
+    if (std::find(result.begin(), result.end(), peer) == result.end()) {
+      result.push_back(peer);
+    }
+    ++it;
+  }
+  return result;
+}
+
+}  // namespace bfdn

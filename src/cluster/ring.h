@@ -1,0 +1,53 @@
+// Consistent-hash ring over a static peer list (the routing core of
+// the sharded service fleet, see docs/SERVICE.md "Sharded fleet").
+//
+// Each peer contributes `vnodes` points on a 64-bit ring, positioned by
+// hashing "<label>:<vnode>" (FNV-1a + splitmix64 finalizer — the same
+// mixing discipline as the protocol's request fingerprint). A key is
+// owned by the peer whose point follows it clockwise. Virtual nodes
+// keep the per-peer share of keyspace within a small factor of the
+// ideal K/N (pinned by tests/cluster_test.cpp), and hashing by stable
+// peer label means adding or removing one peer only remaps the keys
+// that land in the moved arcs — every other key keeps its owner.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bfdn {
+
+class ConsistentRing {
+ public:
+  /// `labels` are stable peer identities (the fleet uses the loopback
+  /// port rendered as a string); index into this vector is the peer id
+  /// every lookup returns. `vnodes` points per peer.
+  explicit ConsistentRing(const std::vector<std::string>& labels,
+                          std::int32_t vnodes = 64);
+
+  std::size_t num_peers() const { return num_peers_; }
+  std::int32_t vnodes_per_peer() const { return vnodes_; }
+
+  /// The peer owning `key`: the first ring point at or after it,
+  /// wrapping at the top.
+  std::int32_t owner(std::uint64_t key) const;
+
+  /// The `replicas` distinct peers that own `key`, primary first —
+  /// successive distinct peers walking clockwise from the key. Returns
+  /// all peers (in walk order) when replicas >= num_peers().
+  std::vector<std::int32_t> owners(std::uint64_t key,
+                                   std::int32_t replicas) const;
+
+  /// Ring position of "<label>:<vnode>" — exposed so tests can pin the
+  /// placement function independently of the ring walk.
+  static std::uint64_t point(const std::string& label, std::int32_t vnode);
+
+ private:
+  std::size_t num_peers_ = 0;
+  std::int32_t vnodes_ = 0;
+  /// (position, peer id), sorted by position.
+  std::vector<std::pair<std::uint64_t, std::int32_t>> points_;
+};
+
+}  // namespace bfdn

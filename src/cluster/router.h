@@ -1,0 +1,148 @@
+// Consistent-hash routing front end of the sharded service fleet.
+//
+// A RouterServer speaks the same line-delimited JSON protocol as a
+// shard (src/service/server.h) on the client side, but owns no cache,
+// store, or scheduler: it fingerprints each run request with the
+// protocol's canonical fingerprint, looks the key up on the consistent
+// ring (ring.h), and forwards the request line to the owning shard over
+// a pooled connection (forward.h), splicing the shard's response bytes
+// back verbatim — routed responses are byte-identical to the same
+// request served solo (pinned by tests/cluster_test.cpp).
+//
+// Campaigns are expanded router-side and each member is forwarded to
+// its own fingerprint's owner concurrently; the members' result bytes
+// are reassembled into one campaign response in expansion order, so a
+// routed campaign equals the solo campaign byte for byte.
+//
+// The Zipf head is replicated: a small LRU frequency tracker promotes
+// keys past `hot_threshold` to hot, and hot keys round-robin across the
+// first `replicas` distinct ring owners (any replica computes identical
+// bytes on its first miss — determinism makes replication free of
+// coherence). A dead shard answers with the protocol's retry response;
+// hot keys fail over to the surviving replica instead.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cluster/forward.h"
+#include "cluster/ring.h"
+#include "service/protocol.h"
+#include "support/socket.h"
+#include "support/thread_pool.h"
+
+namespace bfdn {
+
+struct RouterOptions {
+  /// 0 = ephemeral; RouterServer::port() reports the bound port.
+  std::uint16_t port = 0;
+  /// Shard loopback ports, indexed by peer id. Ring labels are these
+  /// ports rendered as strings, so a peer keeps its keys across fleet
+  /// restarts and resizes.
+  std::vector<std::uint16_t> peers;
+  std::int32_t vnodes = 64;
+  /// Distinct owners a hot key is spread over (1 = no replication).
+  std::int32_t replicas = 2;
+  /// Request count at which a key counts as hot.
+  std::int64_t hot_threshold = 8;
+  /// Keys the frequency tracker remembers (LRU beyond that).
+  std::size_t hot_capacity = 4096;
+  /// Suggested client back-off when a shard is unreachable.
+  std::int32_t retry_after_ms = 20;
+  /// SO_RCVTIMEO on forwarding connections.
+  std::int32_t forward_timeout_ms = 30000;
+  /// Workers for concurrent campaign member fan-out; 0 = hardware.
+  std::int32_t fanout_threads = 0;
+};
+
+class RouterServer {
+ public:
+  explicit RouterServer(RouterOptions options);
+  ~RouterServer();
+
+  RouterServer(const RouterServer&) = delete;
+  RouterServer& operator=(const RouterServer&) = delete;
+
+  void start();
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// Graceful drain: stop accepting, finish in-flight forwards, release
+  /// client connections and pooled shard connections. Idempotent.
+  void drain();
+
+  /// The router's stats object: request counters, routing counters, and
+  /// the cluster block (per-peer forward/replica/ship counters).
+  std::string stats_json() const;
+
+ private:
+  struct Connection {
+    Socket socket;
+    std::thread thread;
+    std::atomic<bool> finished{false};
+  };
+
+  void accept_loop();
+  void serve_connection(Connection* connection);
+  std::string handle_line(const std::string& line);
+  std::string handle_run(const ServiceRequest& request,
+                         const std::string& line);
+  std::string handle_campaign(const ServiceRequest& request);
+  std::string handle_shard(const ServiceRequest& request);
+  std::string handle_peer_stats(const ServiceRequest& request);
+  std::string handle_ship(const ServiceRequest& request);
+  void reap_finished_locked();
+
+  /// Bumps the key's frequency and returns whether it is hot now.
+  bool record_hit(std::uint64_t key);
+  /// Hot-aware owner list: one owner for cold keys, `replicas` distinct
+  /// owners for hot ones. Does not bump the frequency.
+  std::vector<std::int32_t> route(std::uint64_t key, bool hot) const;
+  void count_status(const std::string& response);
+
+  RouterOptions options_;
+  ConsistentRing ring_;
+  PeerPool pool_;
+  ThreadPool fanout_;
+  ListenSocket listener_;
+
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> drained_{false};
+  std::mutex drain_mutex_;
+
+  // Hot-key frequency tracker (LRU over tracked keys).
+  mutable std::mutex hot_mutex_;
+  std::list<std::pair<std::uint64_t, std::int64_t>> hot_lru_;
+  std::unordered_map<std::uint64_t, decltype(hot_lru_)::iterator>
+      hot_index_;
+  std::atomic<std::uint64_t> replica_rr_{0};
+
+  std::chrono::steady_clock::time_point started_at_;
+  std::atomic<std::int64_t> requests_total_{0};
+  std::atomic<std::int64_t> responses_ok_{0};
+  std::atomic<std::int64_t> responses_retry_{0};
+  std::atomic<std::int64_t> responses_error_{0};
+  std::atomic<std::int64_t> protocol_errors_{0};
+  std::atomic<std::int64_t> runs_forwarded_{0};
+  std::atomic<std::int64_t> campaigns_{0};
+  std::atomic<std::int64_t> campaign_members_{0};
+  std::atomic<std::int64_t> shard_queries_{0};
+  std::atomic<std::int64_t> replica_routed_{0};
+  std::atomic<std::int64_t> reroutes_{0};
+  std::atomic<std::int64_t> peer_unreachable_{0};
+  std::atomic<std::int64_t> ships_routed_{0};
+};
+
+}  // namespace bfdn

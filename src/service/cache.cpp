@@ -1,5 +1,7 @@
 #include "service/cache.h"
 
+#include <algorithm>
+
 #include "store/result_store.h"
 
 namespace bfdn {
@@ -106,6 +108,17 @@ std::vector<std::uint64_t> ResultCache::lru_keys() const {
   keys.reserve(lru_.size());
   for (const auto& [key, value] : lru_) keys.push_back(key);
   return keys;
+}
+
+std::vector<std::pair<std::uint64_t, std::string>>
+ResultCache::export_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::uint64_t, std::string>> entries;
+  entries.reserve(lru_.size());
+  for (const auto& [key, value] : lru_) entries.emplace_back(key, value);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return entries;
 }
 
 ResultCache::Stats ResultCache::stats() const {

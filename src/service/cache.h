@@ -59,6 +59,12 @@ class ResultCache {
   /// memory are the cold entries compaction drops.
   std::vector<std::uint64_t> lru_keys() const;
 
+  /// Snapshot of resident (key, payload) entries in fingerprint order,
+  /// without touching recency or hit counters. The segment-shipping
+  /// export path for a memory-only server (a store-backed server
+  /// exports from the store instead, which also covers evicted keys).
+  std::vector<std::pair<std::uint64_t, std::string>> export_entries() const;
+
   struct Stats {
     std::int64_t hits = 0;
     std::int64_t misses = 0;

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "graph/generators.h"
+#include "store/segment.h"
 #include "support/check.h"
 #include "support/json.h"
 #include "support/rng.h"
@@ -135,10 +136,55 @@ bool parse_request(const std::string& line, ServiceRequest& out,
     out.type = RequestType::kCompact;
     return true;
   }
+  if (type == "peer_stats") {
+    out.type = RequestType::kPeerStats;
+    return true;
+  }
+  if (type == "ship_segment") {
+    out.type = RequestType::kShipSegment;
+    try {
+      out.ship_port =
+          static_cast<std::int32_t>(doc.get_int("port", 0));
+      out.ship_peer =
+          static_cast<std::int32_t>(doc.get_int("peer", -1));
+      // Router form: "from" names the shipping peer, "to" the receiver.
+      out.ship_from =
+          static_cast<std::int32_t>(doc.get_int("from", -1));
+      if (doc.has("to")) {
+        out.ship_peer = static_cast<std::int32_t>(doc.get_int("to", -1));
+      }
+    } catch (const CheckError& e) {
+      return fail(e.what());
+    }
+    if (out.ship_port < 0 || out.ship_port > 65535) {
+      return fail("ship_segment port out of range");
+    }
+    if (out.ship_port == 0 && out.ship_peer < 0) {
+      return fail("ship_segment needs a target: port, peer, or to");
+    }
+    return true;
+  }
+  if (type == "segment_fill") {
+    out.type = RequestType::kSegmentFill;
+    try {
+      out.fill_bytes = doc.get_int("bytes", 0);
+    } catch (const CheckError& e) {
+      return fail(e.what());
+    }
+    if (out.fill_bytes < static_cast<std::int64_t>(
+                             store::kSegmentHeaderBytes) ||
+        out.fill_bytes >
+            static_cast<std::int64_t>(store::kMaxPayloadBytes)) {
+      return fail("segment_fill bytes out of range");
+    }
+    return true;
+  }
   if (type == "run") {
     out.type = RequestType::kRun;
   } else if (type == "campaign") {
     out.type = RequestType::kCampaign;
+  } else if (type == "shard") {
+    out.type = RequestType::kShard;
   } else {
     return fail("unknown request type: " + type);
   }
@@ -265,13 +311,35 @@ std::string serialize_request(const ServiceRequest& request) {
   w.begin_object();
   if (!request.id.empty()) w.kv("id", request.id);
   if (request.type == RequestType::kStats ||
-      request.type == RequestType::kCompact) {
-    w.kv("type",
-         request.type == RequestType::kStats ? "stats" : "compact");
+      request.type == RequestType::kCompact ||
+      request.type == RequestType::kPeerStats) {
+    w.kv("type", request.type == RequestType::kStats     ? "stats"
+                 : request.type == RequestType::kCompact ? "compact"
+                                                         : "peer_stats");
     w.end_object();
     return w.str();
   }
-  w.kv("type", request.type == RequestType::kCampaign ? "campaign" : "run");
+  if (request.type == RequestType::kShipSegment) {
+    w.kv("type", "ship_segment");
+    if (request.ship_port != 0) w.kv("port", request.ship_port);
+    if (request.ship_from >= 0) {
+      w.kv("from", request.ship_from);
+      if (request.ship_peer >= 0) w.kv("to", request.ship_peer);
+    } else if (request.ship_peer >= 0) {
+      w.kv("peer", request.ship_peer);
+    }
+    w.end_object();
+    return w.str();
+  }
+  if (request.type == RequestType::kSegmentFill) {
+    w.kv("type", "segment_fill");
+    w.kv("bytes", request.fill_bytes);
+    w.end_object();
+    return w.str();
+  }
+  w.kv("type", request.type == RequestType::kCampaign ? "campaign"
+               : request.type == RequestType::kShard  ? "shard"
+                                                      : "run");
   w.kv("family", request.recipe.family);
   w.kv("nodes", request.recipe.nodes);
   w.kv("depth", request.recipe.depth);
@@ -371,8 +439,12 @@ std::string batch_coalesce_key(const ServiceRequest& request) {
 }
 
 std::string canonical_request(const ServiceRequest& request) {
-  BFDN_REQUIRE(request.type == RequestType::kRun,
-               "canonical_request: run requests only");
+  // kShard carries the same fields as kRun and asks "where would this
+  // run live?", so it canonicalizes — and therefore fingerprints —
+  // exactly like the run it describes.
+  BFDN_REQUIRE(request.type == RequestType::kRun ||
+                   request.type == RequestType::kShard,
+               "canonical_request: run/shard requests only");
   // The request id is transport-level and deliberately excluded; two
   // clients asking for the same run share one cache entry. AlgoSpec /
   // ScheduleSpec render through the same label()s the verification
@@ -536,6 +608,91 @@ std::string compact_response(const std::string& id,
   w.kv("bytes_after", summary.bytes_after);
   w.kv("kept", summary.kept);
   w.kv("dropped", summary.dropped);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string shard_response(const std::string& id, std::uint64_t key,
+                           const std::vector<std::int32_t>& owners) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("id", id);
+  w.kv("status", "ok");
+  w.kv("key", str_format("%016llx", static_cast<unsigned long long>(key)));
+  w.key("owners").begin_array();
+  for (const std::int32_t owner : owners) w.value(owner);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+namespace {
+
+void write_fill_block(JsonWriter& w, const FillSummary& fill) {
+  w.begin_object();
+  w.kv("records", fill.records);
+  w.kv("imported", fill.imported);
+  w.kv("duplicates", fill.duplicates);
+  w.kv("corrupted_skipped", fill.corrupted_skipped);
+  w.kv("torn_truncated", fill.torn_truncated);
+  w.kv("bytes", fill.bytes);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string fill_response(const std::string& id, const FillSummary& fill) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("id", id);
+  w.kv("status", "ok");
+  w.key("fill");
+  write_fill_block(w, fill);
+  w.end_object();
+  return w.str();
+}
+
+bool parse_fill_response(const std::string& line, FillSummary* out,
+                         std::string* error) {
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  JsonValue doc;
+  std::string json_error;
+  if (!json_parse(line, doc, &json_error)) return fail(json_error);
+  if (!doc.is_object()) return fail("fill response must be an object");
+  try {
+    const std::string status = doc.get_string("status", "");
+    if (status != "ok") {
+      return fail("peer fill failed: " +
+                  doc.get_string("error", "status " + status));
+    }
+    if (!doc.has("fill")) return fail("fill response missing fill block");
+    const JsonValue& fill = doc.at("fill");
+    out->records = fill.get_int("records", 0);
+    out->imported = fill.get_int("imported", 0);
+    out->duplicates = fill.get_int("duplicates", 0);
+    out->corrupted_skipped = fill.get_int("corrupted_skipped", 0);
+    out->torn_truncated = fill.get_int("torn_truncated", 0);
+    out->bytes = fill.get_int("bytes", 0);
+  } catch (const CheckError& e) {
+    return fail(e.what());
+  }
+  return true;
+}
+
+std::string ship_response(const std::string& id, const ShipSummary& ship) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("id", id);
+  w.kv("status", "ok");
+  w.key("ship").begin_object();
+  w.kv("records", ship.records);
+  w.kv("bytes", ship.bytes);
+  w.key("fill");
+  write_fill_block(w, ship.peer);
   w.end_object();
   w.end_object();
   return w.str();

@@ -47,7 +47,25 @@ struct TreeRecipe {
   std::string label() const;
 };
 
-enum class RequestType : std::uint8_t { kRun, kStats, kCampaign, kCompact };
+enum class RequestType : std::uint8_t {
+  kRun,
+  kStats,
+  kCampaign,
+  kCompact,
+  /// Routing introspection (answered by bfdn_route): which peers own
+  /// this run request's fingerprint. Carries the same fields as kRun.
+  kShard,
+  /// Fan-out stats (answered by bfdn_route): every peer's stats object.
+  kPeerStats,
+  /// Admin: ship this node's live result set to a peer as one segment
+  /// image. Fields: "port" (direct target) or "peer" (index into the
+  /// node's --peers list); via the router, "from"/"to" peer indices.
+  kShipSegment,
+  /// Transfer leg of kShipSegment: the JSON header names "bytes", and
+  /// exactly that many raw segment-image bytes follow the newline on
+  /// the same connection.
+  kSegmentFill,
+};
 
 /// Hard bound on expanded campaign members per request.
 constexpr std::size_t kMaxCampaignMembers = 64;
@@ -76,6 +94,15 @@ struct ServiceRequest {
   /// resp. {algo.options.seed}. Wire fields "ks" and "algo_seeds".
   std::vector<std::int32_t> campaign_ks;
   std::vector<std::uint64_t> campaign_seeds;
+  /// kShipSegment: direct target port (wire "port", 0 = unset), target
+  /// peer index (wire "peer", -1 = unset), and — router form — source
+  /// peer index (wire "from"; the target then comes from "to" → peer).
+  std::int32_t ship_port = 0;
+  std::int32_t ship_peer = -1;
+  std::int32_t ship_from = -1;
+  /// kSegmentFill: size of the raw segment image that follows the
+  /// header line (wire "bytes").
+  std::int64_t fill_bytes = 0;
 };
 
 /// Parses one request line. Returns false and fills *error on
@@ -145,6 +172,39 @@ struct CompactSummary {
 };
 std::string compact_response(const std::string& id,
                              const CompactSummary& summary);
+
+/// Response to the `shard` routing-introspection request: the request's
+/// fingerprint and the peers that own it on the ring, primary first
+/// (more than one entry when the key is replicated).
+std::string shard_response(const std::string& id, std::uint64_t key,
+                           const std::vector<std::int32_t>& owners);
+
+/// The receiver's summary of one segment_fill transfer (fields mirror
+/// ResultStore::ImportResult; a memory-only receiver fills the same
+/// shape from its cache-side scan).
+struct FillSummary {
+  std::int64_t records = 0;
+  std::int64_t imported = 0;
+  std::int64_t duplicates = 0;
+  std::int64_t corrupted_skipped = 0;
+  std::int64_t torn_truncated = 0;
+  std::int64_t bytes = 0;
+};
+std::string fill_response(const std::string& id, const FillSummary& fill);
+/// Parses the "fill" block out of a fill_response line (the shipping
+/// side reads its peer's ack with this). Returns false on a non-ok or
+/// malformed line, filling *error.
+bool parse_fill_response(const std::string& line, FillSummary* out,
+                         std::string* error);
+
+/// The shipping side's summary of a completed ship_segment: what it
+/// exported plus the receiver's fill ack.
+struct ShipSummary {
+  std::int64_t records = 0;  // records in the exported image
+  std::int64_t bytes = 0;    // image size shipped
+  FillSummary peer;          // receiver's ack
+};
+std::string ship_response(const std::string& id, const ShipSummary& ship);
 
 /// One member slot of a campaign response.
 struct CampaignMemberResponse {

@@ -1,5 +1,9 @@
 #include "service/server.h"
 
+#include <cstring>
+#include <unordered_set>
+
+#include "store/segment.h"
 #include "support/check.h"
 #include "support/json.h"
 #include "support/strings.h"
@@ -67,13 +71,14 @@ void ServiceServer::serve_connection(Connection* connection) {
     if (!line.has_value()) break;
     if (line->empty()) continue;
     ++requests_total_;
-    const std::string response = handle_line(*line);
+    const std::string response = handle_line(*line, connection->socket);
     if (!connection->socket.send_all(response + "\n")) break;
   }
   connection->finished = true;
 }
 
-std::string ServiceServer::handle_line(const std::string& line) {
+std::string ServiceServer::handle_line(const std::string& line,
+                                       Socket& socket) {
   ServiceRequest request;
   std::string error;
   if (!parse_request(line, request, &error)) {
@@ -89,6 +94,21 @@ std::string ServiceServer::handle_line(const std::string& line) {
   }
   if (request.type == RequestType::kCampaign) {
     return handle_campaign(request);
+  }
+  if (request.type == RequestType::kShipSegment) {
+    return handle_ship(request);
+  }
+  if (request.type == RequestType::kSegmentFill) {
+    return handle_fill(request, socket);
+  }
+  if (request.type == RequestType::kShard ||
+      request.type == RequestType::kPeerStats) {
+    // The ring lives above the service layer (src/cluster); a shard
+    // cannot answer routing questions without inverting that DAG.
+    ++responses_error_;
+    return error_response(request.id,
+                          "shard/peer_stats are router requests "
+                          "(ask bfdn_route)");
   }
   return handle_run(request);
 }
@@ -224,6 +244,156 @@ std::string ServiceServer::handle_compact(const ServiceRequest& request) {
   return compact_response(request.id, summary);
 }
 
+std::string ServiceServer::export_image(std::int64_t* records) {
+  if (store_ != nullptr) return store_->export_live(records);
+  // Memory-only server: encode the cache residents with the same
+  // segment framing the store writes, so the receiving side replays one
+  // uniform format.
+  std::string image(store::kSegmentMagic, store::kSegmentHeaderBytes);
+  std::int64_t count = 0;
+  for (const auto& [key, payload] : cache_.export_entries()) {
+    store::encode_record(key, payload, &image);
+    ++count;
+  }
+  if (records != nullptr) *records = count;
+  return image;
+}
+
+std::string ServiceServer::handle_ship(const ServiceRequest& request) {
+  std::uint16_t port = 0;
+  if (request.ship_port != 0) {
+    port = static_cast<std::uint16_t>(request.ship_port);
+  } else {
+    const std::int32_t peer = request.ship_peer;
+    if (peer < 0 ||
+        peer >= static_cast<std::int32_t>(options_.peers.size())) {
+      ++responses_error_;
+      return error_response(
+          request.id,
+          str_format("ship_segment peer %d out of range (fleet of %zu)",
+                     peer, options_.peers.size()));
+    }
+    if (peer == options_.peer_id) {
+      ++responses_error_;
+      return error_response(request.id,
+                            "ship_segment target is this node");
+    }
+    port = options_.peers[static_cast<std::size_t>(peer)];
+  }
+
+  std::int64_t records = 0;
+  std::string image;
+  try {
+    image = export_image(&records);
+  } catch (const CheckError& e) {
+    ++responses_error_;
+    return error_response(request.id,
+                          std::string("export failed: ") + e.what());
+  }
+
+  ShipSummary summary;
+  summary.records = records;
+  summary.bytes = static_cast<std::int64_t>(image.size());
+  try {
+    Socket peer = connect_local(port, /*recv_timeout_ms=*/30000);
+    ServiceRequest header;
+    header.type = RequestType::kSegmentFill;
+    header.id = request.id;
+    header.fill_bytes = static_cast<std::int64_t>(image.size());
+    if (!peer.send_all(serialize_request(header) + "\n") ||
+        !peer.send_all(image)) {
+      ++responses_error_;
+      return error_response(request.id, "peer connection lost mid-ship");
+    }
+    const auto ack = peer.recv_line();
+    if (!ack.has_value()) {
+      ++responses_error_;
+      return error_response(request.id, "peer closed before fill ack");
+    }
+    std::string error;
+    if (!parse_fill_response(*ack, &summary.peer, &error)) {
+      ++responses_error_;
+      return error_response(request.id, error);
+    }
+  } catch (const CheckError& e) {
+    ++responses_error_;
+    return error_response(request.id, e.what());
+  }
+  ++ships_sent_;
+  ship_records_sent_ += records;
+  ++responses_ok_;
+  return ship_response(request.id, summary);
+}
+
+std::string ServiceServer::handle_fill(const ServiceRequest& request,
+                                       Socket& socket) {
+  const auto image =
+      socket.recv_exact(static_cast<std::size_t>(request.fill_bytes));
+  if (!image.has_value()) {
+    ++responses_error_;
+    return error_response(request.id, "connection lost mid-fill");
+  }
+  if (std::memcmp(image->data(), store::kSegmentMagic,
+                  store::kSegmentHeaderBytes) != 0) {
+    ++responses_error_;
+    return error_response(request.id, "bad segment magic");
+  }
+
+  FillSummary fill;
+  fill.bytes = static_cast<std::int64_t>(image->size());
+  if (store_ != nullptr) {
+    try {
+      const ResultStore::ImportResult result =
+          store_->install_segment(*image);
+      fill.records = result.records;
+      fill.imported = result.imported;
+      fill.duplicates = result.duplicates;
+      fill.corrupted_skipped = result.corrupted_skipped;
+      fill.torn_truncated = result.torn_truncated;
+    } catch (const CheckError& e) {
+      ++responses_error_;
+      return error_response(request.id,
+                            std::string("install failed: ") + e.what());
+    }
+  } else {
+    // Memory-only receiver: replay the image straight into the cache
+    // with the same validation discipline as the store's recovery scan
+    // (checksums re-verified, corrupt skipped and counted, torn tail
+    // truncated).
+    std::unordered_set<std::uint64_t> resident;
+    for (const std::uint64_t key : cache_.lru_keys()) resident.insert(key);
+    std::size_t offset = store::kSegmentHeaderBytes;
+    while (offset < image->size()) {
+      store::DecodedRecord record;
+      const store::RecordStatus status =
+          store::decode_record(image->data(), image->size(), offset,
+                               &record);
+      if (status == store::RecordStatus::kTorn) {
+        ++fill.torn_truncated;
+        break;
+      }
+      offset += record.frame_bytes;
+      if (status == store::RecordStatus::kCorrupt) {
+        ++fill.corrupted_skipped;
+        continue;
+      }
+      ++fill.records;
+      if (resident.count(record.fingerprint) > 0) {
+        ++fill.duplicates;
+        continue;
+      }
+      resident.insert(record.fingerprint);
+      cache_.put(record.fingerprint,
+                 std::string(record.payload, record.payload_len));
+      ++fill.imported;
+    }
+  }
+  ++fills_received_;
+  fill_records_imported_ += fill.imported;
+  ++responses_ok_;
+  return fill_response(request.id, fill);
+}
+
 void ServiceServer::drain() {
   std::lock_guard<std::mutex> drain_lock(drain_mutex_);
   if (drained_) return;
@@ -303,8 +473,27 @@ std::string ServiceServer::stats_json() const {
     w.kv("bulk_key_hits", store.bulk_key_hits);
     w.kv("compactions", store.compactions);
     w.kv("compaction_dropped", store.compaction_dropped);
+    w.kv("exports", store.exports);
+    w.kv("exported_records", store.exported_records);
+    w.kv("imports", store.imports);
+    w.kv("imported_records", store.imported_records);
+    w.kv("import_duplicates", store.import_duplicates);
+    w.kv("import_corrupted", store.import_corrupted);
+    w.kv("import_torn", store.import_torn);
     w.end_object();
   }
+  w.key("cluster").begin_object();
+  w.kv("peer_id", options_.peer_id);
+  w.key("peers").begin_array();
+  for (const std::uint16_t peer : options_.peers) {
+    w.value(static_cast<std::int64_t>(peer));
+  }
+  w.end_array();
+  w.kv("ships_sent", ships_sent_.load());
+  w.kv("ship_records_sent", ship_records_sent_.load());
+  w.kv("fills_received", fills_received_.load());
+  w.kv("fill_records_imported", fill_records_imported_.load());
+  w.end_object();
   w.key("jobs").begin_object();
   w.kv("admitted", jobs.admitted);
   w.kv("completed", jobs.completed);

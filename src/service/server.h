@@ -42,6 +42,12 @@ struct ServerOptions {
   std::int32_t store_flush_ms = 25;
   /// fdatasync each group commit (tests/benches may turn it off).
   bool store_sync = true;
+  /// Fleet identity: this node's index into `peers` (-1 = standalone)
+  /// and the full fleet's loopback ports. Only consulted by the
+  /// ship_segment admin path ("peer" targets) and the stats cluster
+  /// block — shards hold no ring; routing lives in src/cluster.
+  std::int32_t peer_id = -1;
+  std::vector<std::uint16_t> peers;
 };
 
 class ServiceServer {
@@ -81,10 +87,17 @@ class ServiceServer {
 
   void accept_loop();
   void serve_connection(Connection* connection);
-  std::string handle_line(const std::string& line);
+  /// `socket` lets kSegmentFill consume the raw image bytes that follow
+  /// the header line on the same connection.
+  std::string handle_line(const std::string& line, Socket& socket);
   std::string handle_run(const ServiceRequest& request);
   std::string handle_campaign(const ServiceRequest& request);
   std::string handle_compact(const ServiceRequest& request);
+  std::string handle_ship(const ServiceRequest& request);
+  std::string handle_fill(const ServiceRequest& request, Socket& socket);
+  /// The live result set as one segment image: from the store when one
+  /// is attached (covers memory-evicted keys), else from the cache.
+  std::string export_image(std::int64_t* records);
   void reap_finished_locked();
 
   ServerOptions options_;
@@ -109,6 +122,10 @@ class ServiceServer {
   std::atomic<std::int64_t> responses_retry_{0};
   std::atomic<std::int64_t> responses_error_{0};
   std::atomic<std::int64_t> protocol_errors_{0};
+  std::atomic<std::int64_t> ships_sent_{0};
+  std::atomic<std::int64_t> ship_records_sent_{0};
+  std::atomic<std::int64_t> fills_received_{0};
+  std::atomic<std::int64_t> fill_records_imported_{0};
 };
 
 }  // namespace bfdn

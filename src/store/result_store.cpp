@@ -566,6 +566,129 @@ ResultStore::CompactResult ResultStore::compact(
   return result;
 }
 
+std::string ResultStore::export_live(std::int64_t* records) {
+  flush();
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Fingerprint order: the exported image is deterministic for a given
+  // live set regardless of arrival order, so tests can pin its bytes.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(index_.size());
+  for (const auto& [key, location] : index_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+
+  std::string image(store::kSegmentMagic, store::kSegmentHeaderBytes);
+  std::int64_t exported = 0;
+  for (const std::uint64_t key : keys) {
+    const auto it = index_.find(key);
+    const auto payload = read_record(it->second);
+    if (!payload.has_value()) {
+      // Checksum failed at read time — never ship bytes we would not
+      // serve ourselves.
+      ++stats_.corrupted_skipped;
+      continue;
+    }
+    store::encode_record(key, *payload, &image);
+    ++exported;
+  }
+  ++stats_.exports;
+  stats_.exported_records += exported;
+  if (records != nullptr) *records = exported;
+  return image;
+}
+
+ResultStore::ImportResult ResultStore::install_segment(
+    std::string_view image) {
+  BFDN_REQUIRE(image.size() >= store::kSegmentHeaderBytes &&
+                   std::memcmp(image.data(), store::kSegmentMagic,
+                               store::kSegmentHeaderBytes) == 0,
+               "store: shipped segment has wrong magic");
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ImportResult result;
+
+  // Write the image verbatim as the next segment file before indexing
+  // anything, so every record we admit is already durable and the file
+  // replays identically on the next boot's recovery scan.
+  const std::string path =
+      (fs::path(options_.dir) / store::segment_file_name(next_sequence_++))
+          .string();
+  Segment segment = open_segment(path, /*create=*/true);
+  pwrite_all(segment.fd, image.data() + store::kSegmentHeaderBytes,
+             image.size() - store::kSegmentHeaderBytes,
+             store::kSegmentHeaderBytes, path);
+  segment.size = image.size();
+  if (options_.sync_on_flush) {
+    ::fdatasync(segment.fd);
+  }
+
+  void* map = ::mmap(nullptr, segment.size, PROT_READ, MAP_SHARED,
+                     segment.fd, 0);
+  if (map == MAP_FAILED) fail_errno("mmap", path);
+  segment.map = static_cast<const char*>(map);
+  segment.map_bytes = segment.size;
+
+  // The same scan recovery runs at boot: checksums re-verified from the
+  // mapped file, corrupt frames skipped and counted, a torn tail
+  // truncated away.
+  const auto segment_index = static_cast<std::uint32_t>(segments_.size());
+  std::size_t offset = store::kSegmentHeaderBytes;
+  while (offset < segment.size) {
+    store::DecodedRecord record;
+    const store::RecordStatus status =
+        store::decode_record(segment.map, segment.size, offset, &record);
+    if (status == store::RecordStatus::kTorn) {
+      result.torn_truncated = 1;
+      ++stats_.import_torn;
+      ::munmap(const_cast<char*>(segment.map), segment.map_bytes);
+      if (::ftruncate(segment.fd, static_cast<off_t>(offset)) != 0) {
+        fail_errno("ftruncate", path);
+      }
+      segment.size = offset;
+      segment.map_bytes = offset;
+      void* remap = ::mmap(nullptr, segment.size, PROT_READ, MAP_SHARED,
+                           segment.fd, 0);
+      if (remap == MAP_FAILED) fail_errno("mmap", path);
+      segment.map = static_cast<const char*>(remap);
+      break;
+    }
+    if (status == store::RecordStatus::kOk) {
+      ++result.records;
+      if (index_.count(record.fingerprint) != 0 ||
+          pending_.count(record.fingerprint) != 0) {
+        // Deterministic results: the resident copy is byte-identical,
+        // keep it and leave this frame as dead weight for compaction.
+        ++result.duplicates;
+        ++stats_.import_duplicates;
+      } else {
+        Location location;
+        location.segment = segment_index;
+        location.payload_len = record.payload_len;
+        location.offset = offset;
+        index_[record.fingerprint] = location;
+        ++result.imported;
+        ++stats_.imported_records;
+      }
+    } else {
+      ++result.corrupted_skipped;
+      ++stats_.import_corrupted;
+      ++stats_.corrupted_skipped;
+    }
+    offset += record.frame_bytes;
+  }
+  segments_.push_back(segment);
+  if (options_.sync_on_flush) sync_directory();
+
+  ++stats_.imports;
+  stats_.segments = static_cast<std::int64_t>(segments_.size());
+  stats_.records = static_cast<std::int64_t>(index_.size());
+  stats_.file_bytes = 0;
+  for (const Segment& s : segments_) {
+    stats_.file_bytes += static_cast<std::int64_t>(s.size);
+  }
+  result.bytes = static_cast<std::int64_t>(segment.size);
+  return result;
+}
+
 StoreStats ResultStore::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;

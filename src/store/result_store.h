@@ -79,6 +79,14 @@ struct StoreStats {
   // Compaction.
   std::int64_t compactions = 0;
   std::int64_t compaction_dropped = 0;
+  // Cross-node segment shipping (export_live / install_segment).
+  std::int64_t exports = 0;
+  std::int64_t exported_records = 0;
+  std::int64_t imports = 0;
+  std::int64_t imported_records = 0;
+  std::int64_t import_duplicates = 0;
+  std::int64_t import_corrupted = 0;
+  std::int64_t import_torn = 0;
 };
 
 class ResultStore {
@@ -122,6 +130,30 @@ class ResultStore {
   /// fresh segments and deletes the old files. Blocks reads and writes
   /// for the duration (admin operation).
   CompactResult compact(const std::vector<std::uint64_t>& live_keys);
+
+  /// Serializes every indexed record into one self-contained segment
+  /// image (magic header + checksummed frames, fingerprint order — the
+  /// same framing a segment file carries on disk), flushing the pending
+  /// buffer first. The cross-node bulk cache-fill payload: the receiver
+  /// replays it through install_segment's recovery scan. `records`
+  /// (optional) receives the number of frames in the image.
+  std::string export_live(std::int64_t* records = nullptr);
+
+  struct ImportResult {
+    std::int64_t records = 0;    // valid frames scanned
+    std::int64_t imported = 0;   // new fingerprints added to the index
+    std::int64_t duplicates = 0; // fingerprints already present (kept)
+    std::int64_t corrupted_skipped = 0;
+    std::int64_t torn_truncated = 0;  // 1 when a torn tail was cut
+    std::int64_t bytes = 0;      // installed file size
+  };
+  /// Installs a shipped segment image as a real segment file (next
+  /// sequence number) and replays it through the same mmap scan boot
+  /// recovery uses: every checksum re-verified, corrupt records skipped
+  /// and counted, a torn tail truncated. Existing fingerprints keep
+  /// their current record (results are deterministic — the bytes would
+  /// be identical). Throws CheckError when the image's magic is wrong.
+  ImportResult install_segment(std::string_view image);
 
   StoreStats stats() const;
   const std::string& dir() const { return options_.dir; }

@@ -93,6 +93,23 @@ std::optional<std::string> Socket::recv_line() {
   return std::nullopt;
 }
 
+std::optional<std::string> Socket::recv_exact(std::size_t n) {
+  while (buffer_.size() < n) {
+    if (fd_ < 0) return std::nullopt;
+    char chunk[4096];
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return std::nullopt;  // includes EAGAIN from SO_RCVTIMEO
+    }
+    if (got == 0) return std::nullopt;  // EOF mid-payload
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+  }
+  std::string payload = buffer_.substr(0, n);
+  buffer_.erase(0, n);
+  return payload;
+}
+
 void Socket::shutdown_read() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
 }

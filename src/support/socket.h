@@ -37,6 +37,13 @@ class Socket {
   /// unterminated fragment before EOF is returned as a line.
   std::optional<std::string> recv_line();
 
+  /// Reads exactly `n` raw bytes (consuming any bytes already buffered
+  /// past the last returned line first — the segment-shipping protocol
+  /// sends a JSON header line followed by a binary payload on the same
+  /// connection). std::nullopt on EOF / connection error before `n`
+  /// bytes arrived.
+  std::optional<std::string> recv_exact(std::size_t n);
+
   /// Half-closes the read side, waking a peer blocked in recv_line.
   void shutdown_read();
 

@@ -22,6 +22,13 @@
 // segments; --require-hit-rate then gates that phase, and the hot-set
 // result hashes pinned in the cold phase cross-check determinism
 // across the restart.
+//
+// --router points the same mixes at a bfdn_route front end instead of
+// a single shard: the summary then carries a "router" block (per-shard
+// forward shares and cache hit rates, balance factor versus the ideal
+// 1/N split, replica/reroute counters) and --require-balance gates the
+// measured imbalance. --probe sends one raw request line and prints
+// the raw response — the fleet smoke's shard/ship/peer_stats probe.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -228,9 +235,31 @@ int run(int argc, const char* const* argv) {
   cli.add_string("restart-port-file", "",
                  "poll this file for the restarted server's port "
                  "(empty = reuse --port)");
+  cli.add_bool("router", false,
+               "the target is a bfdn_route front end: report per-shard "
+               "balance and hit rates in a 'router' block");
+  cli.add_double("require-balance", -1.0,
+                 "exit 1 when the busiest shard's forwarded share "
+                 "exceeds this multiple of the ideal 1/N (router mode)");
+  cli.add_string("probe", "",
+                 "send this one raw request line, print the raw "
+                 "response, exit (0 = got a response)");
   if (!cli.parse(argc, argv)) return 0;
 
   const auto port = static_cast<std::uint16_t>(cli.get_int("port"));
+
+  const std::string probe = cli.get_string("probe");
+  if (!probe.empty()) {
+    Socket socket = connect_local(port, /*recv_timeout_ms=*/30000);
+    BFDN_REQUIRE(socket.send_all(probe + "\n"), "probe send failed");
+    const auto response = socket.recv_line();
+    if (!response.has_value()) {
+      std::fprintf(stderr, "bfdn_load: no response to probe\n");
+      return 3;
+    }
+    std::printf("%s\n", response->c_str());
+    return 0;
+  }
   const auto connections = static_cast<std::int32_t>(
       std::max<std::int64_t>(1, cli.get_int("connections")));
   const std::int64_t cold_n = std::max<std::int64_t>(1,
@@ -318,7 +347,9 @@ int run(int argc, const char* const* argv) {
                               hot_hashes, rewarm_tally, &first_error);
   }
 
-  // Server-side view: cache ratios and batching counters.
+  // Server-side view: cache ratios and batching counters (single
+  // shard), or per-shard balance and hit rates (router mode).
+  const bool router_mode = cli.get_bool("router");
   double server_hit_rate = 0;
   std::int64_t server_evictions = 0;
   std::int64_t server_batched = 0;
@@ -329,6 +360,21 @@ int run(int argc, const char* const* argv) {
   std::int64_t server_store_hits = 0;
   bool have_store_stats = false;
   bool have_server_stats = false;
+
+  struct PeerReport {
+    std::int64_t peer = 0;
+    std::int64_t port = 0;
+    std::int64_t forwarded = 0;
+    double hit_rate = 0;
+    bool reachable = false;
+  };
+  std::vector<PeerReport> peer_reports;
+  double balance = 0;
+  std::int64_t replica_routed = 0;
+  std::int64_t reroutes = 0;
+  std::int64_t hot_keys = 0;
+  bool have_router_stats = false;
+
   try {
     ServiceClient client(final_port);
     const JsonValue response = client.stats();
@@ -350,10 +396,51 @@ int run(int argc, const char* const* argv) {
             stats.at("store").get_int("recovered_records", 0);
         have_store_stats = true;
       }
-      have_server_stats = true;
+      if (router_mode && stats.has("routing") && stats.has("cluster")) {
+        replica_routed = stats.at("routing").get_int("replica_routed", 0);
+        reroutes = stats.at("routing").get_int("reroutes", 0);
+        hot_keys = stats.at("routing").get_int("hot_keys", 0);
+        const JsonValue& peers = stats.at("cluster").at("peers");
+        std::int64_t total_forwarded = 0;
+        std::int64_t max_forwarded = 0;
+        for (std::size_t i = 0; i < peers.size(); ++i) {
+          PeerReport report;
+          report.peer = peers.at(i).get_int("peer", 0);
+          report.port = peers.at(i).get_int("port", 0);
+          report.forwarded = peers.at(i).get_int("forwarded", 0);
+          total_forwarded += report.forwarded;
+          max_forwarded = std::max(max_forwarded, report.forwarded);
+          peer_reports.push_back(report);
+        }
+        if (!peer_reports.empty() && total_forwarded > 0) {
+          // Busiest shard's share versus the ideal 1/N split; 1.0 is a
+          // perfectly even fleet.
+          balance = static_cast<double>(max_forwarded) *
+                    static_cast<double>(peer_reports.size()) /
+                    static_cast<double>(total_forwarded);
+        }
+        // Per-shard cache view via the router's stats fan-out.
+        const JsonValue fleet = client.call("{\"type\":\"peer_stats\"}");
+        if (fleet.has("peers")) {
+          const JsonValue& entries = fleet.at("peers");
+          for (std::size_t i = 0;
+               i < entries.size() && i < peer_reports.size(); ++i) {
+            const JsonValue& entry = entries.at(i);
+            if (entry.has("stats") && entry.at("stats").is_object() &&
+                entry.at("stats").has("cache")) {
+              peer_reports[i].hit_rate =
+                  entry.at("stats").at("cache").get_double("hit_rate", 0);
+              peer_reports[i].reachable = true;
+            }
+          }
+        }
+        have_router_stats = true;
+      }
+      have_server_stats = !router_mode;
     }
   } catch (const CheckError&) {
     have_server_stats = false;
+    have_router_stats = false;
   }
 
   const double cold_rps =
@@ -428,6 +515,25 @@ int run(int argc, const char* const* argv) {
     }
     w.end_object();
   }
+  if (have_router_stats) {
+    w.key("router").begin_object();
+    w.kv("shards", static_cast<std::int64_t>(peer_reports.size()));
+    w.kv("balance", balance, 3);
+    w.kv("replica_routed", replica_routed);
+    w.kv("reroutes", reroutes);
+    w.kv("hot_keys", hot_keys);
+    w.key("per_shard").begin_array();
+    for (const PeerReport& report : peer_reports) {
+      w.begin_object();
+      w.kv("peer", report.peer);
+      w.kv("port", report.port);
+      w.kv("forwarded", report.forwarded);
+      if (report.reachable) w.kv("hit_rate", report.hit_rate, 4);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
   w.end_object();
   std::printf("%s\n", w.str().c_str());
 
@@ -444,6 +550,22 @@ int run(int argc, const char* const* argv) {
                  "bfdn_load: %s hit rate %.4f below required %.4f\n",
                  restart_phase ? "rewarm" : "warm", gated_rate, required);
     return 1;
+  }
+  const double required_balance = cli.get_double("require-balance");
+  if (required_balance >= 0) {
+    if (!have_router_stats) {
+      std::fprintf(stderr,
+                   "bfdn_load: --require-balance needs --router and a "
+                   "reachable router\n");
+      return 1;
+    }
+    if (balance > required_balance) {
+      std::fprintf(stderr,
+                   "bfdn_load: shard balance %.3f exceeds required "
+                   "%.3f (busiest shard's share vs ideal 1/N)\n",
+                   balance, required_balance);
+      return 1;
+    }
   }
   return 0;
 }

@@ -11,15 +11,22 @@
 // store (src/store): a restart over the same directory recovers every
 // persisted result and serves it byte-identical without recomputing.
 //
+// As a member of a sharded fleet (behind bfdn_route), --peers names
+// every shard's port and --peer-id this shard's index into that list;
+// both only feed the ship_segment admin path and the stats cluster
+// block — shards hold no ring and accept any request routed to them.
+//
 //   bfdn_serve --port=7431 --threads=8 --queue=64 --cache=1024
 //   bfdn_serve --port=0 --port-file=serve.port   # ephemeral port
 //   bfdn_serve --store-dir=/var/bfdn/store --store-segment-mb=64
+//   bfdn_serve --port=7431 --peer-id=0 --peers=7431,7432
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <thread>
 
+#include "cluster/peers.h"
 #include "service/server.h"
 #include "support/check.h"
 #include "support/cli.h"
@@ -52,6 +59,10 @@ int run(int argc, const char* const* argv) {
               "store group-commit age trigger in milliseconds");
   cli.add_bool("no-store", false,
                "ignore --store-dir and run memory-only");
+  cli.add_string("peers", "",
+                 "fleet port list 'p0,p1,...' (empty = standalone)");
+  cli.add_int("peer-id", -1,
+              "this shard's index into --peers");
   if (!cli.parse(argc, argv)) return 0;
 
   ServerOptions options;
@@ -71,6 +82,20 @@ int run(int argc, const char* const* argv) {
       static_cast<std::size_t>(cli.get_int("store-segment-mb")) << 20;
   options.store_flush_ms =
       static_cast<std::int32_t>(cli.get_int("store-flush-ms"));
+  const std::string peers_spec = cli.get_string("peers");
+  if (!peers_spec.empty()) {
+    options.peers = parse_peer_ports(peers_spec);
+    options.peer_id = static_cast<std::int32_t>(cli.get_int("peer-id"));
+    BFDN_REQUIRE(options.peer_id >= 0 &&
+                     options.peer_id < static_cast<std::int32_t>(
+                                           options.peers.size()),
+                 "--peer-id must index into --peers");
+    BFDN_REQUIRE(options.port ==
+                     options.peers[static_cast<std::size_t>(
+                         options.peer_id)],
+                 "--port must equal --peers[--peer-id] "
+                 "(peer identity is the port)");
+  }
 
   ServiceServer server(options);
   server.start();
