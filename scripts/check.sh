@@ -4,11 +4,15 @@
 #
 #   lint      bfdn_lint over src/ and tools/ — layering back-edges,
 #             determinism bans, unordered-container iteration in hashed
-#             paths, trace-format drift (rules: scripts/lint_rules.json,
-#             rationale: docs/LINT.md)
+#             paths, trace-format drift, lock discipline (acquisition
+#             order, annotation coverage, cv misuse) (rules:
+#             scripts/lint_rules.json, rationale: docs/LINT.md)
 #   tier-1    Release build + full ctest
 #   tidy      clang-tidy baseline (skipped with a notice when the binary
 #             is not installed — CI installs it)
+#   tsa       clang -Werror=thread-safety compile of the whole tree,
+#             proving the BFDN_GUARDED_BY/BFDN_REQUIRES contracts
+#             (skipped with a notice when clang++ is not installed)
 #   asan      ASan/UBSan rebuild + full ctest
 #   tsan      ThreadSanitizer build of the concurrent service tier;
 #             scheduler_stress_test, service_test, store_test,
@@ -26,15 +30,29 @@
 #             answer retry
 #
 # Fast paths: `check.sh --lint-only` runs just lint + tidy (seconds, for
-# pre-commit); `check.sh --tsan-only` runs just the tsan stage.
+# pre-commit); `check.sh --tsan-only` runs just the tsan stage;
+# `check.sh --locks-only` runs just the lock-discipline rules plus the
+# clang thread-safety compile. `--require-tools` turns the
+# skip-with-notice stages (tidy, tsa) into hard failures when their
+# toolchain is missing — CI sets it so a broken clang install cannot
+# silently green the gates.
 set -eu
 cd "$(dirname "$0")/.."
 
+REQUIRE_TOOLS=0
+
 lint_stage() {
-  echo "== lint: layering, determinism, trace-format (bfdn_lint) =="
+  echo "== lint: layering, determinism, trace-format, locks (bfdn_lint) =="
   cmake --preset release > /dev/null
   cmake --build build -j --target bfdn_lint > /dev/null
   ./build/tools/bfdn_lint --root=.
+}
+
+locks_lint_stage() {
+  echo "== lint: lock discipline only (bfdn_lint --only=locks) =="
+  cmake --preset release > /dev/null
+  cmake --build build -j --target bfdn_lint > /dev/null
+  ./build/tools/bfdn_lint --root=. --only=locks
 }
 
 tidy_stage() {
@@ -42,8 +60,25 @@ tidy_stage() {
     echo "== tidy: clang-tidy baseline over src/ and tools/ =="
     find src tools -name '*.cpp' -print0 | xargs -0 -n 8 -P "$(nproc)" \
       clang-tidy -p build --quiet --warnings-as-errors='*'
+  elif [ "$REQUIRE_TOOLS" -eq 1 ]; then
+    echo "== tidy: clang-tidy not installed and --require-tools set ==" >&2
+    exit 1
   else
     echo "== tidy: clang-tidy not installed; skipping (CI runs it) =="
+  fi
+}
+
+tsa_stage() {
+  if command -v clang++ > /dev/null 2>&1; then
+    echo "== tsa: clang -Werror=thread-safety compile of the tree =="
+    cmake --preset tsa > /dev/null
+    cmake --build --preset tsa -j > /dev/null
+    echo "tsa: thread-safety contracts hold."
+  elif [ "$REQUIRE_TOOLS" -eq 1 ]; then
+    echo "== tsa: clang++ not installed and --require-tools set ==" >&2
+    exit 1
+  else
+    echo "== tsa: clang++ not installed; skipping (CI runs it) =="
   fi
 }
 
@@ -58,22 +93,37 @@ tsan_stage() {
   ./build-tsan/tests/support_test
 }
 
-case "${1:-}" in
-  --lint-only)
+MODE=all
+for arg in "$@"; do
+  case "$arg" in
+    --require-tools) REQUIRE_TOOLS=1 ;;
+    --lint-only) MODE=lint ;;
+    --tsan-only) MODE=tsan ;;
+    --locks-only) MODE=locks ;;
+    *)
+      echo "usage: scripts/check.sh [--lint-only | --tsan-only | --locks-only] [--require-tools]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+case "$MODE" in
+  lint)
     lint_stage
     tidy_stage
     echo "check.sh: lint gates passed."
     exit 0
     ;;
-  --tsan-only)
+  tsan)
     tsan_stage
     echo "check.sh: tsan gate passed."
     exit 0
     ;;
-  "") ;;
-  *)
-    echo "usage: scripts/check.sh [--lint-only | --tsan-only]" >&2
-    exit 2
+  locks)
+    locks_lint_stage
+    tsa_stage
+    echo "check.sh: lock-discipline gates passed."
+    exit 0
     ;;
 esac
 
@@ -85,6 +135,8 @@ cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 tidy_stage
+
+tsa_stage
 
 echo "== sanitized: ASan/UBSan build + full ctest =="
 cmake --preset asan

@@ -26,7 +26,7 @@ std::optional<std::string> PeerPool::exchange(Peer& peer,
                                               const std::string& line) {
   Socket socket;
   {
-    std::lock_guard<std::mutex> lock(peer.mutex);
+    MutexLock lock(peer.mutex);
     if (!peer.idle.empty()) {
       socket = std::move(peer.idle.back());
       peer.idle.pop_back();
@@ -46,7 +46,7 @@ std::optional<std::string> PeerPool::exchange(Peer& peer,
     if (socket.send_all(line + "\n")) {
       auto response = socket.recv_line();
       if (response.has_value()) {
-        std::lock_guard<std::mutex> lock(peer.mutex);
+        MutexLock lock(peer.mutex);
         peer.idle.push_back(std::move(socket));
         return response;
       }
@@ -73,7 +73,7 @@ std::optional<std::string> PeerPool::forward(std::int32_t peer,
 
 void PeerPool::close_all() {
   for (const auto& peer : peers_) {
-    std::lock_guard<std::mutex> lock(peer->mutex);
+    MutexLock lock(peer->mutex);
     peer->idle.clear();
   }
 }

@@ -14,12 +14,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "support/socket.h"
+#include "support/thread_annotations.h"
 
 namespace bfdn {
 
@@ -54,8 +54,8 @@ class PeerPool {
  private:
   struct Peer {
     std::uint16_t port = 0;
-    std::mutex mutex;
-    std::vector<Socket> idle;
+    Mutex mutex;
+    std::vector<Socket> idle BFDN_GUARDED_BY(mutex);
     std::atomic<std::int64_t> forwarded{0};
     std::atomic<std::int64_t> errors{0};
     std::atomic<std::int64_t> reconnects{0};

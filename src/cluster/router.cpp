@@ -83,7 +83,7 @@ void RouterServer::accept_loop() {
   while (!draining_) {
     auto socket = listener_.accept(/*timeout_ms=*/50);
     if (!socket.has_value()) continue;
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    MutexLock lock(connections_mutex_);
     reap_finished_locked();
     auto connection = std::make_unique<Connection>();
     connection->socket = std::move(*socket);
@@ -118,7 +118,7 @@ void RouterServer::serve_connection(Connection* connection) {
 }
 
 bool RouterServer::record_hit(std::uint64_t key) {
-  std::lock_guard<std::mutex> lock(hot_mutex_);
+  MutexLock lock(hot_mutex_);
   const auto it = hot_index_.find(key);
   if (it != hot_index_.end()) {
     ++it->second->second;
@@ -234,7 +234,7 @@ std::string RouterServer::handle_campaign(const ServiceRequest& request) {
     lines[i] = serialize_request(members[i]);
   }
   std::vector<std::optional<std::string>> replies(members.size());
-  std::mutex done_mutex;
+  Mutex done_mutex;
   std::condition_variable done_cv;
   std::size_t remaining = members.size();
   for (std::size_t i = 0; i < members.size(); ++i) {
@@ -257,13 +257,13 @@ std::string RouterServer::handle_campaign(const ServiceRequest& request) {
         }
         ++peer_unreachable_;
       }
-      std::lock_guard<std::mutex> lock(done_mutex);
+      MutexLock lock(done_mutex);
       if (--remaining == 0) done_cv.notify_all();
     });
   }
   {
-    std::unique_lock<std::mutex> lock(done_mutex);
-    done_cv.wait(lock, [&remaining] { return remaining == 0; });
+    MutexLock lock(done_mutex);
+    done_cv.wait(lock.native(), [&remaining] { return remaining == 0; });
   }
 
   // Reassemble in expansion order — the same order the solo campaign
@@ -302,7 +302,7 @@ std::string RouterServer::handle_shard(const ServiceRequest& request) {
   bool hot = false;
   {
     // Introspection must not heat the key: read the count, don't bump.
-    std::lock_guard<std::mutex> lock(hot_mutex_);
+    MutexLock lock(hot_mutex_);
     const auto it = hot_index_.find(key);
     hot = it != hot_index_.end() &&
           it->second->second >= options_.hot_threshold;
@@ -402,13 +402,13 @@ std::string RouterServer::handle_ship(const ServiceRequest& request) {
 }
 
 void RouterServer::drain() {
-  std::lock_guard<std::mutex> drain_lock(drain_mutex_);
+  MutexLock drain_lock(drain_mutex_);
   if (drained_) return;
   draining_ = true;
   if (accept_thread_.joinable()) accept_thread_.join();
   listener_.close();
   {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    MutexLock lock(connections_mutex_);
     for (const auto& connection : connections_) {
       connection->socket.shutdown_read();
     }
@@ -429,7 +429,7 @@ std::string RouterServer::stats_json() const {
   std::int64_t hot_tracked = 0;
   std::int64_t hot_keys = 0;
   {
-    std::lock_guard<std::mutex> lock(hot_mutex_);
+    MutexLock lock(hot_mutex_);
     hot_tracked = static_cast<std::int64_t>(hot_lru_.size());
     for (const auto& [key, count] : hot_lru_) {
       if (count >= options_.hot_threshold) ++hot_keys;

@@ -27,7 +27,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -38,6 +37,7 @@
 #include "cluster/ring.h"
 #include "service/protocol.h"
 #include "support/socket.h"
+#include "support/thread_annotations.h"
 #include "support/thread_pool.h"
 
 namespace bfdn {
@@ -77,11 +77,11 @@ class RouterServer {
 
   /// Graceful drain: stop accepting, finish in-flight forwards, release
   /// client connections and pooled shard connections. Idempotent.
-  void drain();
+  void drain() BFDN_EXCLUDES(drain_mutex_, connections_mutex_);
 
   /// The router's stats object: request counters, routing counters, and
   /// the cluster block (per-peer forward/replica/ship counters).
-  std::string stats_json() const;
+  std::string stats_json() const BFDN_EXCLUDES(hot_mutex_);
 
  private:
   struct Connection {
@@ -90,19 +90,20 @@ class RouterServer {
     std::atomic<bool> finished{false};
   };
 
-  void accept_loop();
+  void accept_loop() BFDN_EXCLUDES(connections_mutex_);
   void serve_connection(Connection* connection);
   std::string handle_line(const std::string& line);
   std::string handle_run(const ServiceRequest& request,
                          const std::string& line);
   std::string handle_campaign(const ServiceRequest& request);
-  std::string handle_shard(const ServiceRequest& request);
+  std::string handle_shard(const ServiceRequest& request)
+      BFDN_EXCLUDES(hot_mutex_);
   std::string handle_peer_stats(const ServiceRequest& request);
   std::string handle_ship(const ServiceRequest& request);
-  void reap_finished_locked();
+  void reap_finished_locked() BFDN_REQUIRES(connections_mutex_);
 
   /// Bumps the key's frequency and returns whether it is hot now.
-  bool record_hit(std::uint64_t key);
+  bool record_hit(std::uint64_t key) BFDN_EXCLUDES(hot_mutex_);
   /// Hot-aware owner list: one owner for cold keys, `replicas` distinct
   /// owners for hot ones. Does not bump the frequency.
   std::vector<std::int32_t> route(std::uint64_t key, bool hot) const;
@@ -115,18 +116,23 @@ class RouterServer {
   ListenSocket listener_;
 
   std::thread accept_thread_;
-  std::mutex connections_mutex_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  Mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_
+      BFDN_GUARDED_BY(connections_mutex_);
 
   std::atomic<bool> draining_{false};
-  std::atomic<bool> drained_{false};
-  std::mutex drain_mutex_;
+  // Serialized by drain_mutex_ (same shape as ServiceServer: the
+  // acquisition order drain_mutex_ -> connections_mutex_ is an edge in
+  // the lock-order graph).
+  Mutex drain_mutex_;
+  bool drained_ BFDN_GUARDED_BY(drain_mutex_) = false;
 
   // Hot-key frequency tracker (LRU over tracked keys).
-  mutable std::mutex hot_mutex_;
-  std::list<std::pair<std::uint64_t, std::int64_t>> hot_lru_;
+  mutable Mutex hot_mutex_;
+  std::list<std::pair<std::uint64_t, std::int64_t>> hot_lru_
+      BFDN_GUARDED_BY(hot_mutex_);
   std::unordered_map<std::uint64_t, decltype(hot_lru_)::iterator>
-      hot_index_;
+      hot_index_ BFDN_GUARDED_BY(hot_mutex_);
   std::atomic<std::uint64_t> replica_rr_{0};
 
   std::chrono::steady_clock::time_point started_at_;

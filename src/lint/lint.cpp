@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <cctype>
 #include <filesystem>
-#include <fstream>
 #include <map>
 #include <set>
-#include <sstream>
 #include <utility>
 
+#include "lint/locks.h"
+#include "lint/source_model.h"
 #include "support/check.h"
 #include "support/json.h"
 #include "support/strings.h"
@@ -18,195 +18,6 @@ namespace lint {
 namespace {
 
 namespace fs = std::filesystem;
-
-// ---------------------------------------------------------------------------
-// Source text handling
-// ---------------------------------------------------------------------------
-
-std::string read_file(const fs::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  BFDN_REQUIRE(in.good(), "lint: cannot read " + path.string());
-  std::ostringstream out;
-  out << in.rdbuf();
-  return out.str();
-}
-
-struct StrippedText {
-  std::string no_comments;  // comments blanked, string literals kept
-  std::string no_strings;   // string/char literals blanked, comments kept
-  std::string code_only;    // comments and string/char literals blanked
-};
-
-/// Single-pass state machine. Blanked characters become spaces so every
-/// byte keeps its (line, column) position; newlines survive verbatim.
-StrippedText strip_source(const std::string& text) {
-  enum class State {
-    kCode, kLineComment, kBlockComment, kString, kChar,
-  };
-  StrippedText out;
-  out.no_comments = text;
-  out.no_strings = text;
-  out.code_only = text;
-  const auto blank_comment = [&](std::size_t i) {
-    out.no_comments[i] = out.code_only[i] = ' ';
-  };
-  const auto blank_string = [&](std::size_t i) {
-    out.no_strings[i] = out.code_only[i] = ' ';
-  };
-  State state = State::kCode;
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          blank_comment(i);
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          blank_comment(i);
-        } else if (c == '"') {
-          state = State::kString;
-          blank_string(i);
-        } else if (c == '\'') {
-          state = State::kChar;
-          blank_string(i);
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          blank_comment(i);
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          blank_comment(i);
-          blank_comment(i + 1);
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          blank_comment(i);
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && next != '\0') {
-          blank_string(i);
-          if (next != '\n') blank_string(i + 1);
-          ++i;
-        } else if (c == '"' || c == '\n') {
-          state = State::kCode;
-          if (c == '"') blank_string(i);
-        } else {
-          blank_string(i);
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && next != '\0') {
-          blank_string(i);
-          if (next != '\n') blank_string(i + 1);
-          ++i;
-        } else if (c == '\'' || c == '\n') {
-          state = State::kCode;
-          if (c == '\'') blank_string(i);
-        } else {
-          blank_string(i);
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-struct Token {
-  std::string text;
-  std::int32_t line = 0;
-};
-
-bool is_ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// Identifiers and numbers stay whole; "::" and "->" are single tokens
-/// (so a lone ':' unambiguously marks a range-for); every other
-/// non-space character is its own token.
-std::vector<Token> tokenize(const std::string& code) {
-  std::vector<Token> tokens;
-  std::int32_t line = 1;
-  for (std::size_t i = 0; i < code.size();) {
-    const char c = code[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
-      ++i;
-      continue;
-    }
-    if (is_ident_start(c)) {
-      std::size_t j = i + 1;
-      while (j < code.size() && is_ident_char(code[j])) ++j;
-      tokens.push_back({code.substr(i, j - i), line});
-      i = j;
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
-      std::size_t j = i + 1;
-      while (j < code.size() &&
-             (is_ident_char(code[j]) || code[j] == '.')) {
-        ++j;
-      }
-      tokens.push_back({code.substr(i, j - i), line});
-      i = j;
-      continue;
-    }
-    if (c == ':' && i + 1 < code.size() && code[i + 1] == ':') {
-      tokens.push_back({"::", line});
-      i += 2;
-      continue;
-    }
-    if (c == '-' && i + 1 < code.size() && code[i + 1] == '>') {
-      tokens.push_back({"->", line});
-      i += 2;
-      continue;
-    }
-    tokens.push_back({std::string(1, c), line});
-    ++i;
-  }
-  return tokens;
-}
-
-std::vector<std::string> split_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string current;
-  for (const char c : text) {
-    if (c == '\n') {
-      lines.push_back(current);
-      current.clear();
-    } else {
-      current.push_back(c);
-    }
-  }
-  lines.push_back(current);
-  return lines;
-}
-
-bool starts_with(const std::string& text, const std::string& prefix) {
-  return text.rfind(prefix, 0) == 0;
-}
-
-bool path_allowed(const std::string& rel,
-                  const std::vector<std::string>& prefixes) {
-  for (const auto& prefix : prefixes) {
-    if (starts_with(rel, prefix)) return true;
-  }
-  return false;
-}
 
 std::uint64_t fnv1a(std::uint64_t hash, const std::string& text) {
   for (const char c : text) {
@@ -219,136 +30,6 @@ std::uint64_t fnv1a(std::uint64_t hash, const std::string& text) {
   return hash;
 }
 constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
-
-// ---------------------------------------------------------------------------
-// Per-file parsed form
-// ---------------------------------------------------------------------------
-
-struct IncludeEdge {
-  std::string target;  // quoted include path as written
-  std::int32_t line = 0;
-};
-
-struct SourceFile {
-  std::string rel;  // forward-slash path relative to the lint root
-  /// Lines with string literals blanked (comments kept): NOLINT markers
-  /// live in comments, but a literal spelling "NOLINT" (e.g. in the
-  /// linter's own sources) must not look like a suppression.
-  std::vector<std::string> nolint_lines;
-  std::vector<Token> tokens;  // comments and literals stripped
-  std::vector<IncludeEdge> includes;
-};
-
-SourceFile parse_file(const fs::path& full, std::string rel) {
-  SourceFile file;
-  file.rel = std::move(rel);
-  const std::string text = read_file(full);
-  const StrippedText stripped = strip_source(text);
-  file.nolint_lines = split_lines(stripped.no_strings);
-  file.tokens = tokenize(stripped.code_only);
-
-  const std::vector<std::string> lines =
-      split_lines(stripped.no_comments);
-  for (std::size_t n = 0; n < lines.size(); ++n) {
-    const std::string& line = lines[n];
-    std::size_t i = line.find_first_not_of(" \t");
-    if (i == std::string::npos || line[i] != '#') continue;
-    i = line.find_first_not_of(" \t", i + 1);
-    if (i == std::string::npos || line.compare(i, 7, "include") != 0) {
-      continue;
-    }
-    const std::size_t open = line.find('"', i + 7);
-    if (open == std::string::npos) continue;  // <system> include
-    const std::size_t close = line.find('"', open + 1);
-    if (close == std::string::npos) continue;
-    file.includes.push_back({line.substr(open + 1, close - open - 1),
-                             static_cast<std::int32_t>(n + 1)});
-  }
-  return file;
-}
-
-// ---------------------------------------------------------------------------
-// Inline suppressions
-// ---------------------------------------------------------------------------
-
-struct FileSuppressions {
-  /// line -> set of check names suppressed on that line.
-  std::map<std::int32_t, std::set<std::string>> by_line;
-};
-
-/// Parses "// NOLINT(<check>): <reason>" and NOLINTNEXTLINE variants.
-/// Malformed markers (missing check list or missing reason) become
-/// findings; well-formed ones are recorded in both outputs. A marker
-/// must *start* its line comment — prose mentioning the keyword
-/// mid-comment is ignored.
-void scan_nolint(const SourceFile& file, FileSuppressions& suppressions,
-                 Report& report) {
-  for (std::size_t n = 0; n < file.nolint_lines.size(); ++n) {
-    const std::string& line = file.nolint_lines[n];
-    const std::size_t slashes = line.find("//");
-    if (slashes == std::string::npos) continue;
-    std::size_t at = slashes;
-    while (at < line.size() && line[at] == '/') ++at;
-    while (at < line.size() &&
-           std::isspace(static_cast<unsigned char>(line[at])) != 0) {
-      ++at;
-    }
-    if (line.compare(at, 6, "NOLINT") != 0) continue;
-    const auto line_no = static_cast<std::int32_t>(n + 1);
-    std::size_t i = at + 6;
-    std::int32_t target_line = line_no;
-    if (line.compare(i, 8, "NEXTLINE") == 0) {
-      i += 8;
-      target_line = line_no + 1;
-    }
-    const auto malformed = [&](const std::string& detail) {
-      report.findings.push_back(
-          {file.rel, line_no, "nolint-format",
-           "suppression must be written '// NOLINT(<check>): <reason>' "
-           "(" + detail + ")"});
-    };
-    if (i >= line.size() || line[i] != '(') {
-      malformed("missing (<check>)");
-      continue;
-    }
-    const std::size_t close = line.find(')', i);
-    if (close == std::string::npos) {
-      malformed("unterminated check list");
-      continue;
-    }
-    const std::string checks = line.substr(i + 1, close - i - 1);
-    std::size_t j = close + 1;
-    if (j >= line.size() || line[j] != ':') {
-      malformed("missing ': <reason>' after the check list");
-      continue;
-    }
-    ++j;
-    while (j < line.size() &&
-           std::isspace(static_cast<unsigned char>(line[j])) != 0) {
-      ++j;
-    }
-    const std::string reason = line.substr(j);
-    if (checks.empty() || reason.empty()) {
-      malformed(checks.empty() ? "empty check list" : "empty reason");
-      continue;
-    }
-    for (const std::string& check : split(checks, ',')) {
-      std::string name = check;
-      name.erase(0, name.find_first_not_of(" \t"));
-      name.erase(name.find_last_not_of(" \t") + 1);
-      if (name.empty()) continue;
-      suppressions.by_line[target_line].insert(name);
-      report.suppressions.push_back({file.rel, line_no, name, reason});
-    }
-  }
-}
-
-bool suppressed(const FileSuppressions& suppressions, std::int32_t line,
-                const std::string& rule) {
-  const auto it = suppressions.by_line.find(line);
-  if (it == suppressions.by_line.end()) return false;
-  return it->second.count(rule) > 0 || it->second.count("*") > 0;
-}
 
 // ---------------------------------------------------------------------------
 // Layering
@@ -681,6 +362,24 @@ Config load_config(const std::string& path) {
     config.trace.version = trace.get_string("version", "");
     config.trace.fingerprint = trace.get_uint("fingerprint", 0);
   }
+  if (doc.has("locks")) {
+    const JsonValue& locks = doc.at("locks");
+    config.locks.enabled = true;
+    config.locks.mutex_types =
+        locks.has("mutex_types") ? string_array(locks.at("mutex_types"))
+                                 : std::vector<std::string>{
+                                       "Mutex", "mutex", "timed_mutex",
+                                       "recursive_mutex", "shared_mutex"};
+    config.locks.lock_types =
+        locks.has("lock_types")
+            ? string_array(locks.at("lock_types"))
+            : std::vector<std::string>{"MutexLock", "lock_guard",
+                                       "unique_lock", "scoped_lock",
+                                       "shared_lock"};
+    if (locks.has("exempt")) {
+      config.locks.exempt = string_array(locks.at("exempt"));
+    }
+  }
   return config;
 }
 
@@ -715,6 +414,19 @@ std::string config_to_json(const Config& config) {
   w.key("hashed_paths").begin_array();
   for (const auto& prefix : config.hashed_paths) w.value(prefix);
   w.end_array();
+  if (config.locks.enabled) {
+    w.key("locks").begin_object();
+    w.key("mutex_types").begin_array();
+    for (const auto& name : config.locks.mutex_types) w.value(name);
+    w.end_array();
+    w.key("lock_types").begin_array();
+    for (const auto& name : config.locks.lock_types) w.value(name);
+    w.end_array();
+    w.key("exempt").begin_array();
+    for (const auto& prefix : config.locks.exempt) w.value(prefix);
+    w.end_array();
+    w.end_object();
+  }
   w.key("trace").begin_object();
   w.key("files").begin_array();
   for (const auto& file : config.trace.files) w.value(file);
@@ -782,7 +494,7 @@ Report run_lint(const std::string& root, const Config& config) {
   const LayerMap layers(config.layers);
 
   // Deterministic scan order: collect, then sort by relative path.
-  std::vector<std::pair<std::string, fs::path>> files;
+  std::vector<std::pair<std::string, fs::path>> paths;
   for (const std::string& scan_root : config.scan_roots) {
     const fs::path base = fs::path(root) / scan_root;
     BFDN_REQUIRE(fs::is_directory(base),
@@ -793,27 +505,37 @@ Report run_lint(const std::string& root, const Config& config) {
       if (ext != ".h" && ext != ".hpp" && ext != ".cpp" && ext != ".cc") {
         continue;
       }
-      files.emplace_back(
+      paths.emplace_back(
           entry.path().lexically_relative(root).generic_string(),
           entry.path());
     }
   }
-  std::sort(files.begin(), files.end());
+  std::sort(paths.begin(), paths.end());
 
-  for (const auto& [rel, full] : files) {
-    const SourceFile file = parse_file(full, rel);
+  // Parse everything up front: the per-file rules walk one file at a
+  // time, but the locks family needs the whole repo's declarations to
+  // qualify mutex nodes and pair condition variables across TUs.
+  std::vector<SourceFile> files;
+  std::vector<FileSuppressions> suppressions(paths.size());
+  files.reserve(paths.size());
+  for (const auto& [rel, full] : paths) {
+    files.push_back(parse_file(full, rel));
+  }
+
+  for (std::size_t n = 0; n < files.size(); ++n) {
+    const SourceFile& file = files[n];
     ++report.files_scanned;
 
-    FileSuppressions suppressions;
-    scan_nolint(file, suppressions, report);
-    check_layering(file, layers, suppressions, report);
-    check_banned(file, config.banned, suppressions, report);
+    scan_nolint(file, suppressions[n], report);
+    check_layering(file, layers, suppressions[n], report);
+    check_banned(file, config.banned, suppressions[n], report);
 
-    if (path_allowed(rel, config.hashed_paths)) {
+    if (path_allowed(file.rel, config.hashed_paths)) {
       std::set<std::string> vars;
       std::set<std::string> aliases;
       // Members declared in the sibling header are iterated from the
       // .cpp, so harvest its declarations first.
+      const fs::path& full = paths[n].second;
       const std::string ext = full.extension().string();
       if (ext == ".cpp" || ext == ".cc") {
         fs::path header = full;
@@ -825,9 +547,13 @@ Report run_lint(const std::string& root, const Config& config) {
         }
       }
       harvest_unordered_names(file.tokens, vars, aliases);
-      check_unordered_iteration(file, vars, aliases, suppressions,
+      check_unordered_iteration(file, vars, aliases, suppressions[n],
                                 report);
     }
+  }
+
+  if (config.locks.enabled) {
+    check_locks(files, suppressions, config.locks, report);
   }
 
   check_trace_rule(root, config, report);

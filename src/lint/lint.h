@@ -22,6 +22,13 @@
 //   nolint-format        suppressions must carry a check name and a
 //                        reason: "// NOLINT(<check>): <reason>". Well-
 //                        formed suppressions are counted and reported.
+//   locks                lock-discipline family (src/lint/locks.h):
+//                        repo-wide lock-acquisition-order cycles
+//                        (lock-order), unannotated mutex members
+//                        (lock-annotation), condition-variable notifies
+//                        without the paired mutex held
+//                        (cv-notify-unlocked) and waits without a
+//                        predicate (cv-wait-no-predicate).
 //
 // Analysis is token-level (comments and string literals stripped), not
 // a full parse: simple, fast, zero dependencies beyond support/, and
@@ -87,6 +94,19 @@ struct TraceRule {
   std::uint64_t fingerprint = 0;     // recorded token fingerprint
 };
 
+/// Lock-discipline family configuration. Presence of a "locks" object
+/// in the rules JSON enables the family; the type lists default to the
+/// std + support/thread_annotations.h vocabulary when omitted.
+struct LocksConfig {
+  bool enabled = false;
+  /// Unqualified type names treated as mutexes when declaring members.
+  std::vector<std::string> mutex_types;
+  /// Unqualified RAII guard type names whose declarations acquire.
+  std::vector<std::string> lock_types;
+  /// Path prefixes exempt from the family (scanned but not analyzed).
+  std::vector<std::string> exempt;
+};
+
 struct Config {
   /// Layer bands in dependency order (rank 0 = bottom). A quoted
   /// include from band r into band r' is legal iff r' < r or both files
@@ -100,6 +120,7 @@ struct Config {
   /// hashing; the unordered-iteration rule applies inside these.
   std::vector<std::string> hashed_paths;
   TraceRule trace;
+  LocksConfig locks;
 };
 
 /// Loads the JSON rules file; throws CheckError on malformed input.

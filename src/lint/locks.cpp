@@ -1,0 +1,682 @@
+#include "lint/locks.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "support/strings.h"
+
+namespace bfdn {
+namespace lint {
+namespace {
+
+// Thread-annotation macros (support/thread_annotations.h) whose argument
+// identifiers count as coverage for a mutex member.
+const std::set<std::string>& annotation_macros() {
+  static const std::set<std::string> kMacros = {
+      "BFDN_GUARDED_BY",    "BFDN_PT_GUARDED_BY",
+      "BFDN_REQUIRES",      "BFDN_ACQUIRE",
+      "BFDN_RELEASE",       "BFDN_TRY_ACQUIRE",
+      "BFDN_EXCLUDES",      "BFDN_ASSERT_CAPABILITY",
+      "BFDN_ACQUIRED_BEFORE", "BFDN_ACQUIRED_AFTER"};
+  return kMacros;
+}
+
+const std::set<std::string>& cv_type_names() {
+  static const std::set<std::string> kTypes = {"condition_variable",
+                                               "condition_variable_any"};
+  return kTypes;
+}
+
+// ---------------------------------------------------------------------------
+// Scope precomputation: which class body / out-of-line member definition
+// contains each token. This is what lets a bare `mutex_` acquired in
+// `Scheduler::Job::wait()` resolve to the node "Job::mutex_".
+// ---------------------------------------------------------------------------
+
+struct ScopeInfo {
+  /// Innermost class/struct whose body contains token i ("" if none).
+  std::vector<std::string> cls;
+  /// Token i sits directly in a class body (member-declaration position,
+  /// not inside a nested method body).
+  std::vector<bool> direct;
+  /// Class qualifier of the enclosing out-of-line member definition.
+  std::vector<std::string> func_cls;
+};
+
+bool is_ident_token(const Token& token) {
+  return !token.text.empty() && is_ident_start(token.text[0]);
+}
+
+/// Maps each class/struct body's opening-brace token index to the class
+/// name. Skips forward declarations, `enum class` and template
+/// parameters; attribute macros between the keyword and the name (e.g.
+/// `class BFDN_CAPABILITY("mutex") Mutex {`) are stepped over because
+/// the *last* identifier before the base-clause colon or brace wins.
+void find_class_bodies(const std::vector<Token>& t,
+                       std::map<std::size_t, std::string>& open) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].text != "class" && t[i].text != "struct") continue;
+    if (i > 0 && (t[i - 1].text == "enum" || t[i - 1].text == "<" ||
+                  t[i - 1].text == "," || t[i - 1].text == "typename")) {
+      continue;
+    }
+    std::string name;
+    bool in_bases = false;
+    for (std::size_t j = i + 1; j < t.size() && j < i + 64; ++j) {
+      const std::string& tok = t[j].text;
+      if (tok == "{") {
+        if (!name.empty()) open[j] = name;
+        break;
+      }
+      if (tok == ";") break;  // forward declaration
+      if (tok == ":") in_bases = true;
+      if (!in_bases && tok != "final" && is_ident_token(t[j])) name = tok;
+    }
+  }
+}
+
+/// Maps the body-opening brace of every out-of-line member definition
+/// (`Type Class::method(...) ... {`, including `Outer::Inner::` chains
+/// and destructors) to the class qualifier — the identifier right
+/// before the last `::`. Calls through a qualified name are rejected
+/// because what follows their `)` is never a function-body `{`.
+void find_function_bodies(const std::vector<Token>& t,
+                          std::map<std::size_t, std::string>& open) {
+  static const std::set<std::string> kFiller = {
+      "const", "noexcept", "override", "final", "->", "::",
+      "&",     "*",        "<",        ">"};
+  for (std::size_t i = 3; i < t.size(); ++i) {
+    if (t[i].text != "(") continue;
+    std::string cls;
+    if (is_ident_token(t[i - 1]) && t[i - 2].text == "::" &&
+        is_ident_token(t[i - 3])) {
+      cls = t[i - 3].text;
+    } else if (i >= 4 && is_ident_token(t[i - 1]) &&
+               t[i - 2].text == "~" && t[i - 3].text == "::" &&
+               is_ident_token(t[i - 4])) {
+      cls = t[i - 4].text;
+    } else {
+      continue;
+    }
+    std::int32_t depth = 0;
+    std::size_t k = i;
+    for (; k < t.size(); ++k) {
+      if (t[k].text == "(") ++depth;
+      if (t[k].text == ")" && --depth == 0) break;
+    }
+    if (k >= t.size()) continue;
+    for (std::size_t j = k + 1; j < t.size() && j < k + 64; ++j) {
+      const std::string& tok = t[j].text;
+      if (tok == "{") {
+        open[j] = cls;
+        break;
+      }
+      if (tok == "(") {  // annotation macro args, noexcept(...)
+        std::int32_t d = 0;
+        for (; j < t.size(); ++j) {
+          if (t[j].text == "(") ++d;
+          if (t[j].text == ")" && --d == 0) break;
+        }
+        if (j >= t.size()) break;
+        continue;
+      }
+      if (kFiller.count(tok) > 0 || is_ident_token(t[j])) continue;
+      break;  // a call site or declarator, not a definition
+    }
+  }
+}
+
+ScopeInfo build_scope_info(const std::vector<Token>& t) {
+  std::map<std::size_t, std::string> class_open;
+  std::map<std::size_t, std::string> func_open;
+  find_class_bodies(t, class_open);
+  find_function_bodies(t, func_open);
+
+  ScopeInfo info;
+  info.cls.resize(t.size());
+  info.direct.resize(t.size());
+  info.func_cls.resize(t.size());
+  struct Open {
+    enum Kind { kOther, kClass, kFunc } kind;
+    std::string name;
+  };
+  std::vector<Open> stack;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].text == "}" && !stack.empty()) stack.pop_back();
+    std::string cls;
+    std::string func_cls;
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      if (cls.empty() && it->kind == Open::kClass) cls = it->name;
+      if (func_cls.empty() && it->kind == Open::kFunc) func_cls = it->name;
+    }
+    info.cls[i] = cls;
+    info.func_cls[i] = func_cls;
+    info.direct[i] = !stack.empty() && stack.back().kind == Open::kClass;
+    if (t[i].text == "{") {
+      const auto c = class_open.find(i);
+      const auto f = func_open.find(i);
+      if (c != class_open.end()) {
+        stack.push_back({Open::kClass, c->second});
+      } else if (f != func_open.end()) {
+        stack.push_back({Open::kFunc, f->second});
+      } else {
+        stack.push_back({Open::kOther, ""});
+      }
+    }
+  }
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file harvest and analysis
+// ---------------------------------------------------------------------------
+
+struct MemberDecl {
+  std::string cls;   // enclosing class ("" never happens for members)
+  std::string name;  // member identifier
+  std::string file;
+  std::int32_t line = 0;
+};
+
+struct Edge {
+  std::string file;  // site of the *inner* acquisition
+  std::int32_t line = 0;
+  std::string from;  // qualified node already held
+};
+
+struct NotifySite {
+  std::string cv;  // qualified condition-variable node
+  std::string spelled;  // receiver as written, for the message
+  std::string file;
+  std::int32_t line = 0;
+  std::vector<std::string> held;  // qualified mutex nodes held
+  bool suppressed = false;
+};
+
+/// Everything accumulated across files before the global passes.
+struct Analysis {
+  // member name -> qualified "Cls::name" declarations (repo-wide)
+  std::map<std::string, std::set<std::string>> mutex_members;
+  std::map<std::string, std::set<std::string>> cv_members;
+  std::vector<MemberDecl> mutex_decls;  // for the coverage pass
+  // file -> identifiers appearing inside BFDN_* annotation arguments
+  std::map<std::string, std::set<std::string>> annotation_args;
+  // file -> locally declared (non-member) mutex / cv names
+  std::map<std::string, std::set<std::string>> local_mutexes;
+  std::map<std::string, std::set<std::string>> local_cvs;
+  // acquisition-order graph: from -> to -> first site recorded
+  std::map<std::string, std::map<std::string, Edge>> edges;
+  // condition variable -> mutexes it is waited on with
+  std::map<std::string, std::set<std::string>> paired;
+  std::vector<NotifySite> notifies;
+};
+
+/// Harvests member declarations (`[mutable] [std::]Type name;` directly
+/// in a class body), local declarations of the same shape, and
+/// annotation-argument identifiers.
+void harvest_decls(const SourceFile& file, const ScopeInfo& scopes,
+                   const LocksConfig& config, Analysis& analysis) {
+  const std::vector<Token>& t = file.tokens;
+  const std::set<std::string> mutex_types(config.mutex_types.begin(),
+                                          config.mutex_types.end());
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    const bool is_mutex = mutex_types.count(t[i].text) > 0;
+    const bool is_cv = cv_type_names().count(t[i].text) > 0;
+    if (is_mutex || is_cv) {
+      if (i > 0 &&
+          (t[i - 1].text == "class" || t[i - 1].text == "struct")) {
+        continue;  // the wrapper's own definition, not a declaration
+      }
+      if (!is_ident_token(t[i + 1]) || t[i + 2].text != ";") continue;
+      const std::string& name = t[i + 1].text;
+      if (scopes.direct[i]) {
+        const std::string cls =
+            scopes.cls[i].empty() ? file.rel : scopes.cls[i];
+        if (is_mutex) {
+          analysis.mutex_members[name].insert(cls + "::" + name);
+          analysis.mutex_decls.push_back(
+              {cls, name, file.rel, t[i + 1].line});
+        } else {
+          analysis.cv_members[name].insert(cls + "::" + name);
+        }
+      } else {
+        if (is_mutex) {
+          analysis.local_mutexes[file.rel].insert(name);
+        } else {
+          analysis.local_cvs[file.rel].insert(name);
+        }
+      }
+      continue;
+    }
+    if (annotation_macros().count(t[i].text) > 0 &&
+        t[i + 1].text == "(") {
+      std::int32_t depth = 0;
+      for (std::size_t j = i + 1; j < t.size(); ++j) {
+        if (t[j].text == "(") ++depth;
+        if (t[j].text == ")" && --depth == 0) break;
+        if (is_ident_token(t[j])) {
+          analysis.annotation_args[file.rel].insert(t[j].text);
+        }
+      }
+    }
+  }
+}
+
+/// Splits the argument list whose "(" is at `open` into top-level
+/// comma-separated token runs. Returns the index of the closing ")"
+/// (or t.size() when unbalanced).
+std::size_t split_args(const std::vector<Token>& t, std::size_t open,
+                       std::vector<std::vector<Token>>& args) {
+  std::int32_t paren = 0;
+  std::int32_t brace = 0;
+  std::int32_t bracket = 0;
+  std::vector<Token> current;
+  for (std::size_t j = open; j < t.size(); ++j) {
+    const std::string& tok = t[j].text;
+    if (tok == "(") {
+      ++paren;
+      if (paren == 1) continue;
+    }
+    if (tok == ")") {
+      --paren;
+      if (paren == 0) {
+        if (!current.empty()) args.push_back(current);
+        return j;
+      }
+    }
+    if (tok == "{") ++brace;
+    if (tok == "}") --brace;
+    if (tok == "[") ++bracket;
+    if (tok == "]") --bracket;
+    if (tok == "," && paren == 1 && brace == 0 && bracket == 0) {
+      if (!current.empty()) args.push_back(current);
+      current.clear();
+      continue;
+    }
+    current.push_back(t[j]);
+  }
+  return t.size();
+}
+
+std::string join_tokens(const std::vector<Token>& tokens) {
+  std::string out;
+  for (const Token& token : tokens) {
+    if (!out.empty() && is_ident_start(token.text[0]) &&
+        is_ident_char(out.back())) {
+      out += ' ';
+    }
+    out += token.text;
+  }
+  return out;
+}
+
+/// Qualifies a mutex or condition-variable expression to a repo-wide
+/// node name: enclosing class member first, then the enclosing
+/// out-of-line definition's class, then a file-local declaration, then
+/// a repo-unique member name, else a file-scoped fallback.
+std::string resolve_node(
+    std::vector<Token> expr, const std::string& file,
+    const std::string& cls, const std::string& func_cls,
+    const std::map<std::string, std::set<std::string>>& members,
+    const std::set<std::string>* locals) {
+  while (!expr.empty() &&
+         (expr.front().text == "&" || expr.front().text == "*")) {
+    expr.erase(expr.begin());
+  }
+  if (expr.size() == 3 && expr[0].text == "this" &&
+      expr[1].text == "->") {
+    expr.erase(expr.begin(), expr.begin() + 2);
+  }
+  if (expr.empty()) return {};
+  if (expr.size() == 1 && is_ident_token(expr[0])) {
+    const std::string& name = expr[0].text;
+    const auto it = members.find(name);
+    if (it != members.end()) {
+      if (!cls.empty() && it->second.count(cls + "::" + name) > 0) {
+        return cls + "::" + name;
+      }
+      if (!func_cls.empty() &&
+          it->second.count(func_cls + "::" + name) > 0) {
+        return func_cls + "::" + name;
+      }
+    }
+    if (locals != nullptr && locals->count(name) > 0) {
+      return file + "::" + name;
+    }
+    if (it != members.end() && it->second.size() == 1) {
+      return *it->second.begin();
+    }
+    return file + "::" + name;
+  }
+  // Member access chain: resolve by the final member name when it is
+  // unique across the repo (`peer.mutex` -> "Peer::mutex").
+  if (expr.size() >= 3 && is_ident_token(expr.back()) &&
+      (expr[expr.size() - 2].text == "." ||
+       expr[expr.size() - 2].text == "->")) {
+    const auto it = members.find(expr.back().text);
+    if (it != members.end() && it->second.size() == 1) {
+      return *it->second.begin();
+    }
+  }
+  return file + "::" + join_tokens(expr);
+}
+
+struct HeldLock {
+  std::int32_t depth = 0;  // brace depth at acquisition
+  std::string node;        // qualified mutex node
+  std::string var;         // guard variable name, for cv-wait pairing
+};
+
+/// The function-body walk: RAII acquisitions, order edges, cv waits
+/// (pairing + predicate check) and notify sites.
+void analyze_file(const SourceFile& file, const ScopeInfo& scopes,
+                  const FileSuppressions& sup, const LocksConfig& config,
+                  Analysis& analysis, Report& report) {
+  const std::vector<Token>& t = file.tokens;
+  const std::set<std::string> lock_types(config.lock_types.begin(),
+                                         config.lock_types.end());
+  const auto local_mutexes = analysis.local_mutexes.find(file.rel);
+  const auto local_cvs = analysis.local_cvs.find(file.rel);
+  const std::set<std::string>* mutex_locals =
+      local_mutexes == analysis.local_mutexes.end() ? nullptr
+                                                    : &local_mutexes->second;
+  const std::set<std::string>* cv_locals =
+      local_cvs == analysis.local_cvs.end() ? nullptr : &local_cvs->second;
+
+  std::int32_t depth = 0;
+  std::vector<HeldLock> held;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const std::string& tok = t[i].text;
+    if (tok == "{") {
+      ++depth;
+      continue;
+    }
+    if (tok == "}") {
+      --depth;
+      while (!held.empty() && held.back().depth > depth) held.pop_back();
+      continue;
+    }
+
+    // RAII acquisition: `LockType[<...>] var ( mutex-expr [, ...] );`
+    if (lock_types.count(tok) > 0 && i + 1 < t.size()) {
+      std::size_t j = i + 1;
+      if (j < t.size() && t[j].text == "<") {
+        std::int32_t angle = 0;
+        for (; j < t.size(); ++j) {
+          if (t[j].text == "<") ++angle;
+          if (t[j].text == ">" && --angle == 0) break;
+        }
+        ++j;
+      }
+      if (j + 1 >= t.size() || !is_ident_token(t[j]) ||
+          t[j + 1].text != "(") {
+        continue;
+      }
+      const std::string var = t[j].text;
+      const std::int32_t line = t[j].line;
+      std::vector<std::vector<Token>> args;
+      if (split_args(t, j + 1, args) >= t.size()) continue;
+      const std::size_t count =
+          tok == "scoped_lock" ? args.size() : std::min<std::size_t>(
+                                                   1, args.size());
+      for (std::size_t a = 0; a < count; ++a) {
+        const std::string node = resolve_node(
+            args[a], file.rel, scopes.cls[i], scopes.func_cls[i],
+            analysis.mutex_members, mutex_locals);
+        if (node.empty()) continue;
+        if (!suppressed(sup, line, "lock-order")) {
+          for (const HeldLock& outer : held) {
+            if (outer.node == node) continue;
+            auto& slot = analysis.edges[outer.node];
+            if (slot.count(node) == 0) {
+              slot.emplace(node, Edge{file.rel, line, outer.node});
+            }
+          }
+        }
+        held.push_back({depth, node, var});
+      }
+      continue;
+    }
+
+    // Condition-variable call: `recv.wait(...)` / `recv.notify_all()`.
+    const bool is_wait =
+        tok == "wait" || tok == "wait_for" || tok == "wait_until";
+    const bool is_notify = tok == "notify_one" || tok == "notify_all";
+    if ((is_wait || is_notify) && i >= 2 && i + 1 < t.size() &&
+        t[i + 1].text == "(" &&
+        (t[i - 1].text == "." || t[i - 1].text == "->") &&
+        is_ident_token(t[i - 2])) {
+      const std::string cv_node = resolve_node(
+          {t[i - 2]}, file.rel, scopes.cls[i], scopes.func_cls[i],
+          analysis.cv_members, cv_locals);
+      // Only harvested condition variables count: `future.wait()` and
+      // friends must not trip the family.
+      const bool known =
+          analysis.cv_members.count(t[i - 2].text) > 0 ||
+          (cv_locals != nullptr && cv_locals->count(t[i - 2].text) > 0);
+      if (!known) continue;
+      const std::int32_t line = t[i].line;
+      if (is_notify) {
+        NotifySite site;
+        site.cv = cv_node;
+        site.spelled = t[i - 2].text + t[i - 1].text + tok;
+        site.file = file.rel;
+        site.line = line;
+        for (const HeldLock& h : held) site.held.push_back(h.node);
+        site.suppressed = suppressed(sup, line, "cv-notify-unlocked");
+        analysis.notifies.push_back(std::move(site));
+        continue;
+      }
+      std::vector<std::vector<Token>> args;
+      if (split_args(t, i + 1, args) >= t.size()) continue;
+      if (!args.empty() && is_ident_token(args[0][0])) {
+        for (const HeldLock& h : held) {
+          if (h.var == args[0][0].text) {
+            analysis.paired[cv_node].insert(h.node);
+            break;
+          }
+        }
+      }
+      const std::size_t required = tok == "wait" ? 2 : 3;
+      if (args.size() < required &&
+          !suppressed(sup, line, "cv-wait-no-predicate")) {
+        report.findings.push_back(
+            {file.rel, line, "cv-wait-no-predicate",
+             str_format("'%s.%s' has no predicate: a spurious wakeup "
+                        "returns with the waited condition false; pass "
+                        "the condition as the final argument",
+                        t[i - 2].text.c_str(), tok.c_str())});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Global passes
+// ---------------------------------------------------------------------------
+
+void check_annotation_coverage(
+    const Analysis& analysis,
+    const std::map<std::string, const FileSuppressions*>& sup_by_file,
+    Report& report) {
+  // A member may be annotated in its declaring header or used under
+  // BFDN_REQUIRES in the sibling source (and vice versa).
+  const auto sibling = [](const std::string& rel) {
+    std::vector<std::string> out;
+    const std::size_t dot = rel.rfind('.');
+    if (dot == std::string::npos) return out;
+    const std::string stem = rel.substr(0, dot);
+    const std::string ext = rel.substr(dot);
+    if (ext == ".h" || ext == ".hpp") {
+      out.push_back(stem + ".cpp");
+      out.push_back(stem + ".cc");
+    } else {
+      out.push_back(stem + ".h");
+      out.push_back(stem + ".hpp");
+    }
+    return out;
+  };
+  for (const MemberDecl& decl : analysis.mutex_decls) {
+    bool annotated = false;
+    std::vector<std::string> places = sibling(decl.file);
+    places.insert(places.begin(), decl.file);
+    for (const std::string& place : places) {
+      const auto it = analysis.annotation_args.find(place);
+      if (it != analysis.annotation_args.end() &&
+          it->second.count(decl.name) > 0) {
+        annotated = true;
+        break;
+      }
+    }
+    if (annotated) continue;
+    const auto sup = sup_by_file.find(decl.file);
+    if (sup != sup_by_file.end() &&
+        suppressed(*sup->second, decl.line, "lock-annotation")) {
+      continue;
+    }
+    report.findings.push_back(
+        {decl.file, decl.line, "lock-annotation",
+         str_format("mutex member '%s::%s' is never named in a "
+                    "BFDN_GUARDED_BY/BFDN_REQUIRES annotation here or "
+                    "in the sibling file; say what it guards, or "
+                    "suppress with // NOLINT(locks): <reason>",
+                    decl.cls.c_str(), decl.name.c_str())});
+  }
+}
+
+void check_notify_sites(const Analysis& analysis, Report& report) {
+  for (const NotifySite& site : analysis.notifies) {
+    if (site.suppressed) continue;
+    const auto paired = analysis.paired.find(site.cv);
+    if (paired != analysis.paired.end()) {
+      bool holds_paired = false;
+      for (const std::string& node : site.held) {
+        if (paired->second.count(node) > 0) {
+          holds_paired = true;
+          break;
+        }
+      }
+      if (!holds_paired) {
+        std::vector<std::string> names(paired->second.begin(),
+                                       paired->second.end());
+        report.findings.push_back(
+            {site.file, site.line, "cv-notify-unlocked",
+             str_format("'%s' without holding '%s', the mutex its "
+                        "waiters use: a waiter's owner can tear the "
+                        "condition variable down between the waiter's "
+                        "predicate check and this notify (the PR-5 "
+                        "Scheduler::finish race); notify under the lock",
+                        site.spelled.c_str(),
+                        join(names, "' / '").c_str())});
+      }
+    } else if (site.held.empty()) {
+      report.findings.push_back(
+          {site.file, site.line, "cv-notify-unlocked",
+           str_format("'%s' with no lock held and no wait() site pairing "
+                      "'%s' to a mutex: notify under the mutex the "
+                      "waiters block on",
+                      site.spelled.c_str(), site.cv.c_str())});
+    }
+  }
+}
+
+/// DFS over the deduplicated acquisition-order graph; every distinct
+/// cycle is reported once, rotated to start at its lexicographically
+/// smallest node and anchored at the smallest edge site it contains.
+class CycleFinder {
+ public:
+  CycleFinder(const Analysis& analysis, Report& report)
+      : analysis_(analysis), report_(report) {}
+
+  void run() {
+    for (auto it = analysis_.edges.begin(); it != analysis_.edges.end();
+         ++it) {
+      visit(it->first);
+    }
+  }
+
+ private:
+  void visit(const std::string& node) {
+    if (done_.count(node) > 0) return;
+    const auto on_path =
+        std::find(path_.begin(), path_.end(), node);
+    if (on_path != path_.end()) {
+      report_cycle(std::vector<std::string>(on_path, path_.end()));
+      return;
+    }
+    path_.push_back(node);
+    const auto it = analysis_.edges.find(node);
+    if (it != analysis_.edges.end()) {
+      for (auto edge = it->second.begin(); edge != it->second.end();
+           ++edge) {
+        visit(edge->first);
+      }
+    }
+    path_.pop_back();
+    done_.insert(node);
+  }
+
+  void report_cycle(std::vector<std::string> cycle) {
+    const auto smallest =
+        std::min_element(cycle.begin(), cycle.end());
+    std::rotate(cycle.begin(), smallest, cycle.end());
+    std::string key = join(cycle, "|");
+    if (!seen_.insert(key).second) return;
+
+    std::string message =
+        "lock-acquisition order cycle (potential deadlock): " + cycle[0];
+    std::string anchor_file;
+    std::int32_t anchor_line = 0;
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      const std::string& from = cycle[i];
+      const std::string& to = cycle[(i + 1) % cycle.size()];
+      const Edge& edge = analysis_.edges.at(from).at(to);
+      message += str_format(" -> %s (%s:%d)", to.c_str(),
+                            edge.file.c_str(), edge.line);
+      if (anchor_file.empty() ||
+          std::tie(edge.file, edge.line) <
+              std::tie(anchor_file, anchor_line)) {
+        anchor_file = edge.file;
+        anchor_line = edge.line;
+      }
+    }
+    report_.findings.push_back(
+        {anchor_file, anchor_line, "lock-order", message});
+  }
+
+  const Analysis& analysis_;
+  Report& report_;
+  std::vector<std::string> path_;
+  std::set<std::string> done_;
+  std::set<std::string> seen_;
+};
+
+}  // namespace
+
+void check_locks(const std::vector<SourceFile>& files,
+                 const std::vector<FileSuppressions>& suppressions,
+                 const LocksConfig& config, Report& report) {
+  Analysis analysis;
+  std::vector<ScopeInfo> scopes(files.size());
+  std::map<std::string, const FileSuppressions*> sup_by_file;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (path_allowed(files[i].rel, config.exempt)) continue;
+    scopes[i] = build_scope_info(files[i].tokens);
+    sup_by_file[files[i].rel] = &suppressions[i];
+    harvest_decls(files[i], scopes[i], config, analysis);
+  }
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (path_allowed(files[i].rel, config.exempt)) continue;
+    analyze_file(files[i], scopes[i], suppressions[i], config, analysis,
+                 report);
+  }
+  check_annotation_coverage(analysis, sup_by_file, report);
+  check_notify_sites(analysis, report);
+  CycleFinder(analysis, report).run();
+}
+
+}  // namespace lint
+}  // namespace bfdn

@@ -1,0 +1,53 @@
+// Lock-discipline rule family ("locks") for bfdn_lint.
+//
+// The concurrent tier (service, store, cluster, support/thread_pool) is
+// written against the annotated Mutex/MutexLock wrappers in
+// support/thread_annotations.h; clang's -Wthread-safety proves guarded
+// access per translation unit, but it is blind to two whole-repo
+// properties and unavailable under the tier-1 GCC toolchain. This
+// family covers that gap at token level:
+//
+//   lock-order            RAII acquisitions nested inside a held lock
+//                         form a repo-wide acquisition-order graph over
+//                         qualified mutex names (Class::member); any
+//                         cycle is a potential deadlock, reported once
+//                         with every edge's file:line cited.
+//   lock-annotation       every mutex-typed data member must appear in
+//                         at least one BFDN_GUARDED_BY / BFDN_REQUIRES
+//                         (or other BFDN_ thread annotation) in its
+//                         file or the sibling header/source, or carry a
+//                         // NOLINT(locks): reason. An unguarded mutex
+//                         is a mutex nobody can prove anything about.
+//   cv-notify-unlocked    notify_one/notify_all on a condition-variable
+//                         member while its paired mutex (learned from
+//                         the wait sites) is not held — the exact PR-5
+//                         Scheduler::finish teardown race shape.
+//   cv-wait-no-predicate  wait()/wait_for()/wait_until() without a
+//                         predicate argument: spurious wakeups then
+//                         break the caller's invariant silently.
+//
+// Analysis is heuristic by design (token streams, not a full parse):
+// acquisition tracking covers RAII guards only (MutexLock, lock_guard,
+// unique_lock, scoped_lock declarations with the mutex in the
+// constructor argument list), and mutex expressions are qualified via
+// the enclosing class, falling back to a repo-unique member name and
+// finally to a file-local name. See docs/LINT.md §"Lock discipline".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "lint/source_model.h"
+
+namespace bfdn {
+namespace lint {
+
+/// Runs the locks family over every parsed file. `suppressions` is
+/// parallel to `files`. Only called when Config::locks.enabled.
+void check_locks(const std::vector<SourceFile>& files,
+                 const std::vector<FileSuppressions>& suppressions,
+                 const LocksConfig& config, Report& report);
+
+}  // namespace lint
+}  // namespace bfdn

@@ -1,0 +1,333 @@
+#include "lint/source_model.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "support/check.h"
+#include "support/strings.h"
+
+namespace bfdn {
+namespace lint {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  BFDN_REQUIRE(in.good(), "lint: cannot read " + path.string());
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+namespace {
+
+/// The contiguous identifier run ending just before `quote` is a raw
+/// string prefix iff it is exactly R with an optional encoding prefix.
+/// Returns the start index of the run, or npos when not a raw string.
+std::size_t raw_string_prefix(const std::string& text, std::size_t quote) {
+  std::size_t start = quote;
+  while (start > 0 && is_ident_char(text[start - 1])) --start;
+  const std::string prefix = text.substr(start, quote - start);
+  if (prefix == "R" || prefix == "LR" || prefix == "uR" || prefix == "UR" ||
+      prefix == "u8R") {
+    return start;
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+StrippedText strip_source(const std::string& text) {
+  enum class State {
+    kCode, kLineComment, kBlockComment, kString, kChar,
+  };
+  StrippedText out;
+  out.no_comments = text;
+  out.no_strings = text;
+  out.code_only = text;
+  const auto blank_comment = [&](std::size_t i) {
+    out.no_comments[i] = out.code_only[i] = ' ';
+  };
+  const auto blank_string = [&](std::size_t i) {
+    out.no_strings[i] = out.code_only[i] = ' ';
+  };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          blank_comment(i);
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          blank_comment(i);
+        } else if (c == '"') {
+          // Raw string: R"delim( ... )delim" — no escapes, may span
+          // lines and contain quotes. Blank it wholesale (prefix
+          // included) so its contents can't desynchronize the scanner.
+          const std::size_t prefix = raw_string_prefix(text, i);
+          if (prefix != std::string::npos) {
+            std::size_t d = i + 1;  // delimiter: up to 16 chars, then '('
+            while (d < text.size() && d - i <= 17 && text[d] != '(' &&
+                   text[d] != ')' && text[d] != '\\' && text[d] != '"' &&
+                   text[d] != '\n' &&
+                   std::isspace(static_cast<unsigned char>(text[d])) == 0) {
+              ++d;
+            }
+            if (d < text.size() && text[d] == '(') {
+              const std::string closer =
+                  ")" + text.substr(i + 1, d - i - 1) + "\"";
+              const std::size_t end = text.find(closer, d + 1);
+              const std::size_t stop = end == std::string::npos
+                                           ? text.size()
+                                           : end + closer.size();
+              for (std::size_t j = prefix; j < stop; ++j) {
+                if (text[j] != '\n') blank_string(j);
+              }
+              i = stop - 1;  // loop increment steps past the literal
+              break;
+            }
+            // Malformed delimiter: fall through as an ordinary string.
+          }
+          state = State::kString;
+          blank_string(i);
+        } else if (c == '\'') {
+          state = State::kChar;
+          blank_string(i);
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          blank_comment(i);
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          blank_comment(i);
+          blank_comment(i + 1);
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          blank_comment(i);
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          blank_string(i);
+          if (next != '\n') blank_string(i + 1);
+          ++i;
+        } else if (c == '"' || c == '\n') {
+          state = State::kCode;
+          if (c == '"') blank_string(i);
+        } else {
+          blank_string(i);
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          blank_string(i);
+          if (next != '\n') blank_string(i + 1);
+          ++i;
+        } else if (c == '\'' || c == '\n') {
+          state = State::kCode;
+          if (c == '\'') blank_string(i);
+        } else {
+          blank_string(i);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::vector<Token> tokenize(const std::string& code) {
+  std::vector<Token> tokens;
+  std::int32_t line = 1;
+  for (std::size_t i = 0; i < code.size();) {
+    const char c = code[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < code.size() && is_ident_char(code[j])) ++j;
+      tokens.push_back({code.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i + 1;
+      while (j < code.size() &&
+             (is_ident_char(code[j]) || code[j] == '.')) {
+        ++j;
+      }
+      tokens.push_back({code.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (c == ':' && i + 1 < code.size() && code[i + 1] == ':') {
+      tokens.push_back({"::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < code.size() && code[i + 1] == '>') {
+      tokens.push_back({"->", line});
+      i += 2;
+      continue;
+    }
+    tokens.push_back({std::string(1, c), line});
+    ++i;
+  }
+  return tokens;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+bool starts_with(const std::string& text, const std::string& prefix) {
+  return text.rfind(prefix, 0) == 0;
+}
+
+bool path_allowed(const std::string& rel,
+                  const std::vector<std::string>& prefixes) {
+  for (const auto& prefix : prefixes) {
+    if (starts_with(rel, prefix)) return true;
+  }
+  return false;
+}
+
+SourceFile parse_file(const fs::path& full, std::string rel) {
+  SourceFile file;
+  file.rel = std::move(rel);
+  const std::string text = read_file(full);
+  const StrippedText stripped = strip_source(text);
+  file.nolint_lines = split_lines(stripped.no_strings);
+  file.tokens = tokenize(stripped.code_only);
+
+  const std::vector<std::string> lines =
+      split_lines(stripped.no_comments);
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    const std::string& line = lines[n];
+    std::size_t i = line.find_first_not_of(" \t");
+    if (i == std::string::npos || line[i] != '#') continue;
+    i = line.find_first_not_of(" \t", i + 1);
+    if (i == std::string::npos || line.compare(i, 7, "include") != 0) {
+      continue;
+    }
+    const std::size_t open = line.find('"', i + 7);
+    if (open == std::string::npos) continue;  // <system> include
+    const std::size_t close = line.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    file.includes.push_back({line.substr(open + 1, close - open - 1),
+                             static_cast<std::int32_t>(n + 1)});
+  }
+  return file;
+}
+
+void scan_nolint(const SourceFile& file, FileSuppressions& suppressions,
+                 Report& report) {
+  for (std::size_t n = 0; n < file.nolint_lines.size(); ++n) {
+    const std::string& line = file.nolint_lines[n];
+    const std::size_t slashes = line.find("//");
+    if (slashes == std::string::npos) continue;
+    std::size_t at = slashes;
+    while (at < line.size() && line[at] == '/') ++at;
+    while (at < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[at])) != 0) {
+      ++at;
+    }
+    if (line.compare(at, 6, "NOLINT") != 0) continue;
+    const auto line_no = static_cast<std::int32_t>(n + 1);
+    std::size_t i = at + 6;
+    std::int32_t target_line = line_no;
+    if (line.compare(i, 8, "NEXTLINE") == 0) {
+      i += 8;
+      target_line = line_no + 1;
+    }
+    const auto malformed = [&](const std::string& detail) {
+      report.findings.push_back(
+          {file.rel, line_no, "nolint-format",
+           "suppression must be written '// NOLINT(<check>): <reason>' "
+           "(" + detail + ")"});
+    };
+    if (i >= line.size() || line[i] != '(') {
+      malformed("missing (<check>)");
+      continue;
+    }
+    const std::size_t close = line.find(')', i);
+    if (close == std::string::npos) {
+      malformed("unterminated check list");
+      continue;
+    }
+    const std::string checks = line.substr(i + 1, close - i - 1);
+    std::size_t j = close + 1;
+    if (j >= line.size() || line[j] != ':') {
+      malformed("missing ': <reason>' after the check list");
+      continue;
+    }
+    ++j;
+    while (j < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[j])) != 0) {
+      ++j;
+    }
+    const std::string reason = line.substr(j);
+    if (checks.empty() || reason.empty()) {
+      malformed(checks.empty() ? "empty check list" : "empty reason");
+      continue;
+    }
+    for (const std::string& check : split(checks, ',')) {
+      std::string name = check;
+      name.erase(0, name.find_first_not_of(" \t"));
+      name.erase(name.find_last_not_of(" \t") + 1);
+      if (name.empty()) continue;
+      suppressions.by_line[target_line].insert(name);
+      report.suppressions.push_back({file.rel, line_no, name, reason});
+    }
+  }
+}
+
+bool suppressed(const FileSuppressions& suppressions, std::int32_t line,
+                const std::string& rule) {
+  const auto it = suppressions.by_line.find(line);
+  if (it == suppressions.by_line.end()) return false;
+  if (it->second.count(rule) > 0 || it->second.count("*") > 0) return true;
+  // Family alias: NOLINT(locks) waives any lock-discipline rule.
+  if (starts_with(rule, "lock-") || starts_with(rule, "cv-")) {
+    return it->second.count("locks") > 0;
+  }
+  return false;
+}
+
+}  // namespace lint
+}  // namespace bfdn

@@ -1,0 +1,95 @@
+// Shared token-level source model for the lint rule families.
+//
+// lint.cpp (layering / banned / unordered / trace rules) and locks.cpp
+// (the lock-discipline family) analyze the same stripped, tokenized view
+// of each translation unit; this header is that view. Everything here is
+// an internal engine detail — tools and tests include lint/lint.h only.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace bfdn {
+namespace lint {
+
+std::string read_file(const std::filesystem::path& path);
+
+struct StrippedText {
+  std::string no_comments;  // comments blanked, string literals kept
+  std::string no_strings;   // string/char literals blanked, comments kept
+  std::string code_only;    // comments and string/char literals blanked
+};
+
+/// Single-pass state machine. Blanked characters become spaces so every
+/// byte keeps its (line, column) position; newlines survive verbatim.
+/// Handles //, /* */, "..." with escapes, '...' and raw string literals
+/// (R"delim(...)delim", any encoding prefix) — a raw string's contents
+/// are blanked wholesale and its embedded quotes cannot desynchronize
+/// the scanner for the code that follows.
+StrippedText strip_source(const std::string& text);
+
+struct Token {
+  std::string text;
+  std::int32_t line = 0;
+};
+
+bool is_ident_start(char c);
+bool is_ident_char(char c);
+
+/// Identifiers and numbers stay whole; "::" and "->" are single tokens
+/// (so a lone ':' unambiguously marks a range-for); every other
+/// non-space character is its own token.
+std::vector<Token> tokenize(const std::string& code);
+
+std::vector<std::string> split_lines(const std::string& text);
+
+bool starts_with(const std::string& text, const std::string& prefix);
+
+/// True when `rel` starts with any of the configured path prefixes.
+bool path_allowed(const std::string& rel,
+                  const std::vector<std::string>& prefixes);
+
+struct IncludeEdge {
+  std::string target;  // quoted include path as written
+  std::int32_t line = 0;
+};
+
+struct SourceFile {
+  std::string rel;  // forward-slash path relative to the lint root
+  /// Lines with string literals blanked (comments kept): NOLINT markers
+  /// live in comments, but a literal spelling "NOLINT" (e.g. in the
+  /// linter's own sources) must not look like a suppression.
+  std::vector<std::string> nolint_lines;
+  std::vector<Token> tokens;  // comments and literals stripped
+  std::vector<IncludeEdge> includes;
+};
+
+SourceFile parse_file(const std::filesystem::path& full, std::string rel);
+
+struct FileSuppressions {
+  /// line -> set of check names suppressed on that line.
+  std::map<std::int32_t, std::set<std::string>> by_line;
+};
+
+/// Parses "// NOLINT(<check>): <reason>" and NOLINTNEXTLINE variants.
+/// Malformed markers (missing check list or missing reason) become
+/// findings; well-formed ones are recorded in both outputs. A marker
+/// must *start* its line comment — prose mentioning the keyword
+/// mid-comment is ignored.
+void scan_nolint(const SourceFile& file, FileSuppressions& suppressions,
+                 Report& report);
+
+/// True when `rule` (or "*") is suppressed on `line`. Rules belonging
+/// to a family also honour the family name — "locks" suppresses any of
+/// the lock-discipline rules.
+bool suppressed(const FileSuppressions& suppressions, std::int32_t line,
+                const std::string& rule);
+
+}  // namespace lint
+}  // namespace bfdn

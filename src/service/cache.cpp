@@ -11,7 +11,7 @@ ResultCache::ResultCache(std::size_t capacity, ResultStore* store)
 
 std::optional<std::string> ResultCache::get(std::uint64_t key) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = index_.find(key);
     if (it != index_.end()) {
       ++hits_;
@@ -24,14 +24,14 @@ std::optional<std::string> ResultCache::get(std::uint64_t key) {
   if (store_ != nullptr) {
     std::optional<std::string> payload = store_->get(key);
     if (payload.has_value()) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       ++hits_;
       ++store_hits_;
       insert_locked(key, *payload);
       return payload;
     }
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++misses_;
   return std::nullopt;
 }
@@ -42,7 +42,7 @@ void ResultCache::get_many(const std::vector<std::uint64_t>& keys,
   std::vector<std::size_t> missing_pos;
   std::vector<std::uint64_t> missing_keys;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (std::size_t i = 0; i < keys.size(); ++i) {
       const auto it = index_.find(keys[i]);
       if (it != index_.end()) {
@@ -57,13 +57,13 @@ void ResultCache::get_many(const std::vector<std::uint64_t>& keys,
   }
   if (missing_keys.empty()) return;
   if (store_ == nullptr) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     misses_ += static_cast<std::int64_t>(missing_keys.size());
     return;
   }
   std::vector<std::optional<std::string>> from_store;
   store_->get_many(missing_keys, &from_store);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (std::size_t j = 0; j < missing_keys.size(); ++j) {
     if (from_store[j].has_value()) {
       ++hits_;
@@ -79,7 +79,7 @@ void ResultCache::get_many(const std::vector<std::uint64_t>& keys,
 void ResultCache::put(std::uint64_t key, std::string result_json) {
   if (store_ != nullptr) store_->put(key, result_json);
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   insert_locked(key, std::move(result_json));
 }
 
@@ -103,7 +103,7 @@ void ResultCache::insert_locked(std::uint64_t key,
 }
 
 std::vector<std::uint64_t> ResultCache::lru_keys() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::uint64_t> keys;
   keys.reserve(lru_.size());
   for (const auto& [key, value] : lru_) keys.push_back(key);
@@ -112,7 +112,7 @@ std::vector<std::uint64_t> ResultCache::lru_keys() const {
 
 std::vector<std::pair<std::uint64_t, std::string>>
 ResultCache::export_entries() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::pair<std::uint64_t, std::string>> entries;
   entries.reserve(lru_.size());
   for (const auto& [key, value] : lru_) entries.emplace_back(key, value);
@@ -122,7 +122,7 @@ ResultCache::export_entries() const {
 }
 
 ResultCache::Stats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Stats stats;
   stats.hits = hits_;
   stats.misses = misses_;

@@ -18,12 +18,13 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "support/thread_annotations.h"
 
 namespace bfdn {
 
@@ -40,30 +41,33 @@ class ResultCache {
   /// std::nullopt. A memory miss reads through to the store; a store
   /// hit is promoted into the LRU (without re-writing the store) and
   /// counts as both a hit and a store_hit.
-  std::optional<std::string> get(std::uint64_t key);
+  std::optional<std::string> get(std::uint64_t key) BFDN_EXCLUDES(mutex_);
 
   /// Batch lookup: out[i] is filled for every key found in memory or
   /// the store. Store misses are resolved in ONE index pass
   /// (ResultStore::get_many) — the campaign cache-fill path.
   void get_many(const std::vector<std::uint64_t>& keys,
-                std::vector<std::optional<std::string>>* out);
+                std::vector<std::optional<std::string>>* out)
+      BFDN_EXCLUDES(mutex_);
 
   /// Inserts (or refreshes) an entry, evicting the least recently used
   /// entries while over capacity. Re-putting an existing key keeps the
   /// first value: results are deterministic, so both are identical.
   /// Writes behind to the store (which dedups already-durable keys).
-  void put(std::uint64_t key, std::string result_json);
+  void put(std::uint64_t key, std::string result_json)
+      BFDN_EXCLUDES(mutex_);
 
   /// Snapshot of resident keys, most recently used first. The compact
   /// admin request passes this as the live set: records evicted from
   /// memory are the cold entries compaction drops.
-  std::vector<std::uint64_t> lru_keys() const;
+  std::vector<std::uint64_t> lru_keys() const BFDN_EXCLUDES(mutex_);
 
   /// Snapshot of resident (key, payload) entries in fingerprint order,
   /// without touching recency or hit counters. The segment-shipping
   /// export path for a memory-only server (a store-backed server
   /// exports from the store instead, which also covers evicted keys).
-  std::vector<std::pair<std::uint64_t, std::string>> export_entries() const;
+  std::vector<std::pair<std::uint64_t, std::string>> export_entries() const
+      BFDN_EXCLUDES(mutex_);
 
   struct Stats {
     std::int64_t hits = 0;
@@ -79,23 +83,26 @@ class ResultCache {
                          : 0.0;
     }
   };
-  Stats stats() const;
+  Stats stats() const BFDN_EXCLUDES(mutex_);
 
  private:
   using LruList = std::list<std::pair<std::uint64_t, std::string>>;
 
   /// Inserts without store write-behind; caller holds mutex_.
-  void insert_locked(std::uint64_t key, std::string result_json);
+  void insert_locked(std::uint64_t key, std::string result_json)
+      BFDN_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::size_t capacity_;
   ResultStore* store_;  // not owned; null = memory-only cache
-  LruList lru_;         // front = most recently used
-  std::unordered_map<std::uint64_t, LruList::iterator> index_;
-  std::int64_t hits_ = 0;
-  std::int64_t misses_ = 0;
-  std::int64_t store_hits_ = 0;
-  std::int64_t evictions_ = 0;
+  /// front = most recently used
+  LruList lru_ BFDN_GUARDED_BY(mutex_);
+  std::unordered_map<std::uint64_t, LruList::iterator> index_
+      BFDN_GUARDED_BY(mutex_);
+  std::int64_t hits_ BFDN_GUARDED_BY(mutex_) = 0;
+  std::int64_t misses_ BFDN_GUARDED_BY(mutex_) = 0;
+  std::int64_t store_hits_ BFDN_GUARDED_BY(mutex_) = 0;
+  std::int64_t evictions_ BFDN_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace bfdn

@@ -9,18 +9,22 @@
 namespace bfdn {
 
 const JobOutcome& Scheduler::Job::wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this] { return done_; });
+  MutexLock lock(mutex_);
+  done_cv_.wait(lock.native(), [this] {
+    mutex_.assert_held();
+    return done_;
+  });
   return outcome_;
 }
 
 void Scheduler::Job::complete(JobOutcome outcome) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    BFDN_CHECK(!done_, "job completed twice");
-    outcome_ = std::move(outcome);
-    done_ = true;
-  }
+  MutexLock lock(mutex_);
+  BFDN_CHECK(!done_, "job completed twice");
+  outcome_ = std::move(outcome);
+  done_ = true;
+  // Notify under the lock (the convention everywhere since the PR-5
+  // finish() race): the waiter owns this Job only through shared_ptr,
+  // but sibling waiters may drop theirs the moment wait() returns.
   done_cv_.notify_all();
 }
 
@@ -34,10 +38,10 @@ Scheduler::Scheduler(SchedulerOptions options)
 Scheduler::~Scheduler() {
   drain();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
+    pending_cv_.notify_all();
   }
-  pending_cv_.notify_all();
   dispatcher_.join();
 }
 
@@ -49,7 +53,7 @@ Scheduler::Admit Scheduler::submit(const ServiceRequest& request,
   job->request_ = request;
   job->admitted_at_ = std::chrono::steady_clock::now();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (draining_) {
       ++stats_.rejected_draining;
       return Admit::kDraining;
@@ -61,8 +65,8 @@ Scheduler::Admit Scheduler::submit(const ServiceRequest& request,
     ++depth_;
     ++stats_.admitted;
     pending_.push_back(job);
+    pending_cv_.notify_one();
   }
-  pending_cv_.notify_one();
   if (out != nullptr) *out = std::move(job);
   return Admit::kAdmitted;
 }
@@ -83,7 +87,7 @@ Scheduler::Admit Scheduler::submit_all(
     jobs.push_back(std::move(job));
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (draining_) {
       stats_.rejected_draining += static_cast<std::int64_t>(jobs.size());
       return Admit::kDraining;
@@ -96,26 +100,29 @@ Scheduler::Admit Scheduler::submit_all(
     depth_ += static_cast<std::int64_t>(jobs.size());
     stats_.admitted += static_cast<std::int64_t>(jobs.size());
     for (const auto& job : jobs) pending_.push_back(job);
+    pending_cv_.notify_one();
   }
-  pending_cv_.notify_one();
   if (out != nullptr) *out = std::move(jobs);
   return Admit::kAdmitted;
 }
 
 void Scheduler::drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   draining_ = true;
   pending_cv_.notify_all();
-  drained_cv_.wait(lock, [this] { return depth_ == 0; });
+  drained_cv_.wait(lock.native(), [this] {
+    mutex_.assert_held();
+    return depth_ == 0;
+  });
 }
 
 std::int64_t Scheduler::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return depth_;
 }
 
 Scheduler::Stats Scheduler::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
@@ -123,9 +130,11 @@ void Scheduler::dispatcher_loop() {
   for (;;) {
     std::vector<std::shared_ptr<Job>> batch;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      pending_cv_.wait(
-          lock, [this] { return !pending_.empty() || stopping_; });
+      MutexLock lock(mutex_);
+      pending_cv_.wait(lock.native(), [this] {
+        mutex_.assert_held();
+        return !pending_.empty() || stopping_;
+      });
       if (pending_.empty() && stopping_) return;
       batch.swap(pending_);
     }
@@ -152,7 +161,7 @@ void Scheduler::dispatcher_loop() {
           batch.begin() + static_cast<std::ptrdiff_t>(group_start),
           batch.begin() + static_cast<std::ptrdiff_t>(group_end));
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         ++stats_.trees_built;
         if (group.size() > 1) {
           stats_.batched_jobs += static_cast<std::int64_t>(group.size());
@@ -247,7 +256,7 @@ void Scheduler::run_batch(const std::vector<std::shared_ptr<Job>>& jobs,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.batch_groups;
     stats_.batch_members += static_cast<std::int64_t>(jobs.size());
     stats_.batch_coalesced += coalesced;
@@ -266,7 +275,7 @@ void Scheduler::finish(const std::shared_ptr<Job>& job,
   // Account before waking the job's waiter, so "wait() returned"
   // implies the job is visible in stats() and queue_depth().
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.completed;
     stats_.latency_us.add(latency_us);
     stats_.latency_log2_us.add(static_cast<std::int64_t>(

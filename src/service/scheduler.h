@@ -23,13 +23,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "service/protocol.h"
 #include "support/stats.h"
+#include "support/thread_annotations.h"
 #include "support/thread_pool.h"
 
 namespace bfdn {
@@ -58,15 +58,18 @@ class Scheduler {
   /// One admitted job; wait() blocks until a worker completed it.
   class Job {
    public:
-    const JobOutcome& wait();
+    const JobOutcome& wait() BFDN_EXCLUDES(mutex_);
 
    private:
     friend class Scheduler;
-    void complete(JobOutcome outcome);
+    void complete(JobOutcome outcome) BFDN_EXCLUDES(mutex_);
 
-    std::mutex mutex_;
+    Mutex mutex_;
     std::condition_variable done_cv_;
-    bool done_ = false;
+    bool done_ BFDN_GUARDED_BY(mutex_) = false;
+    /// Written once under mutex_ by complete(); wait() returns a
+    /// reference to it after done_ flips, when it is immutable — not
+    /// annotated because the returned reference outlives the lock.
     JobOutcome outcome_;
     ServiceRequest request_;
     std::chrono::steady_clock::time_point admitted_at_;
@@ -76,21 +79,23 @@ class Scheduler {
 
   /// Admits `request` unless the window is full or a drain started.
   /// On kAdmitted, *out receives the job handle.
-  Admit submit(const ServiceRequest& request, std::shared_ptr<Job>* out);
+  Admit submit(const ServiceRequest& request, std::shared_ptr<Job>* out)
+      BFDN_EXCLUDES(mutex_);
 
   /// Atomic multi-admit for campaign members: either every request is
   /// admitted under one window check (kAdmitted, *out holds the handles
   /// in request order) or none is — a half-admitted campaign would
   /// deadlock its client against its own backpressure.
   Admit submit_all(const std::vector<ServiceRequest>& requests,
-                   std::vector<std::shared_ptr<Job>>* out);
+                   std::vector<std::shared_ptr<Job>>* out)
+      BFDN_EXCLUDES(mutex_);
 
   /// Stops admitting and blocks until every admitted job completed.
   /// Idempotent; the destructor drains too.
-  void drain();
+  void drain() BFDN_EXCLUDES(mutex_);
 
   /// Admitted-but-not-completed jobs right now.
-  std::int64_t queue_depth() const;
+  std::int64_t queue_depth() const BFDN_EXCLUDES(mutex_);
   std::int32_t queue_capacity() const { return options_.queue_capacity; }
   std::int32_t num_threads() const { return pool_.num_threads(); }
 
@@ -114,27 +119,29 @@ class Scheduler {
     /// log2(latency_us) buckets for a coarse percentile picture.
     Histogram latency_log2_us;
   };
-  Stats stats() const;
+  Stats stats() const BFDN_EXCLUDES(mutex_);
 
  private:
-  void dispatcher_loop();
+  void dispatcher_loop() BFDN_EXCLUDES(mutex_);
   void run_job(const std::shared_ptr<Job>& job,
                const std::shared_ptr<const Tree>& tree);
   void run_batch(const std::vector<std::shared_ptr<Job>>& jobs,
-                 const std::shared_ptr<const Tree>& tree);
-  void finish(const std::shared_ptr<Job>& job, JobOutcome outcome);
+                 const std::shared_ptr<const Tree>& tree)
+      BFDN_EXCLUDES(mutex_);
+  void finish(const std::shared_ptr<Job>& job, JobOutcome outcome)
+      BFDN_EXCLUDES(mutex_);
 
   SchedulerOptions options_;
   ThreadPool pool_;
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::condition_variable pending_cv_;  // dispatcher wake-up
   std::condition_variable drained_cv_;  // drain() wake-up
-  std::vector<std::shared_ptr<Job>> pending_;
-  std::int64_t depth_ = 0;  // admitted - completed
-  bool draining_ = false;
-  bool stopping_ = false;
-  Stats stats_;
+  std::vector<std::shared_ptr<Job>> pending_ BFDN_GUARDED_BY(mutex_);
+  std::int64_t depth_ BFDN_GUARDED_BY(mutex_) = 0;  // admitted - completed
+  bool draining_ BFDN_GUARDED_BY(mutex_) = false;
+  bool stopping_ BFDN_GUARDED_BY(mutex_) = false;
+  Stats stats_ BFDN_GUARDED_BY(mutex_);
 
   std::thread dispatcher_;
 };

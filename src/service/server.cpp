@@ -43,7 +43,7 @@ void ServiceServer::accept_loop() {
   while (!draining_) {
     auto socket = listener_.accept(/*timeout_ms=*/50);
     if (!socket.has_value()) continue;
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    MutexLock lock(connections_mutex_);
     reap_finished_locked();
     auto connection = std::make_unique<Connection>();
     connection->socket = std::move(*socket);
@@ -395,7 +395,7 @@ std::string ServiceServer::handle_fill(const ServiceRequest& request,
 }
 
 void ServiceServer::drain() {
-  std::lock_guard<std::mutex> drain_lock(drain_mutex_);
+  MutexLock drain_lock(drain_mutex_);
   if (drained_) return;
   draining_ = true;
   if (accept_thread_.joinable()) accept_thread_.join();
@@ -411,7 +411,7 @@ void ServiceServer::drain() {
 
   // Wake connection threads idling in recv_line and let them exit.
   {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    MutexLock lock(connections_mutex_);
     for (const auto& connection : connections_) {
       connection->socket.shutdown_read();
     }

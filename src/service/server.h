@@ -12,7 +12,6 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -21,6 +20,7 @@
 #include "service/scheduler.h"
 #include "store/result_store.h"
 #include "support/socket.h"
+#include "support/thread_annotations.h"
 
 namespace bfdn {
 
@@ -66,7 +66,7 @@ class ServiceServer {
   /// Graceful drain: stop accepting, reject new submissions, finish
   /// every admitted job (their responses are written), close
   /// connections. Idempotent; also run by the destructor.
-  void drain();
+  void drain() BFDN_EXCLUDES(drain_mutex_, connections_mutex_);
 
   /// The protocol's stats object (also the final flush bfdn_serve
   /// prints on drain).
@@ -85,7 +85,7 @@ class ServiceServer {
     std::atomic<bool> finished{false};
   };
 
-  void accept_loop();
+  void accept_loop() BFDN_EXCLUDES(connections_mutex_);
   void serve_connection(Connection* connection);
   /// `socket` lets kSegmentFill consume the raw image bytes that follow
   /// the header line on the same connection.
@@ -98,7 +98,7 @@ class ServiceServer {
   /// The live result set as one segment image: from the store when one
   /// is attached (covers memory-evicted keys), else from the cache.
   std::string export_image(std::int64_t* records);
-  void reap_finished_locked();
+  void reap_finished_locked() BFDN_REQUIRES(connections_mutex_);
 
   ServerOptions options_;
   // Declared before cache_: the cache holds a raw pointer into the
@@ -109,12 +109,17 @@ class ServiceServer {
   ListenSocket listener_;
 
   std::thread accept_thread_;
-  std::mutex connections_mutex_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  Mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_
+      BFDN_GUARDED_BY(connections_mutex_);
 
   std::atomic<bool> draining_{false};
-  std::atomic<bool> drained_{false};
-  std::mutex drain_mutex_;
+  // drain() is serialized by drain_mutex_; the flag never needs to be
+  // read outside it, so it is a plain guarded bool rather than an
+  // atomic. Acquisition order is drain_mutex_ -> connections_mutex_
+  // (the lock-order analyzer tracks this edge).
+  Mutex drain_mutex_;
+  bool drained_ BFDN_GUARDED_BY(drain_mutex_) = false;
 
   std::chrono::steady_clock::time_point started_at_;
   std::atomic<std::int64_t> requests_total_{0};

@@ -1,0 +1,125 @@
+// Clang Thread Safety Analysis macros and the annotated mutex wrappers
+// the concurrent tier is written against (docs/LINT.md §"Lock
+// discipline", DESIGN.md §5c).
+//
+// Under clang, BFDN_GUARDED_BY / BFDN_REQUIRES / BFDN_ACQUIRE / ... and
+// the Mutex/MutexLock capability classes below let
+// `-Wthread-safety -Werror` prove at compile time that every guarded
+// field is only touched with its mutex held and that every
+// lock-requiring function is only called with the lock held — the same
+// bug class the TSan gate catches dynamically, moved to the compiler.
+// Under GCC (which has no thread-safety attributes) every macro expands
+// to nothing and the wrappers degrade to a plain std::mutex +
+// std::unique_lock with zero overhead, so the tier-1 toolchain is
+// unaffected; CI's `thread-safety` job compiles the tree with clang to
+// enforce the annotations (scripts/check.sh --locks-only).
+//
+// Conventions (enforced by the bfdn_lint `locks` rule family):
+//   * every mutex-typed member guards something: it appears in at least
+//     one BFDN_GUARDED_BY / BFDN_REQUIRES, or carries an explicit
+//     `// NOLINT(locks): <reason>`;
+//   * condition variables are notified with their paired mutex held
+//     (the PR-5 Scheduler teardown race: an unlocked notify can touch a
+//     condition variable whose owner is mid-destruction);
+//   * waits always take a predicate;
+//   * wait predicates run with the lock held by std::condition_variable
+//     contract, which clang cannot see into the lambda — assert it with
+//     `mutex_.assert_held()` as the predicate's first statement.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define BFDN_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define BFDN_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// On a class: instances are capabilities (lockable things).
+#define BFDN_CAPABILITY(x) BFDN_THREAD_ANNOTATION(capability(x))
+/// On a class: RAII object acquiring a capability for its lifetime.
+#define BFDN_SCOPED_CAPABILITY BFDN_THREAD_ANNOTATION(scoped_lockable)
+/// On a data member: only touch it with the named mutex held.
+#define BFDN_GUARDED_BY(x) BFDN_THREAD_ANNOTATION(guarded_by(x))
+/// On a pointer member: the pointee is guarded by the named mutex.
+#define BFDN_PT_GUARDED_BY(x) BFDN_THREAD_ANNOTATION(pt_guarded_by(x))
+/// On a function: callers must hold the listed mutexes.
+#define BFDN_REQUIRES(...) \
+  BFDN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// On a function: it acquires the listed mutexes and returns holding them.
+#define BFDN_ACQUIRE(...) \
+  BFDN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// On a function: it releases the listed mutexes.
+#define BFDN_RELEASE(...) \
+  BFDN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// On a function: it may acquire the mutex; returns `ret` on success.
+#define BFDN_TRY_ACQUIRE(ret, ...) \
+  BFDN_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+/// On a function: callers must NOT hold the listed mutexes
+/// (self-deadlock guard on public entry points that lock internally).
+#define BFDN_EXCLUDES(...) \
+  BFDN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// On a function: tells the analysis the capability is held from here on
+/// without acquiring it (no runtime effect). Used by wait predicates.
+#define BFDN_ASSERT_CAPABILITY(...) \
+  BFDN_THREAD_ANNOTATION(assert_capability(__VA_ARGS__))
+/// Lock-ordering documentation, checked by clang when both are held.
+#define BFDN_ACQUIRED_BEFORE(...) \
+  BFDN_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define BFDN_ACQUIRED_AFTER(...) \
+  BFDN_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+/// Escape hatch: the function is not analyzed. Use sparingly, with a
+/// comment saying why the discipline cannot be expressed.
+#define BFDN_NO_THREAD_SAFETY_ANALYSIS \
+  BFDN_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace bfdn {
+
+/// std::mutex wearing the capability attribute so clang can track it.
+/// `native()` exposes the wrapped mutex for std::condition_variable,
+/// which only accepts std::unique_lock<std::mutex>.
+class BFDN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() BFDN_ACQUIRE() { mutex_.lock(); }
+  void unlock() BFDN_RELEASE() { mutex_.unlock(); }
+  bool try_lock() BFDN_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+  /// Declares to the analysis that this mutex is held at the call site
+  /// without acquiring it. For contexts clang analyzes as separate
+  /// functions but that run under the lock by contract — condition
+  /// variable wait predicates. Compiles to nothing.
+  void assert_held() const BFDN_ASSERT_CAPABILITY() {}
+
+  /// The wrapped handle, for std::condition_variable::wait via
+  /// MutexLock::native(). Invisible to the thread-safety analysis.
+  std::mutex& native() { return mutex_; }
+
+ private:
+  std::mutex mutex_;  // NOLINT(locks): the wrapped handle IS the capability; it guards nothing itself
+};
+
+/// Scoped lock over Mutex (the annotated std::unique_lock). `native()`
+/// hands the underlying unique_lock to condition-variable waits; code
+/// that drops the lock around IO (store/result_store.cpp flush_batch)
+/// goes through `native().unlock()/.lock()`, which the analysis cannot
+/// see — such sections must not touch guarded state while unlocked.
+class BFDN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) BFDN_ACQUIRE(mutex)
+      : lock_(mutex.native()) {}
+  ~MutexLock() BFDN_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace bfdn

@@ -1,6 +1,7 @@
 #include "support/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "support/check.h"
 
@@ -19,31 +20,34 @@ ThreadPool::ThreadPool(std::int32_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
+    // Notify under the lock: an unlocked notify races a worker that
+    // re-checks the predicate and exits, destroying the cv under us.
+    work_available_.notify_all();
   }
-  work_available_.notify_all();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::submit(std::function<void()> job) {
   BFDN_REQUIRE(job != nullptr, "null job");
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    BFDN_REQUIRE(!shutting_down_, "submit after shutdown");
-    queue_.push(std::move(job));
-    ++in_flight_;
-  }
+  MutexLock lock(mutex_);
+  BFDN_REQUIRE(!shutting_down_, "submit after shutdown");
+  queue_.push(std::move(job));
+  ++in_flight_;
   work_available_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  all_done_.wait(lock.native(), [this] {
+    mutex_.assert_held();  // the cv re-acquires before the predicate
+    return in_flight_ == 0;
+  });
   if (first_exception_ != nullptr) {
     std::exception_ptr error = first_exception_;
     first_exception_ = nullptr;
-    lock.unlock();
+    lock.native().unlock();
     std::rethrow_exception(error);
   }
 }
@@ -52,9 +56,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      work_available_.wait(lock.native(), [this] {
+        mutex_.assert_held();
+        return shutting_down_ || !queue_.empty();
+      });
       if (queue_.empty()) {
         if (shutting_down_) return;
         continue;
@@ -69,7 +75,7 @@ void ThreadPool::worker_loop() {
       error = std::current_exception();
     }
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (error != nullptr && first_exception_ == nullptr) {
         first_exception_ = error;
       }

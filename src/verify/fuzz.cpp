@@ -6,7 +6,6 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
-#include <mutex>
 
 #include "graph/generators.h"
 #include "graph/tree_io.h"
@@ -326,14 +325,14 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
     // but already-claimed lower indices always finish — so the minimum
     // over raw_failures equals the index the sequential scan stops at.
     ThreadPool pool(options.jobs);
-    std::mutex mutex;
+    Mutex mutex;
     std::int32_t next_index = 0;
     std::int32_t lowest_failure = std::numeric_limits<std::int32_t>::max();
     const auto worker = [&] {
       for (;;) {
         std::int32_t index;
         {
-          std::lock_guard<std::mutex> lock(mutex);
+          MutexLock lock(mutex);
           if (options.max_cases > 0 && next_index >= options.max_cases) {
             return;
           }
@@ -348,7 +347,7 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
         const Tree tree = build_fuzz_case(options, index, &recipe, &config);
         const OracleReport oracle = run_oracle(tree, config);
         {
-          std::lock_guard<std::mutex> lock(mutex);
+          MutexLock lock(mutex);
           ++report.cases_run;
           if (options.verbose) {
             std::fprintf(stderr, "[fuzz] %s rounds=%lld %s\n",

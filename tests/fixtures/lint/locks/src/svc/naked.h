@@ -1,0 +1,12 @@
+#pragma once
+
+#include <mutex>
+
+class Naked {
+ public:
+  int value() const;
+
+ private:
+  mutable std::mutex mutex_;
+  int value_ = 0;
+};

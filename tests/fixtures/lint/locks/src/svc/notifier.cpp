@@ -1,0 +1,14 @@
+#include "svc/notifier.h"
+
+void Notifier::set() {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    ready_ = true;
+  }
+  cv_.notify_one();
+}
+
+void Notifier::wait_set() {
+  std::unique_lock<std::mutex> lock(m_);
+  cv_.wait(lock);
+}

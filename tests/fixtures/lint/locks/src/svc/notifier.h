@@ -1,0 +1,17 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#define BFDN_GUARDED_BY(x)
+
+class Notifier {
+ public:
+  void set();
+  void wait_set();
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  bool ready_ BFDN_GUARDED_BY(m_) = false;
+};

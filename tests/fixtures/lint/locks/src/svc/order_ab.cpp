@@ -1,0 +1,6 @@
+#include "svc/pair.h"
+
+void AB::lock_ab() {
+  std::lock_guard<std::mutex> a(a_);
+  std::lock_guard<std::mutex> b(b_);
+}

@@ -1,0 +1,6 @@
+#include "svc/pair.h"
+
+void AB::lock_ba() {
+  std::lock_guard<std::mutex> b(b_);
+  std::lock_guard<std::mutex> a(a_);
+}

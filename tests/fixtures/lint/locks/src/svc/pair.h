@@ -1,0 +1,17 @@
+#pragma once
+
+#include <mutex>
+
+#define BFDN_GUARDED_BY(x)
+
+class AB {
+ public:
+  void lock_ab();
+  void lock_ba();
+
+ private:
+  std::mutex a_;
+  std::mutex b_;
+  int hits_ BFDN_GUARDED_BY(a_) = 0;
+  int misses_ BFDN_GUARDED_BY(b_) = 0;
+};

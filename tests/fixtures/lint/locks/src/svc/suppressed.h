@@ -1,0 +1,11 @@
+#pragma once
+
+#include <mutex>
+
+class Suppressed {
+ public:
+  void touch();
+
+ private:
+  std::mutex mutex_;  // NOLINT(locks): orders registration against teardown only
+};

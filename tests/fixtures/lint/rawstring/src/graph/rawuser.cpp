@@ -1,0 +1,14 @@
+// Raw string literals are literals: determinism bans inside them are
+// documentation, not calls.
+#include <cstdlib>
+
+const char* kShellSnippet = R"lint(seed with srand(7); then rand())lint";
+
+const char* kDoc = R"(
+  srand(42);
+  rand();
+)";
+
+int noise() {
+  return rand();
+}

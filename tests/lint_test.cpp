@@ -5,6 +5,7 @@
 // code) without a test going red. docs/LINT.md describes the rules.
 #include "lint/lint.h"
 
+#include <algorithm>
 #include <fstream>
 #include <string>
 
@@ -113,6 +114,79 @@ TEST(LintFixtures, TraceVersionMismatchAsksForBaselineRefresh) {
   EXPECT_EQ(report.findings[0].rule, "trace-version");
   EXPECT_NE(report.findings[0].message.find("--write-trace-baseline"),
             std::string::npos);
+}
+
+TEST(LintFixtures, LockDisciplineFamilyFindsAllFourClasses) {
+  const Report report = lint_fixture("locks");
+  ASSERT_EQ(report.findings.size(), 4u) << format_report(report);
+  // Findings are sorted by (file, line, rule).
+  EXPECT_EQ(report.findings[0].file, "src/svc/naked.h");
+  EXPECT_EQ(report.findings[0].line, 10);
+  EXPECT_EQ(report.findings[0].rule, "lock-annotation");
+  EXPECT_NE(report.findings[0].message.find("'Naked::mutex_'"),
+            std::string::npos);
+
+  EXPECT_EQ(report.findings[1].file, "src/svc/notifier.cpp");
+  EXPECT_EQ(report.findings[1].line, 8);
+  EXPECT_EQ(report.findings[1].rule, "cv-notify-unlocked");
+  EXPECT_NE(report.findings[1].message.find("'Notifier::m_'"),
+            std::string::npos);
+
+  EXPECT_EQ(report.findings[2].file, "src/svc/notifier.cpp");
+  EXPECT_EQ(report.findings[2].line, 13);
+  EXPECT_EQ(report.findings[2].rule, "cv-wait-no-predicate");
+
+  // The cycle is anchored at its smallest edge site and cites both
+  // acquisition sites, so the report alone locates the deadlock.
+  EXPECT_EQ(report.findings[3].file, "src/svc/order_ab.cpp");
+  EXPECT_EQ(report.findings[3].line, 5);
+  EXPECT_EQ(report.findings[3].rule, "lock-order");
+  EXPECT_NE(report.findings[3].message.find("src/svc/order_ab.cpp:5"),
+            std::string::npos);
+  EXPECT_NE(report.findings[3].message.find("src/svc/order_ba.cpp:5"),
+            std::string::npos);
+
+  // The NOLINT(locks) member is suppressed, not silently legal: it
+  // shows up in the suppression tally with its reason.
+  ASSERT_EQ(report.suppressions.size(), 1u);
+  EXPECT_EQ(report.suppressions[0].check, "locks");
+  EXPECT_EQ(report.suppressions[0].file, "src/svc/suppressed.h");
+  EXPECT_EQ(report.suppressions[0].line, 10);
+  EXPECT_FALSE(report.suppressions[0].reason.empty());
+}
+
+TEST(LintFixtures, RawStringContentsAreStrippedAsLiterals) {
+  // kShellSnippet and kDoc spell rand()/srand() inside raw string
+  // literals (one multi-line); only the real call may fire, and at the
+  // exact line — the multi-line literal must not shift line numbers.
+  const Report report = lint_fixture("rawstring");
+  ASSERT_EQ(report.findings.size(), 1u) << format_report(report);
+  EXPECT_EQ(report.findings[0].file, "src/graph/rawuser.cpp");
+  EXPECT_EQ(report.findings[0].line, 13);
+  EXPECT_EQ(report.findings[0].rule, "raw-rand");
+}
+
+TEST(LintConfig, LocksConfigDefaultsAndRoundTrip) {
+  const Config config = fixture_config("locks");
+  ASSERT_TRUE(config.locks.enabled);
+  // An empty "locks" object enables the family with the std +
+  // thread_annotations.h vocabulary.
+  EXPECT_NE(std::find(config.locks.mutex_types.begin(),
+                      config.locks.mutex_types.end(), "Mutex"),
+            config.locks.mutex_types.end());
+  EXPECT_NE(std::find(config.locks.lock_types.begin(),
+                      config.locks.lock_types.end(), "MutexLock"),
+            config.locks.lock_types.end());
+
+  const std::string path =
+      ::testing::TempDir() + "/lint_rules_locks_roundtrip.json";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << config_to_json(config);
+  }
+  const Config reloaded = load_config(path);
+  EXPECT_TRUE(reloaded.locks.enabled);
+  EXPECT_EQ(config_to_json(reloaded), config_to_json(config));
 }
 
 TEST(LintConfig, CanonicalJsonRoundTrips) {

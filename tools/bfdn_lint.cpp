@@ -11,8 +11,15 @@
 // --write-trace-baseline re-records the serialization-struct
 // fingerprint (and format version) in the rules file; run it in the
 // same commit that bumps kTraceFormatVersion.
+//
+// --only=<rules> restricts the printed findings to a comma-separated
+// list of rule ids; the alias "locks" expands to the whole
+// lock-discipline family (scripts/check.sh --locks-only uses this).
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <string>
+#include <vector>
 
 #include "lint/lint.h"
 #include "support/check.h"
@@ -20,6 +27,48 @@
 
 namespace bfdn {
 namespace {
+
+std::vector<std::string> expand_only(const std::string& spec) {
+  std::vector<std::string> rules;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string name = spec.substr(start, end - start);
+    if (name == "locks") {
+      // Family alias: the four lock-discipline rule ids.
+      rules.insert(rules.end(), {"lock-order", "lock-annotation",
+                                 "cv-notify-unlocked",
+                                 "cv-wait-no-predicate"});
+    } else if (!name.empty()) {
+      rules.push_back(name);
+    }
+    start = end + 1;
+  }
+  return rules;
+}
+
+void filter_report(lint::Report* report,
+                   const std::vector<std::string>& rules) {
+  const auto keep_rule = [&rules](const std::string& rule) {
+    return std::find(rules.begin(), rules.end(), rule) != rules.end();
+  };
+  std::erase_if(report->findings, [&](const lint::Finding& finding) {
+    return !keep_rule(finding.rule);
+  });
+  // Keep the suppressions the retained rules honor: exact ids, the
+  // blanket "*", and — when any lock-discipline rule is retained — the
+  // "locks" family alias.
+  const bool lock_family =
+      std::any_of(rules.begin(), rules.end(), [](const std::string& rule) {
+        return rule.rfind("lock-", 0) == 0 || rule.rfind("cv-", 0) == 0;
+      });
+  std::erase_if(report->suppressions, [&](const lint::Suppression& s) {
+    if (s.check == "*") return false;
+    if (lock_family && s.check == "locks") return false;
+    return !keep_rule(s.check);
+  });
+}
 
 int run(int argc, const char* const* argv) {
   CliParser cli("bfdn_lint",
@@ -30,6 +79,8 @@ int run(int argc, const char* const* argv) {
   cli.add_bool("write-trace-baseline", false,
                "re-record the trace-struct fingerprint in the rules "
                "file and exit");
+  cli.add_string("only", "", "comma-separated rule ids to report "
+                             "(\"locks\" = the lock-discipline family)");
   cli.add_bool("quiet", false, "suppress the summary line on success");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -52,7 +103,9 @@ int run(int argc, const char* const* argv) {
     return 0;
   }
 
-  const lint::Report report = lint::run_lint(root, config);
+  lint::Report report = lint::run_lint(root, config);
+  const std::string only = cli.get_string("only");
+  if (!only.empty()) filter_report(&report, expand_only(only));
   const std::string formatted = lint::format_report(report);
   if (!report.clean() || !cli.get_bool("quiet")) {
     std::fputs(formatted.c_str(), report.clean() ? stdout : stderr);
